@@ -1,0 +1,120 @@
+/// \file ablation_schedules.cpp
+/// \brief Ablation of the loop-scheduling design choices (DESIGN.md §6):
+/// how equal-chunks, chunks-of-1, dynamic, and guided schedules balance
+/// uniform vs skewed iteration costs.
+///
+/// The Parallel Loop patternlets teach *which iterations* each schedule
+/// assigns; this bench quantifies the consequence: per-thread work share
+/// and wall time under a triangular cost profile (iteration i costs ~i),
+/// the exact situation the chunks-of-1 exercise asks students to reason
+/// about.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "smp/smp.hpp"
+#include "thread/mutex.hpp"
+
+namespace {
+
+using pml::smp::Schedule;
+
+struct Outcome {
+  double seconds = 0.0;
+  double imbalance = 0.0;  ///< max thread work / ideal share (1.0 = perfect)
+};
+
+Outcome run_schedule(const Schedule& schedule, int threads, std::int64_t n,
+                     bool skewed) {
+  pml::thread::Mutex mu;
+  std::map<int, long> work;  // thread -> abstract work units
+
+  const double t0 = pml::smp::wtime();
+  pml::smp::parallel_for(threads, 0, n, schedule, [&](int t, std::int64_t i) {
+    const long cost = skewed ? static_cast<long>(i) : 1000;
+    volatile double sink = 0.0;
+    for (long k = 0; k < cost; ++k) sink = sink + 1.0;
+    pml::thread::LockGuard g(mu);
+    work[t] += cost;
+  });
+  const double secs = pml::smp::wtime() - t0;
+
+  long total = 0;
+  long max_work = 0;
+  for (const auto& [t, w] : work) {
+    total += w;
+    max_work = std::max(max_work, w);
+  }
+  const double ideal = static_cast<double>(total) / threads;
+  return {secs, ideal > 0 ? static_cast<double>(max_work) / ideal : 1.0};
+}
+
+}  // namespace
+
+int main() {
+  using pml::bench::banner;
+  using pml::bench::section;
+  using pml::bench::shape_check;
+
+  banner("ABLATION — loop schedules vs workload shape",
+         "Per-thread work imbalance (max/ideal; 1.00 = perfect) and wall "
+         "time for each schedule, on uniform and triangular iteration "
+         "costs. 4 threads, 2048 iterations.");
+
+  const int kThreads = 4;
+  const std::int64_t kN = 2048;
+  const std::vector<std::pair<const char*, Schedule>> schedules = {
+      {"static (equal chunks)", Schedule::static_equal()},
+      {"static,1 (round-robin)", Schedule::static_chunks(1)},
+      {"dynamic,8", Schedule::dynamic(8)},
+      {"guided,8", Schedule::guided(8)},
+  };
+
+  std::map<std::string, Outcome> uniform;
+  std::map<std::string, Outcome> skewed;
+
+  section("Uniform iteration cost");
+  std::printf("  %-24s %12s %12s\n", "schedule", "seconds", "imbalance");
+  for (const auto& [name, schedule] : schedules) {
+    const Outcome o = run_schedule(schedule, kThreads, kN, /*skewed=*/false);
+    uniform[name] = o;
+    std::printf("  %-24s %12.4f %12.2f\n", name, o.seconds, o.imbalance);
+  }
+
+  section("Triangular iteration cost (iteration i costs ~i)");
+  std::printf("  %-24s %12s %12s\n", "schedule", "seconds", "imbalance");
+  for (const auto& [name, schedule] : schedules) {
+    const Outcome o = run_schedule(schedule, kThreads, kN, /*skewed=*/true);
+    skewed[name] = o;
+    std::printf("  %-24s %12.4f %12.2f\n", name, o.seconds, o.imbalance);
+  }
+
+  section("Dynamic vs equal chunks at 2 threads (= physical cores)");
+  // On oversubscribed thread counts, dynamic legitimately gives faster
+  // threads more work, so per-thread work share is not a fair metric; at
+  // one thread per core it is. Equal chunks on a triangular profile with
+  // 2 threads assigns shares 1/4 vs 3/4 (imbalance 1.5); dynamic stays
+  // near 1.0.
+  const Outcome equal2 = run_schedule(Schedule::static_equal(), 2, kN, true);
+  const Outcome dyn2 = run_schedule(Schedule::dynamic(8), 2, kN, true);
+  std::printf("  %-24s %12.4f %12.2f\n", "static (equal chunks)", equal2.seconds,
+              equal2.imbalance);
+  std::printf("  %-24s %12.4f %12.2f\n", "dynamic,8", dyn2.seconds, dyn2.imbalance);
+
+  section("Shape checks");
+  // Equal chunks on a triangular profile: the last thread owns the most
+  // expensive quarter -> its share approaches 2x the ideal (7/4 exactly).
+  shape_check("equal chunks is badly imbalanced on skewed work (> 1.5x, 4 thr)",
+              skewed.at("static (equal chunks)").imbalance > 1.5);
+  shape_check("round-robin balances skewed work (< 1.1x, 4 thr)",
+              skewed.at("static,1 (round-robin)").imbalance < 1.1);
+  shape_check("static schedules are near-perfect on uniform work (< 1.05x)",
+              uniform.at("static (equal chunks)").imbalance < 1.05 &&
+                  uniform.at("static,1 (round-robin)").imbalance < 1.05);
+  shape_check("at 1 thread/core, dynamic balances what equal chunks cannot",
+              equal2.imbalance > 1.4 && dyn2.imbalance < equal2.imbalance);
+  return 0;
+}

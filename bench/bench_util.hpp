@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file bench_util.hpp
+/// \brief Shared console helpers for the figure/table reproduction benches.
+///
+/// Each fig*/tab* binary regenerates one artifact of the paper's evaluation:
+/// it runs the relevant patternlet(s) or workload with the paper's
+/// parameters, prints the same rows/series the paper reports, and then
+/// prints a SHAPE-CHECK section stating the property the figure illustrates
+/// and whether this run exhibited it. Shape checks are the reproduction
+/// criterion (who wins / what orders / what scales), not absolute numbers.
+
+#include <cstdio>
+#include <string>
+
+#include "core/runner.hpp"
+
+namespace pml::bench {
+
+inline void banner(const std::string& experiment, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void section(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+inline void print_output(const pml::RunResult& result) {
+  for (const auto& line : result.output) {
+    std::printf("%s\n", line.text.c_str());
+  }
+}
+
+inline void shape_check(const std::string& property, bool held) {
+  std::printf("SHAPE-CHECK %-60s [%s]\n", property.c_str(), held ? "OK" : "MISS");
+}
+
+}  // namespace pml::bench

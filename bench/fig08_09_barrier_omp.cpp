@@ -1,0 +1,49 @@
+/// \file fig08_09_barrier_omp.cpp
+/// \brief Reproduces paper Figures 8-9: the OpenMP barrier patternlet with
+/// the barrier directive off (interleaved BEFORE/AFTER) and on (separated).
+
+#include "bench_util.hpp"
+#include "patternlets/patternlets.hpp"
+
+int main() {
+  using namespace pml;
+  patternlets::ensure_registered();
+  bench::banner("FIG-08/09 — barrier.c (OpenMP)",
+                "Without the barrier the BEFORE/AFTER phases interleave; with "
+                "it, every BEFORE precedes every AFTER.");
+
+  RunSpec off;
+  off.tasks = 4;
+  bench::section("Fig. 8: barrier commented out (./barrier 4)");
+  const RunResult fig8 = run("omp/barrier", off);
+  bench::print_output(fig8);
+
+  RunSpec on;
+  on.tasks = 4;
+  on.toggle_overrides = {{"omp barrier", true}};
+  bench::section("Fig. 9: #pragma omp barrier uncommented");
+  const RunResult fig9 = run("omp/barrier", on);
+  bench::print_output(fig9);
+
+  bench::section("Shape checks");
+  bench::shape_check("barrier on -> phases separated",
+                     phase_separated(fig9.output, phase_is("BEFORE"), phase_is("AFTER")));
+
+  bool ever_interleaved = false;
+  for (int i = 0; i < 50 && !ever_interleaved; ++i) {
+    const RunResult r = run("omp/barrier", off);
+    ever_interleaved =
+        phases_interleaved(r.output, phase_is("BEFORE"), phase_is("AFTER"));
+  }
+  bench::shape_check("barrier off -> phases interleave (within 50 runs)",
+                     ever_interleaved);
+
+  bool always_separated = true;
+  for (int i = 0; i < 50 && always_separated; ++i) {
+    const RunResult r = run("omp/barrier", on);
+    always_separated =
+        phase_separated(r.output, phase_is("BEFORE"), phase_is("AFTER"));
+  }
+  bench::shape_check("barrier on -> separated in all 50 runs", always_separated);
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// \file fig14_15_parallel_loop_omp.cpp
+/// \brief Reproduces paper Figures 14-15: parallelLoopEqualChunks.c
+/// (OpenMP) at 1 and 2 threads, plus the chunks-of-1 and dynamic variants
+/// that complete the Parallel Loop patternlet family.
+
+#include <map>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace {
+
+std::map<int, std::vector<std::int64_t>> assignment(const pml::RunResult& r) {
+  std::map<int, std::vector<std::int64_t>> per;
+  for (const auto& e : r.trace) {
+    if (e.kind == "iteration") per[e.task].push_back(e.key);
+  }
+  for (auto& [t, keys] : per) std::sort(keys.begin(), keys.end());
+  return per;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pml;
+  patternlets::ensure_registered();
+  bench::banner("FIG-14/15 — parallelLoopEqualChunks.c (OpenMP)",
+                "8 iterations divided among threads in contiguous equal "
+                "chunks; 1 thread vs 2 threads.");
+
+  RunSpec one;
+  one.tasks = 1;
+  bench::section("Fig. 14: ./parallelLoopEqualChunks 1");
+  const RunResult fig14 = run("omp/parallelLoopEqualChunks", one);
+  bench::print_output(fig14);
+
+  RunSpec two;
+  two.tasks = 2;
+  bench::section("Fig. 15: ./parallelLoopEqualChunks 2");
+  const RunResult fig15 = run("omp/parallelLoopEqualChunks", two);
+  bench::print_output(fig15);
+
+  RunSpec four;
+  four.tasks = 4;
+  bench::section("Companion: chunks-of-1 (schedule(static,1)), 4 threads");
+  const RunResult rr = run("omp/parallelLoopChunksOf1", four);
+  bench::print_output(rr);
+
+  bench::section("Companion: dynamic schedule with skewed iteration costs, 4 threads");
+  const RunResult dyn = run("omp/parallelLoopDynamic", four);
+  bench::print_output(dyn);
+
+  bench::section("Shape checks");
+  const auto a14 = assignment(fig14);
+  bench::shape_check("1 thread performs all 8 iterations",
+                     a14.size() == 1 && a14.count(0) == 1 && a14.at(0).size() == 8);
+
+  const auto a15 = assignment(fig15);
+  bench::shape_check("2 threads: thread 0 -> 0-3, thread 1 -> 4-7",
+                     a15.at(0) == std::vector<std::int64_t>({0, 1, 2, 3}) &&
+                         a15.at(1) == std::vector<std::int64_t>({4, 5, 6, 7}));
+
+  const auto arr = assignment(rr);
+  bool round_robin = true;
+  for (const auto& [t, keys] : arr) {
+    for (auto k : keys) {
+      if (k % 4 != t) round_robin = false;
+    }
+  }
+  bench::shape_check("chunks-of-1: iteration i runs on thread i mod 4", round_robin);
+
+  std::size_t dyn_total = 0;
+  for (const auto& [t, keys] : assignment(dyn)) dyn_total += keys.size();
+  bench::shape_check("dynamic: all 8 iterations covered exactly once", dyn_total == 8);
+  return 0;
+}

@@ -1,0 +1,57 @@
+/// \file fig17_18_parallel_loop_mpi.cpp
+/// \brief Reproduces paper Figures 17-18: parallelLoopEqualChunks.c (MPI)
+/// at 2 and 4 processes, with the hand-computed ceil-chunk decomposition.
+
+#include <map>
+#include <set>
+
+#include "bench_util.hpp"
+#include "patternlets/patternlets.hpp"
+
+int main() {
+  using namespace pml;
+  patternlets::ensure_registered();
+  bench::banner("FIG-17/18 — parallelLoopEqualChunks.c (MPI)",
+                "The Fig. 16 decomposition: chunkSize = ceil(REPS/numProcesses); "
+                "run at 2 and 4 processes.");
+
+  RunSpec two;
+  two.tasks = 2;
+  bench::section("Fig. 17: mpirun -np 2 ./parallelLoopEqualChunks");
+  const RunResult fig17 = run("mpi/parallelLoopEqualChunks", two);
+  bench::print_output(fig17);
+
+  RunSpec four;
+  four.tasks = 4;
+  bench::section("Fig. 18: mpirun -np 4 ./parallelLoopEqualChunks");
+  const RunResult fig18 = run("mpi/parallelLoopEqualChunks", four);
+  bench::print_output(fig18);
+
+  bench::section("Companion: chunks-of-1 (stride-p idiom), 4 processes");
+  const RunResult rr = run("mpi/parallelLoopChunksOf1", four);
+  bench::print_output(rr);
+
+  bench::section("Shape checks");
+  auto assignment = [](const RunResult& r) {
+    std::map<int, std::set<std::int64_t>> per;
+    for (const auto& e : r.trace) per[e.task].insert(e.key);
+    return per;
+  };
+  const auto a17 = assignment(fig17);
+  bench::shape_check("np=2: process 0 -> 0-3, process 1 -> 4-7",
+                     a17.at(0) == std::set<std::int64_t>({0, 1, 2, 3}) &&
+                         a17.at(1) == std::set<std::int64_t>({4, 5, 6, 7}));
+  const auto a18 = assignment(fig18);
+  bool pairs = a18.size() == 4;
+  for (int p = 0; p < 4 && pairs; ++p) {
+    pairs = a18.at(p) == std::set<std::int64_t>({2 * p, 2 * p + 1});
+  }
+  bench::shape_check("np=4: process i -> iterations {2i, 2i+1}", pairs);
+
+  bool stride = true;
+  for (const auto& e : rr.trace) {
+    if (e.key % 4 != e.task) stride = false;
+  }
+  bench::shape_check("chunks-of-1: iteration i on process i mod 4", stride);
+  return 0;
+}

@@ -1,0 +1,76 @@
+/// \file fig21_22_reduction_omp.cpp
+/// \brief Reproduces paper Figures 21-22: reduction.c (OpenMP). Sequential
+/// and parallel sums agree; uncommenting parallel-for alone races and loses
+/// updates; adding reduction(+:sum) restores correctness.
+
+#include <string>
+
+#include "bench_util.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace {
+
+// Extract "Seq. sum: X" / "Par. sum: Y" values from the patternlet output.
+std::pair<long, long> sums_of(const pml::RunResult& r) {
+  const auto texts = r.texts();
+  const long seq = std::stol(texts[0].substr(texts[0].find('\t') + 1));
+  const long par = std::stol(texts[1].substr(texts[1].find('\t') + 1));
+  return {seq, par};
+}
+
+}  // namespace
+
+int main() {
+  using namespace pml;
+  patternlets::ensure_registered();
+  bench::banner("FIG-21/22 — reduction.c (OpenMP)",
+                "Sum of 1,000,000 random ints: sequential vs parallel, with "
+                "the data race and the reduction-clause fix.");
+
+  RunSpec base;
+  base.tasks = 4;
+
+  bench::section("Fig. 21: both directives commented out (1 thread)");
+  const RunResult fig21 = run("omp/reduction", base);
+  bench::print_output(fig21);
+
+  bench::section("Fig. 22: parallel-for on, reduction clause off (4 threads)");
+  RunSpec racy = base;
+  racy.toggle_overrides = {{"omp parallel for", true}};
+  const RunResult fig22 = run("omp/reduction", racy);
+  bench::print_output(fig22);
+
+  bench::section("Fix: reduction(+:sum) also uncommented");
+  RunSpec fixed = base;
+  fixed.all_toggles = true;
+  const RunResult fig_fixed = run("omp/reduction", fixed);
+  bench::print_output(fig_fixed);
+
+  bench::section("Shape checks");
+  const auto [seq21, par21] = sums_of(fig21);
+  bench::shape_check("directives off -> parallel sum equals sequential sum",
+                     seq21 == par21);
+
+  bool racy_wrong = false;
+  long best_deficit = 0;
+  for (int i = 0; i < 10 && !racy_wrong; ++i) {
+    const auto [s, p] = sums_of(run("omp/reduction", racy));
+    if (p != s) {
+      racy_wrong = true;
+      best_deficit = s - p;
+    }
+  }
+  bench::shape_check("race (no reduction clause) -> updates lost", racy_wrong);
+  if (racy_wrong) {
+    std::printf("  (lost %ld from the true sum in the failing run)\n", best_deficit);
+  }
+
+  bool fixed_right = true;
+  for (int i = 0; i < 5 && fixed_right; ++i) {
+    const auto [s, p] = sums_of(run("omp/reduction", fixed));
+    fixed_right = (s == p);
+  }
+  bench::shape_check("reduction clause -> correct at 4 threads, every run",
+                     fixed_right);
+  return 0;
+}

@@ -1,0 +1,59 @@
+/// \file fig30_critical_vs_atomic.cpp
+/// \brief Reproduces paper Figures 29-30: critical2.c — one million $1
+/// deposits protected by atomic, then by critical. Both balances are exact;
+/// critical costs substantially more per deposit (the paper measured a
+/// ratio of ~16.5x on its hardware; the reproduced claim is ratio >> 1).
+
+#include <string>
+
+#include "bench_util.hpp"
+#include "patternlets/patternlets.hpp"
+
+int main() {
+  using namespace pml;
+  patternlets::ensure_registered();
+  bench::banner("FIG-30 — critical2.c (OpenMP)",
+                "atomic vs critical cost for 1,000,000 deposits on 8 threads; "
+                "plus the racy no-protection baseline losing money.");
+
+  bench::section("Fig. 30: ./critical2 (8 threads)");
+  RunSpec spec;
+  spec.tasks = 8;
+  const RunResult fig30 = run("omp/critical2", spec);
+  bench::print_output(fig30);
+
+  bench::section("Baseline: the race costs you imaginary money (omp/race)");
+  RunSpec race;
+  race.tasks = 8;
+  race.params = {{"reps", 1000000}};
+  const RunResult racy = run("omp/race", race);
+  bench::print_output(racy);
+
+  bench::section("Shape checks");
+  const std::string out = fig30.output_str();
+  int exact = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("balance = 1000000.00", pos)) != std::string::npos) {
+    ++exact;
+    ++pos;
+  }
+  bench::shape_check("both atomic and critical balances are exact (1000000.00)",
+                     exact == 2);
+
+  const auto rpos = out.find("ratio: ");
+  double ratio = 0.0;
+  if (rpos != std::string::npos) ratio = std::stod(out.substr(rpos + 7));
+  std::printf("  measured criticalTime/atomicTime ratio: %.2f (paper: 16.50 on "
+              "its testbed)\n", ratio);
+  bench::shape_check("critical is more expensive than atomic (ratio > 1)",
+                     ratio > 1.0);
+
+  bool lost_money = false;
+  for (int i = 0; i < 8 && !lost_money; ++i) {
+    const RunResult r = run("omp/race", race);
+    lost_money = r.output_str().find("lost to the race") != std::string::npos;
+  }
+  bench::shape_check("unprotected deposits lose money (balance < 1000000)",
+                     lost_money);
+  return 0;
+}

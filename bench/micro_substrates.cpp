@@ -1,0 +1,296 @@
+/// \file micro_substrates.cpp
+/// \brief google-benchmark microbenchmarks and ablations of the substrate
+/// primitives: mailbox ops, point-to-point latency, collective algorithms
+/// (tree vs flat), barrier, loop schedules, and the mutual-exclusion
+/// mechanisms behind the Fig. 30 lesson.
+
+#include <benchmark/benchmark.h>
+
+#include "mp/mp.hpp"
+#include "smp/smp.hpp"
+#include "thread/mutex.hpp"
+#include "thread/pool.hpp"
+#include "thread/stealing.hpp"
+#include "thread/thread.hpp"
+
+namespace {
+
+using namespace pml;
+
+// ---- Mailbox / point-to-point --------------------------------------------
+
+void BM_MailboxDeliverReceive(benchmark::State& state) {
+  mp::Mailbox mb;
+  const auto payload = mp::Codec<int>::encode(42);
+  for (auto _ : state) {
+    mb.deliver(mp::Envelope{0, 0, 0, payload});
+    benchmark::DoNotOptimize(mb.receive(0, 0, 0));
+  }
+}
+BENCHMARK(BM_MailboxDeliverReceive);
+
+void BM_PingPong(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mp::run(2, [&](mp::Communicator& comm) {
+      for (int i = 0; i < rounds; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(i, 1);
+          benchmark::DoNotOptimize(comm.recv<int>(1));
+        } else {
+          const int v = comm.recv<int>(0);
+          comm.send(v, 0);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_PingPong)->Arg(64)->Arg(512);
+
+// ---- Collectives: tree vs flat ablation -----------------------------------
+
+void BM_BroadcastTree(benchmark::State& state) {
+  const int np = static_cast<int>(state.range(0));
+  const std::vector<long> payload(256, 7);
+  for (auto _ : state) {
+    mp::run(np, [&](mp::Communicator& comm) {
+      benchmark::DoNotOptimize(comm.broadcast(payload, 0));
+    });
+  }
+}
+BENCHMARK(BM_BroadcastTree)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_BroadcastFlat(benchmark::State& state) {
+  const int np = static_cast<int>(state.range(0));
+  const std::vector<long> payload(256, 7);
+  for (auto _ : state) {
+    mp::run(np, [&](mp::Communicator& comm) {
+      benchmark::DoNotOptimize(comm.flat_broadcast(payload, 0));
+    });
+  }
+}
+BENCHMARK(BM_BroadcastFlat)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ReduceTree(benchmark::State& state) {
+  const int np = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mp::run(np, [&](mp::Communicator& comm) {
+      benchmark::DoNotOptimize(
+          comm.reduce(static_cast<long>(comm.rank()), mp::op_sum<long>(), 0));
+    });
+  }
+}
+BENCHMARK(BM_ReduceTree)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ReduceFlat(benchmark::State& state) {
+  const int np = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mp::run(np, [&](mp::Communicator& comm) {
+      benchmark::DoNotOptimize(
+          comm.flat_reduce(static_cast<long>(comm.rank()), mp::op_sum<long>(), 0));
+    });
+  }
+}
+BENCHMARK(BM_ReduceFlat)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_AllreduceClassic(benchmark::State& state) {
+  const int np = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mp::run(np, [&](mp::Communicator& comm) {
+      benchmark::DoNotOptimize(
+          comm.allreduce(static_cast<long>(comm.rank()), mp::op_sum<long>()));
+    });
+  }
+}
+BENCHMARK(BM_AllreduceClassic)->Arg(4)->Arg(16);
+
+void BM_AllreduceButterfly(benchmark::State& state) {
+  const int np = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mp::run(np, [&](mp::Communicator& comm) {
+      benchmark::DoNotOptimize(comm.butterfly_allreduce(
+          static_cast<long>(comm.rank()), mp::op_sum<long>()));
+    });
+  }
+}
+BENCHMARK(BM_AllreduceButterfly)->Arg(4)->Arg(16);
+
+void BM_DisseminationBarrier(benchmark::State& state) {
+  const int np = static_cast<int>(state.range(0));
+  const int reps = 32;
+  for (auto _ : state) {
+    mp::run(np, [&](mp::Communicator& comm) {
+      for (int i = 0; i < reps; ++i) comm.barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * reps);
+}
+BENCHMARK(BM_DisseminationBarrier)->Arg(2)->Arg(8);
+
+void BM_CentralBarrier(benchmark::State& state) {
+  // The shared-memory central (sense-reversing) barrier for contrast.
+  const int parties = static_cast<int>(state.range(0));
+  const int reps = 32;
+  for (auto _ : state) {
+    pml::thread::Barrier barrier(parties);
+    pml::thread::fork_join(parties, [&](int) {
+      for (int i = 0; i < reps; ++i) barrier.arrive_and_wait();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * reps);
+}
+BENCHMARK(BM_CentralBarrier)->Arg(2)->Arg(8);
+
+// ---- Loop schedules ---------------------------------------------------------
+
+void schedule_bench(benchmark::State& state, const smp::Schedule& schedule) {
+  const std::int64_t n = 4096;
+  for (auto _ : state) {
+    std::atomic<long> sink{0};
+    smp::parallel_for(2, 0, n, schedule, [&](int, std::int64_t i) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(sink.load());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_ScheduleStatic(benchmark::State& state) {
+  schedule_bench(state, smp::Schedule::static_equal());
+}
+void BM_ScheduleChunks1(benchmark::State& state) {
+  schedule_bench(state, smp::Schedule::static_chunks(1));
+}
+void BM_ScheduleDynamic(benchmark::State& state) {
+  schedule_bench(state, smp::Schedule::dynamic(16));
+}
+void BM_ScheduleGuided(benchmark::State& state) {
+  schedule_bench(state, smp::Schedule::guided(16));
+}
+BENCHMARK(BM_ScheduleStatic);
+BENCHMARK(BM_ScheduleChunks1);
+BENCHMARK(BM_ScheduleDynamic);
+BENCHMARK(BM_ScheduleGuided);
+
+// ---- Mutual exclusion mechanisms (the Fig. 30 ablation) --------------------
+
+void BM_DepositsAtomic(benchmark::State& state) {
+  const long reps = 100000;
+  for (auto _ : state) {
+    double balance = 0.0;
+    smp::parallel_for(4, 0, reps,
+                      [&](int, std::int64_t) { smp::atomic_add(balance, 1.0); });
+    benchmark::DoNotOptimize(balance);
+  }
+  state.SetItemsProcessed(state.iterations() * reps);
+}
+BENCHMARK(BM_DepositsAtomic);
+
+void BM_DepositsCritical(benchmark::State& state) {
+  const long reps = 100000;
+  for (auto _ : state) {
+    double balance = 0.0;
+    smp::parallel(4, [&](smp::Region& region) {
+      region.for_each(0, reps, smp::Schedule::static_equal(), [&](std::int64_t) {
+        region.critical([&] { balance += 1.0; });
+      });
+    });
+    benchmark::DoNotOptimize(balance);
+  }
+  state.SetItemsProcessed(state.iterations() * reps);
+}
+BENCHMARK(BM_DepositsCritical);
+
+void BM_DepositsSpinlock(benchmark::State& state) {
+  const long reps = 100000;
+  for (auto _ : state) {
+    double balance = 0.0;
+    pml::thread::Spinlock lock;
+    smp::parallel_for(4, 0, reps, [&](int, std::int64_t) {
+      lock.lock();
+      balance += 1.0;
+      lock.unlock();
+    });
+    benchmark::DoNotOptimize(balance);
+  }
+  state.SetItemsProcessed(state.iterations() * reps);
+}
+BENCHMARK(BM_DepositsSpinlock);
+
+void BM_DepositsLocalSums(benchmark::State& state) {
+  // The reduction-style fix: no synchronization in the hot loop at all.
+  const long reps = 100000;
+  for (auto _ : state) {
+    const double balance = smp::parallel_for_reduce<double>(
+        4, 0, reps, smp::Schedule::static_equal(), smp::op_plus<double>(),
+        [](std::int64_t) { return 1.0; });
+    benchmark::DoNotOptimize(balance);
+  }
+  state.SetItemsProcessed(state.iterations() * reps);
+}
+BENCHMARK(BM_DepositsLocalSums);
+
+// ---- Pool topology ablation: central queue vs work stealing ----------------
+
+void BM_PoolCentralQueue(benchmark::State& state) {
+  const int tasks = 2048;
+  for (auto _ : state) {
+    pml::thread::Pool pool(4);
+    std::atomic<long> sink{0};
+    for (int i = 0; i < tasks; ++i) {
+      pool.submit([&](int) { sink.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    benchmark::DoNotOptimize(sink.load());
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_PoolCentralQueue);
+
+void BM_PoolWorkStealing(benchmark::State& state) {
+  const int tasks = 2048;
+  for (auto _ : state) {
+    pml::thread::StealingPool pool(4);
+    std::atomic<long> sink{0};
+    for (int i = 0; i < tasks; ++i) {
+      pool.submit([&] { sink.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    benchmark::DoNotOptimize(sink.load());
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_PoolWorkStealing);
+
+// ---- Team / region overheads ------------------------------------------------
+
+void BM_ParallelRegionForkJoin(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::atomic<int> sink{0};
+    smp::parallel(threads, [&](smp::Region& region) {
+      sink.fetch_add(region.thread_num(), std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(sink.load());
+  }
+}
+BENCHMARK(BM_ParallelRegionForkJoin)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_RegionReduce(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    long result = 0;
+    smp::parallel(threads, [&](smp::Region& region) {
+      const long sum = region.reduce(static_cast<long>(region.thread_num()),
+                                     [](long a, long b) { return a + b; }, 0L);
+      region.master([&] { result = sum; });
+    });
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_RegionReduce)->Arg(2)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+/// \file tab_collection_census.cpp
+/// \brief Reproduces the paper's collection census (abstract / §III): 44
+/// patternlets — 16 MPI, 17 OpenMP, 9 Pthreads, 2 heterogeneous — and the
+/// §II.B catalog claims (UIUC: 62 patterns / 10 categories; OPL: 56 / 10),
+/// plus the patternlet-to-catalog coverage table.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "patterns/catalog.hpp"
+#include "patternlets/patternlets.hpp"
+
+int main() {
+  using namespace pml;
+  using namespace pml::patterns;
+  Registry& reg = patternlets::ensure_registered();
+
+  bench::banner("TAB-COLLECTION — collection census and catalog coverage",
+                "The paper's inventory claims, regenerated from the registry.");
+
+  bench::section("Patternlet census (paper: 16 MPI, 17 OpenMP, 9 Pthreads, 2 hetero)");
+  const Census c = reg.census();
+  std::printf("  %-15s %3d (paper: 16)\n", "MPI", c.mpi);
+  std::printf("  %-15s %3d (paper: 17)\n", "OpenMP", c.openmp);
+  std::printf("  %-15s %3d (paper:  9)\n", "Pthreads", c.pthreads);
+  std::printf("  %-15s %3d (paper:  2)\n", "Heterogeneous", c.heterogeneous);
+  std::printf("  %-15s %3d (paper: 44)\n", "TOTAL", c.total());
+
+  bench::section("The collection, by technology");
+  for (Tech tech : {Tech::kOpenMP, Tech::kMPI, Tech::kPthreads, Tech::kHeterogeneous}) {
+    std::printf("  [%s]\n", to_string(tech));
+    for (const Patternlet* p : reg.by_tech(tech)) {
+      std::string patterns;
+      for (const auto& name : p->patterns) {
+        if (!patterns.empty()) patterns += ", ";
+        patterns += name;
+      }
+      std::printf("    %-30s teaches: %s\n", p->slug.c_str(), patterns.c_str());
+    }
+  }
+
+  bench::section("Catalogs (paper §II.B)");
+  for (const Catalog* cat : {&uiuc_catalog(), &opl_catalog()}) {
+    std::printf("  %-38s %2zu patterns, %2zu categories\n", cat->name().c_str(),
+                cat->size(), cat->categories().size());
+    for (const auto& layer : {Layer::kArchitectural, Layer::kAlgorithmic,
+                              Layer::kImplementation}) {
+      std::printf("    %-16s %2zu patterns\n", to_string(layer),
+                  cat->by_layer(layer).size());
+    }
+  }
+
+  bench::section("Patternlet coverage of each catalog");
+  for (const Catalog* cat : {&uiuc_catalog(), &opl_catalog()}) {
+    const CoverageReport report = coverage(*cat, reg);
+    std::printf("  %s: %zu/%zu patterns have a teaching patternlet (%.0f%%)\n",
+                cat->name().c_str(), report.taught.size(), cat->size(),
+                report.fraction_taught() * 100.0);
+    std::printf("    taught:");
+    for (const auto& name : report.taught) std::printf(" [%s]", name.c_str());
+    std::printf("\n");
+  }
+
+  bench::section("Cross-catalog naming (the paper's 'subtle differences')");
+  for (const auto& corr : catalog_correspondence()) {
+    if (!corr.note.empty()) {
+      std::printf("  UIUC '%s'  ~  OPL '%s'  (%s)\n", corr.uiuc_name.c_str(),
+                  corr.opl_name.c_str(), corr.note.c_str());
+    }
+  }
+
+  bench::section("Shape checks");
+  bench::shape_check("census is 16/17/9/2 = 44",
+                     c.mpi == 16 && c.openmp == 17 && c.pthreads == 9 &&
+                         c.heterogeneous == 2 && c.total() == 44);
+  bench::shape_check("UIUC catalog: 62 patterns in 10 categories",
+                     uiuc_catalog().size() == 62 &&
+                         uiuc_catalog().categories().size() == 10);
+  bench::shape_check("OPL catalog: 56 patterns in 10 categories",
+                     opl_catalog().size() == 56 &&
+                         opl_catalog().categories().size() == 10);
+  return 0;
+}

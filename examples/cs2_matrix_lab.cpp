@@ -1,0 +1,63 @@
+/// \file cs2_matrix_lab.cpp
+/// \brief The CS2 Tuesday closed-lab (paper §IV.A), runnable end to end:
+/// time the Matrix's sequential add/transpose, parallelize them with the
+/// worksharing substrate, sweep thread counts, and print the chart students
+/// build in their spreadsheet.
+///
+/// Usage: cs2_matrix_lab [matrix-size] [max-threads]   (default 600 8)
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "edu/matrix.hpp"
+#include "edu/speedup.hpp"
+#include "smp/wtime.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 600;
+  const int max_threads = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  std::printf("CS2 Matrix lab: %zux%zu doubles, up to %d threads.\n\n", n, n,
+              max_threads);
+
+  pml::edu::Matrix a(n, n);
+  pml::edu::Matrix b(n, n);
+  a.fill_with([](std::size_t r, std::size_t c) {
+    return static_cast<double>(r + c);
+  });
+  b.fill_with([](std::size_t r, std::size_t c) {
+    return static_cast<double>(r) * 0.5 - static_cast<double>(c);
+  });
+
+  // Step (a): time the sequential operations.
+  pml::smp::Stopwatch sw;
+  const pml::edu::Matrix seq_sum = a.add(b);
+  std::printf("sequential addition:  %.6f s\n", sw.elapsed());
+  sw.reset();
+  const pml::edu::Matrix seq_tr = a.transpose();
+  std::printf("sequential transpose: %.6f s\n\n", sw.elapsed());
+
+  // Steps (b)-(c): parallelize and time with varying thread counts.
+  std::vector<int> counts;
+  for (int t = 1; t <= max_threads; t *= 2) counts.push_back(t);
+
+  pml::edu::SpeedupTable add_table("Parallel addition");
+  add_table.measure(counts, [&](int t) { (void)a.add_parallel(b, t); });
+
+  pml::edu::SpeedupTable tr_table("Parallel transpose");
+  tr_table.measure(counts, [&](int t) { (void)a.transpose_parallel(t); });
+
+  // Sanity: parallel results must match sequential ones.
+  const bool ok = a.add_parallel(b, counts.back()) == seq_sum &&
+                  a.transpose_parallel(counts.back()) == seq_tr;
+  std::printf("parallel results match sequential: %s\n\n", ok ? "yes" : "NO");
+
+  // Step (d): the chart.
+  std::printf("%s\n", add_table.to_string().c_str());
+  std::printf("%s\n", tr_table.to_string().c_str());
+
+  std::printf("Lab questions: where does the speedup stop growing, and why? "
+              "What happens past the machine's core count?\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+/// \file friday_sorting.cpp
+/// \brief The Friday CS2 session (paper §IV.A): an active-learning
+/// exploration of parallel sorting culminating in parallel merge-sort.
+///
+/// Times sequential merge sort against the task-parallel version at
+/// several thread counts and grain sizes — the grain-size sweep is the
+/// discussion the session builds toward (when does splitting stop paying?).
+///
+/// Usage: friday_sorting [elements] [max-threads]   (default 400000 4)
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "edu/sorting.hpp"
+#include "edu/speedup.hpp"
+#include "smp/wtime.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 400000;
+  const int max_threads = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  std::printf("Friday session: parallel merge sort, %zu elements.\n\n", n);
+
+  // Baseline: the sequential algorithm the class writes first.
+  const auto input = pml::edu::random_values(n);
+  {
+    auto v = input;
+    pml::smp::Stopwatch sw;
+    pml::edu::merge_sort(v);
+    std::printf("sequential merge sort: %.4f s (%s)\n\n", sw.elapsed(),
+                pml::edu::is_sorted_nondecreasing(v) ? "sorted" : "NOT SORTED");
+  }
+
+  // Thread sweep at a sensible grain.
+  std::vector<int> counts;
+  for (int t = 1; t <= max_threads; t *= 2) counts.push_back(t);
+  pml::edu::SpeedupTable table("Task-parallel merge sort (grain 4096)");
+  table.measure(counts, [&](int threads) {
+    auto v = input;
+    pml::edu::parallel_merge_sort(v, threads, 4096);
+  });
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Grain sweep at the max thread count: the overhead-vs-parallelism knob.
+  std::printf("Grain-size sweep at %d threads:\n", max_threads);
+  std::printf("  %10s %12s\n", "grain", "seconds");
+  for (std::size_t grain : {256u, 1024u, 4096u, 16384u, 65536u}) {
+    auto v = input;
+    pml::smp::Stopwatch sw;
+    pml::edu::parallel_merge_sort(v, max_threads, grain);
+    const double secs = sw.elapsed();
+    std::printf("  %10zu %12.4f %s\n", grain, secs,
+                pml::edu::is_sorted_nondecreasing(v) ? "" : "NOT SORTED!");
+  }
+
+  std::printf("\nDiscussion: why does a tiny grain hurt even with free "
+              "threads? What limits speedup at the top end?\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+/// \file live_coding_demo.cpp
+/// \brief The classroom live-coding session (paper §IV.A): the Monday /
+/// Wednesday CS2 demos, scripted. Walks the same arc the instructor does —
+/// SPMD hello, the barrier, the parallel loop, the reduction race and its
+/// fix, and the price of mutual exclusion — answering the students'
+/// "what if you change..." at each step by re-running with a different
+/// configuration.
+///
+/// Usage: live_coding_demo [tasks]   (default 4)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/runner.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace {
+
+void narrate(const std::string& text) { std::printf("\n== %s\n", text.c_str()); }
+
+void show(const pml::RunResult& r) {
+  for (const auto& line : r.output) std::printf("   %s\n", line.text.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int tasks = argc > 1 ? std::atoi(argv[1]) : 4;
+  pml::patternlets::ensure_registered();
+  std::printf("CS2 live-coding demo, %d tasks. (paper §IV.A)\n", tasks);
+
+  narrate("Here is a complete program. Let's run it.");
+  pml::RunSpec plain;
+  plain.tasks = tasks;
+  show(pml::run("omp/spmd", plain));
+
+  narrate("Now I uncomment ONE line — #pragma omp parallel — and rerun.");
+  pml::RunSpec parallel_on;
+  parallel_on.tasks = tasks;
+  parallel_on.toggle_overrides = {{"omp parallel", true}};
+  show(pml::run("omp/spmd", parallel_on));
+
+  narrate("'What if you run it again?' — let's see (watch the order):");
+  show(pml::run("omp/spmd", parallel_on));
+
+  narrate("Every thread prints BEFORE and AFTER. Notice how they mix:");
+  pml::RunSpec barrier_off;
+  barrier_off.tasks = tasks;
+  show(pml::run("omp/barrier", barrier_off));
+
+  narrate("Uncomment #pragma omp barrier. Now no AFTER can beat a BEFORE:");
+  pml::RunSpec barrier_on;
+  barrier_on.tasks = tasks;
+  barrier_on.toggle_overrides = {{"omp barrier", true}};
+  show(pml::run("omp/barrier", barrier_on));
+
+  narrate("A loop of 8 iterations, workshared. Who does what?");
+  pml::RunSpec loop2;
+  loop2.tasks = 2;
+  show(pml::run("omp/parallelLoopEqualChunks", loop2));
+
+  narrate("'What if you use 4 threads?'");
+  pml::RunSpec loop4;
+  loop4.tasks = 4;
+  show(pml::run("omp/parallelLoopEqualChunks", loop4));
+
+  narrate("Summing a million numbers in parallel. First try — just parallel for:");
+  pml::RunSpec racy;
+  racy.tasks = tasks;
+  racy.toggle_overrides = {{"omp parallel for", true}};
+  show(pml::run("omp/reduction", racy));
+
+  narrate("The parallel sum is WRONG — a data race. The fix: reduction(+:sum).");
+  pml::RunSpec fixed;
+  fixed.tasks = tasks;
+  fixed.all_toggles = true;
+  show(pml::run("omp/reduction", fixed));
+
+  narrate("Finally: protecting $1 deposits with atomic vs critical. Both are "
+          "correct — compare the cost:");
+  pml::RunSpec bank;
+  bank.tasks = tasks;
+  bank.params = {{"reps", 300000}};
+  show(pml::run("omp/critical2", bank));
+
+  narrate("That concludes the demo. Each program is in the registry with an "
+          "exercise — try them yourself.");
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// \file mandelbrot.cpp
+/// \brief The classic dynamic master-worker showcase: render the Mandelbrot
+/// set with image rows as farm tasks. Row costs vary wildly (points inside
+/// the set iterate to the cap), which is exactly why the demand-driven farm
+/// beats a static row split — the paper's Master-Worker pattern earning its
+/// keep on a real workload.
+///
+/// Usage: mandelbrot [width] [height] [ranks]   (default 72 34 4)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mp/mp.hpp"
+
+namespace {
+
+constexpr int kMaxIter = 256;
+
+/// Escape-time iterations for point c = (re, im).
+int mandel(double re, double im) {
+  double x = 0.0;
+  double y = 0.0;
+  int it = 0;
+  while (x * x + y * y <= 4.0 && it < kMaxIter) {
+    const double nx = x * x - y * y + re;
+    y = 2.0 * x * y + im;
+    x = nx;
+    ++it;
+  }
+  return it;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int width = argc > 1 ? std::atoi(argv[1]) : 72;
+  const int height = argc > 2 ? std::atoi(argv[2]) : 34;
+  const int ranks = argc > 3 ? std::atoi(argv[3]) : 4;
+
+  std::printf("Mandelbrot %dx%d over a %d-rank task farm (rows = tasks).\n\n",
+              width, height, ranks);
+
+  std::vector<std::string> rows(static_cast<std::size_t>(height));
+  pml::mp::FarmStats stats;
+  pml::mp::run(ranks, [&](pml::mp::Communicator& comm) {
+    // Tasks: row indices. Results: rendered ASCII rows.
+    std::vector<long> tasks(static_cast<std::size_t>(height));
+    for (int r = 0; r < height; ++r) tasks[static_cast<std::size_t>(r)] = r;
+
+    const std::function<std::string(const long&)> render_row = [&](const long& row) {
+      std::string line(static_cast<std::size_t>(width), ' ');
+      const double im = -1.2 + 2.4 * static_cast<double>(row) / (height - 1);
+      for (int col = 0; col < width; ++col) {
+        const double re = -2.1 + 3.0 * static_cast<double>(col) / (width - 1);
+        const int it = mandel(re, im);
+        line[static_cast<std::size_t>(col)] =
+            it >= kMaxIter ? '@' : " .,:;+*#%"[std::min(it / 8, 8)];
+      }
+      return line;
+    };
+
+    const auto rendered =
+        pml::mp::task_farm<long, std::string>(comm, tasks, render_row, 0, &stats);
+    if (comm.rank() == 0) rows = rendered;
+  });
+
+  for (const auto& row : rows) std::printf("%s\n", row.c_str());
+
+  std::printf("\nrows rendered per rank (demand-driven):");
+  for (std::size_t r = 0; r < stats.tasks_per_worker.size(); ++r) {
+    std::printf(" r%zu=%ld", r, stats.tasks_per_worker[r]);
+  }
+  std::printf("\n(rank 0 coordinates; compare the spread with a static "
+              "height/%d split given how uneven row costs are)\n",
+              ranks > 1 ? ranks - 1 : 1);
+  return 0;
+}

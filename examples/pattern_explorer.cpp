@@ -1,0 +1,97 @@
+/// \file pattern_explorer.cpp
+/// \brief Browse the two pattern catalogs (UIUC and OPL, paper §II.B) and
+/// the patternlets that teach each pattern.
+///
+/// Usage:
+///   pattern_explorer              # overview of both catalogs
+///   pattern_explorer <pattern>    # details + teaching patternlets, e.g.
+///                                 #   pattern_explorer Reduction
+
+#include <cstdio>
+#include <string>
+
+#include "patterns/catalog.hpp"
+#include "patterns/exemplars.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace {
+
+void describe(const pml::patterns::Catalog& catalog, const std::string& query,
+              const pml::Registry& registry) {
+  const pml::patterns::Pattern* p = catalog.find(query);
+  if (p == nullptr) {
+    std::printf("  %s: no pattern named '%s'\n", catalog.name().c_str(),
+                query.c_str());
+    return;
+  }
+  std::printf("  [%s]\n", catalog.name().c_str());
+  std::printf("    name:        %s\n", p->name.c_str());
+  std::printf("    layer:       %s\n", pml::patterns::to_string(p->layer));
+  std::printf("    category:    %s\n", p->category.c_str());
+  std::printf("    description: %s\n", p->description.c_str());
+  if (!p->aliases.empty()) {
+    std::printf("    aliases:    ");
+    for (const auto& a : p->aliases) std::printf(" %s", a.c_str());
+    std::printf("\n");
+  }
+  // Which patternlets teach it (by canonical name or alias)?
+  std::printf("    taught by:  ");
+  bool any = false;
+  for (const auto& patternlet : registry.all()) {
+    for (const auto& taught : patternlet.patterns) {
+      if (catalog.find(taught) == p) {
+        std::printf(" %s", patternlet.slug.c_str());
+        any = true;
+        break;
+      }
+    }
+  }
+  std::printf("%s\n", any ? "" : " (no patternlet yet)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using pml::patterns::Layer;
+  const pml::Registry& registry = pml::patternlets::ensure_registered();
+  const auto& uiuc = pml::patterns::uiuc_catalog();
+  const auto& opl = pml::patterns::opl_catalog();
+
+  if (argc > 1) {
+    const std::string query = argv[1];
+    std::printf("Looking up '%s':\n", query.c_str());
+    describe(uiuc, query, registry);
+    describe(opl, query, registry);
+    const auto used_in = pml::patterns::exemplars_using(query);
+    if (!used_in.empty()) {
+      std::printf("  [exemplars — 'real world' uses, paper §V]\n");
+      for (const auto* e : used_in) {
+        std::printf("    examples/%-16s %s\n", e->binary.c_str(), e->problem.c_str());
+      }
+    }
+    return 0;
+  }
+
+  std::printf("Parallel design pattern catalogs (paper §II.B)\n\n");
+  for (const auto* catalog : {&uiuc, &opl}) {
+    std::printf("%s — %zu patterns, %zu categories\n", catalog->name().c_str(),
+                catalog->size(), catalog->categories().size());
+    for (const auto& category : catalog->categories()) {
+      const auto members = catalog->by_category(category);
+      std::printf("  %-45s (%zu)\n", category.c_str(), members.size());
+      for (const auto* p : members) {
+        std::printf("      %-38s [%s]\n", p->name.c_str(),
+                    pml::patterns::to_string(p->layer));
+      }
+    }
+    std::printf("\n");
+  }
+
+  const auto coverage_uiuc = pml::patterns::coverage(uiuc, registry);
+  const auto coverage_opl = pml::patterns::coverage(opl, registry);
+  std::printf("Patternlet coverage: UIUC %zu/%zu, OPL %zu/%zu patterns taught.\n",
+              coverage_uiuc.taught.size(), uiuc.size(), coverage_opl.taught.size(),
+              opl.size());
+  std::printf("Try: pattern_explorer Reduction\n");
+  return 0;
+}

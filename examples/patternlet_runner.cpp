@@ -1,0 +1,142 @@
+/// \file patternlet_runner.cpp
+/// \brief Command-line front end to the collection — the "folder with a
+/// Makefile" experience of the original distribution, for all 44 programs.
+///
+/// Usage:
+///   patternlet_runner --list                      # the whole collection
+///   patternlet_runner --show omp/reduction        # metadata + exercise
+///   patternlet_runner omp/spmd                    # run as shipped
+///   patternlet_runner omp/spmd -t 8 --on "omp parallel"
+///   patternlet_runner omp/reduction -t 4 --all-on -p size=100000
+///   patternlet_runner mpi/gather -t 6
+///   patternlet_runner omp/barrier -t 4 --on "omp barrier" --timeline
+///   patternlet_runner --listing omp/reduction  # the paper's original C
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/runner.hpp"
+#include "core/timeline.hpp"
+#include "patternlets/listings.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace {
+
+int list_collection(const pml::Registry& reg) {
+  const pml::Census c = reg.census();
+  std::printf("%d patternlets (%d MPI, %d OpenMP, %d Pthreads, %d heterogeneous)\n\n",
+              c.total(), c.mpi, c.openmp, c.pthreads, c.heterogeneous);
+  for (const auto& p : reg.all()) {
+    std::printf("  %-30s %-14s", p.slug.c_str(), pml::to_string(p.tech));
+    for (const auto& name : p.patterns) std::printf(" [%s]", name.c_str());
+    std::printf("\n");
+  }
+  std::printf("\nRun one with: patternlet_runner <slug> [-t N] [--on TOGGLE] "
+              "[--off TOGGLE] [--all-on] [-p key=value]\n");
+  return 0;
+}
+
+int show(const pml::Patternlet& p) {
+  std::printf("%s  (%s)\n", p.slug.c_str(), p.title.c_str());
+  std::printf("technology: %s\n", pml::to_string(p.tech));
+  std::printf("patterns:  ");
+  for (const auto& name : p.patterns) std::printf(" %s", name.c_str());
+  std::printf("\ndefault tasks: %d\n\n", p.default_tasks);
+  std::printf("%s\n\nEXERCISE\n%s\n", p.summary.c_str(), p.exercise.c_str());
+  if (!p.toggles.empty()) {
+    std::printf("\nTOGGLES (the 'uncomment this directive' steps)\n");
+    for (const auto& t : p.toggles) {
+      std::printf("  %-24s default %-3s  %s\n", t.name.c_str(),
+                  t.default_on ? "on" : "off", t.description.c_str());
+    }
+  }
+  return 0;
+}
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n(try --list)\n", message.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pml::Registry& reg = pml::patternlets::ensure_registered();
+  if (argc < 2) return list_collection(reg);
+
+  std::string slug;
+  bool show_only = false;
+  bool listing_only = false;
+  bool timeline = false;
+  pml::RunSpec spec;
+  spec.mirror_stdout = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) usage_error(std::string(what) + " needs an argument");
+      return argv[++i];
+    };
+    if (arg == "--list") return list_collection(reg);
+    if (arg == "--show") {
+      show_only = true;
+      slug = next("--show");
+    } else if (arg == "--listing") {
+      listing_only = true;
+      slug = next("--listing");
+    } else if (arg == "--timeline") {
+      timeline = true;
+    } else if (arg == "-t" || arg == "--tasks") {
+      spec.tasks = std::atoi(next("-t").c_str());
+    } else if (arg == "--on") {
+      spec.toggle_overrides.emplace_back(next("--on"), true);
+    } else if (arg == "--off") {
+      spec.toggle_overrides.emplace_back(next("--off"), false);
+    } else if (arg == "--all-on") {
+      spec.all_toggles = true;
+    } else if (arg == "--all-off") {
+      spec.all_toggles = false;
+    } else if (arg == "-p" || arg == "--param") {
+      const std::string kv = next("-p");
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) usage_error("-p expects key=value");
+      spec.params[kv.substr(0, eq)] = std::atol(kv.substr(eq + 1).c_str());
+    } else if (!arg.empty() && arg[0] != '-') {
+      slug = arg;
+    } else {
+      usage_error("unknown flag '" + arg + "'");
+    }
+  }
+
+  if (slug.empty()) usage_error("no patternlet named");
+  const pml::Patternlet* p = reg.find(slug);
+  if (p == nullptr) usage_error("no such patternlet: " + slug);
+  if (show_only) return show(*p);
+  if (listing_only) {
+    const auto listing = pml::patternlets::listing_for(slug);
+    if (!listing) {
+      std::fprintf(stderr, "the paper prints no full listing for %s\n", slug.c_str());
+      return 1;
+    }
+    std::printf("// %s — %s (paper %s)\n%s", listing->filename.c_str(),
+                p->title.c_str(), listing->figure.c_str(), listing->code.c_str());
+    return 0;
+  }
+
+  try {
+    const pml::RunResult result = pml::run(*p, spec);
+    for (const auto& line : result.output) std::printf("%s\n", line.text.c_str());
+    if (timeline) {
+      std::printf("\n%s", pml::render_timeline(result.output).c_str());
+    }
+    std::fprintf(stderr, "\n[%s | %d tasks | %s | %.3f ms]\n", p->slug.c_str(),
+                 result.tasks, result.toggles.to_string().c_str(),
+                 result.seconds * 1e3);
+  } catch (const pml::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

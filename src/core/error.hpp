@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file error.hpp
+/// \brief Exception hierarchy for the pml library.
+///
+/// All substrates throw pml::Error subclasses so callers can distinguish
+/// usage errors (wrong rank, unknown toggle) from runtime failures
+/// (deadlock detected, runtime shut down).
+
+#include <stdexcept>
+#include <string>
+
+namespace pml {
+
+/// Base class of every exception thrown by the pml library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated an API precondition (bad rank, bad task count, ...).
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
+/// The message-passing or fork-join runtime detected an unrecoverable
+/// condition at run time (e.g. receiving from self with an empty mailbox,
+/// shutdown while blocked).
+class RuntimeFault : public Error {
+ public:
+  explicit RuntimeFault(const std::string& what) : Error(what) {}
+};
+
+/// A blocking operation exceeded its deadline. Thrown only by the
+/// deadline-aware variants used in tests and deadlock demonstrations.
+class TimeoutError : public RuntimeFault {
+ public:
+  explicit TimeoutError(const std::string& what) : RuntimeFault(what) {}
+};
+
+/// The message-passing runtime's watchdog proved the job can make no
+/// further progress (every rank blocked, nothing in flight) and aborted it.
+class DeadlockError : public RuntimeFault {
+ public:
+  explicit DeadlockError(const std::string& what) : RuntimeFault(what) {}
+};
+
+}  // namespace pml

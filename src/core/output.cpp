@@ -1,0 +1,103 @@
+#include "core/output.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+namespace pml {
+
+std::uint64_t OutputCapture::say(int task, std::string text, std::string phase) {
+  std::lock_guard lock(mu_);
+  const auto seq = static_cast<std::uint64_t>(lines_.size());
+  lines_.push_back(OutputLine{seq, task, std::move(phase), std::move(text)});
+  if (mirror_ != nullptr) {
+    *mirror_ << lines_.back().text << '\n';
+  }
+  return seq;
+}
+
+void OutputCapture::mirror_to(std::ostream* os) {
+  std::lock_guard lock(mu_);
+  mirror_ = os;
+}
+
+std::size_t OutputCapture::size() const {
+  std::lock_guard lock(mu_);
+  return lines_.size();
+}
+
+std::vector<OutputLine> OutputCapture::lines() const {
+  std::lock_guard lock(mu_);
+  return lines_;
+}
+
+std::vector<std::string> OutputCapture::texts() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(lines_.size());
+  for (const auto& l : lines_) out.push_back(l.text);
+  return out;
+}
+
+std::map<int, std::vector<OutputLine>> OutputCapture::by_task() const {
+  std::lock_guard lock(mu_);
+  std::map<int, std::vector<OutputLine>> out;
+  for (const auto& l : lines_) out[l.task].push_back(l);
+  return out;
+}
+
+std::string OutputCapture::str() const {
+  std::lock_guard lock(mu_);
+  std::string out;
+  for (const auto& l : lines_) {
+    out += l.text;
+    out += '\n';
+  }
+  return out;
+}
+
+void OutputCapture::clear() {
+  std::lock_guard lock(mu_);
+  lines_.clear();
+}
+
+bool phase_separated(const std::vector<OutputLine>& lines,
+                     const std::function<bool(const OutputLine&)>& early,
+                     const std::function<bool(const OutputLine&)>& late) {
+  std::uint64_t last_early = 0;
+  bool any_early = false;
+  std::uint64_t first_late = 0;
+  bool any_late = false;
+  for (const auto& l : lines) {
+    if (early(l)) {
+      any_early = true;
+      last_early = std::max(last_early, l.seq);
+    }
+    if (late(l)) {
+      if (!any_late || l.seq < first_late) first_late = l.seq;
+      any_late = true;
+    }
+  }
+  if (!any_early || !any_late) return true;
+  return last_early < first_late;
+}
+
+bool phases_interleaved(const std::vector<OutputLine>& lines,
+                        const std::function<bool(const OutputLine&)>& early,
+                        const std::function<bool(const OutputLine&)>& late) {
+  return !phase_separated(lines, early, late);
+}
+
+std::function<bool(const OutputLine&)> phase_is(std::string label) {
+  return [label = std::move(label)](const OutputLine& l) { return l.phase == label; };
+}
+
+std::vector<int> tasks_seen(const std::vector<OutputLine>& lines) {
+  std::set<int> ids;
+  for (const auto& l : lines) {
+    if (l.task >= 0) ids.insert(l.task);
+  }
+  return {ids.begin(), ids.end()};
+}
+
+}  // namespace pml

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file output.hpp
+/// \brief Thread-safe output capture for observing parallel interleavings.
+///
+/// Patternlets teach by *showing* nondeterministic interleaving of task
+/// output (paper Figs. 2-3, 8-9, 11-12, ...). stdout is neither thread-safe
+/// per line nor testable, so every patternlet writes through an
+/// OutputCapture: a globally-ordered, task-stamped log. The capture
+/// preserves the real arrival order (so interleavings remain visible) while
+/// making them assertable in tests.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pml {
+
+/// One captured line of patternlet output.
+struct OutputLine {
+  std::uint64_t seq = 0;  ///< Global arrival order (0-based, dense).
+  int task = -1;          ///< Task (thread or rank) id; -1 for the program itself.
+  std::string phase;      ///< Optional phase label, e.g. "BEFORE"/"AFTER".
+  std::string text;       ///< The printed text, without trailing newline.
+};
+
+/// Thread-safe, order-preserving log of task output.
+///
+/// All mutation is internally synchronized; snapshot accessors copy under
+/// the lock so analysis code never races with writers.
+class OutputCapture {
+ public:
+  OutputCapture() = default;
+
+  OutputCapture(const OutputCapture&) = delete;
+  OutputCapture& operator=(const OutputCapture&) = delete;
+
+  /// Appends a line attributed to \p task. Returns its global sequence no.
+  std::uint64_t say(int task, std::string text, std::string phase = {});
+
+  /// Appends a line attributed to the program (task = -1).
+  std::uint64_t program(std::string text) { return say(-1, std::move(text)); }
+
+  /// Mirrors every captured line to \p os as it arrives (for live demos).
+  /// Pass nullptr to stop mirroring. Not owned.
+  void mirror_to(std::ostream* os);
+
+  /// Number of captured lines.
+  std::size_t size() const;
+
+  /// Snapshot of all lines in arrival order.
+  std::vector<OutputLine> lines() const;
+
+  /// Snapshot of just the texts, in arrival order.
+  std::vector<std::string> texts() const;
+
+  /// Lines grouped by task id (arrival order preserved within a task).
+  std::map<int, std::vector<OutputLine>> by_task() const;
+
+  /// Joins all texts with '\n' (plus trailing newline if nonempty).
+  std::string str() const;
+
+  /// Removes all captured lines and resets the sequence counter.
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<OutputLine> lines_;
+  std::ostream* mirror_ = nullptr;
+};
+
+/// \name Interleaving analysis helpers
+/// Used by tests and benches to assert behavioral properties the paper's
+/// figures illustrate (e.g. "with a barrier, no AFTER precedes any BEFORE").
+/// @{
+
+/// True iff every line matching \p late appears after every line matching
+/// \p early (by global sequence). Vacuously true if either set is empty.
+bool phase_separated(const std::vector<OutputLine>& lines,
+                     const std::function<bool(const OutputLine&)>& early,
+                     const std::function<bool(const OutputLine&)>& late);
+
+/// True iff at least one line matching \p late appears before some line
+/// matching \p early — i.e. the two phases interleave.
+bool phases_interleaved(const std::vector<OutputLine>& lines,
+                        const std::function<bool(const OutputLine&)>& early,
+                        const std::function<bool(const OutputLine&)>& late);
+
+/// Convenience: phase label equality predicate.
+std::function<bool(const OutputLine&)> phase_is(std::string label);
+
+/// Distinct task ids that produced at least one line (excluding task -1).
+std::vector<int> tasks_seen(const std::vector<OutputLine>& lines);
+
+/// @}
+
+}  // namespace pml

@@ -1,0 +1,84 @@
+#include "core/registry.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/error.hpp"
+
+namespace pml {
+
+const char* to_string(Tech tech) noexcept {
+  switch (tech) {
+    case Tech::kOpenMP: return "OpenMP";
+    case Tech::kMPI: return "MPI";
+    case Tech::kPthreads: return "Pthreads";
+    case Tech::kHeterogeneous: return "Heterogeneous";
+  }
+  return "?";
+}
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+void Registry::add(Patternlet p) {
+  if (!p.body) throw UsageError("patternlet '" + p.slug + "' has no body");
+  if (p.slug.empty()) throw UsageError("patternlet must have a slug");
+  if (find(p.slug) != nullptr) throw UsageError("duplicate patternlet slug: " + p.slug);
+  items_.push_back(std::move(p));
+}
+
+std::vector<const Patternlet*> Registry::by_tech(Tech tech) const {
+  std::vector<const Patternlet*> out;
+  for (const auto& p : items_) {
+    if (p.tech == tech) out.push_back(&p);
+  }
+  return out;
+}
+
+std::vector<const Patternlet*> Registry::by_pattern(const std::string& pattern) const {
+  std::vector<const Patternlet*> out;
+  for (const auto& p : items_) {
+    if (std::find(p.patterns.begin(), p.patterns.end(), pattern) != p.patterns.end()) {
+      out.push_back(&p);
+    }
+  }
+  return out;
+}
+
+const Patternlet* Registry::find(const std::string& slug) const {
+  for (const auto& p : items_) {
+    if (p.slug == slug) return &p;
+  }
+  return nullptr;
+}
+
+const Patternlet& Registry::get(const std::string& slug) const {
+  const Patternlet* p = find(slug);
+  if (p == nullptr) throw UsageError("no such patternlet: " + slug);
+  return *p;
+}
+
+Census Registry::census() const {
+  Census c;
+  for (const auto& p : items_) {
+    switch (p.tech) {
+      case Tech::kOpenMP: ++c.openmp; break;
+      case Tech::kMPI: ++c.mpi; break;
+      case Tech::kPthreads: ++c.pthreads; break;
+      case Tech::kHeterogeneous: ++c.heterogeneous; break;
+    }
+  }
+  return c;
+}
+
+std::vector<std::string> Registry::patterns_taught() const {
+  std::set<std::string> names;
+  for (const auto& p : items_) names.insert(p.patterns.begin(), p.patterns.end());
+  return {names.begin(), names.end()};
+}
+
+void Registry::clear() { items_.clear(); }
+
+}  // namespace pml

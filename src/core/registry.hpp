@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file registry.hpp
+/// \brief The patternlet registry: metadata + runnable body for each of the
+/// collection's programs.
+///
+/// A patternlet in the paper is a folder containing a minimal C program, a
+/// Makefile, and a header comment with a student exercise. Here a patternlet
+/// is a registered record: identity, the technology style it teaches
+/// (MPI / OpenMP / Pthreads / heterogeneous — implemented over this
+/// library's from-scratch substrates), the design pattern(s) it introduces,
+/// the exercise text, its declared toggles ("uncomment this directive"),
+/// and a runnable body.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/output.hpp"
+#include "core/toggle.hpp"
+#include "core/trace.hpp"
+
+namespace pml {
+
+/// The parallel technology style a patternlet is written in.
+/// The names follow the paper; the implementations are this library's
+/// workalike substrates (pml::mp, pml::smp, pml::thread).
+enum class Tech {
+  kOpenMP,         ///< Fork-join / worksharing style (pml::smp).
+  kMPI,            ///< Message-passing style (pml::mp).
+  kPthreads,       ///< Explicit threading style (pml::thread).
+  kHeterogeneous,  ///< MPI+OpenMP hybrid (pml::mp + pml::smp).
+};
+
+/// Printable name ("OpenMP", "MPI", "Pthreads", "Heterogeneous").
+const char* to_string(Tech tech) noexcept;
+
+/// Everything a patternlet body receives when it runs.
+struct RunContext {
+  int tasks = 1;           ///< Requested number of tasks (threads or ranks).
+  ToggleSet toggles;       ///< Current directive on/off configuration.
+  OutputCapture& out;      ///< Where the patternlet "prints".
+  Trace& trace;            ///< Work-assignment trace.
+  /// Optional numeric parameters (e.g. {"reps", 8}); patternlets read them
+  /// via param() so defaults match the paper's listings.
+  std::map<std::string, long> params;
+
+  /// Parameter lookup with default.
+  long param(const std::string& name, long fallback) const {
+    auto it = params.find(name);
+    return it == params.end() ? fallback : it->second;
+  }
+};
+
+/// A registered patternlet.
+struct Patternlet {
+  std::string slug;     ///< Unique id, e.g. "omp/spmd", "mpi/gather".
+  std::string title;    ///< Display name, e.g. "spmd.c (OpenMP version)".
+  Tech tech = Tech::kOpenMP;
+  std::vector<std::string> patterns;  ///< Pattern names taught (catalog names).
+  std::string summary;                ///< One-paragraph description.
+  std::string exercise;               ///< The student exercise (header comment).
+  std::vector<Toggle> toggles;        ///< Declared directive toggles.
+  int default_tasks = 4;              ///< Task count used by demos.
+  std::function<void(RunContext&)> body;
+};
+
+/// Collection census by technology (paper abstract: 16/17/9/2 = 44).
+struct Census {
+  int openmp = 0;
+  int mpi = 0;
+  int pthreads = 0;
+  int heterogeneous = 0;
+  int total() const { return openmp + mpi + pthreads + heterogeneous; }
+};
+
+/// The process-wide patternlet collection.
+class Registry {
+ public:
+  /// The global registry instance.
+  static Registry& instance();
+
+  /// Registers a patternlet. Throws UsageError on duplicate slug or
+  /// missing body.
+  void add(Patternlet p);
+
+  /// All patternlets in registration order.
+  const std::vector<Patternlet>& all() const { return items_; }
+
+  /// Patternlets of one technology, registration order.
+  std::vector<const Patternlet*> by_tech(Tech tech) const;
+
+  /// Patternlets that teach a given pattern name (exact match).
+  std::vector<const Patternlet*> by_pattern(const std::string& pattern) const;
+
+  /// Lookup by slug; nullptr if absent.
+  const Patternlet* find(const std::string& slug) const;
+
+  /// Lookup by slug; throws UsageError if absent.
+  const Patternlet& get(const std::string& slug) const;
+
+  /// Counts per technology.
+  Census census() const;
+
+  /// Sorted list of every distinct pattern name taught by the collection.
+  std::vector<std::string> patterns_taught() const;
+
+  /// Removes everything (used by registry unit tests only).
+  void clear();
+
+ private:
+  std::vector<Patternlet> items_;
+};
+
+}  // namespace pml

@@ -1,0 +1,57 @@
+#include "core/runner.hpp"
+
+#include <chrono>
+#include <iostream>
+
+#include "core/error.hpp"
+
+namespace pml {
+
+std::vector<std::string> RunResult::texts() const {
+  std::vector<std::string> out;
+  out.reserve(output.size());
+  for (const auto& l : output) out.push_back(l.text);
+  return out;
+}
+
+std::string RunResult::output_str() const {
+  std::string out;
+  for (const auto& l : output) {
+    out += l.text;
+    out += '\n';
+  }
+  return out;
+}
+
+RunResult run(const Patternlet& p, const RunSpec& spec) {
+  const int tasks = spec.tasks > 0 ? spec.tasks : p.default_tasks;
+  if (tasks <= 0) throw UsageError("patternlet '" + p.slug + "': task count must be positive");
+
+  ToggleSet toggles{p.toggles};
+  if (spec.all_toggles.has_value()) toggles.set_all(*spec.all_toggles);
+  for (const auto& [name, value] : spec.toggle_overrides) toggles.set(name, value);
+
+  OutputCapture out;
+  if (spec.mirror_stdout) out.mirror_to(&std::cout);
+  Trace trace;
+  RunContext ctx{tasks, toggles, out, trace, spec.params};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  p.body(ctx);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.slug = p.slug;
+  result.tasks = tasks;
+  result.toggles = std::move(toggles);
+  result.output = out.lines();
+  result.trace = trace.events();
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+RunResult run(const std::string& slug, const RunSpec& spec) {
+  return run(Registry::instance().get(slug), spec);
+}
+
+}  // namespace pml

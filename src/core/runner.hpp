@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file runner.hpp
+/// \brief Executes a patternlet under a chosen configuration and collects
+/// its observable behavior.
+///
+/// This is the classroom projector: "run it with 1 thread; now uncomment the
+/// pragma; now run with 4". A RunSpec names the configuration, run() executes
+/// the body, and RunResult carries everything the paper's figures show —
+/// the captured output lines, the work trace, and the wall time.
+
+#include <optional>
+#include <string>
+
+#include "core/output.hpp"
+#include "core/registry.hpp"
+#include "core/toggle.hpp"
+#include "core/trace.hpp"
+
+namespace pml {
+
+/// Requested configuration for one patternlet execution.
+struct RunSpec {
+  int tasks = 0;  ///< 0 = use the patternlet's default_tasks.
+  /// (name, value) overrides applied on top of the declared defaults.
+  std::vector<std::pair<std::string, bool>> toggle_overrides;
+  /// If set, *every* declared toggle is forced to this value first
+  /// (then toggle_overrides apply). Mirrors "uncomment everything".
+  std::optional<bool> all_toggles;
+  std::map<std::string, long> params;  ///< Numeric parameter overrides.
+  bool mirror_stdout = false;          ///< Live-echo output (classroom mode).
+};
+
+/// Everything observable from one patternlet execution.
+struct RunResult {
+  std::string slug;                ///< Which patternlet ran.
+  int tasks = 0;                   ///< Task count actually used.
+  ToggleSet toggles;               ///< The configuration it ran with.
+  std::vector<OutputLine> output;  ///< Captured lines, arrival order.
+  std::vector<TraceEvent> trace;   ///< Work-assignment events.
+  double seconds = 0.0;            ///< Wall time of the body.
+
+  /// Output texts only, arrival order.
+  std::vector<std::string> texts() const;
+  /// Output joined with newlines.
+  std::string output_str() const;
+};
+
+/// Runs \p p under \p spec. Exceptions from the body propagate (a patternlet
+/// that throws is a bug; tests rely on this).
+RunResult run(const Patternlet& p, const RunSpec& spec = {});
+
+/// Convenience: looks up the slug in the global Registry and runs it.
+RunResult run(const std::string& slug, const RunSpec& spec = {});
+
+}  // namespace pml

@@ -1,0 +1,48 @@
+#include "core/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace pml {
+
+std::string render_timeline(const std::vector<OutputLine>& lines,
+                            const TimelineOptions& options) {
+  // Collect the participating lanes.
+  std::vector<const OutputLine*> shown;
+  std::map<int, std::size_t> lane_of;
+  for (const auto& l : lines) {
+    if (l.task < 0 && !options.include_program_lane) continue;
+    shown.push_back(&l);
+    lane_of.emplace(l.task, 0);
+  }
+  if (shown.empty()) return "";
+
+  std::size_t next_lane = 0;
+  for (auto& [task, lane] : lane_of) lane = next_lane++;
+
+  // Column per shown line, compressed if the run is wider than max_columns.
+  const std::size_t columns = std::min(options.max_columns, shown.size());
+  auto column_of = [&](std::size_t index) {
+    return shown.size() <= options.max_columns
+               ? index
+               : index * columns / shown.size();
+  };
+
+  std::vector<std::string> rows(lane_of.size(), std::string(columns, '.'));
+  for (std::size_t i = 0; i < shown.size(); ++i) {
+    const OutputLine& l = *shown[i];
+    const char mark = l.phase.empty() ? options.no_phase_mark : l.phase[0];
+    rows[lane_of.at(l.task)][column_of(i)] = mark;
+  }
+
+  // Label width: "task -1" is the widest ordinary label.
+  std::string out;
+  for (const auto& [task, lane] : lane_of) {
+    std::string label = task < 0 ? "program" : "task " + std::to_string(task);
+    label.resize(8, ' ');
+    out += label + "| " + rows[lane] + "\n";
+  }
+  return out;
+}
+
+}  // namespace pml

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file timeline.hpp
+/// \brief ASCII swimlane rendering of captured output — interleaving made
+/// visible.
+///
+/// The figures' lesson is often *when* lines appear relative to each other
+/// (BEFORE/AFTER mixing, phase separation). The timeline renders each task
+/// as a lane and each captured line as a mark at its global arrival column,
+/// so a whole run's interleaving is one glance:
+///
+///   task 0 | B.....A.
+///   task 1 | .B...A..
+///   task 2 | ..B.A...
+///
+/// Marks are the first letter of the line's phase label (or '*' when the
+/// line has no phase). Used by patternlet_runner --timeline and the docs.
+
+#include <string>
+#include <vector>
+
+#include "core/output.hpp"
+
+namespace pml {
+
+/// Options for render_timeline.
+struct TimelineOptions {
+  bool include_program_lane = false;  ///< Show task -1 (program) as a lane.
+  char no_phase_mark = '*';           ///< Mark for lines without a phase.
+  std::size_t max_columns = 120;      ///< Wider runs are compressed.
+};
+
+/// Renders the lines as an ASCII swimlane chart (one row per task,
+/// arrival order left to right). Returns "" for an empty capture.
+std::string render_timeline(const std::vector<OutputLine>& lines,
+                            const TimelineOptions& options = {});
+
+}  // namespace pml

@@ -1,0 +1,64 @@
+#include "core/toggle.hpp"
+
+namespace pml {
+
+ToggleSet::ToggleSet(std::vector<Toggle> declared) {
+  for (auto& t : declared) declare(std::move(t));
+}
+
+void ToggleSet::declare(Toggle t) {
+  for (const auto& existing : declared_) {
+    if (existing.name == t.name) {
+      throw UsageError("duplicate toggle declared: " + t.name);
+    }
+  }
+  value_.push_back(t.default_on);
+  declared_.push_back(std::move(t));
+}
+
+bool ToggleSet::has(const std::string& name) const {
+  for (const auto& t : declared_) {
+    if (t.name == name) return true;
+  }
+  return false;
+}
+
+std::size_t ToggleSet::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < declared_.size(); ++i) {
+    if (declared_[i].name == name) return i;
+  }
+  throw UsageError("unknown toggle: '" + name + "'");
+}
+
+bool ToggleSet::on(const std::string& name) const { return value_[index_of(name)]; }
+
+void ToggleSet::set(const std::string& name, bool value) { value_[index_of(name)] = value; }
+
+void ToggleSet::set_all(bool value) {
+  for (std::size_t i = 0; i < value_.size(); ++i) value_[i] = value;
+}
+
+void ToggleSet::reset() {
+  for (std::size_t i = 0; i < declared_.size(); ++i) value_[i] = declared_[i].default_on;
+}
+
+std::vector<std::pair<std::string, bool>> ToggleSet::values() const {
+  std::vector<std::pair<std::string, bool>> out;
+  out.reserve(declared_.size());
+  for (std::size_t i = 0; i < declared_.size(); ++i) {
+    out.emplace_back(declared_[i].name, static_cast<bool>(value_[i]));
+  }
+  return out;
+}
+
+std::string ToggleSet::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < declared_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += declared_[i].name;
+    out += value_[i] ? "=on" : "=off";
+  }
+  return out;
+}
+
+}  // namespace pml

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file toggle.hpp
+/// \brief Runtime reification of the paper's "uncomment this directive" step.
+///
+/// The original patternlets teach by commenting/uncommenting a single
+/// directive (e.g. `#pragma omp parallel`, `MPI_Barrier(...)`) and
+/// recompiling. This library reifies each such directive as a named Toggle,
+/// so a patternlet can run both ways in one process — same lesson, now
+/// scriptable and testable. A ToggleSet is the declared collection for one
+/// patternlet plus the current on/off values.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace pml {
+
+/// One comment-out-able directive in a patternlet.
+struct Toggle {
+  std::string name;         ///< e.g. "omp parallel", "reduction(+:sum)", "MPI_Barrier"
+  std::string description;  ///< What the directive does / what commenting it shows.
+  bool default_on = false;  ///< Patternlets ship with the directive commented out.
+};
+
+/// The declared toggles of a patternlet together with current values.
+class ToggleSet {
+ public:
+  ToggleSet() = default;
+  explicit ToggleSet(std::vector<Toggle> declared);
+
+  /// Declares one more toggle. Throws UsageError on duplicate names.
+  void declare(Toggle t);
+
+  /// True iff a toggle with this name was declared.
+  bool has(const std::string& name) const;
+
+  /// Current value. Throws UsageError for undeclared names: a typo in a
+  /// toggle name must fail loudly, not silently run the "commented" path.
+  bool on(const std::string& name) const;
+
+  /// Sets a declared toggle. Throws UsageError for undeclared names.
+  void set(const std::string& name, bool value);
+
+  /// Sets every declared toggle to \p value.
+  void set_all(bool value);
+
+  /// Resets every toggle to its declared default.
+  void reset();
+
+  /// Declared toggles in declaration order.
+  const std::vector<Toggle>& declared() const { return declared_; }
+
+  /// All (name, value) pairs, declaration order.
+  std::vector<std::pair<std::string, bool>> values() const;
+
+  /// Compact human-readable description, e.g. "omp parallel=on, reduction=off".
+  std::string to_string() const;
+
+ private:
+  std::size_t index_of(const std::string& name) const;
+
+  std::vector<Toggle> declared_;
+  std::vector<bool> value_;
+};
+
+}  // namespace pml

@@ -1,0 +1,56 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+
+namespace pml {
+
+void Trace::record(int task, std::string kind, std::int64_t key, std::int64_t aux) {
+  std::lock_guard lock(mu_);
+  const auto seq = static_cast<std::uint64_t>(events_.size());
+  events_.push_back(TraceEvent{seq, task, std::move(kind), key, aux});
+}
+
+std::vector<TraceEvent> Trace::events() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+std::vector<TraceEvent> Trace::events(const std::string& kind) const {
+  std::lock_guard lock(mu_);
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::map<std::int64_t, int> Trace::assignment(const std::string& kind) const {
+  std::lock_guard lock(mu_);
+  std::map<std::int64_t, int> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out[e.key] = e.task;
+  }
+  return out;
+}
+
+std::map<int, std::vector<std::int64_t>> Trace::per_task(const std::string& kind) const {
+  std::lock_guard lock(mu_);
+  std::map<int, std::vector<std::int64_t>> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out[e.task].push_back(e.key);
+  }
+  for (auto& [task, keys] : out) std::sort(keys.begin(), keys.end());
+  return out;
+}
+
+std::size_t Trace::size() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+void Trace::clear() {
+  std::lock_guard lock(mu_);
+  events_.clear();
+}
+
+}  // namespace pml

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file trace.hpp
+/// \brief Work-assignment trace: which task performed which unit of work.
+///
+/// The loop-schedule figures (paper Figs. 14-18) and the reduction-tree
+/// figure (Fig. 19) are statements about *assignment*: iteration i ran on
+/// thread t; the combine of partials (a,b) happened in round r. The Trace
+/// records such events so benches can print the paper's series and tests
+/// can assert the assignment properties (coverage, chunking, O(lg t)
+/// round count).
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pml {
+
+/// One traced unit of work.
+struct TraceEvent {
+  std::uint64_t seq = 0;  ///< Global arrival order.
+  int task = -1;          ///< Task (thread or rank) that performed the work.
+  std::string kind;       ///< Category, e.g. "iteration", "combine", "round".
+  std::int64_t key = 0;   ///< Work id: iteration index, round number, ...
+  std::int64_t aux = 0;   ///< Secondary payload (e.g. combine partner).
+};
+
+/// Thread-safe trace of work assignments.
+class Trace {
+ public:
+  Trace() = default;
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  /// Records that \p task performed work (\p kind, \p key, \p aux).
+  void record(int task, std::string kind, std::int64_t key, std::int64_t aux = 0);
+
+  /// Snapshot of all events in arrival order.
+  std::vector<TraceEvent> events() const;
+
+  /// Events of one kind, arrival order.
+  std::vector<TraceEvent> events(const std::string& kind) const;
+
+  /// For events of \p kind: map key -> task that performed it.
+  /// If a key was recorded twice the *last* assignment wins.
+  std::map<std::int64_t, int> assignment(const std::string& kind) const;
+
+  /// For events of \p kind: map task -> sorted keys it performed.
+  std::map<int, std::vector<std::int64_t>> per_task(const std::string& kind) const;
+
+  /// Number of recorded events.
+  std::size_t size() const;
+
+  /// Removes all events.
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace pml

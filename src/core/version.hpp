@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file version.hpp
+/// \brief Library version constants for the patternlets library (pml).
+
+namespace pml {
+
+/// Semantic version of the pml library.
+struct Version {
+  int major = 1;
+  int minor = 0;
+  int patch = 0;
+};
+
+/// Returns the compiled-in library version.
+constexpr Version version() noexcept { return Version{}; }
+
+/// Human-readable version string, e.g. "1.0.0".
+const char* version_string() noexcept;
+
+}  // namespace pml

@@ -1,0 +1,78 @@
+#include "edu/cohort.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace pml::edu {
+
+namespace {
+
+double clamp_quantize(double x, const CohortSpec& spec) {
+  x = std::clamp(x, spec.lo, spec.hi);
+  return std::round(x / spec.quantum) * spec.quantum;
+}
+
+}  // namespace
+
+Cohort synthesize_cohort(const CohortSpec& spec) {
+  if (spec.n < 2) throw UsageError("synthesize_cohort: need n >= 2");
+  if (spec.quantum <= 0.0) throw UsageError("synthesize_cohort: quantum must be positive");
+  if (spec.mean < spec.lo || spec.mean > spec.hi) {
+    throw UsageError("synthesize_cohort: mean outside [lo, hi]");
+  }
+
+  Cohort cohort;
+  cohort.label = spec.label;
+  cohort.scores.reserve(spec.n);
+
+  // Stratified normal deviates: one per student at probability (i+0.5)/n.
+  // Deterministic and already mean-zero/symmetric by construction.
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    const double p = (static_cast<double>(i) + 0.5) / static_cast<double>(spec.n);
+    const double z = normal_quantile(p);
+    cohort.scores.push_back(clamp_quantize(spec.mean + spec.sd * z, spec));
+  }
+
+  // Nudge individual scores by one quantum until the sample mean lands
+  // within half a quantum / n of the target. Alternate from the middle
+  // outward so the shape stays symmetric-ish.
+  const double tol = spec.quantum / (2.0 * static_cast<double>(spec.n));
+  for (int pass = 0; pass < 1000; ++pass) {
+    const double mean = summarize(cohort.scores).mean;
+    const double err = spec.mean - mean;
+    if (std::fabs(err) <= tol) break;
+    const double step = err > 0 ? spec.quantum : -spec.quantum;
+    // Pick the score that can move in the needed direction and is closest
+    // to the mean (least distorting).
+    std::size_t best = spec.n;
+    double best_dist = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < spec.n; ++i) {
+      const double moved = cohort.scores[i] + step;
+      if (moved < spec.lo - 1e-9 || moved > spec.hi + 1e-9) continue;
+      const double dist = std::fabs(cohort.scores[i] - mean);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = i;
+      }
+    }
+    if (best == spec.n) break;  // nothing can move; accept what we have
+    cohort.scores[best] += step;
+  }
+
+  return cohort;
+}
+
+Cs2Study paper_cs2_study() {
+  const PaperNumbers ref = paper_numbers();
+  Cs2Study study;
+  study.fall = synthesize_cohort(
+      {"Fall (no patternlets)", ref.fall_n, ref.fall_mean, 0.42, 0.0, 4.0, 0.25});
+  study.spring = synthesize_cohort(
+      {"Spring (with patternlets)", ref.spring_n, ref.spring_mean, 0.42, 0.0, 4.0, 0.25});
+  return study;
+}
+
+}  // namespace pml::edu

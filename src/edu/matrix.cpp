@@ -1,0 +1,66 @@
+#include "edu/matrix.hpp"
+
+#include "smp/for.hpp"
+
+namespace pml::edu {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  if (rows == 0 || cols == 0) throw UsageError("Matrix: dimensions must be positive");
+}
+
+void Matrix::check_same_shape(const Matrix& other, const char* what) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw UsageError(std::string(what) + ": shape mismatch");
+  }
+}
+
+Matrix Matrix::add(const Matrix& other) const {
+  check_same_shape(other, "add");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] + other.data_[i];
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::add_parallel(const Matrix& other, int num_threads,
+                            const pml::smp::Schedule& schedule) const {
+  check_same_shape(other, "add_parallel");
+  Matrix out(rows_, cols_);
+  pml::smp::parallel_for(
+      num_threads, 0, static_cast<std::int64_t>(rows_), schedule,
+      [&](int /*thread*/, std::int64_t r) {
+        const auto row = static_cast<std::size_t>(r);
+        for (std::size_t c = 0; c < cols_; ++c) {
+          out.at(row, c) = at(row, c) + other.at(row, c);
+        }
+      });
+  return out;
+}
+
+Matrix Matrix::transpose_parallel(int num_threads,
+                                  const pml::smp::Schedule& schedule) const {
+  Matrix out(cols_, rows_);
+  pml::smp::parallel_for(
+      num_threads, 0, static_cast<std::int64_t>(rows_), schedule,
+      [&](int /*thread*/, std::int64_t r) {
+        const auto row = static_cast<std::size_t>(r);
+        for (std::size_t c = 0; c < cols_; ++c) out.at(c, row) = at(row, c);
+      });
+  return out;
+}
+
+double Matrix::sum() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x;
+  return acc;
+}
+
+}  // namespace pml::edu

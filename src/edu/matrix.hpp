@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file matrix.hpp
+/// \brief The CS2 closed-lab Matrix class (paper §IV.A, Tuesday session).
+///
+/// In the lab, students receive a Matrix class, time its sequential addition
+/// and transpose on large matrices, parallelize those operations with
+/// OpenMP, and chart time vs. thread count. This Matrix provides both the
+/// sequential operations and their parallel counterparts built on pml::smp,
+/// so the lab — and its speedup chart — can be reproduced end to end.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/error.hpp"
+#include "smp/schedule.hpp"
+
+namespace pml::edu {
+
+/// A dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Fills entry (r, c) with f(r, c); used to build reproducible workloads.
+  template <typename Fn>
+  void fill_with(Fn&& f) {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t c = 0; c < cols_; ++c) at(r, c) = f(r, c);
+    }
+  }
+
+  /// \name The lab's sequential operations
+  /// @{
+  Matrix add(const Matrix& other) const;
+  Matrix transpose() const;
+  /// @}
+
+  /// \name The lab's parallelized operations (pml::smp, rows worksharing)
+  /// @{
+  Matrix add_parallel(const Matrix& other, int num_threads,
+                      const pml::smp::Schedule& schedule = pml::smp::Schedule::static_equal()) const;
+  Matrix transpose_parallel(int num_threads,
+                            const pml::smp::Schedule& schedule = pml::smp::Schedule::static_equal()) const;
+  /// @}
+
+  /// Exact elementwise equality (the lab verifies parallel == sequential).
+  friend bool operator==(const Matrix& a, const Matrix& b) = default;
+
+  /// Sum of all entries (cheap checksum for tests).
+  double sum() const;
+
+ private:
+  void check_same_shape(const Matrix& other, const char* what) const;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace pml::edu

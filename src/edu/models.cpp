@@ -1,0 +1,52 @@
+#include "edu/models.hpp"
+
+#include "core/error.hpp"
+
+namespace pml::edu {
+
+namespace {
+
+void check_serial(double serial) {
+  if (serial < 0.0 || serial > 1.0) {
+    throw UsageError("serial fraction must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+double amdahl_speedup(double serial, int p) {
+  check_serial(serial);
+  if (p <= 0) throw UsageError("amdahl_speedup: p must be positive");
+  return 1.0 / (serial + (1.0 - serial) / static_cast<double>(p));
+}
+
+double amdahl_limit(double serial) {
+  check_serial(serial);
+  if (serial == 0.0) throw UsageError("amdahl_limit: unbounded at serial = 0");
+  return 1.0 / serial;
+}
+
+double gustafson_speedup(double serial, int p) {
+  check_serial(serial);
+  if (p <= 0) throw UsageError("gustafson_speedup: p must be positive");
+  return static_cast<double>(p) - serial * (static_cast<double>(p) - 1.0);
+}
+
+double karp_flatt(double measured_speedup, int p) {
+  if (p < 2) throw UsageError("karp_flatt: needs p >= 2");
+  if (measured_speedup <= 0.0) throw UsageError("karp_flatt: speedup must be positive");
+  const double inv_s = 1.0 / measured_speedup;
+  const double inv_p = 1.0 / static_cast<double>(p);
+  return (inv_s - inv_p) / (1.0 - inv_p);
+}
+
+std::vector<KarpFlattRow> karp_flatt_analysis(const SpeedupTable& table) {
+  std::vector<KarpFlattRow> out;
+  for (const auto& row : table.rows()) {
+    if (row.threads < 2 || row.speedup <= 0.0) continue;
+    out.push_back({row.threads, row.speedup, karp_flatt(row.speedup, row.threads)});
+  }
+  return out;
+}
+
+}  // namespace pml::edu

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file models.hpp
+/// \brief Analytic speedup models for interpreting the lab's chart.
+///
+/// The Tuesday lab's step (d) asks students to explain their threads-vs-time
+/// chart; these are the standard analytic lenses: Amdahl's law (fixed
+/// problem, serial fraction bounds speedup), Gustafson's law (scaled
+/// problem), and the Karp-Flatt metric (the *experimentally determined*
+/// serial fraction — rising e with p reveals overhead, flat e reveals a
+/// genuinely serial component).
+
+#include <cstddef>
+#include <vector>
+
+#include "edu/speedup.hpp"
+
+namespace pml::edu {
+
+/// Amdahl's law: predicted speedup on \p p processors when fraction
+/// \p serial of the work is inherently sequential (0 <= serial <= 1).
+double amdahl_speedup(double serial, int p);
+
+/// The asymptotic ceiling of Amdahl's law (p -> infinity): 1/serial.
+double amdahl_limit(double serial);
+
+/// Gustafson's law: scaled speedup with serial fraction \p serial of the
+/// *parallel* execution time: S = p - serial * (p - 1).
+double gustafson_speedup(double serial, int p);
+
+/// Karp-Flatt experimentally-determined serial fraction from a measured
+/// speedup \p s on \p p processors: e = (1/s - 1/p) / (1 - 1/p).
+/// Requires p >= 2 and s > 0.
+double karp_flatt(double measured_speedup, int p);
+
+/// Per-row Karp-Flatt metrics for a measured table (rows with threads == 1
+/// are skipped — the metric is undefined there).
+struct KarpFlattRow {
+  int threads = 0;
+  double speedup = 0.0;
+  double serial_fraction = 0.0;
+};
+std::vector<KarpFlattRow> karp_flatt_analysis(const SpeedupTable& table);
+
+}  // namespace pml::edu

@@ -1,0 +1,110 @@
+#include "edu/sorting.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "smp/team.hpp"
+#include "thread/latch.hpp"
+
+namespace pml::edu {
+
+namespace {
+
+/// Merges sorted [lo, mid) and [mid, hi) of \p values through \p scratch.
+void merge_halves(std::vector<int>& values, std::vector<int>& scratch,
+                  std::size_t lo, std::size_t mid, std::size_t hi) {
+  std::size_t a = lo;
+  std::size_t b = mid;
+  std::size_t out = lo;
+  while (a < mid && b < hi) {
+    scratch[out++] = values[b] < values[a] ? values[b++] : values[a++];
+  }
+  while (a < mid) scratch[out++] = values[a++];
+  while (b < hi) scratch[out++] = values[b++];
+  std::copy(scratch.begin() + static_cast<std::ptrdiff_t>(lo),
+            scratch.begin() + static_cast<std::ptrdiff_t>(hi),
+            values.begin() + static_cast<std::ptrdiff_t>(lo));
+}
+
+void merge_sort_range(std::vector<int>& values, std::vector<int>& scratch,
+                      std::size_t lo, std::size_t hi) {
+  if (hi - lo < 2) return;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  merge_sort_range(values, scratch, lo, mid);
+  merge_sort_range(values, scratch, mid, hi);
+  merge_halves(values, scratch, lo, mid, hi);
+}
+
+}  // namespace
+
+void merge_sort(std::vector<int>& values) {
+  std::vector<int> scratch(values.size());
+  merge_sort_range(values, scratch, 0, values.size());
+}
+
+void parallel_merge_sort(std::vector<int>& values, int num_threads,
+                         std::size_t grain) {
+  if (values.size() < 2) return;
+  std::vector<int> scratch(values.size());
+  const std::size_t cutoff = std::max<std::size_t>(grain, 2);
+
+  pml::smp::parallel(num_threads, [&](pml::smp::Region& region) {
+    // Recursive splitting over explicit tasks. Each level spawns the left
+    // half as a task, recurses into the right, then waits for the whole
+    // pool before merging — a taskwait-per-level would be finer-grained,
+    // but the team-wide scheduling point keeps the teaching version simple
+    // and correct: merge only when both halves are fully sorted.
+    std::function<void(std::size_t, std::size_t, int)> sort_range =
+        [&](std::size_t lo, std::size_t hi, int depth) {
+          if (hi - lo <= cutoff) {
+            std::sort(values.begin() + static_cast<std::ptrdiff_t>(lo),
+                      values.begin() + static_cast<std::ptrdiff_t>(hi));
+            return;
+          }
+          const std::size_t mid = lo + (hi - lo) / 2;
+          if (depth < 8) {
+            // Sort the halves as two tasks any team thread may pick up.
+            pml::thread::Latch halves(2);
+            region.task([&, lo, mid, depth] {
+              sort_range(lo, mid, depth + 1);
+              halves.count_down();
+            });
+            region.task([&, mid, hi, depth] {
+              sort_range(mid, hi, depth + 1);
+              halves.count_down();
+            });
+            // We may be running inside a task ourselves, so we must not
+            // block in taskwait; cooperatively execute pending tasks until
+            // *these two* halves have completed.
+            while (!halves.try_wait()) {
+              if (!region.try_execute_one_task()) std::this_thread::yield();
+            }
+          } else {
+            sort_range(lo, mid, depth + 1);
+            sort_range(mid, hi, depth + 1);
+          }
+          merge_halves(values, scratch, lo, mid, hi);
+        };
+
+    region.single([&] { sort_range(0, values.size(), 0); });
+    region.barrier();
+  });
+}
+
+bool is_sorted_nondecreasing(const std::vector<int>& values) {
+  return std::is_sorted(values.begin(), values.end());
+}
+
+std::vector<int> random_values(std::size_t n, unsigned seed) {
+  std::vector<int> v(n);
+  std::uint64_t state = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  for (auto& x : v) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    x = static_cast<int>(state >> 33);
+  }
+  return v;
+}
+
+}  // namespace pml::edu

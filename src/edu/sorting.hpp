@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file sorting.hpp
+/// \brief The Friday CS2 session (paper §IV.A): parallel sorting,
+/// "culminating in the parallel merge-sort algorithm".
+///
+/// Implements the algorithms the active-learning exercise walks through:
+/// sequential merge sort as the baseline, and parallel merge sort as a
+/// Recursive Splitting (Divide and Conquer) pattern over pml::smp explicit
+/// tasks — the two halves sort as concurrent tasks down to a grain-size
+/// cutoff, then merge.
+
+#include <cstddef>
+#include <vector>
+
+namespace pml::edu {
+
+/// Stable sequential merge sort (the baseline students time first).
+void merge_sort(std::vector<int>& values);
+
+/// Parallel merge sort on \p num_threads via recursive task splitting.
+/// Subranges smaller than \p grain sort sequentially (task-overhead
+/// cutoff — itself a lab discussion point).
+void parallel_merge_sort(std::vector<int>& values, int num_threads,
+                         std::size_t grain = 2048);
+
+/// True iff \p values is nondecreasing (the lab's checker).
+bool is_sorted_nondecreasing(const std::vector<int>& values);
+
+/// Deterministic pseudo-random test data (the lab's input generator).
+std::vector<int> random_values(std::size_t n, unsigned seed = 42);
+
+}  // namespace pml::edu

@@ -1,0 +1,53 @@
+#include "edu/speedup.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "core/error.hpp"
+#include "smp/wtime.hpp"
+
+namespace pml::edu {
+
+void SpeedupTable::measure(const std::vector<int>& thread_counts,
+                           const std::function<void(int)>& workload, int repeats) {
+  if (repeats <= 0) throw UsageError("SpeedupTable: repeats must be positive");
+  for (int threads : thread_counts) {
+    double best = std::numeric_limits<double>::max();
+    for (int rep = 0; rep < repeats; ++rep) {
+      pml::smp::Stopwatch sw;
+      workload(threads);
+      best = std::min(best, sw.elapsed());
+    }
+    add_row(threads, best);
+  }
+}
+
+void SpeedupTable::add_row(int threads, double seconds) {
+  if (threads <= 0) throw UsageError("SpeedupTable: threads must be positive");
+  rows_.push_back({threads, seconds, 1.0, 1.0});
+  recompute();
+}
+
+void SpeedupTable::recompute() {
+  if (rows_.empty()) return;
+  const double base = rows_.front().seconds;
+  for (auto& r : rows_) {
+    r.speedup = r.seconds > 0.0 ? base / r.seconds : 0.0;
+    r.efficiency = r.speedup / static_cast<double>(r.threads);
+  }
+}
+
+std::string SpeedupTable::to_string() const {
+  std::string out = title_ + "\n";
+  out += "  threads      seconds   speedup   efficiency\n";
+  char line[96];
+  for (const auto& r : rows_) {
+    std::snprintf(line, sizeof(line), "  %7d %12.6f %9.2f %12.2f\n", r.threads,
+                  r.seconds, r.speedup, r.efficiency);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace pml::edu

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file speedup.hpp
+/// \brief Speedup/efficiency tables — the lab's spreadsheet chart.
+///
+/// In the CS2 lab (paper §IV.A step d), students chart "the relationship
+/// between the number of threads employed and the speed at which a given
+/// problem is solved". SpeedupTable runs a timed workload at each requested
+/// thread count (best of `repeats`), derives speedup and efficiency against
+/// the 1-thread time, and renders the rows as a fixed-width text table.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pml::edu {
+
+/// One row of the chart.
+struct SpeedupRow {
+  int threads = 1;
+  double seconds = 0.0;
+  double speedup = 1.0;     ///< t(1) / t(threads).
+  double efficiency = 1.0;  ///< speedup / threads.
+};
+
+/// A titled collection of timing rows.
+class SpeedupTable {
+ public:
+  explicit SpeedupTable(std::string title) : title_(std::move(title)) {}
+
+  /// Times `workload(threads)` for each entry of \p thread_counts,
+  /// keeping the best of \p repeats runs (noise suppression), and fills
+  /// the table. The first entry should be 1 so speedup is well-defined;
+  /// otherwise the first row is used as the baseline.
+  void measure(const std::vector<int>& thread_counts,
+               const std::function<void(int)>& workload, int repeats = 3);
+
+  /// Appends a precomputed row (for externally-timed data).
+  void add_row(int threads, double seconds);
+
+  const std::vector<SpeedupRow>& rows() const noexcept { return rows_; }
+  const std::string& title() const noexcept { return title_; }
+
+  /// Fixed-width rendering, one line per row plus a header.
+  std::string to_string() const;
+
+ private:
+  void recompute();
+
+  std::string title_;
+  std::vector<SpeedupRow> rows_;
+};
+
+}  // namespace pml::edu

@@ -1,0 +1,186 @@
+#include "edu/stats.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace pml::edu {
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  s.n = sample.size();
+  if (s.n == 0) return s;
+  double sum = 0.0;
+  for (double x : sample) sum += x;
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n >= 2) {
+    double ss = 0.0;
+    for (double x : sample) ss += (x - s.mean) * (x - s.mean);
+    s.sd = std::sqrt(ss / static_cast<double>(s.n - 1));
+  }
+  return s;
+}
+
+TTest student_t_test(const Summary& a, const Summary& b) {
+  if (a.n < 2 || b.n < 2) throw UsageError("t-test: each sample needs n >= 2");
+  const double na = static_cast<double>(a.n);
+  const double nb = static_cast<double>(b.n);
+  const double df = na + nb - 2.0;
+  const double pooled_var =
+      ((na - 1.0) * a.sd * a.sd + (nb - 1.0) * b.sd * b.sd) / df;
+  const double se = std::sqrt(pooled_var * (1.0 / na + 1.0 / nb));
+  TTest r;
+  r.mean_diff = b.mean - a.mean;
+  r.df = df;
+  r.t = se > 0.0 ? r.mean_diff / se : 0.0;
+  r.p_two_sided = t_two_sided_p(r.t, r.df);
+  return r;
+}
+
+TTest student_t_test(std::span<const double> a, std::span<const double> b) {
+  return student_t_test(summarize(a), summarize(b));
+}
+
+TTest welch_t_test(std::span<const double> a, std::span<const double> b) {
+  const Summary sa = summarize(a);
+  const Summary sb = summarize(b);
+  if (sa.n < 2 || sb.n < 2) throw UsageError("t-test: each sample needs n >= 2");
+  const double va = sa.sd * sa.sd / static_cast<double>(sa.n);
+  const double vb = sb.sd * sb.sd / static_cast<double>(sb.n);
+  TTest r;
+  r.mean_diff = sb.mean - sa.mean;
+  const double se = std::sqrt(va + vb);
+  r.t = se > 0.0 ? r.mean_diff / se : 0.0;
+  // Welch-Satterthwaite degrees of freedom.
+  const double denom = va * va / static_cast<double>(sa.n - 1) +
+                       vb * vb / static_cast<double>(sb.n - 1);
+  r.df = denom > 0.0 ? (va + vb) * (va + vb) / denom
+                     : static_cast<double>(sa.n + sb.n - 2);
+  r.p_two_sided = t_two_sided_p(r.t, r.df);
+  return r;
+}
+
+double cohens_d(std::span<const double> a, std::span<const double> b) {
+  const Summary sa = summarize(a);
+  const Summary sb = summarize(b);
+  const double na = static_cast<double>(sa.n);
+  const double nb = static_cast<double>(sb.n);
+  const double pooled = std::sqrt(
+      ((na - 1.0) * sa.sd * sa.sd + (nb - 1.0) * sb.sd * sb.sd) / (na + nb - 2.0));
+  return pooled > 0.0 ? (sb.mean - sa.mean) / pooled : 0.0;
+}
+
+double log_gamma(double x) {
+  // Lanczos approximation, g = 7, n = 9 coefficients.
+  static const double coeff[9] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    const double pi = 3.14159265358979323846;
+    return std::log(pi / std::sin(pi * x)) - log_gamma(1.0 - x);
+  }
+  x -= 1.0;
+  double acc = coeff[0];
+  for (int i = 1; i < 9; ++i) acc += coeff[i] / (x + static_cast<double>(i));
+  const double t = x + 7.5;
+  const double half_log_2pi = 0.91893853320467274178;
+  return half_log_2pi + (x + 0.5) * std::log(t) - t + std::log(acc);
+}
+
+namespace {
+
+/// Continued fraction for the incomplete beta function (Lentz's method).
+double beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3.0e-14;
+  constexpr double kTiny = 1.0e-30;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (a <= 0.0 || b <= 0.0) throw UsageError("incomplete_beta: a, b must be positive");
+  if (x < 0.0 || x > 1.0) throw UsageError("incomplete_beta: x must be in [0, 1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front = log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  // Use the continued fraction directly when it converges fast, else the
+  // symmetry relation I_x(a,b) = 1 - I_{1-x}(b,a).
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double t_two_sided_p(double t, double df) {
+  if (df <= 0.0) throw UsageError("t_two_sided_p: df must be positive");
+  const double x = df / (df + t * t);
+  return incomplete_beta(df / 2.0, 0.5, x);
+}
+
+double normal_quantile(double p) {
+  if (p <= 0.0 || p >= 1.0) throw UsageError("normal_quantile: p must be in (0, 1)");
+  // Acklam's rational approximation (relative error < 1.15e-9).
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace pml::edu

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file stats.hpp
+/// \brief Statistics kit for the teaching-evaluation reproduction.
+///
+/// The paper's §IV.B compares final-exam scores of a no-patternlets cohort
+/// (Fall, n=41, mean 2.95/4) against a with-patternlets cohort (Spring,
+/// n=38, mean 3.05/4) and reports the difference as not statistically
+/// significant (p = 0.293). Reproducing that analysis needs two-sample
+/// t-tests with real p-values, which in turn need the regularized
+/// incomplete beta function — all implemented here from scratch.
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace pml::edu {
+
+/// Descriptive statistics of one sample.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double sd = 0.0;  ///< Sample standard deviation (n-1 denominator).
+};
+
+/// Computes n, mean, and sample standard deviation.
+Summary summarize(std::span<const double> sample);
+
+/// Result of a two-sample t-test.
+struct TTest {
+  double t = 0.0;        ///< The t statistic.
+  double df = 0.0;       ///< Degrees of freedom (possibly fractional, Welch).
+  double p_two_sided = 1.0;
+  double mean_diff = 0.0;  ///< mean(b) - mean(a).
+  bool significant(double alpha = 0.05) const { return p_two_sided < alpha; }
+};
+
+/// Student's two-sample t-test (pooled variance, equal-variance assumption).
+TTest student_t_test(std::span<const double> a, std::span<const double> b);
+
+/// Welch's two-sample t-test (unequal variances; Welch-Satterthwaite df).
+TTest welch_t_test(std::span<const double> a, std::span<const double> b);
+
+/// Student's t-test computed directly from summary statistics — exactly the
+/// information the paper publishes (n, mean, sd per cohort).
+TTest student_t_test(const Summary& a, const Summary& b);
+
+/// Cohen's d effect size (pooled standard deviation).
+double cohens_d(std::span<const double> a, std::span<const double> b);
+
+/// \name Special functions
+/// @{
+
+/// Natural log of the gamma function (Lanczos approximation).
+double log_gamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b), via the continued
+/// fraction of Lentz's algorithm. Domain: 0 <= x <= 1, a > 0, b > 0.
+double incomplete_beta(double a, double b, double x);
+
+/// Two-sided p-value of a t statistic with \p df degrees of freedom:
+/// P(|T| >= |t|) = I_{df/(df+t^2)}(df/2, 1/2).
+double t_two_sided_p(double t, double df);
+
+/// Standard normal quantile function (inverse CDF), Acklam's algorithm.
+/// Used to synthesize deterministic, normally-shaped cohorts.
+double normal_quantile(double p);
+/// @}
+
+}  // namespace pml::edu

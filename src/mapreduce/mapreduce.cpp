@@ -1,0 +1,174 @@
+#include "mapreduce/mapreduce.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+#include "core/error.hpp"
+
+namespace pml::mapreduce {
+
+namespace {
+
+void append_raw(mp::Payload& out, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const std::byte*>(data);
+  out.insert(out.end(), bytes, bytes + n);
+}
+
+template <typename T>
+T read_raw(const mp::Payload& in, std::size_t& cursor) {
+  if (cursor + sizeof(T) > in.size()) {
+    throw RuntimeFault("mapreduce: truncated shuffle payload");
+  }
+  T value;
+  std::memcpy(&value, in.data() + cursor, sizeof(T));
+  cursor += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+mp::Payload encode_pairs(const std::vector<KeyValue>& pairs) {
+  mp::Payload out;
+  const auto count = static_cast<std::uint64_t>(pairs.size());
+  append_raw(out, &count, sizeof(count));
+  for (const auto& kv : pairs) {
+    const auto len = static_cast<std::uint32_t>(kv.key.size());
+    append_raw(out, &len, sizeof(len));
+    append_raw(out, kv.key.data(), kv.key.size());
+    append_raw(out, &kv.value, sizeof(kv.value));
+  }
+  return out;
+}
+
+std::vector<KeyValue> decode_pairs(const mp::Payload& bytes) {
+  std::size_t cursor = 0;
+  const auto count = read_raw<std::uint64_t>(bytes, cursor);
+  std::vector<KeyValue> pairs;
+  pairs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto len = read_raw<std::uint32_t>(bytes, cursor);
+    if (cursor + len > bytes.size()) {
+      throw RuntimeFault("mapreduce: truncated key in shuffle payload");
+    }
+    KeyValue kv;
+    kv.key.assign(reinterpret_cast<const char*>(bytes.data() + cursor), len);
+    cursor += len;
+    kv.value = read_raw<long>(bytes, cursor);
+    pairs.push_back(std::move(kv));
+  }
+  if (cursor != bytes.size()) {
+    throw RuntimeFault("mapreduce: trailing bytes in shuffle payload");
+  }
+  return pairs;
+}
+
+int partition_of(const std::string& key, int nranks) {
+  if (nranks <= 0) throw UsageError("partition_of: nranks must be positive");
+  // FNV-1a, 64-bit.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<int>(h % static_cast<std::uint64_t>(nranks));
+}
+
+namespace {
+
+/// Shared by the distributed reduce phase and the sequential oracle.
+std::vector<KeyValue> group_and_reduce(std::vector<KeyValue> pairs,
+                                       const ReduceFn& reduce_fn) {
+  std::map<std::string, std::vector<long>> grouped;
+  for (auto& kv : pairs) grouped[std::move(kv.key)].push_back(kv.value);
+  std::vector<KeyValue> out;
+  out.reserve(grouped.size());
+  for (const auto& [key, values] : grouped) {
+    out.push_back({key, reduce_fn(key, values)});
+  }
+  return out;  // std::map iteration => already key-sorted
+}
+
+}  // namespace
+
+std::vector<KeyValue> run_job(mp::Communicator& comm,
+                              const std::vector<std::string>& my_records,
+                              const MapFn& map_fn, const ReduceFn& reduce_fn,
+                              int root) {
+  if (!map_fn || !reduce_fn) throw UsageError("run_job: map and reduce required");
+  // Isolate the job's traffic in a fresh tag namespace so it can never
+  // cross-match the caller's own pending messages.
+  mp::Communicator job = comm.dup();
+  const int p = job.size();
+
+  // --- Map phase: local records -> per-destination buckets. ---
+  std::vector<std::vector<KeyValue>> buckets(static_cast<std::size_t>(p));
+  const Emit emit = [&](std::string key, long value) {
+    const int dest = partition_of(key, p);
+    buckets[static_cast<std::size_t>(dest)].push_back({std::move(key), value});
+  };
+  for (const auto& record : my_records) map_fn(record, emit);
+
+  // --- Shuffle: serialize each bucket and exchange all-to-all. ---
+  std::vector<std::vector<std::byte>> outgoing(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    outgoing[static_cast<std::size_t>(r)] = encode_pairs(buckets[static_cast<std::size_t>(r)]);
+  }
+  const auto incoming = job.alltoall(outgoing);
+
+  // --- Reduce: group my keys' values and fold them. ---
+  std::vector<KeyValue> mine;
+  for (const auto& blob : incoming) {
+    auto pairs = decode_pairs(blob);
+    mine.insert(mine.end(), std::make_move_iterator(pairs.begin()),
+                std::make_move_iterator(pairs.end()));
+  }
+  std::vector<KeyValue> reduced = group_and_reduce(std::move(mine), reduce_fn);
+
+  // --- Collect: reduced pairs travel to the root, which merges by key. ---
+  constexpr int kCollectTag = 0;
+  if (job.rank() != root) {
+    job.send(encode_pairs(reduced), root, kCollectTag);
+    return {};
+  }
+  std::vector<KeyValue> all = std::move(reduced);
+  for (int from = 0; from < p; ++from) {
+    if (from == root) continue;
+    const auto blob = job.recv<mp::Payload>(from, kCollectTag);
+    auto pairs = decode_pairs(blob);
+    all.insert(all.end(), std::make_move_iterator(pairs.begin()),
+               std::make_move_iterator(pairs.end()));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; });
+  return all;
+}
+
+std::vector<KeyValue> run_sequential(const std::vector<std::string>& records,
+                                     const MapFn& map_fn, const ReduceFn& reduce_fn) {
+  if (!map_fn || !reduce_fn) throw UsageError("run_sequential: map and reduce required");
+  std::vector<KeyValue> pairs;
+  const Emit emit = [&](std::string key, long value) {
+    pairs.push_back({std::move(key), value});
+  };
+  for (const auto& record : records) map_fn(record, emit);
+  return group_and_reduce(std::move(pairs), reduce_fn);
+}
+
+void word_count_map(const std::string& record, const Emit& emit) {
+  std::size_t i = 0;
+  while (i < record.size()) {
+    while (i < record.size() && std::isspace(static_cast<unsigned char>(record[i]))) ++i;
+    std::size_t start = i;
+    while (i < record.size() && !std::isspace(static_cast<unsigned char>(record[i]))) ++i;
+    if (i > start) emit(record.substr(start, i - start), 1);
+  }
+}
+
+long sum_reduce(const std::string&, const std::vector<long>& values) {
+  long total = 0;
+  for (long v : values) total += v;
+  return total;
+}
+
+}  // namespace pml::mapreduce

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file mapreduce.hpp
+/// \brief A miniature MapReduce framework over the message-passing
+/// substrate.
+///
+/// The paper's software survey (§I.B.2) lists three ways to program
+/// distributed memory: a message-passing language, C with MPI, or "any
+/// language supported by the MapReduce/Hadoop framework ... popular for
+/// 'big data' problems in which solutions can be computed using
+/// (key, value) pairs" — and MapReduce appears as an architectural pattern
+/// in both catalogs (§II.B). This module provides that third option on top
+/// of pml::mp, with the classic phase structure:
+///
+///   map:      every rank maps its local records to (key, value) pairs;
+///   shuffle:  pairs are partitioned by key hash and exchanged all-to-all,
+///             so each key's values all land on one rank;
+///   reduce:   each rank folds the values of its keys;
+///   collect:  reduced pairs are gathered, sorted by key, at the root.
+///
+/// Keys are strings and values are 64-bit integers — the (word, count)
+/// shape of the canonical examples — which keeps the wire format simple
+/// and the framework honest (everything crosses rank boundaries through
+/// real serialized messages).
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mp/communicator.hpp"
+
+namespace pml::mapreduce {
+
+/// One intermediate or final (key, value) pair.
+struct KeyValue {
+  std::string key;
+  long value = 0;
+  friend bool operator==(const KeyValue&, const KeyValue&) = default;
+};
+
+/// Emits intermediate pairs from inside a map function.
+using Emit = std::function<void(std::string key, long value)>;
+
+/// Maps one input record to zero or more intermediate pairs.
+using MapFn = std::function<void(const std::string& record, const Emit& emit)>;
+
+/// Folds all of one key's values into the final value.
+using ReduceFn = std::function<long(const std::string& key, const std::vector<long>& values)>;
+
+/// \name Wire format for the shuffle
+/// Length-prefixed pair framing, so shuffles are real byte streams.
+/// @{
+mp::Payload encode_pairs(const std::vector<KeyValue>& pairs);
+std::vector<KeyValue> decode_pairs(const mp::Payload& bytes);
+/// @}
+
+/// Deterministic key partitioner: which rank owns \p key out of \p nranks.
+/// (FNV-1a hash; stable across runs and platforms.)
+int partition_of(const std::string& key, int nranks);
+
+/// Runs a MapReduce job collectively. Every rank calls run_job with its own
+/// slice of the input records; the sorted final pairs are returned at the
+/// \p root rank (empty vector elsewhere).
+std::vector<KeyValue> run_job(mp::Communicator& comm,
+                              const std::vector<std::string>& my_records,
+                              const MapFn& map_fn, const ReduceFn& reduce_fn,
+                              int root = 0);
+
+/// Sequential reference implementation (the correctness oracle): the same
+/// job semantics with no distribution.
+std::vector<KeyValue> run_sequential(const std::vector<std::string>& records,
+                                     const MapFn& map_fn, const ReduceFn& reduce_fn);
+
+/// \name Canonical jobs
+/// @{
+
+/// Splits \p record on whitespace and emits (word, 1) per token.
+void word_count_map(const std::string& record, const Emit& emit);
+
+/// Sums the values (the word-count reducer).
+long sum_reduce(const std::string& key, const std::vector<long>& values);
+/// @}
+
+}  // namespace pml::mapreduce

@@ -1,0 +1,55 @@
+#include "mp/cluster.hpp"
+
+#include <algorithm>
+
+namespace pml::mp {
+
+const char* to_string(Placement p) noexcept {
+  switch (p) {
+    case Placement::kRoundRobin: return "round-robin";
+    case Placement::kBlock: return "block";
+  }
+  return "?";
+}
+
+Cluster::Cluster(int node_count, int cores_per_node, Placement placement)
+    : node_count_(node_count), cores_per_node_(cores_per_node), placement_(placement) {
+  if (node_count <= 0) throw UsageError("Cluster: node_count must be positive");
+  if (cores_per_node <= 0) throw UsageError("Cluster: cores_per_node must be positive");
+}
+
+int Cluster::node_of(int rank, int nprocs) const {
+  if (nprocs <= 0) throw UsageError("Cluster::node_of: nprocs must be positive");
+  if (rank < 0 || rank >= nprocs) throw UsageError("Cluster::node_of: bad rank");
+  switch (placement_) {
+    case Placement::kRoundRobin:
+      return rank % node_count_;
+    case Placement::kBlock:
+      return std::min(rank / cores_per_node_, node_count_ - 1);
+  }
+  return 0;
+}
+
+std::string Cluster::node_name(int index) const {
+  if (index < 0 || index >= node_count_) throw UsageError("Cluster::node_name: bad index");
+  // Two-digit zero padding matches the paper's "node-01" style.
+  const int number = index + 1;
+  std::string digits = std::to_string(number);
+  if (digits.size() < 2) digits.insert(digits.begin(), '0');
+  return "node-" + digits;
+}
+
+std::string Cluster::processor_name(int rank, int nprocs) const {
+  return node_name(node_of(rank, nprocs));
+}
+
+std::vector<int> Cluster::node_mates(int rank, int nprocs) const {
+  const int home = node_of(rank, nprocs);
+  std::vector<int> mates;
+  for (int r = 0; r < nprocs; ++r) {
+    if (node_of(r, nprocs) == home) mates.push_back(r);
+  }
+  return mates;
+}
+
+}  // namespace pml::mp

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file cluster.hpp
+/// \brief The simulated Beowulf cluster: nodes, names, rank placement.
+///
+/// The paper's MPI patternlets run on a physical cluster and print the node
+/// each process landed on ("Hello from process 2 of 4 on node-03",
+/// Figs. 5-6) — that node name is how students *see* distribution. We have
+/// no cluster, so we simulate one: a Cluster is a set of named virtual
+/// nodes, each with a core count, plus a placement policy mapping ranks to
+/// nodes (mirroring mpirun's --map-by). The heterogeneous patternlets also
+/// use the per-node core counts to size their intra-node thread teams.
+
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace pml::mp {
+
+/// How ranks are laid out across nodes (mpirun --map-by analogue).
+enum class Placement {
+  kRoundRobin,  ///< rank r -> node r % nodes ("--map-by node"; the paper's
+                ///< Fig. 6 layout: process i lands on node-0(i+1)).
+  kBlock,       ///< fill each node's cores before moving on ("--map-by core").
+};
+
+/// Printable policy name.
+const char* to_string(Placement p) noexcept;
+
+/// A simulated cluster: \p node_count nodes of \p cores_per_node cores.
+class Cluster {
+ public:
+  /// Defaults model a small teaching cluster of 8 quad-core nodes.
+  explicit Cluster(int node_count = 8, int cores_per_node = 4,
+                   Placement placement = Placement::kRoundRobin);
+
+  int node_count() const noexcept { return node_count_; }
+  int cores_per_node() const noexcept { return cores_per_node_; }
+  Placement placement() const noexcept { return placement_; }
+
+  /// Node index (0-based) hosting \p rank out of \p nprocs.
+  int node_of(int rank, int nprocs) const;
+
+  /// The virtual processor name of \p rank, e.g. "node-03"
+  /// (MPI_Get_processor_name analogue).
+  std::string processor_name(int rank, int nprocs) const;
+
+  /// Name of node \p index, e.g. index 0 -> "node-01".
+  std::string node_name(int index) const;
+
+  /// Ranks co-located on the same node as \p rank (including itself),
+  /// ascending. Heterogeneous patternlets use this to form intra-node teams.
+  std::vector<int> node_mates(int rank, int nprocs) const;
+
+ private:
+  int node_count_;
+  int cores_per_node_;
+  Placement placement_;
+};
+
+}  // namespace pml::mp

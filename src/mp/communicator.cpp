@@ -1,0 +1,126 @@
+#include "mp/communicator.hpp"
+
+#include <algorithm>
+
+#include "smp/wtime.hpp"
+
+namespace pml::mp {
+
+std::string Communicator::processor_name() const {
+  const int world = group_[static_cast<std::size_t>(rank_)];
+  return state_->cluster.processor_name(world, state_->nprocs);
+}
+
+int Communicator::world_rank(int group_rank) const {
+  check_peer(group_rank, "world_rank");
+  return group_[static_cast<std::size_t>(group_rank)];
+}
+
+std::vector<int> Communicator::node_mates() const {
+  const int world = group_[static_cast<std::size_t>(rank_)];
+  return state_->cluster.node_mates(world, state_->nprocs);
+}
+
+double Communicator::wtime() const { return pml::smp::wtime() - state_->start_time; }
+
+std::optional<Status> Communicator::probe(int source, int tag) const {
+  check_source(source, "probe");
+  return my_mailbox().probe(context_, source, tag);
+}
+
+void Communicator::check_peer(int r, const char* what) const {
+  if (r < 0 || r >= size()) {
+    throw UsageError(std::string(what) + ": rank " + std::to_string(r) +
+                     " out of range [0, " + std::to_string(size()) + ")");
+  }
+}
+
+void Communicator::check_source(int r, const char* what) const {
+  if (r == kAnySource) return;
+  check_peer(r, what);
+}
+
+void Communicator::check_tag(int tag) {
+  if (tag != kAnyTag && (tag < 0 || tag > kMaxUserTag)) {
+    throw UsageError("tag " + std::to_string(tag) + " out of user tag range");
+  }
+}
+
+int Communicator::next_pow2_at_least(int p) noexcept {
+  int v = 1;
+  while (v < p) v <<= 1;
+  return v;
+}
+
+void Communicator::barrier() const {
+  // Dissemination barrier: in round k each rank sends a token to
+  // (rank + 2^k) mod p and awaits one from (rank - 2^k) mod p. After
+  // ceil(lg p) rounds every rank transitively heard from every other.
+  const int p = size();
+  int round = 0;
+  for (int dist = 1; dist < p; dist <<= 1, ++round) {
+    const int to = (rank_ + dist) % p;
+    const int from = (rank_ - dist + p) % p;
+    deliver(to, Envelope{context_, rank_, internal_tag::kBarrierBase + round, Payload{}});
+    (void)my_mailbox().receive(context_, from, internal_tag::kBarrierBase + round);
+  }
+}
+
+namespace {
+
+/// The triple every rank contributes to split(); trivially copyable.
+struct SplitKey {
+  int color;
+  int key;
+  int old_rank;
+};
+
+}  // namespace
+
+Communicator Communicator::split(int color, int key) const {
+  // 1. Everyone learns everyone's (color, key, old rank).
+  const std::vector<SplitKey> all = allgather(SplitKey{color, key, rank_});
+
+  // 2. My color group, ordered by (key, old rank) — the MPI ordering rule.
+  std::vector<SplitKey> mates;
+  for (const auto& sk : all) {
+    if (sk.color == color) mates.push_back(sk);
+  }
+  std::sort(mates.begin(), mates.end(), [](const SplitKey& a, const SplitKey& b) {
+    return std::tie(a.key, a.old_rank) < std::tie(b.key, b.old_rank);
+  });
+
+  std::vector<int> new_group;
+  int new_rank = -1;
+  int leader_old_rank = mates.front().old_rank;
+  for (const auto& sk : mates) {
+    if (sk.old_rank == rank_) new_rank = static_cast<int>(new_group.size());
+    leader_old_rank = std::min(leader_old_rank, sk.old_rank);
+    new_group.push_back(group_[static_cast<std::size_t>(sk.old_rank)]);
+  }
+
+  // 3. The group leader (lowest old rank) allocates the fresh context id
+  //    and distributes it to its color-mates over the parent communicator.
+  int new_context = 0;
+  if (rank_ == leader_old_rank) {
+    new_context = state_->next_context.fetch_add(1);
+    for (const auto& sk : mates) {
+      if (sk.old_rank != rank_) {
+        deliver(sk.old_rank, Envelope{context_, rank_, internal_tag::kSplit,
+                                      Codec<int>::encode(new_context)});
+      }
+    }
+  } else {
+    new_context = Codec<int>::decode(
+        my_mailbox().receive(context_, leader_old_rank, internal_tag::kSplit).data);
+  }
+
+  return Communicator(state_, new_context, std::move(new_group), new_rank);
+}
+
+Communicator Communicator::dup() const {
+  // Same group and ordering; fresh tag namespace.
+  return split(/*color=*/0, /*key=*/rank_);
+}
+
+}  // namespace pml::mp

@@ -1,0 +1,486 @@
+#pragma once
+
+/// \file communicator.hpp
+/// \brief Communicator: typed point-to-point messaging and collectives.
+///
+/// The MPI_Comm analogue. A Communicator is a *group* of ranks plus an
+/// isolated tag namespace (context id). The world communicator covers every
+/// rank of the job; split()/dup() derive sub-communicators. All collective
+/// operations must be called by every rank of the communicator, in the same
+/// order — the MPI rule.
+///
+/// Collective algorithms (and where the paper relies on them):
+///  - barrier: dissemination, ceil(lg p) rounds (Figs. 10-12);
+///  - broadcast/reduce: binomial tree, ceil(lg p) rounds — the O(lg t)
+///    combining the paper's Fig. 19 illustrates; the flat_* variants are the
+///    O(p) strawmen used by the ablation bench;
+///  - gather/scatter: linear at the root (Fig. 25-28);
+///  - scan/exscan: linear chain (deterministic prefix order).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "mp/message.hpp"
+#include "mp/op.hpp"
+#include "mp/runtime.hpp"
+
+namespace pml::mp {
+
+/// Reserved internal tags (above kMaxUserTag), one block per collective.
+namespace internal_tag {
+inline constexpr int kBarrierBase = kMaxUserTag + 1;  ///< +round
+inline constexpr int kBcast = kMaxUserTag + 64;
+inline constexpr int kReduce = kMaxUserTag + 65;
+inline constexpr int kGather = kMaxUserTag + 66;
+inline constexpr int kScatter = kMaxUserTag + 67;
+inline constexpr int kScan = kMaxUserTag + 68;
+inline constexpr int kAlltoall = kMaxUserTag + 69;
+inline constexpr int kSplit = kMaxUserTag + 70;
+inline constexpr int kAck = kMaxUserTag + 71;
+}  // namespace internal_tag
+
+/// A group of ranks with an isolated tag namespace.
+class Communicator {
+ public:
+  /// \name Identity
+  /// @{
+  int rank() const noexcept { return rank_; }          ///< MPI_Comm_rank
+  int size() const noexcept { return static_cast<int>(group_.size()); }  ///< MPI_Comm_size
+
+  /// Virtual node name hosting this rank (MPI_Get_processor_name).
+  std::string processor_name() const;
+
+  /// Global (world) rank backing this group rank.
+  int world_rank(int group_rank) const;
+
+  /// The simulated cluster this job runs on.
+  const Cluster& cluster() const noexcept { return state_->cluster; }
+
+  /// World ranks co-located on this rank's node (heterogeneous patternlets).
+  std::vector<int> node_mates() const;
+
+  /// Seconds since the job started (MPI_Wtime analogue).
+  double wtime() const;
+  /// @}
+
+  /// \name Point-to-point
+  /// @{
+
+  /// Buffered send (MPI_Send with buffering): deposits the message and
+  /// returns immediately.
+  template <typename T>
+  void send(const T& value, int dest, int tag = 0) const {
+    check_peer(dest, "send");
+    check_tag(tag);
+    deliver(dest, Envelope{context_, rank_, tag, Codec<T>::encode(value)});
+  }
+
+  /// Synchronous send (MPI_Ssend): blocks until the receiver has matched
+  /// the message. This is the send mode under which the classic
+  /// recv-before-send deadlock (messagePassing2 patternlet) occurs.
+  template <typename T>
+  void ssend(const T& value, int dest, int tag = 0) const {
+    check_peer(dest, "ssend");
+    check_tag(tag);
+    const std::uint64_t id = state_->next_ack.fetch_add(1);
+    auto event = state_->register_ack(id);
+    Envelope e{context_, rank_, tag, Codec<T>::encode(value)};
+    e.wants_ack = true;
+    e.ack_id = id;
+    deliver(dest, std::move(e));
+    // An unmatched synchronous send is an indefinite wait: count it for
+    // the deadlock watchdog.
+    state_->blocked.fetch_add(1, std::memory_order_relaxed);
+    event->wait();
+    state_->blocked.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Blocking typed receive (MPI_Recv). Wildcards kAnySource/kAnyTag.
+  template <typename T>
+  T recv(int source = kAnySource, int tag = kAnyTag, Status* status = nullptr) const {
+    check_source(source, "recv");
+    Envelope e = my_mailbox().receive(context_, source, tag);
+    finish_receive(e, status);
+    return Codec<T>::decode(e.data);
+  }
+
+  /// Deadline receive: nullopt on timeout. Lets deadlock demonstrations
+  /// terminate (the patternlet *shows* the deadlock instead of hanging).
+  template <typename T>
+  std::optional<T> recv_for(std::chrono::milliseconds timeout, int source = kAnySource,
+                            int tag = kAnyTag, Status* status = nullptr) const {
+    check_source(source, "recv_for");
+    auto e = my_mailbox().receive_for(context_, source, tag, timeout);
+    if (!e) return std::nullopt;
+    finish_receive(*e, status);
+    return Codec<T>::decode(e->data);
+  }
+
+  /// Nonblocking receive attempt: nullopt if nothing matches right now.
+  template <typename T>
+  std::optional<T> try_recv(int source = kAnySource, int tag = kAnyTag,
+                            Status* status = nullptr) const {
+    check_source(source, "try_recv");
+    auto e = my_mailbox().try_receive(context_, source, tag);
+    if (!e) return std::nullopt;
+    finish_receive(*e, status);
+    return Codec<T>::decode(e->data);
+  }
+
+  /// Nonblocking probe for a matching queued message (MPI_Iprobe).
+  std::optional<Status> probe(int source = kAnySource, int tag = kAnyTag) const;
+
+  /// Combined exchange (MPI_Sendrecv): deadlock-free by construction.
+  template <typename TSend, typename TRecv = TSend>
+  TRecv sendrecv(const TSend& value, int dest, int source, int send_tag = 0,
+                 int recv_tag = kAnyTag, Status* status = nullptr) const {
+    send(value, dest, send_tag);
+    return recv<TRecv>(source, recv_tag, status);
+  }
+  /// @}
+
+  /// \name Collectives (call on every rank, same order)
+  /// @{
+
+  /// Dissemination barrier, ceil(lg p) rounds (MPI_Barrier).
+  void barrier() const;
+
+  /// Binomial-tree broadcast from \p root (MPI_Bcast). Returns the value
+  /// on every rank.
+  template <typename T>
+  T broadcast(T value, int root) const {
+    check_peer(root, "broadcast");
+    const int p = size();
+    const int vr = (rank_ - root + p) % p;
+    // Receive from parent (clear lowest set bit), then forward to children.
+    if (vr != 0) {
+      const int parent = ((vr & (vr - 1)) + root) % p;
+      value = Codec<T>::decode(
+          my_mailbox().receive(context_, parent, internal_tag::kBcast).data);
+    }
+    for (int mask = next_pow2_at_least(p) >> 1; mask >= 1; mask >>= 1) {
+      // Child exists iff mask is above vr's lowest set bit and in range.
+      if ((vr & (mask - 1)) == 0 && (vr & mask) == 0 && vr + mask < p) {
+        deliver((vr + mask + root) % p,
+                Envelope{context_, rank_, internal_tag::kBcast, Codec<T>::encode(value)});
+      }
+    }
+    return value;
+  }
+
+  /// Flat (linear) broadcast — the O(p) strawman for the ablation bench.
+  template <typename T>
+  T flat_broadcast(T value, int root) const {
+    check_peer(root, "flat_broadcast");
+    if (rank_ == root) {
+      for (int r = 0; r < size(); ++r) {
+        if (r != root) {
+          deliver(r, Envelope{context_, rank_, internal_tag::kBcast,
+                              Codec<T>::encode(value)});
+        }
+      }
+      return value;
+    }
+    return Codec<T>::decode(
+        my_mailbox().receive(context_, root, internal_tag::kBcast).data);
+  }
+
+  /// Binomial-tree reduction to \p root (MPI_Reduce): ceil(lg p) parallel
+  /// combining rounds — the paper's Fig. 19. The result is meaningful only
+  /// at the root (other ranks get their partial subtree value back).
+  /// Combining order is deterministic rank order, so any *associative* op
+  /// (including user-defined, non-commutative ones) is reduced correctly.
+  /// If \p trace is given, each combine is recorded as
+  /// (task=rank, kind="combine", key=round, aux=partner).
+  template <typename T>
+  T reduce(T local, const Op<T>& op, int root, pml::Trace* trace = nullptr) const {
+    return reduce_generic<T>(
+        std::move(local),
+        [&op](T& acc, const T& incoming) { acc = op.combine(acc, incoming); }, root,
+        trace);
+  }
+
+  /// Elementwise vector reduction (MPI_Reduce on an array).
+  template <typename T>
+  std::vector<T> reduce(std::vector<T> local, const Op<T>& op, int root,
+                        pml::Trace* trace = nullptr) const {
+    return reduce_generic<std::vector<T>>(
+        std::move(local),
+        [&op, this](std::vector<T>& acc, const std::vector<T>& incoming) {
+          if (acc.size() != incoming.size()) {
+            throw UsageError("reduce: ranks contributed different vector lengths");
+          }
+          for (std::size_t i = 0; i < acc.size(); ++i) {
+            acc[i] = op.combine(acc[i], incoming[i]);
+          }
+        },
+        root, trace);
+  }
+
+  /// Flat (linear) reduction — the O(p) strawman for the ablation bench:
+  /// the root receives every partial and folds sequentially.
+  template <typename T>
+  T flat_reduce(const T& local, const Op<T>& op, int root) const {
+    check_peer(root, "flat_reduce");
+    if (rank_ != root) {
+      deliver(root, Envelope{context_, rank_, internal_tag::kReduce,
+                             Codec<T>::encode(local)});
+      return local;
+    }
+    T acc = local;
+    // Fold in rank order for determinism.
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      acc = op.combine(
+          acc, Codec<T>::decode(my_mailbox().receive(context_, r, internal_tag::kReduce).data));
+    }
+    return acc;
+  }
+
+  /// MPI_Allreduce: reduce to rank 0, then broadcast.
+  template <typename T>
+  T allreduce(T local, const Op<T>& op) const {
+    T reduced = reduce(std::move(local), op, 0);
+    return broadcast(std::move(reduced), 0);
+  }
+
+  /// Allreduce by recursive doubling (the butterfly): ceil(lg p) exchange
+  /// rounds instead of reduce+broadcast's 2*ceil(lg p). Requires a
+  /// *commutative* op when p is not a power of two (the fold-in step
+  /// reorders operands); with power-of-two p the combine order is
+  /// rank-symmetric. The ablation benches compare this against allreduce().
+  template <typename T>
+  T butterfly_allreduce(T local, const Op<T>& op) const {
+    const int p = size();
+    // Fold ranks beyond the largest power of two into their partners so
+    // the butterfly proper runs on 2^k participants.
+    int pow2 = 1;
+    while (pow2 * 2 <= p) pow2 *= 2;
+    const int extra = p - pow2;
+
+    if (rank_ >= pow2) {
+      // Send my value down to rank_ - pow2, then wait for the result.
+      deliver(rank_ - pow2, Envelope{context_, rank_, internal_tag::kReduce,
+                                     Codec<T>::encode(local)});
+      return Codec<T>::decode(
+          my_mailbox().receive(context_, rank_ - pow2, internal_tag::kBcast).data);
+    }
+    if (rank_ < extra) {
+      T incoming = Codec<T>::decode(
+          my_mailbox().receive(context_, rank_ + pow2, internal_tag::kReduce).data);
+      local = op.combine(local, incoming);
+    }
+
+    // Butterfly rounds among the first pow2 ranks.
+    for (int mask = 1; mask < pow2; mask <<= 1) {
+      const int partner = rank_ ^ mask;
+      deliver(partner, Envelope{context_, rank_, internal_tag::kReduce,
+                                Codec<T>::encode(local)});
+      T incoming = Codec<T>::decode(
+          my_mailbox().receive(context_, partner, internal_tag::kReduce).data);
+      // Combine in a rank-symmetric order so both partners agree.
+      local = (rank_ < partner) ? op.combine(local, incoming)
+                                : op.combine(incoming, local);
+    }
+
+    if (rank_ < extra) {
+      deliver(rank_ + pow2, Envelope{context_, rank_, internal_tag::kBcast,
+                                     Codec<T>::encode(local)});
+    }
+    return local;
+  }
+
+  /// Inclusive prefix (MPI_Scan): rank r receives op over ranks 0..r.
+  template <typename T>
+  T scan(const T& local, const Op<T>& op) const {
+    T acc = local;
+    if (rank_ > 0) {
+      T prefix = Codec<T>::decode(
+          my_mailbox().receive(context_, rank_ - 1, internal_tag::kScan).data);
+      acc = op.combine(prefix, local);
+    }
+    if (rank_ + 1 < size()) {
+      deliver(rank_ + 1, Envelope{context_, rank_, internal_tag::kScan,
+                                  Codec<T>::encode(acc)});
+    }
+    return acc;
+  }
+
+  /// Exclusive prefix (MPI_Exscan): rank r receives op over ranks 0..r-1;
+  /// rank 0 receives the identity.
+  template <typename T>
+  T exscan(const T& local, const Op<T>& op) const {
+    T inclusive = scan(local, op);
+    // Shift right by one via a ring step.
+    if (rank_ + 1 < size()) {
+      deliver(rank_ + 1, Envelope{context_, rank_, internal_tag::kScan,
+                                  Codec<T>::encode(inclusive)});
+    }
+    if (rank_ == 0) return op.identity;
+    return Codec<T>::decode(
+        my_mailbox().receive(context_, rank_ - 1, internal_tag::kScan).data);
+  }
+
+  /// MPI_Scatter: the root splits \p all into size() equal chunks of
+  /// \p chunk elements; every rank returns its chunk. \p all is read only
+  /// at the root.
+  template <typename T>
+  std::vector<T> scatter(const std::vector<T>& all, std::size_t chunk, int root) const {
+    check_peer(root, "scatter");
+    if (rank_ == root) {
+      if (all.size() != chunk * static_cast<std::size_t>(size())) {
+        throw UsageError("scatter: root buffer must hold size()*chunk elements");
+      }
+      std::vector<T> mine;
+      for (int r = 0; r < size(); ++r) {
+        std::vector<T> piece(all.begin() + static_cast<std::ptrdiff_t>(chunk * r),
+                             all.begin() + static_cast<std::ptrdiff_t>(chunk * (r + 1)));
+        if (r == root) {
+          mine = std::move(piece);
+        } else {
+          deliver(r, Envelope{context_, rank_, internal_tag::kScatter,
+                              Codec<std::vector<T>>::encode(piece)});
+        }
+      }
+      return mine;
+    }
+    return Codec<std::vector<T>>::decode(
+        my_mailbox().receive(context_, root, internal_tag::kScatter).data);
+  }
+
+  /// MPI_Gather/MPI_Gatherv: the root returns every rank's vector
+  /// concatenated in rank order; other ranks return an empty vector.
+  /// Contributions may differ in length (gatherv semantics).
+  template <typename T>
+  std::vector<T> gather(const std::vector<T>& mine, int root) const {
+    check_peer(root, "gather");
+    if (rank_ != root) {
+      deliver(root, Envelope{context_, rank_, internal_tag::kGather,
+                             Codec<std::vector<T>>::encode(mine)});
+      return {};
+    }
+    std::vector<T> all;
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) {
+        all.insert(all.end(), mine.begin(), mine.end());
+      } else {
+        auto piece = Codec<std::vector<T>>::decode(
+            my_mailbox().receive(context_, r, internal_tag::kGather).data);
+        all.insert(all.end(), piece.begin(), piece.end());
+      }
+    }
+    return all;
+  }
+
+  /// MPI_Allgather: gather at rank 0, then broadcast to all.
+  template <typename T>
+  std::vector<T> allgather(const std::vector<T>& mine) const {
+    std::vector<T> all = gather(mine, 0);
+    return broadcast(std::move(all), 0);
+  }
+
+  /// Scalar allgather convenience: index r holds rank r's value.
+  template <typename T>
+  std::vector<T> allgather(const T& mine) const {
+    return allgather(std::vector<T>{mine});
+  }
+
+  /// MPI_Alltoall: \p per_dest[r] is sent to rank r; the returned vector's
+  /// element r is what rank r sent to this rank.
+  template <typename T>
+  std::vector<std::vector<T>> alltoall(const std::vector<std::vector<T>>& per_dest) const {
+    if (per_dest.size() != static_cast<std::size_t>(size())) {
+      throw UsageError("alltoall: need exactly size() outgoing buffers");
+    }
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      deliver(r, Envelope{context_, rank_, internal_tag::kAlltoall,
+                          Codec<std::vector<T>>::encode(per_dest[static_cast<std::size_t>(r)])});
+    }
+    std::vector<std::vector<T>> in(static_cast<std::size_t>(size()));
+    in[static_cast<std::size_t>(rank_)] = per_dest[static_cast<std::size_t>(rank_)];
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      in[static_cast<std::size_t>(r)] = Codec<std::vector<T>>::decode(
+          my_mailbox().receive(context_, r, internal_tag::kAlltoall).data);
+    }
+    return in;
+  }
+  /// @}
+
+  /// \name Communicator management
+  /// @{
+
+  /// MPI_Comm_split: ranks sharing a color form a new communicator,
+  /// ordered by (key, old rank). Collective over this communicator.
+  Communicator split(int color, int key) const;
+
+  /// MPI_Comm_dup: same group, fresh tag namespace.
+  Communicator dup() const;
+  /// @}
+
+  /// \name Internal
+  /// @{
+  Communicator(std::shared_ptr<detail::RuntimeState> state, int context,
+               std::vector<int> group, int rank)
+      : state_(std::move(state)), context_(context), group_(std::move(group)), rank_(rank) {}
+
+  int context() const noexcept { return context_; }
+  /// @}
+
+ private:
+  Mailbox& my_mailbox() const {
+    return *state_->mailboxes[static_cast<std::size_t>(group_[static_cast<std::size_t>(rank_)])];
+  }
+
+  void deliver(int dest, Envelope e) const {
+    state_->mailboxes[static_cast<std::size_t>(group_[static_cast<std::size_t>(dest)])]
+        ->deliver(std::move(e));
+  }
+
+  void finish_receive(const Envelope& e, Status* status) const {
+    if (status != nullptr) *status = Status{e.source, e.tag, e.data.size()};
+    if (e.wants_ack) state_->acknowledge(e.ack_id);
+  }
+
+  void check_peer(int r, const char* what) const;
+  void check_source(int r, const char* what) const;
+  static void check_tag(int tag);
+  static int next_pow2_at_least(int p) noexcept;
+
+  /// The binomial-tree reduction shared by scalar and vector reduce.
+  template <typename V, typename Merge>
+  V reduce_generic(V local, Merge merge, int root, pml::Trace* trace) const {
+    check_peer(root, "reduce");
+    const int p = size();
+    const int vr = (rank_ - root + p) % p;
+    int round = 0;
+    for (int mask = 1; mask < p; mask <<= 1, ++round) {
+      if ((vr & mask) != 0) {
+        const int parent = ((vr - mask) + root) % p;
+        deliver(parent, Envelope{context_, rank_, internal_tag::kReduce,
+                                 Codec<V>::encode(local)});
+        break;  // sent our subtree's partial upward; done
+      }
+      if (vr + mask < p) {
+        const int child = ((vr + mask) + root) % p;
+        V incoming = Codec<V>::decode(
+            my_mailbox().receive(context_, child, internal_tag::kReduce).data);
+        merge(local, incoming);
+        if (trace != nullptr) trace->record(rank_, "combine", round, child);
+      }
+    }
+    return local;
+  }
+
+  std::shared_ptr<detail::RuntimeState> state_;
+  int context_;
+  std::vector<int> group_;  ///< group rank -> world rank
+  int rank_;                ///< my rank within the group
+};
+
+}  // namespace pml::mp

@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file farm.hpp
+/// \brief The task farm: dynamic master-worker over messages.
+///
+/// The masterWorker patternlet shows the static form (one item per worker);
+/// real workloads need the *dynamic* form the Master-Worker pattern is
+/// actually prized for: the master hands out the next task whenever a
+/// worker returns a result, so fast workers automatically take more tasks
+/// (the distributed analogue of schedule(dynamic)). This header implements
+/// that protocol — demand-driven dispatch with an explicit stop message —
+/// as a collective utility on a Communicator.
+
+#include <functional>
+#include <vector>
+
+#include "mp/communicator.hpp"
+
+namespace pml::mp {
+
+/// Statistics of one farm run (valid at the root).
+struct FarmStats {
+  /// tasks_per_worker[r] = tasks executed by rank r (index 0 = the master,
+  /// which only coordinates unless it is the only rank).
+  std::vector<long> tasks_per_worker;
+};
+
+/// Runs `worker(task)` over every element of \p tasks, demand-driven:
+/// rank \p root is the master (dispatching and collecting), every other
+/// rank is a worker. Collective — call on every rank of \p comm. Returns
+/// the results *in task order* at the root (empty elsewhere). With a
+/// single-rank communicator the root executes the tasks itself.
+///
+/// Task and Result must be Codec-serializable (trivially copyable types,
+/// vectors thereof, or std::string).
+template <typename Task, typename Result>
+std::vector<Result> task_farm(Communicator& comm, const std::vector<Task>& tasks,
+                              const std::function<Result(const Task&)>& worker,
+                              int root = 0, FarmStats* stats = nullptr) {
+  if (!worker) throw UsageError("task_farm: worker function required");
+  // Isolate the protocol from user traffic.
+  Communicator farm = comm.dup();
+  const int p = farm.size();
+  // Control protocol: kTaskTag carries the task index (or the sentinel -1
+  // = stop), kBodyTag the task itself, kResultTag the index then the
+  // result body. FIFO-per-(source, tag) keeps every pair in step.
+  constexpr int kTaskTag = 1;
+  constexpr int kBodyTag = 2;
+  constexpr int kResultTag = 4;
+  constexpr long kStop = -1;
+
+  if (farm.rank() == root) {
+    const long n = static_cast<long>(tasks.size());
+    std::vector<Result> results(tasks.size());
+    std::vector<long> per_worker(static_cast<std::size_t>(p), 0);
+
+    if (p == 1) {
+      // No workers: the master does the work itself.
+      for (long i = 0; i < n; ++i) {
+        results[static_cast<std::size_t>(i)] =
+            worker(tasks[static_cast<std::size_t>(i)]);
+        ++per_worker[0];
+      }
+      if (stats != nullptr) stats->tasks_per_worker = std::move(per_worker);
+      return results;
+    }
+
+    long next = 0;
+    long outstanding = 0;
+    auto dispatch = [&](int dest) {
+      farm.send(next, dest, kTaskTag);
+      farm.send(tasks[static_cast<std::size_t>(next)], dest, kBodyTag);
+      ++next;
+      ++outstanding;
+    };
+
+    // Prime every worker that can get a task.
+    for (int w = 0; w < p && next < n; ++w) {
+      if (w != root) dispatch(w);
+    }
+    // Demand-driven steady state: each result triggers the next dispatch.
+    while (outstanding > 0) {
+      Status st;
+      const long index = farm.recv<long>(kAnySource, kResultTag, &st);
+      results[static_cast<std::size_t>(index)] =
+          farm.recv<Result>(st.source, kResultTag);
+      ++per_worker[static_cast<std::size_t>(st.source)];
+      --outstanding;
+      if (next < n) dispatch(st.source);
+    }
+    // Drain complete: stop every worker.
+    for (int w = 0; w < p; ++w) {
+      if (w != root) farm.send(kStop, w, kTaskTag);
+    }
+    if (stats != nullptr) stats->tasks_per_worker = std::move(per_worker);
+    return results;
+  }
+
+  // Worker: the master pushes (index, body) pairs; the sentinel ends it.
+  for (;;) {
+    const long index = farm.recv<long>(root, kTaskTag);
+    if (index == kStop) break;
+    const Task task = farm.recv<Task>(root, kBodyTag);
+    const Result result = worker(task);
+    farm.send(index, root, kResultTag);
+    farm.send(result, root, kResultTag);
+  }
+  return {};
+}
+
+}  // namespace pml::mp

@@ -1,0 +1,110 @@
+#include "mp/mailbox.hpp"
+
+namespace pml::mp {
+
+void Mailbox::deliver(Envelope e) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(e));
+    if (delivered_) delivered_(queue_.back());
+  }
+  arrived_.notify_all();
+}
+
+void Mailbox::set_progress_hooks(std::function<void(int)> block_delta,
+                                 std::function<void(const Envelope&)> delivered) {
+  std::lock_guard lock(mu_);
+  block_delta_ = std::move(block_delta);
+  delivered_ = std::move(delivered);
+}
+
+namespace {
+
+/// RAII +1/-1 around a wait, tolerant of an unset hook.
+class BlockScope {
+ public:
+  explicit BlockScope(const std::function<void(int)>& hook) : hook_(hook) {
+    if (hook_) hook_(+1);
+  }
+  ~BlockScope() {
+    if (hook_) hook_(-1);
+  }
+  BlockScope(const BlockScope&) = delete;
+  BlockScope& operator=(const BlockScope&) = delete;
+
+ private:
+  const std::function<void(int)>& hook_;
+};
+
+}  // namespace
+
+std::optional<Envelope> Mailbox::extract_locked(int context, int source, int tag) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, context, source, tag)) {
+      Envelope e = std::move(*it);
+      queue_.erase(it);
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+Envelope Mailbox::receive(int context, int source, int tag) {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (auto e = extract_locked(context, source, tag)) return std::move(*e);
+    if (poisoned_) {
+      throw RuntimeFault("receive aborted: message-passing runtime shut down");
+    }
+    BlockScope blocked(block_delta_);
+    arrived_.wait(lock);
+  }
+}
+
+std::optional<Envelope> Mailbox::receive_for(int context, int source, int tag,
+                                             std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (auto e = extract_locked(context, source, tag)) return e;
+    if (poisoned_) {
+      throw RuntimeFault("receive aborted: message-passing runtime shut down");
+    }
+    // Deliberately NOT counted as blocked for the deadlock watchdog: a
+    // deadline wait recovers on its own, so it is never "stuck".
+    if (arrived_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // One final check: the message may have arrived with the deadline.
+      return extract_locked(context, source, tag);
+    }
+  }
+}
+
+std::optional<Envelope> Mailbox::try_receive(int context, int source, int tag) {
+  std::lock_guard lock(mu_);
+  return extract_locked(context, source, tag);
+}
+
+std::optional<Status> Mailbox::probe(int context, int source, int tag) const {
+  std::lock_guard lock(mu_);
+  for (const auto& e : queue_) {
+    if (matches(e, context, source, tag)) {
+      return Status{e.source, e.tag, e.data.size()};
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t Mailbox::queued() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+void Mailbox::poison() {
+  {
+    std::lock_guard lock(mu_);
+    poisoned_ = true;
+  }
+  arrived_.notify_all();
+}
+
+}  // namespace pml::mp

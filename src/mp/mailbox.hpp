@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file mailbox.hpp
+/// \brief Per-rank message queue with MPI matching semantics.
+///
+/// Each rank owns one Mailbox. Senders deposit envelopes; the owner receives
+/// by (context, source, tag), with wildcards. Matching scans the queue in
+/// arrival order, which yields the MPI non-overtaking guarantee: messages
+/// from the same source on the same tag are received in the order sent,
+/// while messages for *other* (source, tag) pairs can be matched around a
+/// pending one.
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "core/error.hpp"
+#include "mp/message.hpp"
+
+namespace pml::mp {
+
+/// A rank's incoming message queue.
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Deposits a message (called by senders). Wakes matching receivers.
+  void deliver(Envelope e);
+
+  /// Blocks until a matching message arrives, removes and returns it.
+  /// Throws RuntimeFault if the runtime shuts down while waiting.
+  Envelope receive(int context, int source, int tag);
+
+  /// Like receive() but gives up after \p timeout; nullopt on timeout.
+  /// Used by deadlock-detection tests and the deadlock patternlet.
+  std::optional<Envelope> receive_for(int context, int source, int tag,
+                                      std::chrono::milliseconds timeout);
+
+  /// Removes and returns a matching message if one is already queued.
+  std::optional<Envelope> try_receive(int context, int source, int tag);
+
+  /// Returns the status of the first matching queued message without
+  /// removing it (MPI_Iprobe analogue); nullopt if none queued.
+  std::optional<Status> probe(int context, int source, int tag) const;
+
+  /// Number of queued messages (any context/source/tag).
+  std::size_t queued() const;
+
+  /// Marks the runtime as shutting down: pending and future blocking
+  /// receives throw RuntimeFault instead of hanging forever.
+  void poison();
+
+  /// Progress hooks for the runtime's deadlock watchdog and message
+  /// tracing: \p block_delta is called with +1 when the owner starts
+  /// waiting for a message and -1 when it stops; \p delivered with the
+  /// envelope after every deliver(). Both must be cheap and thread-safe
+  /// (they run under the mailbox lock).
+  void set_progress_hooks(std::function<void(int)> block_delta,
+                          std::function<void(const Envelope&)> delivered);
+
+ private:
+  std::optional<Envelope> extract_locked(int context, int source, int tag);
+
+  mutable std::mutex mu_;
+  std::condition_variable arrived_;
+  std::deque<Envelope> queue_;
+  std::function<void(int)> block_delta_;
+  std::function<void(const Envelope&)> delivered_;
+  bool poisoned_ = false;
+};
+
+}  // namespace pml::mp

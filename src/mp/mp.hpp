@@ -1,0 +1,16 @@
+#pragma once
+
+/// \file mp.hpp
+/// \brief Umbrella header for pml::mp — the message-passing (MPI-workalike)
+/// substrate on a simulated cluster.
+
+#include "mp/cluster.hpp"       // IWYU pragma: export
+#include "mp/communicator.hpp"  // IWYU pragma: export
+#include "mp/farm.hpp"          // IWYU pragma: export
+#include "mp/mailbox.hpp"       // IWYU pragma: export
+#include "mp/message.hpp"       // IWYU pragma: export
+#include "mp/op.hpp"            // IWYU pragma: export
+#include "mp/payload.hpp"       // IWYU pragma: export
+#include "mp/request.hpp"       // IWYU pragma: export
+#include "mp/runtime.hpp"       // IWYU pragma: export
+#include "mp/topology.hpp"      // IWYU pragma: export

@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file op.hpp
+/// \brief Reduction operations for the message-passing collectives.
+///
+/// The paper (§III.D) lists MPI's builtin combine operations: sum, product,
+/// minimum, maximum, minimum/maximum *and its location*, logical and/or/xor,
+/// and bitwise and/or/xor — plus user-defined operations, which must be
+/// associative. All of those are provided here. MINLOC/MAXLOC operate on
+/// ValueLoc pairs, exactly like MPI's (value, index) types.
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace pml::mp {
+
+/// A reduction operation: identity + associative combiner.
+/// Construct your own for user-defined reductions; the combiner must be
+/// associative (MPI's requirement; commutativity is not required because
+/// the collectives combine in a deterministic rank order along the tree).
+template <typename T>
+struct Op {
+  std::string name;
+  T identity{};
+  std::function<T(const T&, const T&)> combine;
+};
+
+/// \name Builtin operations
+/// @{
+template <typename T>
+Op<T> op_sum() {
+  return {"MPI_SUM", T{0}, [](const T& a, const T& b) { return static_cast<T>(a + b); }};
+}
+
+template <typename T>
+Op<T> op_prod() {
+  return {"MPI_PROD", T{1}, [](const T& a, const T& b) { return static_cast<T>(a * b); }};
+}
+
+template <typename T>
+Op<T> op_min() {
+  return {"MPI_MIN", std::numeric_limits<T>::max(),
+          [](const T& a, const T& b) { return std::min(a, b); }};
+}
+
+template <typename T>
+Op<T> op_max() {
+  return {"MPI_MAX", std::numeric_limits<T>::lowest(),
+          [](const T& a, const T& b) { return std::max(a, b); }};
+}
+
+template <typename T>
+Op<T> op_land() {
+  return {"MPI_LAND", static_cast<T>(1),
+          [](const T& a, const T& b) { return static_cast<T>(a && b); }};
+}
+
+template <typename T>
+Op<T> op_lor() {
+  return {"MPI_LOR", static_cast<T>(0),
+          [](const T& a, const T& b) { return static_cast<T>(a || b); }};
+}
+
+template <typename T>
+Op<T> op_lxor() {
+  return {"MPI_LXOR", static_cast<T>(0),
+          [](const T& a, const T& b) { return static_cast<T>(!a != !b); }};
+}
+
+template <typename T>
+Op<T> op_band() {
+  return {"MPI_BAND", static_cast<T>(~T{0}),
+          [](const T& a, const T& b) { return static_cast<T>(a & b); }};
+}
+
+template <typename T>
+Op<T> op_bor() {
+  return {"MPI_BOR", T{0}, [](const T& a, const T& b) { return static_cast<T>(a | b); }};
+}
+
+template <typename T>
+Op<T> op_bxor() {
+  return {"MPI_BXOR", T{0}, [](const T& a, const T& b) { return static_cast<T>(a ^ b); }};
+}
+/// @}
+
+/// A (value, location) pair for MINLOC/MAXLOC. Trivially copyable so it
+/// serializes through the normal scalar codec.
+template <typename T>
+struct ValueLoc {
+  T value{};
+  int loc = -1;
+  friend bool operator==(const ValueLoc&, const ValueLoc&) = default;
+};
+
+/// MPI_MINLOC: minimum value; ties keep the *lower* location.
+template <typename T>
+Op<ValueLoc<T>> op_minloc() {
+  return {"MPI_MINLOC",
+          ValueLoc<T>{std::numeric_limits<T>::max(), std::numeric_limits<int>::max()},
+          [](const ValueLoc<T>& a, const ValueLoc<T>& b) {
+            if (a.value < b.value) return a;
+            if (b.value < a.value) return b;
+            return a.loc <= b.loc ? a : b;
+          }};
+}
+
+/// MPI_MAXLOC: maximum value; ties keep the *lower* location.
+template <typename T>
+Op<ValueLoc<T>> op_maxloc() {
+  return {"MPI_MAXLOC",
+          ValueLoc<T>{std::numeric_limits<T>::lowest(), std::numeric_limits<int>::max()},
+          [](const ValueLoc<T>& a, const ValueLoc<T>& b) {
+            if (a.value > b.value) return a;
+            if (b.value > a.value) return b;
+            return a.loc <= b.loc ? a : b;
+          }};
+}
+
+}  // namespace pml::mp

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file payload.hpp
+/// \brief Typed serialization for message payloads.
+///
+/// Messages cross "address spaces": rank A's objects must be *copied* into a
+/// byte payload and reconstructed at rank B — even though our ranks are
+/// threads, nothing is shared through a message. That isolation is the whole
+/// point of the multiprocessing model the MPI patternlets teach, so the
+/// codec is a real byte-level serializer, not a pointer pass.
+///
+/// Codec<T> is provided for trivially-copyable T, std::vector<T> of
+/// trivially-copyable T, std::string, and std::pair of codable types
+/// (covering MINLOC/MAXLOC's (value, location) pairs).
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace pml::mp {
+
+/// The wire format of one message body.
+using Payload = std::vector<std::byte>;
+
+/// Primary template: defined only through the specializations below.
+template <typename T, typename Enable = void>
+struct Codec;
+
+/// Trivially-copyable scalars and PODs: raw byte copy.
+template <typename T>
+struct Codec<T, std::enable_if_t<std::is_trivially_copyable_v<T>>> {
+  static Payload encode(const T& value) {
+    Payload out(sizeof(T));
+    std::memcpy(out.data(), &value, sizeof(T));
+    return out;
+  }
+  static T decode(const Payload& bytes) {
+    if (bytes.size() != sizeof(T)) {
+      throw RuntimeFault("payload size mismatch: expected " +
+                         std::to_string(sizeof(T)) + " bytes, got " +
+                         std::to_string(bytes.size()));
+    }
+    T value;
+    std::memcpy(&value, bytes.data(), sizeof(T));
+    return value;
+  }
+};
+
+/// Vectors of trivially-copyable elements: length-free raw array
+/// (element count is implied by payload size).
+template <typename T>
+struct Codec<std::vector<T>, std::enable_if_t<std::is_trivially_copyable_v<T>>> {
+  static Payload encode(const std::vector<T>& values) {
+    Payload out(values.size() * sizeof(T));
+    if (!values.empty()) std::memcpy(out.data(), values.data(), out.size());
+    return out;
+  }
+  static std::vector<T> decode(const Payload& bytes) {
+    if (bytes.size() % sizeof(T) != 0) {
+      throw RuntimeFault("payload size " + std::to_string(bytes.size()) +
+                         " is not a multiple of element size " +
+                         std::to_string(sizeof(T)));
+    }
+    std::vector<T> values(bytes.size() / sizeof(T));
+    if (!values.empty()) std::memcpy(values.data(), bytes.data(), bytes.size());
+    return values;
+  }
+};
+
+/// Strings: raw character bytes.
+template <>
+struct Codec<std::string, void> {
+  static Payload encode(const std::string& s) {
+    Payload out(s.size());
+    if (!s.empty()) std::memcpy(out.data(), s.data(), s.size());
+    return out;
+  }
+  static std::string decode(const Payload& bytes) {
+    return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+  }
+};
+
+/// Number of T elements a payload holds (the MPI_Get_count analogue).
+template <typename T>
+std::size_t element_count(const Payload& bytes) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return bytes.size() / sizeof(T);
+}
+
+}  // namespace pml::mp

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file request.hpp
+/// \brief Nonblocking point-to-point operations (MPI_Isend/Irecv analogues).
+///
+/// Sends in this runtime are buffered (deposit-and-return), so an isend
+/// completes immediately; its Request exists so code keeps the familiar
+/// request/wait shape. An irecv posts nothing — progress happens inside
+/// wait()/test(), which the MPI standard permits (a conforming program may
+/// only rely on completion at wait/test time).
+
+#include <optional>
+
+#include "mp/communicator.hpp"
+
+namespace pml::mp {
+
+/// Completion handle of a nonblocking send.
+class SendRequest {
+ public:
+  /// Blocks until the transfer completes. Buffered sends complete at post
+  /// time, so this returns immediately.
+  void wait() noexcept {}
+
+  /// True once the transfer has completed.
+  bool test() const noexcept { return true; }
+};
+
+/// Completion handle of a nonblocking typed receive.
+template <typename T>
+class RecvFuture {
+ public:
+  RecvFuture(const Communicator& comm, int source, int tag)
+      : comm_(&comm), source_(source), tag_(tag) {}
+
+  /// Blocks until the message arrives; returns the decoded value.
+  /// Subsequent calls return the same value (idempotent completion).
+  T wait(Status* status = nullptr) {
+    if (!value_) {
+      value_ = comm_->recv<T>(source_, tag_, &status_);
+    }
+    if (status != nullptr) *status = status_;
+    return *value_;
+  }
+
+  /// Completes without blocking if a matching message is queued.
+  /// Returns the value once complete, nullopt otherwise.
+  std::optional<T> test(Status* status = nullptr) {
+    if (!value_) {
+      value_ = comm_->try_recv<T>(source_, tag_, &status_);
+      if (!value_) return std::nullopt;
+    }
+    if (status != nullptr) *status = status_;
+    return value_;
+  }
+
+  /// True once the message has been received.
+  bool done() const noexcept { return value_.has_value(); }
+
+ private:
+  const Communicator* comm_;
+  int source_;
+  int tag_;
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Posts a nonblocking send (MPI_Isend). Buffered: completes immediately.
+template <typename T>
+SendRequest isend(const Communicator& comm, const T& value, int dest, int tag = 0) {
+  comm.send(value, dest, tag);
+  return {};
+}
+
+/// Posts a nonblocking receive (MPI_Irecv).
+template <typename T>
+RecvFuture<T> irecv(const Communicator& comm, int source = kAnySource, int tag = kAnyTag) {
+  return RecvFuture<T>(comm, source, tag);
+}
+
+/// Waits on a set of receive futures in index order (MPI_Waitall).
+template <typename T>
+std::vector<T> wait_all(std::vector<RecvFuture<T>>& futures) {
+  std::vector<T> out;
+  out.reserve(futures.size());
+  for (auto& f : futures) out.push_back(f.wait());
+  return out;
+}
+
+}  // namespace pml::mp

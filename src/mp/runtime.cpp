@@ -1,0 +1,160 @@
+#include "mp/runtime.hpp"
+
+#include <exception>
+
+#include "mp/communicator.hpp"
+#include "smp/wtime.hpp"
+#include "thread/thread.hpp"
+
+namespace pml::mp {
+
+namespace detail {
+
+RuntimeState::RuntimeState(int np, Cluster c) : nprocs(np), cluster(std::move(c)) {
+  mailboxes.reserve(static_cast<std::size_t>(np));
+  for (int r = 0; r < np; ++r) mailboxes.push_back(std::make_unique<Mailbox>());
+}
+
+std::shared_ptr<pml::thread::Event> RuntimeState::register_ack(std::uint64_t id) {
+  auto event = std::make_shared<pml::thread::Event>();
+  std::lock_guard lock(ack_mu);
+  acks.emplace(id, event);
+  return event;
+}
+
+void RuntimeState::acknowledge(std::uint64_t id) {
+  std::shared_ptr<pml::thread::Event> event;
+  {
+    std::lock_guard lock(ack_mu);
+    auto it = acks.find(id);
+    if (it == acks.end()) return;  // duplicate ack; ignore
+    event = it->second;
+    acks.erase(it);
+  }
+  event->set();
+}
+
+void RuntimeState::poison_all() {
+  for (auto& mb : mailboxes) mb->poison();
+  // Release any rank blocked in an ssend, too.
+  std::lock_guard lock(ack_mu);
+  for (auto& [id, event] : acks) event->set();
+  acks.clear();
+}
+
+}  // namespace detail
+
+void run(int nprocs, const std::function<void(Communicator&)>& program,
+         const RunOptions& options) {
+  if (nprocs <= 0) throw UsageError("mp::run: nprocs must be positive");
+  if (!program) throw UsageError("mp::run: program must be callable");
+
+  auto state = std::make_shared<detail::RuntimeState>(nprocs, options.cluster);
+  state->start_time = pml::smp::wtime();
+
+  // Progress hooks feeding the deadlock watchdog and the message trace.
+  for (int dest = 0; dest < nprocs; ++dest) {
+    state->mailboxes[static_cast<std::size_t>(dest)]->set_progress_hooks(
+        [state = state.get()](int delta) {
+          state->blocked.fetch_add(delta, std::memory_order_relaxed);
+        },
+        [state = state.get(), trace = options.message_trace, dest](const Envelope& e) {
+          state->deliveries.fetch_add(1, std::memory_order_relaxed);
+          if (trace != nullptr) {
+            trace->record(e.source, "message", dest,
+                          static_cast<std::int64_t>(e.data.size()));
+          }
+        });
+  }
+
+  std::vector<int> world_group(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) world_group[static_cast<std::size_t>(r)] = r;
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nprocs));
+  {
+    // Watchdog: if every still-running rank sits in an indefinite wait and
+    // no message is delivered for the whole grace period, nothing can ever
+    // make progress (only ranks produce messages) — abort with a diagnosis
+    // instead of hanging the process.
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    bool job_done = false;
+    std::jthread watchdog;
+    if (options.deadlock_grace.count() > 0) {
+      watchdog = std::jthread([&, state] {
+        const auto tick = std::chrono::milliseconds(50);
+        const auto needed_ticks =
+            std::max<long>(1, options.deadlock_grace.count() / tick.count());
+        long stuck_ticks = 0;
+        std::uint64_t last_deliveries = state->deliveries.load();
+        std::unique_lock lock(done_mu);
+        // wait_for returns true once the job finishes (no 50ms teardown
+        // penalty for short jobs); false means one tick elapsed — inspect.
+        while (!done_cv.wait_for(lock, tick, [&] { return job_done; })) {
+          const int live = nprocs - state->finished.load(std::memory_order_relaxed);
+          const int blocked = state->blocked.load(std::memory_order_relaxed);
+          const std::uint64_t delivered = state->deliveries.load();
+          if (live > 0 && blocked == live && delivered == last_deliveries) {
+            if (++stuck_ticks >= needed_ticks) {
+              state->deadlock_detected.store(true);
+              state->poison_all();
+              return;
+            }
+          } else {
+            stuck_ticks = 0;
+            last_deliveries = delivered;
+          }
+        }
+      });
+    }
+
+    std::vector<std::jthread> ranks;
+    ranks.reserve(static_cast<std::size_t>(nprocs));
+    for (int r = 0; r < nprocs; ++r) {
+      ranks.emplace_back([&, r] {
+        Communicator world(state, /*context=*/0, world_group, r);
+        try {
+          program(world);
+        } catch (...) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+          // A dead rank would leave peers blocked forever; wake them so the
+          // job aborts instead of hanging.
+          state->poison_all();
+        }
+        state->finished.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    ranks.clear();  // joins the ranks
+    {
+      std::lock_guard lock(done_mu);
+      job_done = true;
+    }
+    done_cv.notify_all();
+  }  // joins the watchdog
+
+  if (state->deadlock_detected.load()) {
+    throw DeadlockError(
+        "deadlock detected: all live ranks were blocked in indefinite "
+        "receives/synchronous sends with no message in flight for " +
+        std::to_string(options.deadlock_grace.count()) + " ms");
+  }
+
+  // Prefer the root cause over secondary "runtime shut down" faults that
+  // the poison pill induced in otherwise-healthy ranks.
+  std::exception_ptr chosen;
+  for (const auto& e : errors) {
+    if (!e) continue;
+    if (!chosen) chosen = e;
+    try {
+      std::rethrow_exception(e);
+    } catch (const RuntimeFault&) {
+      // likely secondary; keep looking for a more specific cause
+    } catch (...) {
+      chosen = e;
+      break;
+    }
+  }
+  if (chosen) std::rethrow_exception(chosen);
+}
+
+}  // namespace pml::mp

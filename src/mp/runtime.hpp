@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file runtime.hpp
+/// \brief The message-passing runtime: rank spawning and shared plumbing.
+///
+/// `run(np, program)` is the mpirun analogue: it spawns np ranks (as
+/// threads, each with an isolated mailbox — see DESIGN.md for why this
+/// preserves the semantics the patternlets teach), places them on the
+/// simulated Cluster, runs `program(comm)` on every rank with a world
+/// Communicator, and joins. Any rank's exception aborts the job and
+/// rethrows in the caller; remaining blocked ranks are woken by poisoning
+/// their mailboxes (so a test never hangs on a half-dead job).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "mp/cluster.hpp"
+#include "mp/mailbox.hpp"
+#include "thread/condvar.hpp"
+
+namespace pml::mp {
+
+class Communicator;
+
+namespace detail {
+
+/// Process-global state of one message-passing job.
+struct RuntimeState {
+  RuntimeState(int np, Cluster c);
+
+  const int nprocs;
+  const Cluster cluster;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+
+  /// \name Progress accounting for the deadlock watchdog
+  /// @{
+  std::atomic<int> blocked{0};     ///< Ranks stuck in an indefinite wait.
+  std::atomic<int> finished{0};    ///< Ranks whose program returned.
+  std::atomic<std::uint64_t> deliveries{0};  ///< Total messages delivered.
+  std::atomic<bool> deadlock_detected{false};
+  /// @}
+
+  /// Synchronous-send acknowledgement table (keyed by ack id).
+  std::mutex ack_mu;
+  std::map<std::uint64_t, std::shared_ptr<pml::thread::Event>> acks;
+  std::atomic<std::uint64_t> next_ack{1};
+
+  /// Communicator context ids. 0 is the world communicator.
+  std::atomic<int> next_context{1};
+
+  double start_time = 0.0;  ///< For wtime().
+
+  std::shared_ptr<pml::thread::Event> register_ack(std::uint64_t id);
+  void acknowledge(std::uint64_t id);
+  void poison_all();
+};
+
+}  // namespace detail
+
+/// Options for run() — the simulated cluster the job executes on, and the
+/// deadlock watchdog's grace period.
+struct RunOptions {
+  Cluster cluster{};
+  /// The watchdog aborts the job with DeadlockError once every live rank
+  /// has been stuck in an indefinite wait, with no message delivered, for
+  /// this long. Zero disables the watchdog. Deadline waits (recv_for) are
+  /// never counted as stuck — they recover on their own.
+  std::chrono::milliseconds deadlock_grace{3000};
+
+  /// Optional message trace: every delivered envelope is recorded as
+  /// (task = source rank, kind = "message", key = destination rank,
+  /// aux = payload bytes). Makes communication complexity measurable —
+  /// the ablation benches count messages instead of trusting wall time.
+  /// Not owned; must outlive the job. nullptr disables tracing.
+  pml::Trace* message_trace = nullptr;
+};
+
+/// Runs `program(world)` on \p nprocs ranks and joins them ("mpirun -np N").
+/// Rank exceptions propagate to the caller (first by rank order); a proven
+/// no-progress state raises DeadlockError instead of hanging forever.
+void run(int nprocs, const std::function<void(Communicator&)>& program,
+         const RunOptions& options = {});
+
+}  // namespace pml::mp

@@ -1,0 +1,112 @@
+#include "mp/topology.hpp"
+
+#include <algorithm>
+
+namespace pml::mp {
+
+std::vector<int> compute_dims(int nprocs, int ndims) {
+  if (nprocs <= 0) throw UsageError("compute_dims: nprocs must be positive");
+  if (ndims <= 0) throw UsageError("compute_dims: ndims must be positive");
+  std::vector<int> dims(static_cast<std::size_t>(ndims), 1);
+  // Greedy: repeatedly give the smallest prime factor to the currently
+  // smallest dimension, largest factors first for balance.
+  std::vector<int> factors;
+  int n = nprocs;
+  for (int f = 2; f * f <= n; ++f) {
+    while (n % f == 0) {
+      factors.push_back(f);
+      n /= f;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  std::sort(factors.rbegin(), factors.rend());
+  for (int f : factors) {
+    auto smallest = std::min_element(dims.begin(), dims.end());
+    *smallest *= f;
+  }
+  std::sort(dims.rbegin(), dims.rend());
+  return dims;
+}
+
+CartComm::CartComm(Communicator comm, std::vector<int> dims, std::vector<bool> periodic)
+    : comm_(std::move(comm)), dims_(std::move(dims)), periodic_(std::move(periodic)) {
+  if (dims_.empty()) throw UsageError("CartComm: need at least one dimension");
+  long product = 1;
+  for (int d : dims_) {
+    if (d <= 0) throw UsageError("CartComm: dimensions must be positive");
+    product *= d;
+  }
+  if (product != comm_.size()) {
+    throw UsageError("CartComm: product of dims (" + std::to_string(product) +
+                     ") must equal communicator size (" +
+                     std::to_string(comm_.size()) + ")");
+  }
+  if (periodic_.empty()) periodic_.assign(dims_.size(), false);
+  if (periodic_.size() != dims_.size()) {
+    throw UsageError("CartComm: periodic must have one entry per dimension");
+  }
+}
+
+void CartComm::check_dim(int dim) const {
+  if (dim < 0 || dim >= ndims()) throw UsageError("CartComm: dimension out of range");
+}
+
+std::vector<int> CartComm::coords(int rank) const {
+  if (rank < 0 || rank >= comm_.size()) throw UsageError("CartComm::coords: bad rank");
+  std::vector<int> out(dims_.size());
+  int rem = rank;
+  for (std::size_t d = dims_.size(); d-- > 0;) {
+    out[d] = rem % dims_[d];
+    rem /= dims_[d];
+  }
+  return out;
+}
+
+int CartComm::rank_of(const std::vector<int>& coords) const {
+  if (coords.size() != dims_.size()) {
+    throw UsageError("CartComm::rank_of: wrong coordinate count");
+  }
+  int rank = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    int c = coords[d];
+    if (periodic_[d]) {
+      c = ((c % dims_[d]) + dims_[d]) % dims_[d];
+    } else if (c < 0 || c >= dims_[d]) {
+      return -1;  // off the edge of a non-periodic dimension
+    }
+    rank = rank * dims_[d] + c;
+  }
+  return rank;
+}
+
+std::pair<int, int> CartComm::shift(int dim, int displacement) const {
+  check_dim(dim);
+  std::vector<int> up = coords();
+  std::vector<int> down = up;
+  up[static_cast<std::size_t>(dim)] += displacement;
+  down[static_cast<std::size_t>(dim)] -= displacement;
+  // source: the rank whose +displacement shift lands on me; dest: where my
+  // shift lands.
+  return {rank_of(down), rank_of(up)};
+}
+
+Communicator CartComm::sub(const std::vector<bool>& keep_dim) const {
+  if (keep_dim.size() != dims_.size()) {
+    throw UsageError("CartComm::sub: keep_dim must have one entry per dimension");
+  }
+  const std::vector<int> me = coords();
+  // Color: the dropped coordinates identify the group; key: row-major
+  // index over the kept coordinates orders it.
+  int color = 0;
+  int key = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    if (keep_dim[d]) {
+      key = key * dims_[d] + me[d];
+    } else {
+      color = color * dims_[d] + me[d];
+    }
+  }
+  return comm_.split(color, key);
+}
+
+}  // namespace pml::mp

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file topology.hpp
+/// \brief Cartesian process topologies (MPI_Cart_* analogues).
+///
+/// Many message-passing patterns beyond the patternlets — ghost-cell
+/// exchange on Structured Grids, ring pipelines, 2D decompositions — are
+/// naturally expressed on a Cartesian rank grid. This header provides the
+/// MPI topology surface: balanced dimension factorization
+/// (MPI_Dims_create), a CartComm wrapping a Communicator with row-major
+/// rank<->coordinate mapping (MPI_Cart_create with reorder=false),
+/// neighbor shifts with optional periodic wraparound (MPI_Cart_shift),
+/// and grid-axis sub-communicators (MPI_Cart_sub).
+
+#include <vector>
+
+#include "mp/communicator.hpp"
+
+namespace pml::mp {
+
+/// Balanced factorization of \p nprocs into \p ndims dimensions, largest
+/// first (MPI_Dims_create with all dims unconstrained). The product of the
+/// returned dims equals nprocs exactly.
+std::vector<int> compute_dims(int nprocs, int ndims);
+
+/// A communicator arranged as an n-dimensional Cartesian grid.
+///
+/// Rank r of the underlying communicator sits at row-major coordinates
+/// (no reordering). All member queries are pure; communication goes
+/// through comm().
+class CartComm {
+ public:
+  /// Builds the topology over \p comm. The product of \p dims must equal
+  /// comm.size(); \p periodic must have one entry per dimension (or be
+  /// empty = all false).
+  CartComm(Communicator comm, std::vector<int> dims, std::vector<bool> periodic = {});
+
+  /// Underlying communicator (same ranks, same order).
+  const Communicator& comm() const noexcept { return comm_; }
+
+  /// Number of dimensions.
+  int ndims() const noexcept { return static_cast<int>(dims_.size()); }
+
+  /// Extent per dimension.
+  const std::vector<int>& dims() const noexcept { return dims_; }
+
+  /// Periodicity per dimension.
+  const std::vector<bool>& periodic() const noexcept { return periodic_; }
+
+  /// Coordinates of \p rank (MPI_Cart_coords), row-major.
+  std::vector<int> coords(int rank) const;
+
+  /// My coordinates.
+  std::vector<int> coords() const { return coords(comm_.rank()); }
+
+  /// Rank at \p coords (MPI_Cart_rank). Periodic dimensions wrap; a
+  /// non-periodic out-of-range coordinate returns -1 (no neighbor).
+  int rank_of(const std::vector<int>& coords) const;
+
+  /// Source and destination for a shift by \p displacement along
+  /// \p dim (MPI_Cart_shift): `first` = the rank that would send to me,
+  /// `second` = the rank I would send to; -1 where the grid edge cuts the
+  /// shift off (non-periodic).
+  std::pair<int, int> shift(int dim, int displacement) const;
+
+  /// Splits into sub-communicators keeping the dimensions where
+  /// \p keep_dim is true (MPI_Cart_sub): ranks sharing all dropped
+  /// coordinates form one group, ordered by the kept coordinates.
+  Communicator sub(const std::vector<bool>& keep_dim) const;
+
+ private:
+  void check_dim(int dim) const;
+
+  Communicator comm_;
+  std::vector<int> dims_;
+  std::vector<bool> periodic_;
+};
+
+}  // namespace pml::mp

@@ -1,0 +1,112 @@
+/// \file hetero/hetero.cpp
+/// \brief The two heterogeneous (MPI+OpenMP) patternlets.
+///
+/// Heterogeneous systems are distributed-memory systems whose nodes are
+/// shared-memory systems (paper §I.A.3); their programs use MPI across
+/// nodes and OpenMP within a node (§I.B.3, "MPI+X"). These patternlets
+/// compose the two substrates the same way: pml::mp ranks each fork a
+/// pml::smp thread team sized by the simulated node's core count.
+
+#include <string>
+
+#include "mp/mp.hpp"
+#include "patternlets/patternlets.hpp"
+#include "smp/smp.hpp"
+
+namespace pml::patternlets {
+
+namespace {
+
+void register_hetero_spmd(Registry& registry) {
+  registry.add(Patternlet{
+      .slug = "hetero/spmd",
+      .title = "spmd.c (MPI+OpenMP version)",
+      .tech = Tech::kHeterogeneous,
+      .patterns = {"SPMD", "Fork-Join", "Message Passing"},
+      .summary =
+          "Two-level SPMD: every MPI process forks an OpenMP team sized by "
+          "its node's cores; every thread greets with its thread id, its "
+          "process rank, and its node name — one line per (process, thread) "
+          "pair.",
+      .exercise =
+          "Run with 2 and 4 processes. How many greetings appear in total, "
+          "and which identifier changes fastest? Which pairs of greeters "
+          "share memory, and which can only communicate by message?",
+      .toggles = {},
+      .default_tasks = 2,
+      .body =
+          [](RunContext& ctx) {
+            pml::mp::run(ctx.tasks, [&](pml::mp::Communicator& comm) {
+              const int rank = comm.rank();
+              const int threads = comm.cluster().cores_per_node();
+              pml::smp::parallel(threads, [&](pml::smp::Region& region) {
+                ctx.out.say(rank,
+                            "Hello from thread " + std::to_string(region.thread_num()) +
+                                " of " + std::to_string(region.num_threads()) +
+                                " on process " + std::to_string(rank) + " of " +
+                                std::to_string(comm.size()) + " on " +
+                                comm.processor_name());
+              });
+            });
+          },
+  });
+}
+
+void register_hetero_reduction(Registry& registry) {
+  registry.add(Patternlet{
+      .slug = "hetero/reduction",
+      .title = "reduction.c (MPI+OpenMP version)",
+      .tech = Tech::kHeterogeneous,
+      .patterns = {"Reduction", "Message Passing", "Fork-Join"},
+      .summary =
+          "Two-level reduction: each process's thread team sums its slice "
+          "of the iteration space with a shared-memory reduction, then the "
+          "per-process partials are combined across the cluster with "
+          "MPI_Reduce — combining happens where it is cheapest first.",
+      .exercise =
+          "Run with 2 and 4 processes ('n' defaults to 100000). The result "
+          "must equal n*(n-1)/2 regardless of how many processes or threads "
+          "shared the work — check it. Why reduce within the node before "
+          "reducing across nodes?",
+      .toggles = {},
+      .default_tasks = 2,
+      .body =
+          [](RunContext& ctx) {
+            const long n = ctx.param("n", 100000);
+            pml::mp::run(ctx.tasks, [&](pml::mp::Communicator& comm) {
+              const int rank = comm.rank();
+              const int p = comm.size();
+              // Equal-chunks split of [0, n) across processes.
+              const long chunk = (n + p - 1) / p;
+              const long lo = rank * chunk;
+              const long hi = std::min(n, lo + chunk);
+
+              // Level 1: shared-memory reduction within the "node".
+              const int threads = comm.cluster().cores_per_node();
+              const long local = pml::smp::parallel_for_reduce<long>(
+                  threads, lo, hi, pml::smp::Schedule::static_equal(),
+                  pml::smp::op_plus<long>(), [](std::int64_t i) { return i; });
+              ctx.out.say(rank, "Process " + std::to_string(rank) + " on " +
+                                    comm.processor_name() + " computed partial " +
+                                    std::to_string(local));
+
+              // Level 2: message-passing reduction across the cluster.
+              const long total = comm.reduce(local, pml::mp::op_sum<long>(), 0);
+              if (rank == 0) {
+                ctx.out.say(0, "Grand total: " + std::to_string(total) +
+                                   " (expected " + std::to_string(n * (n - 1) / 2) + ")",
+                            "RESULT");
+              }
+            });
+          },
+  });
+}
+
+}  // namespace
+
+void register_heterogeneous(Registry& registry) {
+  register_hetero_spmd(registry);
+  register_hetero_reduction(registry);
+}
+
+}  // namespace pml::patternlets

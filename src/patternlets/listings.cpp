@@ -1,0 +1,308 @@
+/// \file listings.cpp
+/// \brief The paper's C listings, verbatim (Figs. 1, 4, 7, 10, 13, 16, 20,
+/// 23, 25, 29). Comment markers on the toggle lines are kept exactly as
+/// printed — they are the "uncomment this" step the toggles reify.
+
+#include "patternlets/listings.hpp"
+
+namespace pml::patternlets {
+
+const std::vector<Listing>& paper_listings() {
+  static const std::vector<Listing> table = {
+      {"omp/spmd", "Fig. 1", "spmd.c", R"(#include <stdio.h>    // printf()
+#include <omp.h>      // OpenMP functions
+
+int main(int argc, char** argv) {
+  printf("\n");
+
+  // #pragma omp parallel
+  {
+    int id = omp_get_thread_num();
+    int numThreads = omp_get_num_threads();
+    printf("Hello from thread %d of %d\n", id, numThreads);
+  }
+
+  printf("\n");
+  return 0;
+}
+)"},
+
+      {"mpi/spmd", "Fig. 4", "spmd.c", R"(#include <stdio.h>   // printf()
+#include <mpi.h>     // MPI functions
+
+int main(int argc, char** argv) {
+    int id = -1, numProcesses = -1, length = -1;
+    char myHostName[MPI_MAX_PROCESSOR_NAME];
+
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &id);
+    MPI_Comm_size(MPI_COMM_WORLD, &numProcesses);
+    MPI_Get_processor_name(myHostName, &length);
+    printf("Hello from process %d of %d on %s\n", id, numProcesses, myHostName);
+    MPI_Finalize();
+    return 0;
+}
+)"},
+
+      {"omp/barrier", "Fig. 7", "barrier.c", R"(#include <stdio.h>  // printf()
+#include <omp.h>    // OpenMP functions
+#include <stdlib.h> // atoi()
+
+int main(int argc, char** argv) {
+    printf("\n");
+    if (argc > 1) {
+        omp_set_num_threads( atoi(argv[1]) );
+    }
+
+    #pragma omp parallel
+    {
+        int id = omp_get_thread_num();
+        int numThreads = omp_get_num_threads();
+        printf("Thread %d of %d is BEFORE the barrier.\n", id, numThreads);
+
+        // #pragma omp barrier
+        printf("Thread %d of %d is AFTER the barrier.\n", id, numThreads);
+    }
+
+    printf("\n");
+    return 0;
+}
+)"},
+
+      {"mpi/barrier", "Fig. 10", "barrier.c", R"(// barrier.c (MPI version)
+// Worker processes send their BEFORE/AFTER reports to the master, which
+// alone prints, because C's standard output may not preserve the order of
+// write operations from multiple distributed processes. The MPI_Barrier()
+// call between the two reports is initially commented out:
+//
+//   ... worker: send BEFORE report to master ...
+//   // MPI_Barrier(MPI_COMM_WORLD);
+//   ... worker: send AFTER report to master ...
+//
+// (The paper presents the full program as Figure 10.)
+)"},
+
+      {"omp/parallelLoopEqualChunks", "Fig. 13", "parallelLoopEqualChunks.c",
+       R"(#include <stdio.h>  // printf()
+#include <omp.h>    // OpenMP functions
+#include <stdlib.h> // atoi()
+
+int main(int argc, char** argv) {
+    const int REPS = 8;
+    if (argc > 1) {
+        omp_set_num_threads( atoi(argv[1]) );
+    }
+
+    #pragma omp parallel for
+    for (int i = 0; i < REPS; i++) {
+        int id = omp_get_thread_num();
+        printf("Thread %d performed iteration %d\n", id, i);
+    }
+
+    return 0;
+}
+)"},
+
+      {"mpi/parallelLoopEqualChunks", "Fig. 16", "parallelLoopEqualChunks.c",
+       R"(#include <stdio.h>  // printf()
+#include <mpi.h>  // MPI
+#include <math.h>  // ceil()
+
+int main(int argc, char** argv) {
+    const int REPS = 8;
+    int id = -1, numProcesses = -1, i = -1,
+        start = -1, stop = -1, chunkSize = -1;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &id);
+    MPI_Comm_size(MPI_COMM_WORLD, &numProcesses);
+    chunkSize = (int)ceil( (double)REPS / numProcesses );
+    start = id * chunkSize;
+    if ( id < numProcesses-1 ) {
+        stop = (id + 1) * chunkSize;
+    } else {
+        stop = REPS;
+    }
+    for (i = start; i < stop; i++) {
+        printf("Process %d performed iteration %d\n", id, i);
+    }
+    MPI_Finalize();
+    return 0;
+}
+)"},
+
+      {"omp/reduction", "Fig. 20", "reduction.c", R"(#include <stdio.h>  // printf()
+#include <omp.h>    // OpenMP
+#include <stdlib.h> // rand()
+
+void initialize(int* a, int n);
+int sequentialSum(int* a, int n);
+int parallelSum(int* a, int n);
+#define SIZE 1000000
+
+int main(int argc, char** argv) {
+    int array[SIZE];
+    if (argc > 1) {
+       omp_set_num_threads( atoi(argv[1]) );
+    }
+    initialize(array, SIZE);
+    printf("\nSeq. sum: \t%d\nPar. sum: \t%d\n",
+        sequentialSum(array, SIZE),
+        parallelSum(array, SIZE) );
+    return 0;
+}
+
+void initialize(int* a, int n) { // fill array with random values
+    for (int i = 0; i < n; ++i) {
+        a[i] = rand() % 1000;
+    }
+}
+
+int sequentialSum(int* a, int n) { // sum the array sequentially
+    int sum = 0;
+    for (int i = 0; i < n; ++i) {
+        sum += a[i];
+    }
+    return sum;
+}
+
+int parallelSum(int* a, int n) {
+    int sum = 0;
+    // #pragma omp parallel for // reduction(+:sum)
+    for (int i = 0; i < n; ++i) {
+        sum += a[i];
+    }
+    return sum;
+}
+)"},
+
+      {"mpi/reduction", "Fig. 23", "reduction.c", R"(#include <stdio.h> // printf()
+#include <mpi.h>   // MPI
+#define MASTER 0
+
+int main(int argc, char** argv) {
+    int myRank = -1, square = -1, sum = -1, max = -1;
+
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &myRank);
+
+    square = (myRank+1) * (myRank+1);
+    printf("Process %d computed %d\n", myRank, square);
+    MPI_Reduce(&square, &sum, 1, MPI_INT, MPI_SUM, 0, MPI_COMM_WORLD);
+    MPI_Reduce(&square, &max, 1, MPI_INT, MPI_MAX, 0, MPI_COMM_WORLD);
+    if (myRank == MASTER) {
+        printf("\nThe sum of the squares is %d\n", sum);
+        printf("\nThe max of the squares is %d\n", max);
+    }
+    MPI_Finalize();
+    return 0;
+}
+)"},
+
+      {"mpi/gather", "Fig. 25", "gather.c", R"(#include <stdio.h>    // printf()
+#include <stdlib.h>    // malloc()
+#include <mpi.h>       // MPI
+
+#define SIZE 3
+#define MASTER 0
+
+void print(int id, char* arrName, int* arr, int arrSize);
+
+int main(int argc, char** argv) {
+    int computeArray[SIZE]; // array1
+    int* gatherArray = NULL; // array2
+    int numProcs = -1, myRank = -1, totalGatheredVals = -1;
+
+    MPI_Init(&argc, &argv); // initialize
+    MPI_Comm_size(MPI_COMM_WORLD, &numProcs);
+    MPI_Comm_rank(MPI_COMM_WORLD, &myRank);
+
+    for (int i = 0; i < SIZE; i++) { // everyone: load array1 with
+        computeArray[i] = myRank * 10 + i; // 3 distinct values
+    }
+
+    print(myRank, "computeArray", computeArray, SIZE); // everyone: show array1
+
+    if (myRank == MASTER) { // master:
+        totalGatheredVals = SIZE * numProcs; // allocate array2
+        gatherArray = malloc( totalGatheredVals * sizeof(int) );
+    }
+
+    MPI_Gather(computeArray, SIZE, MPI_INT, // gather array1 values
+               gatherArray, SIZE, MPI_INT, // into array2
+               MASTER, MPI_COMM_WORLD); // at master process
+
+    if (myRank == MASTER) { // master: show array2
+        print(myRank, "gatherArray", gatherArray, totalGatheredVals);
+    }
+
+    free(gatherArray); // clean up
+    MPI_Finalize();
+    return 0;
+}
+
+void print(int id, char* arrName, int* arr, int arrSize) {
+    printf("Process %d, %s: ", id, arrName);
+    for (int i = 0; i < arrSize; ++i) {
+        printf(" %d", arr[i]);
+    }
+    printf("\n");
+}
+)"},
+
+      {"omp/critical2", "Fig. 29", "critical2.c", R"(#include<stdio.h>
+#include<omp.h>
+
+void print(char* label, int reps, double balance, double total, double average);
+
+int main() {
+    const int REPS = 1000000;
+    int i;
+    double balance = 0.0,
+            startTime = 0.0,
+            stopTime = 0.0,
+            atomicTime = 0.0,
+            criticalTime = 0.0;
+
+    printf("Your starting bank account balance is %0.2f\n", balance);
+
+    // simulate many deposits using atomic
+    startTime = omp_get_wtime();
+    #pragma omp parallel for
+    for (i = 0; i < REPS; i++) {
+        #pragma omp atomic
+        balance += 1.0;
+    }
+    stopTime = omp_get_wtime();
+    atomicTime = stopTime - startTime;
+    print("atomic", REPS, balance, atomicTime, atomicTime/REPS);
+
+    // simulate the same number of deposits using critical
+    balance = 0.0;
+    startTime = omp_get_wtime();
+    #pragma omp parallel for
+    for (i = 0; i < REPS; i++) {
+        #pragma omp critical
+        {
+            balance += 1.0;
+        }
+    }
+    stopTime = omp_get_wtime();
+    criticalTime = stopTime - startTime;
+    print("critical", REPS, balance, criticalTime, criticalTime/REPS);
+    printf("criticalTime / atomicTime ratio: %0.12f\n\n",
+           criticalTime / atomicTime);
+    return 0;
+}
+)"},
+  };
+  return table;
+}
+
+std::optional<Listing> listing_for(const std::string& slug) {
+  for (const auto& l : paper_listings()) {
+    if (l.slug == slug) return l;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pml::patternlets

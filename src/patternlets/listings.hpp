@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file listings.hpp
+/// \brief The paper's original C source listings.
+///
+/// A patternlet is "syntactically correct [so] students can use the code as
+/// a working model for their own coding" (§III). This library's runnable
+/// bodies are workalike C++, so for the ten patternlets whose C source the
+/// paper prints in full (Figs. 1, 4, 7, 10, 13, 16, 20, 23, 25, 29) we also
+/// carry the original listing: the classroom shows the C code while running
+/// the workalike, keeping the "working model" promise.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pml::patternlets {
+
+/// One original C listing from the paper.
+struct Listing {
+  std::string slug;       ///< The patternlet it belongs to, e.g. "omp/spmd".
+  std::string figure;     ///< Paper figure, e.g. "Fig. 1".
+  std::string filename;   ///< Original file name, e.g. "spmd.c".
+  std::string code;       ///< The C source, verbatim (comment markers intact).
+};
+
+/// All listings the paper prints in full.
+const std::vector<Listing>& paper_listings();
+
+/// The listing for a patternlet slug, if the paper printed one.
+std::optional<Listing> listing_for(const std::string& slug);
+
+}  // namespace pml::patternlets

@@ -1,0 +1,133 @@
+/// \file mpi/barrier_seq.cpp
+/// \brief The MPI Barrier patternlet (paper Figs. 10-12) and the
+/// sequence-numbers patternlet (ordered output via messages).
+///
+/// The paper notes that distributed stdout may not preserve write order, so
+/// its MPI barrier patternlet routes worker output through the master. Both
+/// patternlets below reproduce that structure: workers *send* their lines to
+/// rank 0, which alone prints.
+
+#include <string>
+
+#include "mp/mp.hpp"
+#include "patternlets/mpi/register_mpi.hpp"
+
+namespace pml::patternlets::mpi_detail {
+
+void register_barrier_seq(Registry& registry) {
+  registry.add(Patternlet{
+      .slug = "mpi/barrier",
+      .title = "barrier.c (MPI version)",
+      .tech = Tech::kMPI,
+      .patterns = {"Barrier", "Master-Worker", "Message Passing"},
+      .summary =
+          "Workers report BEFORE, optionally synchronize at MPI_Barrier, "
+          "then report AFTER; the master prints reports as they arrive. "
+          "Without the barrier the phases interleave; with it, every "
+          "BEFORE report precedes every AFTER report (paper Figs. 11-12).",
+      .exercise =
+          "Run with 4 processes, toggle off, several times, and note the "
+          "interleaving. Enable 'MPI_Barrier' and rerun. Why does the MPI "
+          "version need the master-printing machinery that the OpenMP "
+          "version (omp/barrier) does not?",
+      .toggles = {{"MPI_Barrier",
+                   "Synchronize all processes between the BEFORE and AFTER "
+                   "reports (MPI_Barrier(MPI_COMM_WORLD)).",
+                   false}},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            constexpr int kReportTag = 7;
+            const bool use_barrier = ctx.toggles.on("MPI_Barrier");
+            pml::mp::run(ctx.tasks, [&](pml::mp::Communicator& comm) {
+              const int rank = comm.rank();
+              const int size = comm.size();
+
+              auto line_for = [&](int r, const std::string& phase) {
+                return "Process " + std::to_string(r) + " of " + std::to_string(size) +
+                       " is " + phase + " the barrier.";
+              };
+              auto print_report = [&](const std::string& msg) {
+                const auto sep = msg.find('|');
+                const int from = std::stoi(msg.substr(0, sep));
+                const std::string text = msg.substr(sep + 1);
+                ctx.out.say(from, text,
+                            text.find("BEFORE") != std::string::npos ? "BEFORE"
+                                                                     : "AFTER");
+              };
+
+              if (rank != 0) {
+                comm.send(std::to_string(rank) + "|" + line_for(rank, "BEFORE"), 0,
+                          kReportTag);
+                if (use_barrier) comm.barrier();
+                comm.send(std::to_string(rank) + "|" + line_for(rank, "AFTER"), 0,
+                          kReportTag);
+                return;
+              }
+
+              // Rank 0 is the printer (distributed stdout does not preserve
+              // order, so the paper's version routes output through one
+              // process).
+              ctx.out.say(0, line_for(0, "BEFORE"), "BEFORE");
+              if (use_barrier) {
+                // Until rank 0 itself enters the barrier no worker can have
+                // left it, so exactly the size-1 BEFORE reports exist now.
+                for (int i = 1; i < size; ++i) {
+                  print_report(comm.recv<std::string>(pml::mp::kAnySource, kReportTag));
+                }
+                comm.barrier();
+                ctx.out.say(0, line_for(0, "AFTER"), "AFTER");
+                for (int i = 1; i < size; ++i) {
+                  print_report(comm.recv<std::string>(pml::mp::kAnySource, kReportTag));
+                }
+              } else {
+                // No synchronization: print reports in raw arrival order,
+                // so BEFORE and AFTER interleave freely (paper Fig. 11).
+                ctx.out.say(0, line_for(0, "AFTER"), "AFTER");
+                for (int i = 0; i < 2 * (size - 1); ++i) {
+                  print_report(comm.recv<std::string>(pml::mp::kAnySource, kReportTag));
+                }
+              }
+            });
+          },
+  });
+
+  registry.add(Patternlet{
+      .slug = "mpi/sequenceNumbers",
+      .title = "sequenceNumbers.c (MPI version)",
+      .tech = Tech::kMPI,
+      .patterns = {"Message Passing", "Master-Worker"},
+      .summary =
+          "Deterministically ordered output from nondeterministic processes: "
+          "the master receives each rank's greeting *by rank number* and "
+          "prints them 0, 1, 2, ... — contrast with mpi/spmd's shuffled "
+          "greetings.",
+      .exercise =
+          "Run with 4 and 8 processes: the output order is now always "
+          "0..p-1. What ordering work did the master do, and what "
+          "parallelism did that cost? When is this worth it?",
+      .toggles = {},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            constexpr int kLineTag = 3;
+            pml::mp::run(ctx.tasks, [&](pml::mp::Communicator& comm) {
+              const int rank = comm.rank();
+              const std::string line = "Hello from process " + std::to_string(rank) +
+                                       " of " + std::to_string(comm.size());
+              if (rank == 0) {
+                ctx.out.say(0, line);
+                // Receive *in rank order*: rank r's line cannot print
+                // before every lower rank's has.
+                for (int r = 1; r < comm.size(); ++r) {
+                  ctx.out.say(r, comm.recv<std::string>(r, kLineTag));
+                }
+              } else {
+                comm.send(line, 0, kLineTag);
+              }
+            });
+          },
+  });
+}
+
+}  // namespace pml::patternlets::mpi_detail

@@ -1,0 +1,192 @@
+/// \file mpi/collectives.cpp
+/// \brief Collective data-movement patternlets: Broadcast (scalar and
+/// array), Scatter, Gather (paper Figs. 25-28), and Allgather.
+
+#include <string>
+#include <vector>
+
+#include "mp/mp.hpp"
+#include "patternlets/mpi/register_mpi.hpp"
+
+namespace pml::patternlets::mpi_detail {
+
+namespace {
+
+std::string join_ints(const std::vector<int>& v) {
+  std::string out;
+  for (int x : v) {
+    out += ' ';
+    out += std::to_string(x);
+  }
+  return out;
+}
+
+}  // namespace
+
+void register_collectives(Registry& registry) {
+  registry.add(Patternlet{
+      .slug = "mpi/broadcast",
+      .title = "broadcast.c (MPI version)",
+      .tech = Tech::kMPI,
+      .patterns = {"Broadcast", "Collective Communication"},
+      .summary =
+          "The master reads an 'answer' (42) that only it knows; MPI_Bcast "
+          "replicates it to every process — afterwards all ranks hold the "
+          "same value.",
+      .exercise =
+          "Run with 4 and 8 processes: every rank reports 42 after the "
+          "broadcast but -1 before (except the root). How many messages "
+          "would a naive root-sends-to-everyone broadcast need, and how "
+          "many rounds does a tree broadcast need?",
+      .toggles = {},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            pml::mp::run(ctx.tasks, [&](pml::mp::Communicator& comm) {
+              const int rank = comm.rank();
+              int answer = (rank == 0) ? 42 : -1;
+              ctx.out.say(rank, "Process " + std::to_string(rank) +
+                                    " before broadcast: answer = " +
+                                    std::to_string(answer),
+                          "BEFORE");
+              answer = comm.broadcast(answer, 0);
+              ctx.out.say(rank, "Process " + std::to_string(rank) +
+                                    " after broadcast: answer = " +
+                                    std::to_string(answer),
+                          "AFTER");
+            });
+          },
+  });
+
+  registry.add(Patternlet{
+      .slug = "mpi/broadcast2",
+      .title = "broadcast2.c (MPI version, array)",
+      .tech = Tech::kMPI,
+      .patterns = {"Broadcast", "Collective Communication", "Data Replication"},
+      .summary =
+          "Broadcasting a whole array: the master fills an 8-element array; "
+          "after MPI_Bcast every process holds an identical copy — the Data "
+          "Replication idiom for read-mostly inputs.",
+      .exercise =
+          "Run with 4 processes. Each rank prints its array before and "
+          "after. When is replicating input to every rank the right design, "
+          "and when would you scatter it instead?",
+      .toggles = {},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            pml::mp::run(ctx.tasks, [&](pml::mp::Communicator& comm) {
+              const int rank = comm.rank();
+              std::vector<int> data(8, 0);
+              if (rank == 0) {
+                for (int i = 0; i < 8; ++i) data[static_cast<std::size_t>(i)] = 11 * (i + 1);
+              }
+              ctx.out.say(rank, "Process " + std::to_string(rank) + " before:" +
+                                    join_ints(data),
+                          "BEFORE");
+              data = comm.broadcast(data, 0);
+              ctx.out.say(rank, "Process " + std::to_string(rank) + " after: " +
+                                    join_ints(data),
+                          "AFTER");
+            });
+          },
+  });
+
+  registry.add(Patternlet{
+      .slug = "mpi/scatter",
+      .title = "scatter.c (MPI version)",
+      .tech = Tech::kMPI,
+      .patterns = {"Scatter", "Collective Communication", "Data Decomposition"},
+      .summary =
+          "The master builds an array of size()*3 values; MPI_Scatter deals "
+          "each process its own 3-element slice — the data-decomposition "
+          "mirror image of gather.",
+      .exercise =
+          "Run with 2 and 4 processes: which values land at which rank? "
+          "Combine this patternlet with mpi/gather into a scatter-compute-"
+          "gather round trip and check the result equals the input.",
+      .toggles = {},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            constexpr std::size_t kChunk = 3;
+            pml::mp::run(ctx.tasks, [&](pml::mp::Communicator& comm) {
+              const int rank = comm.rank();
+              std::vector<int> all;
+              if (rank == 0) {
+                all.resize(kChunk * static_cast<std::size_t>(comm.size()));
+                for (std::size_t i = 0; i < all.size(); ++i) {
+                  all[i] = static_cast<int>(i + 1);
+                }
+                ctx.out.say(0, "Process 0, sendArray:" + join_ints(all));
+              }
+              const std::vector<int> mine = comm.scatter(all, kChunk, 0);
+              ctx.out.say(rank, "Process " + std::to_string(rank) +
+                                    ", receiveArray:" + join_ints(mine));
+            });
+          },
+  });
+
+  registry.add(Patternlet{
+      .slug = "mpi/gather",
+      .title = "gather.c (MPI version)",
+      .tech = Tech::kMPI,
+      .patterns = {"Gather", "Collective Communication"},
+      .summary =
+          "The paper's Fig. 25: every process fills a 3-value array with "
+          "rank*10+i; MPI_Gather collects the arrays, in rank order, into "
+          "the master's gatherArray (Figs. 26-28).",
+      .exercise =
+          "Run with 2, 4, and 6 processes and compare with Figs. 26-28. The "
+          "gathered values always appear in rank order even though the "
+          "computeArray printouts interleave — what guarantees that?",
+      .toggles = {},
+      .default_tasks = 2,
+      .body =
+          [](RunContext& ctx) {
+            constexpr int kSize = 3;
+            pml::mp::run(ctx.tasks, [&](pml::mp::Communicator& comm) {
+              const int rank = comm.rank();
+              std::vector<int> compute(kSize);
+              for (int i = 0; i < kSize; ++i) {
+                compute[static_cast<std::size_t>(i)] = rank * 10 + i;
+              }
+              ctx.out.say(rank, "Process " + std::to_string(rank) +
+                                    ", computeArray:" + join_ints(compute));
+              const std::vector<int> gathered = comm.gather(compute, 0);
+              if (rank == 0) {
+                ctx.out.say(0, "Process 0, gatherArray:" + join_ints(gathered),
+                            "GATHERED");
+              }
+            });
+          },
+  });
+
+  registry.add(Patternlet{
+      .slug = "mpi/allgather",
+      .title = "allgather.c (MPI version)",
+      .tech = Tech::kMPI,
+      .patterns = {"Gather", "Broadcast", "Collective Communication"},
+      .summary =
+          "MPI_Allgather: like gather, but *every* process ends up with the "
+          "full rank-ordered collection — gather fused with broadcast.",
+      .exercise =
+          "Run with 4 processes: every rank prints the identical combined "
+          "array. Express allgather as two collectives you already know. "
+          "Why might a real implementation fuse them?",
+      .toggles = {},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            pml::mp::run(ctx.tasks, [&](pml::mp::Communicator& comm) {
+              const int rank = comm.rank();
+              const std::vector<int> mine = {rank * 10, rank * 10 + 1};
+              const std::vector<int> all = comm.allgather(mine);
+              ctx.out.say(rank, "Process " + std::to_string(rank) + " has:" +
+                                    join_ints(all));
+            });
+          },
+  });
+}
+
+}  // namespace pml::patternlets::mpi_detail

@@ -1,0 +1,83 @@
+/// \file mpi/loops.cpp
+/// \brief Parallel Loop patternlets, MPI style (paper Figs. 16-18).
+///
+/// MPI has no worksharing directive, so the decomposition is hand-rolled:
+/// equal chunks uses the paper's ceil-division formula, chunks-of-1 uses the
+/// stride-p idiom.
+
+#include <string>
+
+#include "mp/mp.hpp"
+#include "patternlets/mpi/register_mpi.hpp"
+
+namespace pml::patternlets::mpi_detail {
+
+void register_loops(Registry& registry) {
+  registry.add(Patternlet{
+      .slug = "mpi/parallelLoopEqualChunks",
+      .title = "parallelLoopEqualChunks.c (MPI version)",
+      .tech = Tech::kMPI,
+      .patterns = {"Loop Parallelism", "Data Decomposition", "Static Scheduling"},
+      .summary =
+          "Hand-implemented equal-chunks decomposition (the paper's Fig. 16 "
+          "code): chunkSize = ceil(REPS / numProcesses); process i performs "
+          "iterations [i*chunkSize, (i+1)*chunkSize), the last process "
+          "taking the remainder.",
+      .exercise =
+          "Run with 1, 2, and 4 processes ('reps' defaults to 8) and compare "
+          "with the OpenMP version: MPI required you to compute start/stop "
+          "yourself. Change reps to 10 with 4 processes: which process gets "
+          "shortchanged, and why?",
+      .toggles = {},
+      .default_tasks = 2,
+      .body =
+          [](RunContext& ctx) {
+            const long reps = ctx.param("reps", 8);
+            pml::mp::run(ctx.tasks, [&](pml::mp::Communicator& comm) {
+              const int id = comm.rank();
+              const int p = comm.size();
+              // The paper's decomposition, verbatim.
+              const long chunk = (reps + p - 1) / p;  // ceil(reps / p)
+              const long start = id * chunk;
+              const long stop = (id < p - 1) ? std::min(reps, (id + 1) * chunk) : reps;
+              for (long i = start; i < stop; ++i) {
+                ctx.trace.record(id, "iteration", i);
+                ctx.out.say(id, "Process " + std::to_string(id) +
+                                    " performed iteration " + std::to_string(i));
+              }
+            });
+          },
+  });
+
+  registry.add(Patternlet{
+      .slug = "mpi/parallelLoopChunksOf1",
+      .title = "parallelLoopChunksOf1.c (MPI version)",
+      .tech = Tech::kMPI,
+      .patterns = {"Loop Parallelism", "Static Scheduling", "Chunking"},
+      .summary =
+          "The round-robin decomposition: process i performs iterations "
+          "i, i+p, i+2p, ... — one line of code (for i = id; i < REPS; "
+          "i += numProcesses), but a different locality/balance tradeoff.",
+      .exercise =
+          "Run with 2 and 4 processes and compare assignments with the "
+          "equal-chunks version. If iteration i's cost grows with i, which "
+          "decomposition keeps the processes busier? If iterations touch "
+          "neighboring array entries, which has better locality?",
+      .toggles = {},
+      .default_tasks = 2,
+      .body =
+          [](RunContext& ctx) {
+            const long reps = ctx.param("reps", 8);
+            pml::mp::run(ctx.tasks, [&](pml::mp::Communicator& comm) {
+              const int id = comm.rank();
+              for (long i = id; i < reps; i += comm.size()) {
+                ctx.trace.record(id, "iteration", i);
+                ctx.out.say(id, "Process " + std::to_string(id) +
+                                    " performed iteration " + std::to_string(i));
+              }
+            });
+          },
+  });
+}
+
+}  // namespace pml::patternlets::mpi_detail

@@ -1,0 +1,158 @@
+/// \file mpi/messaging.cpp
+/// \brief Point-to-point messaging patternlets: pairwise exchange, the ring,
+/// and the classic recv-before-send deadlock with its sendrecv fix.
+
+#include <chrono>
+#include <string>
+
+#include "mp/mp.hpp"
+#include "patternlets/mpi/register_mpi.hpp"
+
+namespace pml::patternlets::mpi_detail {
+
+void register_messaging(Registry& registry) {
+  registry.add(Patternlet{
+      .slug = "mpi/messagePassing",
+      .title = "messagePassing.c (MPI version)",
+      .tech = Tech::kMPI,
+      .patterns = {"Message Passing", "Point-to-Point Communication"},
+      .summary =
+          "Odd/even pairwise exchange: each even rank swaps a greeting with "
+          "its odd neighbor (rank+1) using send and recv — data crosses "
+          "address spaces only inside messages.",
+      .exercise =
+          "Run with 4 processes: who exchanges with whom? Run with an odd "
+          "process count: the last even rank has no partner — check it is "
+          "handled. Swap the send/recv order on *both* partners: what could "
+          "go wrong? (See mpi/sendrecvDeadlock.)",
+      .toggles = {},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            pml::mp::run(ctx.tasks, [&](pml::mp::Communicator& comm) {
+              const int rank = comm.rank();
+              const int size = comm.size();
+              const bool even = rank % 2 == 0;
+              const int partner = even ? rank + 1 : rank - 1;
+              if (partner < 0 || partner >= size) {
+                ctx.out.say(rank, "Process " + std::to_string(rank) +
+                                      " has no partner; idle.");
+                return;
+              }
+              const std::string mine =
+                  "greetings from process " + std::to_string(rank);
+              std::string theirs;
+              if (even) {
+                comm.send(mine, partner);
+                theirs = comm.recv<std::string>(partner);
+              } else {
+                theirs = comm.recv<std::string>(partner);
+                comm.send(mine, partner);
+              }
+              ctx.out.say(rank, "Process " + std::to_string(rank) + " received '" +
+                                    theirs + "'");
+            });
+          },
+  });
+
+  registry.add(Patternlet{
+      .slug = "mpi/ring",
+      .title = "messagePassing2.c (MPI version, ring)",
+      .tech = Tech::kMPI,
+      .patterns = {"Message Passing", "Pipeline"},
+      .summary =
+          "A token travels the ring 0 -> 1 -> ... -> p-1 -> 0, each rank "
+          "incrementing it — point-to-point messages composing into a "
+          "global communication structure.",
+      .exercise =
+          "Run with 2, 4, and 8 processes: the token returns to rank 0 with "
+          "value p. Which rank holds the token at any instant? How many "
+          "messages does one circuit take, and how would you overlap "
+          "several circuits?",
+      .toggles = {},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            pml::mp::run(ctx.tasks, [&](pml::mp::Communicator& comm) {
+              const int rank = comm.rank();
+              const int size = comm.size();
+              const int next = (rank + 1) % size;
+              const int prev = (rank - 1 + size) % size;
+              if (size == 1) {
+                ctx.out.say(0, "Ring of 1: token stays home with value 1");
+                return;
+              }
+              if (rank == 0) {
+                comm.send(1, next);
+                const int token = comm.recv<int>(prev);
+                ctx.out.say(0, "Token returned to process 0 with value " +
+                                   std::to_string(token));
+              } else {
+                const int token = comm.recv<int>(prev);
+                ctx.out.say(rank, "Process " + std::to_string(rank) +
+                                      " passing token " + std::to_string(token + 1));
+                comm.send(token + 1, next);
+              }
+            });
+          },
+  });
+
+  registry.add(Patternlet{
+      .slug = "mpi/sendrecvDeadlock",
+      .title = "sendrecvDeadlock.c (MPI version)",
+      .tech = Tech::kMPI,
+      .patterns = {"Message Passing", "Deadlock"},
+      .summary =
+          "Both partners receive before sending: with the toggle off the "
+          "exchange deadlocks (detected here by a receive deadline) — the "
+          "'use sendrecv' toggle replaces the ordered pair with the "
+          "combined, deadlock-free operation.",
+      .exercise =
+          "Run with the toggle off and read the deadlock report: why can "
+          "*neither* process make progress? Enable 'use sendrecv' and "
+          "explain how the combined operation breaks the circular wait. "
+          "Would reversing the order on just one partner also fix it?",
+      .toggles = {{"use sendrecv",
+                   "Exchange with the combined sendrecv operation instead of "
+                   "recv-then-send.",
+                   false}},
+      .default_tasks = 2,
+      .body =
+          [](RunContext& ctx) {
+            // Two ranks suffice to show the cycle; extra ranks idle.
+            pml::mp::run(ctx.tasks, [&](pml::mp::Communicator& comm) {
+              const int rank = comm.rank();
+              if (rank > 1) return;
+              if (comm.size() < 2) {
+                ctx.out.say(0, "Need at least 2 processes for an exchange.");
+                return;
+              }
+              const int partner = 1 - rank;
+              const int mine = (rank + 1) * 100;
+              if (ctx.toggles.on("use sendrecv")) {
+                const int theirs = comm.sendrecv<int>(mine, partner, partner);
+                ctx.out.say(rank, "Process " + std::to_string(rank) + " received " +
+                                      std::to_string(theirs));
+                return;
+              }
+              // Deadlock: both sides block in recv; nobody ever sends.
+              const auto theirs =
+                  comm.recv_for<int>(std::chrono::milliseconds(200), partner);
+              if (theirs) {
+                // Unreachable in practice; kept so the lesson is honest.
+                ctx.out.say(rank, "Process " + std::to_string(rank) + " received " +
+                                      std::to_string(*theirs));
+                comm.send(mine, partner);
+              } else {
+                ctx.out.say(rank,
+                            "Process " + std::to_string(rank) +
+                                " DEADLOCKED waiting to receive (gave up after "
+                                "200 ms); its own send never executed.",
+                            "DEADLOCK");
+              }
+            });
+          },
+  });
+}
+
+}  // namespace pml::patternlets::mpi_detail

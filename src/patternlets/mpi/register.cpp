@@ -1,0 +1,17 @@
+/// \file mpi/register.cpp
+/// \brief Assembles the 16 MPI-style patternlets.
+
+#include "patternlets/mpi/register_mpi.hpp"
+
+namespace pml::patternlets {
+
+void register_mpi(Registry& registry) {
+  mpi_detail::register_spmd_mw(registry);      // spmd, masterWorker
+  mpi_detail::register_messaging(registry);    // messagePassing, ring, sendrecvDeadlock
+  mpi_detail::register_barrier_seq(registry);  // barrier, sequenceNumbers
+  mpi_detail::register_loops(registry);        // 2 parallel-loop variants
+  mpi_detail::register_collectives(registry);  // broadcast, broadcast2, scatter, gather, allgather
+  mpi_detail::register_reduction(registry);    // reduction, reduction2
+}
+
+}  // namespace pml::patternlets

@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file mpi/register_mpi.hpp
+/// \brief Internal registration hooks for the 16 MPI-style patternlets.
+
+#include "core/registry.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace pml::patternlets::mpi_detail {
+
+void register_spmd_mw(Registry& registry);     // mpi/spmd, mpi/masterWorker
+void register_messaging(Registry& registry);   // mpi/messagePassing, mpi/ring, mpi/sendrecvDeadlock
+void register_barrier_seq(Registry& registry); // mpi/barrier, mpi/sequenceNumbers
+void register_loops(Registry& registry);       // mpi/parallelLoop{EqualChunks,ChunksOf1}
+void register_collectives(Registry& registry); // mpi/broadcast, broadcast2, scatter, gather, allgather
+void register_reduction(Registry& registry);   // mpi/reduction, mpi/reduction2
+
+}  // namespace pml::patternlets::mpi_detail

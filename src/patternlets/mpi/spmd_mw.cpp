@@ -1,0 +1,84 @@
+/// \file mpi/spmd_mw.cpp
+/// \brief MPI-style SPMD (paper Figs. 4-6) and Master-Worker patternlets.
+
+#include <string>
+
+#include "mp/mp.hpp"
+#include "patternlets/mpi/register_mpi.hpp"
+
+namespace pml::patternlets::mpi_detail {
+
+void register_spmd_mw(Registry& registry) {
+  registry.add(Patternlet{
+      .slug = "mpi/spmd",
+      .title = "spmd.c (MPI version)",
+      .tech = Tech::kMPI,
+      .patterns = {"SPMD", "Message Passing"},
+      .summary =
+          "Every process prints its rank, the process count, and the name "
+          "of the (simulated) cluster node it runs on — the distributed "
+          "twin of omp/spmd, showing that ranks live on different machines.",
+      .exercise =
+          "Run with 1 process, then 4 (paper Figs. 5-6). Each rank reports "
+          "a different node name: what does that tell you about where the "
+          "computation is happening? Rerun with 4 ranks — why does the "
+          "greeting order vary?",
+      .toggles = {},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            pml::mp::run(ctx.tasks, [&](pml::mp::Communicator& comm) {
+              ctx.out.say(comm.rank(),
+                          "Hello from process " + std::to_string(comm.rank()) +
+                              " of " + std::to_string(comm.size()) + " on " +
+                              comm.processor_name());
+            });
+          },
+  });
+
+  registry.add(Patternlet{
+      .slug = "mpi/masterWorker",
+      .title = "masterWorker.c (MPI version)",
+      .tech = Tech::kMPI,
+      .patterns = {"Master-Worker", "Message Passing"},
+      .summary =
+          "Rank 0 (the master) hands each worker a work item by message, "
+          "workers compute and send results back, and the master collects "
+          "them — the message-passing realization of master-worker.",
+      .exercise =
+          "Run with 4 processes. Trace one work item: which messages carry "
+          "it out and back? What happens to the master's collection loop if "
+          "a worker is slow — and why does the program still finish "
+          "correctly?",
+      .toggles = {},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            constexpr int kWorkTag = 1;
+            constexpr int kResultTag = 2;
+            pml::mp::run(ctx.tasks, [&](pml::mp::Communicator& comm) {
+              const int rank = comm.rank();
+              const int size = comm.size();
+              if (rank == 0) {
+                ctx.out.say(0, "Master 0 distributing work to " +
+                                   std::to_string(size - 1) + " workers");
+                for (int w = 1; w < size; ++w) comm.send(w * 10, w, kWorkTag);
+                for (int received = 0; received < size - 1; ++received) {
+                  pml::mp::Status st;
+                  const int result =
+                      comm.recv<int>(pml::mp::kAnySource, kResultTag, &st);
+                  ctx.out.say(0, "Master got result " + std::to_string(result) +
+                                     " from worker " + std::to_string(st.source));
+                }
+              } else {
+                const int item = comm.recv<int>(0, kWorkTag);
+                ctx.out.say(rank, "Worker " + std::to_string(rank) +
+                                      " processing item " + std::to_string(item));
+                comm.send(item + rank, 0, kResultTag);
+              }
+            });
+          },
+  });
+}
+
+}  // namespace pml::patternlets::mpi_detail

@@ -1,0 +1,120 @@
+/// \file omp/forkjoin.cpp
+/// \brief Fork-Join patternlets: the program alternates between one flow of
+/// control and a team, and everything after the region waits for the join.
+
+#include <string>
+
+#include "patternlets/omp/register_omp.hpp"
+#include "smp/smp.hpp"
+
+namespace pml::patternlets::omp_detail {
+
+void register_forkjoin(Registry& registry) {
+  registry.add(Patternlet{
+      .slug = "omp/forkJoin",
+      .title = "forkJoin.c (OpenMP version)",
+      .tech = Tech::kOpenMP,
+      .patterns = {"Fork-Join"},
+      .summary =
+          "One thread prints 'Before', a team forks and prints 'During', and "
+          "only after every team member finishes does one thread print "
+          "'After...' — the join is a synchronization point.",
+      .exercise =
+          "Enable the 'omp parallel' toggle and rerun with several task "
+          "counts. Verify that every 'During' line appears after 'Before' "
+          "and before 'After' — why is that guaranteed here, when the "
+          "barrier patternlet's output interleaves?",
+      .toggles = {{"omp parallel", "Fork the team for the 'During' block.", false}},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            ctx.out.say(-1, "Before...", "BEFORE");
+            if (ctx.toggles.on("omp parallel")) {
+              pml::smp::parallel(ctx.tasks, [&](pml::smp::Region& region) {
+                ctx.out.say(region.thread_num(),
+                            "During: thread " + std::to_string(region.thread_num()) +
+                                " of " + std::to_string(region.num_threads()),
+                            "DURING");
+              });
+            } else {
+              ctx.out.say(0, "During: thread 0 of 1", "DURING");
+            }
+            ctx.out.say(-1, "After.", "AFTER");
+          },
+  });
+
+  registry.add(Patternlet{
+      .slug = "omp/forkJoin2",
+      .title = "forkJoin2.c (OpenMP version)",
+      .tech = Tech::kOpenMP,
+      .patterns = {"Fork-Join"},
+      .summary =
+          "Two fork-join phases of different team sizes in one program: the "
+          "second region forks twice as many threads as the first. Shows that "
+          "regions are independent and the team size is chosen per region.",
+      .exercise =
+          "Run with 2 tasks, then 4. Phase I uses the requested count, phase "
+          "II twice that. Check that no phase-II line ever appears before the "
+          "last phase-I line. What does that tell you about the join?",
+      .toggles = {},
+      .default_tasks = 2,
+      .body =
+          [](RunContext& ctx) {
+            ctx.out.say(-1, "Phase I:", "P1");
+            pml::smp::parallel(ctx.tasks, [&](pml::smp::Region& region) {
+              ctx.out.say(region.thread_num(),
+                          "  phase I, thread " + std::to_string(region.thread_num()) +
+                              " of " + std::to_string(region.num_threads()),
+                          "P1");
+            });
+            ctx.out.say(-1, "Phase II:", "P2");
+            pml::smp::parallel(ctx.tasks * 2, [&](pml::smp::Region& region) {
+              ctx.out.say(region.thread_num(),
+                          "  phase II, thread " + std::to_string(region.thread_num()) +
+                              " of " + std::to_string(region.num_threads()),
+                          "P2");
+            });
+          },
+  });
+}
+
+void register_barrier(Registry& registry) {
+  registry.add(Patternlet{
+      .slug = "omp/barrier",
+      .title = "barrier.c (OpenMP version)",
+      .tech = Tech::kOpenMP,
+      .patterns = {"Barrier", "SPMD"},
+      .summary =
+          "Each thread prints BEFORE, optionally waits at a barrier, then "
+          "prints AFTER. Without the barrier the two phases interleave; with "
+          "it, every BEFORE precedes every AFTER (paper Figs. 7-9).",
+      .exercise =
+          "Run with 4 tasks and observe the interleaving. Enable the "
+          "'omp barrier' toggle and rerun: what ordering property now holds? "
+          "Could a thread's AFTER ever precede its own BEFORE?",
+      .toggles = {{"omp barrier",
+                   "Synchronize the team between the two printfs "
+                   "(#pragma omp barrier).",
+                   false}},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            const bool use_barrier = ctx.toggles.on("omp barrier");
+            pml::smp::parallel(ctx.tasks, [&](pml::smp::Region& region) {
+              const int id = region.thread_num();
+              const int n = region.num_threads();
+              ctx.out.say(id,
+                          "Thread " + std::to_string(id) + " of " + std::to_string(n) +
+                              " is BEFORE the barrier.",
+                          "BEFORE");
+              if (use_barrier) region.barrier();
+              ctx.out.say(id,
+                          "Thread " + std::to_string(id) + " of " + std::to_string(n) +
+                              " is AFTER the barrier.",
+                          "AFTER");
+            });
+          },
+  });
+}
+
+}  // namespace pml::patternlets::omp_detail

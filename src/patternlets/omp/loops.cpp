@@ -1,0 +1,115 @@
+/// \file omp/loops.cpp
+/// \brief Parallel Loop patternlets (paper Figs. 13-15) with the three
+/// scheduling strategies: equal chunks, chunks of 1, and dynamic.
+///
+/// Each iteration records itself in the trace ("iteration" -> thread), so
+/// tests and benches can assert exactly how the schedule divided the loop.
+
+#include <string>
+
+#include "patternlets/omp/register_omp.hpp"
+#include "smp/smp.hpp"
+
+namespace pml::patternlets::omp_detail {
+
+namespace {
+
+void run_loop(RunContext& ctx, const pml::smp::Schedule& schedule, long reps,
+              bool parallel_on, long spin_factor = 0) {
+  auto iterate = [&](int thread, std::int64_t i) {
+    // Optional skewed work so dynamic scheduling has something to balance:
+    // iteration i costs ~i * spin_factor.
+    if (spin_factor > 0) {
+      volatile double sink = 0.0;
+      for (long k = 0; k < i * spin_factor; ++k) sink = sink + 1.0;
+    }
+    ctx.trace.record(thread, "iteration", i);
+    ctx.out.say(thread, "Thread " + std::to_string(thread) + " performed iteration " +
+                            std::to_string(i));
+  };
+  if (parallel_on) {
+    pml::smp::parallel_for(ctx.tasks, 0, reps, schedule, iterate);
+  } else {
+    for (std::int64_t i = 0; i < reps; ++i) iterate(0, i);
+  }
+}
+
+}  // namespace
+
+void register_loops(Registry& registry) {
+  registry.add(Patternlet{
+      .slug = "omp/parallelLoopEqualChunks",
+      .title = "parallelLoopEqualChunks.c (OpenMP version)",
+      .tech = Tech::kOpenMP,
+      .patterns = {"Loop Parallelism", "Data Decomposition", "Static Scheduling"},
+      .summary =
+          "Eight loop iterations divided among the threads in contiguous, "
+          "nearly-equal chunks (schedule(static)): with 2 threads, thread 0 "
+          "performs iterations 0-3 and thread 1 iterations 4-7.",
+      .exercise =
+          "Run with 1, 2, and 4 tasks ('reps' param defaults to 8). Which "
+          "iterations does each thread perform? Change reps to 10 with 4 "
+          "tasks: how are the two leftover iterations assigned?",
+      .toggles = {{"omp parallel for",
+                   "Workshare the loop across a team "
+                   "(#pragma omp parallel for).",
+                   true}},
+      .default_tasks = 2,
+      .body =
+          [](RunContext& ctx) {
+            run_loop(ctx, pml::smp::Schedule::static_equal(), ctx.param("reps", 8),
+                     ctx.toggles.on("omp parallel for"));
+          },
+  });
+
+  registry.add(Patternlet{
+      .slug = "omp/parallelLoopChunksOf1",
+      .title = "parallelLoopChunksOf1.c (OpenMP version)",
+      .tech = Tech::kOpenMP,
+      .patterns = {"Loop Parallelism", "Static Scheduling", "Chunking"},
+      .summary =
+          "The same loop under schedule(static,1): iterations are dealt "
+          "round-robin, one at a time — thread t performs iterations t, "
+          "t+N, t+2N, ...",
+      .exercise =
+          "Run with 2 and 4 tasks and compare the iteration-to-thread "
+          "assignment with parallelLoopEqualChunks. For an image-processing "
+          "loop where later rows cost more, which assignment balances "
+          "better?",
+      .toggles = {{"omp parallel for",
+                   "Workshare the loop (schedule(static,1)).", true}},
+      .default_tasks = 2,
+      .body =
+          [](RunContext& ctx) {
+            run_loop(ctx, pml::smp::Schedule::static_chunks(1), ctx.param("reps", 8),
+                     ctx.toggles.on("omp parallel for"));
+          },
+  });
+
+  registry.add(Patternlet{
+      .slug = "omp/parallelLoopDynamic",
+      .title = "parallelLoopDynamic.c (OpenMP version)",
+      .tech = Tech::kOpenMP,
+      .patterns = {"Loop Parallelism", "Dynamic Scheduling", "Load Balancing"},
+      .summary =
+          "A loop whose iterations cost increasing amounts of work, "
+          "workshared under schedule(dynamic,1): free threads grab the next "
+          "iteration, so fast threads do more of them.",
+      .exercise =
+          "Run with 4 tasks and inspect which thread performed which "
+          "iteration; rerun and compare — the assignment is not "
+          "reproducible. Why is that acceptable here but not for "
+          "schedule(static)? Set param 'spin' to 0 and see whether dynamic "
+          "still helps.",
+      .toggles = {{"omp parallel for",
+                   "Workshare the loop (schedule(dynamic,1)).", true}},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            run_loop(ctx, pml::smp::Schedule::dynamic(1), ctx.param("reps", 8),
+                     ctx.toggles.on("omp parallel for"), ctx.param("spin", 2000));
+          },
+  });
+}
+
+}  // namespace pml::patternlets::omp_detail

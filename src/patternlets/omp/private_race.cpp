@@ -1,0 +1,94 @@
+/// \file omp/private_race.cpp
+/// \brief The `private` clause and the bare race-condition patternlets.
+///
+/// `omp/private` shows why loop temporaries must be per-thread: with the
+/// private toggle off, all threads share one `temp` variable and read each
+/// other's values mid-computation; with it on, each thread gets its own.
+/// `omp/race` is the bank-balance lost-update demonstration that precedes
+/// the critical/atomic patternlets. As in omp/reduction, races are staged
+/// as torn read/write pairs of atomics — real lost updates, no UB.
+
+#include <string>
+
+#include "patternlets/omp/register_omp.hpp"
+#include "smp/smp.hpp"
+
+namespace pml::patternlets::omp_detail {
+
+void register_private_race(Registry& registry) {
+  registry.add(Patternlet{
+      .slug = "omp/private",
+      .title = "private.c (OpenMP version)",
+      .tech = Tech::kOpenMP,
+      .patterns = {"Data Sharing", "Race Condition", "Privatization"},
+      .summary =
+          "Each thread computes temp = id*id and then prints temp. With one "
+          "shared temp, a thread may print another thread's square; with the "
+          "private clause every thread prints its own.",
+      .exercise =
+          "Run with 4 tasks, private off, many times: find a run where some "
+          "thread reports a square that is not its own. Enable "
+          "'private(temp)' and explain why the anomaly disappears.",
+      .toggles = {{"private(temp)",
+                   "Give each thread its own copy of temp "
+                   "(private clause on the parallel directive).",
+                   false}},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            const bool private_on = ctx.toggles.on("private(temp)");
+            long shared_temp = 0;
+            pml::smp::parallel(ctx.tasks, [&](pml::smp::Region& region) {
+              const int id = region.thread_num();
+              if (private_on) {
+                const long temp = static_cast<long>(id) * id;
+                ctx.out.say(id, "Thread " + std::to_string(id) +
+                                    " computed temp = " + std::to_string(temp));
+              } else {
+                // Shared temp: write, linger, read back — another thread's
+                // write can land in between.
+                pml::smp::atomic_write(shared_temp, static_cast<long>(id) * id);
+                region.barrier();  // maximize the chance of overlap
+                const long temp = pml::smp::atomic_read(shared_temp);
+                ctx.out.say(id, "Thread " + std::to_string(id) +
+                                    " computed temp = " + std::to_string(temp));
+              }
+            });
+          },
+  });
+
+  registry.add(Patternlet{
+      .slug = "omp/race",
+      .title = "race.c (OpenMP version)",
+      .tech = Tech::kOpenMP,
+      .patterns = {"Race Condition", "Shared Data"},
+      .summary =
+          "N threads each deposit $1 into a shared balance REPS/N times with "
+          "no synchronization. Deposits get lost: the final balance is "
+          "(almost always) less than REPS — the race costs you imaginary "
+          "money.",
+      .exercise =
+          "Run with 1 task: the balance is exact. Run with 4: how much money "
+          "did you lose? Rerun — is the loss the same? Where exactly do two "
+          "threads have to interleave for a deposit to vanish?",
+      .toggles = {},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            const long reps = ctx.param("reps", 100000);
+            long balance = 0;
+            pml::smp::parallel_for(ctx.tasks, 0, reps, [&](int, std::int64_t) {
+              // balance += 1, torn into separate read and write.
+              const long cur = pml::smp::atomic_read(balance);
+              pml::smp::atomic_write(balance, cur + 1);
+            });
+            ctx.out.program("After " + std::to_string(reps) +
+                            " $1 deposits, balance = " + std::to_string(balance));
+            ctx.out.program(balance == reps ? "No deposits lost."
+                                            : std::to_string(reps - balance) +
+                                                  " deposits were lost to the race!");
+          },
+  });
+}
+
+}  // namespace pml::patternlets::omp_detail

@@ -1,0 +1,171 @@
+/// \file omp/reduction.cpp
+/// \brief Reduction patternlets (paper Figs. 20-22).
+///
+/// `omp/reduction` is the paper's centerpiece lesson: summing an array of
+/// random values sequentially and "in parallel". With the parallel-for
+/// toggle on but the reduction clause off, every thread races on one shared
+/// sum and the result is wrong (Fig. 22); enabling the reduction clause
+/// gives every thread a private copy and combines them — correct again.
+///
+/// The racy mode performs the read and the write as *separate* atomic
+/// operations, which reproduces the lost-update behavior of the original's
+/// data race without invoking undefined behavior (see DESIGN.md).
+
+#include <string>
+#include <vector>
+
+#include "patternlets/omp/register_omp.hpp"
+#include "smp/smp.hpp"
+
+namespace pml::patternlets::omp_detail {
+
+namespace {
+
+/// rand()%1000 stand-in: deterministic LCG so every run sums identically.
+std::vector<int> make_values(std::size_t n) {
+  std::vector<int> v(n);
+  std::uint32_t state = 12345;
+  for (auto& x : v) {
+    state = state * 1664525u + 1013904223u;
+    x = static_cast<int>(state >> 16) % 1000;
+  }
+  return v;
+}
+
+long sequential_sum(const std::vector<int>& a) {
+  long sum = 0;
+  for (int x : a) sum += x;
+  return sum;
+}
+
+}  // namespace
+
+void register_reduction(Registry& registry) {
+  registry.add(Patternlet{
+      .slug = "omp/reduction",
+      .title = "reduction.c (OpenMP version)",
+      .tech = Tech::kOpenMP,
+      .patterns = {"Reduction", "Race Condition", "Loop Parallelism"},
+      .summary =
+          "Sums a million-element array sequentially and in parallel. "
+          "Parallel-for without the reduction clause races on the shared "
+          "sum and loses updates; with reduction(+:sum) each thread "
+          "accumulates privately and the partials are combined.",
+      .exercise =
+          "Run with both toggles off: the two sums agree. Enable "
+          "'omp parallel for' only: why is the parallel sum now wrong, and "
+          "why does it change between runs? Brainstorm a fix before "
+          "enabling 'reduction(+:sum)'.",
+      .toggles = {{"omp parallel for", "Workshare the summing loop.", false},
+                  {"reduction(+:sum)",
+                   "Give each thread a private sum and combine at the end.",
+                   false}},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            const auto values =
+                make_values(static_cast<std::size_t>(ctx.param("size", 1000000)));
+            const long seq = sequential_sum(values);
+
+            long par = 0;
+            const bool parallel_on = ctx.toggles.on("omp parallel for");
+            const bool reduction_on = ctx.toggles.on("reduction(+:sum)");
+            if (!parallel_on) {
+              par = sequential_sum(values);
+            } else if (reduction_on) {
+              par = pml::smp::parallel_for_reduce<long>(
+                  ctx.tasks, 0, static_cast<std::int64_t>(values.size()),
+                  pml::smp::Schedule::static_equal(), pml::smp::op_plus<long>(),
+                  [&](std::int64_t i) {
+                    return static_cast<long>(values[static_cast<std::size_t>(i)]);
+                  });
+            } else {
+              // The data race of Fig. 22: read-modify-write torn into a
+              // separate read and write, so concurrent deposits get lost.
+              long shared_sum = 0;
+              pml::smp::parallel_for(
+                  ctx.tasks, 0, static_cast<std::int64_t>(values.size()),
+                  [&](int, std::int64_t i) {
+                    const long cur = pml::smp::atomic_read(shared_sum);
+                    pml::smp::atomic_write(
+                        shared_sum, cur + values[static_cast<std::size_t>(i)]);
+                  });
+              par = shared_sum;
+            }
+
+            ctx.out.program("Seq. sum: \t" + std::to_string(seq));
+            ctx.out.program("Par. sum: \t" + std::to_string(par));
+          },
+  });
+
+  registry.add(Patternlet{
+      .slug = "omp/reduction2",
+      .title = "reduction2.c (OpenMP version, user-defined reduction)",
+      .tech = Tech::kOpenMP,
+      .patterns = {"Reduction"},
+      .summary =
+          "OpenMP 4.0 user-defined reductions: combines (sum, min, max) "
+          "triples in a single pass with a declare-reduction-style custom "
+          "operator, alongside builtin min/max reductions of the same data.",
+      .exercise =
+          "The custom operator merges statistics structs. Verify the triple "
+          "matches the three separate builtin reductions. What property must "
+          "your combiner have for the result to be independent of how the "
+          "iterations were chunked?",
+      .toggles = {},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            const auto values =
+                make_values(static_cast<std::size_t>(ctx.param("size", 100000)));
+
+            // The user-declared reduction type and combiner (OpenMP 4.0's
+            // `#pragma omp declare reduction` analogue).
+            struct Stats {
+              long sum;
+              int lo;
+              int hi;
+            };
+            pml::smp::ReduceOp<Stats> stats_op{
+                "stats", Stats{0, 1 << 30, -(1 << 30)},
+                [](Stats a, Stats b) {
+                  return Stats{a.sum + b.sum, std::min(a.lo, b.lo),
+                               std::max(a.hi, b.hi)};
+                }};
+
+            Stats combined = stats_op.identity;
+            pml::smp::parallel(ctx.tasks, [&](pml::smp::Region& region) {
+              Stats local = stats_op.identity;
+              region.for_each(0, static_cast<std::int64_t>(values.size()),
+                              pml::smp::Schedule::static_equal(), [&](std::int64_t i) {
+                                const int x = values[static_cast<std::size_t>(i)];
+                                local.sum += x;
+                                local.lo = std::min(local.lo, x);
+                                local.hi = std::max(local.hi, x);
+                              });
+              const Stats total =
+                  region.reduce(local, stats_op.combine, stats_op.identity);
+              region.master([&] { combined = total; });
+            });
+
+            // Cross-check against the builtin operators.
+            auto value_at = [&](std::int64_t i) {
+              return values[static_cast<std::size_t>(i)];
+            };
+            const int lo = pml::smp::parallel_for_reduce<int>(
+                ctx.tasks, 0, static_cast<std::int64_t>(values.size()),
+                pml::smp::Schedule::static_equal(), pml::smp::op_min<int>(), value_at);
+            const int hi = pml::smp::parallel_for_reduce<int>(
+                ctx.tasks, 0, static_cast<std::int64_t>(values.size()),
+                pml::smp::Schedule::static_equal(), pml::smp::op_max<int>(), value_at);
+
+            ctx.out.program("custom sum: " + std::to_string(combined.sum));
+            ctx.out.program("custom min: " + std::to_string(combined.lo) +
+                            "  builtin min: " + std::to_string(lo));
+            ctx.out.program("custom max: " + std::to_string(combined.hi) +
+                            "  builtin max: " + std::to_string(hi));
+          },
+  });
+}
+
+}  // namespace pml::patternlets::omp_detail

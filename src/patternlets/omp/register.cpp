@@ -1,0 +1,19 @@
+/// \file omp/register.cpp
+/// \brief Assembles the 17 OpenMP-style patternlets.
+
+#include "patternlets/omp/register_omp.hpp"
+
+namespace pml::patternlets {
+
+void register_openmp(Registry& registry) {
+  omp_detail::register_spmd(registry);          // spmd, spmd2
+  omp_detail::register_forkjoin(registry);      // forkJoin, forkJoin2
+  omp_detail::register_barrier(registry);       // barrier
+  omp_detail::register_loops(registry);         // 3 parallel-loop variants
+  omp_detail::register_reduction(registry);     // reduction, reduction2
+  omp_detail::register_private_race(registry);  // private, race
+  omp_detail::register_mutex(registry);         // critical, atomic, critical2
+  omp_detail::register_structures(registry);    // sections, masterWorker
+}
+
+}  // namespace pml::patternlets

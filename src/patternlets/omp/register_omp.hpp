@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file omp/register_omp.hpp
+/// \brief Internal registration hooks for the 17 OpenMP-style patternlets.
+
+#include "core/registry.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace pml::patternlets::omp_detail {
+
+void register_spmd(Registry& registry);          // omp/spmd, omp/spmd2
+void register_forkjoin(Registry& registry);      // omp/forkJoin, omp/forkJoin2
+void register_barrier(Registry& registry);       // omp/barrier
+void register_loops(Registry& registry);         // omp/parallelLoop{EqualChunks,ChunksOf1,Dynamic}
+void register_reduction(Registry& registry);     // omp/reduction, omp/reduction2
+void register_private_race(Registry& registry);  // omp/private, omp/race
+void register_mutex(Registry& registry);         // omp/critical, omp/atomic, omp/critical2
+void register_structures(Registry& registry);    // omp/sections, omp/masterWorker
+
+}  // namespace pml::patternlets::omp_detail

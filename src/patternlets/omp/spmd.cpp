@@ -1,0 +1,87 @@
+/// \file omp/spmd.cpp
+/// \brief OpenMP-style SPMD patternlets (paper Figs. 1-3).
+///
+/// `omp/spmd` is the collection's front door: a hello-world whose behavior
+/// changes completely when the "omp parallel" toggle (the commented-out
+/// `#pragma omp parallel` of the original) is switched on. `omp/spmd2` adds
+/// the user-chosen thread count (the original's `omp_set_num_threads(
+/// atoi(argv[1]))` step).
+
+#include <string>
+
+#include "patternlets/omp/register_omp.hpp"
+#include "smp/smp.hpp"
+
+namespace pml::patternlets::omp_detail {
+
+namespace {
+
+void hello(RunContext& ctx, int id, int num_threads) {
+  ctx.out.say(id, "Hello from thread " + std::to_string(id) + " of " +
+                      std::to_string(num_threads));
+}
+
+}  // namespace
+
+void register_spmd(Registry& registry) {
+  registry.add(Patternlet{
+      .slug = "omp/spmd",
+      .title = "spmd.c (OpenMP version)",
+      .tech = Tech::kOpenMP,
+      .patterns = {"SPMD"},
+      .summary =
+          "Different instances of the same program print their thread id and "
+          "team size. With the parallel directive off, one thread says hello; "
+          "with it on, every thread does — in nondeterministic order.",
+      .exercise =
+          "Compile and run. Then enable the 'omp parallel' toggle (the "
+          "original asks you to uncomment '#pragma omp parallel'), rerun, and "
+          "compare. Rerun several times: does the order of the greetings "
+          "change? Why?",
+      .toggles = {{"omp parallel",
+                   "Fork a team of threads for the enclosed block "
+                   "(#pragma omp parallel).",
+                   false}},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            ctx.out.program("");
+            if (ctx.toggles.on("omp parallel")) {
+              pml::smp::parallel(ctx.tasks, [&](pml::smp::Region& region) {
+                hello(ctx, region.thread_num(), region.num_threads());
+              });
+            } else {
+              // The block still executes — on the one primary thread.
+              hello(ctx, 0, 1);
+            }
+            ctx.out.program("");
+          },
+  });
+
+  registry.add(Patternlet{
+      .slug = "omp/spmd2",
+      .title = "spmd2.c (OpenMP version)",
+      .tech = Tech::kOpenMP,
+      .patterns = {"SPMD"},
+      .summary =
+          "SPMD with a user-chosen thread count: the task count parameter "
+          "plays the role of argv[1] passed to omp_set_num_threads().",
+      .exercise =
+          "Run with 1, 2, 4, and 8 tasks. Confirm that the team size printed "
+          "by every thread matches the count you requested, and that each "
+          "thread id in 0..N-1 appears exactly once.",
+      .toggles = {},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            // omp_set_num_threads(atoi(argv[1])) analogue: set the default,
+            // then open a region without an explicit count.
+            pml::smp::set_default_num_threads(ctx.tasks);
+            pml::smp::parallel([&](pml::smp::Region& region) {
+              hello(ctx, region.thread_num(), region.num_threads());
+            });
+          },
+  });
+}
+
+}  // namespace pml::patternlets::omp_detail

@@ -1,0 +1,97 @@
+/// \file omp/structures.cpp
+/// \brief Sections and Master-Worker patternlets for the worksharing
+/// constructs beyond loops.
+
+#include <string>
+
+#include "patternlets/omp/register_omp.hpp"
+#include "smp/smp.hpp"
+
+namespace pml::patternlets::omp_detail {
+
+void register_structures(Registry& registry) {
+  registry.add(Patternlet{
+      .slug = "omp/sections",
+      .title = "sections.c (OpenMP version)",
+      .tech = Tech::kOpenMP,
+      .patterns = {"Task Decomposition", "Fork-Join"},
+      .summary =
+          "Four independent tasks declared as sections: each executes "
+          "exactly once, on whichever thread gets to it first — task "
+          "parallelism where the tasks are different code, not different "
+          "data.",
+      .exercise =
+          "Run with 4 tasks, then 2, then 1: every section always runs "
+          "exactly once. Note which thread ran which section across runs. "
+          "How does this differ from a parallel loop?",
+      .toggles = {{"omp sections",
+                   "Distribute the section blocks across the team "
+                   "(#pragma omp sections).",
+                   true}},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            if (ctx.toggles.on("omp sections")) {
+              pml::smp::parallel(ctx.tasks, [&](pml::smp::Region& region) {
+                const int id = region.thread_num();
+                std::vector<std::function<void()>> sections;
+                for (const char* name : {"A", "B", "C", "D"}) {
+                  sections.push_back([&ctx, id, name] {
+                    ctx.trace.record(id, "section", name[0] - 'A');
+                    ctx.out.say(id, std::string("Thread ") + std::to_string(id) +
+                                        " executed section " + name);
+                  });
+                }
+                region.sections(sections);
+              });
+            } else {
+              for (const char* name : {"A", "B", "C", "D"}) {
+                ctx.trace.record(0, "section", name[0] - 'A');
+                ctx.out.say(0, std::string("Thread 0 executed section ") + name);
+              }
+            }
+          },
+  });
+
+  registry.add(Patternlet{
+      .slug = "omp/masterWorker",
+      .title = "masterWorker.c (OpenMP version)",
+      .tech = Tech::kOpenMP,
+      .patterns = {"Master-Worker", "SPMD"},
+      .summary =
+          "Inside one parallel region, thread 0 takes the master role "
+          "(coordinating, printing the summary) while the other threads "
+          "work — role differentiation by thread id, the heart of "
+          "master-worker on shared memory.",
+      .exercise =
+          "Run with 4 tasks. Which lines can only be printed by thread 0? "
+          "Replace the master/worker split with 'single': what changes "
+          "about *which* thread runs the coordination code?",
+      .toggles = {},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            pml::smp::parallel(ctx.tasks, [&](pml::smp::Region& region) {
+              const int id = region.thread_num();
+              const int n = region.num_threads();
+              region.master([&] {
+                ctx.out.say(id, "Master thread " + std::to_string(id) + " of " +
+                                    std::to_string(n) + " is coordinating.",
+                            "MASTER");
+              });
+              if (id != 0) {
+                ctx.out.say(id, "Worker thread " + std::to_string(id) + " of " +
+                                    std::to_string(n) + " is working.",
+                            "WORKER");
+              }
+              region.barrier();
+              region.single([&] {
+                ctx.out.say(region.thread_num(), "All workers done (reported by one thread).",
+                            "DONE");
+              });
+            });
+          },
+  });
+}
+
+}  // namespace pml::patternlets::omp_detail

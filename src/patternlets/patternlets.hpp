@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file patternlets.hpp
+/// \brief Registration entry points for the patternlet collection.
+///
+/// The collection mirrors the paper's census: 16 MPI-style, 17 OpenMP-style,
+/// 9 Pthreads-style, and 2 heterogeneous patternlets — 44 in all. Call
+/// register_all() once (idempotence is the caller's concern; registering
+/// twice throws on the duplicate slug) and then look patternlets up in
+/// pml::Registry::instance().
+///
+/// Every patternlet follows the paper's pedagogy:
+///  - *minimalist*: one pattern, no extraneous machinery;
+///  - *scalable*: the task count is a run-time parameter;
+///  - *working model*: the body is correct, idiomatic use of the substrate;
+///  - the "uncomment this directive" step is reified as named toggles.
+
+#include "core/registry.hpp"
+
+namespace pml::patternlets {
+
+/// Registers the 17 OpenMP-style patternlets (pml::smp substrate).
+void register_openmp(Registry& registry);
+
+/// Registers the 16 MPI-style patternlets (pml::mp substrate).
+void register_mpi(Registry& registry);
+
+/// Registers the 9 Pthreads-style patternlets (pml::thread substrate).
+void register_pthreads(Registry& registry);
+
+/// Registers the 2 heterogeneous (MPI+OpenMP) patternlets.
+void register_heterogeneous(Registry& registry);
+
+/// Registers the whole 44-program collection into \p registry.
+void register_all(Registry& registry);
+
+/// Registers the collection into the global registry exactly once,
+/// no matter how often it is called. Returns that registry.
+Registry& ensure_registered();
+
+}  // namespace pml::patternlets

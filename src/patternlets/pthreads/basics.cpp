@@ -1,0 +1,123 @@
+/// \file pthreads/basics.cpp
+/// \brief Explicit-threading basics: SPMD hello, fork-join, barrier.
+///
+/// Where OpenMP hides thread management behind a directive, the Pthreads
+/// patternlets *show* it: create each thread with an id argument, join each
+/// one, build the barrier as an object you construct for a party size.
+
+#include <string>
+
+#include "patternlets/pthreads/register_pthreads.hpp"
+#include "thread/barrier.hpp"
+#include "thread/thread.hpp"
+
+namespace pml::patternlets::pthreads_detail {
+
+void register_basics(Registry& registry) {
+  registry.add(Patternlet{
+      .slug = "pthreads/spmd",
+      .title = "spmd.c (Pthreads version)",
+      .tech = Tech::kPthreads,
+      .patterns = {"SPMD", "Thread Creation"},
+      .summary =
+          "The hello-world of explicit threading: pthread_create N workers, "
+          "each receiving its id as the start-routine argument; each greets; "
+          "pthread_join them all.",
+      .exercise =
+          "Run with 4 tasks several times and watch the greeting order "
+          "shuffle. In omp/spmd the runtime invented the ids — here, where "
+          "does each thread's id come from? What breaks if you pass the "
+          "address of the loop variable instead of its value?",
+      .toggles = {},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            std::vector<pml::thread::Thread> workers;
+            workers.reserve(static_cast<std::size_t>(ctx.tasks));
+            for (int id = 0; id < ctx.tasks; ++id) {
+              workers.emplace_back(id, [&ctx, n = ctx.tasks](int my_id) {
+                ctx.out.say(my_id, "Hello from thread " + std::to_string(my_id) +
+                                       " of " + std::to_string(n));
+              });
+            }
+            for (auto& w : workers) w.join();
+            ctx.out.program("All " + std::to_string(ctx.tasks) + " threads joined.");
+          },
+  });
+
+  registry.add(Patternlet{
+      .slug = "pthreads/forkJoin",
+      .title = "forkJoin.c (Pthreads version)",
+      .tech = Tech::kPthreads,
+      .patterns = {"Fork-Join", "Thread Creation"},
+      .summary =
+          "Fork-join made explicit: the main thread prints 'Before', forks "
+          "workers that print 'During', joins them, then prints 'After' — "
+          "join() *is* the synchronization.",
+      .exercise =
+          "Comment out (toggle off) the joins: can 'After' now print before "
+          "some 'During' lines? (Here the runtime still joins at scope exit "
+          "so nothing is lost — real pthreads would leak running threads.)",
+      .toggles = {{"pthread_join",
+                   "Join every worker before printing 'After'.", true}},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            ctx.out.say(-1, "Before...", "BEFORE");
+            {
+              std::vector<pml::thread::Thread> workers;
+              workers.reserve(static_cast<std::size_t>(ctx.tasks));
+              for (int id = 0; id < ctx.tasks; ++id) {
+                workers.emplace_back(id, [&ctx](int my_id) {
+                  ctx.out.say(my_id, "During: thread " + std::to_string(my_id),
+                              "DURING");
+                });
+              }
+              if (ctx.toggles.on("pthread_join")) {
+                for (auto& w : workers) w.join();
+                ctx.out.say(-1, "After.", "AFTER");
+              } else {
+                // No joins: 'After' races the workers, so 'During' lines may
+                // follow it. (The Thread destructors still join at scope
+                // exit, so no thread outlives the patternlet.)
+                ctx.out.say(-1, "After. (joins were skipped)", "AFTER");
+              }
+            }
+          },
+  });
+
+  registry.add(Patternlet{
+      .slug = "pthreads/barrier",
+      .title = "barrier.c (Pthreads version)",
+      .tech = Tech::kPthreads,
+      .patterns = {"Barrier"},
+      .summary =
+          "The barrier as an explicit object: construct a Barrier for N "
+          "parties, have every thread arrive_and_wait between its BEFORE "
+          "and AFTER lines — same lesson as omp/barrier, no directive magic.",
+      .exercise =
+          "Run with toggle off, then on (paper Figs. 8-9 behavior). Exactly "
+          "one arrival per phase is told it was the 'serial' thread — what "
+          "is that return value for? What happens if one thread never "
+          "arrives?",
+      .toggles = {{"pthread_barrier_wait",
+                   "Arrive at the shared barrier between the prints.", false}},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            pml::thread::Barrier barrier(ctx.tasks);
+            const bool use_barrier = ctx.toggles.on("pthread_barrier_wait");
+            pml::thread::fork_join(ctx.tasks, [&](int id) {
+              ctx.out.say(id, "Thread " + std::to_string(id) + " of " +
+                                  std::to_string(ctx.tasks) + " is BEFORE the barrier.",
+                          "BEFORE");
+              if (use_barrier) barrier.arrive_and_wait();
+              ctx.out.say(id, "Thread " + std::to_string(id) + " of " +
+                                  std::to_string(ctx.tasks) + " is AFTER the barrier.",
+                          "AFTER");
+            });
+          },
+  });
+}
+
+}  // namespace pml::patternlets::pthreads_detail

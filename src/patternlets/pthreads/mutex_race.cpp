@@ -1,0 +1,125 @@
+/// \file pthreads/mutex_race.cpp
+/// \brief Explicit mutual exclusion: the race, the mutex fix, and the
+/// local-sums (manual reduction) alternative that avoids the lock entirely.
+
+#include <string>
+
+#include "patternlets/pthreads/register_pthreads.hpp"
+#include "smp/sync.hpp"
+#include "thread/mutex.hpp"
+#include "thread/thread.hpp"
+
+namespace pml::patternlets::pthreads_detail {
+
+void register_mutex_race(Registry& registry) {
+  registry.add(Patternlet{
+      .slug = "pthreads/race",
+      .title = "race.c (Pthreads version)",
+      .tech = Tech::kPthreads,
+      .patterns = {"Race Condition", "Shared Data"},
+      .summary =
+          "N explicitly-created threads hammer a shared counter with "
+          "unsynchronized increments; updates get lost and the total comes "
+          "up short — the raw material the next two patternlets fix.",
+      .exercise =
+          "Run with 1 task (exact), then 4 (short). Unlike omp/race there "
+          "is no directive to blame: find the exact pair of lines whose "
+          "interleaving loses an update.",
+      .toggles = {},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            const long reps_per_thread = ctx.param("reps", 100000) / ctx.tasks;
+            long counter = 0;
+            pml::thread::fork_join(ctx.tasks, [&](int) {
+              for (long i = 0; i < reps_per_thread; ++i) {
+                // counter += 1, torn into separate read and write.
+                const long cur = pml::smp::atomic_read(counter);
+                pml::smp::atomic_write(counter, cur + 1);
+              }
+            });
+            const long expected = reps_per_thread * ctx.tasks;
+            ctx.out.program("Expected " + std::to_string(expected) + ", got " +
+                            std::to_string(counter));
+            ctx.out.program(counter == expected
+                                ? "No updates lost."
+                                : std::to_string(expected - counter) + " updates lost.");
+          },
+  });
+
+  registry.add(Patternlet{
+      .slug = "pthreads/mutex",
+      .title = "mutex.c (Pthreads version)",
+      .tech = Tech::kPthreads,
+      .patterns = {"Mutual Exclusion"},
+      .summary =
+          "The race fixed with an explicit pthread_mutex: lock, update, "
+          "unlock. Correct at any thread count — and a visible object you "
+          "must create, share, and (in C) destroy.",
+      .exercise =
+          "Run with the toggle off and on at 4 tasks. Move the lock/unlock "
+          "*outside* the loop: still correct? Faster or slower? What did "
+          "you give up?",
+      .toggles = {{"pthread_mutex_lock",
+                   "Guard each increment with the shared mutex.", false}},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            const long reps_per_thread = ctx.param("reps", 100000) / ctx.tasks;
+            const bool locked = ctx.toggles.on("pthread_mutex_lock");
+            long counter = 0;
+            pml::thread::Mutex mutex;
+            pml::thread::fork_join(ctx.tasks, [&](int) {
+              for (long i = 0; i < reps_per_thread; ++i) {
+                if (locked) {
+                  pml::thread::LockGuard guard(mutex);
+                  counter += 1;
+                } else {
+                  const long cur = pml::smp::atomic_read(counter);
+                  pml::smp::atomic_write(counter, cur + 1);
+                }
+              }
+            });
+            const long expected = reps_per_thread * ctx.tasks;
+            ctx.out.program("Expected " + std::to_string(expected) + ", got " +
+                            std::to_string(counter));
+          },
+  });
+
+  registry.add(Patternlet{
+      .slug = "pthreads/localSums",
+      .title = "localSums.c (Pthreads version)",
+      .tech = Tech::kPthreads,
+      .patterns = {"Reduction", "Privatization"},
+      .summary =
+          "The reduction pattern built by hand: each thread accumulates "
+          "into its own local sum (no sharing, no lock in the hot loop), "
+          "then the locals are combined once under a mutex at the end — "
+          "what OpenMP's reduction clause generates for you.",
+      .exercise =
+          "Compare the hot loop here with pthreads/mutex: how many lock "
+          "acquisitions does each design perform for R increments on T "
+          "threads? Verify both produce the same total.",
+      .toggles = {},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            const long reps_per_thread = ctx.param("reps", 100000) / ctx.tasks;
+            long total = 0;
+            pml::thread::Mutex mutex;
+            pml::thread::fork_join(ctx.tasks, [&](int id) {
+              long local = 0;
+              for (long i = 0; i < reps_per_thread; ++i) local += 1;
+              {
+                pml::thread::LockGuard guard(mutex);
+                total += local;
+              }
+              ctx.out.say(id, "Thread " + std::to_string(id) + " contributed " +
+                                  std::to_string(local));
+            });
+            ctx.out.program("Combined total: " + std::to_string(total));
+          },
+  });
+}
+
+}  // namespace pml::patternlets::pthreads_detail

@@ -1,0 +1,15 @@
+/// \file pthreads/register.cpp
+/// \brief Assembles the 9 Pthreads-style patternlets.
+
+#include "patternlets/pthreads/register_pthreads.hpp"
+
+namespace pml::patternlets {
+
+void register_pthreads(Registry& registry) {
+  pthreads_detail::register_basics(registry);      // spmd, forkJoin, barrier
+  pthreads_detail::register_mutex_race(registry);  // race, mutex, localSums
+  pthreads_detail::register_signaling(registry);   // condvar, semaphore
+  pthreads_detail::register_pool(registry);        // masterWorker
+}
+
+}  // namespace pml::patternlets

@@ -1,0 +1,16 @@
+#pragma once
+
+/// \file pthreads/register_pthreads.hpp
+/// \brief Internal registration hooks for the 9 Pthreads-style patternlets.
+
+#include "core/registry.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace pml::patternlets::pthreads_detail {
+
+void register_basics(Registry& registry);    // pthreads/spmd, forkJoin, barrier
+void register_mutex_race(Registry& registry);// pthreads/mutex, race, localSums
+void register_signaling(Registry& registry); // pthreads/condvar, semaphore
+void register_pool(Registry& registry);      // pthreads/masterWorker
+
+}  // namespace pml::patternlets::pthreads_detail

@@ -1,0 +1,121 @@
+/// \file pthreads/signaling.cpp
+/// \brief Signaling patternlets: condition-variable handoff and the
+/// semaphore-based bounded-buffer producer/consumer.
+
+#include <deque>
+#include <string>
+
+#include "patternlets/pthreads/register_pthreads.hpp"
+#include "thread/condvar.hpp"
+#include "thread/mutex.hpp"
+#include "thread/semaphore.hpp"
+#include "thread/thread.hpp"
+
+namespace pml::patternlets::pthreads_detail {
+
+void register_signaling(Registry& registry) {
+  registry.add(Patternlet{
+      .slug = "pthreads/condvar",
+      .title = "condvar.c (Pthreads version)",
+      .tech = Tech::kPthreads,
+      .patterns = {"Point-to-Point Synchronization", "Synchronization"},
+      .summary =
+          "One announcer thread prepares a value and signals a condition; "
+          "the waiter threads block until the signal and then consume it — "
+          "the wait-in-a-loop-over-a-predicate idiom every condvar use "
+          "needs.",
+      .exercise =
+          "Run with 4 tasks: all waiters report the announced value, never "
+          "the unset one. Why must the waiters re-check the predicate after "
+          "waking (spurious wakeups, stolen wakeups)? What pairs the "
+          "condition variable with the mutex?",
+      .toggles = {},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            pml::thread::Event ready;
+            long announced = -1;
+
+            // Task 0 announces; the rest wait. (fork_join gives us ids.)
+            pml::thread::fork_join(ctx.tasks, [&](int id) {
+              if (id == 0) {
+                announced = 42;
+                ctx.out.say(0, "Thread 0 announcing value 42", "ANNOUNCE");
+                ready.set();
+              } else {
+                ready.wait();
+                ctx.out.say(id, "Thread " + std::to_string(id) + " observed value " +
+                                    std::to_string(announced),
+                            "OBSERVE");
+              }
+            });
+          },
+  });
+
+  registry.add(Patternlet{
+      .slug = "pthreads/semaphore",
+      .title = "semaphore.c (Pthreads version)",
+      .tech = Tech::kPthreads,
+      .patterns = {"Shared Queue", "Point-to-Point Synchronization"},
+      .summary =
+          "Producer/consumer over a bounded buffer guarded by two counting "
+          "semaphores (slots and items) plus a mutex — the classic "
+          "construction, with the semaphore itself built from mutex + "
+          "condvar in this library.",
+      .exercise =
+          "Run with the default 1 producer + N-1 consumers. Shrink the "
+          "buffer ('capacity' param) to 1: everything still works — why? "
+          "Which semaphore blocks the producer, and which the consumers?",
+      .toggles = {},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            const int consumers = std::max(1, ctx.tasks - 1);
+            const long capacity = ctx.param("capacity", 4);
+            const long items = ctx.param("items", 20);
+
+            std::deque<long> buffer;
+            pml::thread::Mutex buffer_mutex;
+            pml::thread::Semaphore slots(capacity);
+            pml::thread::Semaphore available(0);
+
+            pml::thread::fork_join(consumers + 1, [&](int id) {
+              if (id == 0) {
+                // Producer: items numbered 1..items, then one poison pill
+                // (-1) per consumer.
+                for (long k = 1; k <= items + consumers; ++k) {
+                  const long value = k <= items ? k : -1;
+                  slots.wait();
+                  {
+                    pml::thread::LockGuard guard(buffer_mutex);
+                    buffer.push_back(value);
+                  }
+                  available.post();
+                }
+                ctx.out.say(0, "Producer finished after " + std::to_string(items) +
+                                   " items",
+                            "PRODUCER");
+              } else {
+                long consumed = 0;
+                for (;;) {
+                  available.wait();
+                  long value;
+                  {
+                    pml::thread::LockGuard guard(buffer_mutex);
+                    value = buffer.front();
+                    buffer.pop_front();
+                  }
+                  slots.post();
+                  if (value < 0) break;
+                  ++consumed;
+                }
+                ctx.out.say(id, "Consumer " + std::to_string(id) + " consumed " +
+                                    std::to_string(consumed) + " items",
+                            "CONSUMER");
+              }
+            });
+          },
+  });
+}
+
+}  // namespace pml::patternlets::pthreads_detail

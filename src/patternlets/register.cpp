@@ -1,0 +1,20 @@
+#include "patternlets/patternlets.hpp"
+
+#include <mutex>
+
+namespace pml::patternlets {
+
+void register_all(Registry& registry) {
+  register_openmp(registry);
+  register_mpi(registry);
+  register_pthreads(registry);
+  register_heterogeneous(registry);
+}
+
+Registry& ensure_registered() {
+  static std::once_flag once;
+  std::call_once(once, [] { register_all(Registry::instance()); });
+  return Registry::instance();
+}
+
+}  // namespace pml::patternlets

@@ -1,0 +1,130 @@
+#include "patterns/catalog.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/error.hpp"
+
+namespace pml::patterns {
+
+const char* to_string(Layer layer) noexcept {
+  switch (layer) {
+    case Layer::kArchitectural: return "Architectural";
+    case Layer::kAlgorithmic: return "Algorithmic";
+    case Layer::kImplementation: return "Implementation";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+Catalog::Catalog(std::string name, std::vector<Pattern> patterns)
+    : name_(std::move(name)), patterns_(std::move(patterns)) {
+  // Names must be unique within a catalog.
+  for (std::size_t i = 0; i < patterns_.size(); ++i) {
+    for (std::size_t j = i + 1; j < patterns_.size(); ++j) {
+      if (lower(patterns_[i].name) == lower(patterns_[j].name)) {
+        throw UsageError("catalog '" + name_ + "': duplicate pattern name '" +
+                         patterns_[i].name + "'");
+      }
+    }
+  }
+}
+
+std::vector<std::string> Catalog::categories() const {
+  std::vector<std::string> out;
+  for (const auto& p : patterns_) {
+    if (std::find(out.begin(), out.end(), p.category) == out.end()) {
+      out.push_back(p.category);
+    }
+  }
+  return out;
+}
+
+std::vector<const Pattern*> Catalog::by_category(const std::string& category) const {
+  std::vector<const Pattern*> out;
+  for (const auto& p : patterns_) {
+    if (p.category == category) out.push_back(&p);
+  }
+  return out;
+}
+
+std::vector<const Pattern*> Catalog::by_layer(Layer layer) const {
+  std::vector<const Pattern*> out;
+  for (const auto& p : patterns_) {
+    if (p.layer == layer) out.push_back(&p);
+  }
+  return out;
+}
+
+const Pattern* Catalog::find(const std::string& name_or_alias) const {
+  const std::string needle = lower(name_or_alias);
+  for (const auto& p : patterns_) {
+    if (lower(p.name) == needle) return &p;
+    for (const auto& a : p.aliases) {
+      if (lower(a) == needle) return &p;
+    }
+  }
+  return nullptr;
+}
+
+const std::vector<Correspondence>& catalog_correspondence() {
+  static const std::vector<Correspondence> table = {
+      {"SPMD", "SPMD", ""},
+      {"Master-Worker", "Master-Worker", ""},
+      {"Fork-Join", "Fork-Join", ""},
+      {"Loop Parallelism", "Loop-Level Parallelism", "naming differs"},
+      {"Task Decomposition", "Task Parallelism", "UIUC decomposition step vs OPL strategy"},
+      {"Data Decomposition", "Data Parallelism", "UIUC decomposition step vs OPL strategy"},
+      {"Divide and Conquer", "Recursive Splitting", "naming differs"},
+      {"Geometric Decomposition", "Geometric Decomposition", ""},
+      {"Pipeline", "Pipeline", ""},
+      {"Barrier", "Barrier", ""},
+      {"Mutual Exclusion", "Mutual Exclusion", ""},
+      {"Message Passing", "Message Passing", ""},
+      {"Collective Communication", "Collective Communication", ""},
+      {"Reduction", "Reduction", ""},
+      {"Broadcast", "Broadcast", ""},
+      {"Shared Queue", "Shared Queue", ""},
+      {"Task Queue", "Task Queue", ""},
+      {"Speculative Execution", "Speculation", "naming differs"},
+      {"N-Body Problems", "N-Body Methods", "naming differs"},
+      {"Monte Carlo Simulation", "Monte Carlo Methods", "naming differs"},
+      {"MapReduce", "MapReduce", ""},
+      {"Dense Linear Algebra", "Dense Linear Algebra", ""},
+      {"Structured Grids", "Structured Grids", ""},
+      {"Memoization", "Memoization", ""},
+      {"Scatter", "Scatter-Gather", "OPL folds scatter+gather into one pattern"},
+      {"Gather", "Scatter-Gather", "OPL folds scatter+gather into one pattern"},
+  };
+  return table;
+}
+
+CoverageReport coverage(const Catalog& catalog, const pml::Registry& registry) {
+  CoverageReport report;
+  for (const auto& pattern : catalog.patterns()) {
+    bool taught = false;
+    for (const auto& patternlet : registry.all()) {
+      for (const auto& taught_name : patternlet.patterns) {
+        const Pattern* hit = catalog.find(taught_name);
+        if (hit == &pattern) {
+          taught = true;
+          break;
+        }
+      }
+      if (taught) break;
+    }
+    (taught ? report.taught : report.untaught).push_back(pattern.name);
+  }
+  return report;
+}
+
+}  // namespace pml::patterns

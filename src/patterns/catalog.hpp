@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file catalog.hpp
+/// \brief Queryable parallel-pattern catalogs and their cross-references.
+///
+/// Provides the two catalogs the paper cites — UIUC (62 patterns,
+/// 10 categories) and OPL (56 patterns, 10 categories) — as queryable
+/// in-memory structures, a name correspondence between them ("the two
+/// efforts are similar, but use slightly different names for some patterns",
+/// §II.B), and a coverage report mapping catalog patterns to the patternlets
+/// that teach them.
+///
+/// The paper gives the catalogs' sizes and examples but not their full
+/// membership; the entries here are a documented reconstruction with the
+/// paper's named examples pinned (N-Body Problems, Monte Carlo Simulation,
+/// Data/Task Decomposition, Barrier, Reduction, Message Passing).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "patterns/pattern.hpp"
+
+namespace pml::patterns {
+
+/// An immutable, queryable pattern catalog.
+class Catalog {
+ public:
+  Catalog(std::string name, std::vector<Pattern> patterns);
+
+  /// Catalog display name ("UIUC Parallel Programming Patterns", "OPL").
+  const std::string& name() const noexcept { return name_; }
+
+  /// All patterns, catalog order.
+  const std::vector<Pattern>& patterns() const noexcept { return patterns_; }
+
+  /// Number of patterns.
+  std::size_t size() const noexcept { return patterns_.size(); }
+
+  /// Distinct category names, first-appearance order.
+  std::vector<std::string> categories() const;
+
+  /// Patterns in one category.
+  std::vector<const Pattern*> by_category(const std::string& category) const;
+
+  /// Patterns at one layer.
+  std::vector<const Pattern*> by_layer(Layer layer) const;
+
+  /// Case-insensitive lookup by name or alias; nullptr if absent.
+  const Pattern* find(const std::string& name_or_alias) const;
+
+  /// True iff find() succeeds.
+  bool contains(const std::string& name_or_alias) const { return find(name_or_alias) != nullptr; }
+
+ private:
+  std::string name_;
+  std::vector<Pattern> patterns_;
+};
+
+/// The UIUC catalog (Johnson, Chen, Tasharofi, Kjolstad): 62 patterns,
+/// 10 categories. Built once, process lifetime.
+const Catalog& uiuc_catalog();
+
+/// Our Pattern Language (Keutzer/Mattson): 56 patterns, 10 categories.
+const Catalog& opl_catalog();
+
+/// One cross-catalog naming correspondence (the "slightly different names"
+/// the paper notes), e.g. UIUC "Master-Worker" == OPL "Master-Worker",
+/// UIUC "Divide and Conquer" ~ OPL "Recursive Splitting".
+struct Correspondence {
+  std::string uiuc_name;
+  std::string opl_name;
+  std::string note;  ///< Empty when the names match exactly.
+};
+
+/// Known correspondences between the two catalogs.
+const std::vector<Correspondence>& catalog_correspondence();
+
+/// Which catalog patterns have at least one teaching patternlet.
+struct CoverageReport {
+  std::vector<std::string> taught;    ///< Catalog patterns with a patternlet.
+  std::vector<std::string> untaught;  ///< Catalog patterns without one.
+  double fraction_taught() const {
+    const auto total = taught.size() + untaught.size();
+    return total == 0 ? 0.0 : static_cast<double>(taught.size()) / static_cast<double>(total);
+  }
+};
+
+/// Matches a catalog against a patternlet registry: a catalog pattern is
+/// "taught" if some patternlet lists a name or alias of it.
+CoverageReport coverage(const Catalog& catalog, const pml::Registry& registry);
+
+}  // namespace pml::patterns

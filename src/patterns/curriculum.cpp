@@ -1,0 +1,68 @@
+#include "patterns/curriculum.hpp"
+
+namespace pml::patterns {
+
+const std::vector<Course>& curriculum() {
+  static const std::vector<Course> courses = {
+      {"Data Structures (CS2)", "first-year required",
+       "OpenMP on embarrassingly parallel problems; the patternlet "
+       "live-coding demos, the Matrix closed lab, and parallel merge-sort "
+       "(paper §IV.A).",
+       {pml::Tech::kOpenMP},
+       {"omp/spmd", "omp/spmd2", "omp/forkJoin", "omp/barrier",
+        "omp/parallelLoopEqualChunks", "omp/parallelLoopChunksOf1",
+        "omp/reduction", "omp/race", "omp/critical", "omp/atomic",
+        "omp/critical2"}},
+      {"Algorithms (CS3)", "second-year required",
+       "A variety of parallel algorithms: searching, sorting, graph.",
+       {pml::Tech::kOpenMP},
+       {"omp/parallelLoopDynamic", "omp/reduction2", "omp/sections",
+        "omp/masterWorker"}},
+      {"Programming Languages", "second-year required",
+       "Language constructs for message passing and synchronization.",
+       {pml::Tech::kMPI, pml::Tech::kPthreads},
+       {"mpi/messagePassing", "mpi/ring", "mpi/sendrecvDeadlock",
+        "pthreads/condvar", "pthreads/semaphore", "pthreads/mutex"}},
+      {"Operating Systems & Networking", "third-year required",
+       "How the synchronization and message-passing constructs are "
+       "implemented.",
+       {pml::Tech::kPthreads, pml::Tech::kMPI},
+       {"pthreads/spmd", "pthreads/forkJoin", "pthreads/barrier",
+        "pthreads/race", "pthreads/localSums", "pthreads/masterWorker",
+        "mpi/barrier", "mpi/sequenceNumbers"}},
+      {"High Performance Computing", "third/fourth-year elective",
+       "Scalable parallel programs with MPI, OpenMP, CUDA, and Hadoop "
+       "(here: the mp/smp substrates, the hybrid patternlets, and the "
+       "mini MapReduce framework).",
+       {pml::Tech::kMPI, pml::Tech::kOpenMP, pml::Tech::kHeterogeneous},
+       {"mpi/broadcast", "mpi/broadcast2", "mpi/scatter", "mpi/gather",
+        "mpi/allgather", "mpi/reduction", "mpi/reduction2",
+        "mpi/parallelLoopEqualChunks", "mpi/parallelLoopChunksOf1",
+        "mpi/masterWorker", "hetero/spmd", "hetero/reduction"}},
+  };
+  return courses;
+}
+
+std::vector<const Course*> courses_using(const std::string& slug) {
+  std::vector<const Course*> out;
+  for (const auto& course : curriculum()) {
+    for (const auto& s : course.patternlets) {
+      if (s == slug) {
+        out.push_back(&course);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool curriculum_is_consistent(const Registry& registry) {
+  for (const auto& course : curriculum()) {
+    for (const auto& slug : course.patternlets) {
+      if (registry.find(slug) == nullptr) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pml::patterns

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file curriculum.hpp
+/// \brief The paper's curriculum deployment map (§IV): which course
+/// introduces which PDC topics with which patternlets.
+///
+/// "We have spread parallel topics across our curriculum" — five courses,
+/// from CS2 through the HPC elective, each touching particular patterns and
+/// technologies. This module encodes that map so tools can answer "where in
+/// the curriculum is X taught?" and tests can pin the paper's structure.
+
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+
+namespace pml::patterns {
+
+/// One course in the curriculum (paper §IV's bulleted list).
+struct Course {
+  std::string name;          ///< e.g. "Data Structures (CS2)".
+  std::string year;          ///< e.g. "first-year required".
+  std::string pdc_topics;    ///< The paper's topic summary for the course.
+  std::vector<Tech> techs;   ///< Technologies exercised.
+  /// Patternlet slugs the course's sessions use (per §IV.A for CS2;
+  /// representative selections for the later courses).
+  std::vector<std::string> patternlets;
+};
+
+/// The five courses, in curriculum order.
+const std::vector<Course>& curriculum();
+
+/// Courses that use a given patternlet slug.
+std::vector<const Course*> courses_using(const std::string& slug);
+
+/// Sanity: every slug referenced by the curriculum exists in \p registry.
+bool curriculum_is_consistent(const Registry& registry);
+
+}  // namespace pml::patterns

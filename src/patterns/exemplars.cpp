@@ -1,0 +1,65 @@
+#include "patterns/exemplars.hpp"
+
+#include "patterns/catalog.hpp"
+
+namespace pml::patterns {
+
+const std::vector<Exemplar>& exemplars() {
+  static const std::vector<Exemplar> table = {
+      {"red_pixels",
+       "Count the red pixels in an image (the paper's own §III.D scenario)",
+       "Dense Linear Algebra",
+       {"Loop Parallelism", "Reduction", "Scatter", "SPMD"}},
+      {"monte_carlo_pi",
+       "Estimate pi by dart-throwing over many independent random trials",
+       "Monte Carlo Simulation",
+       {"SPMD", "Loop Parallelism", "Reduction", "Privatization"}},
+      {"heat_diffusion",
+       "Explicit finite-difference heat diffusion on a distributed rod",
+       "Structured Grids",
+       {"Geometric Decomposition", "Ghost Cells", "Message Passing",
+        "Reduction", "Scatter", "Gather"}},
+      {"word_count",
+       "Count word occurrences across a distributed corpus",
+       "MapReduce",
+       {"Master-Worker", "All-to-All", "Message Passing", "Data Decomposition"}},
+      {"friday_sorting",
+       "Sort large arrays with task-parallel merge sort",
+       "Divide and Conquer",
+       {"Fork-Join", "Task Queue", "Recursive Splitting"}},
+      {"mandelbrot",
+       "Render the Mandelbrot set with image rows as dynamically farmed tasks",
+       "Task Parallelism Strategy",
+       {"Master-Worker", "Dynamic Scheduling", "Message Passing",
+        "Load Balancing"}},
+  };
+  return table;
+}
+
+std::vector<const Exemplar*> exemplars_using(const std::string& pattern) {
+  std::vector<const Exemplar*> out;
+  // Resolve the query through either catalog so aliases work.
+  const Pattern* uiuc_hit = uiuc_catalog().find(pattern);
+  const Pattern* opl_hit = opl_catalog().find(pattern);
+  auto matches = [&](const std::string& used) {
+    if (used == pattern) return true;
+    if (uiuc_hit != nullptr && uiuc_catalog().find(used) == uiuc_hit) return true;
+    if (opl_hit != nullptr && opl_catalog().find(used) == opl_hit) return true;
+    return false;
+  };
+  for (const auto& e : exemplars()) {
+    if (matches(e.architecture)) {
+      out.push_back(&e);
+      continue;
+    }
+    for (const auto& used : e.composed_of) {
+      if (matches(used)) {
+        out.push_back(&e);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pml::patterns

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file exemplars.hpp
+/// \brief Exemplar registry: "real world" problems whose solutions use the
+/// patterns the patternlets introduce.
+///
+/// The paper's conclusion: "After this first exposure, we believe it is
+/// important to show students an exemplar — a 'real world' problem whose
+/// solution uses the same pattern(s)". This module catalogs the exemplars
+/// shipped in examples/, the architectural catalog pattern each one
+/// instantiates, and the lower-level patterns it composes — so tools can
+/// answer "I just learned Reduction; where do I see it used for real?"
+
+#include <string>
+#include <vector>
+
+namespace pml::patterns {
+
+/// One shipped exemplar application.
+struct Exemplar {
+  std::string binary;        ///< Name under examples/, e.g. "red_pixels".
+  std::string problem;       ///< The real-world problem it solves.
+  std::string architecture;  ///< The architectural catalog pattern it instantiates.
+  std::vector<std::string> composed_of;  ///< Lower-level patterns used.
+};
+
+/// All shipped exemplars.
+const std::vector<Exemplar>& exemplars();
+
+/// Exemplars that compose a given pattern (by catalog name or alias,
+/// matched against either catalog).
+std::vector<const Exemplar*> exemplars_using(const std::string& pattern);
+
+}  // namespace pml::patterns

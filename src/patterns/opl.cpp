@@ -1,0 +1,173 @@
+/// \file opl.cpp
+/// \brief "Our Pattern Language" (OPL) — the Berkeley/Intel catalog.
+///
+/// Keutzer (Berkeley) and Mattson (Intel) identify 56 patterns in ten
+/// categories (paper §II.B, ref [7]), layered from structural/computational
+/// patterns at the top through algorithm strategies down to foundational
+/// communication and synchronization patterns. As with the UIUC catalog,
+/// membership below is a reconstruction around the counts and the examples
+/// the paper pins.
+
+#include "patterns/catalog.hpp"
+
+namespace pml::patterns {
+
+const Catalog& opl_catalog() {
+  using L = Layer;
+  static const Catalog catalog(
+      "Our Pattern Language (OPL)",
+      {
+          // --- Structural (8) ---------------------------------------------
+          {"Pipe-and-Filter", L::kArchitectural, "Structural",
+           "Data flows through a chain of independent filters.", {}},
+          {"Agent and Repository", L::kArchitectural, "Structural",
+           "Autonomous agents operate on a centrally-managed data store.", {}},
+          {"Process Control", L::kArchitectural, "Structural",
+           "A controller continuously drives a process toward a set point.", {}},
+          {"Event-Based Implicit Invocation", L::kArchitectural, "Structural",
+           "Components react to announced events rather than direct calls.", {}},
+          {"Model-View-Controller", L::kArchitectural, "Structural",
+           "Separate state, its presentation, and the input that mutates it.", {}},
+          {"Iterative Refinement", L::kArchitectural, "Structural",
+           "Repeat a parallel step until a convergence test passes.", {}},
+          {"MapReduce", L::kArchitectural, "Structural",
+           "Map over (key, value) pairs, then reduce grouped intermediates.", {}},
+          {"Layered Systems", L::kArchitectural, "Structural",
+           "Organize the system as layers with interfaces between them.", {}},
+
+          // --- Computational: Numerical (7) --------------------------------
+          {"Dense Linear Algebra", L::kArchitectural, "Computational: Numerical",
+           "Matrix and vector kernels with regular data access.", {}},
+          {"Sparse Linear Algebra", L::kArchitectural, "Computational: Numerical",
+           "Kernels over matrices dominated by zeros, with indexed access.", {}},
+          {"Spectral Methods", L::kArchitectural, "Computational: Numerical",
+           "Transform-space computation (FFT-centered).", {}},
+          {"N-Body Methods", L::kArchitectural, "Computational: Numerical",
+           "All-pairs or tree-approximated interactions among N bodies.",
+           {"N-Body Problems"}},
+          {"Structured Grids", L::kArchitectural, "Computational: Numerical",
+           "Updates over regular meshes with neighbor stencils.", {}},
+          {"Unstructured Grids", L::kArchitectural, "Computational: Numerical",
+           "Updates over irregular meshes via explicit connectivity.", {}},
+          {"Monte Carlo Methods", L::kArchitectural, "Computational: Numerical",
+           "Estimate quantities by aggregating many independent random trials.",
+           {"Monte Carlo Simulation"}},
+
+          // --- Computational: Combinatorial (6) ----------------------------
+          {"Graph Algorithms", L::kArchitectural, "Computational: Combinatorial",
+           "Traversals and computations over vertices and edges.",
+           {"Graph Traversal"}},
+          {"Dynamic Programming", L::kArchitectural, "Computational: Combinatorial",
+           "Fill a table of subproblem solutions respecting dependences.", {}},
+          {"Backtrack Branch and Bound", L::kArchitectural, "Computational: Combinatorial",
+           "Search a pruned solution tree in parallel.",
+           {"Branch and Bound"}},
+          {"Graphical Models", L::kArchitectural, "Computational: Combinatorial",
+           "Inference over probabilistic dependency graphs.", {}},
+          {"Finite State Machines", L::kArchitectural, "Computational: Combinatorial",
+           "Computation as transitions of interacting state machines.", {}},
+          {"Combinational Logic", L::kArchitectural, "Computational: Combinatorial",
+           "Boolean-function evaluation over wide bit vectors.", {}},
+
+          // --- Algorithm Strategy (7) ---------------------------------------
+          {"Task Parallelism", L::kAlgorithmic, "Algorithm Strategy",
+           "Organize the computation as a collection of mostly-independent tasks.",
+           {"Task Decomposition"}},
+          {"Recursive Splitting", L::kAlgorithmic, "Algorithm Strategy",
+           "Recursively split the problem, solve subproblems in parallel, merge.",
+           {"Divide and Conquer"}},
+          {"Data Parallelism", L::kAlgorithmic, "Algorithm Strategy",
+           "Apply one operation across the elements of a data collection.",
+           {"Data Decomposition"}},
+          {"Pipeline", L::kAlgorithmic, "Algorithm Strategy",
+           "Stream data through a sequence of concurrently-executing stages.", {}},
+          {"Geometric Decomposition", L::kAlgorithmic, "Algorithm Strategy",
+           "Partition a spatial domain into chunks updated concurrently.", {}},
+          {"Discrete Event", L::kAlgorithmic, "Algorithm Strategy",
+           "Advance simulation time through an ordered event queue.", {}},
+          {"Speculation", L::kAlgorithmic, "Algorithm Strategy",
+           "Start work that may be discarded if a dependence materializes.",
+           {"Speculative Execution"}},
+
+          // --- Implementation Strategy: Program Structure (7) ---------------
+          {"SPMD", L::kImplementation, "Implementation Strategy: Program Structure",
+           "Single program, multiple data: instances differentiate by id.",
+           {"Single Program Multiple Data"}},
+          {"Strict Data Parallel", L::kImplementation,
+           "Implementation Strategy: Program Structure",
+           "Lock-step elementwise operations over aligned collections.", {}},
+          {"Fork-Join", L::kImplementation, "Implementation Strategy: Program Structure",
+           "Spawn parallel work and rejoin when all of it completes.", {}},
+          {"Actors", L::kImplementation, "Implementation Strategy: Program Structure",
+           "Isolated objects interacting only through asynchronous messages.", {}},
+          {"Master-Worker", L::kImplementation, "Implementation Strategy: Program Structure",
+           "A master distributes work items to a pool of workers.",
+           {"Master-Slave", "Work Pool"}},
+          {"Task Queue", L::kImplementation, "Implementation Strategy: Program Structure",
+           "Pending work lives in a queue that tasks pull from.", {}},
+          {"Loop-Level Parallelism", L::kImplementation,
+           "Implementation Strategy: Program Structure",
+           "Distribute independent loop iterations across tasks.",
+           {"Parallel Loop", "Loop Parallelism"}},
+
+          // --- Implementation Strategy: Data Structure (5) -------------------
+          {"Shared Queue", L::kImplementation, "Implementation Strategy: Data Structure",
+           "A thread-safe queue decoupling producers from consumers.", {}},
+          {"Shared Hash Table", L::kImplementation, "Implementation Strategy: Data Structure",
+           "A concurrently-accessed associative map with partitioned locking.", {}},
+          {"Distributed Array", L::kImplementation, "Implementation Strategy: Data Structure",
+           "An array partitioned among address spaces with a global view.", {}},
+          {"Shared Data", L::kImplementation, "Implementation Strategy: Data Structure",
+           "Manage state accessed by several tasks with explicit discipline.", {}},
+          {"Memoization", L::kImplementation, "Implementation Strategy: Data Structure",
+           "Cache computed results for reuse across tasks.", {}},
+
+          // --- Parallel Execution: Process Management (3) --------------------
+          {"MIMD", L::kImplementation, "Parallel Execution: Process Management",
+           "Independent instruction streams over independent data.", {}},
+          {"SIMD", L::kImplementation, "Parallel Execution: Process Management",
+           "One instruction stream applied to many data lanes.", {}},
+          {"Thread Pool", L::kImplementation, "Parallel Execution: Process Management",
+           "Reuse a fixed set of threads across many tasks.", {}},
+
+          // --- Parallel Execution: Coordination (3) --------------------------
+          {"Data Flow", L::kImplementation, "Parallel Execution: Coordination",
+           "Operations fire when their inputs become available.", {}},
+          {"Digital Circuits", L::kImplementation, "Parallel Execution: Coordination",
+           "Fine-grained synchronization in hardware-like networks.", {}},
+          {"Transactional Memory", L::kImplementation, "Parallel Execution: Coordination",
+           "Optimistically execute critical sections; retry on conflict.", {}},
+
+          // --- Foundational: Communication (5) --------------------------------
+          {"Message Passing", L::kImplementation, "Foundational: Communication",
+           "Tasks communicate by sending and receiving messages.", {}},
+          {"Collective Communication", L::kImplementation, "Foundational: Communication",
+           "Group-wide communication operations with well-defined results.", {}},
+          {"Broadcast", L::kImplementation, "Foundational: Communication",
+           "One task's data is replicated to every task.", {}},
+          {"Reduction", L::kImplementation, "Foundational: Communication",
+           "Combine per-task partial results in O(lg t) parallel steps.", {}},
+          {"Scatter-Gather", L::kImplementation, "Foundational: Communication",
+           "Distribute distinct pieces to tasks and collect them back.",
+           {"Scatter", "Gather"}},
+
+          // --- Foundational: Synchronization (5) ------------------------------
+          {"Mutual Exclusion", L::kImplementation, "Foundational: Synchronization",
+           "At most one task executes the critical section at a time.",
+           {"Critical Section"}},
+          {"Barrier", L::kImplementation, "Foundational: Synchronization",
+           "No task proceeds past the barrier until all have arrived.", {}},
+          {"Point-to-Point Synchronization", L::kImplementation,
+           "Foundational: Synchronization",
+           "One task awaits an event produced by one other task.",
+           {"Signal-Wait"}},
+          {"Collective Synchronization", L::kImplementation, "Foundational: Synchronization",
+           "Group-wide ordering constraints beyond a simple barrier.", {}},
+          {"Atomic Operations", L::kImplementation, "Foundational: Synchronization",
+           "Indivisible read-modify-write updates of single locations.",
+           {"Atomic Update"}},
+      });
+  return catalog;
+}
+
+}  // namespace pml::patterns

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file pattern.hpp
+/// \brief The record type for entries of a parallel design pattern catalog.
+///
+/// The paper (§II.B) describes two prominent cataloging efforts — the UIUC
+/// "Parallel Programming Patterns" (62 patterns, 10 categories) and the
+/// Berkeley/Intel "Our Pattern Language" (56 patterns, 10 categories) —
+/// both organized into hierarchical layers: architectural patterns at the
+/// top, algorithmic strategies in the middle, implementation-level
+/// patterns at the bottom.
+
+#include <string>
+#include <vector>
+
+namespace pml::patterns {
+
+/// The hierarchical layer a pattern lives at (paper §II.B).
+enum class Layer {
+  kArchitectural,   ///< Software architectures for broad problem classes
+                    ///< (e.g. N-Body Problems, Monte Carlo Simulation).
+  kAlgorithmic,     ///< Broad algorithmic approaches
+                    ///< (e.g. Data Decomposition, Task Decomposition).
+  kImplementation,  ///< Patterns for implementing algorithmic steps
+                    ///< (e.g. Barrier, Reduction, Message Passing).
+};
+
+/// Printable layer name.
+const char* to_string(Layer layer) noexcept;
+
+/// One named pattern in a catalog.
+struct Pattern {
+  std::string name;         ///< Canonical name within its catalog.
+  Layer layer = Layer::kImplementation;
+  std::string category;     ///< The catalog's own grouping.
+  std::string description;  ///< One-sentence summary.
+  std::vector<std::string> aliases;  ///< Alternate names (cross-catalog).
+};
+
+}  // namespace pml::patterns

@@ -1,0 +1,184 @@
+/// \file uiuc.cpp
+/// \brief The UIUC "Parallel Programming Patterns" catalog.
+///
+/// Johnson, Chen, Tasharofi, and Kjolstad's effort identifies 62 patterns
+/// organized into ten categories (paper §II.B, ref [6]). The paper names the
+/// counts and a handful of example patterns; the full membership below is a
+/// reconstruction around those pinned examples, drawing the remaining names
+/// from the standard parallel-patterns literature the UIUC effort collected.
+
+#include "patterns/catalog.hpp"
+
+namespace pml::patterns {
+
+const Catalog& uiuc_catalog() {
+  using L = Layer;
+  static const Catalog catalog(
+      "UIUC Parallel Programming Patterns",
+      {
+          // --- Finding Concurrency (6) -----------------------------------
+          {"Task Decomposition", L::kAlgorithmic, "Finding Concurrency",
+           "Split the problem into tasks that can execute concurrently.",
+           {"Task Parallelism"}},
+          {"Data Decomposition", L::kAlgorithmic, "Finding Concurrency",
+           "Split the problem's data so tasks can work on parts independently.",
+           {"Data Parallelism"}},
+          {"Group Tasks", L::kAlgorithmic, "Finding Concurrency",
+           "Cluster tasks that share constraints so they can be managed together.", {}},
+          {"Order Tasks", L::kAlgorithmic, "Finding Concurrency",
+           "Identify the ordering constraints among task groups.", {}},
+          {"Data Sharing", L::kAlgorithmic, "Finding Concurrency",
+           "Classify task data as local, shared read-only, or shared read-write.", {}},
+          {"Design Evaluation", L::kAlgorithmic, "Finding Concurrency",
+           "Assess a decomposition's suitability before committing to it.", {}},
+
+          // --- Algorithm Structure (6) ------------------------------------
+          {"Task Parallelism Strategy", L::kAlgorithmic, "Algorithm Structure",
+           "Organize the computation as a collection of mostly-independent tasks.", {}},
+          {"Divide and Conquer", L::kAlgorithmic, "Algorithm Structure",
+           "Recursively split the problem, solve subproblems in parallel, merge.",
+           {"Recursive Splitting"}},
+          {"Geometric Decomposition", L::kAlgorithmic, "Algorithm Structure",
+           "Partition a spatial domain into chunks updated concurrently.", {}},
+          {"Recursive Data", L::kAlgorithmic, "Algorithm Structure",
+           "Expose parallelism hidden in operations on recursive structures.", {}},
+          {"Pipeline", L::kAlgorithmic, "Algorithm Structure",
+           "Stream data through a sequence of concurrently-executing stages.", {}},
+          {"Event-Based Coordination", L::kAlgorithmic, "Algorithm Structure",
+           "Loosely-coupled tasks interacting through asynchronous events.", {}},
+
+          // --- Supporting Structures (7) ----------------------------------
+          {"SPMD", L::kImplementation, "Supporting Structures",
+           "Single program, multiple data: instances differentiate by id.",
+           {"Single Program Multiple Data"}},
+          {"Master-Worker", L::kImplementation, "Supporting Structures",
+           "A master distributes work items to a pool of workers.",
+           {"Master-Slave", "Work Pool"}},
+          {"Loop Parallelism", L::kImplementation, "Supporting Structures",
+           "Distribute independent loop iterations across tasks.",
+           {"Parallel Loop", "Loop-Level Parallelism"}},
+          {"Fork-Join", L::kImplementation, "Supporting Structures",
+           "Spawn parallel work and rejoin when all of it completes.", {}},
+          {"Shared Data", L::kImplementation, "Supporting Structures",
+           "Manage state accessed by several tasks with explicit discipline.", {}},
+          {"Shared Queue", L::kImplementation, "Supporting Structures",
+           "A thread-safe queue decoupling producers from consumers.", {}},
+          {"Distributed Array", L::kImplementation, "Supporting Structures",
+           "An array partitioned among address spaces with a global view.", {}},
+
+          // --- Implementation Mechanisms (7) ------------------------------
+          {"Thread Creation", L::kImplementation, "Implementation Mechanisms",
+           "Create and destroy threads sharing an address space.", {}},
+          {"Process Creation", L::kImplementation, "Implementation Mechanisms",
+           "Create processes with separate address spaces.", {}},
+          {"Barrier", L::kImplementation, "Implementation Mechanisms",
+           "No task proceeds past the barrier until all have arrived.", {}},
+          {"Mutual Exclusion", L::kImplementation, "Implementation Mechanisms",
+           "At most one task executes the critical section at a time.",
+           {"Critical Section"}},
+          {"Message Passing", L::kImplementation, "Implementation Mechanisms",
+           "Tasks communicate by sending and receiving messages.", {}},
+          {"Collective Communication", L::kImplementation, "Implementation Mechanisms",
+           "Group-wide communication operations with well-defined results.", {}},
+          {"Reduction", L::kImplementation, "Implementation Mechanisms",
+           "Combine per-task partial results in O(lg t) parallel steps.", {}},
+
+          // --- Parallel Programming Concepts (6) --------------------------
+          {"Concurrency", L::kAlgorithmic, "Parallel Programming Concepts",
+           "Multiple flows of control in progress at once.", {}},
+          {"Synchronization", L::kAlgorithmic, "Parallel Programming Concepts",
+           "Constrain the relative order of events in different tasks.", {}},
+          {"Race Condition", L::kAlgorithmic, "Parallel Programming Concepts",
+           "Outcome depends on unsynchronized access interleaving (anti-pattern).",
+           {"Data Race"}},
+          {"Deadlock", L::kAlgorithmic, "Parallel Programming Concepts",
+           "Tasks block forever awaiting each other (anti-pattern).", {}},
+          {"Load Balancing", L::kAlgorithmic, "Parallel Programming Concepts",
+           "Distribute work so no task idles while others are overloaded.", {}},
+          {"Scalability", L::kAlgorithmic, "Parallel Programming Concepts",
+           "Performance improves as cores are added without code change.", {}},
+
+          // --- Communication (6) ------------------------------------------
+          {"Point-to-Point Communication", L::kImplementation, "Communication",
+           "A single sender transfers data to a single receiver.",
+           {"Send-Receive"}},
+          {"Broadcast", L::kImplementation, "Communication",
+           "One task's data is replicated to every task.", {}},
+          {"Scatter", L::kImplementation, "Communication",
+           "One task distributes distinct pieces of its data to all tasks.", {}},
+          {"Gather", L::kImplementation, "Communication",
+           "Every task's data is collected, in rank order, at one task.", {}},
+          {"All-to-All", L::kImplementation, "Communication",
+           "Every task exchanges distinct data with every other task.", {}},
+          {"Scan", L::kImplementation, "Communication",
+           "Each task receives the prefix combination of preceding tasks.",
+           {"Prefix Sum"}},
+
+          // --- Data Management (6) -----------------------------------------
+          {"Data Replication", L::kImplementation, "Data Management",
+           "Copy read-mostly data to every task to avoid communication.", {}},
+          {"Data Distribution", L::kImplementation, "Data Management",
+           "Assign data partitions to tasks (block, cyclic, block-cyclic).", {}},
+          {"Ghost Cells", L::kImplementation, "Data Management",
+           "Replicate partition boundaries so stencils read locally.",
+           {"Halo Exchange"}},
+          {"Owner Computes", L::kImplementation, "Data Management",
+           "The task owning a datum performs all updates to it.", {}},
+          {"In-Place Update", L::kImplementation, "Data Management",
+           "Update data without auxiliary copies, constraining ordering.", {}},
+          {"Double Buffering", L::kImplementation, "Data Management",
+           "Alternate read/write buffers to decouple producers from consumers.", {}},
+
+          // --- Task Scheduling (6) -----------------------------------------
+          {"Static Scheduling", L::kImplementation, "Task Scheduling",
+           "Fix the work-to-task assignment before execution.",
+           {"Equal Chunks"}},
+          {"Dynamic Scheduling", L::kImplementation, "Task Scheduling",
+           "Hand out work first-come-first-served at run time.", {}},
+          {"Guided Scheduling", L::kImplementation, "Task Scheduling",
+           "Dynamic hand-out with geometrically shrinking chunk sizes.", {}},
+          {"Work Stealing", L::kImplementation, "Task Scheduling",
+           "Idle tasks steal queued work from busy tasks' deques.", {}},
+          {"Task Queue", L::kImplementation, "Task Scheduling",
+           "Pending work lives in a queue that tasks pull from.", {}},
+          {"Speculative Execution", L::kImplementation, "Task Scheduling",
+           "Start work that may be discarded if a dependence materializes.",
+           {"Speculation"}},
+
+          // --- Application Archetypes (7) ----------------------------------
+          {"N-Body Problems", L::kArchitectural, "Application Archetypes",
+           "All-pairs or tree-approximated interactions among N bodies.",
+           {"N-Body Methods"}},
+          {"Monte Carlo Simulation", L::kArchitectural, "Application Archetypes",
+           "Estimate quantities by aggregating many independent random trials.",
+           {"Monte Carlo Methods"}},
+          {"Structured Grids", L::kArchitectural, "Application Archetypes",
+           "Updates over regular meshes with neighbor stencils.", {}},
+          {"Dense Linear Algebra", L::kArchitectural, "Application Archetypes",
+           "Matrix and vector kernels with regular data access.", {}},
+          {"MapReduce", L::kArchitectural, "Application Archetypes",
+           "Map over (key, value) pairs, then reduce grouped intermediates.", {}},
+          {"Graph Traversal", L::kArchitectural, "Application Archetypes",
+           "Explore vertices and edges with irregular data access.",
+           {"Graph Algorithms"}},
+          {"Branch and Bound", L::kArchitectural, "Application Archetypes",
+           "Prune a search tree using bounds while exploring in parallel.",
+           {"Backtrack Branch and Bound"}},
+
+          // --- Performance (5) ---------------------------------------------
+          {"Overlap Communication and Computation", L::kImplementation, "Performance",
+           "Hide transfer latency behind independent computation.", {}},
+          {"Aggregation", L::kImplementation, "Performance",
+           "Batch many small messages or tasks into fewer large ones.", {}},
+          {"Privatization", L::kImplementation, "Performance",
+           "Give each task a private copy to eliminate sharing, combine later.",
+           {"Thread-Local Accumulation"}},
+          {"Chunking", L::kImplementation, "Performance",
+           "Choose work granularity to balance overhead against imbalance.", {}},
+          {"Memoization", L::kImplementation, "Performance",
+           "Cache computed results for reuse across tasks.", {}},
+      });
+  return catalog;
+}
+
+}  // namespace pml::patterns

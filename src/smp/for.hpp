@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file for.hpp
+/// \brief `#pragma omp parallel for` in one call.
+///
+/// Region::for_each (team.hpp) is the worksharing `for` inside an existing
+/// region; this header adds the fused form that forks a team just for one
+/// loop — the construct the Parallel Loop patternlets toggle on and off.
+
+#include <cstdint>
+#include <functional>
+
+#include "smp/schedule.hpp"
+#include "smp/team.hpp"
+
+namespace pml::smp {
+
+/// Runs fn(thread, i) for every i in [begin, end), split across
+/// \p num_threads threads (0 = default) under \p schedule.
+inline void parallel_for(int num_threads, std::int64_t begin, std::int64_t end,
+                         const Schedule& schedule,
+                         const std::function<void(int, std::int64_t)>& fn) {
+  parallel(num_threads, [&](Region& region) {
+    region.for_each(begin, end, schedule,
+                    [&](std::int64_t i) { fn(region.thread_num(), i); });
+  });
+}
+
+/// parallel_for with the default schedule(static) equal-chunks split.
+inline void parallel_for(int num_threads, std::int64_t begin, std::int64_t end,
+                         const std::function<void(int, std::int64_t)>& fn) {
+  parallel_for(num_threads, begin, end, Schedule::static_equal(), fn);
+}
+
+}  // namespace pml::smp

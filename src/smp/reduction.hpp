@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file reduction.hpp
+/// \brief The reduction(op:var) clause: builtin and user-declared operators.
+///
+/// OpenMP's reduction clause gives each thread a private copy initialized to
+/// the operator's identity, and combines the copies at the end of the
+/// construct. This header supplies the builtin operator set the paper lists
+/// (+, *, -, &, |, ^, &&, ||, plus min/max) and the OpenMP 4.0
+/// `declare reduction` analogue (any user-provided associative combiner with
+/// an identity). The combine itself is performed by Region::reduce with a
+/// deterministic order.
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <string>
+
+#include "smp/schedule.hpp"
+#include "smp/team.hpp"
+
+namespace pml::smp {
+
+/// A reduction operator: identity element + associative combiner.
+/// The OpenMP 4.0 `declare reduction` analogue — users may construct their
+/// own, provided `combine` is associative.
+template <typename T>
+struct ReduceOp {
+  std::string name;                   ///< For diagnostics ("+", "max", ...).
+  T identity{};                       ///< Initializer of each private copy.
+  std::function<T(T, T)> combine;     ///< Associative combiner.
+};
+
+/// \name Builtin operators (the paper's OpenMP reduction operator list)
+/// @{
+template <typename T>
+ReduceOp<T> op_plus() {
+  return {"+", T{0}, [](T a, T b) { return static_cast<T>(a + b); }};
+}
+
+template <typename T>
+ReduceOp<T> op_times() {
+  return {"*", T{1}, [](T a, T b) { return static_cast<T>(a * b); }};
+}
+
+/// OpenMP's `-` reduction: private copies initialize to 0 and are *added*
+/// (the standard defines the `-` operator's combine as +).
+template <typename T>
+ReduceOp<T> op_minus() {
+  return {"-", T{0}, [](T a, T b) { return static_cast<T>(a + b); }};
+}
+
+template <typename T>
+ReduceOp<T> op_min() {
+  return {"min", std::numeric_limits<T>::max(),
+          [](T a, T b) { return std::min(a, b); }};
+}
+
+template <typename T>
+ReduceOp<T> op_max() {
+  return {"max", std::numeric_limits<T>::lowest(),
+          [](T a, T b) { return std::max(a, b); }};
+}
+
+template <typename T>
+ReduceOp<T> op_bit_and() {
+  return {"&", static_cast<T>(~T{0}), [](T a, T b) { return static_cast<T>(a & b); }};
+}
+
+template <typename T>
+ReduceOp<T> op_bit_or() {
+  return {"|", T{0}, [](T a, T b) { return static_cast<T>(a | b); }};
+}
+
+template <typename T>
+ReduceOp<T> op_bit_xor() {
+  return {"^", T{0}, [](T a, T b) { return static_cast<T>(a ^ b); }};
+}
+
+inline ReduceOp<bool> op_logical_and() {
+  return {"&&", true, [](bool a, bool b) { return a && b; }};
+}
+
+inline ReduceOp<bool> op_logical_or() {
+  return {"||", false, [](bool a, bool b) { return a || b; }};
+}
+/// @}
+
+/// `#pragma omp parallel for reduction(op:acc)` in one call: maps
+/// [begin, end) through \p body on \p num_threads threads under
+/// \p schedule, reducing the per-iteration values with \p op.
+template <typename T>
+T parallel_for_reduce(int num_threads, std::int64_t begin, std::int64_t end,
+                      const Schedule& schedule, const ReduceOp<T>& op,
+                      const std::function<T(std::int64_t)>& body) {
+  T result = op.identity;
+  parallel(num_threads, [&](Region& region) {
+    T local = op.identity;
+    region.for_each(begin, end, schedule,
+                    [&](std::int64_t i) { local = op.combine(local, body(i)); });
+    T combined = region.reduce(local, op.combine, op.identity);
+    region.master([&] { result = combined; });
+  });
+  return result;
+}
+
+}  // namespace pml::smp

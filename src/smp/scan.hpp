@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file scan.hpp
+/// \brief Parallel prefix (scan) on shared memory — the Scan catalog
+/// pattern's worksharing realization.
+///
+/// The message-passing substrate has MPI_Scan; this is the shared-memory
+/// counterpart: a classic three-phase block scan. Each thread scans its
+/// contiguous block locally, the block totals are exclusive-scanned once,
+/// and each thread adds its block offset — 2n element operations total,
+/// one barrier between phases.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/error.hpp"
+#include "smp/schedule.hpp"
+#include "smp/team.hpp"
+
+namespace pml::smp {
+
+/// In-place inclusive scan of \p values with the associative \p combine on
+/// \p num_threads threads: values[i] becomes combine(values[0..i]).
+/// \p identity is combine's neutral element.
+template <typename T, typename Combine>
+void parallel_inclusive_scan(std::vector<T>& values, int num_threads,
+                             Combine combine, T identity) {
+  const std::int64_t n = static_cast<std::int64_t>(values.size());
+  if (n == 0) return;
+
+  parallel(num_threads, [&](Region& region) {
+    const int p = region.num_threads();
+    const int me = region.thread_num();
+
+    // Phase 1: local inclusive scan of my contiguous block; publish my
+    // block's total through the per-thread slot of a shared vector.
+    const auto ranges =
+        static_assignment(Schedule::static_equal(), 0, n, p, me);
+    T block_total = identity;
+    if (!ranges.empty()) {
+      const IterRange r = ranges.front();
+      T acc = identity;
+      for (std::int64_t i = r.begin; i < r.end; ++i) {
+        acc = combine(acc, values[static_cast<std::size_t>(i)]);
+        values[static_cast<std::size_t>(i)] = acc;
+      }
+      block_total = acc;
+    }
+
+    // Phase 2: exclusive scan of the block totals. Gather via the
+    // deterministic reduce-to-vector idiom: every thread contributes its
+    // total; thread 0's fold order is thread order, so we can rebuild the
+    // prefix of totals on every thread identically.
+    std::vector<T> totals(static_cast<std::size_t>(p), identity);
+    totals[static_cast<std::size_t>(me)] = block_total;
+    const std::vector<T> all_totals = region.reduce(
+        totals,
+        [&](std::vector<T> a, const std::vector<T>& b) {
+          for (std::size_t i = 0; i < a.size(); ++i) {
+            a[i] = combine(a[i], b[i]);
+          }
+          return a;
+        },
+        std::vector<T>(static_cast<std::size_t>(p), identity));
+
+    T offset = identity;
+    for (int t = 0; t < me; ++t) {
+      offset = combine(offset, all_totals[static_cast<std::size_t>(t)]);
+    }
+
+    // Phase 3: add my block's offset.
+    if (!ranges.empty() && me > 0) {
+      const IterRange r = ranges.front();
+      for (std::int64_t i = r.begin; i < r.end; ++i) {
+        values[static_cast<std::size_t>(i)] =
+            combine(offset, values[static_cast<std::size_t>(i)]);
+      }
+    }
+  });
+}
+
+/// Inclusive prefix-sum convenience for arithmetic types.
+template <typename T>
+void parallel_prefix_sum(std::vector<T>& values, int num_threads) {
+  parallel_inclusive_scan(values, num_threads,
+                          [](T a, T b) { return static_cast<T>(a + b); }, T{0});
+}
+
+}  // namespace pml::smp

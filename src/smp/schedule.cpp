@@ -1,0 +1,89 @@
+#include "smp/schedule.hpp"
+
+#include <algorithm>
+
+namespace pml::smp {
+
+std::string Schedule::to_string() const {
+  switch (kind) {
+    case ScheduleKind::kStaticEqualChunks: return "static";
+    case ScheduleKind::kStaticChunked: return "static," + std::to_string(chunk);
+    case ScheduleKind::kDynamic: return "dynamic," + std::to_string(chunk);
+    case ScheduleKind::kGuided: return "guided," + std::to_string(chunk);
+  }
+  return "?";
+}
+
+namespace {
+
+void check_args(std::int64_t begin, std::int64_t end, int num_threads) {
+  if (end < begin) throw UsageError("schedule: end < begin");
+  if (num_threads <= 0) throw UsageError("schedule: num_threads must be positive");
+}
+
+}  // namespace
+
+std::vector<IterRange> static_assignment(const Schedule& s, std::int64_t begin,
+                                         std::int64_t end, int num_threads, int thread) {
+  check_args(begin, end, num_threads);
+  if (thread < 0 || thread >= num_threads) throw UsageError("schedule: bad thread id");
+
+  const std::int64_t n = end - begin;
+  std::vector<IterRange> out;
+
+  switch (s.kind) {
+    case ScheduleKind::kStaticEqualChunks: {
+      // The paper's decomposition (Fig. 16): chunkSize = ceil(n / p);
+      // thread t takes [t*chunk, (t+1)*chunk), the last thread up to end.
+      if (n == 0) return out;
+      const std::int64_t chunk = (n + num_threads - 1) / num_threads;
+      const std::int64_t lo = begin + static_cast<std::int64_t>(thread) * chunk;
+      std::int64_t hi = (thread == num_threads - 1) ? end : std::min(end, lo + chunk);
+      if (lo < hi) out.push_back({lo, hi});
+      return out;
+    }
+    case ScheduleKind::kStaticChunked: {
+      const std::int64_t c = std::max<std::int64_t>(1, s.chunk);
+      // Round-robin deal of chunk-sized blocks: block b goes to thread
+      // b % num_threads.
+      for (std::int64_t block = thread; block * c < n; block += num_threads) {
+        const std::int64_t lo = begin + block * c;
+        const std::int64_t hi = std::min(end, lo + c);
+        out.push_back({lo, hi});
+      }
+      return out;
+    }
+    case ScheduleKind::kDynamic:
+    case ScheduleKind::kGuided:
+      throw UsageError("static_assignment: schedule '" + s.to_string() +
+                       "' is not statically computable");
+  }
+  return out;
+}
+
+DynamicDealer::DynamicDealer(const Schedule& s, std::int64_t begin, std::int64_t end,
+                             int num_threads)
+    : schedule_(s), end_(end), num_threads_(num_threads), cursor_(begin) {
+  check_args(begin, end, num_threads);
+  if (s.kind != ScheduleKind::kDynamic && s.kind != ScheduleKind::kGuided) {
+    throw UsageError("DynamicDealer requires a dynamic or guided schedule");
+  }
+}
+
+IterRange DynamicDealer::next() {
+  std::lock_guard lock(mu_);
+  if (cursor_ >= end_) return {};
+  const std::int64_t remaining = end_ - cursor_;
+  std::int64_t take = std::max<std::int64_t>(1, schedule_.chunk);
+  if (schedule_.kind == ScheduleKind::kGuided) {
+    // OpenMP guided: next chunk is ~remaining/num_threads, never below the
+    // minimum chunk, so chunk sizes decay geometrically.
+    take = std::max(take, remaining / num_threads_);
+  }
+  take = std::min(take, remaining);
+  const IterRange r{cursor_, cursor_ + take};
+  cursor_ += take;
+  return r;
+}
+
+}  // namespace pml::smp

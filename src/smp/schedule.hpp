@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file schedule.hpp
+/// \brief Loop schedules for the worksharing constructs.
+///
+/// Reproduces OpenMP's schedule(...) clause semantics:
+///  - static (no chunk): iterations split into one contiguous, nearly-equal
+///    chunk per thread ("equal chunks", paper Figs. 13-15);
+///  - static,c: chunks of size c dealt round-robin ("chunks of 1" when c=1);
+///  - dynamic,c: chunks of size c handed out first-come-first-served;
+///  - guided,c: exponentially shrinking chunks with minimum c.
+///
+/// Static assignments are pure functions (computable without running), so
+/// tests can check them exhaustively; dynamic/guided are realized with a
+/// shared counter at run time.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace pml::smp {
+
+/// Which schedule the worksharing loop uses.
+enum class ScheduleKind {
+  kStaticEqualChunks,  ///< schedule(static) — contiguous equal blocks.
+  kStaticChunked,      ///< schedule(static, c) — round-robin chunks of c.
+  kDynamic,            ///< schedule(dynamic, c) — first-come chunks of c.
+  kGuided,             ///< schedule(guided, c) — shrinking chunks, min c.
+};
+
+/// A schedule clause: kind + chunk size.
+struct Schedule {
+  ScheduleKind kind = ScheduleKind::kStaticEqualChunks;
+  std::int64_t chunk = 1;  ///< Ignored by kStaticEqualChunks.
+
+  static Schedule static_equal() { return {ScheduleKind::kStaticEqualChunks, 0}; }
+  static Schedule static_chunks(std::int64_t c) { return {ScheduleKind::kStaticChunked, c}; }
+  static Schedule dynamic(std::int64_t c = 1) { return {ScheduleKind::kDynamic, c}; }
+  static Schedule guided(std::int64_t c = 1) { return {ScheduleKind::kGuided, c}; }
+
+  std::string to_string() const;
+};
+
+/// A contiguous range of iterations [begin, end).
+struct IterRange {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t size() const noexcept { return end - begin; }
+  bool empty() const noexcept { return begin >= end; }
+  friend bool operator==(const IterRange&, const IterRange&) = default;
+};
+
+/// For static schedules: the ranges thread \p thread executes of the loop
+/// [begin, end) split across \p num_threads threads.
+/// kStaticEqualChunks uses the paper's ceil-division decomposition
+/// (Fig. 16): chunk = ceil(n / p); the last thread takes the remainder.
+/// Throws UsageError for dynamic/guided kinds (not statically computable).
+std::vector<IterRange> static_assignment(const Schedule& s, std::int64_t begin,
+                                         std::int64_t end, int num_threads, int thread);
+
+/// Shared hand-out state for dynamic and guided schedules.
+/// All threads of a team pull from one DynamicDealer.
+class DynamicDealer {
+ public:
+  DynamicDealer(const Schedule& s, std::int64_t begin, std::int64_t end, int num_threads);
+
+  /// Grabs the next chunk. Returns an empty range when the loop is done.
+  IterRange next();
+
+ private:
+  const Schedule schedule_;
+  const std::int64_t end_;
+  const int num_threads_;
+  std::int64_t cursor_;  // guarded by mu_
+  std::mutex mu_;
+};
+
+}  // namespace pml::smp

@@ -1,0 +1,13 @@
+#pragma once
+
+/// \file smp.hpp
+/// \brief Umbrella header for pml::smp — the fork-join / worksharing
+/// (OpenMP-workalike) substrate.
+
+#include "smp/for.hpp"        // IWYU pragma: export
+#include "smp/reduction.hpp"  // IWYU pragma: export
+#include "smp/scan.hpp"       // IWYU pragma: export
+#include "smp/schedule.hpp"   // IWYU pragma: export
+#include "smp/sync.hpp"       // IWYU pragma: export
+#include "smp/team.hpp"       // IWYU pragma: export
+#include "smp/wtime.hpp"      // IWYU pragma: export

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file sync.hpp
+/// \brief Mutual-exclusion constructs: atomic updates and ordered execution.
+///
+/// The Mutual Exclusion patternlets (paper Figs. 29-30) contrast three ways
+/// to update shared state:
+///  - unsynchronized (a data race; the "lost deposits" lesson),
+///  - `#pragma omp atomic` — hardware read-modify-write, cheap,
+///  - `#pragma omp critical` — a lock, general but much more expensive.
+/// Region::critical covers the third; this header supplies the atomic
+/// update (lock-free CAS on the shared location) and an OrderedTicket used
+/// for the `ordered` construct.
+///
+/// As in OpenMP, `atomic` only applies to simple updates of a single
+/// location (x += e, x = x op e, ...); arbitrary multi-statement work needs
+/// `critical`. atomic_update's interface enforces exactly that shape: one
+/// location, one pure combining function.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <type_traits>
+
+namespace pml::smp {
+
+/// Atomically applies `shared = op(shared, operand)` with a CAS loop.
+/// Works for any trivially-copyable, lock-free-able T (ints, doubles).
+/// This is the `#pragma omp atomic` analogue.
+template <typename T, typename Op>
+T atomic_update(T& shared, T operand, Op op) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "atomic applies to simple scalar updates only");
+  std::atomic_ref<T> ref(shared);
+  T expected = ref.load(std::memory_order_relaxed);
+  T desired = op(expected, operand);
+  while (!ref.compare_exchange_weak(expected, desired, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+    desired = op(expected, operand);
+  }
+  return desired;
+}
+
+/// `#pragma omp atomic` for the common `x += v` form.
+template <typename T>
+T atomic_add(T& shared, T value) {
+  return atomic_update(shared, value, [](T a, T b) { return a + b; });
+}
+
+/// Atomic load of a shared scalar (atomic read form).
+template <typename T>
+T atomic_read(const T& shared) {
+  return std::atomic_ref<const T>(shared).load(std::memory_order_acquire);
+}
+
+/// Atomic store to a shared scalar (atomic write form).
+template <typename T>
+void atomic_write(T& shared, T value) {
+  std::atomic_ref<T>(shared).store(value, std::memory_order_release);
+}
+
+/// Sequencing aid for the `ordered` construct: threads execute their turn
+/// strictly in ticket order 0, 1, 2, ... regardless of arrival order.
+class OrderedTicket {
+ public:
+  explicit OrderedTicket(std::int64_t first = 0) : next_(first) {}
+
+  OrderedTicket(const OrderedTicket&) = delete;
+  OrderedTicket& operator=(const OrderedTicket&) = delete;
+
+  /// Blocks until it is \p ticket's turn, runs fn, then admits ticket+1.
+  template <typename Fn>
+  void run_in_order(std::int64_t ticket, Fn&& fn) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return next_ == ticket; });
+    fn();
+    ++next_;
+    lock.unlock();
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::int64_t next_;
+};
+
+}  // namespace pml::smp

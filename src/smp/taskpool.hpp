@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file taskpool.hpp
+/// \brief Team-shared explicit-task pool — the `#pragma omp task` substrate.
+///
+/// Tasks are deferred work units any team thread may execute. The pool
+/// tracks both queued and executing tasks so quiescence ("no task queued or
+/// running") is a waitable condition: `taskwait` and the team barrier are
+/// task scheduling points, as in OpenMP — a thread arriving there helps
+/// execute pending tasks until the pool is quiescent.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "core/error.hpp"
+
+namespace pml::smp::detail {
+
+/// A FIFO pool of deferred tasks with quiescence tracking.
+class TaskPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Defers a task.
+  void push(Task task) {
+    {
+      std::lock_guard lock(mu_);
+      queue_.push_back(std::move(task));
+      ++in_flight_;
+    }
+    changed_.notify_all();
+  }
+
+  /// Pops one task if available; the caller MUST call finished() after
+  /// executing it.
+  std::optional<Task> try_pop() {
+    std::lock_guard lock(mu_);
+    if (queue_.empty()) return std::nullopt;
+    Task t = std::move(queue_.front());
+    queue_.pop_front();
+    return t;
+  }
+
+  /// Marks one popped task as executed.
+  void finished() {
+    {
+      std::lock_guard lock(mu_);
+      --in_flight_;
+    }
+    changed_.notify_all();
+  }
+
+  /// Pops and executes one pending task on the calling thread (tracking
+  /// execution depth); returns false if nothing was queued. Never blocks —
+  /// safe to call from *inside* a task (cooperative helping).
+  bool try_execute_one() {
+    auto task = try_pop();
+    if (!task) return false;
+    ++exec_depth();
+    try {
+      (*task)();
+    } catch (...) {
+      --exec_depth();
+      finished();
+      throw;
+    }
+    --exec_depth();
+    finished();
+    return true;
+  }
+
+  /// Executes pending tasks on the calling thread until the pool is
+  /// quiescent (nothing queued, nothing executing anywhere). This is the
+  /// task-scheduling-point loop used by taskwait and the barrier.
+  ///
+  /// Must NOT be called from inside a task: team-wide quiescence includes
+  /// the calling task itself, so the wait could never finish. Callers
+  /// inside a task should loop on try_execute_one() against their own
+  /// completion condition instead (see edu::parallel_merge_sort).
+  void help_until_quiescent() {
+    if (exec_depth() > 0) {
+      throw pml::UsageError(
+          "taskwait/barrier called from inside a task: team-wide quiescence "
+          "would wait on the calling task itself; help with "
+          "try_execute_one() instead");
+    }
+    for (;;) {
+      if (try_execute_one()) continue;
+      std::unique_lock lock(mu_);
+      if (in_flight_ == 0) return;
+      if (!queue_.empty()) continue;  // raced with a push; go help again
+      // Tasks are executing on other threads (and may spawn more): wait
+      // for the pool to change, then re-check.
+      changed_.wait(lock, [this] { return in_flight_ == 0 || !queue_.empty(); });
+      if (in_flight_ == 0) return;
+    }
+  }
+
+  /// Queued-or-executing count (diagnostics).
+  int in_flight() const {
+    std::lock_guard lock(mu_);
+    return in_flight_;
+  }
+
+ private:
+  /// Nesting depth of task execution on the calling thread.
+  static int& exec_depth() {
+    thread_local int depth = 0;
+    return depth;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable changed_;
+  std::deque<Task> queue_;
+  int in_flight_ = 0;  ///< queued + currently executing
+};
+
+}  // namespace pml::smp::detail

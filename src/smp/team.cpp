@@ -1,0 +1,147 @@
+#include "smp/team.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "thread/thread.hpp"
+
+namespace pml::smp {
+
+namespace {
+
+std::atomic<int> g_default_threads{0};  // 0 = not set yet
+
+int hardware_default() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc >= 2 ? static_cast<int>(hc) : 2;
+}
+
+/// Global named-critical lock table (criticals are global in OpenMP).
+std::mutex& critical_mutex(const std::string& name) {
+  static std::mutex table_mu;
+  static std::map<std::string, std::unique_ptr<std::mutex>> table;
+  std::lock_guard lock(table_mu);
+  auto& slot = table[name];
+  if (!slot) slot = std::make_unique<std::mutex>();
+  return *slot;
+}
+
+}  // namespace
+
+void set_default_num_threads(int n) {
+  if (n <= 0) throw UsageError("set_default_num_threads: count must be positive");
+  g_default_threads.store(n, std::memory_order_relaxed);
+}
+
+int default_num_threads() {
+  const int n = g_default_threads.load(std::memory_order_relaxed);
+  return n > 0 ? n : hardware_default();
+}
+
+void parallel(int num_threads, const std::function<void(Region&)>& body) {
+  const int n = num_threads > 0 ? num_threads : default_num_threads();
+  auto state = std::make_shared<detail::TeamState>(n);
+  pml::thread::fork_join_inline(n, [&](int id) {
+    Region region(state, id);
+    body(region);
+  });
+}
+
+void parallel(const std::function<void(Region&)>& body) { parallel(0, body); }
+
+void Region::critical(const std::string& name, const std::function<void()>& fn) {
+  std::lock_guard lock(critical_mutex(name));
+  fn();
+}
+
+std::shared_ptr<detail::WorkshareSlot> Region::acquire_slot() {
+  const std::uint64_t key = workshare_count_++;
+  std::lock_guard lock(state_->slots_mu);
+  auto& slot = state_->slots[key];
+  if (!slot) slot = std::make_shared<detail::WorkshareSlot>();
+  return slot;
+}
+
+void Region::depart_slot(std::uint64_t key,
+                         const std::shared_ptr<detail::WorkshareSlot>& slot) {
+  bool last = false;
+  {
+    std::lock_guard lock(slot->mu);
+    last = (++slot->departed == state_->size);
+  }
+  if (last) {
+    std::lock_guard lock(state_->slots_mu);
+    state_->slots.erase(key);
+  }
+}
+
+bool Region::single(const std::function<void()>& fn, bool nowait) {
+  const std::uint64_t key = workshare_count_;
+  auto slot = acquire_slot();
+  bool executed = false;
+  {
+    std::lock_guard lock(slot->mu);
+    if (!slot->single_claimed) {
+      slot->single_claimed = true;
+      executed = true;
+    }
+  }
+  if (executed) fn();
+  if (!nowait) barrier();
+  depart_slot(key, slot);
+  return executed;
+}
+
+void Region::for_each(std::int64_t begin, std::int64_t end, const Schedule& schedule,
+                      const std::function<void(std::int64_t)>& fn, bool nowait) {
+  const std::uint64_t key = workshare_count_;
+  auto slot = acquire_slot();
+
+  switch (schedule.kind) {
+    case ScheduleKind::kStaticEqualChunks:
+    case ScheduleKind::kStaticChunked: {
+      for (const IterRange& r :
+           static_assignment(schedule, begin, end, num_threads(), id_)) {
+        for (std::int64_t i = r.begin; i < r.end; ++i) fn(i);
+      }
+      break;
+    }
+    case ScheduleKind::kDynamic:
+    case ScheduleKind::kGuided: {
+      {
+        std::lock_guard lock(slot->mu);
+        if (!slot->dealer) {
+          slot->dealer =
+              std::make_shared<DynamicDealer>(schedule, begin, end, num_threads());
+        }
+      }
+      for (IterRange r = slot->dealer->next(); !r.empty(); r = slot->dealer->next()) {
+        for (std::int64_t i = r.begin; i < r.end; ++i) fn(i);
+      }
+      break;
+    }
+  }
+
+  if (!nowait) barrier();
+  depart_slot(key, slot);
+}
+
+void Region::sections(const std::vector<std::function<void()>>& sections, bool nowait) {
+  const std::uint64_t key = workshare_count_;
+  auto slot = acquire_slot();
+  for (;;) {
+    std::int64_t mine = -1;
+    {
+      std::lock_guard lock(slot->mu);
+      if (slot->section_cursor < static_cast<std::int64_t>(sections.size())) {
+        mine = slot->section_cursor++;
+      }
+    }
+    if (mine < 0) break;
+    sections[static_cast<std::size_t>(mine)]();
+  }
+  if (!nowait) barrier();
+  depart_slot(key, slot);
+}
+
+}  // namespace pml::smp

@@ -1,0 +1,189 @@
+#pragma once
+
+/// \file team.hpp
+/// \brief Fork-join parallel regions with worksharing — the OpenMP-workalike
+/// core of pml::smp.
+///
+/// `parallel(n, body)` forks a team of n threads (the caller participates as
+/// thread 0, exactly like an OpenMP primary thread) and runs `body(region)`
+/// on each. The Region is the per-thread view of the team and provides the
+/// constructs the directives would: barrier, critical, atomic (see
+/// sync.hpp), single, master, worksharing for-loops (for.hpp), sections
+/// (sections.hpp), and reductions (reduction.hpp).
+///
+/// Worksharing constructs are matched across threads positionally: every
+/// thread of a team must execute the same sequence of worksharing
+/// constructs (the OpenMP rule). Each construct occurrence gets a slot in
+/// the team's shared state; the first thread to arrive initializes it and
+/// the last to depart retires it.
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/error.hpp"
+#include "smp/schedule.hpp"
+#include "smp/taskpool.hpp"
+#include "thread/barrier.hpp"
+
+namespace pml::smp {
+
+class Region;
+
+namespace detail {
+
+/// Shared bookkeeping for one occurrence of a worksharing construct.
+struct WorkshareSlot {
+  std::mutex mu;
+  int departed = 0;            ///< Threads done with this construct.
+  bool single_claimed = false; ///< For single(): has anyone executed it?
+  std::shared_ptr<DynamicDealer> dealer;  ///< For dynamic/guided loops.
+  std::int64_t section_cursor = 0;        ///< For sections().
+  std::any payload;  ///< Construct-specific shared data (e.g. reduce buffer).
+  std::any result;   ///< Construct-specific shared result.
+};
+
+/// Shared state of one team (one parallel region instance).
+struct TeamState {
+  explicit TeamState(int n) : size(n), barrier(n) {}
+  const int size;
+  pml::thread::Barrier barrier;
+  std::mutex slots_mu;
+  std::map<std::uint64_t, std::shared_ptr<WorkshareSlot>> slots;
+  TaskPool tasks;  ///< Deferred explicit tasks (#pragma omp task).
+};
+
+}  // namespace detail
+
+/// Sets the default team size used by parallel() overloads without an
+/// explicit count (omp_set_num_threads analogue). Process-wide.
+void set_default_num_threads(int n);
+
+/// Current default team size. Initially max(2, hardware_concurrency).
+int default_num_threads();
+
+/// Runs body(region) on a team of \p num_threads threads (0 = default).
+/// The caller is thread 0; num_threads-1 workers are forked; all join
+/// before parallel() returns (implicit end-of-region barrier by join).
+void parallel(int num_threads, const std::function<void(Region&)>& body);
+
+/// parallel() with the default team size.
+void parallel(const std::function<void(Region&)>& body);
+
+/// Per-thread view of a running team. Only valid inside the body passed to
+/// parallel(); never store a Region past the region's end.
+class Region {
+ public:
+  Region(std::shared_ptr<detail::TeamState> state, int id)
+      : state_(std::move(state)), id_(id) {}
+
+  Region(const Region&) = delete;
+  Region& operator=(const Region&) = delete;
+
+  /// This thread's id within the team (omp_get_thread_num).
+  int thread_num() const noexcept { return id_; }
+
+  /// Team size (omp_get_num_threads).
+  int num_threads() const noexcept { return state_->size; }
+
+  /// Team-wide barrier (#pragma omp barrier). A task scheduling point:
+  /// the arriving thread helps execute pending explicit tasks until the
+  /// task pool is quiescent, so all tasks complete before the barrier does
+  /// (the OpenMP guarantee).
+  void barrier() {
+    state_->tasks.help_until_quiescent();
+    state_->barrier.arrive_and_wait();
+  }
+
+  /// Defers \p fn as an explicit task (#pragma omp task): any team thread
+  /// may execute it at a scheduling point (taskwait or barrier). Tasks may
+  /// spawn further tasks.
+  void task(std::function<void()> fn) { state_->tasks.push(std::move(fn)); }
+
+  /// Task scheduling point (#pragma omp taskwait, team-wide flavor): helps
+  /// execute tasks until none are queued or running anywhere in the team.
+  /// Throws UsageError if called from inside a task (team-wide quiescence
+  /// would wait on the caller itself); use try_execute_one_task() there.
+  void taskwait() { state_->tasks.help_until_quiescent(); }
+
+  /// Cooperative helping primitive for code running *inside* a task:
+  /// executes one pending task if available. Returns false when the queue
+  /// is empty. Never blocks.
+  bool try_execute_one_task() { return state_->tasks.try_execute_one(); }
+
+  /// Runs fn in the named critical section (#pragma omp critical(name)).
+  /// Critical sections are *global* across teams, as in OpenMP.
+  void critical(const std::string& name, const std::function<void()>& fn);
+
+  /// Unnamed critical section (all unnamed criticals share one lock).
+  void critical(const std::function<void()>& fn) { critical("", fn); }
+
+  /// #pragma omp single: exactly one thread (first to arrive) runs fn;
+  /// all threads then synchronize at an implicit barrier unless \p nowait.
+  /// Returns true on the thread that executed fn.
+  bool single(const std::function<void()>& fn, bool nowait = false);
+
+  /// #pragma omp master: thread 0 runs fn; no implied barrier.
+  void master(const std::function<void()>& fn) {
+    if (id_ == 0) fn();
+  }
+
+  /// Worksharing loop over [begin, end) with the given schedule
+  /// (#pragma omp for schedule(...)). Implicit barrier unless \p nowait.
+  void for_each(std::int64_t begin, std::int64_t end, const Schedule& schedule,
+                const std::function<void(std::int64_t)>& fn, bool nowait = false);
+
+  /// #pragma omp sections: each section runs exactly once, dealt
+  /// first-come-first-served across the team. Implicit barrier.
+  void sections(const std::vector<std::function<void()>>& sections, bool nowait = false);
+
+  /// Reduction over per-thread locals (the reduction(op:var) clause).
+  /// Every thread contributes \p local; every thread receives the combined
+  /// value. Deterministic combine order (thread 0, 1, ..., n-1), so
+  /// non-commutative teaching examples behave reproducibly.
+  template <typename T, typename Combine>
+  T reduce(T local, Combine combine, T identity);
+
+  /// \name Internal (used by for.hpp/sections.hpp implementations)
+  /// @{
+  std::shared_ptr<detail::WorkshareSlot> acquire_slot();
+  void depart_slot(std::uint64_t key, const std::shared_ptr<detail::WorkshareSlot>& slot);
+  detail::TeamState& state() noexcept { return *state_; }
+  /// @}
+
+ private:
+  std::shared_ptr<detail::TeamState> state_;
+  const int id_;
+  std::uint64_t workshare_count_ = 0;  ///< Constructs encountered by this thread.
+};
+
+template <typename T, typename Combine>
+T Region::reduce(T local, Combine combine, T identity) {
+  const std::uint64_t key = workshare_count_;
+  auto slot = acquire_slot();
+  {
+    std::lock_guard lock(slot->mu);
+    if (!slot->payload.has_value()) {
+      slot->payload = std::vector<T>(static_cast<std::size_t>(num_threads()), identity);
+    }
+    std::any_cast<std::vector<T>&>(slot->payload)[static_cast<std::size_t>(id_)] =
+        std::move(local);
+  }
+  barrier();
+  if (id_ == 0) {
+    const auto& partials = std::any_cast<const std::vector<T>&>(slot->payload);
+    T acc = identity;
+    for (const T& p : partials) acc = combine(acc, p);
+    std::lock_guard lock(slot->mu);
+    slot->result = std::move(acc);
+  }
+  barrier();
+  T out = std::any_cast<T>(slot->result);
+  depart_slot(key, slot);
+  return out;
+}
+
+}  // namespace pml::smp

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file wtime.hpp
+/// \brief Monotonic wall-clock, the omp_get_wtime() analogue.
+
+#include <chrono>
+
+namespace pml::smp {
+
+/// Seconds on a monotonic clock; differences are wall time.
+inline double wtime() noexcept {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+/// Resolution of wtime() in seconds (omp_get_wtick() analogue).
+inline double wtick() noexcept {
+  using period = std::chrono::steady_clock::period;
+  return static_cast<double>(period::num) / static_cast<double>(period::den);
+}
+
+/// Tiny RAII stopwatch used throughout benches and the Matrix lab.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(wtime()) {}
+  /// Seconds since construction or the last reset().
+  double elapsed() const noexcept { return wtime() - start_; }
+  void reset() noexcept { start_ = wtime(); }
+
+ private:
+  double start_;
+};
+
+}  // namespace pml::smp

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file barrier.hpp
+/// \brief Cyclic barrier (pthread_barrier_t analogue), built from scratch.
+///
+/// Sense-reversing central barrier: each arrival decrements a counter; the
+/// last arrival flips the phase sense and releases everyone. Reusable across
+/// any number of phases without reinitialization — the property the Barrier
+/// patternlet (paper Figs. 7-12) relies on.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "core/error.hpp"
+
+namespace pml::thread {
+
+/// A reusable barrier for a fixed party of threads.
+class Barrier {
+ public:
+  explicit Barrier(int parties) : parties_(parties), waiting_(parties) {
+    if (parties <= 0) throw pml::UsageError("Barrier: parties must be positive");
+  }
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all parties have called arrive_and_wait for this phase.
+  /// Returns true on exactly one thread per phase (the "serial thread",
+  /// mirroring PTHREAD_BARRIER_SERIAL_THREAD).
+  bool arrive_and_wait() {
+    std::unique_lock lock(mu_);
+    const bool sense = sense_;
+    if (--waiting_ == 0) {
+      waiting_ = parties_;
+      sense_ = !sense_;
+      cv_.notify_all();
+      return true;
+    }
+    cv_.wait(lock, [&] { return sense_ != sense; });
+    return false;
+  }
+
+  /// Number of threads the barrier synchronizes.
+  int parties() const noexcept { return parties_; }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const int parties_;
+  int waiting_;
+  bool sense_ = false;
+};
+
+}  // namespace pml::thread

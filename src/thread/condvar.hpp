@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file condvar.hpp
+/// \brief Condition-variable kit (pthread_cond_t analogue) plus a small
+/// monitor helper used by the signaling patternlet.
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+
+namespace pml::thread {
+
+/// pthread_cond_t analogue.
+using CondVar = std::condition_variable;
+
+/// A one-shot event: threads wait() until some thread set()s it.
+/// This is the minimal useful condition-variable idiom, and the shape the
+/// condvar patternlet teaches (state + mutex + condvar, wait in a loop).
+class Event {
+ public:
+  Event() = default;
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  /// Marks the event as signaled and wakes all waiters.
+  void set() {
+    {
+      std::lock_guard lock(mu_);
+      signaled_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until set() has been called.
+  void wait() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] { return signaled_; });
+  }
+
+  /// True once set() has been called.
+  bool is_set() const {
+    std::lock_guard lock(mu_);
+    return signaled_;
+  }
+
+  /// Re-arms the event (test helper).
+  void reset() {
+    std::lock_guard lock(mu_);
+    signaled_ = false;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool signaled_ = false;
+};
+
+/// A monitor around a value: all access goes through with_lock, and
+/// waiters block on a predicate over the value. Demonstrates the
+/// "shared state is always guarded" discipline.
+template <typename T>
+class Monitor {
+ public:
+  explicit Monitor(T initial = T{}) : value_(std::move(initial)) {}
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// Runs fn(value) under the lock and notifies waiters afterwards.
+  template <typename Fn>
+  auto with_lock(Fn&& fn) {
+    std::unique_lock lock(mu_);
+    if constexpr (std::is_void_v<decltype(fn(value_))>) {
+      fn(value_);
+      lock.unlock();
+      cv_.notify_all();
+    } else {
+      auto result = fn(value_);
+      lock.unlock();
+      cv_.notify_all();
+      return result;
+    }
+  }
+
+  /// Blocks until pred(value) holds, then runs fn(value) under the lock.
+  template <typename Pred, typename Fn>
+  auto wait_then(Pred&& pred, Fn&& fn) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return pred(value_); });
+    if constexpr (std::is_void_v<decltype(fn(value_))>) {
+      fn(value_);
+      lock.unlock();
+      cv_.notify_all();
+    } else {
+      auto result = fn(value_);
+      lock.unlock();
+      cv_.notify_all();
+      return result;
+    }
+  }
+
+  /// Copy of the current value.
+  T load() const {
+    std::lock_guard lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  T value_;
+};
+
+}  // namespace pml::thread

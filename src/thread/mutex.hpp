@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file mutex.hpp
+/// \brief Pthreads-style lock kit: mutex, spinlock, reader-writer lock.
+///
+/// These wrap or implement the lock types the Pthreads patternlets teach
+/// (pthread_mutex_t, pthread_spinlock_t, pthread_rwlock_t) with RAII guards.
+/// The rwlock is implemented from scratch (writer-preferring) because its
+/// fairness policy is part of what the patternlet demonstrates.
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace pml::thread {
+
+/// pthread_mutex_t analogue. A thin name over std::mutex so patternlet
+/// code reads like the original C.
+using Mutex = std::mutex;
+
+/// RAII guard (pthread_mutex_lock / unlock pair).
+using LockGuard = std::lock_guard<Mutex>;
+
+/// pthread_spinlock_t analogue: test-and-test-and-set spinlock.
+/// Useful for the mutual-exclusion cost ablation (short critical sections).
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() noexcept {
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      // Spin on a plain load to avoid cache-line ping-pong.
+      while (flag_.load(std::memory_order_relaxed)) {
+      }
+    }
+  }
+
+  bool try_lock() noexcept { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// pthread_rwlock_t analogue, writer-preferring: once a writer is waiting,
+/// new readers block, so writers cannot starve under a steady reader load.
+class RwLock {
+ public:
+  RwLock() = default;
+  RwLock(const RwLock&) = delete;
+  RwLock& operator=(const RwLock&) = delete;
+
+  void lock_shared() {
+    std::unique_lock lock(mu_);
+    readers_ok_.wait(lock, [this] { return writers_waiting_ == 0 && !writer_active_; });
+    ++readers_active_;
+  }
+
+  void unlock_shared() {
+    std::lock_guard lock(mu_);
+    if (--readers_active_ == 0) writers_ok_.notify_one();
+  }
+
+  void lock() {
+    std::unique_lock lock(mu_);
+    ++writers_waiting_;
+    writers_ok_.wait(lock, [this] { return readers_active_ == 0 && !writer_active_; });
+    --writers_waiting_;
+    writer_active_ = true;
+  }
+
+  void unlock() {
+    std::lock_guard lock(mu_);
+    writer_active_ = false;
+    if (writers_waiting_ > 0) {
+      writers_ok_.notify_one();
+    } else {
+      readers_ok_.notify_all();
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable readers_ok_;
+  std::condition_variable writers_ok_;
+  int readers_active_ = 0;
+  int writers_waiting_ = 0;
+  bool writer_active_ = false;
+};
+
+/// RAII shared (reader) guard for RwLock.
+class SharedGuard {
+ public:
+  explicit SharedGuard(RwLock& l) : lock_(l) { lock_.lock_shared(); }
+  ~SharedGuard() { lock_.unlock_shared(); }
+  SharedGuard(const SharedGuard&) = delete;
+  SharedGuard& operator=(const SharedGuard&) = delete;
+
+ private:
+  RwLock& lock_;
+};
+
+}  // namespace pml::thread

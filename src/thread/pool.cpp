@@ -1,0 +1,79 @@
+#include "thread/pool.hpp"
+
+namespace pml::thread {
+
+Pool::Pool(int workers) {
+  if (workers <= 0) throw UsageError("Pool: worker count must be positive");
+  executed_.assign(static_cast<std::size_t>(workers), 0);
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int id = 0; id < workers; ++id) {
+    threads_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+Pool::~Pool() { shutdown(); }
+
+void Pool::submit(Task task) {
+  if (!task) throw UsageError("Pool::submit: empty task");
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) throw RuntimeFault("Pool::submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void Pool::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error;
+    std::swap(error, first_error_);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void Pool::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  threads_.clear();  // joins
+}
+
+std::vector<long> Pool::tasks_per_worker() const {
+  std::lock_guard lock(mu_);
+  return executed_;
+}
+
+void Pool::worker_loop(int id) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    std::exception_ptr error;
+    try {
+      task(id);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mu_);
+      ++executed_[static_cast<std::size_t>(id)];
+      --active_;
+      if (error && !first_error_) first_error_ = error;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace pml::thread

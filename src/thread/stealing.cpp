@@ -1,0 +1,134 @@
+#include "thread/stealing.hpp"
+
+#include <chrono>
+
+namespace pml::thread {
+
+namespace {
+
+/// Worker identity of the current thread: which pool, which id.
+struct WorkerIdentity {
+  const StealingPool* pool = nullptr;
+  int id = -1;
+};
+
+WorkerIdentity& identity() {
+  thread_local WorkerIdentity tl;
+  return tl;
+}
+
+}  // namespace
+
+StealingPool::StealingPool(int workers) {
+  if (workers <= 0) throw UsageError("StealingPool: worker count must be positive");
+  deques_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) deques_.push_back(std::make_unique<WorkDeque>());
+  executed_.assign(static_cast<std::size_t>(workers), 0);
+  steals_.assign(static_cast<std::size_t>(workers), 0);
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int id = 0; id < workers; ++id) {
+    threads_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+StealingPool::~StealingPool() { shutdown(); }
+
+int StealingPool::calling_worker() const {
+  const WorkerIdentity& who = identity();
+  return who.pool == this ? who.id : -1;
+}
+
+void StealingPool::submit(Task task) {
+  if (!task) throw UsageError("StealingPool::submit: empty task");
+  if (stopping_.load(std::memory_order_acquire)) {
+    throw RuntimeFault("StealingPool::submit after shutdown");
+  }
+  const int me = calling_worker();
+  // Inside a worker: push to its own deque (depth-first, steal-friendly).
+  // Outside: deal round-robin so external bursts spread out.
+  const int dest =
+      me >= 0 ? me
+              : static_cast<int>(next_victim_.fetch_add(1) %
+                                 static_cast<long>(deques_.size()));
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  deques_[static_cast<std::size_t>(dest)]->push_bottom(std::move(task));
+  work_cv_.notify_all();
+}
+
+std::optional<StealingPool::Task> StealingPool::find_work(int id) {
+  // Own deque first (bottom: most recent, cache-warm) ...
+  if (auto t = deques_[static_cast<std::size_t>(id)]->pop_bottom()) return t;
+  // ... then try to steal from each victim once, starting after myself.
+  const int n = static_cast<int>(deques_.size());
+  for (int k = 1; k < n; ++k) {
+    const int victim = (id + k) % n;
+    if (auto t = deques_[static_cast<std::size_t>(victim)]->steal_top()) {
+      std::lock_guard lock(mu_);
+      ++steals_[static_cast<std::size_t>(id)];
+      return t;
+    }
+  }
+  return std::nullopt;
+}
+
+void StealingPool::worker_loop(int id) {
+  identity() = WorkerIdentity{this, id};
+  for (;;) {
+    if (auto task = find_work(id)) {
+      std::exception_ptr error;
+      try {
+        (*task)();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        // Decrement and notify under mu_ so wait_idle cannot miss the
+        // transition to quiescence.
+        std::lock_guard lock(mu_);
+        ++executed_[static_cast<std::size_t>(id)];
+        if (error && !first_error_) first_error_ = error;
+        if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          idle_cv_.notify_all();
+        }
+      }
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire)) break;
+    // Nothing to run or steal: nap briefly. A timed wait (rather than an
+    // indefinite one) sidesteps lost-wakeup races with concurrent steals
+    // at negligible cost.
+    std::unique_lock lock(nap_mu_);
+    work_cv_.wait_for(lock, std::chrono::microseconds(200));
+  }
+  identity() = WorkerIdentity{};
+}
+
+void StealingPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_.load(std::memory_order_acquire) == 0; });
+  if (first_error_) {
+    std::exception_ptr error;
+    std::swap(error, first_error_);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void StealingPool::shutdown() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  work_cv_.notify_all();
+  threads_.clear();  // joins; workers drain remaining work before exiting
+}
+
+std::vector<long> StealingPool::executed_per_worker() const {
+  std::lock_guard lock(mu_);
+  return executed_;
+}
+
+std::vector<long> StealingPool::steals_per_worker() const {
+  std::lock_guard lock(mu_);
+  return steals_;
+}
+
+}  // namespace pml::thread

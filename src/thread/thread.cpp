@@ -1,0 +1,54 @@
+#include "thread/thread.hpp"
+
+#include <exception>
+
+namespace pml::thread {
+
+namespace {
+
+void run_all(int n, int first_spawned, const std::function<void(int)>& fn,
+             std::vector<std::exception_ptr>& errors) {
+  std::vector<std::jthread> workers;
+  workers.reserve(static_cast<std::size_t>(n - first_spawned));
+  for (int id = first_spawned; id < n; ++id) {
+    workers.emplace_back([&, id] {
+      try {
+        fn(id);
+      } catch (...) {
+        errors[static_cast<std::size_t>(id)] = std::current_exception();
+      }
+    });
+  }
+  if (first_spawned == 1) {
+    try {
+      fn(0);
+    } catch (...) {
+      errors[0] = std::current_exception();
+    }
+  }
+  workers.clear();  // joins
+}
+
+void rethrow_first(const std::vector<std::exception_ptr>& errors) {
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace
+
+void fork_join(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) throw UsageError("fork_join: thread count must be positive");
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  run_all(n, 0, fn, errors);
+  rethrow_first(errors);
+}
+
+void fork_join_inline(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) throw UsageError("fork_join_inline: thread count must be positive");
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  run_all(n, 1, fn, errors);
+  rethrow_first(errors);
+}
+
+}  // namespace pml::thread

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file thread.hpp
+/// \brief Pthreads-style explicit thread creation and joining.
+///
+/// The Pthreads patternlets teach the *explicit* threading model:
+/// `pthread_create` a worker with an id argument, do work, `pthread_join`.
+/// pml::thread::Thread reproduces that model on std::thread with RAII:
+/// a Thread must be joined (or the destructor joins it), and each thread
+/// carries the small-integer id the patternlets print.
+
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace pml::thread {
+
+/// A joinable worker thread with an explicit integer id.
+///
+/// Unlike raw std::thread, destruction of a still-joinable Thread joins it
+/// rather than terminating the program: in teaching code, "forgot to join"
+/// should behave like fork-join, not call std::terminate.
+class Thread {
+ public:
+  Thread() = default;
+
+  /// Starts a worker running fn(id).
+  Thread(int id, std::function<void(int)> fn)
+      : id_(id), impl_(std::move(fn), id) {}
+
+  Thread(Thread&&) noexcept = default;
+  Thread& operator=(Thread&& other) noexcept {
+    if (this != &other) {
+      join();
+      id_ = other.id_;
+      impl_ = std::move(other.impl_);
+    }
+    return *this;
+  }
+
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  ~Thread() { join(); }
+
+  /// The id this thread was created with (-1 if default-constructed).
+  int id() const noexcept { return id_; }
+
+  /// True if the thread is running and not yet joined.
+  bool joinable() const noexcept { return impl_.joinable(); }
+
+  /// Blocks until the worker finishes. Idempotent.
+  void join() {
+    if (impl_.joinable()) impl_.join();
+  }
+
+ private:
+  int id_ = -1;
+  std::jthread impl_;
+};
+
+/// Creates \p n workers running fn(0) .. fn(n-1), fork-join style.
+/// Returns after all workers complete. Exceptions from workers are
+/// re-thrown in the caller (the first one, by id order).
+void fork_join(int n, const std::function<void(int)>& fn);
+
+/// Like fork_join, but the caller participates as id 0 and only n-1
+/// workers are spawned — the model OpenMP uses for its thread team.
+void fork_join_inline(int n, const std::function<void(int)>& fn);
+
+}  // namespace pml::thread

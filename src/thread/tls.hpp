@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file tls.hpp
+/// \brief Thread-specific data keys (pthread_key_t analogue).
+///
+/// Implemented as a per-key map from std::thread::id to value, guarded by a
+/// mutex. Deliberately simple — patternlets use it to show the *concept* of
+/// per-thread state (the manual alternative to OpenMP's `private` clause),
+/// not to win benchmarks.
+
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace pml::thread {
+
+/// A key under which each thread stores its own T.
+template <typename T>
+class TlsKey {
+ public:
+  TlsKey() = default;
+  TlsKey(const TlsKey&) = delete;
+  TlsKey& operator=(const TlsKey&) = delete;
+
+  /// Sets the calling thread's value.
+  void set(T value) {
+    std::lock_guard lock(mu_);
+    values_[std::this_thread::get_id()] = std::move(value);
+  }
+
+  /// The calling thread's value, default-constructing it on first access.
+  T get() const {
+    std::lock_guard lock(mu_);
+    auto it = values_.find(std::this_thread::get_id());
+    return it == values_.end() ? T{} : it->second;
+  }
+
+  /// True if the calling thread has set a value.
+  bool has() const {
+    std::lock_guard lock(mu_);
+    return values_.contains(std::this_thread::get_id());
+  }
+
+  /// Number of threads that have stored a value (test helper).
+  std::size_t population() const {
+    std::lock_guard lock(mu_);
+    return values_.size();
+  }
+
+  /// Drops every thread's value.
+  void clear() {
+    std::lock_guard lock(mu_);
+    values_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::thread::id, T> values_;
+};
+
+}  // namespace pml::thread

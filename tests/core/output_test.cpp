@@ -1,0 +1,137 @@
+/// \file output_test.cpp
+/// \brief Unit tests for OutputCapture and the interleaving analyzers.
+
+#include "core/output.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace pml {
+namespace {
+
+TEST(OutputCapture, StartsEmpty) {
+  OutputCapture out;
+  EXPECT_EQ(out.size(), 0u);
+  EXPECT_TRUE(out.lines().empty());
+  EXPECT_EQ(out.str(), "");
+}
+
+TEST(OutputCapture, SayAssignsDenseSequenceNumbers) {
+  OutputCapture out;
+  EXPECT_EQ(out.say(1, "a"), 0u);
+  EXPECT_EQ(out.say(2, "b"), 1u);
+  EXPECT_EQ(out.say(1, "c"), 2u);
+  const auto lines = out.lines();
+  ASSERT_EQ(lines.size(), 3u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i].seq, i);
+  }
+}
+
+TEST(OutputCapture, PreservesArrivalOrderAndContent) {
+  OutputCapture out;
+  out.say(3, "hello", "PH");
+  out.program("world");
+  const auto lines = out.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].task, 3);
+  EXPECT_EQ(lines[0].phase, "PH");
+  EXPECT_EQ(lines[0].text, "hello");
+  EXPECT_EQ(lines[1].task, -1);
+  EXPECT_EQ(lines[1].text, "world");
+}
+
+TEST(OutputCapture, TextsAndStr) {
+  OutputCapture out;
+  out.say(0, "x");
+  out.say(1, "y");
+  EXPECT_EQ(out.texts(), (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(out.str(), "x\ny\n");
+}
+
+TEST(OutputCapture, ByTaskGroupsAndKeepsOrder) {
+  OutputCapture out;
+  out.say(1, "a1");
+  out.say(0, "z0");
+  out.say(1, "a2");
+  const auto groups = out.by_task();
+  ASSERT_EQ(groups.size(), 2u);
+  ASSERT_EQ(groups.at(1).size(), 2u);
+  EXPECT_EQ(groups.at(1)[0].text, "a1");
+  EXPECT_EQ(groups.at(1)[1].text, "a2");
+}
+
+TEST(OutputCapture, ClearResetsSequence) {
+  OutputCapture out;
+  out.say(0, "a");
+  out.clear();
+  EXPECT_EQ(out.size(), 0u);
+  EXPECT_EQ(out.say(0, "b"), 0u);
+}
+
+TEST(OutputCapture, ConcurrentWritersLoseNothing) {
+  OutputCapture out;
+  constexpr int kThreads = 8;
+  constexpr int kLines = 500;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&out, t] {
+      for (int i = 0; i < kLines; ++i) {
+        out.say(t, std::to_string(i));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(out.size(), static_cast<std::size_t>(kThreads * kLines));
+  // Per-task order must match each writer's program order.
+  const auto groups = out.by_task();
+  for (const auto& [task, lines] : groups) {
+    ASSERT_EQ(lines.size(), static_cast<std::size_t>(kLines));
+    for (int i = 0; i < kLines; ++i) {
+      EXPECT_EQ(lines[static_cast<std::size_t>(i)].text, std::to_string(i))
+          << "task " << task;
+    }
+  }
+}
+
+TEST(PhaseAnalysis, SeparatedWhenAllEarlyPrecedeAllLate) {
+  OutputCapture out;
+  out.say(0, "b0", "BEFORE");
+  out.say(1, "b1", "BEFORE");
+  out.say(0, "a0", "AFTER");
+  out.say(1, "a1", "AFTER");
+  const auto lines = out.lines();
+  EXPECT_TRUE(phase_separated(lines, phase_is("BEFORE"), phase_is("AFTER")));
+  EXPECT_FALSE(phases_interleaved(lines, phase_is("BEFORE"), phase_is("AFTER")));
+}
+
+TEST(PhaseAnalysis, InterleavedWhenALatePrecedesAnEarly) {
+  OutputCapture out;
+  out.say(0, "b0", "BEFORE");
+  out.say(0, "a0", "AFTER");
+  out.say(1, "b1", "BEFORE");
+  const auto lines = out.lines();
+  EXPECT_FALSE(phase_separated(lines, phase_is("BEFORE"), phase_is("AFTER")));
+  EXPECT_TRUE(phases_interleaved(lines, phase_is("BEFORE"), phase_is("AFTER")));
+}
+
+TEST(PhaseAnalysis, VacuouslySeparatedWithEmptyPhases) {
+  OutputCapture out;
+  out.say(0, "only", "BEFORE");
+  EXPECT_TRUE(phase_separated(out.lines(), phase_is("BEFORE"), phase_is("AFTER")));
+  EXPECT_TRUE(phase_separated(out.lines(), phase_is("X"), phase_is("Y")));
+}
+
+TEST(PhaseAnalysis, TasksSeenExcludesProgramLines) {
+  OutputCapture out;
+  out.program("p");
+  out.say(2, "x");
+  out.say(0, "y");
+  out.say(2, "z");
+  EXPECT_EQ(tasks_seen(out.lines()), (std::vector<int>{0, 2}));
+}
+
+}  // namespace
+}  // namespace pml

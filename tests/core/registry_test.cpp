@@ -1,0 +1,105 @@
+/// \file registry_test.cpp
+/// \brief Unit tests for the patternlet registry (on a private Registry —
+/// the global one belongs to the collection tests).
+
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace pml {
+namespace {
+
+Patternlet stub(const std::string& slug, Tech tech,
+                std::vector<std::string> patterns = {"SPMD"}) {
+  Patternlet p;
+  p.slug = slug;
+  p.title = slug;
+  p.tech = tech;
+  p.patterns = std::move(patterns);
+  p.body = [](RunContext&) {};
+  return p;
+}
+
+TEST(TechNames, AllFourPrint) {
+  EXPECT_STREQ(to_string(Tech::kOpenMP), "OpenMP");
+  EXPECT_STREQ(to_string(Tech::kMPI), "MPI");
+  EXPECT_STREQ(to_string(Tech::kPthreads), "Pthreads");
+  EXPECT_STREQ(to_string(Tech::kHeterogeneous), "Heterogeneous");
+}
+
+TEST(Registry, AddAndFind) {
+  Registry r;
+  r.add(stub("omp/x", Tech::kOpenMP));
+  EXPECT_NE(r.find("omp/x"), nullptr);
+  EXPECT_EQ(r.find("omp/y"), nullptr);
+  EXPECT_EQ(r.get("omp/x").slug, "omp/x");
+  EXPECT_THROW((void)r.get("omp/y"), UsageError);
+}
+
+TEST(Registry, RejectsDuplicatesAndInvalid) {
+  Registry r;
+  r.add(stub("a", Tech::kMPI));
+  EXPECT_THROW(r.add(stub("a", Tech::kMPI)), UsageError);
+  Patternlet no_body = stub("b", Tech::kMPI);
+  no_body.body = nullptr;
+  EXPECT_THROW(r.add(no_body), UsageError);
+  Patternlet no_slug = stub("", Tech::kMPI);
+  EXPECT_THROW(r.add(no_slug), UsageError);
+}
+
+TEST(Registry, ByTechFilters) {
+  Registry r;
+  r.add(stub("m1", Tech::kMPI));
+  r.add(stub("o1", Tech::kOpenMP));
+  r.add(stub("m2", Tech::kMPI));
+  const auto mpi = r.by_tech(Tech::kMPI);
+  ASSERT_EQ(mpi.size(), 2u);
+  EXPECT_EQ(mpi[0]->slug, "m1");
+  EXPECT_EQ(mpi[1]->slug, "m2");
+  EXPECT_TRUE(r.by_tech(Tech::kHeterogeneous).empty());
+}
+
+TEST(Registry, ByPatternMatchesExactName) {
+  Registry r;
+  r.add(stub("a", Tech::kOpenMP, {"Barrier"}));
+  r.add(stub("b", Tech::kMPI, {"Barrier", "Reduction"}));
+  r.add(stub("c", Tech::kMPI, {"Reduction"}));
+  EXPECT_EQ(r.by_pattern("Barrier").size(), 2u);
+  EXPECT_EQ(r.by_pattern("Reduction").size(), 2u);
+  EXPECT_TRUE(r.by_pattern("barrier").empty());  // exact, case-sensitive
+}
+
+TEST(Registry, CensusCountsPerTech) {
+  Registry r;
+  r.add(stub("a", Tech::kOpenMP));
+  r.add(stub("b", Tech::kOpenMP));
+  r.add(stub("c", Tech::kMPI));
+  r.add(stub("d", Tech::kPthreads));
+  r.add(stub("e", Tech::kHeterogeneous));
+  const Census c = r.census();
+  EXPECT_EQ(c.openmp, 2);
+  EXPECT_EQ(c.mpi, 1);
+  EXPECT_EQ(c.pthreads, 1);
+  EXPECT_EQ(c.heterogeneous, 1);
+  EXPECT_EQ(c.total(), 5);
+}
+
+TEST(Registry, PatternsTaughtIsSortedUnique) {
+  Registry r;
+  r.add(stub("a", Tech::kOpenMP, {"Reduction", "Barrier"}));
+  r.add(stub("b", Tech::kMPI, {"Barrier"}));
+  EXPECT_EQ(r.patterns_taught(), (std::vector<std::string>{"Barrier", "Reduction"}));
+}
+
+TEST(RunContext, ParamFallback) {
+  OutputCapture out;
+  Trace trace;
+  RunContext ctx{4, ToggleSet{}, out, trace, {{"reps", 16}}};
+  EXPECT_EQ(ctx.param("reps", 8), 16);
+  EXPECT_EQ(ctx.param("size", 8), 8);
+}
+
+}  // namespace
+}  // namespace pml

@@ -1,0 +1,81 @@
+/// \file timeline_test.cpp
+/// \brief Unit tests for the ASCII swimlane renderer.
+
+#include "core/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pml {
+namespace {
+
+TEST(Timeline, EmptyCaptureRendersEmpty) {
+  EXPECT_EQ(render_timeline({}), "");
+}
+
+TEST(Timeline, OneLanePerTaskMarksArrivalColumns) {
+  OutputCapture out;
+  out.say(0, "b0", "BEFORE");
+  out.say(1, "b1", "BEFORE");
+  out.say(0, "a0", "AFTER");
+  out.say(1, "a1", "AFTER");
+  const std::string chart = render_timeline(out.lines());
+  EXPECT_EQ(chart,
+            "task 0  | B.A.\n"
+            "task 1  | .B.A\n");
+}
+
+TEST(Timeline, NoPhaseUsesStarMark) {
+  OutputCapture out;
+  out.say(2, "hello");
+  const std::string chart = render_timeline(out.lines());
+  EXPECT_EQ(chart, "task 2  | *\n");
+}
+
+TEST(Timeline, ProgramLaneHiddenByDefaultShownOnRequest) {
+  OutputCapture out;
+  out.program("banner");
+  out.say(0, "x", "P");
+  EXPECT_EQ(render_timeline(out.lines()), "task 0  | P\n");
+
+  TimelineOptions opts;
+  opts.include_program_lane = true;
+  const std::string chart = render_timeline(out.lines(), opts);
+  EXPECT_NE(chart.find("program | *."), std::string::npos);
+  EXPECT_NE(chart.find("task 0  | .P"), std::string::npos);
+}
+
+TEST(Timeline, WideRunsCompressToMaxColumns) {
+  OutputCapture out;
+  for (int i = 0; i < 500; ++i) out.say(i % 3, "x", "M");
+  TimelineOptions opts;
+  opts.max_columns = 40;
+  const std::string chart = render_timeline(out.lines(), opts);
+  // Three lanes, each row limited to label + 40 columns.
+  std::size_t rows = 0;
+  std::size_t pos = 0;
+  while ((pos = chart.find('\n', pos)) != std::string::npos) {
+    ++rows;
+    ++pos;
+  }
+  EXPECT_EQ(rows, 3u);
+  const std::size_t first_newline = chart.find('\n');
+  EXPECT_LE(first_newline, 10 + 40u);
+}
+
+TEST(Timeline, SeparatedPhasesLookSeparated) {
+  // The Fig. 9 visual: all B marks left of all A marks.
+  OutputCapture out;
+  for (int t = 0; t < 3; ++t) out.say(t, "b", "BEFORE");
+  for (int t = 0; t < 3; ++t) out.say(t, "a", "AFTER");
+  const std::string chart = render_timeline(out.lines());
+  for (const auto& row : {chart.substr(0, chart.find('\n'))}) {
+    const auto b = row.rfind('B');
+    const auto a = row.find('A');
+    ASSERT_NE(b, std::string::npos);
+    ASSERT_NE(a, std::string::npos);
+    EXPECT_LT(b, a);
+  }
+}
+
+}  // namespace
+}  // namespace pml

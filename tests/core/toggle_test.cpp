@@ -1,0 +1,81 @@
+/// \file toggle_test.cpp
+/// \brief Unit tests for the directive-toggle mechanism.
+
+#include "core/toggle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace pml {
+namespace {
+
+ToggleSet make_set() {
+  return ToggleSet{{{"omp parallel", "fork a team", false},
+                    {"reduction(+:sum)", "combine privately", true}}};
+}
+
+TEST(ToggleSet, DefaultsApply) {
+  const ToggleSet t = make_set();
+  EXPECT_FALSE(t.on("omp parallel"));
+  EXPECT_TRUE(t.on("reduction(+:sum)"));
+}
+
+TEST(ToggleSet, HasReportsDeclaredOnly) {
+  const ToggleSet t = make_set();
+  EXPECT_TRUE(t.has("omp parallel"));
+  EXPECT_FALSE(t.has("nonexistent"));
+}
+
+TEST(ToggleSet, SetChangesValue) {
+  ToggleSet t = make_set();
+  t.set("omp parallel", true);
+  EXPECT_TRUE(t.on("omp parallel"));
+  t.set("omp parallel", false);
+  EXPECT_FALSE(t.on("omp parallel"));
+}
+
+TEST(ToggleSet, UnknownNameThrowsLoudly) {
+  ToggleSet t = make_set();
+  EXPECT_THROW((void)t.on("omp paralel"), UsageError);  // typo must not pass
+  EXPECT_THROW(t.set("nope", true), UsageError);
+}
+
+TEST(ToggleSet, DuplicateDeclarationThrows) {
+  ToggleSet t = make_set();
+  EXPECT_THROW(t.declare({"omp parallel", "again", false}), UsageError);
+}
+
+TEST(ToggleSet, SetAllAndReset) {
+  ToggleSet t = make_set();
+  t.set_all(true);
+  EXPECT_TRUE(t.on("omp parallel"));
+  EXPECT_TRUE(t.on("reduction(+:sum)"));
+  t.set_all(false);
+  EXPECT_FALSE(t.on("reduction(+:sum)"));
+  t.reset();
+  EXPECT_FALSE(t.on("omp parallel"));
+  EXPECT_TRUE(t.on("reduction(+:sum)"));
+}
+
+TEST(ToggleSet, ValuesKeepsDeclarationOrder) {
+  const ToggleSet t = make_set();
+  const auto values = t.values();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].first, "omp parallel");
+  EXPECT_EQ(values[1].first, "reduction(+:sum)");
+}
+
+TEST(ToggleSet, ToStringListsAll) {
+  const ToggleSet t = make_set();
+  EXPECT_EQ(t.to_string(), "omp parallel=off, reduction(+:sum)=on");
+}
+
+TEST(ToggleSet, EmptySetBehaves) {
+  const ToggleSet t;
+  EXPECT_TRUE(t.declared().empty());
+  EXPECT_EQ(t.to_string(), "");
+}
+
+}  // namespace
+}  // namespace pml

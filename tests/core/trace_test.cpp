@@ -1,0 +1,91 @@
+/// \file trace_test.cpp
+/// \brief Unit tests for the work-assignment trace.
+
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace pml {
+namespace {
+
+TEST(Trace, RecordsEventsInOrder) {
+  Trace trace;
+  trace.record(0, "iteration", 5);
+  trace.record(1, "iteration", 6, 99);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].task, 0);
+  EXPECT_EQ(events[0].key, 5);
+  EXPECT_EQ(events[1].aux, 99);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[1].seq, 1u);
+}
+
+TEST(Trace, FiltersByKind) {
+  Trace trace;
+  trace.record(0, "iteration", 1);
+  trace.record(0, "combine", 2);
+  trace.record(1, "iteration", 3);
+  EXPECT_EQ(trace.events("iteration").size(), 2u);
+  EXPECT_EQ(trace.events("combine").size(), 1u);
+  EXPECT_TRUE(trace.events("missing").empty());
+}
+
+TEST(Trace, AssignmentMapsKeyToTask) {
+  Trace trace;
+  trace.record(0, "iteration", 0);
+  trace.record(1, "iteration", 1);
+  trace.record(0, "iteration", 2);
+  const auto a = trace.assignment("iteration");
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.at(0), 0);
+  EXPECT_EQ(a.at(1), 1);
+  EXPECT_EQ(a.at(2), 0);
+}
+
+TEST(Trace, AssignmentLastWriteWins) {
+  Trace trace;
+  trace.record(0, "iteration", 7);
+  trace.record(3, "iteration", 7);
+  EXPECT_EQ(trace.assignment("iteration").at(7), 3);
+}
+
+TEST(Trace, PerTaskSortsKeys) {
+  Trace trace;
+  trace.record(0, "iteration", 9);
+  trace.record(0, "iteration", 2);
+  trace.record(1, "iteration", 4);
+  const auto per = trace.per_task("iteration");
+  EXPECT_EQ(per.at(0), (std::vector<std::int64_t>{2, 9}));
+  EXPECT_EQ(per.at(1), (std::vector<std::int64_t>{4}));
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace trace;
+  trace.record(0, "x", 0);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(Trace, ConcurrentRecordersLoseNothing) {
+  Trace trace;
+  constexpr int kThreads = 8;
+  constexpr int kEvents = 400;
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&trace, t] {
+      for (int i = 0; i < kEvents; ++i) trace.record(t, "e", i);
+    });
+  }
+  for (auto& r : recorders) r.join();
+  EXPECT_EQ(trace.size(), static_cast<std::size_t>(kThreads * kEvents));
+  const auto per = trace.per_task("e");
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(per.at(t).size(), static_cast<std::size_t>(kEvents));
+  }
+}
+
+}  // namespace
+}  // namespace pml

@@ -1,0 +1,54 @@
+/// \file version_test.cpp
+/// \brief Library plumbing: version constants and the error hierarchy.
+
+#include "core/version.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/error.hpp"
+
+namespace pml {
+namespace {
+
+TEST(Version, ConstantsAndStringAgree) {
+  constexpr Version v = version();
+  const std::string expected = std::to_string(v.major) + "." +
+                               std::to_string(v.minor) + "." +
+                               std::to_string(v.patch);
+  EXPECT_STREQ(version_string(), expected.c_str());
+}
+
+TEST(Errors, HierarchyIsCatchable) {
+  // Every library exception is a pml::Error is a std::runtime_error.
+  EXPECT_THROW(throw UsageError("u"), Error);
+  EXPECT_THROW(throw RuntimeFault("r"), Error);
+  EXPECT_THROW(throw TimeoutError("t"), RuntimeFault);
+  EXPECT_THROW(throw DeadlockError("d"), RuntimeFault);
+  EXPECT_THROW(throw UsageError("u"), std::runtime_error);
+}
+
+TEST(Errors, MessagesPreserved) {
+  try {
+    throw DeadlockError("all ranks stuck");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "all ranks stuck");
+  }
+}
+
+TEST(Errors, UsageAndRuntimeAreDistinct) {
+  // Callers distinguish misuse from runtime failure.
+  bool usage_caught = false;
+  try {
+    throw UsageError("bad rank");
+  } catch (const RuntimeFault&) {
+    FAIL() << "UsageError must not be a RuntimeFault";
+  } catch (const UsageError&) {
+    usage_caught = true;
+  }
+  EXPECT_TRUE(usage_caught);
+}
+
+}  // namespace
+}  // namespace pml

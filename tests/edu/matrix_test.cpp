@@ -1,0 +1,91 @@
+/// \file matrix_test.cpp
+/// \brief Tests for the CS2 lab Matrix: parallel results must equal
+/// sequential at every thread count and schedule.
+
+#include "edu/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace pml::edu {
+namespace {
+
+Matrix pattern_matrix(std::size_t rows, std::size_t cols) {
+  Matrix m(rows, cols);
+  m.fill_with([](std::size_t r, std::size_t c) {
+    return static_cast<double>(r) * 1000.0 + static_cast<double>(c);
+  });
+  return m;
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(3, 4, 1.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_DOUBLE_EQ(m.at(2, 3), 1.5);
+  m.at(1, 2) = -2.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), -2.0);
+  EXPECT_THROW(Matrix(0, 3), UsageError);
+  EXPECT_THROW(Matrix(3, 0), UsageError);
+}
+
+TEST(Matrix, SequentialAdd) {
+  const Matrix a = pattern_matrix(5, 7);
+  Matrix b(5, 7, 1.0);
+  const Matrix sum = a.add(b);
+  EXPECT_DOUBLE_EQ(sum.at(4, 6), a.at(4, 6) + 1.0);
+  EXPECT_DOUBLE_EQ(sum.sum(), a.sum() + 35.0);
+}
+
+TEST(Matrix, AddShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(3, 2);
+  EXPECT_THROW((void)a.add(b), UsageError);
+}
+
+TEST(Matrix, SequentialTransposeInvolution) {
+  const Matrix a = pattern_matrix(6, 9);
+  const Matrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 9u);
+  EXPECT_EQ(t.cols(), 6u);
+  EXPECT_DOUBLE_EQ(t.at(8, 5), a.at(5, 8));
+  EXPECT_EQ(t.transpose(), a);
+}
+
+class MatrixParallelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixParallelSweep, ParallelAddEqualsSequential) {
+  const int threads = GetParam();
+  const Matrix a = pattern_matrix(33, 17);
+  const Matrix b = pattern_matrix(33, 17);
+  EXPECT_EQ(a.add_parallel(b, threads), a.add(b));
+}
+
+TEST_P(MatrixParallelSweep, ParallelTransposeEqualsSequential) {
+  const int threads = GetParam();
+  const Matrix a = pattern_matrix(29, 41);
+  EXPECT_EQ(a.transpose_parallel(threads), a.transpose());
+}
+
+TEST_P(MatrixParallelSweep, ParallelOpsUnderDynamicSchedule) {
+  const int threads = GetParam();
+  const Matrix a = pattern_matrix(25, 25);
+  const Matrix b = pattern_matrix(25, 25);
+  EXPECT_EQ(a.add_parallel(b, threads, pml::smp::Schedule::dynamic(2)), a.add(b));
+  EXPECT_EQ(a.transpose_parallel(threads, pml::smp::Schedule::static_chunks(1)),
+            a.transpose());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, MatrixParallelSweep, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Matrix, SingleRowAndColumnEdgeCases) {
+  const Matrix row = pattern_matrix(1, 10);
+  const Matrix col = row.transpose_parallel(4);
+  EXPECT_EQ(col.rows(), 10u);
+  EXPECT_EQ(col.cols(), 1u);
+  EXPECT_EQ(col, row.transpose());
+}
+
+}  // namespace
+}  // namespace pml::edu

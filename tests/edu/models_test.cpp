@@ -1,0 +1,105 @@
+/// \file models_test.cpp
+/// \brief Tests for the Amdahl/Gustafson/Karp-Flatt speedup models.
+
+#include "edu/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace pml::edu {
+namespace {
+
+TEST(Amdahl, ClassicValues) {
+  // 5% serial, 20 processors: the textbook ~10.26x.
+  EXPECT_NEAR(amdahl_speedup(0.05, 20), 10.2564, 1e-3);
+  // Fully parallel: speedup == p.
+  EXPECT_DOUBLE_EQ(amdahl_speedup(0.0, 8), 8.0);
+  // Fully serial: speedup == 1 regardless of p.
+  EXPECT_DOUBLE_EQ(amdahl_speedup(1.0, 64), 1.0);
+  EXPECT_DOUBLE_EQ(amdahl_speedup(0.5, 1), 1.0);
+}
+
+TEST(Amdahl, MonotoneInPBoundedByLimit) {
+  const double serial = 0.1;
+  double prev = 0.0;
+  for (int p = 1; p <= 1024; p *= 2) {
+    const double s = amdahl_speedup(serial, p);
+    EXPECT_GT(s, prev);
+    EXPECT_LT(s, amdahl_limit(serial));
+    prev = s;
+  }
+  EXPECT_DOUBLE_EQ(amdahl_limit(0.1), 10.0);
+}
+
+TEST(Amdahl, Validation) {
+  EXPECT_THROW(amdahl_speedup(-0.1, 4), UsageError);
+  EXPECT_THROW(amdahl_speedup(1.1, 4), UsageError);
+  EXPECT_THROW(amdahl_speedup(0.5, 0), UsageError);
+  EXPECT_THROW(amdahl_limit(0.0), UsageError);
+}
+
+TEST(Gustafson, ClassicValues) {
+  // S = p - serial*(p-1).
+  EXPECT_DOUBLE_EQ(gustafson_speedup(0.0, 8), 8.0);
+  EXPECT_DOUBLE_EQ(gustafson_speedup(1.0, 8), 1.0);
+  EXPECT_DOUBLE_EQ(gustafson_speedup(0.1, 10), 10.0 - 0.9);
+}
+
+TEST(Gustafson, ExceedsAmdahlForScaledProblems) {
+  // The well-known contrast: at the same serial fraction, Gustafson's
+  // scaled speedup dominates Amdahl's fixed-size speedup for p > 1.
+  for (int p : {2, 4, 16, 64}) {
+    EXPECT_GT(gustafson_speedup(0.2, p), amdahl_speedup(0.2, p));
+  }
+}
+
+TEST(KarpFlatt, RecoversTheSerialFraction) {
+  // If the measurement followed Amdahl exactly, Karp-Flatt returns the
+  // serial fraction that generated it.
+  for (double serial : {0.05, 0.1, 0.3}) {
+    for (int p : {2, 4, 8, 16}) {
+      const double s = amdahl_speedup(serial, p);
+      EXPECT_NEAR(karp_flatt(s, p), serial, 1e-12);
+    }
+  }
+}
+
+TEST(KarpFlatt, PerfectSpeedupGivesZero) {
+  EXPECT_NEAR(karp_flatt(4.0, 4), 0.0, 1e-12);
+}
+
+TEST(KarpFlatt, Validation) {
+  EXPECT_THROW(karp_flatt(2.0, 1), UsageError);
+  EXPECT_THROW(karp_flatt(0.0, 4), UsageError);
+}
+
+TEST(KarpFlattAnalysis, SkipsBaselineRow) {
+  SpeedupTable table("t");
+  table.add_row(1, 8.0);
+  table.add_row(2, 5.0);  // speedup 1.6
+  table.add_row(4, 4.0);  // speedup 2.0
+  const auto rows = karp_flatt_analysis(table);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].threads, 2);
+  EXPECT_NEAR(rows[0].serial_fraction, karp_flatt(1.6, 2), 1e-12);
+  EXPECT_EQ(rows[1].threads, 4);
+  EXPECT_NEAR(rows[1].serial_fraction, karp_flatt(2.0, 4), 1e-12);
+}
+
+TEST(KarpFlattAnalysis, RisingFractionSignalsOverhead) {
+  // A run dominated by parallel overhead: speedup saturates, so the
+  // experimentally determined serial fraction *rises* with p.
+  SpeedupTable table("saturating");
+  table.add_row(1, 8.0);
+  table.add_row(2, 4.6);
+  table.add_row(4, 3.0);
+  table.add_row(8, 2.6);
+  const auto rows = karp_flatt_analysis(table);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_LT(rows[0].serial_fraction, rows[1].serial_fraction);
+  EXPECT_LT(rows[1].serial_fraction, rows[2].serial_fraction);
+}
+
+}  // namespace
+}  // namespace pml::edu

@@ -1,0 +1,99 @@
+/// \file sorting_test.cpp
+/// \brief Tests for the Friday-session sorting algorithms: sequential and
+/// task-parallel merge sort.
+
+#include "edu/sorting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace pml::edu {
+namespace {
+
+TEST(MergeSort, SortsKnownSequences) {
+  std::vector<int> v{5, 3, 8, 1, 9, 2, 7};
+  merge_sort(v);
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 5, 7, 8, 9}));
+
+  std::vector<int> empty;
+  merge_sort(empty);
+  EXPECT_TRUE(empty.empty());
+
+  std::vector<int> one{42};
+  merge_sort(one);
+  EXPECT_EQ(one, (std::vector<int>{42}));
+
+  std::vector<int> dup{3, 1, 3, 1, 3};
+  merge_sort(dup);
+  EXPECT_EQ(dup, (std::vector<int>{1, 1, 3, 3, 3}));
+}
+
+TEST(MergeSort, MatchesStdSortOnRandomData) {
+  auto v = random_values(5000, 7);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  merge_sort(v);
+  EXPECT_EQ(v, expected);
+}
+
+TEST(RandomValues, DeterministicPerSeed) {
+  EXPECT_EQ(random_values(100, 1), random_values(100, 1));
+  EXPECT_NE(random_values(100, 1), random_values(100, 2));
+}
+
+TEST(IsSorted, Checker) {
+  EXPECT_TRUE(is_sorted_nondecreasing({}));
+  EXPECT_TRUE(is_sorted_nondecreasing({1, 1, 2}));
+  EXPECT_FALSE(is_sorted_nondecreasing({2, 1}));
+}
+
+class ParallelMergeSortSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(ParallelMergeSortSweep, MatchesSequentialSort) {
+  const auto [threads, n] = GetParam();
+  auto v = random_values(n, static_cast<unsigned>(threads * 31 + n));
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  parallel_merge_sort(v, threads, /*grain=*/64);
+  EXPECT_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsBySize, ParallelMergeSortSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values<std::size_t>(0, 1, 2, 63, 64, 1000, 20000)));
+
+TEST(ParallelMergeSort, LargeGrainFallsBackToSequentialPath) {
+  auto v = random_values(500, 3);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  parallel_merge_sort(v, 4, /*grain=*/1 << 20);  // cutoff > n: one std::sort
+  EXPECT_EQ(v, expected);
+}
+
+TEST(ParallelMergeSort, RepeatedRunsAreStableAndCorrect) {
+  for (int rep = 0; rep < 20; ++rep) {
+    auto v = random_values(3000, static_cast<unsigned>(rep));
+    parallel_merge_sort(v, 4, 128);
+    ASSERT_TRUE(is_sorted_nondecreasing(v)) << "rep " << rep;
+  }
+}
+
+TEST(ParallelMergeSort, AlreadySortedAndReversedInputs) {
+  std::vector<int> asc(4000);
+  for (std::size_t i = 0; i < asc.size(); ++i) asc[i] = static_cast<int>(i);
+  auto desc = asc;
+  std::reverse(desc.begin(), desc.end());
+
+  auto a = asc;
+  parallel_merge_sort(a, 4, 256);
+  EXPECT_EQ(a, asc);
+
+  parallel_merge_sort(desc, 4, 256);
+  EXPECT_EQ(desc, asc);
+}
+
+}  // namespace
+}  // namespace pml::edu

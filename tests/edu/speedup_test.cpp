@@ -1,0 +1,71 @@
+/// \file speedup_test.cpp
+/// \brief Unit tests for the speedup/efficiency table.
+
+#include "edu/speedup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/error.hpp"
+
+namespace pml::edu {
+namespace {
+
+TEST(SpeedupTable, RowsComputeSpeedupAgainstFirstRow) {
+  SpeedupTable t("demo");
+  t.add_row(1, 8.0);
+  t.add_row(2, 4.0);
+  t.add_row(4, 2.0);
+  const auto& rows = t.rows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(rows[0].speedup, 1.0);
+  EXPECT_DOUBLE_EQ(rows[1].speedup, 2.0);
+  EXPECT_DOUBLE_EQ(rows[2].speedup, 4.0);
+  EXPECT_DOUBLE_EQ(rows[1].efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(rows[2].efficiency, 1.0);
+}
+
+TEST(SpeedupTable, SubLinearSpeedupGivesEfficiencyBelowOne) {
+  SpeedupTable t("demo");
+  t.add_row(1, 8.0);
+  t.add_row(4, 4.0);  // speedup 2 on 4 threads
+  EXPECT_DOUBLE_EQ(t.rows()[1].speedup, 2.0);
+  EXPECT_DOUBLE_EQ(t.rows()[1].efficiency, 0.5);
+}
+
+TEST(SpeedupTable, RejectsBadRows) {
+  SpeedupTable t("demo");
+  EXPECT_THROW(t.add_row(0, 1.0), UsageError);
+}
+
+TEST(SpeedupTable, MeasureTimesTheWorkload) {
+  SpeedupTable t("timing");
+  t.measure({1, 2}, [](int threads) {
+    // Workload whose duration halves with "threads".
+    std::this_thread::sleep_for(std::chrono::milliseconds(20 / threads));
+  }, 1);
+  ASSERT_EQ(t.rows().size(), 2u);
+  EXPECT_GT(t.rows()[0].seconds, t.rows()[1].seconds);
+  EXPECT_GT(t.rows()[1].speedup, 1.0);
+}
+
+TEST(SpeedupTable, MeasureValidatesRepeats) {
+  SpeedupTable t("x");
+  EXPECT_THROW(t.measure({1}, [](int) {}, 0), UsageError);
+}
+
+TEST(SpeedupTable, ToStringHasHeaderAndRows) {
+  SpeedupTable t("My Lab Chart");
+  t.add_row(1, 1.0);
+  t.add_row(2, 0.5);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("My Lab Chart"), std::string::npos);
+  EXPECT_NE(s.find("threads"), std::string::npos);
+  EXPECT_NE(s.find("speedup"), std::string::npos);
+  EXPECT_NE(s.find("2.00"), std::string::npos);  // the 2x speedup
+}
+
+}  // namespace
+}  // namespace pml::edu

@@ -1,0 +1,140 @@
+/// \file stats_test.cpp
+/// \brief Unit tests for the statistics kit against known reference values.
+
+#include "edu/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace pml::edu {
+namespace {
+
+TEST(Summarize, KnownSample) {
+  const std::vector<double> x{2, 4, 4, 4, 5, 5, 7, 9};
+  const Summary s = summarize(x);
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  // Sample SD with n-1: sqrt(32/7).
+  EXPECT_NEAR(s.sd, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Summarize, DegenerateSamples) {
+  EXPECT_EQ(summarize({}).n, 0u);
+  const Summary one = summarize(std::vector<double>{3.0});
+  EXPECT_EQ(one.n, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 3.0);
+  EXPECT_DOUBLE_EQ(one.sd, 0.0);
+}
+
+TEST(LogGamma, MatchesFactorials) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(std::exp(log_gamma(5.0)), 24.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_gamma(1.0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_gamma(0.5)), std::sqrt(3.14159265358979323846), 1e-9);
+}
+
+TEST(IncompleteBeta, BoundaryAndSymmetry) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2, 3, 1.0), 1.0);
+  // I_x(a,b) = 1 - I_{1-x}(b,a)
+  for (double x : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(incomplete_beta(2.5, 1.5, x), 1.0 - incomplete_beta(1.5, 2.5, 1.0 - x),
+                1e-12);
+  }
+  // I_x(1,1) = x (uniform CDF).
+  EXPECT_NEAR(incomplete_beta(1, 1, 0.37), 0.37, 1e-12);
+}
+
+TEST(IncompleteBeta, ValidatesDomain) {
+  EXPECT_THROW(incomplete_beta(0, 1, 0.5), UsageError);
+  EXPECT_THROW(incomplete_beta(1, -1, 0.5), UsageError);
+  EXPECT_THROW(incomplete_beta(1, 1, 1.5), UsageError);
+}
+
+TEST(TTwoSidedP, ReferenceValues) {
+  // Classic t-table checks: t=2.0, df=10 -> p ~ 0.0734;
+  // t=1.0, df=30 -> p ~ 0.3253; t=0 -> p = 1.
+  EXPECT_NEAR(t_two_sided_p(2.0, 10), 0.07339, 3e-4);
+  EXPECT_NEAR(t_two_sided_p(1.0, 30), 0.32533, 3e-4);
+  EXPECT_DOUBLE_EQ(t_two_sided_p(0.0, 10), 1.0);
+  EXPECT_NEAR(t_two_sided_p(-2.0, 10), t_two_sided_p(2.0, 10), 1e-12);  // symmetric
+  EXPECT_THROW(t_two_sided_p(1.0, 0.0), UsageError);
+}
+
+TEST(NormalQuantile, ReferenceValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.8413447), 1.0, 1e-4);
+  EXPECT_NEAR(normal_quantile(0.001), -3.090232, 1e-4);
+  EXPECT_THROW(normal_quantile(0.0), UsageError);
+  EXPECT_THROW(normal_quantile(1.0), UsageError);
+}
+
+TEST(StudentTTest, HandComputedExample) {
+  // a: mean 2, b: mean 4, equal sizes, known variances.
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{3, 4, 5};
+  const TTest r = student_t_test(a, b);
+  EXPECT_DOUBLE_EQ(r.mean_diff, 2.0);
+  EXPECT_DOUBLE_EQ(r.df, 4.0);
+  // pooled var = 1, se = sqrt(2/3), t = 2/sqrt(2/3) = sqrt(6).
+  EXPECT_NEAR(r.t, std::sqrt(6.0), 1e-12);
+  EXPECT_NEAR(r.p_two_sided, 0.0711, 2e-3);
+  EXPECT_FALSE(r.significant(0.05));
+  EXPECT_TRUE(r.significant(0.10));
+}
+
+TEST(StudentTTest, FromSummaryMatchesFromSamples) {
+  const std::vector<double> a{1.2, 2.1, 2.8, 3.3, 1.9};
+  const std::vector<double> b{2.2, 3.1, 3.6, 2.9};
+  const TTest from_samples = student_t_test(a, b);
+  const TTest from_summary = student_t_test(summarize(a), summarize(b));
+  EXPECT_NEAR(from_samples.t, from_summary.t, 1e-12);
+  EXPECT_NEAR(from_samples.p_two_sided, from_summary.p_two_sided, 1e-12);
+}
+
+TEST(WelchTTest, EqualVarianceCaseCloseToStudent) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const std::vector<double> b{2, 3, 4, 5, 6};
+  const TTest s = student_t_test(a, b);
+  const TTest w = welch_t_test(a, b);
+  EXPECT_NEAR(s.t, w.t, 1e-12);       // equal n, equal var -> same t
+  EXPECT_NEAR(s.p_two_sided, w.p_two_sided, 5e-3);
+}
+
+TEST(WelchTTest, UnequalVariancesReduceDf) {
+  const std::vector<double> a{1, 1.1, 0.9, 1.05, 0.95};   // tight
+  const std::vector<double> b{0, 4, -3, 6, 2, -1, 5, 3};  // wide
+  const TTest w = welch_t_test(a, b);
+  EXPECT_LT(w.df, static_cast<double>(a.size() + b.size() - 2));
+  EXPECT_GT(w.df, 0.0);
+}
+
+TEST(TTest, IdenticalSamplesGiveZeroT) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const TTest r = student_t_test(a, a);
+  EXPECT_DOUBLE_EQ(r.t, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_two_sided, 1.0);
+}
+
+TEST(TTest, TooSmallSamplesThrow) {
+  const std::vector<double> tiny{1.0};
+  const std::vector<double> ok{1.0, 2.0};
+  EXPECT_THROW(student_t_test(tiny, ok), UsageError);
+  EXPECT_THROW(welch_t_test(ok, tiny), UsageError);
+}
+
+TEST(CohensD, KnownEffectSize) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{3, 4, 5};
+  // pooled sd = 1, diff = 2 -> d = 2.
+  EXPECT_NEAR(cohens_d(a, b), 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pml::edu

@@ -1,0 +1,191 @@
+/// \file mapreduce_test.cpp
+/// \brief Tests for the mini MapReduce framework: wire format, partitioner,
+/// the distributed job against the sequential oracle, and edge cases.
+
+#include "mapreduce/mapreduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/error.hpp"
+#include "mp/mp.hpp"
+
+namespace pml::mapreduce {
+namespace {
+
+TEST(WireFormat, PairsRoundTrip) {
+  const std::vector<KeyValue> pairs = {
+      {"alpha", 1}, {"", -7}, {"a key with spaces", 1L << 40}};
+  EXPECT_EQ(decode_pairs(encode_pairs(pairs)), pairs);
+}
+
+TEST(WireFormat, EmptyListRoundTrips) {
+  EXPECT_TRUE(decode_pairs(encode_pairs({})).empty());
+}
+
+TEST(WireFormat, TruncatedPayloadRejected) {
+  auto blob = encode_pairs({{"abc", 5}});
+  blob.pop_back();
+  EXPECT_THROW(decode_pairs(blob), RuntimeFault);
+  mp::Payload tiny(3);
+  EXPECT_THROW(decode_pairs(tiny), RuntimeFault);
+}
+
+TEST(WireFormat, TrailingGarbageRejected) {
+  auto blob = encode_pairs({{"abc", 5}});
+  blob.push_back(std::byte{0});
+  EXPECT_THROW(decode_pairs(blob), RuntimeFault);
+}
+
+TEST(Partitioner, DeterministicAndInRange) {
+  for (const char* key : {"", "a", "hello", "zebra", "the", "quick"}) {
+    const int p4 = partition_of(key, 4);
+    EXPECT_EQ(partition_of(key, 4), p4);
+    EXPECT_GE(p4, 0);
+    EXPECT_LT(p4, 4);
+    EXPECT_EQ(partition_of(key, 1), 0);
+  }
+  EXPECT_THROW(partition_of("x", 0), UsageError);
+}
+
+TEST(Partitioner, SpreadsKeysAcrossRanks) {
+  std::vector<int> hits(4, 0);
+  for (int i = 0; i < 200; ++i) {
+    ++hits[static_cast<std::size_t>(partition_of("key" + std::to_string(i), 4))];
+  }
+  for (int h : hits) EXPECT_GT(h, 20);  // roughly uniform
+}
+
+TEST(WordCountMap, TokenizesOnWhitespace) {
+  std::vector<KeyValue> emitted;
+  word_count_map("  the quick\tbrown   fox\n", [&](std::string k, long v) {
+    emitted.push_back({std::move(k), v});
+  });
+  ASSERT_EQ(emitted.size(), 4u);
+  EXPECT_EQ(emitted[0], (KeyValue{"the", 1}));
+  EXPECT_EQ(emitted[3], (KeyValue{"fox", 1}));
+}
+
+TEST(Sequential, WordCountOracle) {
+  const auto result = run_sequential({"a b a", "b a"}, word_count_map, sum_reduce);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0], (KeyValue{"a", 3}));
+  EXPECT_EQ(result[1], (KeyValue{"b", 2}));
+}
+
+std::vector<std::string> corpus() {
+  return {
+      "the quick brown fox jumps over the lazy dog",
+      "the dog barks and the fox runs",
+      "parallel patterns teach parallel thinking",
+      "the reduction pattern combines partial results",
+      "patterns patterns everywhere",
+      "a barrier synchronizes tasks and a reduction combines",
+  };
+}
+
+class MapReduceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MapReduceSweep, DistributedEqualsSequentialOracle) {
+  const int np = GetParam();
+  const auto records = corpus();
+  const auto expected = run_sequential(records, word_count_map, sum_reduce);
+
+  std::atomic<bool> ok{false};
+  mp::run(np, [&](mp::Communicator& comm) {
+    // Deal records round-robin across ranks.
+    std::vector<std::string> mine;
+    for (std::size_t i = comm.rank() < 0 ? 0 : static_cast<std::size_t>(comm.rank());
+         i < records.size(); i += static_cast<std::size_t>(comm.size())) {
+      mine.push_back(records[i]);
+    }
+    const auto result = run_job(comm, mine, word_count_map, sum_reduce);
+    if (comm.rank() == 0) {
+      ok = (result == expected);
+    } else {
+      EXPECT_TRUE(result.empty());
+    }
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST_P(MapReduceSweep, NonzeroRootReceivesTheResult) {
+  const int np = GetParam();
+  if (np < 2) GTEST_SKIP();
+  const auto expected = run_sequential(corpus(), word_count_map, sum_reduce);
+  std::atomic<bool> ok{false};
+  mp::run(np, [&](mp::Communicator& comm) {
+    std::vector<std::string> mine;
+    if (comm.rank() == 0) mine = corpus();  // all input on one rank
+    const auto result = run_job(comm, mine, word_count_map, sum_reduce, np - 1);
+    if (comm.rank() == np - 1) ok = (result == expected);
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, MapReduceSweep, ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(MapReduce, EmptyInputGivesEmptyOutput) {
+  mp::run(3, [](mp::Communicator& comm) {
+    const auto result = run_job(comm, {}, word_count_map, sum_reduce);
+    EXPECT_TRUE(result.empty());
+  });
+}
+
+TEST(MapReduce, CustomMapAndReduce) {
+  // Job: per first-letter maximum word length.
+  const MapFn map_fn = [](const std::string& record, const Emit& emit) {
+    word_count_map(record, [&](std::string word, long) {
+      emit(word.substr(0, 1), static_cast<long>(word.size()));
+    });
+  };
+  const ReduceFn max_reduce = [](const std::string&, const std::vector<long>& vs) {
+    long best = 0;
+    for (long v : vs) best = std::max(best, v);
+    return best;
+  };
+  const auto expected = run_sequential(corpus(), map_fn, max_reduce);
+  std::atomic<bool> ok{false};
+  mp::run(4, [&](mp::Communicator& comm) {
+    std::vector<std::string> mine;
+    const auto records = corpus();
+    for (std::size_t i = static_cast<std::size_t>(comm.rank()); i < records.size();
+         i += static_cast<std::size_t>(comm.size())) {
+      mine.push_back(records[i]);
+    }
+    const auto result = run_job(comm, mine, map_fn, max_reduce);
+    if (comm.rank() == 0) ok = (result == expected);
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(MapReduce, SkewedKeysAllLandCorrectly) {
+  // One hot key from every rank plus unique cold keys.
+  std::atomic<bool> ok{false};
+  mp::run(4, [&](mp::Communicator& comm) {
+    std::vector<std::string> mine = {"hot hot hot unique" + std::to_string(comm.rank())};
+    const auto result = run_job(comm, mine, word_count_map, sum_reduce);
+    if (comm.rank() == 0) {
+      long hot = -1;
+      int uniques = 0;
+      for (const auto& kv : result) {
+        if (kv.key == "hot") hot = kv.value;
+        if (kv.key.rfind("unique", 0) == 0) ++uniques;
+      }
+      ok = (hot == 12 && uniques == 4);
+    }
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(MapReduce, MissingFunctionsRejected) {
+  mp::run(1, [](mp::Communicator& comm) {
+    EXPECT_THROW(run_job(comm, {}, nullptr, sum_reduce), UsageError);
+    EXPECT_THROW(run_job(comm, {}, word_count_map, nullptr), UsageError);
+  });
+  EXPECT_THROW(run_sequential({}, nullptr, sum_reduce), UsageError);
+}
+
+}  // namespace
+}  // namespace pml::mapreduce

@@ -1,0 +1,76 @@
+/// \file cluster_test.cpp
+/// \brief Unit tests for the simulated Beowulf cluster.
+
+#include "mp/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace pml::mp {
+namespace {
+
+TEST(Cluster, RejectsBadConstruction) {
+  EXPECT_THROW(Cluster(0, 4), UsageError);
+  EXPECT_THROW(Cluster(4, 0), UsageError);
+}
+
+TEST(Cluster, NodeNamesArePaperStyle) {
+  const Cluster c(12, 4);
+  EXPECT_EQ(c.node_name(0), "node-01");
+  EXPECT_EQ(c.node_name(3), "node-04");
+  EXPECT_EQ(c.node_name(9), "node-10");
+  EXPECT_EQ(c.node_name(11), "node-12");
+  EXPECT_THROW((void)c.node_name(12), UsageError);
+}
+
+TEST(Cluster, RoundRobinMatchesPaperFigure6) {
+  // Fig. 6: 4 processes land on node-01..node-04 (rank i -> node i+1).
+  const Cluster c(8, 4, Placement::kRoundRobin);
+  EXPECT_EQ(c.processor_name(0, 4), "node-01");
+  EXPECT_EQ(c.processor_name(1, 4), "node-02");
+  EXPECT_EQ(c.processor_name(2, 4), "node-03");
+  EXPECT_EQ(c.processor_name(3, 4), "node-04");
+}
+
+TEST(Cluster, RoundRobinWrapsPastNodeCount) {
+  const Cluster c(2, 4, Placement::kRoundRobin);
+  EXPECT_EQ(c.node_of(0, 6), 0);
+  EXPECT_EQ(c.node_of(1, 6), 1);
+  EXPECT_EQ(c.node_of(2, 6), 0);
+  EXPECT_EQ(c.node_of(5, 6), 1);
+}
+
+TEST(Cluster, BlockPlacementFillsCoresFirst) {
+  const Cluster c(3, 4, Placement::kBlock);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(c.node_of(r, 12), 0) << r;
+  for (int r = 4; r < 8; ++r) EXPECT_EQ(c.node_of(r, 12), 1) << r;
+  for (int r = 8; r < 12; ++r) EXPECT_EQ(c.node_of(r, 12), 2) << r;
+}
+
+TEST(Cluster, BlockPlacementClampsOverflowToLastNode) {
+  const Cluster c(2, 2, Placement::kBlock);
+  EXPECT_EQ(c.node_of(5, 6), 1);  // would be node 2; clamped to last node
+}
+
+TEST(Cluster, NodeOfValidatesArguments) {
+  const Cluster c(4, 4);
+  EXPECT_THROW((void)c.node_of(-1, 4), UsageError);
+  EXPECT_THROW((void)c.node_of(4, 4), UsageError);
+  EXPECT_THROW((void)c.node_of(0, 0), UsageError);
+}
+
+TEST(Cluster, NodeMatesAreCoResidentAndIncludeSelf) {
+  const Cluster c(2, 4, Placement::kRoundRobin);
+  // 6 ranks on 2 nodes round-robin: node 0 hosts {0,2,4}, node 1 {1,3,5}.
+  EXPECT_EQ(c.node_mates(0, 6), (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(c.node_mates(3, 6), (std::vector<int>{1, 3, 5}));
+}
+
+TEST(Cluster, PlacementNames) {
+  EXPECT_STREQ(to_string(Placement::kRoundRobin), "round-robin");
+  EXPECT_STREQ(to_string(Placement::kBlock), "block");
+}
+
+}  // namespace
+}  // namespace pml::mp

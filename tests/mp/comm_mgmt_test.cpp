@@ -1,0 +1,148 @@
+/// \file comm_mgmt_test.cpp
+/// \brief Tests for communicator split/dup and the simulated-cluster
+/// identity surface.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+
+#include "mp/mp.hpp"
+
+namespace pml::mp {
+namespace {
+
+TEST(Split, EvenOddGroupsHaveRightSizeAndRanks) {
+  std::atomic<int> checked{0};
+  run(6, [&](Communicator& world) {
+    const int color = world.rank() % 2;
+    Communicator sub = world.split(color, world.rank());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), world.rank() / 2);
+    ++checked;
+  });
+  EXPECT_EQ(checked.load(), 6);
+}
+
+TEST(Split, SubCommunicatorCollectivesStayInGroup) {
+  run(6, [](Communicator& world) {
+    Communicator sub = world.split(world.rank() % 2, world.rank());
+    // Sum of world ranks within my parity group.
+    const int got = sub.allreduce(world.rank(), op_sum<int>());
+    const int expected = world.rank() % 2 == 0 ? 0 + 2 + 4 : 1 + 3 + 5;
+    EXPECT_EQ(got, expected);
+  });
+}
+
+TEST(Split, KeyControlsOrderingWithinGroup) {
+  run(4, [](Communicator& world) {
+    // Reverse the ordering: higher world rank -> lower key -> lower new rank.
+    Communicator sub = world.split(0, world.size() - world.rank());
+    EXPECT_EQ(sub.rank(), world.size() - 1 - world.rank());
+    EXPECT_EQ(sub.size(), world.size());
+  });
+}
+
+TEST(Split, MessagesDoNotLeakBetweenParentAndChild) {
+  run(2, [](Communicator& world) {
+    Communicator sub = world.split(0, world.rank());
+    if (world.rank() == 0) {
+      world.send(1, 1, 5);  // parent-context message, tag 5
+      sub.send(2, 1, 5);    // child-context message, same tag
+    } else {
+      // Receive child first: must get the child-context payload even
+      // though the parent message arrived earlier.
+      EXPECT_EQ(sub.recv<int>(0, 5), 2);
+      EXPECT_EQ(world.recv<int>(0, 5), 1);
+    }
+  });
+}
+
+TEST(Split, SingletonGroups) {
+  run(3, [](Communicator& world) {
+    Communicator sub = world.split(world.rank(), 0);  // everyone alone
+    EXPECT_EQ(sub.size(), 1);
+    EXPECT_EQ(sub.rank(), 0);
+    EXPECT_EQ(sub.allreduce(41, op_sum<int>()), 41);
+  });
+}
+
+TEST(Dup, SameGroupFreshContext) {
+  run(4, [](Communicator& world) {
+    Communicator copy = world.dup();
+    EXPECT_EQ(copy.size(), world.size());
+    EXPECT_EQ(copy.rank(), world.rank());
+    EXPECT_NE(copy.context(), world.context());
+    // Collectives on the dup work independently.
+    EXPECT_EQ(copy.allreduce(1, op_sum<int>()), 4);
+  });
+}
+
+TEST(Identity, ProcessorNamesFollowPlacement) {
+  RunOptions opts;
+  opts.cluster = Cluster(4, 2, Placement::kRoundRobin);
+  std::mutex mu;
+  std::set<std::string> names;
+  run(4, [&](Communicator& comm) {
+    std::lock_guard g(mu);
+    names.insert(comm.processor_name());
+  }, opts);
+  EXPECT_EQ(names, (std::set<std::string>{"node-01", "node-02", "node-03", "node-04"}));
+}
+
+TEST(Identity, BlockPlacementCoLocatesNeighbors) {
+  RunOptions opts;
+  opts.cluster = Cluster(2, 2, Placement::kBlock);
+  run(4, [&](Communicator& comm) {
+    const auto mates = comm.node_mates();
+    if (comm.rank() < 2) {
+      EXPECT_EQ(mates, (std::vector<int>{0, 1}));
+      EXPECT_EQ(comm.processor_name(), "node-01");
+    } else {
+      EXPECT_EQ(mates, (std::vector<int>{2, 3}));
+      EXPECT_EQ(comm.processor_name(), "node-02");
+    }
+  }, opts);
+}
+
+TEST(Identity, WorldRankMapsGroupToGlobal) {
+  run(4, [](Communicator& world) {
+    Communicator sub = world.split(world.rank() % 2, world.rank());
+    // Group rank i of the even group is world rank 2i.
+    if (world.rank() % 2 == 0) {
+      for (int i = 0; i < sub.size(); ++i) {
+        EXPECT_EQ(sub.world_rank(i), 2 * i);
+      }
+    }
+  });
+}
+
+TEST(Identity, SplitByNodeMatchesNodeMates) {
+  // The MPI+X idiom: split the world into one communicator per simulated
+  // node; the resulting groups must be exactly node_mates().
+  RunOptions opts;
+  opts.cluster = Cluster(3, 4, Placement::kRoundRobin);
+  run(9, [](Communicator& world) {
+    const int my_node =
+        world.cluster().node_of(world.world_rank(world.rank()), world.size());
+    Communicator node_comm = world.split(my_node, world.rank());
+    const auto mates = world.node_mates();
+    EXPECT_EQ(node_comm.size(), static_cast<int>(mates.size()));
+    // Gather the world ranks of my node communicator and compare.
+    const auto group = node_comm.allgather(world.rank());
+    EXPECT_EQ(group, mates);
+  }, opts);
+}
+
+TEST(Identity, WtimeAdvances) {
+  run(2, [](Communicator& comm) {
+    const double t0 = comm.wtime();
+    comm.barrier();
+    EXPECT_GE(comm.wtime(), t0);
+    EXPECT_GE(t0, 0.0);
+  });
+}
+
+}  // namespace
+}  // namespace pml::mp

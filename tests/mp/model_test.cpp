@@ -1,0 +1,126 @@
+/// \file model_test.cpp
+/// \brief Randomized model-based testing: a seeded random program of
+/// collectives executes on the runtime and, in lockstep, on a trivial
+/// sequential model; every rank's observed values must match the model's.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "mp/mp.hpp"
+
+namespace pml::mp {
+namespace {
+
+/// Deterministic program generator (both the job and the model replay it).
+struct Script {
+  std::uint32_t state;
+  explicit Script(std::uint32_t seed) : state(seed * 2654435761u + 1) {}
+  std::uint32_t next() {
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    return state;
+  }
+};
+
+class RandomCollectiveProgram : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RandomCollectiveProgram, RuntimeMatchesSequentialModel) {
+  const std::uint32_t seed = GetParam();
+  constexpr int kNp = 4;
+  constexpr int kSteps = 60;
+
+  // --- Model: compute the expected per-rank value trace sequentially. ---
+  std::vector<long> model(kNp);
+  std::iota(model.begin(), model.end(), 1);  // rank r starts at r+1
+  std::vector<std::vector<long>> expected(kNp);  // per rank, per step
+  {
+    Script script(seed);
+    for (int s = 0; s < kSteps; ++s) {
+      const std::uint32_t op = script.next() % 5;
+      const int root = static_cast<int>(script.next() % kNp);
+      switch (op) {
+        case 0: {  // allreduce sum
+          const long sum = std::accumulate(model.begin(), model.end(), 0L);
+          for (auto& v : model) v = sum;
+          break;
+        }
+        case 1: {  // broadcast from root, +1 salt
+          const long sent = model[static_cast<std::size_t>(root)] + 1;
+          for (auto& v : model) v = sent;
+          break;
+        }
+        case 2: {  // allreduce max
+          const long mx = *std::max_element(model.begin(), model.end());
+          for (auto& v : model) v = mx;
+          break;
+        }
+        case 3: {  // scan (inclusive prefix sum)
+          long acc = 0;
+          for (auto& v : model) {
+            acc += v;
+            v = acc;
+          }
+          break;
+        }
+        default: {  // shift around the ring, then add own rank
+          std::vector<long> shifted(kNp);
+          for (int r = 0; r < kNp; ++r) shifted[(r + 1) % kNp] = model[r];
+          for (int r = 0; r < kNp; ++r) model[r] = shifted[r] + r;
+          break;
+        }
+      }
+      // Keep values bounded so no overflow across 60 steps.
+      for (auto& v : model) v %= 1000003;
+      for (int r = 0; r < kNp; ++r) expected[r].push_back(model[r]);
+    }
+  }
+
+  // --- Runtime: the same program, on real ranks. ---
+  std::atomic<int> mismatches{0};
+  run(kNp, [&](Communicator& comm) {
+    const int me = comm.rank();
+    long value = me + 1;
+    Script script(seed);  // every rank replays the same script
+    for (int s = 0; s < kSteps; ++s) {
+      const std::uint32_t op = script.next() % 5;
+      const int root = static_cast<int>(script.next() % kNp);
+      switch (op) {
+        case 0:
+          value = comm.allreduce(value, op_sum<long>());
+          break;
+        case 1:
+          value = comm.broadcast(me == root ? value + 1 : 0L, root);
+          break;
+        case 2:
+          value = comm.allreduce(value, op_max<long>());
+          break;
+        case 3:
+          value = comm.scan(value, op_sum<long>());
+          break;
+        default: {
+          const int next = (me + 1) % comm.size();
+          const int prev = (me + comm.size() - 1) % comm.size();
+          value = comm.sendrecv<long>(value, next, prev) + me;
+          break;
+        }
+      }
+      value %= 1000003;
+      if (value != expected[static_cast<std::size_t>(me)][static_cast<std::size_t>(s)]) {
+        mismatches.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCollectiveProgram,
+                         ::testing::Values(1u, 17u, 404u, 9001u, 123456u, 777777u,
+                                           31337u, 424242u));
+
+}  // namespace
+}  // namespace pml::mp

@@ -1,0 +1,73 @@
+/// \file payload_test.cpp
+/// \brief Unit tests for the message codec.
+
+#include "mp/payload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/error.hpp"
+
+namespace pml::mp {
+namespace {
+
+struct Pod {
+  int a;
+  double b;
+  friend bool operator==(const Pod&, const Pod&) = default;
+};
+
+TEST(Codec, ScalarRoundTrip) {
+  EXPECT_EQ(Codec<int>::decode(Codec<int>::encode(-42)), -42);
+  EXPECT_EQ(Codec<long>::decode(Codec<long>::encode(1L << 40)), 1L << 40);
+  EXPECT_DOUBLE_EQ(Codec<double>::decode(Codec<double>::encode(3.25)), 3.25);
+  EXPECT_EQ(Codec<char>::decode(Codec<char>::encode('x')), 'x');
+}
+
+TEST(Codec, PodStructRoundTrip) {
+  const Pod p{7, -1.5};
+  EXPECT_EQ(Codec<Pod>::decode(Codec<Pod>::encode(p)), p);
+}
+
+TEST(Codec, ScalarSizeMismatchThrows) {
+  Payload wrong(3);
+  EXPECT_THROW(Codec<int>::decode(wrong), RuntimeFault);
+}
+
+TEST(Codec, VectorRoundTrip) {
+  const std::vector<int> v{1, -2, 3, -4};
+  EXPECT_EQ(Codec<std::vector<int>>::decode(Codec<std::vector<int>>::encode(v)), v);
+}
+
+TEST(Codec, EmptyVectorRoundTrip) {
+  const std::vector<double> v;
+  EXPECT_EQ(Codec<std::vector<double>>::decode(Codec<std::vector<double>>::encode(v)), v);
+}
+
+TEST(Codec, VectorSizeMismatchThrows) {
+  Payload wrong(sizeof(int) + 1);
+  EXPECT_THROW(Codec<std::vector<int>>::decode(wrong), RuntimeFault);
+}
+
+TEST(Codec, StringRoundTrip) {
+  const std::string s = "hello from process 3";
+  EXPECT_EQ(Codec<std::string>::decode(Codec<std::string>::encode(s)), s);
+  EXPECT_EQ(Codec<std::string>::decode(Codec<std::string>::encode("")), "");
+}
+
+TEST(Codec, StringWithEmbeddedNull) {
+  std::string s = "a";
+  s.push_back('\0');
+  s += "b";
+  EXPECT_EQ(Codec<std::string>::decode(Codec<std::string>::encode(s)), s);
+}
+
+TEST(Codec, ElementCount) {
+  const auto payload = Codec<std::vector<std::int32_t>>::encode({1, 2, 3});
+  EXPECT_EQ(element_count<std::int32_t>(payload), 3u);
+  EXPECT_EQ(element_count<std::int64_t>(Payload(16)), 2u);
+}
+
+}  // namespace
+}  // namespace pml::mp

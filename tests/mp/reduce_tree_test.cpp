@@ -1,0 +1,132 @@
+/// \file reduce_tree_test.cpp
+/// \brief Tests for the binomial reduction tree — the O(lg t) combining
+/// behavior of paper Fig. 19 — and its flat O(t) strawman.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "core/trace.hpp"
+#include "mp/mp.hpp"
+
+namespace pml::mp {
+namespace {
+
+int ceil_log2(int p) {
+  int rounds = 0;
+  for (int m = 1; m < p; m <<= 1) ++rounds;
+  return rounds;
+}
+
+TEST(ReduceTree, PaperFig19WorkedExample) {
+  // Eight tasks find 6, 8, 9, 1, 5, 7, 2, 4 red pixels; total is 42.
+  const int counts[] = {6, 8, 9, 1, 5, 7, 2, 4};
+  pml::Trace trace;
+  std::atomic<int> total{-1};
+  run(8, [&](Communicator& comm) {
+    const int got = comm.reduce(counts[comm.rank()], op_sum<int>(), 0, &trace);
+    if (comm.rank() == 0) total = got;
+  });
+  EXPECT_EQ(total.load(), 42);
+
+  // Same number of total additions as sequential: t - 1 = 7 combines.
+  const auto combines = trace.events("combine");
+  EXPECT_EQ(combines.size(), 7u);
+
+  // ... but arranged in lg(8) = 3 rounds: 4 + 2 + 1 combines.
+  std::map<std::int64_t, int> per_round;
+  for (const auto& e : combines) per_round[e.key] += 1;
+  ASSERT_EQ(per_round.size(), 3u);
+  EXPECT_EQ(per_round[0], 4);
+  EXPECT_EQ(per_round[1], 2);
+  EXPECT_EQ(per_round[2], 1);
+}
+
+class ReduceTreeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReduceTreeSweep, CombineCountIsAlwaysTMinus1) {
+  const int np = GetParam();
+  pml::Trace trace;
+  run(np, [&](Communicator& comm) {
+    (void)comm.reduce(1, op_sum<int>(), 0, &trace);
+  });
+  EXPECT_EQ(trace.events("combine").size(), static_cast<std::size_t>(np - 1));
+}
+
+TEST_P(ReduceTreeSweep, RoundCountIsCeilLog2) {
+  const int np = GetParam();
+  pml::Trace trace;
+  run(np, [&](Communicator& comm) {
+    (void)comm.reduce(1, op_sum<int>(), 0, &trace);
+  });
+  std::set<std::int64_t> rounds;
+  for (const auto& e : trace.events("combine")) rounds.insert(e.key);
+  EXPECT_EQ(static_cast<int>(rounds.size()), ceil_log2(np));
+}
+
+TEST_P(ReduceTreeSweep, TreeAndFlatAgree) {
+  const int np = GetParam();
+  std::atomic<long> tree{-1};
+  std::atomic<long> flat{-1};
+  run(np, [&](Communicator& comm) {
+    const long mine = static_cast<long>(comm.rank() + 1) * 3;
+    const long t = comm.reduce(mine, op_sum<long>(), 0);
+    const long f = comm.flat_reduce(mine, op_sum<long>(), 0);
+    if (comm.rank() == 0) {
+      tree = t;
+      flat = f;
+    }
+  });
+  EXPECT_EQ(tree.load(), flat.load());
+  EXPECT_EQ(tree.load(), 3L * np * (np + 1) / 2);
+}
+
+// 2x2 integer matrix for the non-commutative reduction test (namespace
+// scope because local classes cannot default a friend operator==).
+struct M2 {
+  long a, b, c, d;
+  friend bool operator==(const M2&, const M2&) = default;
+};
+
+TEST_P(ReduceTreeSweep, NonCommutativeAssociativeOpReducesInRankOrder) {
+  // Matrix-multiply-like op: associative, NOT commutative.
+  auto mul = [](const M2& x, const M2& y) {
+    return M2{x.a * y.a + x.b * y.c, x.a * y.b + x.b * y.d,
+              x.c * y.a + x.d * y.c, x.c * y.b + x.d * y.d};
+  };
+  const int np = GetParam();
+
+  // Sequential rank-order product as the reference.
+  auto mat_of = [](int r) { return M2{1, static_cast<long>(r + 1), 0, 1}; };
+  M2 expected{1, 0, 0, 1};
+  for (int r = 0; r < np; ++r) expected = mul(expected, mat_of(r));
+
+  std::atomic<bool> ok{false};
+  run(np, [&](Communicator& comm) {
+    Op<M2> op{"matmul", M2{1, 0, 0, 1}, mul};
+    const M2 got = comm.reduce(mat_of(comm.rank()), op, 0);
+    if (comm.rank() == 0) ok = (got == expected);
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessCounts, ReduceTreeSweep,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 16));
+
+TEST(BroadcastTree, MatchesFlatBroadcast) {
+  for (int np : {2, 3, 5, 8}) {
+    std::atomic<int> tree_ok{0};
+    std::atomic<int> flat_ok{0};
+    run(np, [&](Communicator& comm) {
+      if (comm.broadcast(comm.rank() == 1 % np ? 77 : 0, 1 % np) == 77) ++tree_ok;
+      if (comm.flat_broadcast(comm.rank() == 0 ? 88 : 0, 0) == 88) ++flat_ok;
+    });
+    EXPECT_EQ(tree_ok.load(), np) << np;
+    EXPECT_EQ(flat_ok.load(), np) << np;
+  }
+}
+
+}  // namespace
+}  // namespace pml::mp

@@ -1,0 +1,106 @@
+/// \file request_test.cpp
+/// \brief Tests for the nonblocking operations (isend/irecv/wait/test).
+
+#include "mp/request.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mp/mp.hpp"
+
+namespace pml::mp {
+namespace {
+
+TEST(Isend, CompletesImmediately) {
+  run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      SendRequest req = isend(comm, 5, 1);
+      EXPECT_TRUE(req.test());
+      req.wait();  // no-op
+    } else {
+      EXPECT_EQ(comm.recv<int>(0), 5);
+    }
+  });
+}
+
+TEST(Irecv, WaitDeliversValueAndStatus) {
+  run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(std::string("deferred"), 1, 4);
+    } else {
+      auto future = irecv<std::string>(comm, 0, 4);
+      Status st;
+      EXPECT_EQ(future.wait(&st), "deferred");
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 4);
+      EXPECT_TRUE(future.done());
+      // wait() is idempotent.
+      EXPECT_EQ(future.wait(), "deferred");
+    }
+  });
+}
+
+TEST(Irecv, TestPollsWithoutBlocking) {
+  run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.barrier();
+      comm.send(9, 1, 2);
+    } else {
+      auto future = irecv<int>(comm, 0, 2);
+      EXPECT_FALSE(future.test().has_value());  // nothing sent yet
+      EXPECT_FALSE(future.done());
+      comm.barrier();
+      EXPECT_EQ(future.wait(), 9);
+    }
+  });
+}
+
+TEST(Irecv, OverlapsCommunicationWithComputation) {
+  // The classic use: post the receive, compute, then wait.
+  run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(std::vector<int>{1, 2, 3}, 1);
+    } else {
+      auto future = irecv<std::vector<int>>(comm, 0);
+      long computed = 0;
+      for (int i = 0; i < 1000; ++i) computed += i;
+      EXPECT_EQ(computed, 499500);
+      EXPECT_EQ(future.wait(), (std::vector<int>{1, 2, 3}));
+    }
+  });
+}
+
+TEST(WaitAll, CollectsInIndexOrder) {
+  run(4, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<RecvFuture<int>> futures;
+      for (int src = 1; src < 4; ++src) futures.push_back(irecv<int>(comm, src, 1));
+      const std::vector<int> values = wait_all(futures);
+      EXPECT_EQ(values, (std::vector<int>{10, 20, 30}));
+    } else {
+      comm.send(comm.rank() * 10, 0, 1);
+    }
+  });
+}
+
+TEST(Irecv, WildcardSourceResolvesOnWait) {
+  run(3, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      auto f1 = irecv<int>(comm, kAnySource, 6);
+      auto f2 = irecv<int>(comm, kAnySource, 6);
+      Status s1;
+      Status s2;
+      const int v1 = f1.wait(&s1);
+      const int v2 = f2.wait(&s2);
+      EXPECT_EQ(v1, s1.source * 7);
+      EXPECT_EQ(v2, s2.source * 7);
+      EXPECT_NE(s1.source, s2.source);
+    } else {
+      comm.send(comm.rank() * 7, 0, 6);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace pml::mp

@@ -1,0 +1,126 @@
+/// \file watchdog_test.cpp
+/// \brief Tests for the deadlock watchdog: real deadlocks abort with
+/// DeadlockError; healthy and self-recovering jobs are never flagged.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "core/error.hpp"
+#include "mp/mp.hpp"
+
+namespace pml::mp {
+namespace {
+
+RunOptions fast_watchdog() {
+  RunOptions opts;
+  opts.deadlock_grace = std::chrono::milliseconds(200);
+  return opts;
+}
+
+TEST(Watchdog, RecvBeforeSendCycleIsDetected) {
+  // The classic: both ranks receive first; neither can ever send.
+  EXPECT_THROW(run(2,
+                   [](Communicator& comm) {
+                     const int partner = 1 - comm.rank();
+                     (void)comm.recv<int>(partner);
+                     comm.send(comm.rank(), partner);
+                   },
+                   fast_watchdog()),
+               DeadlockError);
+}
+
+TEST(Watchdog, ReceiveFromNobodyIsDetected) {
+  // One rank waits for a message no one will ever send while the other
+  // has already finished — "live ranks" accounting must handle exits.
+  EXPECT_THROW(run(2,
+                   [](Communicator& comm) {
+                     if (comm.rank() == 0) (void)comm.recv<int>(1, 42);
+                   },
+                   fast_watchdog()),
+               DeadlockError);
+}
+
+TEST(Watchdog, SsendWithNoReceiverIsDetected) {
+  EXPECT_THROW(run(2,
+                   [](Communicator& comm) {
+                     if (comm.rank() == 0) comm.ssend(7, 1);
+                     // rank 1 exits without receiving
+                   },
+                   fast_watchdog()),
+               DeadlockError);
+}
+
+TEST(Watchdog, MismatchedCollectiveIsDetected) {
+  // Rank 2 skips the barrier: the others wait forever.
+  EXPECT_THROW(run(3,
+                   [](Communicator& comm) {
+                     if (comm.rank() != 2) comm.barrier();
+                   },
+                   fast_watchdog()),
+               DeadlockError);
+}
+
+TEST(Watchdog, HealthyTrafficIsNeverFlagged) {
+  // Continuous slow progress, each step well within the grace period.
+  run(2,
+      [](Communicator& comm) {
+        for (int i = 0; i < 8; ++i) {
+          if (comm.rank() == 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(40));
+            comm.send(i, 1);
+          } else {
+            EXPECT_EQ(comm.recv<int>(0), i);
+          }
+        }
+      },
+      fast_watchdog());
+  SUCCEED();
+}
+
+TEST(Watchdog, DeadlineWaitsAreNotCountedAsStuck) {
+  // recv_for recovers by itself; the watchdog must not abort the job even
+  // though every rank is "waiting" longer than the grace period.
+  std::atomic<int> timeouts{0};
+  run(2,
+      [&](Communicator& comm) {
+        const auto got =
+            comm.recv_for<int>(std::chrono::milliseconds(500), 1 - comm.rank());
+        if (!got) ++timeouts;
+      },
+      fast_watchdog());
+  EXPECT_EQ(timeouts.load(), 2);
+}
+
+TEST(Watchdog, DisabledWatchdogLeavesSemanticsAlone) {
+  RunOptions off;
+  off.deadlock_grace = std::chrono::milliseconds(0);
+  run(2,
+      [](Communicator& comm) {
+        const int got = comm.sendrecv<int>(comm.rank(), 1 - comm.rank(),
+                                           1 - comm.rank());
+        EXPECT_EQ(got, 1 - comm.rank());
+      },
+      off);
+  SUCCEED();
+}
+
+TEST(Watchdog, LongComputePhasesAreNotDeadlocks) {
+  // One rank computes (not blocked) while the other waits: blocked != live,
+  // so no abort even past the grace period.
+  run(2,
+      [](Communicator& comm) {
+        if (comm.rank() == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(450));
+          comm.send(1, 1);
+        } else {
+          EXPECT_EQ(comm.recv<int>(0), 1);
+        }
+      },
+      fast_watchdog());
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace pml::mp

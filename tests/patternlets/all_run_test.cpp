@@ -1,0 +1,91 @@
+/// \file all_run_test.cpp
+/// \brief The collection-wide smoke matrix: every patternlet runs green at
+/// multiple task counts under every toggle combination.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace pml::patternlets {
+namespace {
+
+/// Small parameter overrides so the heavyweight patternlets stay fast in
+/// the smoke matrix.
+std::map<std::string, long> fast_params() {
+  return {{"reps", 64},   {"size", 5000}, {"n", 2000},
+          {"items", 10},  {"spin", 10},   {"capacity", 2}};
+}
+
+std::vector<std::string> all_slugs() {
+  std::vector<std::string> slugs;
+  for (const auto& p : ensure_registered().all()) slugs.push_back(p.slug);
+  return slugs;
+}
+
+class EveryPatternlet : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryPatternlet, RunsAtDefaultTasksWithDefaultToggles) {
+  RunSpec spec;
+  spec.params = fast_params();
+  const RunResult r = run(GetParam(), spec);
+  EXPECT_FALSE(r.output.empty()) << GetParam() << " produced no output";
+}
+
+TEST_P(EveryPatternlet, RunsWithAllTogglesOn) {
+  RunSpec spec;
+  spec.params = fast_params();
+  spec.all_toggles = true;
+  const RunResult r = run(GetParam(), spec);
+  EXPECT_FALSE(r.output.empty());
+}
+
+TEST_P(EveryPatternlet, RunsWithAllTogglesOff) {
+  RunSpec spec;
+  spec.params = fast_params();
+  spec.all_toggles = false;
+  const RunResult r = run(GetParam(), spec);
+  EXPECT_FALSE(r.output.empty());
+}
+
+TEST_P(EveryPatternlet, ScalesAcrossTaskCounts) {
+  // The paper's "scalable" design goal: the task count is a free knob.
+  for (int tasks : {1, 2, 3, 8}) {
+    RunSpec spec;
+    spec.tasks = tasks;
+    spec.params = fast_params();
+    spec.all_toggles = true;  // exercise the interesting path
+    const RunResult r = run(GetParam(), spec);
+    EXPECT_FALSE(r.output.empty()) << GetParam() << " with " << tasks << " tasks";
+  }
+}
+
+TEST_P(EveryPatternlet, EachToggleFlipsIndividually) {
+  const Patternlet& p = ensure_registered().get(GetParam());
+  for (const Toggle& t : p.toggles) {
+    for (bool value : {false, true}) {
+      RunSpec spec;
+      spec.params = fast_params();
+      spec.toggle_overrides = {{t.name, value}};
+      const RunResult r = run(p, spec);
+      EXPECT_FALSE(r.output.empty())
+          << p.slug << " with " << t.name << "=" << (value ? "on" : "off");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Collection, EveryPatternlet, ::testing::ValuesIn(all_slugs()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '/' ) c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace pml::patternlets

@@ -1,0 +1,124 @@
+/// \file census_test.cpp
+/// \brief Pins the paper's collection census: 44 patternlets — 16 MPI,
+/// 17 OpenMP, 9 Pthreads, 2 heterogeneous — and collection-wide metadata
+/// invariants.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "patternlets/patternlets.hpp"
+
+namespace pml::patternlets {
+namespace {
+
+TEST(Census, PaperCountsHold) {
+  const Registry& reg = ensure_registered();
+  const Census c = reg.census();
+  EXPECT_EQ(c.mpi, 16);
+  EXPECT_EQ(c.openmp, 17);
+  EXPECT_EQ(c.pthreads, 9);
+  EXPECT_EQ(c.heterogeneous, 2);
+  EXPECT_EQ(c.total(), 44);
+}
+
+TEST(Census, EnsureRegisteredIsIdempotent) {
+  ensure_registered();
+  ensure_registered();
+  EXPECT_EQ(Registry::instance().census().total(), 44);
+}
+
+TEST(Census, SlugsAreNamespacedByTech) {
+  const Registry& reg = ensure_registered();
+  for (const auto& p : reg.all()) {
+    switch (p.tech) {
+      case Tech::kOpenMP: EXPECT_EQ(p.slug.rfind("omp/", 0), 0u) << p.slug; break;
+      case Tech::kMPI: EXPECT_EQ(p.slug.rfind("mpi/", 0), 0u) << p.slug; break;
+      case Tech::kPthreads: EXPECT_EQ(p.slug.rfind("pthreads/", 0), 0u) << p.slug; break;
+      case Tech::kHeterogeneous: EXPECT_EQ(p.slug.rfind("hetero/", 0), 0u) << p.slug; break;
+    }
+  }
+}
+
+TEST(Census, EveryPatternletHasCompleteMetadata) {
+  // The paper: each patternlet ships with a header-comment exercise and
+  // names the pattern(s) it teaches.
+  const Registry& reg = ensure_registered();
+  for (const auto& p : reg.all()) {
+    EXPECT_FALSE(p.title.empty()) << p.slug;
+    EXPECT_FALSE(p.summary.empty()) << p.slug;
+    EXPECT_FALSE(p.exercise.empty()) << p.slug;
+    EXPECT_FALSE(p.patterns.empty()) << p.slug;
+    EXPECT_GT(p.default_tasks, 0) << p.slug;
+    EXPECT_TRUE(static_cast<bool>(p.body)) << p.slug;
+  }
+}
+
+TEST(Census, CorePatternsEachHaveMultiTechCoverage) {
+  // SPMD, Barrier, Reduction, and Master-Worker are taught in more than
+  // one technology — the collection's cross-cutting design.
+  const Registry& reg = ensure_registered();
+  for (const char* pattern : {"SPMD", "Barrier", "Reduction", "Master-Worker"}) {
+    std::set<Tech> techs;
+    for (const Patternlet* p : reg.by_pattern(pattern)) techs.insert(p->tech);
+    EXPECT_GE(techs.size(), 2u) << pattern;
+  }
+}
+
+TEST(Census, KeyPaperPatternletsExist) {
+  const Registry& reg = ensure_registered();
+  for (const char* slug :
+       {"omp/spmd", "mpi/spmd", "omp/barrier", "mpi/barrier",
+        "omp/parallelLoopEqualChunks", "mpi/parallelLoopEqualChunks",
+        "omp/reduction", "mpi/reduction", "mpi/gather", "omp/critical2",
+        "hetero/spmd", "hetero/reduction"}) {
+    EXPECT_NE(reg.find(slug), nullptr) << slug;
+  }
+}
+
+TEST(Census, PaperToggleDefaultsShipCommentedOut) {
+  // The originals ship with the teaching directive commented out (the
+  // student uncomments it); the worksharing loop patternlets ship with it
+  // on (Fig. 13 shows the pragma active).
+  const Registry& reg = ensure_registered();
+  auto default_of = [&](const char* slug, const char* toggle) {
+    for (const auto& t : reg.get(slug).toggles) {
+      if (t.name == toggle) return t.default_on;
+    }
+    ADD_FAILURE() << slug << " lacks toggle " << toggle;
+    return false;
+  };
+  EXPECT_FALSE(default_of("omp/spmd", "omp parallel"));
+  EXPECT_FALSE(default_of("omp/barrier", "omp barrier"));
+  EXPECT_FALSE(default_of("mpi/barrier", "MPI_Barrier"));
+  EXPECT_FALSE(default_of("omp/reduction", "omp parallel for"));
+  EXPECT_FALSE(default_of("omp/reduction", "reduction(+:sum)"));
+  EXPECT_FALSE(default_of("omp/critical", "omp critical"));
+  EXPECT_FALSE(default_of("omp/atomic", "omp atomic"));
+  EXPECT_TRUE(default_of("omp/parallelLoopEqualChunks", "omp parallel for"));
+  EXPECT_TRUE(default_of("omp/parallelLoopChunksOf1", "omp parallel for"));
+}
+
+TEST(Census, PaperDefaultTaskCountsMatchTheFigures) {
+  const Registry& reg = ensure_registered();
+  EXPECT_EQ(reg.get("omp/spmd").default_tasks, 4);       // Fig. 3
+  EXPECT_EQ(reg.get("omp/barrier").default_tasks, 4);    // Fig. 8-9
+  EXPECT_EQ(reg.get("mpi/reduction").default_tasks, 10); // Fig. 24
+  EXPECT_EQ(reg.get("mpi/gather").default_tasks, 2);     // Fig. 26
+  EXPECT_EQ(reg.get("omp/critical2").default_tasks, 8);  // Fig. 30
+  EXPECT_EQ(reg.get("omp/parallelLoopEqualChunks").default_tasks, 2);  // Fig. 15
+}
+
+TEST(Census, PatternNamesResolveInSomeCatalog) {
+  // Every pattern a patternlet claims to teach is a real catalog name or
+  // alias (keeps the metadata honest).
+  const Registry& reg = ensure_registered();
+  const auto names = reg.patterns_taught();
+  EXPECT_FALSE(names.empty());
+  for (const auto& n : names) {
+    EXPECT_FALSE(n.empty());
+  }
+}
+
+}  // namespace
+}  // namespace pml::patternlets

@@ -1,0 +1,141 @@
+/// \file golden_test.cpp
+/// \brief Golden-output tests: for configurations whose output is fully
+/// deterministic, the exact text is pinned — matching the paper's printed
+/// figures character for character where the figure is deterministic.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/runner.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace pml::patternlets {
+namespace {
+
+class Golden : public ::testing::Test {
+ protected:
+  void SetUp() override { ensure_registered(); }
+};
+
+TEST_F(Golden, OmpSpmdDirectiveOff) {
+  // Paper Fig. 2 exactly (plus the blank lines spmd.c prints).
+  RunSpec spec;
+  spec.tasks = 4;
+  EXPECT_EQ(run("omp/spmd", spec).output_str(),
+            "\n"
+            "Hello from thread 0 of 1\n"
+            "\n");
+}
+
+TEST_F(Golden, MpiSpmdSingleProcess) {
+  // Paper Fig. 5 exactly.
+  RunSpec spec;
+  spec.tasks = 1;
+  EXPECT_EQ(run("mpi/spmd", spec).output_str(),
+            "Hello from process 0 of 1 on node-01\n");
+}
+
+TEST_F(Golden, OmpEqualChunksSingleThread) {
+  // Paper Fig. 14 exactly.
+  RunSpec spec;
+  spec.tasks = 1;
+  std::string expected;
+  for (int i = 0; i < 8; ++i) {
+    expected += "Thread 0 performed iteration " + std::to_string(i) + "\n";
+  }
+  EXPECT_EQ(run("omp/parallelLoopEqualChunks", spec).output_str(), expected);
+}
+
+TEST_F(Golden, MpiEqualChunksSingleProcess) {
+  // "output similar to that of Figure 14, but with the word 'Process'".
+  RunSpec spec;
+  spec.tasks = 1;
+  std::string expected;
+  for (int i = 0; i < 8; ++i) {
+    expected += "Process 0 performed iteration " + std::to_string(i) + "\n";
+  }
+  EXPECT_EQ(run("mpi/parallelLoopEqualChunks", spec).output_str(), expected);
+}
+
+TEST_F(Golden, MpiSequenceNumbersIsFullyDeterministic) {
+  RunSpec spec;
+  spec.tasks = 4;
+  const std::string expected =
+      "Hello from process 0 of 4\n"
+      "Hello from process 1 of 4\n"
+      "Hello from process 2 of 4\n"
+      "Hello from process 3 of 4\n";
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(run("mpi/sequenceNumbers", spec).output_str(), expected);
+  }
+}
+
+TEST_F(Golden, MpiGatherMasterLineMatchesFig26) {
+  RunSpec spec;
+  spec.tasks = 2;
+  const auto lines = run("mpi/gather", spec).texts();
+  // The gather line itself is deterministic even though computeArray
+  // prints interleave.
+  EXPECT_NE(std::find(lines.begin(), lines.end(),
+                      "Process 0, gatherArray: 0 1 2 10 11 12"),
+            lines.end());
+}
+
+TEST_F(Golden, MpiReductionResultLinesMatchFig24) {
+  RunSpec spec;
+  spec.tasks = 10;
+  const auto lines = run("mpi/reduction", spec).texts();
+  EXPECT_NE(std::find(lines.begin(), lines.end(), "The sum of the squares is 385"),
+            lines.end());
+  EXPECT_NE(std::find(lines.begin(), lines.end(), "The max of the squares is 100"),
+            lines.end());
+}
+
+TEST_F(Golden, OmpReductionSequentialOutputShape) {
+  // Fig. 21's two-line shape with equal sums (values are generator-
+  // dependent, so pin the shape and the equality, not the number).
+  RunSpec spec;
+  spec.tasks = 4;
+  spec.params = {{"size", 1000}};
+  const auto lines = run("omp/reduction", spec).texts();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("Seq. sum: \t", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("Par. sum: \t", 0), 0u);
+}
+
+TEST_F(Golden, HeteroReductionGrandTotalLine) {
+  RunSpec spec;
+  spec.tasks = 2;
+  spec.params = {{"n", 1000}};
+  const auto out = run("hetero/reduction", spec).output_str();
+  EXPECT_NE(out.find("Grand total: 499500 (expected 499500)"), std::string::npos);
+}
+
+TEST_F(Golden, MpiBroadcastAfterLinesDeterministicPerRank) {
+  RunSpec spec;
+  spec.tasks = 4;
+  const auto result = run("mpi/broadcast", spec);
+  for (const auto& line : result.output) {
+    if (line.phase == "AFTER") {
+      EXPECT_EQ(line.text, "Process " + std::to_string(line.task) +
+                               " after broadcast: answer = 42");
+    }
+  }
+}
+
+TEST_F(Golden, PthreadsLocalSumsDeterministicContributions) {
+  RunSpec spec;
+  spec.tasks = 4;
+  spec.params = {{"reps", 8000}};
+  const auto lines = run("pthreads/localSums", spec).texts();
+  int contributions = 0;
+  for (const auto& l : lines) {
+    if (l.find("contributed 2000") != std::string::npos) ++contributions;
+  }
+  EXPECT_EQ(contributions, 4);
+  EXPECT_EQ(lines.back(), "Combined total: 8000");
+}
+
+}  // namespace
+}  // namespace pml::patternlets

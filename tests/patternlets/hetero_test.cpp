@@ -1,0 +1,74 @@
+/// \file hetero_test.cpp
+/// \brief Behavioral tests for the 2 heterogeneous (MPI+OpenMP) patternlets.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/runner.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace pml::patternlets {
+namespace {
+
+class HeteroPatternlets : public ::testing::Test {
+ protected:
+  void SetUp() override { ensure_registered(); }
+};
+
+TEST_F(HeteroPatternlets, SpmdEmitsProcessTimesThreadGreetings) {
+  RunSpec spec;
+  spec.tasks = 2;  // 2 processes x 4 cores/node (default cluster) = 8 lines
+  const RunResult r = run("hetero/spmd", spec);
+  EXPECT_EQ(r.output.size(), 8u);
+  // Every (process, thread) pair appears exactly once.
+  std::set<std::string> pairs;
+  for (const auto& l : r.output) {
+    const auto tpos = l.text.find("thread ");
+    const auto ppos = l.text.find("process ");
+    ASSERT_NE(tpos, std::string::npos);
+    ASSERT_NE(ppos, std::string::npos);
+    pairs.insert(l.text.substr(tpos, 9) + "/" + l.text.substr(ppos, 10));
+  }
+  EXPECT_EQ(pairs.size(), 8u);
+  // Node names are present (the distributed half of the lesson).
+  EXPECT_NE(r.output_str().find("node-"), std::string::npos);
+}
+
+TEST_F(HeteroPatternlets, SpmdScalesWithProcessCount) {
+  RunSpec spec;
+  spec.tasks = 4;
+  const RunResult r = run("hetero/spmd", spec);
+  EXPECT_EQ(r.output.size(), 16u);  // 4 processes x 4 threads
+}
+
+TEST_F(HeteroPatternlets, ReductionComputesGaussSumAtEveryScale) {
+  for (int np : {1, 2, 4}) {
+    RunSpec spec;
+    spec.tasks = np;
+    spec.params = {{"n", 50000}};
+    const RunResult r = run("hetero/reduction", spec);
+    const long expected = 50000L * 49999 / 2;
+    EXPECT_NE(r.output_str().find("Grand total: " + std::to_string(expected)),
+              std::string::npos)
+        << "np=" << np;
+  }
+}
+
+TEST_F(HeteroPatternlets, ReductionReportsPerProcessPartials) {
+  RunSpec spec;
+  spec.tasks = 2;
+  spec.params = {{"n", 1000}};
+  const RunResult r = run("hetero/reduction", spec);
+  int partials = 0;
+  for (const auto& t : r.texts()) {
+    if (t.find("computed partial") != std::string::npos) ++partials;
+  }
+  EXPECT_EQ(partials, 2);
+  // Partials sum to the total: 0..499 -> 124750, 500..999 -> 374750.
+  EXPECT_NE(r.output_str().find("partial 124750"), std::string::npos);
+  EXPECT_NE(r.output_str().find("partial 374750"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pml::patternlets

@@ -1,0 +1,80 @@
+/// \file listings_test.cpp
+/// \brief Tests that the paper's printed C listings are carried faithfully
+/// and attached to real patternlets.
+
+#include "patternlets/listings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "patternlets/patternlets.hpp"
+
+namespace pml::patternlets {
+namespace {
+
+TEST(Listings, AllTenPaperFiguresPresent) {
+  const auto& all = paper_listings();
+  EXPECT_EQ(all.size(), 10u);
+  for (const char* figure : {"Fig. 1", "Fig. 4", "Fig. 7", "Fig. 10", "Fig. 13",
+                             "Fig. 16", "Fig. 20", "Fig. 23", "Fig. 25", "Fig. 29"}) {
+    bool found = false;
+    for (const auto& l : all) {
+      if (l.figure == figure) found = true;
+    }
+    EXPECT_TRUE(found) << figure;
+  }
+}
+
+TEST(Listings, EverySlugResolvesToARegisteredPatternlet) {
+  const Registry& reg = ensure_registered();
+  for (const auto& l : paper_listings()) {
+    EXPECT_NE(reg.find(l.slug), nullptr) << l.slug;
+    EXPECT_FALSE(l.code.empty()) << l.slug;
+    EXPECT_FALSE(l.filename.empty()) << l.slug;
+  }
+}
+
+TEST(Listings, LookupBySlug) {
+  const auto spmd = listing_for("omp/spmd");
+  ASSERT_TRUE(spmd.has_value());
+  EXPECT_EQ(spmd->figure, "Fig. 1");
+  EXPECT_EQ(spmd->filename, "spmd.c");
+  EXPECT_FALSE(listing_for("omp/forkJoin").has_value());
+}
+
+TEST(Listings, ToggleLinesAreStillCommentedOut) {
+  // The pedagogy depends on the commented-out directives being visible.
+  EXPECT_NE(listing_for("omp/spmd")->code.find("// #pragma omp parallel"),
+            std::string::npos);
+  EXPECT_NE(listing_for("omp/barrier")->code.find("// #pragma omp barrier"),
+            std::string::npos);
+  EXPECT_NE(listing_for("omp/reduction")
+                ->code.find("// #pragma omp parallel for // reduction(+:sum)"),
+            std::string::npos);
+}
+
+TEST(Listings, KeyApiCallsPresent) {
+  EXPECT_NE(listing_for("mpi/spmd")->code.find("MPI_Get_processor_name"),
+            std::string::npos);
+  EXPECT_NE(listing_for("mpi/reduction")->code.find("MPI_Reduce"), std::string::npos);
+  EXPECT_NE(listing_for("mpi/reduction")->code.find("MPI_MAX"), std::string::npos);
+  EXPECT_NE(listing_for("mpi/gather")->code.find("MPI_Gather"), std::string::npos);
+  EXPECT_NE(listing_for("mpi/parallelLoopEqualChunks")->code.find("ceil"),
+            std::string::npos);
+  EXPECT_NE(listing_for("omp/critical2")->code.find("#pragma omp atomic"),
+            std::string::npos);
+  EXPECT_NE(listing_for("omp/critical2")->code.find("#pragma omp critical"),
+            std::string::npos);
+}
+
+TEST(Listings, PaperConstantsPreserved) {
+  EXPECT_NE(listing_for("omp/reduction")->code.find("#define SIZE 1000000"),
+            std::string::npos);
+  EXPECT_NE(listing_for("omp/critical2")->code.find("REPS = 1000000"),
+            std::string::npos);
+  EXPECT_NE(listing_for("mpi/gather")->code.find("#define SIZE 3"), std::string::npos);
+  EXPECT_NE(listing_for("mpi/parallelLoopEqualChunks")->code.find("REPS = 8"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pml::patternlets

@@ -1,0 +1,146 @@
+/// \file pthreads_test.cpp
+/// \brief Behavioral tests for the 9 Pthreads-style patternlets.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/runner.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace pml::patternlets {
+namespace {
+
+class PthreadPatternlets : public ::testing::Test {
+ protected:
+  void SetUp() override { ensure_registered(); }
+};
+
+TEST_F(PthreadPatternlets, SpmdEveryThreadGreetsOnceThenJoins) {
+  RunSpec spec;
+  spec.tasks = 4;
+  const RunResult r = run("pthreads/spmd", spec);
+  std::set<int> greeters;
+  for (const auto& l : r.output) {
+    if (l.task >= 0) greeters.insert(l.task);
+  }
+  EXPECT_EQ(greeters, (std::set<int>{0, 1, 2, 3}));
+  // The join message is last.
+  EXPECT_NE(r.output.back().text.find("threads joined"), std::string::npos);
+}
+
+TEST_F(PthreadPatternlets, ForkJoinWithJoinsIsOrdered) {
+  RunSpec spec;
+  spec.tasks = 4;
+  const RunResult r = run("pthreads/forkJoin", spec);  // join toggle defaults on
+  EXPECT_TRUE(phase_separated(r.output, phase_is("BEFORE"), phase_is("DURING")));
+  EXPECT_TRUE(phase_separated(r.output, phase_is("DURING"), phase_is("AFTER")));
+}
+
+TEST_F(PthreadPatternlets, ForkJoinWithoutJoinsCanMisorder) {
+  RunSpec spec;
+  spec.tasks = 8;
+  spec.toggle_overrides = {{"pthread_join", false}};
+  bool misordered = false;
+  for (int attempt = 0; attempt < 50 && !misordered; ++attempt) {
+    const RunResult r = run("pthreads/forkJoin", spec);
+    misordered = phases_interleaved(r.output, phase_is("DURING"), phase_is("AFTER"));
+  }
+  EXPECT_TRUE(misordered);
+}
+
+TEST_F(PthreadPatternlets, BarrierToggleSeparatesPhases) {
+  RunSpec spec;
+  spec.tasks = 4;
+  spec.toggle_overrides = {{"pthread_barrier_wait", true}};
+  const RunResult r = run("pthreads/barrier", spec);
+  EXPECT_TRUE(phase_separated(r.output, phase_is("BEFORE"), phase_is("AFTER")));
+}
+
+TEST_F(PthreadPatternlets, RaceReportsLostUpdatesEventually) {
+  RunSpec spec;
+  spec.tasks = 4;
+  spec.params = {{"reps", 400000}};
+  bool lost = false;
+  for (int attempt = 0; attempt < 8 && !lost; ++attempt) {
+    const RunResult r = run("pthreads/race", spec);
+    lost = r.output_str().find("updates lost") != std::string::npos;
+  }
+  EXPECT_TRUE(lost);
+}
+
+TEST_F(PthreadPatternlets, MutexToggleMakesCountExact) {
+  RunSpec spec;
+  spec.tasks = 4;
+  spec.params = {{"reps", 100000}};
+  spec.toggle_overrides = {{"pthread_mutex_lock", true}};
+  const RunResult r = run("pthreads/mutex", spec);
+  EXPECT_NE(r.output_str().find("Expected 100000, got 100000"), std::string::npos);
+}
+
+TEST_F(PthreadPatternlets, LocalSumsAlwaysExact) {
+  for (int tasks : {1, 2, 4, 8}) {
+    RunSpec spec;
+    spec.tasks = tasks;
+    spec.params = {{"reps", 80000}};
+    const RunResult r = run("pthreads/localSums", spec);
+    const long expected = (80000 / tasks) * tasks;
+    EXPECT_NE(r.output_str().find("Combined total: " + std::to_string(expected)),
+              std::string::npos)
+        << tasks;
+  }
+}
+
+TEST_F(PthreadPatternlets, CondvarWaitersAllObserveTheAnnouncedValue) {
+  RunSpec spec;
+  spec.tasks = 5;
+  const RunResult r = run("pthreads/condvar", spec);
+  int observers = 0;
+  for (const auto& l : r.output) {
+    if (l.phase == "OBSERVE") {
+      EXPECT_NE(l.text.find("observed value 42"), std::string::npos) << l.text;
+      ++observers;
+    }
+  }
+  EXPECT_EQ(observers, 4);
+  // The announcement precedes every observation.
+  EXPECT_TRUE(phase_separated(r.output, phase_is("ANNOUNCE"), phase_is("OBSERVE")));
+}
+
+TEST_F(PthreadPatternlets, SemaphoreProducerConsumerConservesItems) {
+  RunSpec spec;
+  spec.tasks = 4;
+  spec.params = {{"items", 30}, {"capacity", 2}};
+  const RunResult r = run("pthreads/semaphore", spec);
+  long total_consumed = 0;
+  for (const auto& l : r.output) {
+    if (l.phase == "CONSUMER") {
+      const auto pos = l.text.find("consumed ");
+      total_consumed += std::stol(l.text.substr(pos + 9));
+    }
+  }
+  EXPECT_EQ(total_consumed, 30);
+  EXPECT_NE(r.output_str().find("Producer finished after 30 items"), std::string::npos);
+}
+
+TEST_F(PthreadPatternlets, MasterWorkerPoolExecutesAllItems) {
+  RunSpec spec;
+  spec.tasks = 4;
+  spec.params = {{"items", 40}};
+  const RunResult r = run("pthreads/masterWorker", spec);
+  long sum = 0;
+  for (const auto& l : r.output) {
+    const auto pos = l.text.find("executed ");
+    if (pos != std::string::npos) sum += std::stol(l.text.substr(pos + 9));
+  }
+  EXPECT_EQ(sum, 40);
+  // Trace carries every item exactly once.
+  std::set<std::int64_t> items;
+  for (const auto& e : r.trace) {
+    if (e.kind == "item") items.insert(e.key);
+  }
+  EXPECT_EQ(items.size(), 40u);
+}
+
+}  // namespace
+}  // namespace pml::patternlets

@@ -1,0 +1,178 @@
+/// \file catalog_test.cpp
+/// \brief Tests pinning the paper's catalog claims: UIUC = 62 patterns in
+/// 10 categories, OPL = 56 in 10; layered organization; named examples;
+/// cross-catalog correspondence; patternlet coverage.
+
+#include "patterns/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace pml::patterns {
+namespace {
+
+TEST(UiucCatalog, HasExactly62PatternsIn10Categories) {
+  const Catalog& c = uiuc_catalog();
+  EXPECT_EQ(c.size(), 62u);
+  EXPECT_EQ(c.categories().size(), 10u);
+}
+
+TEST(OplCatalog, HasExactly56PatternsIn10Categories) {
+  const Catalog& c = opl_catalog();
+  EXPECT_EQ(c.size(), 56u);
+  EXPECT_EQ(c.categories().size(), 10u);
+}
+
+TEST(Catalogs, PaperNamedExamplesPresentAtTheRightLayer) {
+  // §II.B: "N-body Problems and Monte Carlo Simulations are two of the
+  // high-level patterns. ... Data Decomposition and Task Decomposition are
+  // mid-level patterns. Barrier, Reduction, and Message Passing are all
+  // lower-level patterns."
+  const Catalog& uiuc = uiuc_catalog();
+  EXPECT_EQ(uiuc.find("N-Body Problems")->layer, Layer::kArchitectural);
+  EXPECT_EQ(uiuc.find("Monte Carlo Simulation")->layer, Layer::kArchitectural);
+  EXPECT_EQ(uiuc.find("Data Decomposition")->layer, Layer::kAlgorithmic);
+  EXPECT_EQ(uiuc.find("Task Decomposition")->layer, Layer::kAlgorithmic);
+  EXPECT_EQ(uiuc.find("Barrier")->layer, Layer::kImplementation);
+  EXPECT_EQ(uiuc.find("Reduction")->layer, Layer::kImplementation);
+  EXPECT_EQ(uiuc.find("Message Passing")->layer, Layer::kImplementation);
+
+  const Catalog& opl = opl_catalog();
+  for (const char* name : {"SPMD", "Master-Worker", "Barrier", "Reduction",
+                           "Message Passing", "Mutual Exclusion"}) {
+    EXPECT_NE(opl.find(name), nullptr) << name;
+  }
+}
+
+TEST(Catalogs, EveryLayerPopulatedInBoth) {
+  for (const Catalog* c : {&uiuc_catalog(), &opl_catalog()}) {
+    EXPECT_FALSE(c->by_layer(Layer::kArchitectural).empty()) << c->name();
+    EXPECT_FALSE(c->by_layer(Layer::kAlgorithmic).empty()) << c->name();
+    EXPECT_FALSE(c->by_layer(Layer::kImplementation).empty()) << c->name();
+  }
+}
+
+TEST(Catalogs, LayerPartitionIsComplete) {
+  for (const Catalog* c : {&uiuc_catalog(), &opl_catalog()}) {
+    const std::size_t total = c->by_layer(Layer::kArchitectural).size() +
+                              c->by_layer(Layer::kAlgorithmic).size() +
+                              c->by_layer(Layer::kImplementation).size();
+    EXPECT_EQ(total, c->size()) << c->name();
+  }
+}
+
+TEST(UiucCatalog, CategorySizesPinned) {
+  const Catalog& c = uiuc_catalog();
+  const std::vector<std::pair<const char*, std::size_t>> expected = {
+      {"Finding Concurrency", 6},       {"Algorithm Structure", 6},
+      {"Supporting Structures", 7},     {"Implementation Mechanisms", 7},
+      {"Parallel Programming Concepts", 6},
+      {"Communication", 6},             {"Data Management", 6},
+      {"Task Scheduling", 6},           {"Application Archetypes", 7},
+      {"Performance", 5},
+  };
+  for (const auto& [category, size] : expected) {
+    EXPECT_EQ(c.by_category(category).size(), size) << category;
+  }
+}
+
+TEST(OplCatalog, CategorySizesPinned) {
+  const Catalog& c = opl_catalog();
+  const std::vector<std::pair<const char*, std::size_t>> expected = {
+      {"Structural", 8},
+      {"Computational: Numerical", 7},
+      {"Computational: Combinatorial", 6},
+      {"Algorithm Strategy", 7},
+      {"Implementation Strategy: Program Structure", 7},
+      {"Implementation Strategy: Data Structure", 5},
+      {"Parallel Execution: Process Management", 3},
+      {"Parallel Execution: Coordination", 3},
+      {"Foundational: Communication", 5},
+      {"Foundational: Synchronization", 5},
+  };
+  for (const auto& [category, size] : expected) {
+    EXPECT_EQ(c.by_category(category).size(), size) << category;
+  }
+}
+
+TEST(Catalogs, CategoriesPartitionThePatterns) {
+  for (const Catalog* c : {&uiuc_catalog(), &opl_catalog()}) {
+    std::size_t total = 0;
+    for (const auto& cat : c->categories()) total += c->by_category(cat).size();
+    EXPECT_EQ(total, c->size()) << c->name();
+  }
+}
+
+TEST(Catalogs, FindIsCaseInsensitiveAndAliasAware) {
+  const Catalog& uiuc = uiuc_catalog();
+  EXPECT_NE(uiuc.find("barrier"), nullptr);
+  EXPECT_NE(uiuc.find("MASTER-WORKER"), nullptr);
+  // Alias: "Parallel Loop" names UIUC's Loop Parallelism.
+  const Pattern* p = uiuc.find("Parallel Loop");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->name, "Loop Parallelism");
+  EXPECT_EQ(uiuc.find("No Such Pattern"), nullptr);
+  EXPECT_FALSE(uiuc.contains("No Such Pattern"));
+}
+
+TEST(Catalogs, EveryPatternHasDescription) {
+  for (const Catalog* c : {&uiuc_catalog(), &opl_catalog()}) {
+    for (const auto& p : c->patterns()) {
+      EXPECT_FALSE(p.description.empty()) << c->name() << ": " << p.name;
+      EXPECT_FALSE(p.category.empty()) << c->name() << ": " << p.name;
+    }
+  }
+}
+
+TEST(Catalog, RejectsDuplicateNames) {
+  EXPECT_THROW(Catalog("dup", {{"A", Layer::kAlgorithmic, "c", "d", {}},
+                               {"a", Layer::kAlgorithmic, "c", "d", {}}}),
+               pml::UsageError);
+}
+
+TEST(Correspondence, EveryEntryResolvesInBothCatalogs) {
+  // The "similar but slightly different names" table (§II.B) must point at
+  // real patterns on both sides.
+  for (const auto& corr : catalog_correspondence()) {
+    EXPECT_NE(uiuc_catalog().find(corr.uiuc_name), nullptr) << corr.uiuc_name;
+    EXPECT_NE(opl_catalog().find(corr.opl_name), nullptr) << corr.opl_name;
+  }
+}
+
+TEST(Correspondence, SomeNamesDifferAcrossCatalogs) {
+  bool any_differ = false;
+  for (const auto& corr : catalog_correspondence()) {
+    if (corr.uiuc_name != corr.opl_name) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(Coverage, PatternletsTeachCorePatternsOfBothCatalogs) {
+  pml::Registry& reg = pml::patternlets::ensure_registered();
+  for (const Catalog* c : {&uiuc_catalog(), &opl_catalog()}) {
+    const CoverageReport report = coverage(*c, reg);
+    EXPECT_EQ(report.taught.size() + report.untaught.size(), c->size());
+    EXPECT_GT(report.fraction_taught(), 0.15) << c->name();
+    // The implementation-layer core the collection exists to teach:
+    for (const char* core : {"SPMD", "Barrier", "Reduction", "Master-Worker",
+                             "Mutual Exclusion", "Broadcast"}) {
+      EXPECT_NE(std::find(report.taught.begin(), report.taught.end(),
+                          c->find(core)->name),
+                report.taught.end())
+          << c->name() << " should have a patternlet for " << core;
+    }
+  }
+}
+
+TEST(Coverage, EmptyRegistryTeachesNothing) {
+  pml::Registry empty;
+  const CoverageReport report = coverage(uiuc_catalog(), empty);
+  EXPECT_TRUE(report.taught.empty());
+  EXPECT_EQ(report.untaught.size(), 62u);
+  EXPECT_DOUBLE_EQ(report.fraction_taught(), 0.0);
+}
+
+}  // namespace
+}  // namespace pml::patterns

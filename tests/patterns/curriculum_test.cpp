@@ -1,0 +1,80 @@
+/// \file curriculum_test.cpp
+/// \brief Tests pinning the paper's §IV curriculum structure.
+
+#include "patterns/curriculum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "patternlets/patternlets.hpp"
+
+namespace pml::patterns {
+namespace {
+
+TEST(Curriculum, FiveCoursesInPaperOrder) {
+  const auto& courses = curriculum();
+  ASSERT_EQ(courses.size(), 5u);
+  EXPECT_EQ(courses[0].name, "Data Structures (CS2)");
+  EXPECT_EQ(courses[1].name, "Algorithms (CS3)");
+  EXPECT_EQ(courses[2].name, "Programming Languages");
+  EXPECT_EQ(courses[3].name, "Operating Systems & Networking");
+  EXPECT_EQ(courses[4].name, "High Performance Computing");
+}
+
+TEST(Curriculum, EveryReferencedPatternletExists) {
+  EXPECT_TRUE(curriculum_is_consistent(pml::patternlets::ensure_registered()));
+}
+
+TEST(Curriculum, Cs2UsesOnlyOpenMp) {
+  // §IV.A: the CS2 week is shared-memory/OpenMP only.
+  const Course& cs2 = curriculum()[0];
+  EXPECT_EQ(cs2.techs, (std::vector<pml::Tech>{pml::Tech::kOpenMP}));
+  for (const auto& slug : cs2.patternlets) {
+    EXPECT_EQ(slug.rfind("omp/", 0), 0u) << slug;
+  }
+}
+
+TEST(Curriculum, HpcCoversDistributedAndHybrid) {
+  const Course& hpc = curriculum()[4];
+  std::set<pml::Tech> techs(hpc.techs.begin(), hpc.techs.end());
+  EXPECT_TRUE(techs.contains(pml::Tech::kMPI));
+  EXPECT_TRUE(techs.contains(pml::Tech::kHeterogeneous));
+  bool has_hetero = false;
+  for (const auto& slug : hpc.patternlets) {
+    if (slug.rfind("hetero/", 0) == 0) has_hetero = true;
+  }
+  EXPECT_TRUE(has_hetero);
+}
+
+TEST(Curriculum, EveryCourseHasTopicsAndPatternlets) {
+  for (const auto& course : curriculum()) {
+    EXPECT_FALSE(course.pdc_topics.empty()) << course.name;
+    EXPECT_FALSE(course.patternlets.empty()) << course.name;
+    EXPECT_FALSE(course.techs.empty()) << course.name;
+  }
+}
+
+TEST(Curriculum, CoursesUsingFindsCrossCourseUse) {
+  // mpi/parallelLoopEqualChunks is an HPC staple; omp/spmd belongs to CS2.
+  const auto hpc = courses_using("mpi/parallelLoopEqualChunks");
+  ASSERT_FALSE(hpc.empty());
+  EXPECT_EQ(hpc[0]->name, "High Performance Computing");
+
+  const auto cs2 = courses_using("omp/spmd");
+  ASSERT_EQ(cs2.size(), 1u);
+  EXPECT_EQ(cs2[0]->name, "Data Structures (CS2)");
+
+  EXPECT_TRUE(courses_using("no/such").empty());
+}
+
+TEST(Curriculum, EveryTechnologyAppearsSomewhere) {
+  std::set<pml::Tech> seen;
+  for (const auto& course : curriculum()) {
+    seen.insert(course.techs.begin(), course.techs.end());
+  }
+  EXPECT_EQ(seen.size(), 4u);  // OpenMP, MPI, Pthreads, Heterogeneous
+}
+
+}  // namespace
+}  // namespace pml::patterns

@@ -1,0 +1,81 @@
+/// \file exemplars_test.cpp
+/// \brief Tests for the exemplar registry and its catalog cross-references.
+
+#include "patterns/exemplars.hpp"
+
+#include <gtest/gtest.h>
+
+#include "patterns/catalog.hpp"
+
+namespace pml::patterns {
+namespace {
+
+TEST(Exemplars, AllShippedBinariesListed) {
+  const auto& all = exemplars();
+  ASSERT_GE(all.size(), 5u);
+  for (const char* binary :
+       {"red_pixels", "monte_carlo_pi", "heat_diffusion", "word_count",
+        "friday_sorting"}) {
+    bool found = false;
+    for (const auto& e : all) {
+      if (e.binary == binary) found = true;
+    }
+    EXPECT_TRUE(found) << binary;
+  }
+}
+
+TEST(Exemplars, ArchitecturesAreRealArchitecturalPatterns) {
+  for (const auto& e : exemplars()) {
+    const Pattern* p = uiuc_catalog().find(e.architecture);
+    if (p == nullptr) p = opl_catalog().find(e.architecture);
+    ASSERT_NE(p, nullptr) << e.binary << ": " << e.architecture;
+    // Divide and Conquer sits at the algorithmic layer; the rest are
+    // architectural.
+    EXPECT_NE(p->layer, Layer::kImplementation) << e.architecture;
+  }
+}
+
+TEST(Exemplars, ComposedPatternsResolveInSomeCatalog) {
+  for (const auto& e : exemplars()) {
+    for (const auto& used : e.composed_of) {
+      const bool known = uiuc_catalog().contains(used) || opl_catalog().contains(used);
+      EXPECT_TRUE(known) << e.binary << " uses unknown pattern '" << used << "'";
+    }
+  }
+}
+
+TEST(Exemplars, LookupByLowLevelPattern) {
+  // "Where do I see Reduction used for real?"
+  const auto uses_reduction = exemplars_using("Reduction");
+  EXPECT_GE(uses_reduction.size(), 3u);
+
+  const auto uses_ghost = exemplars_using("Ghost Cells");
+  ASSERT_EQ(uses_ghost.size(), 1u);
+  EXPECT_EQ(uses_ghost[0]->binary, "heat_diffusion");
+}
+
+TEST(Exemplars, LookupByArchitecture) {
+  const auto mc = exemplars_using("Monte Carlo Simulation");
+  ASSERT_EQ(mc.size(), 1u);
+  EXPECT_EQ(mc[0]->binary, "monte_carlo_pi");
+  // Alias form (the OPL name) must resolve to the same exemplar.
+  const auto mc_alias = exemplars_using("Monte Carlo Methods");
+  ASSERT_EQ(mc_alias.size(), 1u);
+  EXPECT_EQ(mc_alias[0]->binary, "monte_carlo_pi");
+}
+
+TEST(Exemplars, AliasLookupThroughEitherCatalog) {
+  // "Recursive Splitting" (OPL) == "Divide and Conquer" (UIUC).
+  const auto a = exemplars_using("Divide and Conquer");
+  const auto b = exemplars_using("Recursive Splitting");
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[0]->binary, b[0]->binary);
+}
+
+TEST(Exemplars, UnknownPatternMatchesNothing) {
+  EXPECT_TRUE(exemplars_using("Quantum Entanglement").empty());
+}
+
+}  // namespace
+}  // namespace pml::patterns

@@ -1,0 +1,178 @@
+/// \file for_test.cpp
+/// \brief Property tests for the worksharing loop across all schedules and
+/// team sizes: coverage, assignment shape, nowait semantics.
+
+#include "smp/for.hpp"
+
+#include "core/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace pml::smp {
+namespace {
+
+// ---- Parameterized coverage sweep ---------------------------------------
+
+struct ForCase {
+  Schedule schedule;
+  std::int64_t n;
+  int threads;
+};
+
+class ParallelForSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::int64_t, int>> {
+ protected:
+  static Schedule schedule_for(int code) {
+    switch (code) {
+      case 0: return Schedule::static_equal();
+      case 1: return Schedule::static_chunks(1);
+      case 2: return Schedule::static_chunks(3);
+      case 3: return Schedule::dynamic(1);
+      case 4: return Schedule::dynamic(4);
+      default: return Schedule::guided(1);
+    }
+  }
+};
+
+TEST_P(ParallelForSweep, EveryIterationRunsExactlyOnce) {
+  const auto [code, n, threads] = GetParam();
+  const Schedule schedule = schedule_for(code);
+
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  for (auto& h : hits) h.store(0);
+  parallel_for(threads, 0, n, schedule, [&](int, std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+        << "schedule " << schedule.to_string() << " i=" << i << " p=" << threads;
+  }
+}
+
+TEST_P(ParallelForSweep, ThreadIdsInRange) {
+  const auto [code, n, threads] = GetParam();
+  std::atomic<bool> bad{false};
+  parallel_for(threads, 0, n, schedule_for(code), [&](int t, std::int64_t) {
+    if (t < 0 || t >= threads) bad = true;
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedules, ParallelForSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5),
+                       ::testing::Values<std::int64_t>(0, 1, 8, 33, 100),
+                       ::testing::Values(1, 2, 4, 7)));
+
+// ---- Assignment shape -----------------------------------------------------
+
+TEST(ParallelFor, StaticEqualChunksAssignmentMatchesPaper) {
+  // 8 iterations on 2 threads: thread 0 -> {0,1,2,3}, thread 1 -> {4,..,7}.
+  std::mutex mu;
+  std::map<int, std::set<std::int64_t>> by_thread;
+  parallel_for(2, 0, 8, Schedule::static_equal(), [&](int t, std::int64_t i) {
+    std::lock_guard g(mu);
+    by_thread[t].insert(i);
+  });
+  EXPECT_EQ(by_thread[0], (std::set<std::int64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(by_thread[1], (std::set<std::int64_t>{4, 5, 6, 7}));
+}
+
+TEST(ParallelFor, ChunksOf1AssignmentIsRoundRobin) {
+  std::mutex mu;
+  std::map<int, std::set<std::int64_t>> by_thread;
+  parallel_for(4, 0, 8, Schedule::static_chunks(1), [&](int t, std::int64_t i) {
+    std::lock_guard g(mu);
+    by_thread[t].insert(i);
+  });
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(by_thread[t],
+              (std::set<std::int64_t>{t, t + 4}));
+  }
+}
+
+TEST(ParallelFor, DefaultScheduleOverloadIsEqualChunks) {
+  std::mutex mu;
+  std::map<int, std::set<std::int64_t>> by_thread;
+  parallel_for(2, 0, 4, [&](int t, std::int64_t i) {
+    std::lock_guard g(mu);
+    by_thread[t].insert(i);
+  });
+  EXPECT_EQ(by_thread[0], (std::set<std::int64_t>{0, 1}));
+  EXPECT_EQ(by_thread[1], (std::set<std::int64_t>{2, 3}));
+}
+
+// ---- In-region worksharing and nowait -------------------------------------
+
+TEST(RegionForEach, SuccessiveLoopsShareCorrectly) {
+  std::atomic<long> first{0};
+  std::atomic<long> second{0};
+  parallel(4, [&](Region& r) {
+    r.for_each(0, 100, Schedule::dynamic(5), [&](std::int64_t) { ++first; });
+    r.for_each(0, 50, Schedule::static_equal(), [&](std::int64_t) { ++second; });
+  });
+  EXPECT_EQ(first.load(), 100);
+  EXPECT_EQ(second.load(), 50);
+}
+
+TEST(RegionForEach, ImplicitBarrierOrdersNextStatement) {
+  std::atomic<long> done{0};
+  std::atomic<bool> violated{false};
+  parallel(4, [&](Region& r) {
+    r.for_each(0, 64, Schedule::dynamic(1), [&](std::int64_t) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      ++done;
+    });
+    if (done.load() != 64) violated = true;  // all iterations done at barrier
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(RegionForEach, NowaitSkipsTheBarrier) {
+  // With nowait, a fast thread can reach the statement after the loop while
+  // slow iterations still run. We detect that at least the construct
+  // completes and the total is right (timing-dependent interleaving is not
+  // asserted — only that nowait doesn't deadlock or double-run).
+  std::atomic<long> done{0};
+  parallel(4, [&](Region& r) {
+    r.for_each(0, 32, Schedule::dynamic(1), [&](std::int64_t) { ++done; },
+               /*nowait=*/true);
+    r.barrier();  // explicit rejoin
+  });
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(RegionForEach, ReversedRangeThrowsUsageError) {
+  EXPECT_THROW(
+      parallel(2,
+               [&](Region& r) {
+                 r.for_each(5, 2, Schedule::static_equal(), [](std::int64_t) {});
+               }),
+      UsageError);
+}
+
+TEST(ParallelFor, NonzeroBaseCoversExactRange) {
+  std::atomic<long> sum{0};
+  parallel_for(3, 100, 110, Schedule::dynamic(1),
+               [&](int, std::int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 100 + 101 + 102 + 103 + 104 + 105 + 106 + 107 + 108 + 109);
+}
+
+TEST(RegionForEach, EmptyRangeIsFine) {
+  std::atomic<int> hits{0};
+  parallel(3, [&](Region& r) {
+    r.for_each(5, 5, Schedule::static_equal(), [&](std::int64_t) { ++hits; });
+  });
+  EXPECT_EQ(hits.load(), 0);
+}
+
+}  // namespace
+}  // namespace pml::smp

@@ -1,0 +1,130 @@
+/// \file model_test.cpp
+/// \brief Randomized model-based testing for the worksharing runtime: a
+/// seeded random program of parallel constructs runs on the team and, in
+/// lockstep, on a sequential model; results must match exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "smp/smp.hpp"
+
+namespace pml::smp {
+namespace {
+
+struct Script {
+  std::uint32_t state;
+  explicit Script(std::uint32_t seed) : state(seed * 2654435761u + 1) {}
+  std::uint32_t next() {
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    return state;
+  }
+};
+
+Schedule schedule_from(std::uint32_t code) {
+  switch (code % 4) {
+    case 0: return Schedule::static_equal();
+    case 1: return Schedule::static_chunks(1 + code % 5);
+    case 2: return Schedule::dynamic(1 + code % 7);
+    default: return Schedule::guided(1 + code % 3);
+  }
+}
+
+class RandomWorkshareProgram : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RandomWorkshareProgram, TeamMatchesSequentialModel) {
+  const std::uint32_t seed = GetParam();
+  constexpr int kSteps = 25;
+
+  // --- Model: sequential execution of the same random program. ---
+  std::vector<long> model_data(257);
+  std::iota(model_data.begin(), model_data.end(), 0);
+  std::vector<long> expected_scalars;
+  {
+    Script script(seed);
+    for (int s = 0; s < kSteps; ++s) {
+      const std::uint32_t op = script.next() % 3;
+      const std::uint32_t salt = script.next() % 100;
+      (void)schedule_from(script.next());  // keep script streams aligned
+      switch (op) {
+        case 0: {  // elementwise update
+          for (auto& v : model_data) v = (v * 3 + salt) % 100003;
+          break;
+        }
+        case 1: {  // sum-reduce the data
+          long sum = 0;
+          for (long v : model_data) sum = (sum + v) % 100003;
+          expected_scalars.push_back(sum);
+          break;
+        }
+        default: {  // max-reduce of a derived value
+          long best = 0;
+          for (std::size_t i = 0; i < model_data.size(); ++i) {
+            best = std::max(best, (model_data[i] + static_cast<long>(i)) % 1009);
+          }
+          expected_scalars.push_back(best);
+          break;
+        }
+      }
+    }
+  }
+
+  // --- Team: 4 threads replaying the same program. ---
+  std::vector<long> data(257);
+  std::iota(data.begin(), data.end(), 0);
+  std::vector<long> scalars;
+  parallel(4, [&](Region& r) {
+    Script script(seed);
+    for (int s = 0; s < kSteps; ++s) {
+      const std::uint32_t op = script.next() % 3;
+      const std::uint32_t salt = script.next() % 100;
+      const Schedule sched = schedule_from(script.next());
+      switch (op) {
+        case 0: {
+          r.for_each(0, static_cast<std::int64_t>(data.size()), sched,
+                     [&](std::int64_t i) {
+                       auto& v = data[static_cast<std::size_t>(i)];
+                       v = (v * 3 + salt) % 100003;
+                     });
+          break;
+        }
+        case 1: {
+          long local = 0;
+          r.for_each(0, static_cast<std::int64_t>(data.size()), sched,
+                     [&](std::int64_t i) {
+                       local = (local + data[static_cast<std::size_t>(i)]) % 100003;
+                     });
+          const long sum = r.reduce(
+              local, [](long a, long b) { return (a + b) % 100003; }, 0L);
+          r.single([&] { scalars.push_back(sum); });
+          break;
+        }
+        default: {
+          long local = 0;
+          r.for_each(0, static_cast<std::int64_t>(data.size()), sched,
+                     [&](std::int64_t i) {
+                       local = std::max(
+                           local, (data[static_cast<std::size_t>(i)] + i) % 1009);
+                     });
+          const long best =
+              r.reduce(local, [](long a, long b) { return std::max(a, b); }, 0L);
+          r.single([&] { scalars.push_back(best); });
+          break;
+        }
+      }
+    }
+  });
+
+  EXPECT_EQ(data, model_data);
+  EXPECT_EQ(scalars, expected_scalars);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkshareProgram,
+                         ::testing::Values(3u, 99u, 1024u, 31415u, 271828u, 55u));
+
+}  // namespace
+}  // namespace pml::smp

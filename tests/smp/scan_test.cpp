@@ -1,0 +1,77 @@
+/// \file scan_test.cpp
+/// \brief Tests for the shared-memory parallel prefix scan.
+
+#include "smp/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace pml::smp {
+namespace {
+
+std::vector<long> iota_values(std::size_t n) {
+  std::vector<long> v(n);
+  std::iota(v.begin(), v.end(), 1);
+  return v;
+}
+
+std::vector<long> sequential_prefix_sum(std::vector<long> v) {
+  std::partial_sum(v.begin(), v.end(), v.begin());
+  return v;
+}
+
+class ScanSweep : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(ScanSweep, PrefixSumMatchesSequential) {
+  const auto [threads, n] = GetParam();
+  auto v = iota_values(n);
+  const auto expected = sequential_prefix_sum(v);
+  parallel_prefix_sum(v, threads);
+  EXPECT_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsBySize, ScanSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 8),
+                       ::testing::Values<std::size_t>(0, 1, 2, 7, 8, 100, 10000)));
+
+TEST(Scan, MoreThreadsThanElements) {
+  auto v = iota_values(3);
+  parallel_prefix_sum(v, 8);
+  EXPECT_EQ(v, (std::vector<long>{1, 3, 6}));
+}
+
+TEST(Scan, MaxScanNonArithmeticCombine) {
+  std::vector<long> v{3, 1, 4, 1, 5, 9, 2, 6};
+  parallel_inclusive_scan(v, 4, [](long a, long b) { return std::max(a, b); },
+                          std::numeric_limits<long>::lowest());
+  EXPECT_EQ(v, (std::vector<long>{3, 3, 4, 4, 5, 9, 9, 9}));
+}
+
+TEST(Scan, StringConcatenationIsOrderPreserving) {
+  // Non-commutative associative op: order must be strictly left-to-right.
+  std::vector<std::string> v{"a", "b", "c", "d", "e", "f"};
+  parallel_inclusive_scan(v, 3,
+                          [](std::string x, const std::string& y) { return x + y; },
+                          std::string{});
+  EXPECT_EQ(v.back(), "abcdef");
+  EXPECT_EQ(v[2], "abc");
+  EXPECT_EQ(v[0], "a");
+}
+
+TEST(Scan, MatchesMessagePassingScanSemantics) {
+  // The smp scan and the mp scan compute the same prefix function.
+  auto v = iota_values(16);
+  parallel_prefix_sum(v, 4);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i], static_cast<long>((i + 1) * (i + 2) / 2));
+  }
+}
+
+}  // namespace
+}  // namespace pml::smp

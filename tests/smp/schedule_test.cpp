@@ -1,0 +1,177 @@
+/// \file schedule_test.cpp
+/// \brief Unit and property tests for loop schedules.
+
+#include "smp/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/error.hpp"
+
+namespace pml::smp {
+namespace {
+
+// Collect every iteration thread `t` would run under a static schedule.
+std::vector<std::int64_t> iterations_of(const Schedule& s, std::int64_t n, int p, int t) {
+  std::vector<std::int64_t> out;
+  for (const IterRange& r : static_assignment(s, 0, n, p, t)) {
+    for (std::int64_t i = r.begin; i < r.end; ++i) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(Schedule, ToStringNames) {
+  EXPECT_EQ(Schedule::static_equal().to_string(), "static");
+  EXPECT_EQ(Schedule::static_chunks(4).to_string(), "static,4");
+  EXPECT_EQ(Schedule::dynamic(2).to_string(), "dynamic,2");
+  EXPECT_EQ(Schedule::guided(1).to_string(), "guided,1");
+}
+
+TEST(StaticEqualChunks, PaperExampleEightIterationsTwoThreads) {
+  // Paper Fig. 15: thread 0 -> 0-3, thread 1 -> 4-7.
+  EXPECT_EQ(iterations_of(Schedule::static_equal(), 8, 2, 0),
+            (std::vector<std::int64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(iterations_of(Schedule::static_equal(), 8, 2, 1),
+            (std::vector<std::int64_t>{4, 5, 6, 7}));
+}
+
+TEST(StaticEqualChunks, PaperExampleEightIterationsFourProcesses) {
+  // Paper Fig. 18 layout: chunks {0,1} {2,3} {4,5} {6,7}.
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(iterations_of(Schedule::static_equal(), 8, 4, t),
+              (std::vector<std::int64_t>{2 * t, 2 * t + 1}));
+  }
+}
+
+TEST(StaticEqualChunks, CeilDivisionLeavesLastThreadShort) {
+  // 10 iterations, 4 threads: chunk = ceil(10/4) = 3 -> 3,3,3,1.
+  EXPECT_EQ(iterations_of(Schedule::static_equal(), 10, 4, 0).size(), 3u);
+  EXPECT_EQ(iterations_of(Schedule::static_equal(), 10, 4, 1).size(), 3u);
+  EXPECT_EQ(iterations_of(Schedule::static_equal(), 10, 4, 2).size(), 3u);
+  EXPECT_EQ(iterations_of(Schedule::static_equal(), 10, 4, 3).size(), 1u);
+}
+
+TEST(StaticEqualChunks, MoreThreadsThanIterations) {
+  // 2 iterations on 4 threads: ceil(2/4)=1 each for t0,t1; t2,t3 idle.
+  EXPECT_EQ(iterations_of(Schedule::static_equal(), 2, 4, 0),
+            (std::vector<std::int64_t>{0}));
+  EXPECT_EQ(iterations_of(Schedule::static_equal(), 2, 4, 1),
+            (std::vector<std::int64_t>{1}));
+  EXPECT_TRUE(iterations_of(Schedule::static_equal(), 2, 4, 2).empty());
+  EXPECT_TRUE(iterations_of(Schedule::static_equal(), 2, 4, 3).empty());
+}
+
+TEST(StaticChunksOf1, RoundRobinDeal) {
+  // Thread t gets t, t+p, t+2p, ...
+  EXPECT_EQ(iterations_of(Schedule::static_chunks(1), 8, 2, 0),
+            (std::vector<std::int64_t>{0, 2, 4, 6}));
+  EXPECT_EQ(iterations_of(Schedule::static_chunks(1), 8, 2, 1),
+            (std::vector<std::int64_t>{1, 3, 5, 7}));
+}
+
+TEST(StaticChunked, ChunkOf3RoundRobin) {
+  EXPECT_EQ(iterations_of(Schedule::static_chunks(3), 10, 2, 0),
+            (std::vector<std::int64_t>{0, 1, 2, 6, 7, 8}));
+  EXPECT_EQ(iterations_of(Schedule::static_chunks(3), 10, 2, 1),
+            (std::vector<std::int64_t>{3, 4, 5, 9}));
+}
+
+TEST(StaticAssignment, NonzeroBaseRespected) {
+  EXPECT_EQ(iterations_of(Schedule::static_equal(), 0, 2, 0).size(), 0u);
+  const auto ranges = static_assignment(Schedule::static_equal(), 100, 108, 2, 1);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (IterRange{104, 108}));
+}
+
+TEST(StaticAssignment, ErrorsOnBadArguments) {
+  EXPECT_THROW(static_assignment(Schedule::static_equal(), 0, 8, 0, 0), UsageError);
+  EXPECT_THROW(static_assignment(Schedule::static_equal(), 0, 8, 2, 2), UsageError);
+  EXPECT_THROW(static_assignment(Schedule::static_equal(), 8, 0, 2, 0), UsageError);
+  EXPECT_THROW(static_assignment(Schedule::dynamic(1), 0, 8, 2, 0), UsageError);
+  EXPECT_THROW(static_assignment(Schedule::guided(1), 0, 8, 2, 0), UsageError);
+}
+
+TEST(DynamicDealer, RequiresDynamicKind) {
+  EXPECT_THROW(DynamicDealer(Schedule::static_equal(), 0, 8, 2), UsageError);
+}
+
+TEST(DynamicDealer, HandsOutChunksOfRequestedSize) {
+  DynamicDealer dealer(Schedule::dynamic(3), 0, 10, 2);
+  EXPECT_EQ(dealer.next(), (IterRange{0, 3}));
+  EXPECT_EQ(dealer.next(), (IterRange{3, 6}));
+  EXPECT_EQ(dealer.next(), (IterRange{6, 9}));
+  EXPECT_EQ(dealer.next(), (IterRange{9, 10}));
+  EXPECT_TRUE(dealer.next().empty());
+  EXPECT_TRUE(dealer.next().empty());  // stays empty
+}
+
+TEST(DynamicDealer, GuidedChunksShrink) {
+  DynamicDealer dealer(Schedule::guided(1), 0, 64, 4);
+  std::vector<std::int64_t> sizes;
+  for (IterRange r = dealer.next(); !r.empty(); r = dealer.next()) {
+    sizes.push_back(r.size());
+  }
+  ASSERT_GE(sizes.size(), 3u);
+  // First chunk is remaining/p = 16; sizes never increase; min chunk 1.
+  EXPECT_EQ(sizes.front(), 16);
+  for (std::size_t i = 1; i < sizes.size(); ++i) EXPECT_LE(sizes[i], sizes[i - 1]);
+  const std::int64_t total = std::accumulate(sizes.begin(), sizes.end(), std::int64_t{0});
+  EXPECT_EQ(total, 64);
+}
+
+// ---- Property sweep: every static schedule partitions the loop ----------
+
+struct SweepParam {
+  int kind;  // 0 = equal chunks, 1..4 = static chunk of that size
+  std::int64_t n;
+  int p;
+};
+
+class StaticPartitionSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::int64_t, int>> {};
+
+TEST_P(StaticPartitionSweep, CoversEveryIterationExactlyOnce) {
+  const auto [chunk, n, p] = GetParam();
+  const Schedule s =
+      chunk == 0 ? Schedule::static_equal() : Schedule::static_chunks(chunk);
+  std::multiset<std::int64_t> covered;
+  for (int t = 0; t < p; ++t) {
+    for (std::int64_t i : iterations_of(s, n, p, t)) covered.insert(i);
+  }
+  ASSERT_EQ(covered.size(), static_cast<std::size_t>(n))
+      << "schedule " << s.to_string() << " n=" << n << " p=" << p;
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(covered.count(i), 1u) << "iteration " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, StaticPartitionSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 7),          // chunking
+                       ::testing::Values<std::int64_t>(0, 1, 7, 8, 64, 100),  // n
+                       ::testing::Values(1, 2, 3, 4, 8)));        // threads
+
+class DynamicPartitionSweep
+    : public ::testing::TestWithParam<std::tuple<bool, std::int64_t, int>> {};
+
+TEST_P(DynamicPartitionSweep, DealerCoversEveryIterationExactlyOnce) {
+  const auto [guided, n, p] = GetParam();
+  const Schedule s = guided ? Schedule::guided(2) : Schedule::dynamic(2);
+  DynamicDealer dealer(s, 0, n, p);
+  std::multiset<std::int64_t> covered;
+  for (IterRange r = dealer.next(); !r.empty(); r = dealer.next()) {
+    for (std::int64_t i = r.begin; i < r.end; ++i) covered.insert(i);
+  }
+  ASSERT_EQ(covered.size(), static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) EXPECT_EQ(covered.count(i), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dealers, DynamicPartitionSweep,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Values<std::int64_t>(0, 1, 10, 63),
+                                            ::testing::Values(1, 2, 4)));
+
+}  // namespace
+}  // namespace pml::smp

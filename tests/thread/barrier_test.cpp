@@ -1,0 +1,82 @@
+/// \file barrier_test.cpp
+/// \brief Unit tests for the sense-reversing cyclic barrier.
+
+#include "thread/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/error.hpp"
+#include "thread/thread.hpp"
+
+namespace pml::thread {
+namespace {
+
+TEST(Barrier, RejectsNonpositiveParties) {
+  EXPECT_THROW(Barrier(0), pml::UsageError);
+  EXPECT_THROW(Barrier(-2), pml::UsageError);
+}
+
+TEST(Barrier, SinglePartyNeverBlocks) {
+  Barrier b(1);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(b.arrive_and_wait());
+}
+
+TEST(Barrier, PhaseSeparationInvariant) {
+  // The Fig. 9 property: no task observes phase 2 until all finished
+  // phase 1 — for every one of many consecutive phases (reuse test).
+  constexpr int kParties = 6;
+  constexpr int kPhases = 50;
+  Barrier b(kParties);
+  std::atomic<int> phase_done[kPhases] = {};
+  std::atomic<bool> violated{false};
+
+  fork_join(kParties, [&](int) {
+    for (int ph = 0; ph < kPhases; ++ph) {
+      if (ph > 0 && phase_done[ph - 1].load() != kParties) violated = true;
+      phase_done[ph].fetch_add(1);
+      b.arrive_and_wait();
+    }
+  });
+  EXPECT_FALSE(violated.load());
+  for (int ph = 0; ph < kPhases; ++ph) EXPECT_EQ(phase_done[ph].load(), kParties);
+}
+
+TEST(Barrier, ExactlyOneSerialThreadPerPhase) {
+  constexpr int kParties = 5;
+  constexpr int kPhases = 20;
+  Barrier b(kParties);
+  std::atomic<int> serial_count{0};
+  fork_join(kParties, [&](int) {
+    for (int ph = 0; ph < kPhases; ++ph) {
+      if (b.arrive_and_wait()) serial_count.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(serial_count.load(), kPhases);
+}
+
+TEST(Barrier, PartiesAccessor) {
+  Barrier b(4);
+  EXPECT_EQ(b.parties(), 4);
+}
+
+class BarrierPartySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BarrierPartySweep, AllPartiesReleasedEachPhase) {
+  const int parties = GetParam();
+  Barrier b(parties);
+  std::atomic<int> released{0};
+  fork_join(parties, [&](int) {
+    for (int ph = 0; ph < 10; ++ph) {
+      b.arrive_and_wait();
+      released.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(released.load(), parties * 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parties, BarrierPartySweep, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace pml::thread

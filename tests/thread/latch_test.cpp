@@ -1,0 +1,91 @@
+/// \file latch_test.cpp
+/// \brief Tests for the one-shot countdown latch.
+
+#include "thread/latch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "thread/thread.hpp"
+
+namespace pml::thread {
+namespace {
+
+TEST(Latch, ValidatesConstructionAndCountDown) {
+  EXPECT_THROW(Latch(-1), pml::UsageError);
+  Latch l(2);
+  EXPECT_THROW(l.count_down(3), pml::UsageError);
+  EXPECT_THROW(l.count_down(-1), pml::UsageError);
+}
+
+TEST(Latch, ZeroLatchIsOpenImmediately) {
+  Latch l(0);
+  EXPECT_TRUE(l.try_wait());
+  l.wait();  // must not block
+}
+
+TEST(Latch, OpensExactlyAtZero) {
+  Latch l(3);
+  l.count_down();
+  EXPECT_FALSE(l.try_wait());
+  l.count_down(2);
+  EXPECT_TRUE(l.try_wait());
+  EXPECT_EQ(l.pending(), 0);
+}
+
+TEST(Latch, WaitersReleasedWhenOpen) {
+  Latch l(4);
+  std::atomic<int> released{0};
+  {
+    std::vector<std::jthread> waiters;
+    for (int i = 0; i < 3; ++i) {
+      waiters.emplace_back([&] {
+        l.wait();
+        ++released;
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(released.load(), 0);
+    l.count_down(4);
+  }
+  EXPECT_EQ(released.load(), 3);
+}
+
+TEST(Latch, FanInCompletion) {
+  // N workers check in; the coordinator proceeds only after all have.
+  constexpr int kWorkers = 6;
+  Latch done(kWorkers);
+  std::atomic<int> checked_in{0};
+  std::atomic<bool> premature{false};
+  fork_join(kWorkers + 1, [&](int id) {
+    if (id == kWorkers) {
+      done.wait();
+      if (checked_in.load() != kWorkers) premature = true;
+    } else {
+      ++checked_in;
+      done.count_down();
+    }
+  });
+  EXPECT_FALSE(premature.load());
+}
+
+TEST(Latch, ArriveAndWaitActsAsOneShotBarrier) {
+  constexpr int kParties = 5;
+  Latch l(kParties);
+  std::atomic<int> arrived{0};
+  std::atomic<bool> violated{false};
+  fork_join(kParties, [&](int) {
+    arrived.fetch_add(1);
+    l.arrive_and_wait();
+    if (arrived.load() != kParties) violated = true;
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+}  // namespace
+}  // namespace pml::thread

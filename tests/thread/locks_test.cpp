@@ -1,0 +1,104 @@
+/// \file locks_test.cpp
+/// \brief Unit tests for Spinlock and RwLock.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "thread/mutex.hpp"
+#include "thread/thread.hpp"
+
+namespace pml::thread {
+namespace {
+
+TEST(Spinlock, ProvidesMutualExclusion) {
+  Spinlock lock;
+  long counter = 0;
+  fork_join(4, [&](int) {
+    for (int i = 0; i < 20000; ++i) {
+      lock.lock();
+      counter += 1;
+      lock.unlock();
+    }
+  });
+  EXPECT_EQ(counter, 4L * 20000);
+}
+
+TEST(Spinlock, TryLockFailsWhenHeld) {
+  Spinlock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(RwLock, ManyConcurrentReaders) {
+  RwLock lock;
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  fork_join(6, [&](int) {
+    lock.lock_shared();
+    const int now = ++inside;
+    int prev = max_inside.load();
+    while (now > prev && !max_inside.compare_exchange_weak(prev, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    --inside;
+    lock.unlock_shared();
+  });
+  // With 6 readers sleeping 20ms each, at least two must have overlapped.
+  EXPECT_GE(max_inside.load(), 2);
+}
+
+TEST(RwLock, WriterExcludesReadersAndWriters) {
+  RwLock lock;
+  long value = 0;
+  fork_join(4, [&](int id) {
+    for (int i = 0; i < 5000; ++i) {
+      if (id % 2 == 0) {
+        lock.lock();
+        value += 1;
+        lock.unlock();
+      } else {
+        lock.lock_shared();
+        // Reading a torn value would be UB-ish; here we just exercise
+        // the paths. The writer-count check below is the real assert.
+        (void)value;
+        lock.unlock_shared();
+      }
+    }
+  });
+  EXPECT_EQ(value, 2L * 5000);
+}
+
+TEST(RwLock, WriterNotStarvedByReaderStream) {
+  RwLock lock;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> wrote{false};
+
+  std::vector<std::jthread> readers;
+  for (int i = 0; i < 3; ++i) {
+    readers.emplace_back([&] {
+      while (!stop) {
+        SharedGuard g(lock);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  {
+    std::jthread writer([&] {
+      lock.lock();
+      wrote = true;
+      lock.unlock();
+    });
+  }  // writer joined: it must have acquired despite the reader stream
+  stop = true;
+  readers.clear();
+  EXPECT_TRUE(wrote.load());
+}
+
+}  // namespace
+}  // namespace pml::thread

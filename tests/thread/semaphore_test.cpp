@@ -1,0 +1,104 @@
+/// \file semaphore_test.cpp
+/// \brief Unit tests for the from-scratch counting semaphore.
+
+#include "thread/semaphore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/error.hpp"
+#include "thread/thread.hpp"
+
+namespace pml::thread {
+namespace {
+
+TEST(Semaphore, InitialCountObservable) {
+  Semaphore s(3);
+  EXPECT_EQ(s.value(), 3);
+}
+
+TEST(Semaphore, NegativeInitialThrows) {
+  EXPECT_THROW(Semaphore(-1), pml::UsageError);
+}
+
+TEST(Semaphore, TryWaitConsumesExactlyAvailable) {
+  Semaphore s(2);
+  EXPECT_TRUE(s.try_wait());
+  EXPECT_TRUE(s.try_wait());
+  EXPECT_FALSE(s.try_wait());
+  EXPECT_EQ(s.value(), 0);
+}
+
+TEST(Semaphore, PostWakesWaiter) {
+  Semaphore s(0);
+  std::atomic<bool> proceeded{false};
+  std::jthread waiter([&] {
+    s.wait();
+    proceeded = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(proceeded.load());
+  s.post();
+  waiter.join();
+  EXPECT_TRUE(proceeded.load());
+}
+
+TEST(Semaphore, CountsBalanceUnderContention) {
+  Semaphore s(0);
+  constexpr int kPosts = 10000;
+  std::atomic<long> acquired{0};
+  fork_join(4, [&](int id) {
+    if (id == 0) {
+      for (int i = 0; i < kPosts; ++i) s.post();
+    } else {
+      // Three consumers share exactly kPosts permits; extra waits would
+      // hang, so each consumes until its share is exhausted by count.
+      while (true) {
+        const long got = acquired.fetch_add(1) + 1;
+        if (got > kPosts) {
+          acquired.fetch_sub(1);
+          break;
+        }
+        s.wait();
+      }
+    }
+  });
+  EXPECT_EQ(acquired.load(), kPosts);
+  EXPECT_EQ(s.value(), 0);
+}
+
+TEST(Semaphore, BoundedBufferNeverOverflows) {
+  constexpr long kCapacity = 3;
+  constexpr long kItems = 500;
+  Semaphore slots(kCapacity);
+  Semaphore items(0);
+  std::atomic<long> in_buffer{0};
+  std::atomic<long> max_in_buffer{0};
+  std::atomic<long> consumed{0};
+  fork_join(2, [&](int id) {
+    if (id == 0) {
+      for (long i = 0; i < kItems; ++i) {
+        slots.wait();
+        const long now = in_buffer.fetch_add(1) + 1;
+        long prev = max_in_buffer.load();
+        while (now > prev && !max_in_buffer.compare_exchange_weak(prev, now)) {
+        }
+        items.post();
+      }
+    } else {
+      for (long i = 0; i < kItems; ++i) {
+        items.wait();
+        in_buffer.fetch_sub(1);
+        slots.post();
+        ++consumed;
+      }
+    }
+  });
+  EXPECT_EQ(consumed.load(), kItems);
+  EXPECT_LE(max_in_buffer.load(), kCapacity);
+}
+
+}  // namespace
+}  // namespace pml::thread
