@@ -11,6 +11,14 @@
 ///   patternlet_runner mpi/gather -t 6
 ///   patternlet_runner omp/barrier -t 4 --on "omp barrier" --timeline
 ///   patternlet_runner --listing omp/reduction  # the paper's original C
+///   patternlet_runner --list-racy                 # patternlets staging a race
+///   patternlet_runner omp/reduction --on "omp parallel for" --chaos-seed 42
+///
+/// --chaos-seed N runs the body under pml::sched schedule perturbation so the
+/// staged race manifests reproducibly (same seed, same interleaving nudges) —
+/// even on a single-core machine where the natural schedule almost never
+/// exposes it. Setting the PML_CHAOS environment variable to N is equivalent
+/// (the flag wins when both are given).
 
 #include <cstdio>
 #include <cstdlib>
@@ -55,6 +63,32 @@ int show(const pml::Patternlet& p) {
   return 0;
 }
 
+int list_racy(const pml::Registry& reg) {
+  std::printf("Patternlets that stage a race (see --chaos-seed):\n\n");
+  for (const pml::Patternlet* p : reg.racy()) {
+    const pml::RaceDemo& demo = *p->race_demo;
+    std::printf("  %-20s races with:", p->slug.c_str());
+    if (demo.racy_toggles.empty()) {
+      std::printf(" (defaults)");
+    } else {
+      for (const auto& [name, on] : demo.racy_toggles) {
+        std::printf(" %s=%s", name.c_str(), on ? "on" : "off");
+      }
+    }
+    if (demo.fixed_toggles.empty()) {
+      std::printf("; no fix toggle");
+    } else {
+      std::printf("; fixed by:");
+      for (const auto& [name, on] : demo.fixed_toggles) {
+        std::printf(" %s=%s", name.c_str(), on ? "on" : "off");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\nDemo: patternlet_runner <slug> --chaos-seed 42\n");
+  return 0;
+}
+
 [[noreturn]] void usage_error(const std::string& message) {
   std::fprintf(stderr, "error: %s\n(try --list)\n", message.c_str());
   std::exit(2);
@@ -72,6 +106,12 @@ int main(int argc, char** argv) {
   bool timeline = false;
   pml::RunSpec spec;
   spec.mirror_stdout = false;
+  // PML_CHAOS in the environment supplies a default chaos seed so whole
+  // classroom sessions (or CI sweeps) can run perturbed without editing
+  // every command line; --chaos-seed overrides it.
+  if (const char* env = std::getenv("PML_CHAOS")) {
+    spec.chaos_seed = std::strtoull(env, nullptr, 10);
+  }
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -80,6 +120,7 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--list") return list_collection(reg);
+    if (arg == "--list-racy") return list_racy(reg);
     if (arg == "--show") {
       show_only = true;
       slug = next("--show");
@@ -98,6 +139,13 @@ int main(int argc, char** argv) {
       spec.all_toggles = true;
     } else if (arg == "--all-off") {
       spec.all_toggles = false;
+    } else if (arg == "--chaos-seed") {
+      const std::string text = next("--chaos-seed");
+      char* end = nullptr;
+      spec.chaos_seed = std::strtoull(text.c_str(), &end, 10);
+      if (text.empty() || end == nullptr || *end != '\0') {
+        usage_error("--chaos-seed expects a number, got '" + text + "'");
+      }
     } else if (arg == "-p" || arg == "--param") {
       const std::string kv = next("-p");
       const auto eq = kv.find('=');
@@ -134,6 +182,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "\n[%s | %d tasks | %s | %.3f ms]\n", p->slug.c_str(),
                  result.tasks, result.toggles.to_string().c_str(),
                  result.seconds * 1e3);
+    if (result.chaos_seed != 0 || result.expected_updates.has_value()) {
+      if (result.expected_updates.has_value()) {
+        std::fprintf(stderr,
+                     "[chaos seed %llu | expected %ld, observed %ld | %s]\n",
+                     static_cast<unsigned long long>(result.chaos_seed),
+                     *result.expected_updates, *result.observed_updates,
+                     result.race_manifested()
+                         ? (std::to_string(result.lost_updates()) +
+                            " updates lost — the race fired")
+                               .c_str()
+                         : "exact — no race manifested");
+      } else {
+        std::fprintf(stderr, "[chaos seed %llu | no race probe in this patternlet]\n",
+                     static_cast<unsigned long long>(result.chaos_seed));
+      }
+    }
   } catch (const pml::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

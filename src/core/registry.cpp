@@ -60,6 +60,32 @@ const Patternlet& Registry::get(const std::string& slug) const {
   return *p;
 }
 
+void Registry::annotate_race(const std::string& slug, RaceDemo demo) {
+  for (auto& p : items_) {
+    if (p.slug != slug) continue;
+    ToggleSet declared{p.toggles};
+    for (const auto& config : {demo.racy_toggles, demo.fixed_toggles}) {
+      for (const auto& [name, value] : config) {
+        if (!declared.has(name)) {
+          throw UsageError("annotate_race(" + slug + "): undeclared toggle '" + name + "'");
+        }
+        (void)value;
+      }
+    }
+    p.race_demo = std::move(demo);
+    return;
+  }
+  throw UsageError("annotate_race: no such patternlet: " + slug);
+}
+
+std::vector<const Patternlet*> Registry::racy() const {
+  std::vector<const Patternlet*> out;
+  for (const auto& p : items_) {
+    if (p.race_demo.has_value()) out.push_back(&p);
+  }
+  return out;
+}
+
 Census Registry::census() const {
   Census c;
   for (const auto& p : items_) {

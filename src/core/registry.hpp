@@ -14,12 +14,15 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/output.hpp"
 #include "core/toggle.hpp"
 #include "core/trace.hpp"
+#include "sched/probe.hpp"
 
 namespace pml {
 
@@ -45,12 +48,30 @@ struct RunContext {
   /// Optional numeric parameters (e.g. {"reps", 8}); patternlets read them
   /// via param() so defaults match the paper's listings.
   std::map<std::string, long> params;
+  /// Race-manifestation probe: racy patternlets bracket each demonstration
+  /// with probe.expect(correct)/probe.observe(got) so the runner can report
+  /// how often the staged race actually fired (see sched/probe.hpp).
+  sched::LostUpdateProbe probe{};
 
   /// Parameter lookup with default.
   long param(const std::string& name, long fallback) const {
     auto it = params.find(name);
     return it == params.end() ? fallback : it->second;
   }
+};
+
+/// Chaos annotation: how to stage a patternlet's racy demonstration and its
+/// fix, so tooling and tests can assert "the race manifests under
+/// perturbation and disappears with the protective line back on" for every
+/// patternlet that teaches one.
+struct RaceDemo {
+  /// Toggle config under which the patternlet races (applied as overrides).
+  std::vector<std::pair<std::string, bool>> racy_toggles;
+  /// Toggle config that fixes it. Empty when the patternlet has no fix
+  /// toggle (e.g. omp/race, whose whole point is the unprotected update).
+  std::vector<std::pair<std::string, bool>> fixed_toggles;
+  /// Param overrides for quick chaos runs (e.g. a smaller reps/size).
+  std::map<std::string, long> params;
 };
 
 /// A registered patternlet.
@@ -64,6 +85,8 @@ struct Patternlet {
   std::vector<Toggle> toggles;        ///< Declared directive toggles.
   int default_tasks = 4;              ///< Task count used by demos.
   std::function<void(RunContext&)> body;
+  /// Set for patternlets that stage a race (see Registry::annotate_race).
+  std::optional<RaceDemo> race_demo = std::nullopt;
 };
 
 /// Collection census by technology (paper abstract: 16/17/9/2 = 44).
@@ -99,6 +122,13 @@ class Registry {
 
   /// Lookup by slug; throws UsageError if absent.
   const Patternlet& get(const std::string& slug) const;
+
+  /// Attaches a RaceDemo annotation to a registered patternlet. Throws
+  /// UsageError if the slug is absent or names an undeclared toggle.
+  void annotate_race(const std::string& slug, RaceDemo demo);
+
+  /// Patternlets carrying a RaceDemo annotation, registration order.
+  std::vector<const Patternlet*> racy() const;
 
   /// Counts per technology.
   Census census() const;

@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "core/error.hpp"
+#include "sched/sched.hpp"
 
 namespace pml {
 
@@ -37,8 +38,20 @@ RunResult run(const Patternlet& p, const RunSpec& spec) {
   RunContext ctx{tasks, toggles, out, trace, spec.params};
 
   const auto t0 = std::chrono::steady_clock::now();
-  p.body(ctx);
+  {
+    // Perturbation window covers exactly the body: the scope restores the
+    // previous seed even if the body throws.
+    sched::ChaosScope chaos{spec.chaos_seed};
+    p.body(ctx);
+  }
   const auto t1 = std::chrono::steady_clock::now();
+
+  // Harvest the lost-update probe into the trace so the report rides the
+  // same channel as the schedule figures: task -1 (the orchestrator),
+  // key = expected updates, aux = observed.
+  if (ctx.probe.used()) {
+    trace.record(-1, "lost-updates", ctx.probe.expected(), ctx.probe.observed());
+  }
 
   RunResult result;
   result.slug = p.slug;
@@ -47,6 +60,11 @@ RunResult run(const Patternlet& p, const RunSpec& spec) {
   result.output = out.lines();
   result.trace = trace.events();
   result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.chaos_seed = spec.chaos_seed;
+  if (ctx.probe.used()) {
+    result.expected_updates = ctx.probe.expected();
+    result.observed_updates = ctx.probe.observed();
+  }
   return result;
 }
 

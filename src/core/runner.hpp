@@ -29,6 +29,10 @@ struct RunSpec {
   std::optional<bool> all_toggles;
   std::map<std::string, long> params;  ///< Numeric parameter overrides.
   bool mirror_stdout = false;          ///< Live-echo output (classroom mode).
+  /// Nonzero: run under pml::sched schedule perturbation with this seed, so
+  /// staged races manifest reproducibly (`--chaos-seed` in the runner).
+  /// The perturbation window covers exactly the body's execution.
+  std::uint64_t chaos_seed = 0;
 };
 
 /// Everything observable from one patternlet execution.
@@ -39,6 +43,20 @@ struct RunResult {
   std::vector<OutputLine> output;  ///< Captured lines, arrival order.
   std::vector<TraceEvent> trace;   ///< Work-assignment events.
   double seconds = 0.0;            ///< Wall time of the body.
+  std::uint64_t chaos_seed = 0;    ///< Perturbation seed used (0 = none).
+  /// Lost-update report when the patternlet drove its probe: updates a
+  /// correct run would make, updates observed. Absent otherwise.
+  std::optional<long> expected_updates;
+  std::optional<long> observed_updates;
+
+  /// True iff the probe saw the staged race fire (some updates lost).
+  bool race_manifested() const {
+    return expected_updates.has_value() && *expected_updates != *observed_updates;
+  }
+  /// Updates the race ate (0 when exact or unprobed).
+  long lost_updates() const {
+    return expected_updates.has_value() ? *expected_updates - *observed_updates : 0;
+  }
 
   /// Output texts only, arrival order.
   std::vector<std::string> texts() const;

@@ -1,8 +1,15 @@
 #include "mp/mailbox.hpp"
 
+#include "sched/sched.hpp"
+
 namespace pml::mp {
 
 void Mailbox::deliver(Envelope e) {
+  // Chaos mode perturbs delivery timing here, before the envelope enters
+  // the queue: message *arrival order* across senders gets reshuffled while
+  // the per-(source, tag) non-overtaking guarantee (arrival-order matching
+  // below) is untouched.
+  sched::point(sched::Point::kDelivery);
   {
     std::lock_guard lock(mu_);
     queue_.push_back(std::move(e));

@@ -61,6 +61,8 @@ void register_mutex(Registry& registry) {
                                 }
                               });
             });
+            ctx.probe.expect(reps);
+            ctx.probe.observe(static_cast<long>(balance));
             ctx.out.program("After " + std::to_string(reps) +
                             " $1 deposits, balance = " + fmt2(balance));
           },
@@ -98,6 +100,8 @@ void register_mutex(Registry& registry) {
                 pml::smp::atomic_write(balance, cur + 1.0);
               }
             });
+            ctx.probe.expect(reps);
+            ctx.probe.observe(static_cast<long>(balance));
             ctx.out.program("After " + std::to_string(reps) +
                             " $1 deposits, balance = " + fmt2(balance));
           },

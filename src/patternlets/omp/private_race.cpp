@@ -82,6 +82,8 @@ void register_private_race(Registry& registry) {
               const long cur = pml::smp::atomic_read(balance);
               pml::smp::atomic_write(balance, cur + 1);
             });
+            ctx.probe.expect(reps);
+            ctx.probe.observe(balance);
             ctx.out.program("After " + std::to_string(reps) +
                             " $1 deposits, balance = " + std::to_string(balance));
             ctx.out.program(balance == reps ? "No deposits lost."

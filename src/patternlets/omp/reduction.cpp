@@ -93,6 +93,8 @@ void register_reduction(Registry& registry) {
               par = shared_sum;
             }
 
+            ctx.probe.expect(seq);
+            ctx.probe.observe(par);
             ctx.out.program("Seq. sum: \t" + std::to_string(seq));
             ctx.out.program("Par. sum: \t" + std::to_string(par));
           },

@@ -39,6 +39,8 @@ void register_mutex_race(Registry& registry) {
               }
             });
             const long expected = reps_per_thread * ctx.tasks;
+            ctx.probe.expect(expected);
+            ctx.probe.observe(counter);
             ctx.out.program("Expected " + std::to_string(expected) + ", got " +
                             std::to_string(counter));
             ctx.out.program(counter == expected
@@ -81,6 +83,8 @@ void register_mutex_race(Registry& registry) {
               }
             });
             const long expected = reps_per_thread * ctx.tasks;
+            ctx.probe.expect(expected);
+            ctx.probe.observe(counter);
             ctx.out.program("Expected " + std::to_string(expected) + ", got " +
                             std::to_string(counter));
           },

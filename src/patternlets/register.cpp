@@ -4,11 +4,58 @@
 
 namespace pml::patternlets {
 
+namespace {
+
+/// Marks the patternlets that stage a race, recording the toggle config
+/// under which they race and the config that fixes them. Tests sweep
+/// Registry::racy() asserting "manifests under chaos, exact when fixed";
+/// the runner's --list-racy uses the same annotations. Params pick sizes
+/// small enough for quick chaos runs yet large enough to give the
+/// perturbed schedule thousands of torn windows.
+void annotate_races(Registry& registry) {
+  registry.annotate_race("omp/race", RaceDemo{
+                                         .racy_toggles = {},
+                                         .fixed_toggles = {},  // no fix toggle: the race IS the lesson
+                                         .params = {{"reps", 20000}},
+                                     });
+  registry.annotate_race("omp/reduction",
+                         RaceDemo{
+                             .racy_toggles = {{"omp parallel for", true}},
+                             .fixed_toggles = {{"omp parallel for", true},
+                                               {"reduction(+:sum)", true}},
+                             .params = {{"size", 30000}},
+                         });
+  registry.annotate_race("omp/critical", RaceDemo{
+                                             .racy_toggles = {},
+                                             .fixed_toggles = {{"omp critical", true}},
+                                             .params = {{"reps", 20000}},
+                                         });
+  registry.annotate_race("omp/atomic", RaceDemo{
+                                           .racy_toggles = {},
+                                           .fixed_toggles = {{"omp atomic", true}},
+                                           .params = {{"reps", 20000}},
+                                       });
+  registry.annotate_race("pthreads/race", RaceDemo{
+                                              .racy_toggles = {},
+                                              .fixed_toggles = {},
+                                              .params = {{"reps", 20000}},
+                                          });
+  registry.annotate_race("pthreads/mutex",
+                         RaceDemo{
+                             .racy_toggles = {},
+                             .fixed_toggles = {{"pthread_mutex_lock", true}},
+                             .params = {{"reps", 20000}},
+                         });
+}
+
+}  // namespace
+
 void register_all(Registry& registry) {
   register_openmp(registry);
   register_mpi(registry);
   register_pthreads(registry);
   register_heterogeneous(registry);
+  annotate_races(registry);
 }
 
 Registry& ensure_registered() {

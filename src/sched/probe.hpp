@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file probe.hpp
+/// \brief LostUpdateProbe — counts how often a staged race actually fires.
+///
+/// A racy patternlet brackets each demonstration with expect(N) ("a correct
+/// execution would produce N") and observe(got) ("this execution produced
+/// got"). The probe tallies attempts and manifestations so the runner can
+/// report a manifestation rate and tests can assert "the race fires under
+/// perturbation and disappears with the fix" — turning the paper's
+/// "run it a few times and you'll probably see it" into a measured,
+/// assertable property.
+///
+/// The probe is deliberately dumb: plain counters, no locking. Patternlet
+/// bodies call it from the orchestrating thread, before forking and after
+/// joining — never from inside the racy region itself (a probe that
+/// participated in the race would perturb the very lesson it measures).
+
+namespace pml::sched {
+
+class LostUpdateProbe {
+ public:
+  /// Declares the value a correct execution would produce. Opens an attempt.
+  void expect(long expected) {
+    expected_ = expected;
+    open_ = true;
+  }
+
+  /// Records what the execution actually produced and closes the attempt.
+  /// The attempt counts as manifested iff observed != expected.
+  void observe(long observed) {
+    observed_ = observed;
+    if (open_) {
+      ++attempts_;
+      if (observed_ != expected_) ++manifested_;
+      open_ = false;
+    }
+  }
+
+  /// True once at least one expect/observe pair completed.
+  bool used() const { return attempts_ > 0; }
+
+  int attempts() const { return attempts_; }
+  int manifested() const { return manifested_; }
+
+  /// Last attempt's values.
+  long expected() const { return expected_; }
+  long observed() const { return observed_; }
+  /// Updates lost in the last attempt (positive when the race ate some).
+  long lost() const { return expected_ - observed_; }
+
+  /// Fraction of attempts in which the race manifested; 0 if unused.
+  double manifestation_rate() const {
+    return attempts_ > 0 ? static_cast<double>(manifested_) / attempts_ : 0.0;
+  }
+
+  void reset() { *this = LostUpdateProbe{}; }
+
+ private:
+  long expected_ = 0;
+  long observed_ = 0;
+  int attempts_ = 0;
+  int manifested_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace pml::sched

@@ -1,0 +1,142 @@
+#pragma once
+
+/// \file sched.hpp
+/// \brief Seeded schedule perturbation — making races *manifest*.
+///
+/// The paper's pedagogy is "uncomment one line and the answer goes wrong",
+/// but on a fast (or single-core) machine the deliberately racy patternlets
+/// often produce the *correct* answer: the window between a torn read and
+/// its write is a few nanoseconds, and the OS scheduler rarely preempts
+/// inside it. Students then see correct output from incorrect code — the
+/// worst possible lesson.
+///
+/// pml::sched closes that gap. The substrates (pml::smp, pml::thread,
+/// pml::mp) are compiled with instrumented sync points — `sched::point()`
+/// calls at racy-window boundaries (after a shared read, before a shared
+/// write), at lock acquisitions, at worksharing chunk boundaries, and at
+/// message delivery. When perturbation is *off* (the default) a point is a
+/// single relaxed atomic load and a predicted-not-taken branch: a no-op.
+/// When a nonzero seed is configured, each point consults a deterministic
+/// decision function and may yield the CPU, spin briefly, or sleep a few
+/// tens of microseconds — stretching the racy windows until interleavings
+/// that "never happen" happen with near-certainty, even on one core.
+///
+/// Determinism: the decision at a point is a pure function of
+/// (seed, lane, call-index, point kind) — see decide(). Threads are bound
+/// to lanes by the substrates (fork_join binds lane = thread id), so the
+/// same seed yields the same perturbation schedule run after run. The
+/// *interleaving* the OS picks still varies, but the stretched windows it
+/// picks from do not — which is what makes "the race fires under seed N"
+/// a reproducible classroom demonstration and a testable assertion.
+///
+/// Typical uses:
+///   sched::ChaosScope chaos(42);        // RAII: perturb until scope exits
+///   patternlet_runner omp/race --chaos-seed 42
+///   RunSpec spec; spec.chaos_seed = 42; // tests: race must manifest
+
+#include <atomic>
+#include <cstdint>
+
+namespace pml::sched {
+
+/// Where in a substrate an instrumented sync point sits.
+enum class Point : int {
+  kSharedRead = 0,  ///< Just read a shared location that will be written back.
+  kSharedWrite,     ///< About to write a shared location.
+  kLockAcquire,     ///< About to acquire a lock / enter a critical section.
+  kLoopChunk,       ///< Worksharing loop chunk boundary.
+  kTaskDispatch,    ///< Task handoff between pool workers.
+  kDelivery,        ///< Message delivery into a mailbox.
+};
+
+/// Number of distinct Point kinds (array sizing).
+inline constexpr int kPointKinds = 6;
+
+/// Printable name of a point kind ("shared-read", "lock-acquire", ...).
+const char* to_string(Point p) noexcept;
+
+/// What the perturber does at one point.
+enum class Action : int {
+  kNone = 0,  ///< Proceed undisturbed.
+  kYield,     ///< std::this_thread::yield() — hand the core to a sibling.
+  kSpin,      ///< Busy-wait `magnitude` iterations — stretch the window.
+  kSleep,     ///< Sleep `magnitude` microseconds — force a reschedule.
+};
+
+/// One perturbation decision.
+struct Decision {
+  Action action = Action::kNone;
+  std::uint32_t magnitude = 0;  ///< Spin iterations or sleep microseconds.
+};
+
+/// The pure decision function: what happens at the \p call-th point of kind
+/// \p kind on lane \p lane under \p seed. Deterministic and stateless —
+/// tests verify the applied schedule against this oracle.
+Decision decide(std::uint64_t seed, std::uint32_t lane, std::uint64_t call,
+                Point kind) noexcept;
+
+namespace detail {
+/// Active seed; 0 = perturbation off. Relaxed reads on the hot path.
+extern std::atomic<std::uint64_t> g_seed;
+/// Out-of-line slow path: look up this thread's lane, decide, act, count.
+void perturb(Point kind) noexcept;
+}  // namespace detail
+
+/// True iff a perturbation seed is active.
+inline bool enabled() noexcept {
+  return detail::g_seed.load(std::memory_order_relaxed) != 0;
+}
+
+/// The active seed (0 when perturbation is off).
+inline std::uint64_t seed() noexcept {
+  return detail::g_seed.load(std::memory_order_relaxed);
+}
+
+/// An instrumented sync point. With no seed configured this is one relaxed
+/// load and an untaken branch — safe to leave in release hot paths.
+inline void point(Point kind) noexcept {
+  if (detail::g_seed.load(std::memory_order_relaxed) != 0) detail::perturb(kind);
+}
+
+/// Activates perturbation with \p seed (0 turns it off). Resets the applied
+/// counters and every thread's per-lane call counter. Process-wide; not
+/// meant to be flipped concurrently with running substrate work.
+void configure(std::uint64_t seed) noexcept;
+
+/// Binds the calling thread to \p lane for decision purposes. The
+/// substrates call this with the team-relative thread id so perturbation
+/// schedules survive thread re-creation across regions. Threads that never
+/// bind get distinct auto-assigned lanes.
+void bind_lane(std::uint32_t lane) noexcept;
+
+/// Counters of perturbations applied since the last configure().
+struct Stats {
+  std::uint64_t points = 0;  ///< point() calls that consulted the perturber.
+  std::uint64_t yields = 0;
+  std::uint64_t spins = 0;
+  std::uint64_t sleeps = 0;
+  std::uint64_t slept_micros = 0;  ///< Total injected sleep time.
+};
+
+/// Snapshot of the applied-perturbation counters.
+Stats stats() noexcept;
+
+/// RAII perturbation window: configures \p seed on entry and restores the
+/// previous seed (and counters) on exit. The runner and tests use this so
+/// chaos never leaks past the run it was requested for.
+class ChaosScope {
+ public:
+  explicit ChaosScope(std::uint64_t seed) noexcept
+      : previous_(sched::seed()) {
+    configure(seed);
+  }
+  ~ChaosScope() { configure(previous_); }
+
+  ChaosScope(const ChaosScope&) = delete;
+  ChaosScope& operator=(const ChaosScope&) = delete;
+
+ private:
+  std::uint64_t previous_;
+};
+
+}  // namespace pml::sched

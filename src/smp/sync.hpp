@@ -23,6 +23,8 @@
 #include <mutex>
 #include <type_traits>
 
+#include "sched/sched.hpp"
+
 namespace pml::smp {
 
 /// Atomically applies `shared = op(shared, operand)` with a CAS loop.
@@ -32,6 +34,11 @@ template <typename T, typename Op>
 T atomic_update(T& shared, T operand, Op op) {
   static_assert(std::is_trivially_copyable_v<T>,
                 "atomic applies to simple scalar updates only");
+  // Perturbing before the CAS loop stretches the update window but cannot
+  // break it: a stale `expected` just makes the CAS retry. Under chaos this
+  // is the contrast students should see — the torn read/write pair loses
+  // updates, the CAS never does.
+  sched::point(sched::Point::kSharedWrite);
   std::atomic_ref<T> ref(shared);
   T expected = ref.load(std::memory_order_relaxed);
   T desired = op(expected, operand);
@@ -51,12 +58,18 @@ T atomic_add(T& shared, T value) {
 /// Atomic load of a shared scalar (atomic read form).
 template <typename T>
 T atomic_read(const T& shared) {
-  return std::atomic_ref<const T>(shared).load(std::memory_order_acquire);
+  const T value = std::atomic_ref<const T>(shared).load(std::memory_order_acquire);
+  // Sync point *after* the load: when a patternlet tears an update into
+  // read-then-write, this is exactly the window where another thread's
+  // write gets lost. Chaos mode stretches it from nanoseconds to visible.
+  sched::point(sched::Point::kSharedRead);
+  return value;
 }
 
 /// Atomic store to a shared scalar (atomic write form).
 template <typename T>
 void atomic_write(T& shared, T value) {
+  sched::point(sched::Point::kSharedWrite);
   std::atomic_ref<T>(shared).store(value, std::memory_order_release);
 }
 

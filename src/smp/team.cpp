@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "sched/sched.hpp"
 #include "thread/thread.hpp"
 
 namespace pml::smp {
@@ -50,6 +51,7 @@ void parallel(int num_threads, const std::function<void(Region&)>& body) {
 void parallel(const std::function<void(Region&)>& body) { parallel(0, body); }
 
 void Region::critical(const std::string& name, const std::function<void()>& fn) {
+  sched::point(sched::Point::kLockAcquire);
   std::lock_guard lock(critical_mutex(name));
   fn();
 }
@@ -102,6 +104,10 @@ void Region::for_each(std::int64_t begin, std::int64_t end, const Schedule& sche
     case ScheduleKind::kStaticChunked: {
       for (const IterRange& r :
            static_assignment(schedule, begin, end, num_threads(), id_)) {
+        // Chunk-granular sync point: coarse enough to stay off the
+        // per-iteration hot path, frequent enough that chaos mode can
+        // reshuffle which thread runs when.
+        sched::point(sched::Point::kLoopChunk);
         for (std::int64_t i = r.begin; i < r.end; ++i) fn(i);
       }
       break;
@@ -116,6 +122,7 @@ void Region::for_each(std::int64_t begin, std::int64_t end, const Schedule& sche
         }
       }
       for (IterRange r = slot->dealer->next(); !r.empty(); r = slot->dealer->next()) {
+        sched::point(sched::Point::kLoopChunk);
         for (std::int64_t i = r.begin; i < r.end; ++i) fn(i);
       }
       break;

@@ -12,11 +12,32 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "sched/sched.hpp"
+
 namespace pml::thread {
 
-/// pthread_mutex_t analogue. A thin name over std::mutex so patternlet
-/// code reads like the original C.
-using Mutex = std::mutex;
+/// pthread_mutex_t analogue: std::mutex plus an instrumented sync point at
+/// acquisition, so chaos mode (pml::sched) can reshuffle which contender
+/// wins the lock. With no chaos seed the point compiles to one relaxed
+/// load — the wrapper costs nothing over the raw mutex.
+class Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() {
+    sched::point(sched::Point::kLockAcquire);
+    mu_.lock();
+  }
+
+  bool try_lock() { return mu_.try_lock(); }
+
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
 
 /// RAII guard (pthread_mutex_lock / unlock pair).
 using LockGuard = std::lock_guard<Mutex>;
@@ -30,6 +51,7 @@ class Spinlock {
   Spinlock& operator=(const Spinlock&) = delete;
 
   void lock() noexcept {
+    sched::point(sched::Point::kLockAcquire);
     while (flag_.exchange(true, std::memory_order_acquire)) {
       // Spin on a plain load to avoid cache-line ping-pong.
       while (flag_.load(std::memory_order_relaxed)) {
@@ -54,6 +76,7 @@ class RwLock {
   RwLock& operator=(const RwLock&) = delete;
 
   void lock_shared() {
+    sched::point(sched::Point::kLockAcquire);
     std::unique_lock lock(mu_);
     readers_ok_.wait(lock, [this] { return writers_waiting_ == 0 && !writer_active_; });
     ++readers_active_;
@@ -65,6 +88,7 @@ class RwLock {
   }
 
   void lock() {
+    sched::point(sched::Point::kLockAcquire);
     std::unique_lock lock(mu_);
     ++writers_waiting_;
     writers_ok_.wait(lock, [this] { return readers_active_ == 0 && !writer_active_; });

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "sched/sched.hpp"
+
 namespace pml::thread {
 
 namespace {
@@ -50,8 +52,13 @@ void StealingPool::submit(Task task) {
       me >= 0 ? me
               : static_cast<int>(next_victim_.fetch_add(1) %
                                  static_cast<long>(deques_.size()));
+  sched::point(sched::Point::kTaskDispatch);
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   deques_[static_cast<std::size_t>(dest)]->push_bottom(std::move(task));
+  // Epoch first, then notify: a napper woken here re-checks the epoch under
+  // its lock and sees the new work; a worker *between* its failed sweep and
+  // its nap sees the flipped epoch in the nap predicate and never sleeps.
+  work_epoch_.fetch_add(1, std::memory_order_release);
   work_cv_.notify_all();
 }
 
@@ -74,6 +81,9 @@ std::optional<StealingPool::Task> StealingPool::find_work(int id) {
 void StealingPool::worker_loop(int id) {
   identity() = WorkerIdentity{this, id};
   for (;;) {
+    // Snapshot before the sweep: any submit after this point flips the
+    // epoch and keeps us from napping on work we failed to see.
+    const std::uint64_t epoch = work_epoch_.load(std::memory_order_acquire);
     if (auto task = find_work(id)) {
       std::exception_ptr error;
       try {
@@ -91,14 +101,29 @@ void StealingPool::worker_loop(int id) {
           idle_cv_.notify_all();
         }
       }
+      // Busy-worker handoff: if this deque still holds work while siblings
+      // idle, wake them and cede the core once. On a machine with fewer
+      // cores than workers a task-spawning worker otherwise drains its own
+      // deque to completion before any thief is ever scheduled — the
+      // "imbalanced load never gets stolen" starvation.
+      if (deques_[static_cast<std::size_t>(id)]->size() > 0) {
+        if (nappers_.load(std::memory_order_relaxed) > 0) work_cv_.notify_all();
+        std::this_thread::yield();
+      }
       continue;
     }
     if (stopping_.load(std::memory_order_acquire)) break;
-    // Nothing to run or steal: nap briefly. A timed wait (rather than an
-    // indefinite one) sidesteps lost-wakeup races with concurrent steals
-    // at negligible cost.
+    // Nothing to run or steal: nap until new work is submitted or, as a
+    // backstop against steals (which do not bump the epoch), a short
+    // timeout. The predicate re-checks the epoch under the lock, so a
+    // submit landing between our sweep and this wait is never missed.
     std::unique_lock lock(nap_mu_);
-    work_cv_.wait_for(lock, std::chrono::microseconds(200));
+    nappers_.fetch_add(1, std::memory_order_relaxed);
+    work_cv_.wait_for(lock, std::chrono::microseconds(200), [&] {
+      return work_epoch_.load(std::memory_order_acquire) != epoch ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    nappers_.fetch_sub(1, std::memory_order_relaxed);
   }
   identity() = WorkerIdentity{};
 }

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -119,6 +120,13 @@ class StealingPool {
   std::atomic<long> in_flight_{0};  // queued + executing
   std::atomic<long> next_victim_{0};
   std::atomic<bool> stopping_{false};
+  /// Bumped on every submit. A worker records the epoch before its steal
+  /// sweep and naps only while it is unchanged, closing the missed-wakeup
+  /// window between a failed sweep and the wait (work pushed in that gap
+  /// flips the epoch, so the nap predicate is already true).
+  std::atomic<std::uint64_t> work_epoch_{0};
+  /// Workers currently napping on work_cv_ (for the busy-worker handoff).
+  std::atomic<int> nappers_{0};
   std::vector<std::jthread> threads_;
 };
 

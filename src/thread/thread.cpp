@@ -2,6 +2,8 @@
 
 #include <exception>
 
+#include "sched/sched.hpp"
+
 namespace pml::thread {
 
 namespace {
@@ -12,6 +14,9 @@ void run_all(int n, int first_spawned, const std::function<void(int)>& fn,
   workers.reserve(static_cast<std::size_t>(n - first_spawned));
   for (int id = first_spawned; id < n; ++id) {
     workers.emplace_back([&, id] {
+      // Bind the perturbation lane to the team-relative id so a chaos seed
+      // replays the same per-thread schedule across regions and runs.
+      sched::bind_lane(static_cast<std::uint32_t>(id));
       try {
         fn(id);
       } catch (...) {
@@ -20,6 +25,7 @@ void run_all(int n, int first_spawned, const std::function<void(int)>& fn,
     });
   }
   if (first_spawned == 1) {
+    sched::bind_lane(0);
     try {
       fn(0);
     } catch (...) {

@@ -111,8 +111,10 @@ TEST_P(MapReduceSweep, DistributedEqualsSequentialOracle) {
 }
 
 TEST_P(MapReduceSweep, NonzeroRootReceivesTheResult) {
+  // With np = 1 the "nonzero" root degenerates to rank 0 — the gather path
+  // must still deliver the full result to it, so the case runs for real
+  // rather than being skipped.
   const int np = GetParam();
-  if (np < 2) GTEST_SKIP();
   const auto expected = run_sequential(corpus(), word_count_map, sum_reduce);
   std::atomic<bool> ok{false};
   mp::run(np, [&](mp::Communicator& comm) {

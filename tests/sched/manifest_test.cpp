@@ -1,0 +1,129 @@
+/// \file manifest_test.cpp
+/// \brief The payoff assertions: under seeded perturbation the staged races
+/// *manifest* — near-certainly across a seed sweep — and the corrected
+/// configurations stay exact under the same perturbation.
+///
+/// These tests are why pml::sched exists. On a single-core host the racy
+/// patternlets' torn read/write windows are a few nanoseconds wide and the
+/// natural schedule essentially never lands a preemption inside one, so the
+/// paper's "run it and watch the sum go wrong" lesson silently shows correct
+/// output. With chaos on, the windows are stretched by seeded yields and
+/// sleeps and the lesson fires on demand.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/runner.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace pml {
+namespace {
+
+class Manifestation : public ::testing::Test {
+ protected:
+  void SetUp() override { patternlets::ensure_registered(); }
+};
+
+RunSpec racy_spec(const Patternlet& p, std::uint64_t chaos_seed) {
+  const RaceDemo& demo = *p.race_demo;
+  RunSpec spec;
+  spec.toggle_overrides = demo.racy_toggles;
+  spec.params = demo.params;
+  spec.chaos_seed = chaos_seed;
+  return spec;
+}
+
+RunSpec fixed_spec(const Patternlet& p, std::uint64_t chaos_seed) {
+  const RaceDemo& demo = *p.race_demo;
+  RunSpec spec;
+  spec.toggle_overrides = demo.fixed_toggles;
+  spec.params = demo.params;
+  spec.chaos_seed = chaos_seed;
+  return spec;
+}
+
+TEST_F(Manifestation, RacyReductionFiresAcrossVirtuallyEverySeed) {
+  // The issue's acceptance bar: with chaos on, the racy OMP reduction must
+  // produce a wrong sum in at least 99 of 100 seeded runs.
+  const Patternlet& p = Registry::instance().get("omp/reduction");
+  int manifested = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const RunResult r = run(p, racy_spec(p, seed));
+    if (r.race_manifested()) ++manifested;
+  }
+  EXPECT_GE(manifested, 99);
+}
+
+TEST_F(Manifestation, CorrectedReductionStaysExactUnderTheSamePerturbation) {
+  // The reduction clause gives each thread a private sum: perturbing the
+  // schedule can reorder work but cannot lose updates. 0% manifestation.
+  const Patternlet& p = Registry::instance().get("omp/reduction");
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const RunResult r = run(p, fixed_spec(p, seed));
+    EXPECT_FALSE(r.race_manifested()) << "seed " << seed;
+    EXPECT_EQ(r.lost_updates(), 0) << "seed " << seed;
+  }
+}
+
+TEST_F(Manifestation, EveryAnnotatedRaceFiresUnderChaosAndItsFixHolds) {
+  // Sweep the whole RaceDemo catalog: each annotated patternlet must lose
+  // updates in its racy configuration under a fixed seed, and must stay
+  // exact in its fixed configuration (when it declares one) under the same
+  // seed.
+  const auto racy = Registry::instance().racy();
+  ASSERT_FALSE(racy.empty());
+  for (const Patternlet* p : racy) {
+    const RunResult broken = run(*p, racy_spec(*p, 20220101));
+    EXPECT_TRUE(broken.expected_updates.has_value())
+        << p->slug << " carries a RaceDemo but never drove its probe";
+    EXPECT_TRUE(broken.race_manifested()) << p->slug;
+
+    if (!p->race_demo->fixed_toggles.empty()) {
+      const RunResult fixed = run(*p, fixed_spec(*p, 20220101));
+      EXPECT_FALSE(fixed.race_manifested()) << p->slug;
+      EXPECT_EQ(fixed.lost_updates(), 0) << p->slug;
+    }
+  }
+}
+
+TEST_F(Manifestation, SameSeedReproducesTheSameLostUpdateReport) {
+  // Determinism as students see it: identical command, identical wrong
+  // answer. The torn windows under one seed admit some OS-timing jitter in
+  // *which* updates vanish, so the assertion is on manifestation, expected
+  // count, and the probe having fired both times — not on the exact sum.
+  const Patternlet& p = Registry::instance().get("omp/race");
+  const RunResult a = run(p, racy_spec(p, 42));
+  const RunResult b = run(p, racy_spec(p, 42));
+  EXPECT_TRUE(a.race_manifested());
+  EXPECT_TRUE(b.race_manifested());
+  EXPECT_EQ(a.expected_updates, b.expected_updates);
+  EXPECT_EQ(a.chaos_seed, b.chaos_seed);
+}
+
+TEST_F(Manifestation, WithoutChaosTheProbeStillReports) {
+  // chaos_seed 0: no perturbation, but the probe plumbing still carries
+  // the expected/observed pair into the result (likely exact on one core).
+  const Patternlet& p = Registry::instance().get("omp/race");
+  const RunResult r = run(p, racy_spec(p, 0));
+  EXPECT_EQ(r.chaos_seed, 0u);
+  EXPECT_TRUE(r.expected_updates.has_value());
+}
+
+TEST_F(Manifestation, LostUpdatesAppearInTheTrace) {
+  // The probe's report rides core/trace so timeline tooling can show it.
+  const Patternlet& p = Registry::instance().get("omp/race");
+  const RunResult r = run(p, racy_spec(p, 42));
+  bool found = false;
+  for (const auto& e : r.trace) {
+    if (e.kind == "lost-updates") {
+      found = true;
+      EXPECT_EQ(e.key, *r.expected_updates);
+      EXPECT_EQ(e.aux, *r.observed_updates);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace pml

@@ -9,6 +9,7 @@
 #include <numeric>
 #include <vector>
 
+#include "sched/sched.hpp"
 #include "smp/for.hpp"
 #include "smp/sync.hpp"
 
@@ -154,19 +155,19 @@ TEST(UserDefinedReduction, StructCombinerMatchesSeparateReductions) {
 }
 
 TEST(RacyReduction, TornUpdatesLoseDepositsWithHighProbability) {
-  // The Fig. 22 demonstration, asserted statistically: across 10 attempts
-  // with 4 threads and 200k updates, at least one attempt must lose
-  // updates. (Each attempt losing nothing is astronomically unlikely.)
-  bool any_lost = false;
-  for (int attempt = 0; attempt < 10 && !any_lost; ++attempt) {
-    long sum = 0;
-    parallel_for(4, 0, 200000, [&](int, std::int64_t) {
-      const long cur = atomic_read(sum);
-      atomic_write(sum, cur + 1);
-    });
-    if (sum != 200000) any_lost = true;
-  }
-  EXPECT_TRUE(any_lost);
+  // The Fig. 22 demonstration. The natural schedule almost never exposes
+  // the torn read/write window on a single-core machine (threads serialize
+  // and the preemption has to land inside a few-nanosecond gap), so the
+  // run is perturbed with a fixed pml::sched seed: seeded yields/sleeps at
+  // the instrumented shared-read point force other threads to deposit
+  // between a reader's load and its store, making lost updates certain.
+  sched::ChaosScope chaos{20220101};
+  long sum = 0;
+  parallel_for(4, 0, 200000, [&](int, std::int64_t) {
+    const long cur = atomic_read(sum);
+    atomic_write(sum, cur + 1);
+  });
+  EXPECT_LT(sum, 200000);
 }
 
 }  // namespace
