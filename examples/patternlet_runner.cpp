@@ -13,12 +13,19 @@
 ///   patternlet_runner --listing omp/reduction  # the paper's original C
 ///   patternlet_runner --list-racy                 # patternlets staging a race
 ///   patternlet_runner omp/reduction --on "omp parallel for" --chaos-seed 42
+///   patternlet_runner omp/private --analyze       # explain the race
 ///
 /// --chaos-seed N runs the body under pml::sched schedule perturbation so the
 /// staged race manifests reproducibly (same seed, same interleaving nudges) —
 /// even on a single-core machine where the natural schedule almost never
 /// exposes it. Setting the PML_CHAOS environment variable to N is equivalent
 /// (the flag wins when both are given).
+///
+/// --analyze runs the body under pml::analyze: the happens-before race
+/// detector, lock-order deadlock predictor, and worksharing/communication
+/// lints. Where chaos mode makes a race *happen*, the analyzer *explains*
+/// it — and reports on every run, no lucky schedule needed. Exit status 3
+/// when the analysis finds errors.
 
 #include <cstdio>
 #include <cstdlib>
@@ -89,6 +96,30 @@ int list_racy(const pml::Registry& reg) {
   return 0;
 }
 
+int help() {
+  std::printf(
+      "patternlet_runner — run the patternlet collection\n\n"
+      "  patternlet_runner --list                 list the whole collection\n"
+      "  patternlet_runner --list-racy            patternlets staging a race\n"
+      "  patternlet_runner --show SLUG            metadata + student exercise\n"
+      "  patternlet_runner --listing SLUG         the paper's original C\n"
+      "  patternlet_runner SLUG [options]         run one patternlet\n\n"
+      "options:\n"
+      "  -t, --tasks N       task (thread/rank) count\n"
+      "  --on TOGGLE         enable a directive toggle (repeatable)\n"
+      "  --off TOGGLE        disable a directive toggle (repeatable)\n"
+      "  --all-on / --all-off  force every declared toggle\n"
+      "  -p, --param K=V     numeric parameter override (repeatable)\n"
+      "  --timeline          render the output as a per-task timeline\n"
+      "  --chaos-seed N      run under seeded schedule perturbation so the\n"
+      "                      staged race manifests (PML_CHAOS env equivalent)\n"
+      "  --analyze           run under the happens-before race detector,\n"
+      "                      deadlock predictor, and comm/worksharing lints;\n"
+      "                      exit 3 if the analysis reports errors\n"
+      "  -h, --help          this text\n");
+  return 0;
+}
+
 [[noreturn]] void usage_error(const std::string& message) {
   std::fprintf(stderr, "error: %s\n(try --list)\n", message.c_str());
   std::exit(2);
@@ -121,6 +152,7 @@ int main(int argc, char** argv) {
     };
     if (arg == "--list") return list_collection(reg);
     if (arg == "--list-racy") return list_racy(reg);
+    if (arg == "-h" || arg == "--help") return help();
     if (arg == "--show") {
       show_only = true;
       slug = next("--show");
@@ -139,6 +171,8 @@ int main(int argc, char** argv) {
       spec.all_toggles = true;
     } else if (arg == "--all-off") {
       spec.all_toggles = false;
+    } else if (arg == "--analyze") {
+      spec.analyze = true;
     } else if (arg == "--chaos-seed") {
       const std::string text = next("--chaos-seed");
       char* end = nullptr;
@@ -197,6 +231,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "[chaos seed %llu | no race probe in this patternlet]\n",
                      static_cast<unsigned long long>(result.chaos_seed));
       }
+    }
+    if (result.analysis.has_value()) {
+      const pml::analyze::Report& report = *result.analysis;
+      std::fprintf(stderr, "\n%s", report.to_string().c_str());
+      if (report.error_count() > 0) {
+        std::fprintf(stderr, "%s\n", pml::remediation_for(*p).c_str());
+        return 3;
+      }
+      std::fprintf(stderr, "analyze: no errors found in this configuration\n");
     }
   } catch (const pml::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Run clang-tidy over the library and example sources with the repo's curated
+# .clang-tidy profile.
+#
+#   scripts/tidy.sh [path ...]     # default: all of src/ and examples/
+#
+# Uses the compile database from the `tidy` CMake preset (configures it on
+# first use). Exits 0 with a notice when clang-tidy is not installed, so the
+# script is safe to call from environments that only have gcc — CI installs
+# clang and gets the real check.
+set -eu
+
+repo="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+cd "$repo"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "tidy: clang-tidy not found on PATH; skipping (install clang-tidy to run locally)"
+  exit 0
+fi
+
+builddir="build-tidy"
+if [ ! -f "$builddir/compile_commands.json" ]; then
+  cmake --preset tidy
+fi
+
+if [ "$#" -gt 0 ]; then
+  files="$(printf '%s\n' "$@")"
+else
+  files="$(find src examples -name '*.cpp' | sort)"
+fi
+
+status=0
+for f in $files; do
+  echo "== clang-tidy $f"
+  clang-tidy -p "$builddir" "$f" || status=1
+done
+exit $status

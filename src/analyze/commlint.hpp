@@ -1,0 +1,151 @@
+#pragma once
+
+/// \file commlint.hpp
+/// \brief MP communication lint: unmatched traffic, wildcard nondeterminism,
+/// tag/context misuse.
+///
+/// The lint watches the mailbox plane: every delivery, every match, every
+/// receive that gave up, and the queues left over at finalize. From that it
+/// reports, in MPI-classroom vocabulary:
+///   - a receive that timed out — upgraded to "tag mismatch" or "context
+///     mismatch" when a near-miss message (same peer, wrong tag/context) was
+///     sitting in the queue at the time;
+///   - messages still queued when the cluster finalised (a send nobody
+///     received);
+///   - wildcard (ANY_SOURCE) receives that resolved while candidates from
+///     several different sources were pending — the classic nondeterminism
+///     of master–worker result collection. Correct patternlets do this on
+///     purpose, so it is a Severity::kNote, not an error.
+///
+/// Pure engine; serialised by the Collector; driven directly by
+/// tests/analyze/commlint_test.cpp.
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/report.hpp"
+
+namespace pml::analyze {
+
+/// A message's matching coordinates, as the lint needs them.
+struct MsgCoord {
+  int source = 0;
+  int tag = 0;
+  int context = 0;
+};
+
+class CommTracker {
+ public:
+  /// A message entered rank \p to's mailbox.
+  void on_deliver(int to, const MsgCoord& m) {
+    (void)to;
+    (void)m;
+    ++deliveries_;
+  }
+
+  /// A receive matched. \p wild_sources is the number of *distinct* sources
+  /// with matching messages queued at match time (>1 under ANY_SOURCE means
+  /// this run picked one of several possible orders).
+  void on_match(int rank, const MsgCoord& m, int wanted_source,
+                std::size_t wild_sources, std::vector<Finding>& out) {
+    ++matches_;
+    if (wanted_source >= 0 || wild_sources < 2) return;
+    // One note per receiving rank: the lesson is the pattern, not the count.
+    if (!wildcard_noted_.insert(rank).second) return;
+    Finding f;
+    f.checker = Checker::kComm;
+    f.severity = Severity::kNote;
+    f.subject = "ANY_SOURCE";
+    char msg[256];
+    std::snprintf(msg, sizeof(msg),
+                  "wildcard receive: rank %d matched the message from rank %d "
+                  "while %zu sources had messages pending — arrival order "
+                  "decides which, so output order can differ run to run",
+                  rank, m.source, wild_sources);
+    f.message = msg;
+    out.push_back(std::move(f));
+  }
+
+  /// A bounded receive gave up. \p queued is a snapshot of the mailbox at
+  /// timeout time, used to upgrade the diagnosis on a near miss.
+  void on_timeout(int rank, int wanted_source, int wanted_tag,
+                  int wanted_context, const std::vector<MsgCoord>& queued,
+                  std::vector<Finding>& out) {
+    Finding f;
+    f.checker = Checker::kComm;
+    f.severity = Severity::kError;
+    char msg[256];
+    const MsgCoord* wrong_tag = nullptr;
+    const MsgCoord* wrong_context = nullptr;
+    for (const MsgCoord& m : queued) {
+      const bool source_ok = wanted_source < 0 || m.source == wanted_source;
+      if (!source_ok) continue;
+      if (m.context == wanted_context && wanted_tag >= 0 && m.tag != wanted_tag) {
+        wrong_tag = &m;
+      } else if (m.context != wanted_context &&
+                 (wanted_tag < 0 || m.tag == wanted_tag)) {
+        wrong_context = &m;
+      }
+    }
+    if (wrong_tag != nullptr) {
+      f.subject = "tag";
+      std::snprintf(msg, sizeof(msg),
+                    "tag mismatch: rank %d timed out receiving tag %d from "
+                    "rank %d, but a message from rank %d with tag %d was "
+                    "queued — the send and receive disagree on the tag",
+                    rank, wanted_tag, wanted_source, wrong_tag->source,
+                    wrong_tag->tag);
+    } else if (wrong_context != nullptr) {
+      f.subject = "context";
+      std::snprintf(msg, sizeof(msg),
+                    "context mismatch: rank %d timed out receiving on context "
+                    "%d, but a matching message on context %d was queued — "
+                    "the communicators differ",
+                    rank, wanted_context, wrong_context->context);
+    } else {
+      f.subject = "recv";
+      char from[32];
+      if (wanted_source < 0) {
+        std::snprintf(from, sizeof(from), "any source");
+      } else {
+        std::snprintf(from, sizeof(from), "rank %d", wanted_source);
+      }
+      std::snprintf(msg, sizeof(msg),
+                    "unmatched receive: rank %d timed out waiting for a "
+                    "message from %s (tag %d) that was never sent — with an "
+                    "unbounded receive this is a deadlock",
+                    rank, from, wanted_tag);
+    }
+    f.message = msg;
+    out.push_back(std::move(f));
+  }
+
+  /// Cluster finalised with messages still queued at rank \p owner.
+  void on_finalize_leftover(int owner, const MsgCoord& m,
+                            std::vector<Finding>& out) {
+    Finding f;
+    f.checker = Checker::kComm;
+    f.severity = Severity::kError;
+    f.subject = "send";
+    char msg[256];
+    std::snprintf(msg, sizeof(msg),
+                  "unmatched send: the message rank %d sent to rank %d "
+                  "(tag %d) was still queued at finalize — no receive ever "
+                  "matched it",
+                  m.source, owner, m.tag);
+    f.message = msg;
+    out.push_back(std::move(f));
+  }
+
+  std::uint64_t deliveries() const noexcept { return deliveries_; }
+  std::uint64_t matches() const noexcept { return matches_; }
+
+ private:
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t matches_ = 0;
+  std::set<int> wildcard_noted_;
+};
+
+}  // namespace pml::analyze

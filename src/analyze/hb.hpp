@@ -1,0 +1,206 @@
+#pragma once
+
+/// \file hb.hpp
+/// \brief FastTrack-style happens-before race detection engine.
+///
+/// Each thread carries a vector clock C_t; sync objects (mutexes, barrier
+/// phases, fork/join tokens, task tokens, message envelopes) carry a clock
+/// that release copies into and acquire joins from. Each watched address
+/// carries a shadow word: the last-write epoch, and either a last-read epoch
+/// (exclusive case, O(1) to check) or an inflated read clock (read-shared
+/// case). An access races when the previous conflicting access is not
+/// covered by the current thread's clock.
+///
+/// Two detector policies tuned for the patternlet classroom:
+///   - HB detection is schedule-independent: the verdict depends only on the
+///     sync edges the program creates, not on the interleaving this run
+///     happened to take. Racy patternlet configs therefore report on every
+///     run, chaos seed or not.
+///   - One finding per address: the first race on `balance` is the lesson;
+///     the next ten thousand iterations of the same torn update are noise.
+///
+/// Pure engine (no locking, no globals): the Collector in analyze.cpp
+/// serialises calls; tests/analyze/hb_test.cpp drives it directly.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analyze/vector_clock.hpp"
+
+namespace pml::analyze {
+
+/// What kind of memory access an event is.
+enum class Access {
+  kRead,
+  kWrite,
+  kAtomicRmw,  ///< Self-consistent read-modify-write: never itself racy.
+};
+
+/// A detected race, in engine vocabulary (the Collector renders it).
+struct Race {
+  std::uintptr_t address = 0;
+  std::string label;      ///< Variable name, when the call site provided one.
+  Access prior_access = Access::kWrite;
+  Tid prior_tid = 0;
+  Access current_access = Access::kWrite;
+  Tid current_tid = 0;
+};
+
+class HbState {
+ public:
+  /// Registers a thread, inheriting clock knowledge from \p parent (pass
+  /// nullptr for the first/root thread). Returns the new dense Tid.
+  Tid new_thread(const VectorClock* parent = nullptr) {
+    Tid t = static_cast<Tid>(threads_.size());
+    // Build the clock before growing threads_: \p parent usually points
+    // into threads_ itself, and push_back may reallocate under it.
+    VectorClock c;
+    if (parent != nullptr) c.join(*parent);
+    c.bump(t);  // Every thread starts in a fresh epoch of its own.
+    threads_.push_back(std::move(c));
+    return t;
+  }
+
+  /// The current clock of \p t (valid until the next new_thread()).
+  const VectorClock& clock_of(Tid t) const { return threads_[t]; }
+
+  /// Release edge: sync object \p o receives t's knowledge; t advances.
+  void release(Tid t, std::uintptr_t o) {
+    VectorClock& sync = sync_[o];
+    sync.join(threads_[t]);
+    threads_[t].bump(t);
+  }
+
+  /// Acquire edge: t joins whatever was released into \p o.
+  void acquire(Tid t, std::uintptr_t o) {
+    auto it = sync_.find(o);
+    if (it != sync_.end()) threads_[t].join(it->second);
+  }
+
+  /// Drops a sync object's clock (e.g. a retired barrier phase).
+  void forget_sync(std::uintptr_t o) { sync_.erase(o); }
+
+  /// Processes one access; returns the race it completes, if any. Only the
+  /// first race per address is returned (the shadow word is then frozen).
+  std::optional<Race> on_access(Tid t, Access kind, std::uintptr_t addr,
+                                const char* label) {
+    Shadow& s = shadow_[addr];
+    if (label != nullptr && *label != '\0' && s.label.empty()) s.label = label;
+    if (s.reported) return std::nullopt;
+    const VectorClock& now = threads_[t];
+
+    std::optional<Race> race;
+    if (kind == Access::kRead) {
+      race = check_read(t, now, s);
+    } else {
+      // Writes and RMWs both conflict with prior plain accesses; an RMW is
+      // just never *reported against* another RMW (each is self-consistent),
+      // which check_write handles via the recorded access kinds.
+      race = check_write(t, kind, now, s);
+    }
+    if (race) {
+      race->address = addr;
+      race->label = s.label;
+      race->current_tid = t;
+      race->current_access = kind;
+      s.reported = true;
+      return race;
+    }
+    record(t, kind, now, s);
+    return std::nullopt;
+  }
+
+ private:
+  struct Shadow {
+    Epoch write;                       ///< Last write (or RMW) epoch.
+    Access write_kind = Access::kWrite;
+    Epoch read;                        ///< Last read epoch (exclusive case).
+    std::unique_ptr<VectorClock> read_shared;  ///< Inflated read clock.
+    std::string label;
+    bool reported = false;
+  };
+
+  static std::optional<Race> make_race(Access prior, Tid prior_tid) {
+    Race r;
+    r.prior_access = prior;
+    r.prior_tid = prior_tid;
+    return r;
+  }
+
+  std::optional<Race> check_read(Tid t, const VectorClock& now,
+                                 const Shadow& s) const {
+    (void)t;
+    // Read races only with an earlier unordered *plain* write; RMWs touch
+    // the cell atomically, so read-vs-RMW needs no ordering to be sound
+    // for the classroom demonstrations this detector serves.
+    if (s.write.valid() && s.write_kind == Access::kWrite && !now.covers(s.write)) {
+      return make_race(Access::kWrite, s.write.tid);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Race> check_write(Tid t, Access kind, const VectorClock& now,
+                                  const Shadow& s) const {
+    (void)t;
+    const bool plain = kind == Access::kWrite;
+    if (s.write.valid() && !now.covers(s.write)) {
+      // write-write: racy unless both sides are RMWs.
+      if (plain || s.write_kind == Access::kWrite) {
+        return make_race(s.write_kind, s.write.tid);
+      }
+    }
+    if (plain) {
+      // write-read: any unordered prior read conflicts with a plain write.
+      if (s.read_shared != nullptr) {
+        if (!now.covers(*s.read_shared)) {
+          // Find one uncovered reader for the report.
+          for (Tid r = 0; r < static_cast<Tid>(threads_.size()); ++r) {
+            if (s.read_shared->get(r) > now.get(r)) {
+              return make_race(Access::kRead, r);
+            }
+          }
+          return make_race(Access::kRead, 0);
+        }
+      } else if (s.read.valid() && !now.covers(s.read)) {
+        return make_race(Access::kRead, s.read.tid);
+      }
+    }
+    return std::nullopt;
+  }
+
+  void record(Tid t, Access kind, const VectorClock& now, Shadow& s) {
+    if (kind == Access::kRead) {
+      const Epoch e = now.epoch_of(t);
+      if (s.read_shared != nullptr) {
+        s.read_shared->set(t, e.clock);
+      } else if (s.read.valid() && s.read.tid != t && !now.covers(s.read)) {
+        // Two concurrent readers: inflate to a full read clock (FastTrack's
+        // read-shared transition). Concurrent reads alone are fine — the
+        // clock exists so a later plain write can be checked against all.
+        s.read_shared = std::make_unique<VectorClock>();
+        s.read_shared->set(s.read.tid, s.read.clock);
+        s.read_shared->set(t, e.clock);
+        s.read = Epoch{};
+      } else {
+        s.read = e;
+      }
+    } else {
+      s.write = now.epoch_of(t);
+      s.write_kind = kind;
+      // A covering write resets read history (FastTrack: same-epoch reads
+      // are subsumed).
+      s.read = Epoch{};
+      s.read_shared.reset();
+    }
+  }
+
+  std::vector<VectorClock> threads_;
+  std::map<std::uintptr_t, VectorClock> sync_;
+  std::map<std::uintptr_t, Shadow> shadow_;
+};
+
+}  // namespace pml::analyze

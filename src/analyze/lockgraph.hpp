@@ -1,0 +1,199 @@
+#pragma once
+
+/// \file lockgraph.hpp
+/// \brief Lock-order-graph deadlock predictor (Goodlock-style).
+///
+/// Every time a thread acquires lock B while already holding lock A we add
+/// the edge A -> B, remembering which thread added it and which *other*
+/// locks were held at that moment (the "gate set"). After the run, a cycle
+/// in the graph is a potential deadlock — two threads acquired the same
+/// locks in opposite orders — even if this particular execution never
+/// actually hung. That prediction-over-observation property is the whole
+/// point: a student's buggy ordering is reported on every run, not just the
+/// unlucky ones.
+///
+/// Two classic false-positive filters are applied to a candidate cycle:
+///   - single-thread cycles: both orders taken by the same thread can never
+///     self-deadlock;
+///   - gate locks: if every edge of the cycle was taken while some common
+///     lock G was also held, G serialises the region and the cycle cannot
+///     close at runtime.
+///
+/// Pure data structure — no globals, no threads — exercised directly by
+/// tests/analyze/lockgraph_test.cpp on hand-built acquisition histories.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/vector_clock.hpp"
+
+namespace pml::analyze {
+
+/// A lock identity: the wrapper object's address plus an optional name
+/// (named critical sections, annotated mutexes) for readable reports.
+using LockId = std::uintptr_t;
+
+/// One predicted deadlock: the lock cycle and the threads that established
+/// opposite orders.
+struct LockCycle {
+  std::vector<LockId> locks;  ///< The cycle, in edge order (size >= 2).
+  std::vector<Tid> threads;   ///< Threads contributing the edges.
+};
+
+class LockOrderGraph {
+ public:
+  /// Records that \p tid acquired \p next while holding \p held (the set of
+  /// locks held immediately before this acquisition, in acquisition order).
+  void on_acquire(Tid tid, LockId next, const std::vector<LockId>& held) {
+    if (held.empty()) return;
+    const LockId prev = held.back();
+    // Gate set: every held lock other than the direct predecessor.
+    std::set<LockId> gates(held.begin(), held.end() - 1);
+    for (LockId h : held) {
+      Edge& e = edges_[{h, next}];
+      if (h == prev) {
+        e.direct = true;
+      }
+      e.threads.insert(tid);
+      if (!e.seen) {
+        e.seen = true;
+        e.gates = gates;
+        e.gates.erase(h);
+      } else {
+        // Intersect: a gate must protect *every* occurrence of the edge.
+        std::set<LockId> kept;
+        for (LockId g : e.gates) {
+          if (gates.count(g) != 0 && g != h) kept.insert(g);
+        }
+        e.gates = std::move(kept);
+      }
+    }
+  }
+
+  /// Registers a display name for a lock (last writer wins).
+  void name_lock(LockId lock, std::string name) {
+    names_[lock] = std::move(name);
+  }
+
+  /// Display name for a lock ("lock@0x..." fallback).
+  std::string name_of(LockId lock) const {
+    auto it = names_.find(lock);
+    if (it != names_.end() && !it->second.empty()) return it->second;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "lock@%#llx",
+                  static_cast<unsigned long long>(lock));
+    return buf;
+  }
+
+  /// Finds every minimal cycle that survives the single-thread and
+  /// gate-lock filters. Cycles are canonicalised (rotated so the smallest
+  /// lock id leads) and deduplicated.
+  std::vector<LockCycle> cycles() const {
+    std::vector<LockCycle> out;
+    std::set<std::vector<LockId>> seen;
+    std::vector<LockId> path;
+    std::set<LockId> on_path;
+    for (const auto& [key, edge] : edges_) {
+      (void)edge;
+      path.clear();
+      on_path.clear();
+      dfs(key.first, key.first, path, on_path, seen, out);
+    }
+    return out;
+  }
+
+  /// True when no acquisition ever nested (graph is empty).
+  bool empty() const noexcept { return edges_.empty(); }
+
+ private:
+  struct Edge {
+    bool seen = false;
+    bool direct = false;         ///< Held-top -> next (vs. transitive hold).
+    std::set<Tid> threads;       ///< Threads that took this order.
+    std::set<LockId> gates;      ///< Locks held across every occurrence.
+  };
+
+  void dfs(LockId root, LockId at, std::vector<LockId>& path,
+           std::set<LockId>& on_path, std::set<std::vector<LockId>>& seen,
+           std::vector<LockCycle>& out) const {
+    path.push_back(at);
+    on_path.insert(at);
+    for (const auto& [key, edge] : edges_) {
+      if (key.first != at) continue;
+      const LockId to = key.second;
+      if (to == root && path.size() >= 2) {
+        emit(path, seen, out);
+      } else if (to > root && on_path.count(to) == 0) {
+        // Only explore ids above the root: each cycle is found exactly once,
+        // rooted at its smallest lock id.
+        dfs(root, to, path, on_path, seen, out);
+      }
+    }
+    on_path.erase(at);
+    path.pop_back();
+  }
+
+  void emit(const std::vector<LockId>& cycle, std::set<std::vector<LockId>>& seen,
+            std::vector<LockCycle>& out) const {
+    if (seen.count(cycle) != 0) return;
+
+    // Collect per-edge thread and gate sets around the cycle.
+    std::set<Tid> all_threads;
+    bool first_edge = true;
+    std::set<LockId> common_gates;
+    bool distinct_threads_possible = false;
+    std::set<Tid> prev_threads;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      const LockId from = cycle[i];
+      const LockId to = cycle[(i + 1) % cycle.size()];
+      auto it = edges_.find({from, to});
+      if (it == edges_.end()) return;
+      const Edge& e = it->second;
+      all_threads.insert(e.threads.begin(), e.threads.end());
+      if (first_edge) {
+        common_gates = e.gates;
+        prev_threads = e.threads;
+        first_edge = false;
+      } else {
+        std::set<LockId> kept;
+        for (LockId g : common_gates) {
+          if (e.gates.count(g) != 0) kept.insert(g);
+        }
+        common_gates = std::move(kept);
+        // Two adjacent edges taken by different threads is enough for the
+        // cycle to be realisable by >1 thread.
+        for (Tid t : e.threads) {
+          if (prev_threads.count(t) == 0) distinct_threads_possible = true;
+        }
+        for (Tid t : prev_threads) {
+          if (e.threads.count(t) == 0) distinct_threads_possible = true;
+        }
+        prev_threads = e.threads;
+      }
+    }
+    // Single-thread filter: a cycle all of whose edges were only ever taken
+    // by one and the same thread cannot deadlock.
+    if (all_threads.size() < 2 || !distinct_threads_possible) return;
+    // Gate-lock filter: a lock held across every edge serialises the cycle.
+    for (LockId g : common_gates) {
+      bool in_cycle = std::find(cycle.begin(), cycle.end(), g) != cycle.end();
+      if (!in_cycle) return;
+    }
+
+    seen.insert(cycle);
+    LockCycle c;
+    c.locks = cycle;
+    c.threads.assign(all_threads.begin(), all_threads.end());
+    out.push_back(std::move(c));
+  }
+
+  std::map<std::pair<LockId, LockId>, Edge> edges_;
+  std::map<LockId, std::string> names_;
+};
+
+}  // namespace pml::analyze

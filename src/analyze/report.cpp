@@ -1,0 +1,51 @@
+#include "analyze/report.hpp"
+
+#include <cstdio>
+
+namespace pml::analyze {
+
+const char* to_string(Checker c) noexcept {
+  switch (c) {
+    case Checker::kRace: return "race";
+    case Checker::kDeadlock: return "deadlock";
+    case Checker::kWorkshare: return "workshare";
+    case Checker::kComm: return "comm";
+  }
+  return "?";
+}
+
+int Report::error_count() const noexcept {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (f.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+std::string Report::to_string() const {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += "analyze: ";
+    out += pml::analyze::to_string(f.checker);
+    out += f.severity == Severity::kError ? " error: " : " note: ";
+    out += f.message;
+    out += '\n';
+  }
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "analyze: %d error(s), %zu finding(s) | %llu reads, %llu writes, "
+                "%llu rmws, %llu lock acquires, %llu sync edges, %llu messages, "
+                "%llu threads\n",
+                error_count(), findings.size(),
+                static_cast<unsigned long long>(counters.reads),
+                static_cast<unsigned long long>(counters.writes),
+                static_cast<unsigned long long>(counters.rmws),
+                static_cast<unsigned long long>(counters.acquires),
+                static_cast<unsigned long long>(counters.sync_edges),
+                static_cast<unsigned long long>(counters.messages),
+                static_cast<unsigned long long>(counters.threads));
+  out += line;
+  return out;
+}
+
+}  // namespace pml::analyze

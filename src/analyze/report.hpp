@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file report.hpp
+/// \brief Structured findings from one analyze::Scope.
+///
+/// A Report is what the analyzer hands back to the runner: a list of
+/// findings (each attributed to one of the four checkers), counters for the
+/// events the collector saw, and a clean()/error_count() summary the CLI and
+/// the catalog tests gate on. Severity splits hard diagnoses (a race, a lock
+/// cycle, an unmatched receive) from advisory notes (wildcard-receive
+/// nondeterminism in a correct master–worker pattern): only kError findings
+/// make a run "dirty".
+///
+/// Deliberately knows nothing about Patternlet/Registry — the remediation
+/// text naming the fixing toggle is synthesised a layer up (core/runner),
+/// keeping pml_analyze below pml_core in the library stack.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pml::analyze {
+
+/// Which checker produced a finding.
+enum class Checker {
+  kRace,       ///< Happens-before race detector.
+  kDeadlock,   ///< Lock-order-graph deadlock predictor.
+  kWorkshare,  ///< SMP worksharing / barrier-divergence lint.
+  kComm,       ///< MP communication lint.
+};
+
+/// Printable checker name ("race", "deadlock", "workshare", "comm").
+const char* to_string(Checker c) noexcept;
+
+/// How hard a finding is.
+enum class Severity {
+  kError,  ///< Definite diagnosis; gates exit codes and the clean sweep.
+  kNote,   ///< Advisory; reported but never fails a run.
+};
+
+/// One diagnostic.
+struct Finding {
+  Checker checker = Checker::kRace;
+  Severity severity = Severity::kError;
+  /// What the variable / lock / message is called in the patternlet's own
+  /// vocabulary ("balance", "critical:sum", "tag 17"), when known.
+  std::string subject;
+  /// Full human-readable diagnosis.
+  std::string message;
+  /// Address involved, when meaningful (races, locks); 0 otherwise.
+  std::uintptr_t address = 0;
+};
+
+/// Event counters — cheap evidence of what the collector actually saw,
+/// printed with the report so an unexpectedly clean run is debuggable.
+struct Counters {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t rmws = 0;
+  std::uint64_t acquires = 0;
+  std::uint64_t sync_edges = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t threads = 0;
+};
+
+/// Everything one analysis scope produced.
+struct Report {
+  std::vector<Finding> findings;
+  Counters counters;
+
+  /// Findings that gate (Severity::kError).
+  int error_count() const noexcept;
+  /// No error findings (notes allowed).
+  bool clean() const noexcept { return error_count() == 0; }
+
+  /// Multi-line human-readable rendering (one "analyze:" line per finding
+  /// plus a summary line).
+  std::string to_string() const;
+};
+
+}  // namespace pml::analyze

@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file vector_clock.hpp
+/// \brief Vector-clock algebra for the happens-before race detector.
+///
+/// A VectorClock maps thread ids to logical clocks; VC_a covers VC_b when
+/// every component of b is <= the matching component of a. The detector
+/// (hb.hpp) follows FastTrack's key economy: most shadow state is a single
+/// Epoch (tid @ clock) rather than a full clock, because most variables are
+/// written by one thread at a time and an epoch comparison is O(1). Only
+/// read-shared locations inflate to a full read clock.
+///
+/// This header is pure algebra — no threads, no globals — so the unit tests
+/// (tests/analyze/vector_clock_test.cpp) can exercise every ordering case
+/// directly.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pml::analyze {
+
+/// Thread id within one analysis scope (dense, assigned on first event).
+using Tid = std::uint32_t;
+/// Logical clock value of one thread.
+using Clock = std::uint64_t;
+
+/// One (thread, clock) point — FastTrack's scalar stand-in for the common
+/// "last access was by a single thread" case.
+struct Epoch {
+  Tid tid = 0;
+  Clock clock = 0;  ///< 0 = "never": covered by everything.
+
+  bool valid() const noexcept { return clock != 0; }
+
+  friend bool operator==(const Epoch& a, const Epoch& b) noexcept {
+    return a.tid == b.tid && a.clock == b.clock;
+  }
+};
+
+/// A growable vector clock. Component i is thread i's clock; components
+/// beyond size() are implicitly 0.
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  /// Clock of thread \p t (0 if never seen).
+  Clock get(Tid t) const noexcept {
+    return t < c_.size() ? c_[t] : 0;
+  }
+
+  /// Sets thread \p t's component.
+  void set(Tid t, Clock v) {
+    if (t >= c_.size()) c_.resize(static_cast<std::size_t>(t) + 1, 0);
+    c_[t] = v;
+  }
+
+  /// Increments thread \p t's component and returns the new value.
+  Clock bump(Tid t) {
+    if (t >= c_.size()) c_.resize(static_cast<std::size_t>(t) + 1, 0);
+    return ++c_[t];
+  }
+
+  /// Pointwise maximum: this := max(this, other).
+  void join(const VectorClock& other) {
+    if (other.c_.size() > c_.size()) c_.resize(other.c_.size(), 0);
+    for (std::size_t i = 0; i < other.c_.size(); ++i) {
+      if (other.c_[i] > c_[i]) c_[i] = other.c_[i];
+    }
+  }
+
+  /// True iff \p e happens-before (or at) this clock: e.clock <= get(e.tid).
+  /// An invalid ("never") epoch is covered vacuously.
+  bool covers(const Epoch& e) const noexcept {
+    return e.clock <= get(e.tid);
+  }
+
+  /// True iff every component of \p other is <= the matching component here
+  /// (other happens-before-or-equals this).
+  bool covers(const VectorClock& other) const noexcept {
+    for (std::size_t i = 0; i < other.c_.size(); ++i) {
+      if (other.c_[i] > get(static_cast<Tid>(i))) return false;
+    }
+    return true;
+  }
+
+  /// The epoch (t @ get(t)) of thread t under this clock.
+  Epoch epoch_of(Tid t) const noexcept { return Epoch{t, get(t)}; }
+
+  /// Number of explicit components (diagnostics).
+  std::size_t size() const noexcept { return c_.size(); }
+
+  /// Drops every component (back to the zero clock).
+  void clear() noexcept { c_.clear(); }
+
+ private:
+  std::vector<Clock> c_;
+};
+
+}  // namespace pml::analyze

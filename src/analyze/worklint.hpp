@@ -1,0 +1,137 @@
+#pragma once
+
+/// \file worklint.hpp
+/// \brief SMP worksharing lint: barrier divergence and mismatched
+/// worksharing sequences across a team.
+///
+/// OpenMP's rules (which pml::smp::Region inherits) require every thread of
+/// a team to encounter the same sequence of worksharing constructs and
+/// barriers, in the same order. A patternlet that hides a barrier behind
+/// `if (thread_id == 0)` hangs — or worse, pairs thread 0's barrier with
+/// thread 1's *next* barrier and silently misaligns the phases. This lint
+/// records each thread's construct sequence during the parallel region and
+/// diffs them when the team disbands, reporting the first index at which two
+/// threads diverge.
+///
+/// Pure engine; serialised by the Collector; driven directly by
+/// tests/analyze/worklint_test.cpp.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/report.hpp"
+#include "analyze/vector_clock.hpp"
+
+namespace pml::analyze {
+
+/// The construct kinds that must line up across a team.
+enum class Construct {
+  kBarrier,
+  kFor,       ///< Worksharing loop (Region::for_each / parallel_for).
+  kSections,
+  kSingle,
+  kReduce,
+  kTaskwait,
+};
+
+inline const char* to_string(Construct c) noexcept {
+  switch (c) {
+    case Construct::kBarrier: return "barrier";
+    case Construct::kFor: return "for";
+    case Construct::kSections: return "sections";
+    case Construct::kSingle: return "single";
+    case Construct::kReduce: return "reduce";
+    case Construct::kTaskwait: return "taskwait";
+  }
+  return "?";
+}
+
+class WorkshareTracker {
+ public:
+  /// A team came up; \p team is a stable id (state address) and \p size its
+  /// thread count.
+  void team_begin(std::uintptr_t team, int size) {
+    Team& t = teams_[team];
+    t.size = size;
+    t.seq.clear();
+    t.seq.resize(static_cast<std::size_t>(size));
+  }
+
+  /// Thread \p member (0-based within the team) encountered \p c.
+  void encounter(std::uintptr_t team, int member, Construct c) {
+    auto it = teams_.find(team);
+    if (it == teams_.end()) return;
+    Team& t = it->second;
+    if (member < 0 || member >= t.size) return;
+    t.seq[static_cast<std::size_t>(member)].push_back(c);
+  }
+
+  /// The team disbanded: diff the member sequences and append findings.
+  void team_end(std::uintptr_t team, std::vector<Finding>& out) {
+    auto it = teams_.find(team);
+    if (it == teams_.end()) return;
+    diff(it->second, out);
+    teams_.erase(it);
+  }
+
+  /// Finalises every still-open team (scope teardown safety net).
+  void finish(std::vector<Finding>& out) {
+    for (auto& [id, t] : teams_) {
+      (void)id;
+      diff(t, out);
+    }
+    teams_.clear();
+  }
+
+ private:
+  struct Team {
+    int size = 0;
+    std::vector<std::vector<Construct>> seq;  ///< Per-member history.
+  };
+
+  static void diff(const Team& t, std::vector<Finding>& out) {
+    if (t.size < 2) return;
+    const std::vector<Construct>& ref = t.seq[0];
+    for (int m = 1; m < t.size; ++m) {
+      const std::vector<Construct>& other = t.seq[static_cast<std::size_t>(m)];
+      std::size_t i = 0;
+      const std::size_t n = std::min(ref.size(), other.size());
+      while (i < n && ref[i] == other[i]) ++i;
+      if (i == ref.size() && i == other.size()) continue;
+
+      Finding f;
+      f.checker = Checker::kWorkshare;
+      f.severity = Severity::kError;
+      char msg[256];
+      if (i < n) {
+        std::snprintf(msg, sizeof(msg),
+                      "worksharing divergence: thread 0 reached '%s' as "
+                      "construct #%zu of the region but thread %d reached "
+                      "'%s' — every team member must hit the same constructs "
+                      "in the same order",
+                      to_string(ref[i]), i + 1, m, to_string(other[i]));
+      } else {
+        const bool ref_longer = ref.size() > other.size();
+        std::snprintf(msg, sizeof(msg),
+                      "worksharing divergence: thread %d encountered %zu "
+                      "construct(s) but thread %d encountered %zu — a '%s' "
+                      "was skipped by part of the team",
+                      ref_longer ? 0 : m, std::max(ref.size(), other.size()),
+                      ref_longer ? m : 0, std::min(ref.size(), other.size()),
+                      to_string(ref_longer ? ref[i] : other[i]));
+      }
+      f.subject = to_string(i < ref.size() ? ref[i]
+                                           : other[std::min(i, other.size() - 1)]);
+      f.message = msg;
+      out.push_back(std::move(f));
+      break;  // One finding per team: the first divergent member tells the story.
+    }
+  }
+
+  std::map<std::uintptr_t, Team> teams_;
+};
+
+}  // namespace pml::analyze

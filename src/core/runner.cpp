@@ -3,6 +3,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "analyze/analyze.hpp"
 #include "core/error.hpp"
 #include "sched/sched.hpp"
 
@@ -37,6 +38,10 @@ RunResult run(const Patternlet& p, const RunSpec& spec) {
   Trace trace;
   RunContext ctx{tasks, toggles, out, trace, spec.params};
 
+  // Analysis window covers exactly the body, like the chaos window below.
+  std::optional<analyze::Scope> analysis;
+  if (spec.analyze) analysis.emplace();
+
   const auto t0 = std::chrono::steady_clock::now();
   {
     // Perturbation window covers exactly the body: the scope restores the
@@ -53,6 +58,19 @@ RunResult run(const Patternlet& p, const RunSpec& spec) {
     trace.record(-1, "lost-updates", ctx.probe.expected(), ctx.probe.observed());
   }
 
+  // Findings ride the same trace channel as the schedule figures and the
+  // probe: task -1 (the orchestrator), kind "finding:<checker>",
+  // key = finding index, aux = 1 for errors / 0 for notes.
+  std::optional<analyze::Report> report;
+  if (analysis.has_value()) {
+    report = analysis->finish();
+    std::int64_t index = 0;
+    for (const auto& f : report->findings) {
+      trace.record(-1, std::string("finding:") + analyze::to_string(f.checker), index++,
+                   f.severity == analyze::Severity::kError ? 1 : 0);
+    }
+  }
+
   RunResult result;
   result.slug = p.slug;
   result.tasks = tasks;
@@ -65,11 +83,34 @@ RunResult run(const Patternlet& p, const RunSpec& spec) {
     result.expected_updates = ctx.probe.expected();
     result.observed_updates = ctx.probe.observed();
   }
+  result.analysis = std::move(report);
   return result;
 }
 
 RunResult run(const std::string& slug, const RunSpec& spec) {
   return run(Registry::instance().get(slug), spec);
+}
+
+std::string remediation_for(const Patternlet& p) {
+  if (!p.race_demo.has_value()) {
+    return "remediation: no staged fix is declared for '" + p.slug +
+           "'; add the missing synchronization by hand.";
+  }
+  const RaceDemo& demo = *p.race_demo;
+  if (demo.fixed_toggles.empty()) {
+    return "remediation: '" + p.slug +
+           "' stages this bug on purpose and declares no fixing toggle — its "
+           "lesson *is* the unprotected update; compare with its protected "
+           "sibling patternlet.";
+  }
+  // Phrased as the runner's own flags so the line is copy-pasteable.
+  std::string out = "remediation: re-enable the protective line(s):";
+  for (const auto& [name, value] : demo.fixed_toggles) {
+    out += value ? " --on \"" : " --off \"";
+    out += name;
+    out += "\"";
+  }
+  return out;
 }
 
 }  // namespace pml

@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 
+#include "analyze/report.hpp"
 #include "core/output.hpp"
 #include "core/registry.hpp"
 #include "core/toggle.hpp"
@@ -33,6 +34,12 @@ struct RunSpec {
   /// staged races manifest reproducibly (`--chaos-seed` in the runner).
   /// The perturbation window covers exactly the body's execution.
   std::uint64_t chaos_seed = 0;
+  /// Run the body under pml::analyze (`--analyze` in the runner): the
+  /// happens-before race detector, lock-order deadlock predictor, and
+  /// worksharing/communication lints collect over exactly the body's
+  /// execution and report into RunResult::analysis. Unlike chaos mode this
+  /// needs no lucky schedule — a racy config reports on every run.
+  bool analyze = false;
 };
 
 /// Everything observable from one patternlet execution.
@@ -48,6 +55,8 @@ struct RunResult {
   /// correct run would make, updates observed. Absent otherwise.
   std::optional<long> expected_updates;
   std::optional<long> observed_updates;
+  /// Analysis report when RunSpec::analyze was set. Absent otherwise.
+  std::optional<analyze::Report> analysis;
 
   /// True iff the probe saw the staged race fire (some updates lost).
   bool race_manifested() const {
@@ -70,5 +79,10 @@ RunResult run(const Patternlet& p, const RunSpec& spec = {});
 
 /// Convenience: looks up the slug in the global Registry and runs it.
 RunResult run(const std::string& slug, const RunSpec& spec = {});
+
+/// Remediation line for a finding-laden analysis of \p p: names the fixing
+/// toggles from the RaceDemo annotation when the patternlet declares them
+/// ("the protective line to uncomment"), or says there is none to name.
+std::string remediation_for(const Patternlet& p);
 
 }  // namespace pml

@@ -1,5 +1,8 @@
 #include "mp/mailbox.hpp"
 
+#include <set>
+
+#include "analyze/analyze.hpp"
 #include "sched/sched.hpp"
 
 namespace pml::mp {
@@ -10,12 +13,20 @@ void Mailbox::deliver(Envelope e) {
   // the per-(source, tag) non-overtaking guarantee (arrival-order matching
   // below) is untouched.
   sched::point(sched::Point::kDelivery);
+  // Message edge, sender half: the sender's writes up to here happen-before
+  // the receive that matches this envelope (acquired in extract_locked).
+  e.analyze_id = analyze::on_mp_deliver(owner_, e.source, e.tag, e.context);
   {
     std::lock_guard lock(mu_);
     queue_.push_back(std::move(e));
     if (delivered_) delivered_(queue_.back());
   }
   arrived_.notify_all();
+}
+
+void Mailbox::set_owner(int rank) {
+  std::lock_guard lock(mu_);
+  owner_ = rank;
 }
 
 void Mailbox::set_progress_hooks(std::function<void(int)> block_delta,
@@ -50,6 +61,20 @@ std::optional<Envelope> Mailbox::extract_locked(int context, int source, int tag
     if (matches(*it, context, source, tag)) {
       Envelope e = std::move(*it);
       queue_.erase(it);
+      if (analyze::active()) {
+        // How many distinct sources could this wildcard receive have
+        // matched right now? >= 2 means the match is schedule-dependent.
+        std::size_t wild_sources = 0;
+        if (source == kAnySource) {
+          std::set<int> sources{e.source};
+          for (const auto& other : queue_) {
+            if (matches(other, context, source, tag)) sources.insert(other.source);
+          }
+          wild_sources = sources.size();
+        }
+        analyze::on_mp_match(e.analyze_id, owner_, e.source, e.tag, e.context,
+                             source, wild_sources);
+      }
       return e;
     }
   }
@@ -81,7 +106,16 @@ std::optional<Envelope> Mailbox::receive_for(int context, int source, int tag,
     // deadline wait recovers on its own, so it is never "stuck".
     if (arrived_.wait_until(lock, deadline) == std::cv_status::timeout) {
       // One final check: the message may have arrived with the deadline.
-      return extract_locked(context, source, tag);
+      auto e = extract_locked(context, source, tag);
+      if (!e && analyze::active()) {
+        // Near-miss diagnosis: snapshot what WAS queued so the comm lint
+        // can say "right source, wrong tag" rather than just "timed out".
+        std::vector<analyze::MsgCoord> present;
+        present.reserve(queue_.size());
+        for (const auto& m : queue_) present.push_back({m.source, m.tag, m.context});
+        analyze::on_mp_timeout(owner_, source, tag, context, present);
+      }
+      return e;
     }
   }
 }
@@ -104,6 +138,11 @@ std::optional<Status> Mailbox::probe(int context, int source, int tag) const {
 std::size_t Mailbox::queued() const {
   std::lock_guard lock(mu_);
   return queue_.size();
+}
+
+std::vector<Envelope> Mailbox::snapshot() const {
+  std::lock_guard lock(mu_);
+  return {queue_.begin(), queue_.end()};
 }
 
 void Mailbox::poison() {

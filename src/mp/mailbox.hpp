@@ -16,6 +16,7 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "core/error.hpp"
 #include "mp/message.hpp"
@@ -51,6 +52,14 @@ class Mailbox {
   /// Number of queued messages (any context/source/tag).
   std::size_t queued() const;
 
+  /// Copy of every queued envelope (pml::analyze finalize-time leftover
+  /// scan: a message still here when the runtime joins is an unmatched
+  /// send).
+  std::vector<Envelope> snapshot() const;
+
+  /// Records the owning rank so analysis events can name it.
+  void set_owner(int rank);
+
   /// Marks the runtime as shutting down: pending and future blocking
   /// receives throw RuntimeFault instead of hanging forever.
   void poison();
@@ -72,6 +81,7 @@ class Mailbox {
   std::function<void(int)> block_delta_;
   std::function<void(const Envelope&)> delivered_;
   bool poisoned_ = false;
+  int owner_ = -1;  ///< Owning rank (analysis diagnostics).
 };
 
 }  // namespace pml::mp

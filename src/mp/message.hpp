@@ -25,6 +25,7 @@ struct Envelope {
   Payload data;          ///< Serialized body.
   bool wants_ack = false;        ///< Synchronous send: receiver must ack.
   std::uint64_t ack_id = 0;      ///< Ack key when wants_ack.
+  std::uint64_t analyze_id = 0;  ///< pml::analyze delivery token (0 = off).
 };
 
 /// Outcome of a receive (MPI_Status analogue).

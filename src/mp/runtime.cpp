@@ -2,7 +2,9 @@
 
 #include <exception>
 
+#include "analyze/analyze.hpp"
 #include "mp/communicator.hpp"
+#include "sched/sched.hpp"
 #include "smp/wtime.hpp"
 #include "thread/thread.hpp"
 
@@ -54,6 +56,7 @@ void run(int nprocs, const std::function<void(Communicator&)>& program,
 
   // Progress hooks feeding the deadlock watchdog and the message trace.
   for (int dest = 0; dest < nprocs; ++dest) {
+    state->mailboxes[static_cast<std::size_t>(dest)]->set_owner(dest);
     state->mailboxes[static_cast<std::size_t>(dest)]->set_progress_hooks(
         [state = state.get()](int delta) {
           state->blocked.fetch_add(delta, std::memory_order_relaxed);
@@ -108,10 +111,22 @@ void run(int nprocs, const std::function<void(Communicator&)>& program,
       });
     }
 
+    // Fork/join happens-before edges for the analyzer, keyed on this run's
+    // error vector: launcher state flows into every rank, every rank's
+    // writes flow back to the launcher at join. Distinct fork/join keys for
+    // the same reason as thread::run_all — one key would let an
+    // early-finishing rank's history leak into a late-starting rank.
+    const void* fork_key = reinterpret_cast<const char*>(&errors) + 1;
+    const void* join_key = &errors;
+    analyze::on_sync_release(fork_key);
     std::vector<std::jthread> ranks;
     ranks.reserve(static_cast<std::size_t>(nprocs));
     for (int r = 0; r < nprocs; ++r) {
-      ranks.emplace_back([&, r] {
+      ranks.emplace_back([&, r, fork_key, join_key] {
+        // Deterministic perturbation lane per rank, as fork_join does for
+        // team threads — a chaos seed replays the same per-rank schedule.
+        sched::bind_lane(static_cast<std::uint32_t>(r));
+        analyze::on_sync_acquire(fork_key);
         Communicator world(state, /*context=*/0, world_group, r);
         try {
           program(world);
@@ -122,15 +137,28 @@ void run(int nprocs, const std::function<void(Communicator&)>& program,
           state->poison_all();
         }
         state->finished.fetch_add(1, std::memory_order_relaxed);
+        analyze::on_sync_release(join_key);
       });
     }
     ranks.clear();  // joins the ranks
+    analyze::on_sync_acquire(join_key);
     {
       std::lock_guard lock(done_mu);
       job_done = true;
     }
     done_cv.notify_all();
   }  // joins the watchdog
+
+  // Finalize-time comm lint: any message still queued was sent but never
+  // received — the MPI "unmatched send" bug class.
+  if (analyze::active()) {
+    for (int dest = 0; dest < nprocs; ++dest) {
+      for (const Envelope& e :
+           state->mailboxes[static_cast<std::size_t>(dest)]->snapshot()) {
+        analyze::on_mp_leftover(dest, e.source, e.tag, e.context);
+      }
+    }
+  }
 
   if (state->deadlock_detected.load()) {
     throw DeadlockError(

@@ -2,6 +2,7 @@
 /// \brief Point-to-point messaging patternlets: pairwise exchange, the ring,
 /// and the classic recv-before-send deadlock with its sendrecv fix.
 
+#include <atomic>
 #include <chrono>
 #include <string>
 
@@ -119,6 +120,9 @@ void register_messaging(Registry& registry) {
       .default_tasks = 2,
       .body =
           [](RunContext& ctx) {
+            // Exchanges that actually completed, for the probe: a correct
+            // run completes one receive on each of the two exchangers.
+            std::atomic<long> completed{0};
             // Two ranks suffice to show the cycle; extra ranks idle.
             pml::mp::run(ctx.tasks, [&](pml::mp::Communicator& comm) {
               const int rank = comm.rank();
@@ -131,6 +135,7 @@ void register_messaging(Registry& registry) {
               const int mine = (rank + 1) * 100;
               if (ctx.toggles.on("use sendrecv")) {
                 const int theirs = comm.sendrecv<int>(mine, partner, partner);
+                completed.fetch_add(1, std::memory_order_relaxed);
                 ctx.out.say(rank, "Process " + std::to_string(rank) + " received " +
                                       std::to_string(theirs));
                 return;
@@ -140,6 +145,7 @@ void register_messaging(Registry& registry) {
                   comm.recv_for<int>(std::chrono::milliseconds(200), partner);
               if (theirs) {
                 // Unreachable in practice; kept so the lesson is honest.
+                completed.fetch_add(1, std::memory_order_relaxed);
                 ctx.out.say(rank, "Process " + std::to_string(rank) + " received " +
                                       std::to_string(*theirs));
                 comm.send(mine, partner);
@@ -151,6 +157,8 @@ void register_messaging(Registry& registry) {
                             "DEADLOCK");
               }
             });
+            ctx.probe.expect(ctx.tasks >= 2 ? 2 : 0);
+            ctx.probe.observe(completed.load(std::memory_order_relaxed));
           },
   });
 }

@@ -56,8 +56,10 @@ void register_mutex(Registry& registry) {
                                 if (critical_on) {
                                   region.critical([&] { balance += 1.0; });
                                 } else {
-                                  const double cur = pml::smp::atomic_read(balance);
-                                  pml::smp::atomic_write(balance, cur + 1.0);
+                                  const double cur =
+                                      pml::smp::atomic_read(balance, "balance");
+                                  pml::smp::atomic_write(balance, cur + 1.0,
+                                                         "balance");
                                 }
                               });
             });
@@ -94,10 +96,10 @@ void register_mutex(Registry& registry) {
             double balance = 0.0;
             pml::smp::parallel_for(ctx.tasks, 0, reps, [&](int, std::int64_t) {
               if (atomic_on) {
-                pml::smp::atomic_add(balance, 1.0);
+                pml::smp::atomic_add(balance, 1.0, "balance");
               } else {
-                const double cur = pml::smp::atomic_read(balance);
-                pml::smp::atomic_write(balance, cur + 1.0);
+                const double cur = pml::smp::atomic_read(balance, "balance");
+                pml::smp::atomic_write(balance, cur + 1.0, "balance");
               }
             });
             ctx.probe.expect(reps);
@@ -137,7 +139,7 @@ void register_mutex(Registry& registry) {
                                   if (use_critical) {
                                     region.critical([&] { balance += 1.0; });
                                   } else {
-                                    pml::smp::atomic_add(balance, 1.0);
+                                    pml::smp::atomic_add(balance, 1.0, "balance");
                                   }
                                 });
               });

@@ -9,6 +9,7 @@
 /// as torn read/write pairs of atomics — real lost updates, no UB.
 
 #include <string>
+#include <vector>
 
 #include "patternlets/omp/register_omp.hpp"
 #include "smp/smp.hpp"
@@ -38,22 +39,41 @@ void register_private_race(Registry& registry) {
           [](RunContext& ctx) {
             const bool private_on = ctx.toggles.on("private(temp)");
             long shared_temp = 0;
+            // What each thread ended up reporting, indexed by id (distinct
+            // elements — not itself shared). Feeds the anomaly probe below.
+            std::vector<long> reported(static_cast<std::size_t>(ctx.tasks), 0);
             pml::smp::parallel(ctx.tasks, [&](pml::smp::Region& region) {
               const int id = region.thread_num();
               if (private_on) {
                 const long temp = static_cast<long>(id) * id;
+                reported[static_cast<std::size_t>(id)] = temp;
                 ctx.out.say(id, "Thread " + std::to_string(id) +
                                     " computed temp = " + std::to_string(temp));
               } else {
                 // Shared temp: write, linger, read back — another thread's
                 // write can land in between.
-                pml::smp::atomic_write(shared_temp, static_cast<long>(id) * id);
+                pml::smp::atomic_write(shared_temp, static_cast<long>(id) * id,
+                                       "temp");
                 region.barrier();  // maximize the chance of overlap
-                const long temp = pml::smp::atomic_read(shared_temp);
+                const long temp = pml::smp::atomic_read(shared_temp, "temp");
+                reported[static_cast<std::size_t>(id)] = temp;
                 ctx.out.say(id, "Thread " + std::to_string(id) +
                                     " computed temp = " + std::to_string(temp));
               }
             });
+            // Probe: a "correct" update is a thread reporting its own
+            // square. With the private clause every thread does; with one
+            // shared temp whoever's write survived the barrier wins and the
+            // rest report an alien square.
+            long correct = 0;
+            for (int id = 0; id < ctx.tasks; ++id) {
+              if (reported[static_cast<std::size_t>(id)] ==
+                  static_cast<long>(id) * id) {
+                ++correct;
+              }
+            }
+            ctx.probe.expect(ctx.tasks);
+            ctx.probe.observe(correct);
           },
   });
 
@@ -79,8 +99,8 @@ void register_private_race(Registry& registry) {
             long balance = 0;
             pml::smp::parallel_for(ctx.tasks, 0, reps, [&](int, std::int64_t) {
               // balance += 1, torn into separate read and write.
-              const long cur = pml::smp::atomic_read(balance);
-              pml::smp::atomic_write(balance, cur + 1);
+              const long cur = pml::smp::atomic_read(balance, "balance");
+              pml::smp::atomic_write(balance, cur + 1, "balance");
             });
             ctx.probe.expect(reps);
             ctx.probe.observe(balance);

@@ -86,9 +86,10 @@ void register_reduction(Registry& registry) {
               pml::smp::parallel_for(
                   ctx.tasks, 0, static_cast<std::int64_t>(values.size()),
                   [&](int, std::int64_t i) {
-                    const long cur = pml::smp::atomic_read(shared_sum);
+                    const long cur = pml::smp::atomic_read(shared_sum, "sum");
                     pml::smp::atomic_write(
-                        shared_sum, cur + values[static_cast<std::size_t>(i)]);
+                        shared_sum, cur + values[static_cast<std::size_t>(i)],
+                        "sum");
                   });
               par = shared_sum;
             }

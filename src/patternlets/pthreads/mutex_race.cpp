@@ -34,8 +34,8 @@ void register_mutex_race(Registry& registry) {
             pml::thread::fork_join(ctx.tasks, [&](int) {
               for (long i = 0; i < reps_per_thread; ++i) {
                 // counter += 1, torn into separate read and write.
-                const long cur = pml::smp::atomic_read(counter);
-                pml::smp::atomic_write(counter, cur + 1);
+                const long cur = pml::smp::atomic_read(counter, "counter");
+                pml::smp::atomic_write(counter, cur + 1, "counter");
               }
             });
             const long expected = reps_per_thread * ctx.tasks;
@@ -73,12 +73,15 @@ void register_mutex_race(Registry& registry) {
             pml::thread::Mutex mutex;
             pml::thread::fork_join(ctx.tasks, [&](int) {
               for (long i = 0; i < reps_per_thread; ++i) {
+                // Same torn read/write pair either way; the toggle only
+                // decides whether the mutex serialises it.
                 if (locked) {
                   pml::thread::LockGuard guard(mutex);
-                  counter += 1;
+                  const long cur = pml::smp::atomic_read(counter, "counter");
+                  pml::smp::atomic_write(counter, cur + 1, "counter");
                 } else {
-                  const long cur = pml::smp::atomic_read(counter);
-                  pml::smp::atomic_write(counter, cur + 1);
+                  const long cur = pml::smp::atomic_read(counter, "counter");
+                  pml::smp::atomic_write(counter, cur + 1, "counter");
                 }
               }
             });

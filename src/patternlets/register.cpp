@@ -35,6 +35,18 @@ void annotate_races(Registry& registry) {
                                            .fixed_toggles = {{"omp atomic", true}},
                                            .params = {{"reps", 20000}},
                                        });
+  registry.annotate_race("omp/private",
+                         RaceDemo{
+                             .racy_toggles = {},
+                             .fixed_toggles = {{"private(temp)", true}},
+                             .params = {},
+                         });
+  registry.annotate_race("mpi/sendrecvDeadlock",
+                         RaceDemo{
+                             .racy_toggles = {},
+                             .fixed_toggles = {{"use sendrecv", true}},
+                             .params = {},
+                         });
   registry.annotate_race("pthreads/race", RaceDemo{
                                               .racy_toggles = {},
                                               .fixed_toggles = {},

@@ -157,6 +157,11 @@ void bind_lane(std::uint32_t lane) noexcept {
   ls.calls = 0;
 }
 
+int bound_lane() noexcept {
+  const LaneState& ls = lane_state();
+  return ls.bound ? static_cast<int>(ls.lane) : -1;
+}
+
 Stats stats() noexcept {
   Stats s;
   s.points = g_points.load(std::memory_order_relaxed);

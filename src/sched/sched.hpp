@@ -109,6 +109,11 @@ void configure(std::uint64_t seed) noexcept;
 /// bind get distinct auto-assigned lanes.
 void bind_lane(std::uint32_t lane) noexcept;
 
+/// The lane the calling thread bound via bind_lane(), or -1 if it never
+/// bound one. pml::analyze uses this to report findings against the
+/// team-relative ids students see in patternlet output.
+int bound_lane() noexcept;
+
 /// Counters of perturbations applied since the last configure().
 struct Stats {
   std::uint64_t points = 0;  ///< point() calls that consulted the perturber.

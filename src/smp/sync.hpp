@@ -23,6 +23,7 @@
 #include <mutex>
 #include <type_traits>
 
+#include "analyze/analyze.hpp"
 #include "sched/sched.hpp"
 
 namespace pml::smp {
@@ -31,7 +32,7 @@ namespace pml::smp {
 /// Works for any trivially-copyable, lock-free-able T (ints, doubles).
 /// This is the `#pragma omp atomic` analogue.
 template <typename T, typename Op>
-T atomic_update(T& shared, T operand, Op op) {
+T atomic_update(T& shared, T operand, Op op, const char* label = nullptr) {
   static_assert(std::is_trivially_copyable_v<T>,
                 "atomic applies to simple scalar updates only");
   // Perturbing before the CAS loop stretches the update window but cannot
@@ -39,6 +40,8 @@ T atomic_update(T& shared, T operand, Op op) {
   // is the contrast students should see — the torn read/write pair loses
   // updates, the CAS never does.
   sched::point(sched::Point::kSharedWrite);
+  // An indivisible RMW: never races with other RMWs on the same location.
+  analyze::on_rmw(&shared, label);
   std::atomic_ref<T> ref(shared);
   T expected = ref.load(std::memory_order_relaxed);
   T desired = op(expected, operand);
@@ -51,25 +54,34 @@ T atomic_update(T& shared, T operand, Op op) {
 
 /// `#pragma omp atomic` for the common `x += v` form.
 template <typename T>
-T atomic_add(T& shared, T value) {
-  return atomic_update(shared, value, [](T a, T b) { return a + b; });
+T atomic_add(T& shared, T value, const char* label = nullptr) {
+  return atomic_update(
+      shared, value, [](T a, T b) { return a + b; }, label);
 }
 
 /// Atomic load of a shared scalar (atomic read form).
+///
+/// To the analyzer this is a *plain* read: tearing an update into
+/// atomic_read + atomic_write is exactly the bug the mutual-exclusion
+/// patternlets stage, and the torn halves must still race-detect even
+/// though each half is individually indivisible.
 template <typename T>
-T atomic_read(const T& shared) {
+T atomic_read(const T& shared, const char* label = nullptr) {
   const T value = std::atomic_ref<const T>(shared).load(std::memory_order_acquire);
   // Sync point *after* the load: when a patternlet tears an update into
   // read-then-write, this is exactly the window where another thread's
   // write gets lost. Chaos mode stretches it from nanoseconds to visible.
   sched::point(sched::Point::kSharedRead);
+  analyze::on_read(&shared, label);
   return value;
 }
 
-/// Atomic store to a shared scalar (atomic write form).
+/// Atomic store to a shared scalar (atomic write form). A plain write to
+/// the analyzer, for the same torn-update reason as atomic_read.
 template <typename T>
-void atomic_write(T& shared, T value) {
+void atomic_write(T& shared, T value, const char* label = nullptr) {
   sched::point(sched::Point::kSharedWrite);
+  analyze::on_write(&shared, label);
   std::atomic_ref<T>(shared).store(value, std::memory_order_release);
 }
 
@@ -87,7 +99,10 @@ class OrderedTicket {
   void run_in_order(std::int64_t ticket, Fn&& fn) {
     std::unique_lock lock(mu_);
     cv_.wait(lock, [&] { return next_ == ticket; });
+    // Turn k's writes happen-before turn k+1 — `ordered` forms a chain.
+    analyze::on_sync_acquire(this);
     fn();
+    analyze::on_sync_release(this);
     ++next_;
     lock.unlock();
     cv_.notify_all();

@@ -10,11 +10,14 @@
 /// execute pending tasks until the pool is quiescent.
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <utility>
 
+#include "analyze/analyze.hpp"
 #include "core/error.hpp"
 
 namespace pml::smp::detail {
@@ -26,6 +29,15 @@ class TaskPool {
 
   /// Defers a task.
   void push(Task task) {
+    if (analyze::active()) {
+      // Dispatch edge: the spawning thread's prior writes happen-before the
+      // task body, whichever team thread executes it.
+      const std::uint64_t publish = analyze::on_task_publish();
+      task = [publish, body = std::move(task)] {
+        analyze::on_task_start(publish);
+        body();
+      };
+    }
     {
       std::lock_guard lock(mu_);
       queue_.push_back(std::move(task));
@@ -48,6 +60,9 @@ class TaskPool {
   void finished() {
     {
       std::lock_guard lock(mu_);
+      // Completion edge: the task's writes happen-before whoever observes
+      // quiescence (taskwait / barrier).
+      analyze::on_sync_release(this);
       --in_flight_;
     }
     changed_.notify_all();
@@ -90,12 +105,18 @@ class TaskPool {
     for (;;) {
       if (try_execute_one()) continue;
       std::unique_lock lock(mu_);
-      if (in_flight_ == 0) return;
+      if (in_flight_ == 0) {
+        analyze::on_sync_acquire(this);  // all completed tasks' writes visible
+        return;
+      }
       if (!queue_.empty()) continue;  // raced with a push; go help again
       // Tasks are executing on other threads (and may spawn more): wait
       // for the pool to change, then re-check.
       changed_.wait(lock, [this] { return in_flight_ == 0 || !queue_.empty(); });
-      if (in_flight_ == 0) return;
+      if (in_flight_ == 0) {
+        analyze::on_sync_acquire(this);
+        return;
+      }
     }
   }
 

@@ -1,8 +1,10 @@
 #include "smp/team.hpp"
 
 #include <atomic>
+#include <string>
 #include <thread>
 
+#include "analyze/analyze.hpp"
 #include "sched/sched.hpp"
 #include "thread/thread.hpp"
 
@@ -42,18 +44,29 @@ int default_num_threads() {
 void parallel(int num_threads, const std::function<void(Region&)>& body) {
   const int n = num_threads > 0 ? num_threads : default_num_threads();
   auto state = std::make_shared<detail::TeamState>(n);
+  // Bracket the region for the worksharing lint: at team end it checks that
+  // every member encountered the same construct sequence (the OpenMP rule).
+  analyze::on_team_begin(state.get(), n);
   pml::thread::fork_join_inline(n, [&](int id) {
     Region region(state, id);
     body(region);
   });
+  analyze::on_team_end(state.get());
 }
 
 void parallel(const std::function<void(Region&)>& body) { parallel(0, body); }
 
 void Region::critical(const std::string& name, const std::function<void()>& fn) {
   sched::point(sched::Point::kLockAcquire);
-  std::lock_guard lock(critical_mutex(name));
-  fn();
+  std::mutex& mu = critical_mutex(name);
+  std::lock_guard lock(mu);
+  if (analyze::active()) {
+    const std::string label = name.empty() ? "critical" : "critical(" + name + ")";
+    analyze::LockedRegion held(&mu, label.c_str());
+    fn();
+  } else {
+    fn();
+  }
 }
 
 std::shared_ptr<detail::WorkshareSlot> Region::acquire_slot() {
@@ -78,6 +91,7 @@ void Region::depart_slot(std::uint64_t key,
 }
 
 bool Region::single(const std::function<void()>& fn, bool nowait) {
+  analyze::on_workshare(state_.get(), id_, analyze::Construct::kSingle);
   const std::uint64_t key = workshare_count_;
   auto slot = acquire_slot();
   bool executed = false;
@@ -96,6 +110,7 @@ bool Region::single(const std::function<void()>& fn, bool nowait) {
 
 void Region::for_each(std::int64_t begin, std::int64_t end, const Schedule& schedule,
                       const std::function<void(std::int64_t)>& fn, bool nowait) {
+  analyze::on_workshare(state_.get(), id_, analyze::Construct::kFor);
   const std::uint64_t key = workshare_count_;
   auto slot = acquire_slot();
 
@@ -134,6 +149,7 @@ void Region::for_each(std::int64_t begin, std::int64_t end, const Schedule& sche
 }
 
 void Region::sections(const std::vector<std::function<void()>>& sections, bool nowait) {
+  analyze::on_workshare(state_.get(), id_, analyze::Construct::kSections);
   const std::uint64_t key = workshare_count_;
   auto slot = acquire_slot();
   for (;;) {

@@ -24,6 +24,7 @@
 #include <memory>
 #include <mutex>
 
+#include "analyze/analyze.hpp"
 #include "core/error.hpp"
 #include "smp/schedule.hpp"
 #include "smp/taskpool.hpp"
@@ -94,6 +95,7 @@ class Region {
   /// task pool is quiescent, so all tasks complete before the barrier does
   /// (the OpenMP guarantee).
   void barrier() {
+    analyze::on_workshare(state_.get(), id_, analyze::Construct::kBarrier);
     state_->tasks.help_until_quiescent();
     state_->barrier.arrive_and_wait();
   }
@@ -107,7 +109,10 @@ class Region {
   /// execute tasks until none are queued or running anywhere in the team.
   /// Throws UsageError if called from inside a task (team-wide quiescence
   /// would wait on the caller itself); use try_execute_one_task() there.
-  void taskwait() { state_->tasks.help_until_quiescent(); }
+  void taskwait() {
+    analyze::on_workshare(state_.get(), id_, analyze::Construct::kTaskwait);
+    state_->tasks.help_until_quiescent();
+  }
 
   /// Cooperative helping primitive for code running *inside* a task:
   /// executes one pending task if available. Returns false when the queue
@@ -162,6 +167,7 @@ class Region {
 
 template <typename T, typename Combine>
 T Region::reduce(T local, Combine combine, T identity) {
+  analyze::on_workshare(state_.get(), id_, analyze::Construct::kReduce);
   const std::uint64_t key = workshare_count_;
   auto slot = acquire_slot();
   {

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file annotations.hpp
+/// \brief Clang thread-safety-analysis capability annotations.
+///
+/// Under `clang -Wthread-safety` these macros expand to the capability
+/// attributes that let the compiler prove, statically, that every access to
+/// a `PML_GUARDED_BY(mu)` member happens with `mu` held and that functions
+/// declaring `PML_REQUIRES(mu)` are only called under it. Everywhere else
+/// (GCC, MSVC) they expand to nothing and cost nothing.
+///
+/// Usage, mirroring the patternlets' own locking discipline:
+///
+///   pml::thread::Mutex mu;
+///   long balance PML_GUARDED_BY(mu) = 0;
+///
+///   void deposit() {
+///     pml::thread::LockGuard lock(mu);   // scoped capability
+///     balance += 1;                       // OK: mu held
+///   }
+///
+/// The dynamic checkers (pml::analyze) find the races a run exercises; these
+/// annotations reject a class of them at compile time. The two are
+/// complementary — the CI workflow builds with both.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PML_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PML_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "lock", ...).
+#define PML_CAPABILITY(x) PML_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define PML_SCOPED_CAPABILITY PML_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a member is protected by the given capability.
+#define PML_GUARDED_BY(x) PML_THREAD_ANNOTATION(guarded_by(x))
+
+/// Declares that a pointer's pointee is protected by the capability.
+#define PML_PT_GUARDED_BY(x) PML_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability to be held by the caller.
+#define PML_REQUIRES(...) PML_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function requires the capability in shared (reader) mode.
+#define PML_REQUIRES_SHARED(...) \
+  PML_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusive).
+#define PML_ACQUIRE(...) PML_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability in shared (reader) mode.
+#define PML_ACQUIRE_SHARED(...) \
+  PML_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (exclusive or shared).
+#define PML_RELEASE(...) PML_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function releases a shared capability.
+#define PML_RELEASE_SHARED(...) \
+  PML_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define PML_TRY_ACQUIRE(...) \
+  PML_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (anti-deadlock).
+#define PML_EXCLUDES(...) PML_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch: disables thread-safety analysis inside one function.
+#define PML_NO_THREAD_SAFETY_ANALYSIS PML_THREAD_ANNOTATION(no_thread_safety_analysis)

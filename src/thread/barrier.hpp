@@ -9,8 +9,10 @@
 /// patternlet (paper Figs. 7-12) relies on.
 
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
+#include "analyze/analyze.hpp"
 #include "core/error.hpp"
 
 namespace pml::thread {
@@ -31,13 +33,23 @@ class Barrier {
   bool arrive_and_wait() {
     std::unique_lock lock(mu_);
     const bool sense = sense_;
+    // Happens-before edges for the analyzer, keyed by (barrier, phase) so
+    // consecutive phases of a reused barrier cannot cross-talk: every
+    // arrival releases into the phase, every departure acquires from it —
+    // the all-to-all ordering a barrier provides. All calls run under mu_,
+    // so arrivals are recorded before any departure of the same phase.
+    analyze::on_barrier_arrive(this, phase_);
     if (--waiting_ == 0) {
       waiting_ = parties_;
       sense_ = !sense_;
+      const std::uint64_t completed = phase_++;
       cv_.notify_all();
+      analyze::on_barrier_depart(this, completed);
       return true;
     }
+    const std::uint64_t my_phase = phase_;
     cv_.wait(lock, [&] { return sense_ != sense; });
+    analyze::on_barrier_depart(this, my_phase);
     return false;
   }
 
@@ -50,6 +62,7 @@ class Barrier {
   const int parties_;
   int waiting_;
   bool sense_ = false;
+  std::uint64_t phase_ = 0;  ///< Completed-phase counter (analysis keying).
 };
 
 }  // namespace pml::thread

@@ -8,6 +8,8 @@
 #include <functional>
 #include <mutex>
 
+#include "analyze/analyze.hpp"
+
 namespace pml::thread {
 
 /// pthread_cond_t analogue.
@@ -26,6 +28,8 @@ class Event {
   void set() {
     {
       std::lock_guard lock(mu_);
+      // The setter's writes happen-before everything after a wait() return.
+      analyze::on_sync_release(this);
       signaled_ = true;
     }
     cv_.notify_all();
@@ -35,11 +39,13 @@ class Event {
   void wait() {
     std::unique_lock lock(mu_);
     cv_.wait(lock, [this] { return signaled_; });
+    analyze::on_sync_acquire(this);
   }
 
   /// True once set() has been called.
   bool is_set() const {
     std::lock_guard lock(mu_);
+    if (signaled_) analyze::on_sync_acquire(this);
     return signaled_;
   }
 
@@ -71,11 +77,17 @@ class Monitor {
   auto with_lock(Fn&& fn) {
     std::unique_lock lock(mu_);
     if constexpr (std::is_void_v<decltype(fn(value_))>) {
-      fn(value_);
+      {
+        analyze::LockedRegion held(&mu_, "monitor");
+        fn(value_);
+      }
       lock.unlock();
       cv_.notify_all();
     } else {
-      auto result = fn(value_);
+      auto result = [&] {
+        analyze::LockedRegion held(&mu_, "monitor");
+        return fn(value_);
+      }();
       lock.unlock();
       cv_.notify_all();
       return result;
@@ -88,11 +100,17 @@ class Monitor {
     std::unique_lock lock(mu_);
     cv_.wait(lock, [&] { return pred(value_); });
     if constexpr (std::is_void_v<decltype(fn(value_))>) {
-      fn(value_);
+      {
+        analyze::LockedRegion held(&mu_, "monitor");
+        fn(value_);
+      }
       lock.unlock();
       cv_.notify_all();
     } else {
-      auto result = fn(value_);
+      auto result = [&] {
+        analyze::LockedRegion held(&mu_, "monitor");
+        return fn(value_);
+      }();
       lock.unlock();
       cv_.notify_all();
       return result;

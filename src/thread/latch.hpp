@@ -11,6 +11,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "analyze/analyze.hpp"
 #include "core/error.hpp"
 
 namespace pml::thread {
@@ -30,6 +31,8 @@ class Latch {
   void count_down(long n = 1) {
     std::lock_guard lock(mu_);
     if (n < 0 || n > count_) throw pml::UsageError("Latch: bad count_down amount");
+    // Everything the counter did happens-before any post-gate waiter.
+    analyze::on_sync_release(this);
     count_ -= n;
     if (count_ == 0) open_.notify_all();
   }
@@ -38,6 +41,7 @@ class Latch {
   void wait() {
     std::unique_lock lock(mu_);
     open_.wait(lock, [this] { return count_ == 0; });
+    analyze::on_sync_acquire(this);
   }
 
   /// count_down(1) then wait() — the arrive-and-wait idiom.
@@ -49,6 +53,7 @@ class Latch {
   /// True once the gate is open (nonblocking).
   bool try_wait() const {
     std::lock_guard lock(mu_);
+    if (count_ == 0) analyze::on_sync_acquire(this);
     return count_ == 0;
   }
 

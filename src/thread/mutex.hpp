@@ -7,12 +7,21 @@
 /// (pthread_mutex_t, pthread_spinlock_t, pthread_rwlock_t) with RAII guards.
 /// The rwlock is implemented from scratch (writer-preferring) because its
 /// fairness policy is part of what the patternlet demonstrates.
+///
+/// Every lock here participates in both correctness tool layers:
+///  - static: the PML_CAPABILITY annotations let `clang -Wthread-safety`
+///    verify PML_GUARDED_BY disciplines at compile time (annotations.hpp);
+///  - dynamic: acquisition/release hooks feed pml::analyze's happens-before
+///    detector and lock-order deadlock predictor at run time. With no
+///    analysis scope active a hook is one relaxed load.
 
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
 
+#include "analyze/analyze.hpp"
 #include "sched/sched.hpp"
+#include "thread/annotations.hpp"
 
 namespace pml::thread {
 
@@ -20,48 +29,75 @@ namespace pml::thread {
 /// acquisition, so chaos mode (pml::sched) can reshuffle which contender
 /// wins the lock. With no chaos seed the point compiles to one relaxed
 /// load — the wrapper costs nothing over the raw mutex.
-class Mutex {
+class PML_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() {
+  void lock() PML_ACQUIRE() {
     sched::point(sched::Point::kLockAcquire);
     mu_.lock();
+    analyze::on_lock_acquired(this);
   }
 
-  bool try_lock() { return mu_.try_lock(); }
+  bool try_lock() PML_TRY_ACQUIRE(true) {
+    const bool got = mu_.try_lock();
+    if (got) analyze::on_lock_acquired(this);
+    return got;
+  }
 
-  void unlock() { mu_.unlock(); }
+  void unlock() PML_RELEASE() {
+    analyze::on_lock_released(this);
+    mu_.unlock();
+  }
 
  private:
   std::mutex mu_;
 };
 
-/// RAII guard (pthread_mutex_lock / unlock pair).
-using LockGuard = std::lock_guard<Mutex>;
+/// RAII guard (pthread_mutex_lock / unlock pair). A real class rather than
+/// an alias so clang's analysis sees the scoped acquire/release.
+class PML_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) PML_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() PML_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
 
 /// pthread_spinlock_t analogue: test-and-test-and-set spinlock.
 /// Useful for the mutual-exclusion cost ablation (short critical sections).
-class Spinlock {
+class PML_CAPABILITY("mutex") Spinlock {
  public:
   Spinlock() = default;
   Spinlock(const Spinlock&) = delete;
   Spinlock& operator=(const Spinlock&) = delete;
 
-  void lock() noexcept {
+  void lock() noexcept PML_ACQUIRE() {
     sched::point(sched::Point::kLockAcquire);
     while (flag_.exchange(true, std::memory_order_acquire)) {
       // Spin on a plain load to avoid cache-line ping-pong.
       while (flag_.load(std::memory_order_relaxed)) {
       }
     }
+    analyze::on_lock_acquired(this);
   }
 
-  bool try_lock() noexcept { return !flag_.exchange(true, std::memory_order_acquire); }
+  bool try_lock() noexcept PML_TRY_ACQUIRE(true) {
+    const bool got = !flag_.exchange(true, std::memory_order_acquire);
+    if (got) analyze::on_lock_acquired(this);
+    return got;
+  }
 
-  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+  void unlock() noexcept PML_RELEASE() {
+    analyze::on_lock_released(this);
+    flag_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> flag_{false};
@@ -69,34 +105,42 @@ class Spinlock {
 
 /// pthread_rwlock_t analogue, writer-preferring: once a writer is waiting,
 /// new readers block, so writers cannot starve under a steady reader load.
-class RwLock {
+class PML_CAPABILITY("mutex") RwLock {
  public:
   RwLock() = default;
   RwLock(const RwLock&) = delete;
   RwLock& operator=(const RwLock&) = delete;
 
-  void lock_shared() {
+  void lock_shared() PML_ACQUIRE_SHARED() {
     sched::point(sched::Point::kLockAcquire);
-    std::unique_lock lock(mu_);
-    readers_ok_.wait(lock, [this] { return writers_waiting_ == 0 && !writer_active_; });
-    ++readers_active_;
+    {
+      std::unique_lock lock(mu_);
+      readers_ok_.wait(lock, [this] { return writers_waiting_ == 0 && !writer_active_; });
+      ++readers_active_;
+    }
+    analyze::on_lock_acquired(this);
   }
 
-  void unlock_shared() {
+  void unlock_shared() PML_RELEASE_SHARED() {
+    analyze::on_lock_released(this);
     std::lock_guard lock(mu_);
     if (--readers_active_ == 0) writers_ok_.notify_one();
   }
 
-  void lock() {
+  void lock() PML_ACQUIRE() {
     sched::point(sched::Point::kLockAcquire);
-    std::unique_lock lock(mu_);
-    ++writers_waiting_;
-    writers_ok_.wait(lock, [this] { return readers_active_ == 0 && !writer_active_; });
-    --writers_waiting_;
-    writer_active_ = true;
+    {
+      std::unique_lock lock(mu_);
+      ++writers_waiting_;
+      writers_ok_.wait(lock, [this] { return readers_active_ == 0 && !writer_active_; });
+      --writers_waiting_;
+      writer_active_ = true;
+    }
+    analyze::on_lock_acquired(this);
   }
 
-  void unlock() {
+  void unlock() PML_RELEASE() {
+    analyze::on_lock_released(this);
     std::lock_guard lock(mu_);
     writer_active_ = false;
     if (writers_waiting_ > 0) {
@@ -116,10 +160,10 @@ class RwLock {
 };
 
 /// RAII shared (reader) guard for RwLock.
-class SharedGuard {
+class PML_SCOPED_CAPABILITY SharedGuard {
  public:
-  explicit SharedGuard(RwLock& l) : lock_(l) { lock_.lock_shared(); }
-  ~SharedGuard() { lock_.unlock_shared(); }
+  explicit SharedGuard(RwLock& l) PML_ACQUIRE_SHARED(l) : lock_(l) { lock_.lock_shared(); }
+  ~SharedGuard() PML_RELEASE() { lock_.unlock_shared(); }
   SharedGuard(const SharedGuard&) = delete;
   SharedGuard& operator=(const SharedGuard&) = delete;
 

@@ -1,5 +1,10 @@
 #include "thread/pool.hpp"
 
+#include <cstdint>
+#include <utility>
+
+#include "analyze/analyze.hpp"
+
 namespace pml::thread {
 
 Pool::Pool(int workers) {
@@ -15,6 +20,15 @@ Pool::~Pool() { shutdown(); }
 
 void Pool::submit(Task task) {
   if (!task) throw UsageError("Pool::submit: empty task");
+  if (analyze::active()) {
+    // Dispatch edge: the master's pre-submit writes happen-before the task
+    // body, whichever worker picks it up.
+    const std::uint64_t publish = analyze::on_task_publish();
+    task = [publish, body = std::move(task)](int worker) {
+      analyze::on_task_start(publish);
+      body(worker);
+    };
+  }
   {
     std::lock_guard lock(mu_);
     if (stopping_) throw RuntimeFault("Pool::submit after shutdown");
@@ -26,6 +40,9 @@ void Pool::submit(Task task) {
 void Pool::wait_idle() {
   std::unique_lock lock(mu_);
   idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  // Join edge: every completed task's writes happen-before the master's
+  // post-quiescence reads.
+  analyze::on_sync_acquire(this);
   if (first_error_) {
     std::exception_ptr error;
     std::swap(error, first_error_);
@@ -68,6 +85,7 @@ void Pool::worker_loop(int id) {
     }
     {
       std::lock_guard lock(mu_);
+      analyze::on_sync_release(this);
       ++executed_[static_cast<std::size_t>(id)];
       --active_;
       if (error && !first_error_) first_error_ = error;

@@ -10,6 +10,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "analyze/analyze.hpp"
 #include "core/error.hpp"
 
 namespace pml::thread {
@@ -28,6 +29,8 @@ class Semaphore {
   void post() {
     {
       std::lock_guard lock(mu_);
+      // A poster's prior writes happen-before the waiter it releases.
+      analyze::on_sync_release(this);
       ++count_;
     }
     cv_.notify_one();
@@ -37,6 +40,7 @@ class Semaphore {
   void wait() {
     std::unique_lock lock(mu_);
     cv_.wait(lock, [this] { return count_ > 0; });
+    analyze::on_sync_acquire(this);
     --count_;
   }
 
@@ -44,6 +48,7 @@ class Semaphore {
   bool try_wait() {
     std::lock_guard lock(mu_);
     if (count_ <= 0) return false;
+    analyze::on_sync_acquire(this);
     --count_;
     return true;
   }

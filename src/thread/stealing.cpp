@@ -1,7 +1,10 @@
 #include "thread/stealing.hpp"
 
 #include <chrono>
+#include <cstdint>
+#include <utility>
 
+#include "analyze/analyze.hpp"
 #include "sched/sched.hpp"
 
 namespace pml::thread {
@@ -52,6 +55,15 @@ void StealingPool::submit(Task task) {
       me >= 0 ? me
               : static_cast<int>(next_victim_.fetch_add(1) %
                                  static_cast<long>(deques_.size()));
+  if (analyze::active()) {
+    // Dispatch edge: the submitter's prior writes happen-before the task
+    // body, no matter which worker runs or steals it.
+    const std::uint64_t publish = analyze::on_task_publish();
+    task = [publish, body = std::move(task)] {
+      analyze::on_task_start(publish);
+      body();
+    };
+  }
   sched::point(sched::Point::kTaskDispatch);
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   deques_[static_cast<std::size_t>(dest)]->push_bottom(std::move(task));
@@ -95,6 +107,7 @@ void StealingPool::worker_loop(int id) {
         // Decrement and notify under mu_ so wait_idle cannot miss the
         // transition to quiescence.
         std::lock_guard lock(mu_);
+        analyze::on_sync_release(this);
         ++executed_[static_cast<std::size_t>(id)];
         if (error && !first_error_) first_error_ = error;
         if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -131,6 +144,8 @@ void StealingPool::worker_loop(int id) {
 void StealingPool::wait_idle() {
   std::unique_lock lock(mu_);
   idle_cv_.wait(lock, [this] { return in_flight_.load(std::memory_order_acquire) == 0; });
+  // Join edge: completed tasks' writes happen-before post-quiescence reads.
+  analyze::on_sync_acquire(this);
   if (first_error_) {
     std::exception_ptr error;
     std::swap(error, first_error_);

@@ -2,6 +2,7 @@
 
 #include <exception>
 
+#include "analyze/analyze.hpp"
 #include "sched/sched.hpp"
 
 namespace pml::thread {
@@ -10,22 +11,37 @@ namespace {
 
 void run_all(int n, int first_spawned, const std::function<void(int)>& fn,
              std::vector<std::exception_ptr>& errors) {
+  // Fork/join happens-before edges for the analyzer, keyed on this call's
+  // stack frame (&errors). Fork and join use DISTINCT keys: with a single
+  // key, a worker that happens to finish before a sibling is spawned (the
+  // rule, not the exception, on one core) would release its whole history
+  // into the very object the sibling fork-acquires — manufacturing a
+  // worker->worker edge no real primitive implies and masking every race
+  // the serial schedule didn't overlap. Offsetting the fork key by one byte
+  // keeps it unique per frame and (being odd) disjoint from the analyzer's
+  // even real-address sync keys.
+  const void* fork_key = reinterpret_cast<const char*>(&errors) + 1;
+  const void* join_key = &errors;
+  analyze::on_sync_release(fork_key);
   std::vector<std::jthread> workers;
   workers.reserve(static_cast<std::size_t>(n - first_spawned));
   for (int id = first_spawned; id < n; ++id) {
-    workers.emplace_back([&, id] {
+    workers.emplace_back([&, id, fork_key, join_key] {
       // Bind the perturbation lane to the team-relative id so a chaos seed
       // replays the same per-thread schedule across regions and runs.
       sched::bind_lane(static_cast<std::uint32_t>(id));
+      analyze::on_sync_acquire(fork_key);
       try {
         fn(id);
       } catch (...) {
         errors[static_cast<std::size_t>(id)] = std::current_exception();
       }
+      analyze::on_sync_release(join_key);
     });
   }
   if (first_spawned == 1) {
     sched::bind_lane(0);
+    analyze::on_sync_acquire(fork_key);
     try {
       fn(0);
     } catch (...) {
@@ -33,6 +49,7 @@ void run_all(int n, int first_spawned, const std::function<void(int)>& fn,
     }
   }
   workers.clear();  // joins
+  analyze::on_sync_acquire(join_key);
 }
 
 void rethrow_first(const std::vector<std::exception_ptr>& errors) {

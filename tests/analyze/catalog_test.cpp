@@ -1,0 +1,162 @@
+/// \file catalog_test.cpp
+/// \brief The analyzer's acceptance bar, run against the whole collection:
+/// every RaceDemo-annotated patternlet reports an error finding in its racy
+/// configuration, every declared fix analyzes clean, and the *entire*
+/// 44-patternlet catalog in correct configuration produces zero error
+/// findings — the false-positive regression suite.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/runner.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace pml {
+namespace {
+
+class AnalyzeCatalog : public ::testing::Test {
+ protected:
+  void SetUp() override { patternlets::ensure_registered(); }
+};
+
+RunSpec analyze_spec(const std::vector<std::pair<std::string, bool>>& toggles,
+                     const std::map<std::string, long>& params) {
+  RunSpec spec;
+  spec.toggle_overrides = toggles;
+  spec.params = params;
+  spec.analyze = true;
+  return spec;
+}
+
+bool has_error_from(const analyze::Report& report, analyze::Checker checker) {
+  for (const auto& f : report.findings) {
+    if (f.severity == analyze::Severity::kError && f.checker == checker) return true;
+  }
+  return false;
+}
+
+TEST_F(AnalyzeCatalog, EveryRacyConfigurationProducesAnErrorFinding) {
+  // The headline: unlike chaos mode, no lucky schedule is needed — the HB
+  // verdict depends only on the sync structure, so each racy config must
+  // report on *every* run.
+  const auto racy = Registry::instance().racy();
+  ASSERT_FALSE(racy.empty());
+  for (const Patternlet* p : racy) {
+    const RaceDemo& demo = *p->race_demo;
+    const RunResult r = run(*p, analyze_spec(demo.racy_toggles, demo.params));
+    ASSERT_TRUE(r.analysis.has_value()) << p->slug;
+    const analyze::Report& report = *r.analysis;
+    EXPECT_GE(report.error_count(), 1)
+        << p->slug << " raced without an analyzer finding\n"
+        << report.to_string();
+    // Shared-memory demos are caught by the race detector; the MPI deadlock
+    // demo by the communication lint.
+    const analyze::Checker expected =
+        p->tech == Tech::kMPI ? analyze::Checker::kComm : analyze::Checker::kRace;
+    EXPECT_TRUE(has_error_from(report, expected))
+        << p->slug << " reported, but not from the expected checker\n"
+        << report.to_string();
+  }
+}
+
+TEST_F(AnalyzeCatalog, EveryDeclaredFixAnalyzesClean) {
+  // Flipping the fixing toggle must silence the analyzer completely — the
+  // student sees the cause-and-effect of the one uncommented line.
+  for (const Patternlet* p : Registry::instance().racy()) {
+    const RaceDemo& demo = *p->race_demo;
+    if (demo.fixed_toggles.empty()) continue;  // the race IS the lesson
+    const RunResult r = run(*p, analyze_spec(demo.fixed_toggles, demo.params));
+    ASSERT_TRUE(r.analysis.has_value()) << p->slug;
+    EXPECT_EQ(r.analysis->error_count(), 0)
+        << p->slug << " still reports when fixed\n"
+        << r.analysis->to_string();
+  }
+}
+
+TEST_F(AnalyzeCatalog, TheWholeCollectionAnalyzesCleanInCorrectConfiguration) {
+  // False-positive sweep over all 44 patternlets: annotated ones run with
+  // their fixing toggles, the rest as shipped. Zero error findings anywhere
+  // (advisory notes — e.g. wildcard-receive nondeterminism — are allowed).
+  int swept = 0;
+  for (const Patternlet& p : Registry::instance().all()) {
+    std::vector<std::pair<std::string, bool>> toggles;
+    std::map<std::string, long> params;
+    if (p.race_demo.has_value()) {
+      if (p.race_demo->fixed_toggles.empty()) continue;  // no correct config exists
+      toggles = p.race_demo->fixed_toggles;
+      params = p.race_demo->params;
+    }
+    const RunResult r = run(p, analyze_spec(toggles, params));
+    ASSERT_TRUE(r.analysis.has_value()) << p.slug;
+    EXPECT_EQ(r.analysis->error_count(), 0)
+        << p.slug << " false-positived\n"
+        << r.analysis->to_string();
+    ++swept;
+  }
+  // Guard against the sweep silently shrinking: the collection holds 44
+  // patternlets and only the fix-less staged races (omp/race,
+  // pthreads/race) are exempt.
+  EXPECT_GE(swept, 42);
+}
+
+TEST_F(AnalyzeCatalog, AnalyzerOffMeansNoReport) {
+  const Patternlet& p = Registry::instance().get("omp/race");
+  RunSpec spec;
+  spec.params = p.race_demo->params;
+  const RunResult r = run(p, spec);
+  EXPECT_FALSE(r.analysis.has_value());
+}
+
+TEST_F(AnalyzeCatalog, RaceFindingNamesTheVariable) {
+  // The report speaks the patternlet's vocabulary: omp/private races on its
+  // shared `temp`, and the finding says so.
+  const Patternlet& p = Registry::instance().get("omp/private");
+  const RunResult r = run(p, analyze_spec({}, {}));
+  ASSERT_TRUE(r.analysis.has_value());
+  bool named = false;
+  for (const auto& f : r.analysis->findings) {
+    if (f.checker == analyze::Checker::kRace && f.subject == "temp") named = true;
+  }
+  EXPECT_TRUE(named) << r.analysis->to_string();
+}
+
+TEST_F(AnalyzeCatalog, FindingsRideTheTrace) {
+  // The runner mirrors findings into core/trace so timeline tooling and the
+  // classroom projector can show them alongside the work events.
+  const Patternlet& p = Registry::instance().get("pthreads/race");
+  const RunResult r = run(p, analyze_spec({}, p.race_demo->params));
+  bool found = false;
+  for (const auto& e : r.trace) {
+    if (e.kind.rfind("finding:", 0) == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AnalyzeCatalog, RemediationNamesTheFixingToggle) {
+  const Patternlet& fixed = Registry::instance().get("omp/private");
+  EXPECT_NE(remediation_for(fixed).find("private(temp)"), std::string::npos);
+  EXPECT_NE(remediation_for(fixed).find("--on"), std::string::npos);
+  // A staged race with no fix toggle says so instead of inventing one.
+  const Patternlet& lesson = Registry::instance().get("omp/race");
+  EXPECT_NE(remediation_for(lesson).find("no fixing toggle"), std::string::npos);
+  // A patternlet without a RaceDemo gets the generic hand-fix advice.
+  const Patternlet& plain = Registry::instance().get("omp/spmd");
+  EXPECT_NE(remediation_for(plain).find("by hand"), std::string::npos);
+}
+
+TEST_F(AnalyzeCatalog, CountersShowTheCollectorSawTheRun) {
+  // An unexpectedly clean report must be debuggable: the counters prove the
+  // hooks actually fed events (the "is it even on?" check).
+  const Patternlet& p = Registry::instance().get("pthreads/mutex");
+  const RunResult r =
+      run(p, analyze_spec(p.race_demo->fixed_toggles, p.race_demo->params));
+  ASSERT_TRUE(r.analysis.has_value());
+  const analyze::Counters& c = r.analysis->counters;
+  EXPECT_GT(c.reads + c.writes + c.rmws, 0u);
+  EXPECT_GT(c.acquires, 0u);
+  EXPECT_GT(c.threads, 1u);
+}
+
+}  // namespace
+}  // namespace pml

@@ -1,0 +1,129 @@
+/// \file commlint_test.cpp
+/// \brief Unit tests for the communication lint: unmatched traffic,
+/// tag/context near-miss upgrades, and the wildcard-nondeterminism note.
+
+#include "analyze/commlint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pml::analyze {
+namespace {
+
+TEST(CommTracker, TimeoutWithEmptyQueueIsUnmatchedReceive) {
+  CommTracker c;
+  std::vector<Finding> out;
+  c.on_timeout(/*rank=*/1, /*wanted_source=*/0, /*wanted_tag=*/0,
+               /*wanted_context=*/0, {}, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].checker, Checker::kComm);
+  EXPECT_EQ(out[0].severity, Severity::kError);
+  EXPECT_EQ(out[0].subject, "recv");
+  EXPECT_NE(out[0].message.find("unmatched receive"), std::string::npos);
+  EXPECT_NE(out[0].message.find("deadlock"), std::string::npos);
+}
+
+TEST(CommTracker, WildcardTimeoutNamesAnySource) {
+  CommTracker c;
+  std::vector<Finding> out;
+  c.on_timeout(2, /*wanted_source=*/-1, 5, 0, {}, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].message.find("any source"), std::string::npos);
+}
+
+TEST(CommTracker, NearMissWrongTagUpgradesToTagMismatch) {
+  // A message from the right peer on the right context sat in the queue —
+  // only the tag differed. The report should say so, not just "timed out".
+  CommTracker c;
+  std::vector<Finding> out;
+  const std::vector<MsgCoord> queued = {{/*source=*/0, /*tag=*/7, /*context=*/0}};
+  c.on_timeout(1, /*wanted_source=*/0, /*wanted_tag=*/3, /*wanted_context=*/0,
+               queued, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].subject, "tag");
+  EXPECT_NE(out[0].message.find("tag mismatch"), std::string::npos);
+  EXPECT_NE(out[0].message.find("tag 3"), std::string::npos);
+  EXPECT_NE(out[0].message.find("tag 7"), std::string::npos);
+}
+
+TEST(CommTracker, NearMissWrongContextUpgradesToContextMismatch) {
+  CommTracker c;
+  std::vector<Finding> out;
+  const std::vector<MsgCoord> queued = {{0, 3, /*context=*/9}};
+  c.on_timeout(1, 0, 3, /*wanted_context=*/0, queued, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].subject, "context");
+  EXPECT_NE(out[0].message.find("context mismatch"), std::string::npos);
+  EXPECT_NE(out[0].message.find("communicators"), std::string::npos);
+}
+
+TEST(CommTracker, WrongSourceDoesNotUpgrade) {
+  // A queued message from a different peer is not a near miss — the plain
+  // unmatched-receive diagnosis stands.
+  CommTracker c;
+  std::vector<Finding> out;
+  const std::vector<MsgCoord> queued = {{/*source=*/5, 3, 0}};
+  c.on_timeout(1, /*wanted_source=*/0, 3, 0, queued, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].subject, "recv");
+}
+
+TEST(CommTracker, FinalizeLeftoverIsUnmatchedSend) {
+  CommTracker c;
+  std::vector<Finding> out;
+  c.on_finalize_leftover(/*owner=*/2, {/*source=*/0, /*tag=*/4, 0}, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].severity, Severity::kError);
+  EXPECT_EQ(out[0].subject, "send");
+  EXPECT_NE(out[0].message.find("unmatched send"), std::string::npos);
+  EXPECT_NE(out[0].message.find("rank 0"), std::string::npos);
+  EXPECT_NE(out[0].message.find("rank 2"), std::string::npos);
+}
+
+TEST(CommTracker, WildcardWithSeveralCandidatesIsANote) {
+  // ANY_SOURCE matched while two sources had messages pending: report it as
+  // a nondeterminism note — a correct master-worker does this on purpose,
+  // so it must never gate (kNote, not kError).
+  CommTracker c;
+  std::vector<Finding> out;
+  c.on_match(/*rank=*/0, {/*source=*/2, 0, 0}, /*wanted_source=*/-1,
+             /*wild_sources=*/3, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].severity, Severity::kNote);
+  EXPECT_EQ(out[0].subject, "ANY_SOURCE");
+  EXPECT_NE(out[0].message.find("arrival order"), std::string::npos);
+}
+
+TEST(CommTracker, WildcardNoteOncePerRank) {
+  CommTracker c;
+  std::vector<Finding> out;
+  for (int i = 0; i < 4; ++i) {
+    c.on_match(0, {i, 0, 0}, -1, 2, out);
+  }
+  EXPECT_EQ(out.size(), 1u);
+  // A different receiving rank gets its own note.
+  c.on_match(1, {0, 0, 0}, -1, 2, out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(CommTracker, DirectedOrSingleCandidateMatchesAreSilent) {
+  CommTracker c;
+  std::vector<Finding> out;
+  // Directed receive: never a note even with several candidates queued.
+  c.on_match(0, {2, 0, 0}, /*wanted_source=*/2, 3, out);
+  // Wildcard with only one candidate: deterministic, no note.
+  c.on_match(0, {2, 0, 0}, -1, 1, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CommTracker, CountersTrackTraffic) {
+  CommTracker c;
+  std::vector<Finding> out;
+  c.on_deliver(0, {1, 0, 0});
+  c.on_deliver(1, {0, 0, 0});
+  c.on_match(0, {1, 0, 0}, 1, 1, out);
+  EXPECT_EQ(c.deliveries(), 2u);
+  EXPECT_EQ(c.matches(), 1u);
+}
+
+}  // namespace
+}  // namespace pml::analyze

@@ -1,0 +1,183 @@
+/// \file hb_test.cpp
+/// \brief Unit tests for the FastTrack-style happens-before engine, driven
+/// directly (no threads): races on unordered conflicting accesses, silence
+/// when release/acquire edges order them, the read-shared inflation, and the
+/// one-finding-per-address freeze.
+
+#include "analyze/hb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pml::analyze {
+namespace {
+
+constexpr std::uintptr_t kAddr = 0xbeef;
+constexpr std::uintptr_t kSync = 0xf00d;
+
+/// Root plus two siblings forked from it — the patternlet team shape.
+struct Team {
+  HbState hb;
+  Tid root, a, b;
+  Team() {
+    root = hb.new_thread();
+    a = hb.new_thread(&hb.clock_of(root));
+    b = hb.new_thread(&hb.clock_of(root));
+  }
+};
+
+TEST(HbState, UnorderedWritesRace) {
+  Team t;
+  EXPECT_FALSE(t.hb.on_access(t.a, Access::kWrite, kAddr, "balance").has_value());
+  const auto race = t.hb.on_access(t.b, Access::kWrite, kAddr, "balance");
+  ASSERT_TRUE(race.has_value());
+  EXPECT_EQ(race->address, kAddr);
+  EXPECT_EQ(race->label, "balance");
+  EXPECT_EQ(race->prior_tid, t.a);
+  EXPECT_EQ(race->current_tid, t.b);
+  EXPECT_EQ(race->prior_access, Access::kWrite);
+  EXPECT_EQ(race->current_access, Access::kWrite);
+}
+
+TEST(HbState, UnorderedReadAfterWriteRaces) {
+  Team t;
+  t.hb.on_access(t.a, Access::kWrite, kAddr, nullptr);
+  const auto race = t.hb.on_access(t.b, Access::kRead, kAddr, nullptr);
+  ASSERT_TRUE(race.has_value());
+  EXPECT_EQ(race->prior_access, Access::kWrite);
+  EXPECT_EQ(race->current_access, Access::kRead);
+}
+
+TEST(HbState, ReleaseAcquireOrdersTheAccesses) {
+  // a writes, hands off through a sync object, b writes: the HB edge makes
+  // the second write well-ordered — no race, on any schedule.
+  Team t;
+  t.hb.on_access(t.a, Access::kWrite, kAddr, nullptr);
+  t.hb.release(t.a, kSync);
+  t.hb.acquire(t.b, kSync);
+  EXPECT_FALSE(t.hb.on_access(t.b, Access::kWrite, kAddr, nullptr).has_value());
+}
+
+TEST(HbState, ForkOrdersParentBeforeChildren) {
+  // The root's pre-fork initialisation is visible to both children because
+  // new_thread() inherits the parent clock.
+  HbState hb;
+  const Tid root = hb.new_thread();
+  EXPECT_FALSE(hb.on_access(root, Access::kWrite, kAddr, nullptr).has_value());
+  const Tid child = hb.new_thread(&hb.clock_of(root));
+  EXPECT_FALSE(hb.on_access(child, Access::kRead, kAddr, nullptr).has_value());
+  EXPECT_FALSE(hb.on_access(child, Access::kWrite, kAddr, nullptr).has_value());
+}
+
+TEST(HbState, JoinEdgeOrdersChildBeforeParent) {
+  Team t;
+  t.hb.on_access(t.a, Access::kWrite, kAddr, nullptr);
+  // Child a "finishes": releases into the join token; root joins it.
+  t.hb.release(t.a, kSync);
+  t.hb.acquire(t.root, kSync);
+  EXPECT_FALSE(t.hb.on_access(t.root, Access::kWrite, kAddr, nullptr).has_value());
+}
+
+TEST(HbState, RmwNeverRacesWithRmw) {
+  // Both sides atomic read-modify-writes: self-consistent on any schedule,
+  // exactly the omp-atomic / atomic_add fix.
+  Team t;
+  EXPECT_FALSE(t.hb.on_access(t.a, Access::kAtomicRmw, kAddr, nullptr).has_value());
+  EXPECT_FALSE(t.hb.on_access(t.b, Access::kAtomicRmw, kAddr, nullptr).has_value());
+  EXPECT_FALSE(t.hb.on_access(t.a, Access::kAtomicRmw, kAddr, nullptr).has_value());
+}
+
+TEST(HbState, PlainWriteRacesWithUnorderedRmw) {
+  // Half-fixed code — one site uses the atomic, the other a plain store —
+  // is still broken and must still be reported.
+  Team t;
+  t.hb.on_access(t.a, Access::kAtomicRmw, kAddr, nullptr);
+  const auto race = t.hb.on_access(t.b, Access::kWrite, kAddr, nullptr);
+  ASSERT_TRUE(race.has_value());
+  EXPECT_EQ(race->prior_access, Access::kAtomicRmw);
+}
+
+TEST(HbState, ConcurrentReadsAloneAreFine) {
+  Team t;
+  EXPECT_FALSE(t.hb.on_access(t.a, Access::kRead, kAddr, nullptr).has_value());
+  EXPECT_FALSE(t.hb.on_access(t.b, Access::kRead, kAddr, nullptr).has_value());
+  EXPECT_FALSE(t.hb.on_access(t.root, Access::kRead, kAddr, nullptr).has_value());
+}
+
+TEST(HbState, WriteAfterReadSharedRaces) {
+  // FastTrack's read-shared transition: two concurrent readers inflate the
+  // shadow to a full read clock; a later unordered plain write must be
+  // checked against *all* of them.
+  HbState hb;
+  const Tid root = hb.new_thread();
+  const Tid a = hb.new_thread(&hb.clock_of(root));
+  const Tid b = hb.new_thread(&hb.clock_of(root));
+  const Tid c = hb.new_thread(&hb.clock_of(root));
+  hb.on_access(a, Access::kRead, kAddr, nullptr);
+  hb.on_access(b, Access::kRead, kAddr, nullptr);
+  const auto race = hb.on_access(c, Access::kWrite, kAddr, nullptr);
+  ASSERT_TRUE(race.has_value());
+  EXPECT_EQ(race->prior_access, Access::kRead);
+  EXPECT_EQ(race->current_access, Access::kWrite);
+}
+
+TEST(HbState, WriteAfterOrderedReadSharedIsClean) {
+  // Same shape, but both readers hand off before the write: clean.
+  HbState hb;
+  const Tid root = hb.new_thread();
+  const Tid a = hb.new_thread(&hb.clock_of(root));
+  const Tid b = hb.new_thread(&hb.clock_of(root));
+  hb.on_access(a, Access::kRead, kAddr, nullptr);
+  hb.on_access(b, Access::kRead, kAddr, nullptr);
+  hb.release(a, kSync);
+  hb.release(b, kSync);
+  hb.acquire(root, kSync);
+  EXPECT_FALSE(hb.on_access(root, Access::kWrite, kAddr, nullptr).has_value());
+}
+
+TEST(HbState, OneFindingPerAddress) {
+  // The first torn update on `balance` is the lesson; iteration 2..20000 of
+  // the same race must not flood the report.
+  Team t;
+  t.hb.on_access(t.a, Access::kWrite, kAddr, nullptr);
+  EXPECT_TRUE(t.hb.on_access(t.b, Access::kWrite, kAddr, nullptr).has_value());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(t.hb.on_access(t.a, Access::kWrite, kAddr, nullptr).has_value());
+    EXPECT_FALSE(t.hb.on_access(t.b, Access::kWrite, kAddr, nullptr).has_value());
+  }
+}
+
+TEST(HbState, DistinctAddressesReportIndependently) {
+  Team t;
+  t.hb.on_access(t.a, Access::kWrite, kAddr, "x");
+  t.hb.on_access(t.a, Access::kWrite, kAddr + 8, "y");
+  EXPECT_TRUE(t.hb.on_access(t.b, Access::kWrite, kAddr, nullptr).has_value());
+  const auto second = t.hb.on_access(t.b, Access::kWrite, kAddr + 8, nullptr);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->label, "y");
+}
+
+TEST(HbState, FirstLabelSticks) {
+  // The label from the first labelled access names the variable in every
+  // later report, even if the racing access site passed none.
+  Team t;
+  t.hb.on_access(t.a, Access::kWrite, kAddr, "sum");
+  const auto race = t.hb.on_access(t.b, Access::kWrite, kAddr, nullptr);
+  ASSERT_TRUE(race.has_value());
+  EXPECT_EQ(race->label, "sum");
+}
+
+TEST(HbState, MutexStyleAlternationIsClean) {
+  // The pthreads/mutex fixed shape: every access between release/acquire
+  // pairs through the same lock token — never a race however many rounds.
+  Team t;
+  for (int round = 0; round < 10; ++round) {
+    const Tid who = (round % 2 == 0) ? t.a : t.b;
+    t.hb.acquire(who, kSync);
+    EXPECT_FALSE(t.hb.on_access(who, Access::kRead, kAddr, nullptr).has_value());
+    EXPECT_FALSE(t.hb.on_access(who, Access::kWrite, kAddr, nullptr).has_value());
+    t.hb.release(who, kSync);
+  }
+}
+
+}  // namespace
+}  // namespace pml::analyze

@@ -1,0 +1,140 @@
+/// \file vector_clock_test.cpp
+/// \brief Unit tests for the vector-clock algebra underneath the
+/// happens-before detector — pure data, no threads, every ordering case
+/// checked directly.
+
+#include "analyze/vector_clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pml::analyze {
+namespace {
+
+TEST(VectorClock, StartsAtZeroEverywhere) {
+  VectorClock c;
+  EXPECT_EQ(c.get(0), 0u);
+  EXPECT_EQ(c.get(100), 0u);
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(VectorClock, SetAndGetRoundTrip) {
+  VectorClock c;
+  c.set(3, 7);
+  EXPECT_EQ(c.get(3), 7u);
+  // Components below the one set stay implicitly zero.
+  EXPECT_EQ(c.get(0), 0u);
+  EXPECT_EQ(c.get(2), 0u);
+  // And beyond size() too.
+  EXPECT_EQ(c.get(4), 0u);
+}
+
+TEST(VectorClock, BumpIncrementsAndReturnsNewValue) {
+  VectorClock c;
+  EXPECT_EQ(c.bump(1), 1u);
+  EXPECT_EQ(c.bump(1), 2u);
+  EXPECT_EQ(c.get(1), 2u);
+  EXPECT_EQ(c.get(0), 0u);
+}
+
+TEST(VectorClock, JoinIsPointwiseMax) {
+  VectorClock a;
+  a.set(0, 5);
+  a.set(1, 1);
+  VectorClock b;
+  b.set(1, 9);
+  b.set(2, 2);
+  a.join(b);
+  EXPECT_EQ(a.get(0), 5u);  // a's own component survives
+  EXPECT_EQ(a.get(1), 9u);  // b wins where larger
+  EXPECT_EQ(a.get(2), 2u);  // a grows to absorb b's extent
+}
+
+TEST(VectorClock, JoinWithShorterClockKeepsTail) {
+  VectorClock a;
+  a.set(4, 3);
+  VectorClock b;
+  b.set(0, 1);
+  a.join(b);
+  EXPECT_EQ(a.get(0), 1u);
+  EXPECT_EQ(a.get(4), 3u);
+}
+
+TEST(VectorClock, CoversEpochIsComponentwise) {
+  VectorClock c;
+  c.set(2, 10);
+  EXPECT_TRUE(c.covers(Epoch{2, 10}));
+  EXPECT_TRUE(c.covers(Epoch{2, 9}));
+  EXPECT_FALSE(c.covers(Epoch{2, 11}));
+  // A different thread's epoch is only covered if that component is high
+  // enough — here it is zero.
+  EXPECT_FALSE(c.covers(Epoch{0, 1}));
+}
+
+TEST(VectorClock, InvalidEpochIsCoveredVacuously) {
+  VectorClock c;
+  EXPECT_FALSE(Epoch{}.valid());
+  EXPECT_TRUE(c.covers(Epoch{}));
+  EXPECT_TRUE(c.covers(Epoch{7, 0}));
+}
+
+TEST(VectorClock, CoversClockChecksEveryComponent) {
+  VectorClock big;
+  big.set(0, 3);
+  big.set(1, 3);
+  VectorClock small;
+  small.set(0, 2);
+  small.set(1, 3);
+  EXPECT_TRUE(big.covers(small));
+  EXPECT_FALSE(small.covers(big));
+  // Reflexive.
+  EXPECT_TRUE(big.covers(big));
+  // A longer clock with a nonzero tail is not covered by a shorter one.
+  VectorClock longer = small;
+  longer.set(5, 1);
+  EXPECT_FALSE(big.covers(longer));
+}
+
+TEST(VectorClock, EpochOfReflectsCurrentComponent) {
+  VectorClock c;
+  c.bump(2);
+  c.bump(2);
+  const Epoch e = c.epoch_of(2);
+  EXPECT_EQ(e.tid, 2u);
+  EXPECT_EQ(e.clock, 2u);
+  EXPECT_TRUE(c.covers(e));
+  c.bump(2);
+  EXPECT_TRUE(c.covers(e));  // older epochs stay covered
+}
+
+TEST(VectorClock, ClearDropsEverything) {
+  VectorClock c;
+  c.set(3, 4);
+  c.clear();
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.get(3), 0u);
+}
+
+TEST(VectorClock, HappensBeforeTransfersThroughJoin) {
+  // The message-passing shape the detector relies on: t0 works, releases
+  // (join into sync), t1 acquires (join from sync) — afterwards t1's clock
+  // covers t0's pre-release epoch.
+  VectorClock t0;
+  t0.bump(0);
+  t0.bump(0);
+  const Epoch before_release = t0.epoch_of(0);
+
+  VectorClock sync;
+  sync.join(t0);  // release
+  t0.bump(0);
+
+  VectorClock t1;
+  t1.bump(1);
+  EXPECT_FALSE(t1.covers(before_release));
+  t1.join(sync);  // acquire
+  EXPECT_TRUE(t1.covers(before_release));
+  // But not the post-release epoch — the edge is one-shot.
+  EXPECT_FALSE(t1.covers(t0.epoch_of(0)));
+}
+
+}  // namespace
+}  // namespace pml::analyze

@@ -1,0 +1,121 @@
+/// \file worklint_test.cpp
+/// \brief Unit tests for the worksharing lint: matched sequences pass,
+/// divergent or skipped constructs are reported once per team.
+
+#include "analyze/worklint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pml::analyze {
+namespace {
+
+constexpr std::uintptr_t kTeam = 0x1000;
+
+TEST(WorkshareTracker, MatchedSequencesAreClean) {
+  WorkshareTracker w;
+  std::vector<Finding> out;
+  w.team_begin(kTeam, 3);
+  for (int m = 0; m < 3; ++m) {
+    w.encounter(kTeam, m, Construct::kFor);
+    w.encounter(kTeam, m, Construct::kBarrier);
+    w.encounter(kTeam, m, Construct::kSingle);
+  }
+  w.team_end(kTeam, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(WorkshareTracker, DivergentConstructIsAnError) {
+  // Thread 1 hit a barrier where thread 0 hit a worksharing loop — the
+  // misaligned-phases bug.
+  WorkshareTracker w;
+  std::vector<Finding> out;
+  w.team_begin(kTeam, 2);
+  w.encounter(kTeam, 0, Construct::kFor);
+  w.encounter(kTeam, 1, Construct::kBarrier);
+  w.team_end(kTeam, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].checker, Checker::kWorkshare);
+  EXPECT_EQ(out[0].severity, Severity::kError);
+  EXPECT_NE(out[0].message.find("divergence"), std::string::npos);
+  EXPECT_NE(out[0].message.find("for"), std::string::npos);
+  EXPECT_NE(out[0].message.find("barrier"), std::string::npos);
+}
+
+TEST(WorkshareTracker, SkippedBarrierIsAnError) {
+  // The `if (id == 0) barrier()` classroom bug: one member encountered a
+  // construct the others never reached.
+  WorkshareTracker w;
+  std::vector<Finding> out;
+  w.team_begin(kTeam, 2);
+  w.encounter(kTeam, 0, Construct::kBarrier);
+  w.team_end(kTeam, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].message.find("skipped"), std::string::npos);
+  EXPECT_EQ(out[0].subject, "barrier");
+}
+
+TEST(WorkshareTracker, OneFindingPerTeam) {
+  // Three members all diverging still tell one story.
+  WorkshareTracker w;
+  std::vector<Finding> out;
+  w.team_begin(kTeam, 3);
+  w.encounter(kTeam, 0, Construct::kFor);
+  w.encounter(kTeam, 1, Construct::kBarrier);
+  w.encounter(kTeam, 2, Construct::kSingle);
+  w.team_end(kTeam, out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(WorkshareTracker, SingleThreadTeamCannotDiverge) {
+  WorkshareTracker w;
+  std::vector<Finding> out;
+  w.team_begin(kTeam, 1);
+  w.encounter(kTeam, 0, Construct::kBarrier);
+  w.team_end(kTeam, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(WorkshareTracker, TeamsAreIndependent) {
+  // A nested/second team's divergence is attributed to that team only, and
+  // re-using a team id after team_end starts a fresh history.
+  WorkshareTracker w;
+  std::vector<Finding> out;
+  w.team_begin(kTeam, 2);
+  w.encounter(kTeam, 0, Construct::kBarrier);
+  w.encounter(kTeam, 1, Construct::kBarrier);
+  w.team_end(kTeam, out);
+  EXPECT_TRUE(out.empty());
+  w.team_begin(kTeam, 2);
+  w.encounter(kTeam, 0, Construct::kFor);
+  w.team_end(kTeam, out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(WorkshareTracker, EncounterOutsideAnyTeamIsIgnored) {
+  WorkshareTracker w;
+  std::vector<Finding> out;
+  w.encounter(0x9999, 0, Construct::kBarrier);  // no such team
+  w.team_begin(kTeam, 2);
+  w.encounter(kTeam, 7, Construct::kBarrier);  // member out of range
+  w.encounter(kTeam, -1, Construct::kBarrier);
+  w.team_end(kTeam, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(WorkshareTracker, FinishFlushesOpenTeams) {
+  // Scope teardown with a team still up (a body that threw) must still
+  // report what was already divergent.
+  WorkshareTracker w;
+  std::vector<Finding> out;
+  w.team_begin(kTeam, 2);
+  w.encounter(kTeam, 0, Construct::kReduce);
+  w.finish(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].subject, "reduce");
+  // finish() also clears: a second call adds nothing.
+  w.finish(out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pml::analyze
