@@ -10,8 +10,13 @@
 /// and whether this run exhibited it. Shape checks are the reproduction
 /// criterion (who wins / what orders / what scales), not absolute numbers.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/runner.hpp"
 
@@ -37,5 +42,113 @@ inline void print_output(const pml::RunResult& result) {
 inline void shape_check(const std::string& property, bool held) {
   std::printf("SHAPE-CHECK %-60s [%s]\n", property.c_str(), held ? "OK" : "MISS");
 }
+
+/// Linear-interpolation quantile over an ascending-sorted sample vector.
+/// q in [0,1]; a single sample is every quantile of itself.
+inline double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Run \p fn \p repetitions times and return the wall time of each run in
+/// seconds, in execution order. Feed the result to JsonReporter::add_series.
+template <class Fn>
+std::vector<double> measure(int repetitions, Fn&& fn) {
+  std::vector<double> seconds;
+  seconds.reserve(static_cast<std::size_t>(repetitions));
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    seconds.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+  return seconds;
+}
+
+/// Machine-readable companion to the console report: collects named timing
+/// series and writes `BENCH_<name>.json` in the working directory on
+/// destruction (or an explicit write()). Each series carries the task count
+/// and the toggle configuration it ran under, plus median/p10/p90 seconds,
+/// so CI and plotting scripts can track the figures without scraping stdout.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string name) : name_(std::move(name)) {}
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  ~JsonReporter() { write(); }
+
+  /// Record one measured configuration. \p seconds is the raw repetition
+  /// vector (see measure()); \p toggles names the directive configuration
+  /// the samples ran under (empty = the patternlet as shipped).
+  void add_series(std::string label, int tasks, std::vector<double> seconds,
+                  std::map<std::string, bool> toggles = {}) {
+    std::sort(seconds.begin(), seconds.end());
+    series_.push_back(Series{std::move(label), tasks, std::move(seconds),
+                             std::move(toggles)});
+  }
+
+  std::string path() const { return "BENCH_" + name_ + ".json"; }
+
+  void write() {
+    if (written_) return;
+    written_ = true;
+    std::FILE* f = std::fopen(path().c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench-json: cannot open %s for writing\n",
+                   path().c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"series\": [", escape(name_).c_str());
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      const Series& s = series_[i];
+      std::fprintf(f, "%s\n    {\"label\": \"%s\", \"tasks\": %d, \"samples\": %zu,",
+                   i ? "," : "", escape(s.label).c_str(), s.tasks,
+                   s.seconds.size());
+      std::fprintf(f,
+                   "\n     \"seconds\": {\"median\": %.9g, \"p10\": %.9g, \"p90\": %.9g},",
+                   quantile_sorted(s.seconds, 0.5), quantile_sorted(s.seconds, 0.1),
+                   quantile_sorted(s.seconds, 0.9));
+      std::fprintf(f, "\n     \"toggles\": {");
+      std::size_t t = 0;
+      for (const auto& [toggle, on] : s.toggles) {
+        std::fprintf(f, "%s\"%s\": %s", t++ ? ", " : "", escape(toggle).c_str(),
+                     on ? "true" : "false");
+      }
+      std::fprintf(f, "}}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("[bench-json] wrote %s (%zu series)\n", path().c_str(),
+                series_.size());
+  }
+
+ private:
+  struct Series {
+    std::string label;
+    int tasks;
+    std::vector<double> seconds;  // ascending
+    std::map<std::string, bool> toggles;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<Series> series_;
+  bool written_ = false;
+};
 
 }  // namespace pml::bench

@@ -73,5 +73,19 @@ int main() {
   std::size_t dyn_total = 0;
   for (const auto& [t, keys] : assignment(dyn)) dyn_total += keys.size();
   bench::shape_check("dynamic: all 8 iterations covered exactly once", dyn_total == 8);
+
+  // Machine-readable record: wall time per configuration, for CI trending.
+  bench::JsonReporter json("fig14_15_parallel_loop_omp");
+  for (int t : {1, 2, 4}) {
+    RunSpec spec;
+    spec.tasks = t;
+    json.add_series("parallelLoopEqualChunks", t,
+                    bench::measure(7, [&] { run("omp/parallelLoopEqualChunks", spec); }));
+  }
+  RunSpec dyn_spec;
+  dyn_spec.tasks = 4;
+  json.add_series("parallelLoopDynamic", 4,
+                  bench::measure(7, [&] { run("omp/parallelLoopDynamic", dyn_spec); }),
+                  {{"omp parallel for", true}});
   return 0;
 }

@@ -14,7 +14,6 @@
 #include "bench_util.hpp"
 #include "core/trace.hpp"
 #include "mp/mp.hpp"
-#include "smp/wtime.hpp"
 
 namespace {
 
@@ -94,7 +93,8 @@ int main() {
   }
 
   bench::section("Ablation: binomial tree vs flat (linear) reduce, wall time");
-  std::printf("  tasks     tree (ms)     flat (ms)\n");
+  std::printf("  tasks     tree (ms)     flat (ms)   (median of 5)\n");
+  bench::JsonReporter json("fig19_reduction_tree");
   double tree64 = 0.0;
   double flat64 = 0.0;
   for (int t : {8, 16, 32, 64}) {
@@ -107,17 +107,23 @@ int main() {
           for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
           return out;
         }};
-    smp::Stopwatch sw_tree;
-    mp::run(t, [&](mp::Communicator& comm) {
-      (void)comm.reduce(payload, mp::op_sum<long>(), 0);
+    std::vector<double> tree_s = bench::measure(5, [&] {
+      mp::run(t, [&](mp::Communicator& comm) {
+        (void)comm.reduce(payload, mp::op_sum<long>(), 0);
+      });
     });
-    const double tree_ms = sw_tree.elapsed() * 1e3;
-    smp::Stopwatch sw_flat;
-    mp::run(t, [&](mp::Communicator& comm) {
-      (void)comm.flat_reduce(payload, vec_sum, 0);
+    std::vector<double> flat_s = bench::measure(5, [&] {
+      mp::run(t, [&](mp::Communicator& comm) {
+        (void)comm.flat_reduce(payload, vec_sum, 0);
+      });
     });
-    const double flat_ms = sw_flat.elapsed() * 1e3;
+    std::sort(tree_s.begin(), tree_s.end());
+    std::sort(flat_s.begin(), flat_s.end());
+    const double tree_ms = bench::quantile_sorted(tree_s, 0.5) * 1e3;
+    const double flat_ms = bench::quantile_sorted(flat_s, 0.5) * 1e3;
     std::printf("  %5d   %11.3f   %11.3f\n", t, tree_ms, flat_ms);
+    json.add_series("tree-reduce", t, tree_s);
+    json.add_series("flat-reduce", t, flat_s);
     if (t == 64) {
       tree64 = tree_ms;
       flat64 = flat_ms;

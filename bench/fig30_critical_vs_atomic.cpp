@@ -55,5 +55,12 @@ int main() {
   }
   bench::shape_check("unprotected deposits lose money (balance < 1000000)",
                      lost_money);
+
+  // Machine-readable record of the protected-deposit costs.
+  bench::JsonReporter json("fig30_critical_vs_atomic");
+  json.add_series("critical2 (atomic+critical, 1M deposits)", 8,
+                  bench::measure(3, [&] { run("omp/critical2", spec); }));
+  json.add_series("race (unprotected deposits)", 8,
+                  bench::measure(3, [&] { run("omp/race", race); }));
   return 0;
 }

@@ -26,14 +26,24 @@
 /// lints. Where chaos mode makes a race *happen*, the analyzer *explains*
 /// it — and reports on every run, no lucky schedule needed. Exit status 3
 /// when the analysis finds errors.
+///
+/// --profile runs the body under pml::obs: per-task spans (region, loop
+/// chunk, barrier wait, lock wait, send/recv, collective) plus counters
+/// (chunks, steals, combines, message traffic) are collected and printed as
+/// a per-task table. --trace-json FILE (implies --profile) additionally
+/// writes the spans as Chrome trace-event JSON — open it at
+/// ui.perfetto.dev to see the run as a zoomable per-node, per-task
+/// timeline.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "core/runner.hpp"
 #include "core/timeline.hpp"
+#include "obs/chrome_trace.hpp"
 #include "patternlets/listings.hpp"
 #include "patternlets/patternlets.hpp"
 
@@ -111,11 +121,18 @@ int help() {
       "  --all-on / --all-off  force every declared toggle\n"
       "  -p, --param K=V     numeric parameter override (repeatable)\n"
       "  --timeline          render the output as a per-task timeline\n"
+      "  --timeline-lane-program  include the program (task -1) lane in the\n"
+      "                      timeline rendering\n"
       "  --chaos-seed N      run under seeded schedule perturbation so the\n"
       "                      staged race manifests (PML_CHAOS env equivalent)\n"
       "  --analyze           run under the happens-before race detector,\n"
       "                      deadlock predictor, and comm/worksharing lints;\n"
       "                      exit 3 if the analysis reports errors\n"
+      "  --profile           collect per-task spans and metrics (barrier/lock\n"
+      "                      waits, chunks, combines, messages) and print a\n"
+      "                      per-task table\n"
+      "  --trace-json FILE   write the profile as Chrome trace-event JSON for\n"
+      "                      Perfetto (implies --profile)\n"
       "  -h, --help          this text\n");
   return 0;
 }
@@ -135,6 +152,8 @@ int main(int argc, char** argv) {
   bool show_only = false;
   bool listing_only = false;
   bool timeline = false;
+  pml::TimelineOptions timeline_options;
+  std::string trace_json_path;
   pml::RunSpec spec;
   spec.mirror_stdout = false;
   // PML_CHAOS in the environment supplies a default chaos seed so whole
@@ -161,6 +180,14 @@ int main(int argc, char** argv) {
       slug = next("--listing");
     } else if (arg == "--timeline") {
       timeline = true;
+    } else if (arg == "--timeline-lane-program") {
+      timeline = true;
+      timeline_options.include_program_lane = true;
+    } else if (arg == "--profile") {
+      spec.profile = true;
+    } else if (arg == "--trace-json") {
+      trace_json_path = next("--trace-json");
+      spec.profile = true;
     } else if (arg == "-t" || arg == "--tasks") {
       spec.tasks = std::atoi(next("-t").c_str());
     } else if (arg == "--on") {
@@ -211,7 +238,7 @@ int main(int argc, char** argv) {
     const pml::RunResult result = pml::run(*p, spec);
     for (const auto& line : result.output) std::printf("%s\n", line.text.c_str());
     if (timeline) {
-      std::printf("\n%s", pml::render_timeline(result.output).c_str());
+      std::printf("\n%s", pml::render_timeline(result.output, timeline_options).c_str());
     }
     std::fprintf(stderr, "\n[%s | %d tasks | %s | %.3f ms]\n", p->slug.c_str(),
                  result.tasks, result.toggles.to_string().c_str(),
@@ -230,6 +257,20 @@ int main(int argc, char** argv) {
       } else {
         std::fprintf(stderr, "[chaos seed %llu | no race probe in this patternlet]\n",
                      static_cast<unsigned long long>(result.chaos_seed));
+      }
+    }
+    if (result.metrics.has_value()) {
+      std::fprintf(stderr, "\n%s", result.metrics->table().c_str());
+      if (!trace_json_path.empty()) {
+        std::ofstream out(trace_json_path);
+        if (!out) {
+          std::fprintf(stderr, "error: cannot write %s\n", trace_json_path.c_str());
+          return 1;
+        }
+        pml::obs::write_chrome_trace(out, *result.metrics);
+        std::fprintf(stderr,
+                     "[trace: %zu spans -> %s | load at ui.perfetto.dev]\n",
+                     result.metrics->spans.size(), trace_json_path.c_str());
       }
     }
     if (result.analysis.has_value()) {

@@ -5,6 +5,7 @@
 
 #include "analyze/analyze.hpp"
 #include "core/error.hpp"
+#include "obs/obs.hpp"
 #include "sched/sched.hpp"
 
 namespace pml {
@@ -42,6 +43,12 @@ RunResult run(const Patternlet& p, const RunSpec& spec) {
   std::optional<analyze::Scope> analysis;
   if (spec.analyze) analysis.emplace();
 
+  // Profiling window likewise covers exactly the body. finish() below runs
+  // after the body returned, i.e. after every team thread / rank joined —
+  // the merge contract obs::Scope documents.
+  std::optional<obs::Scope> profiling;
+  if (spec.profile) profiling.emplace();
+
   const auto t0 = std::chrono::steady_clock::now();
   {
     // Perturbation window covers exactly the body: the scope restores the
@@ -50,6 +57,9 @@ RunResult run(const Patternlet& p, const RunSpec& spec) {
     p.body(ctx);
   }
   const auto t1 = std::chrono::steady_clock::now();
+
+  std::optional<obs::Profile> metrics;
+  if (profiling.has_value()) metrics = profiling->finish();
 
   // Harvest the lost-update probe into the trace so the report rides the
   // same channel as the schedule figures: task -1 (the orchestrator),
@@ -84,6 +94,7 @@ RunResult run(const Patternlet& p, const RunSpec& spec) {
     result.observed_updates = ctx.probe.observed();
   }
   result.analysis = std::move(report);
+  result.metrics = std::move(metrics);
   return result;
 }
 

@@ -17,6 +17,7 @@
 #include "core/registry.hpp"
 #include "core/toggle.hpp"
 #include "core/trace.hpp"
+#include "obs/profile.hpp"
 
 namespace pml {
 
@@ -40,6 +41,11 @@ struct RunSpec {
   /// execution and report into RunResult::analysis. Unlike chaos mode this
   /// needs no lucky schedule — a racy config reports on every run.
   bool analyze = false;
+  /// Run the body under pml::obs (`--profile` in the runner): substrate
+  /// span hooks record per-task intervals (region, chunk, barrier wait,
+  /// lock wait, send/recv, ...) and wait-time/counter aggregates into
+  /// RunResult::metrics. Off, the hooks cost one relaxed load each.
+  bool profile = false;
 };
 
 /// Everything observable from one patternlet execution.
@@ -57,6 +63,10 @@ struct RunResult {
   std::optional<long> observed_updates;
   /// Analysis report when RunSpec::analyze was set. Absent otherwise.
   std::optional<analyze::Report> analysis;
+  /// Span/metric profile when RunSpec::profile was set. Absent otherwise.
+  /// metrics->table() is the `--profile` report; obs::write_chrome_trace()
+  /// exports it for Perfetto.
+  std::optional<obs::Profile> metrics;
 
   /// True iff the probe saw the staged race fire (some updates lost).
   bool race_manifested() const {

@@ -1,13 +1,40 @@
 #include "core/trace.hpp"
 
 #include <algorithm>
+#include <set>
+#include <shared_mutex>
+
+#include "obs/obs.hpp"
 
 namespace pml {
 
-void Trace::record(int task, std::string kind, std::int64_t key, std::int64_t aux) {
+namespace {
+
+/// Process-wide intern pool for category strings. Node-based, never pruned:
+/// the views handed out stay valid across Trace::clear() and for any event
+/// snapshots that outlive their Trace. Steady-state lookups (the common
+/// case — a handful of distinct kinds per run) take the shared lock only.
+std::string_view intern_kind(std::string_view kind) {
+  static std::shared_mutex mu;
+  static std::set<std::string, std::less<>> pool;
+  {
+    std::shared_lock lock(mu);
+    const auto it = pool.find(kind);
+    if (it != pool.end()) return *it;
+  }
+  std::unique_lock lock(mu);
+  return *pool.emplace(kind).first;
+}
+
+}  // namespace
+
+void Trace::record(int task, std::string_view kind, std::int64_t key,
+                   std::int64_t aux) {
+  const std::string_view interned = intern_kind(kind);
+  const std::uint64_t now = obs::detail::now_ns();
   std::lock_guard lock(mu_);
   const auto seq = static_cast<std::uint64_t>(events_.size());
-  events_.push_back(TraceEvent{seq, task, std::move(kind), key, aux});
+  events_.push_back(TraceEvent{seq, now, task, interned, key, aux});
 }
 
 std::vector<TraceEvent> Trace::events() const {
@@ -15,7 +42,7 @@ std::vector<TraceEvent> Trace::events() const {
   return events_;
 }
 
-std::vector<TraceEvent> Trace::events(const std::string& kind) const {
+std::vector<TraceEvent> Trace::events(std::string_view kind) const {
   std::lock_guard lock(mu_);
   std::vector<TraceEvent> out;
   for (const auto& e : events_) {
@@ -24,7 +51,7 @@ std::vector<TraceEvent> Trace::events(const std::string& kind) const {
   return out;
 }
 
-std::map<std::int64_t, int> Trace::assignment(const std::string& kind) const {
+std::map<std::int64_t, int> Trace::assignment(std::string_view kind) const {
   std::lock_guard lock(mu_);
   std::map<std::int64_t, int> out;
   for (const auto& e : events_) {
@@ -33,7 +60,7 @@ std::map<std::int64_t, int> Trace::assignment(const std::string& kind) const {
   return out;
 }
 
-std::map<int, std::vector<std::int64_t>> Trace::per_task(const std::string& kind) const {
+std::map<int, std::vector<std::int64_t>> Trace::per_task(std::string_view kind) const {
   std::lock_guard lock(mu_);
   std::map<int, std::vector<std::int64_t>> out;
   for (const auto& e : events_) {

@@ -14,20 +14,26 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace pml {
 
-/// One traced unit of work.
+/// One traced unit of work. \p kind views an interned string with process
+/// lifetime — compare it by content as usual; copying an event never copies
+/// the category text.
 struct TraceEvent {
-  std::uint64_t seq = 0;  ///< Global arrival order.
-  int task = -1;          ///< Task (thread or rank) that performed the work.
-  std::string kind;       ///< Category, e.g. "iteration", "combine", "round".
-  std::int64_t key = 0;   ///< Work id: iteration index, round number, ...
-  std::int64_t aux = 0;   ///< Secondary payload (e.g. combine partner).
+  std::uint64_t seq = 0;   ///< Global arrival order.
+  std::uint64_t ns = 0;    ///< Steady-clock nanoseconds at record time.
+  int task = -1;           ///< Task (thread or rank) that performed the work.
+  std::string_view kind;   ///< Category, e.g. "iteration", "combine", "round".
+  std::int64_t key = 0;    ///< Work id: iteration index, round number, ...
+  std::int64_t aux = 0;    ///< Secondary payload (e.g. combine partner).
 };
 
-/// Thread-safe trace of work assignments.
+/// Thread-safe trace of work assignments. Category strings are interned on
+/// first use, so steady-state record() does one mutex acquisition and one
+/// vector push — no per-event string allocation.
 class Trace {
  public:
   Trace() = default;
@@ -35,25 +41,27 @@ class Trace {
   Trace& operator=(const Trace&) = delete;
 
   /// Records that \p task performed work (\p kind, \p key, \p aux).
-  void record(int task, std::string kind, std::int64_t key, std::int64_t aux = 0);
+  void record(int task, std::string_view kind, std::int64_t key,
+              std::int64_t aux = 0);
 
   /// Snapshot of all events in arrival order.
   std::vector<TraceEvent> events() const;
 
   /// Events of one kind, arrival order.
-  std::vector<TraceEvent> events(const std::string& kind) const;
+  std::vector<TraceEvent> events(std::string_view kind) const;
 
   /// For events of \p kind: map key -> task that performed it.
   /// If a key was recorded twice the *last* assignment wins.
-  std::map<std::int64_t, int> assignment(const std::string& kind) const;
+  std::map<std::int64_t, int> assignment(std::string_view kind) const;
 
   /// For events of \p kind: map task -> sorted keys it performed.
-  std::map<int, std::vector<std::int64_t>> per_task(const std::string& kind) const;
+  std::map<int, std::vector<std::int64_t>> per_task(std::string_view kind) const;
 
   /// Number of recorded events.
   std::size_t size() const;
 
-  /// Removes all events.
+  /// Removes all events. Interned kind strings are kept (they back the
+  /// kind views of any snapshots already taken).
   void clear();
 
  private:

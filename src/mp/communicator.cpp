@@ -56,6 +56,7 @@ void Communicator::barrier() const {
   // Dissemination barrier: in round k each rank sends a token to
   // (rank + 2^k) mod p and awaits one from (rank - 2^k) mod p. After
   // ceil(lg p) rounds every rank transitively heard from every other.
+  obs::SpanScope coll{obs::SpanKind::kCollective, "mp-barrier"};
   const int p = size();
   int round = 0;
   for (int dist = 1; dist < p; dist <<= 1, ++round) {

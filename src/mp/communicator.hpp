@@ -27,6 +27,7 @@
 #include "mp/message.hpp"
 #include "mp/op.hpp"
 #include "mp/runtime.hpp"
+#include "obs/obs.hpp"
 
 namespace pml::mp {
 
@@ -95,7 +96,10 @@ class Communicator {
     // An unmatched synchronous send is an indefinite wait: count it for
     // the deadlock watchdog.
     state_->blocked.fetch_add(1, std::memory_order_relaxed);
-    event->wait();
+    {
+      obs::SpanScope wait{obs::SpanKind::kSend, "ssend", dest, tag};
+      event->wait();
+    }
     state_->blocked.fetch_sub(1, std::memory_order_relaxed);
   }
 
@@ -154,6 +158,7 @@ class Communicator {
   template <typename T>
   T broadcast(T value, int root) const {
     check_peer(root, "broadcast");
+    obs::SpanScope coll{obs::SpanKind::kCollective, "broadcast", root};
     const int p = size();
     const int vr = (rank_ - root + p) % p;
     // Receive from parent (clear lowest set bit), then forward to children.
@@ -456,6 +461,7 @@ class Communicator {
   template <typename V, typename Merge>
   V reduce_generic(V local, Merge merge, int root, pml::Trace* trace) const {
     check_peer(root, "reduce");
+    obs::SpanScope coll{obs::SpanKind::kCollective, "reduce", root};
     const int p = size();
     const int vr = (rank_ - root + p) % p;
     int round = 0;
@@ -471,6 +477,7 @@ class Communicator {
         V incoming = Codec<V>::decode(
             my_mailbox().receive(context_, child, internal_tag::kReduce).data);
         merge(local, incoming);
+        obs::count(obs::Counter::kCombines);
         if (trace != nullptr) trace->record(rank_, "combine", round, child);
       }
     }

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "analyze/analyze.hpp"
+#include "obs/obs.hpp"
 #include "sched/sched.hpp"
 
 namespace pml::mp {
@@ -16,9 +17,16 @@ void Mailbox::deliver(Envelope e) {
   // Message edge, sender half: the sender's writes up to here happen-before
   // the receive that matches this envelope (acquired in extract_locked).
   e.analyze_id = analyze::on_mp_deliver(owner_, e.source, e.tag, e.context);
+  // Runs on the *sender's* thread: the send counter lands in its lane, and
+  // the stamp lets the matching receive compute deliver-to-match latency.
+  if (obs::active()) {
+    e.send_ns = obs::detail::now_ns();
+    obs::count(obs::Counter::kMessagesSent);
+  }
   {
     std::lock_guard lock(mu_);
     queue_.push_back(std::move(e));
+    obs::on_queue_depth(queue_.size());
     if (delivered_) delivered_(queue_.back());
   }
   arrived_.notify_all();
@@ -75,6 +83,14 @@ std::optional<Envelope> Mailbox::extract_locked(int context, int source, int tag
         analyze::on_mp_match(e.analyze_id, owner_, e.source, e.tag, e.context,
                              source, wild_sources);
       }
+      // Receiver's lane: match count plus deliver-to-match latency.
+      if (obs::active()) {
+        obs::count(obs::Counter::kMessagesReceived);
+        if (e.send_ns != 0) {
+          obs::count(obs::Counter::kMessageLatencyNs,
+                     obs::detail::now_ns() - e.send_ns);
+        }
+      }
       return e;
     }
   }
@@ -83,6 +99,9 @@ std::optional<Envelope> Mailbox::extract_locked(int context, int source, int tag
 
 Envelope Mailbox::receive(int context, int source, int tag) {
   std::unique_lock lock(mu_);
+  if (auto e = extract_locked(context, source, tag)) return std::move(*e);
+  // Not queued yet: everything from here to the match is receive wait.
+  obs::SpanScope wait{obs::SpanKind::kRecv, "receive", source, tag};
   for (;;) {
     if (auto e = extract_locked(context, source, tag)) return std::move(*e);
     if (poisoned_) {
@@ -97,6 +116,8 @@ std::optional<Envelope> Mailbox::receive_for(int context, int source, int tag,
                                              std::chrono::milliseconds timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::unique_lock lock(mu_);
+  if (auto e = extract_locked(context, source, tag)) return e;
+  obs::SpanScope wait{obs::SpanKind::kRecv, "receive-for", source, tag};
   for (;;) {
     if (auto e = extract_locked(context, source, tag)) return e;
     if (poisoned_) {

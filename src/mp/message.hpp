@@ -26,6 +26,7 @@ struct Envelope {
   bool wants_ack = false;        ///< Synchronous send: receiver must ack.
   std::uint64_t ack_id = 0;      ///< Ack key when wants_ack.
   std::uint64_t analyze_id = 0;  ///< pml::analyze delivery token (0 = off).
+  std::uint64_t send_ns = 0;     ///< pml::obs delivery timestamp (0 = off).
 };
 
 /// Outcome of a receive (MPI_Status analogue).

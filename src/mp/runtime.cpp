@@ -4,6 +4,7 @@
 
 #include "analyze/analyze.hpp"
 #include "mp/communicator.hpp"
+#include "obs/obs.hpp"
 #include "sched/sched.hpp"
 #include "smp/wtime.hpp"
 #include "thread/thread.hpp"
@@ -128,7 +129,14 @@ void run(int nprocs, const std::function<void(Communicator&)>& program,
         sched::bind_lane(static_cast<std::uint32_t>(r));
         analyze::on_sync_acquire(fork_key);
         Communicator world(state, /*context=*/0, world_group, r);
+        // Topology for the profile: which virtual node hosts this rank
+        // (the Perfetto process lane), plus one region span per rank.
+        if (obs::active()) {
+          obs::on_task_placed(
+              r, state->cluster.node_name(state->cluster.node_of(r, nprocs)));
+        }
         try {
+          obs::SpanScope region{obs::SpanKind::kRegion, "rank", r, nprocs};
           program(world);
         } catch (...) {
           errors[static_cast<std::size_t>(r)] = std::current_exception();

@@ -1,0 +1,116 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace pml::obs {
+
+namespace {
+
+/// Escapes a label for embedding in a JSON string literal.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Stable pid per node name: "host" is pid 0; cluster nodes count from 1 in
+/// name order so "node-01" is pid 1, matching the virtual cluster labels.
+std::map<int, int> assign_pids(const Profile& p, std::map<std::string, int>& pid_of_node) {
+  for (const auto& [task, node] : p.task_node) pid_of_node.emplace(node, 0);
+  int next = 1;
+  for (auto& [node, pid] : pid_of_node) pid = next++;
+  std::map<int, int> pid_of_task;
+  for (const auto& [task, node] : p.task_node) {
+    pid_of_task[task] = pid_of_node.at(node);
+  }
+  return pid_of_task;
+}
+
+void meta_event(std::ostream& os, const char* what, int pid, int tid, bool with_tid,
+                const std::string& name, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"(  {"ph":"M","name":")" << what << R"(","pid":)" << pid;
+  if (with_tid) os << R"(,"tid":)" << tid;
+  os << R"(,"args":{"name":")" << json_escape(name) << "\"}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Profile& profile) {
+  std::map<std::string, int> pid_of_node;
+  const std::map<int, int> pid_of_task = assign_pids(profile, pid_of_node);
+  auto pid_for = [&](int task) {
+    auto it = pid_of_task.find(task);
+    return it == pid_of_task.end() ? 0 : it->second;
+  };
+
+  os << "{\n\"traceEvents\": [\n";
+  bool first = true;
+
+  // Lane labels: one process per virtual node, one thread per task.
+  if (!pid_of_node.empty() || !profile.tasks.empty()) {
+    meta_event(os, "process_name", 0, 0, false, "host", first);
+  }
+  for (const auto& [node, pid] : pid_of_node) {
+    meta_event(os, "process_name", pid, 0, false, node, first);
+  }
+  for (const auto& [task, metrics] : profile.tasks) {
+    const std::string name =
+        task >= kUnboundTaskBase
+            ? "aux " + std::to_string(task - kUnboundTaskBase)
+            : (profile.task_node.count(task) != 0 ? "rank " : "task ") +
+                  std::to_string(task);
+    meta_event(os, "thread_name", pid_for(task), task, true, name, first);
+  }
+
+  char buf[160];
+  for (const Span& s : profile.spans) {
+    if (!first) os << ",\n";
+    first = false;
+    const double ts_us =
+        static_cast<double>(s.begin_ns - profile.origin_ns) / 1e3;
+    const double dur_us = static_cast<double>(s.duration_ns()) / 1e3;
+    const char* name = s.label != nullptr ? s.label : to_string(s.kind);
+    std::snprintf(buf, sizeof(buf),
+                  R"(  {"ph":"X","name":"%s","cat":"%s","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d)",
+                  json_escape(name).c_str(), to_string(s.kind), ts_us, dur_us,
+                  pid_for(s.task), s.task);
+    os << buf;
+    if (s.key != 0 || s.aux != 0) {
+      std::snprintf(buf, sizeof(buf), R"(,"args":{"key":%lld,"aux":%lld})",
+                    static_cast<long long>(s.key), static_cast<long long>(s.aux));
+      os << buf;
+    }
+    os << "}";
+  }
+
+  os << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+}
+
+std::string chrome_trace_json(const Profile& profile) {
+  std::ostringstream os;
+  write_chrome_trace(os, profile);
+  return os.str();
+}
+
+}  // namespace pml::obs

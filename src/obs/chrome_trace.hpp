@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file chrome_trace.hpp
+/// \brief Chrome trace-event JSON export — the Profile as a real timeline.
+///
+/// Writes the spans of a Profile in the Chrome trace-event format (JSON
+/// object with a "traceEvents" array of complete "X" events), which loads
+/// directly in Perfetto (ui.perfetto.dev) or chrome://tracing. The mapping
+/// follows the virtual cluster: pid = the node hosting the task ("node-01",
+/// ...; "host" for smp/thread runs), tid = the rank / team-relative thread
+/// id — so the swimlane the ASCII `--timeline` sketches becomes a zoomable
+/// per-node, per-task timeline with real durations.
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/profile.hpp"
+
+namespace pml::obs {
+
+/// Writes \p profile as Chrome trace-event JSON to \p os. Timestamps are
+/// microseconds relative to the profile origin. Emits process_name /
+/// thread_name metadata so Perfetto labels the lanes.
+void write_chrome_trace(std::ostream& os, const Profile& profile);
+
+/// Convenience: the JSON as a string (tests, small traces).
+std::string chrome_trace_json(const Profile& profile);
+
+}  // namespace pml::obs

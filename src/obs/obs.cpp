@@ -1,0 +1,204 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sched/sched.hpp"
+
+namespace pml::obs {
+
+namespace detail {
+std::atomic<int> g_active{0};
+}  // namespace detail
+
+namespace {
+
+/// Spans a single thread can record per scope before dropping. 16 Ki spans
+/// * 48 B is ~0.75 MiB per participating thread — enough for every
+/// patternlet at its teaching sizes; overflow is counted, never silent.
+constexpr std::size_t kLaneCapacity = std::size_t{1} << 14;
+
+/// One thread's span buffer. Only its owning thread writes spans/counters
+/// (merge happens after that thread joined), so no per-event locking.
+struct Lane {
+  std::vector<Span> spans;
+  std::array<std::uint64_t, kCounterKinds> counters{};
+  std::uint64_t dropped = 0;
+  int fallback_task;   ///< Used when the thread never bound a sched lane.
+  int observed_task;   ///< Task id as of the last event (set by the owner;
+                       ///< the merge must not query the owner's TLS).
+
+  explicit Lane(int fallback) : fallback_task(fallback), observed_task(fallback) {
+    spans.reserve(kLaneCapacity);
+  }
+
+  /// Owning-thread only: resolves the current task id and remembers it for
+  /// the merge.
+  int task() noexcept {
+    const int lane = sched::bound_lane();
+    observed_task = lane >= 0 ? lane : fallback_task;
+    return observed_task;
+  }
+};
+
+/// All shared profiling state. The mutex guards registration and scope
+/// transitions only — never the per-event hot path — and is a strict leaf:
+/// nothing here takes a substrate lock.
+class Collector {
+ public:
+  static Collector& instance() {
+    static Collector c;
+    return c;
+  }
+
+  void begin_scope() {
+    std::lock_guard lock(mu_);
+    if (detail::g_active.load(std::memory_order_relaxed) != 0) {
+      throw std::logic_error("obs::Scope: a scope is already active");
+    }
+    lanes_.clear();
+    task_node_.clear();
+    high_water_.store(0, std::memory_order_relaxed);
+    origin_ns_ = detail::now_ns();
+    generation_.fetch_add(1, std::memory_order_relaxed);
+    detail::g_active.store(1, std::memory_order_release);
+  }
+
+  Profile end_scope() {
+    std::lock_guard lock(mu_);
+    detail::g_active.store(0, std::memory_order_release);
+    Profile p;
+    p.origin_ns = origin_ns_;
+    p.finish_ns = detail::now_ns();
+    p.task_node = task_node_;
+    p.mailbox_high_water = high_water_.load(std::memory_order_relaxed);
+    for (const auto& lane : lanes_) {
+      p.spans.insert(p.spans.end(), lane->spans.begin(), lane->spans.end());
+      p.spans_dropped += lane->dropped;
+      // A lane's counters belong to the task its thread last identified as
+      // (its bound lane is sticky; unbound threads keep their synthetic id).
+      TaskMetrics& tm = p.tasks[lane->observed_task];
+      for (std::size_t i = 0; i < kCounterKinds; ++i) {
+        tm.counters[i] += lane->counters[i];
+      }
+      tm.spans_dropped += lane->dropped;
+    }
+    std::sort(p.spans.begin(), p.spans.end(), [](const Span& a, const Span& b) {
+      return a.begin_ns != b.begin_ns ? a.begin_ns < b.begin_ns
+                                      : a.end_ns < b.end_ns;
+    });
+    for (const Span& s : p.spans) {
+      TaskMetrics& tm = p.tasks[s.task];
+      ++tm.span_count[static_cast<std::size_t>(s.kind)];
+      tm.span_ns[static_cast<std::size_t>(s.kind)] += s.duration_ns();
+    }
+    return p;
+  }
+
+  /// The calling thread's lane for the current scope, registering on first
+  /// use (the only locking event on a profiled thread's lifetime).
+  Lane& self() {
+    thread_local Lane* cached = nullptr;
+    thread_local std::uint64_t cached_gen = 0;
+    const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
+    if (cached == nullptr || cached_gen != gen) {
+      std::lock_guard lock(mu_);
+      auto lane = std::make_unique<Lane>(
+          kUnboundTaskBase + static_cast<int>(lanes_.size()));
+      cached = lane.get();
+      cached_gen = gen;
+      lanes_.push_back(std::move(lane));
+    }
+    return *cached;
+  }
+
+  void record_span(SpanKind kind, std::uint64_t begin_ns, std::uint64_t end_ns,
+                   const char* label, std::int64_t key, std::int64_t aux) {
+    Lane& lane = self();
+    if (lane.spans.size() >= kLaneCapacity) {
+      ++lane.dropped;
+      return;
+    }
+    lane.spans.push_back(
+        Span{begin_ns, end_ns, key, aux, label, lane.task(), kind});
+  }
+
+  void add_counter(Counter c, std::uint64_t delta) {
+    Lane& lane = self();
+    (void)lane.task();  // refresh observed_task for the merge
+    lane.counters[static_cast<std::size_t>(c)] += delta;
+  }
+
+  void note_queue_depth(std::size_t depth) {
+    std::size_t seen = high_water_.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !high_water_.compare_exchange_weak(seen, depth,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+
+  void bind_task_node(int task, std::string_view node) {
+    std::lock_guard lock(mu_);
+    task_node_[task] = std::string(node);
+  }
+
+  const char* intern_label(std::string_view label) {
+    std::lock_guard lock(mu_);
+    return interned_.emplace(label).first->c_str();
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::map<int, std::string> task_node_;
+  /// Interned dynamic labels. Never cleared: node-based, so c_str() stays
+  /// valid for the process lifetime even across scopes.
+  std::set<std::string, std::less<>> interned_;
+  std::atomic<std::size_t> high_water_{0};
+  std::uint64_t origin_ns_ = 0;
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace
+
+namespace detail {
+
+void record_span(SpanKind kind, std::uint64_t begin_ns, std::uint64_t end_ns,
+                 const char* label, std::int64_t key, std::int64_t aux) noexcept {
+  Collector::instance().record_span(kind, begin_ns, end_ns, label, key, aux);
+}
+void add_counter(Counter c, std::uint64_t delta) noexcept {
+  Collector::instance().add_counter(c, delta);
+}
+void note_queue_depth(std::size_t depth) noexcept {
+  Collector::instance().note_queue_depth(depth);
+}
+void bind_task_node(int task, std::string_view node_name) noexcept {
+  Collector::instance().bind_task_node(task, node_name);
+}
+const char* intern_label(std::string_view label) noexcept {
+  return Collector::instance().intern_label(label);
+}
+
+}  // namespace detail
+
+Scope::Scope() { Collector::instance().begin_scope(); }
+
+Scope::~Scope() {
+  if (!finished_) (void)finish();
+}
+
+Profile Scope::finish() {
+  if (!finished_) {
+    profile_ = Collector::instance().end_scope();
+    finished_ = true;
+  }
+  return profile_;
+}
+
+}  // namespace pml::obs

@@ -1,0 +1,153 @@
+#pragma once
+
+/// \file obs.hpp
+/// \brief pml::obs — per-task spans, substrate metrics, and the profiling
+/// Scope.
+///
+/// The paper's figures are claims about where time and work go: which thread
+/// ran which iteration, how partials combine, how barriers separate phases.
+/// pml::trace records *assignment*; this layer records *cost*. The
+/// substrates (pml::thread, pml::smp, pml::mp) are compiled with span hooks
+/// at the same places pml::sched perturbs and pml::analyze observes:
+///
+///   - kRegion   one per team thread / rank, covering its whole body;
+///   - kChunk    one per worksharing loop chunk;
+///   - kTask     one per explicit task / pool task execution;
+///   - kBarrier  arrival-to-departure of a barrier wait;
+///   - kLockWait contended lock / critical-section acquisition;
+///   - kSend     blocking synchronous-send wait (pml::mp ssend);
+///   - kRecv     blocking receive wait (pml::mp mailbox);
+///   - kCollective  a collective call (barrier, broadcast, reduce, ...).
+///
+/// Hot-path contract ("free when off", the same bar sched::point() and
+/// pml::analyze meet): with no Scope active a hook is one relaxed atomic
+/// load and an untaken branch. With a Scope active, a span is two steady-
+/// clock reads and a handful of stores into a per-thread buffer that only
+/// its owning thread writes — no locks, no allocation after the buffer's
+/// one-time reservation. Buffers merge into a Profile at Scope::finish(),
+/// after every instrumented thread has joined.
+///
+/// The runner plumbs the Profile into RunResult::metrics
+/// (`RunSpec::profile`, `patternlet_runner --profile`), and
+/// obs::write_chrome_trace() exports it as Chrome trace-event JSON
+/// (`--trace-json FILE`) that opens directly in Perfetto.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/profile.hpp"
+
+namespace pml::obs {
+
+namespace detail {
+
+/// Nonzero while a Scope is active. Relaxed reads on the hot path.
+extern std::atomic<int> g_active;
+
+// Out-of-line slow paths (obs.cpp); only reached while a Scope is live.
+void record_span(SpanKind kind, std::uint64_t begin_ns, std::uint64_t end_ns,
+                 const char* label, std::int64_t key, std::int64_t aux) noexcept;
+void add_counter(Counter c, std::uint64_t delta) noexcept;
+void note_queue_depth(std::size_t depth) noexcept;
+void bind_task_node(int task, std::string_view node_name) noexcept;
+const char* intern_label(std::string_view label) noexcept;
+
+/// Monotonic nanosecond clock shared by every span.
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace detail
+
+/// True iff a profiling Scope is active.
+inline bool active() noexcept {
+  return detail::g_active.load(std::memory_order_relaxed) != 0;
+}
+
+/// \name Counter hooks
+/// One relaxed load when profiling is off; a thread-local increment when on.
+/// @{
+inline void count(Counter c, std::uint64_t delta = 1) noexcept {
+  if (active()) detail::add_counter(c, delta);
+}
+/// Mailbox depth accounting: tracks the run-wide high-water mark.
+inline void on_queue_depth(std::size_t depth) noexcept {
+  if (active()) detail::note_queue_depth(depth);
+}
+/// @}
+
+/// Records which virtual cluster node hosts \p task (mp ranks). Cold path;
+/// the Chrome trace export uses it as the Perfetto pid/process name.
+inline void on_task_placed(int task, std::string_view node_name) noexcept {
+  if (active()) detail::bind_task_node(task, node_name);
+}
+
+/// RAII span: stamps begin at construction, records [begin, now] at
+/// destruction. When profiling is off both ends are a relaxed load and an
+/// untaken branch. \p label must be a string literal or an interned string
+/// (see intern()); it is stored by pointer, not copied.
+class SpanScope {
+ public:
+  explicit SpanScope(SpanKind kind, const char* label = nullptr,
+                     std::int64_t key = 0, std::int64_t aux = 0) noexcept
+      : begin_(active() ? detail::now_ns() : 0),
+        key_(key),
+        aux_(aux),
+        label_(label),
+        kind_(kind) {}
+
+  ~SpanScope() {
+    if (begin_ != 0 && active()) {
+      detail::record_span(kind_, begin_, detail::now_ns(), label_, key_, aux_);
+    }
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  /// Updates the payload after construction (e.g. once the chunk is known).
+  void set_payload(std::int64_t key, std::int64_t aux) noexcept {
+    key_ = key;
+    aux_ = aux;
+  }
+
+ private:
+  std::uint64_t begin_;
+  std::int64_t key_;
+  std::int64_t aux_;
+  const char* label_;
+  SpanKind kind_;
+};
+
+/// Interns a dynamically-built label so a Span can reference it for the
+/// process lifetime (e.g. "critical(name)"). Returns a stable pointer;
+/// repeated calls with equal content return the same pointer. Only call
+/// while a Scope is active (it is a no-op returning nullptr otherwise).
+inline const char* intern(std::string_view label) noexcept {
+  return active() ? detail::intern_label(label) : nullptr;
+}
+
+/// RAII profiling window. Exactly one may be active process-wide; nesting
+/// throws. finish() merges every thread's span buffer and returns the
+/// Profile (idempotent: later calls return the same data). Call it only
+/// after the instrumented threads have joined — the runner's contract.
+class Scope {
+ public:
+  Scope();
+  ~Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+  Profile finish();
+
+ private:
+  bool finished_ = false;
+  Profile profile_;
+};
+
+}  // namespace pml::obs

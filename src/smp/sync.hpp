@@ -24,6 +24,7 @@
 #include <type_traits>
 
 #include "analyze/analyze.hpp"
+#include "obs/obs.hpp"
 #include "sched/sched.hpp"
 
 namespace pml::smp {
@@ -42,6 +43,7 @@ T atomic_update(T& shared, T operand, Op op, const char* label = nullptr) {
   sched::point(sched::Point::kSharedWrite);
   // An indivisible RMW: never races with other RMWs on the same location.
   analyze::on_rmw(&shared, label);
+  obs::count(obs::Counter::kAtomicUpdates);
   std::atomic_ref<T> ref(shared);
   T expected = ref.load(std::memory_order_relaxed);
   T desired = op(expected, operand);

@@ -19,6 +19,7 @@
 
 #include "analyze/analyze.hpp"
 #include "core/error.hpp"
+#include "obs/obs.hpp"
 
 namespace pml::smp::detail {
 
@@ -76,6 +77,8 @@ class TaskPool {
     if (!task) return false;
     ++exec_depth();
     try {
+      obs::SpanScope span{obs::SpanKind::kTask, "omp-task", exec_depth()};
+      obs::count(obs::Counter::kTasksRun);
       (*task)();
     } catch (...) {
       --exec_depth();

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "analyze/analyze.hpp"
+#include "obs/obs.hpp"
 #include "sched/sched.hpp"
 #include "thread/thread.hpp"
 
@@ -59,7 +60,19 @@ void parallel(const std::function<void(Region&)>& body) { parallel(0, body); }
 void Region::critical(const std::string& name, const std::function<void()>& fn) {
   sched::point(sched::Point::kLockAcquire);
   std::mutex& mu = critical_mutex(name);
-  std::lock_guard lock(mu);
+  // While profiling, probe first so only a contended entry opens a
+  // lock-wait span (labelled with the critical's name); off, the path is
+  // the plain blocking acquisition.
+  if (obs::active() && !mu.try_lock()) {
+    obs::SpanScope wait{
+        obs::SpanKind::kLockWait,
+        obs::intern(name.empty() ? "critical" : "critical(" + name + ")"),
+        static_cast<std::int64_t>(reinterpret_cast<std::uintptr_t>(&mu))};
+    mu.lock();
+  } else if (!obs::active()) {
+    mu.lock();
+  }
+  std::lock_guard lock(mu, std::adopt_lock);
   if (analyze::active()) {
     const std::string label = name.empty() ? "critical" : "critical(" + name + ")";
     analyze::LockedRegion held(&mu, label.c_str());
@@ -123,6 +136,8 @@ void Region::for_each(std::int64_t begin, std::int64_t end, const Schedule& sche
         // per-iteration hot path, frequent enough that chaos mode can
         // reshuffle which thread runs when.
         sched::point(sched::Point::kLoopChunk);
+        obs::SpanScope chunk{obs::SpanKind::kChunk, "static-chunk", r.begin, r.end};
+        obs::count(obs::Counter::kChunks);
         for (std::int64_t i = r.begin; i < r.end; ++i) fn(i);
       }
       break;
@@ -138,6 +153,8 @@ void Region::for_each(std::int64_t begin, std::int64_t end, const Schedule& sche
       }
       for (IterRange r = slot->dealer->next(); !r.empty(); r = slot->dealer->next()) {
         sched::point(sched::Point::kLoopChunk);
+        obs::SpanScope chunk{obs::SpanKind::kChunk, "dynamic-chunk", r.begin, r.end};
+        obs::count(obs::Counter::kChunks);
         for (std::int64_t i = r.begin; i < r.end; ++i) fn(i);
       }
       break;

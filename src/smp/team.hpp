@@ -26,6 +26,7 @@
 
 #include "analyze/analyze.hpp"
 #include "core/error.hpp"
+#include "obs/obs.hpp"
 #include "smp/schedule.hpp"
 #include "smp/taskpool.hpp"
 #include "thread/barrier.hpp"
@@ -182,7 +183,10 @@ T Region::reduce(T local, Combine combine, T identity) {
   if (id_ == 0) {
     const auto& partials = std::any_cast<const std::vector<T>&>(slot->payload);
     T acc = identity;
-    for (const T& p : partials) acc = combine(acc, p);
+    for (const T& p : partials) {
+      acc = combine(acc, p);
+      obs::count(obs::Counter::kCombines);
+    }
     std::lock_guard lock(slot->mu);
     slot->result = std::move(acc);
   }

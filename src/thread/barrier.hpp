@@ -14,6 +14,7 @@
 
 #include "analyze/analyze.hpp"
 #include "core/error.hpp"
+#include "obs/obs.hpp"
 
 namespace pml::thread {
 
@@ -31,6 +32,9 @@ class Barrier {
   /// Returns true on exactly one thread per phase (the "serial thread",
   /// mirroring PTHREAD_BARRIER_SERIAL_THREAD).
   bool arrive_and_wait() {
+    // Arrival-to-departure wait span; payload set once the phase is known.
+    // Declared before the lock so it closes after mu_ is released.
+    obs::SpanScope wait_span{obs::SpanKind::kBarrier};
     std::unique_lock lock(mu_);
     const bool sense = sense_;
     // Happens-before edges for the analyzer, keyed by (barrier, phase) so
@@ -43,11 +47,13 @@ class Barrier {
       waiting_ = parties_;
       sense_ = !sense_;
       const std::uint64_t completed = phase_++;
+      wait_span.set_payload(static_cast<std::int64_t>(completed), parties_);
       cv_.notify_all();
       analyze::on_barrier_depart(this, completed);
       return true;
     }
     const std::uint64_t my_phase = phase_;
+    wait_span.set_payload(static_cast<std::int64_t>(my_phase), parties_);
     cv_.wait(lock, [&] { return sense_ != sense; });
     analyze::on_barrier_depart(this, my_phase);
     return false;

@@ -20,10 +20,18 @@
 #include <mutex>
 
 #include "analyze/analyze.hpp"
+#include "obs/obs.hpp"
 #include "sched/sched.hpp"
 #include "thread/annotations.hpp"
 
 namespace pml::thread {
+
+namespace detail {
+/// Lock identity for lock-wait span payloads.
+inline std::int64_t lock_key(const void* lock) noexcept {
+  return static_cast<std::int64_t>(reinterpret_cast<std::uintptr_t>(lock));
+}
+}  // namespace detail
 
 /// pthread_mutex_t analogue: std::mutex plus an instrumented sync point at
 /// acquisition, so chaos mode (pml::sched) can reshuffle which contender
@@ -37,7 +45,14 @@ class PML_CAPABILITY("mutex") Mutex {
 
   void lock() PML_ACQUIRE() {
     sched::point(sched::Point::kLockAcquire);
-    mu_.lock();
+    // While profiling, probe first so only a *contended* acquisition opens
+    // a lock-wait span; off, the path is the raw blocking lock unchanged.
+    if (!obs::active()) {
+      mu_.lock();
+    } else if (!mu_.try_lock()) {
+      obs::SpanScope wait{obs::SpanKind::kLockWait, "mutex", detail::lock_key(this)};
+      mu_.lock();
+    }
     analyze::on_lock_acquired(this);
   }
 
@@ -80,10 +95,14 @@ class PML_CAPABILITY("mutex") Spinlock {
 
   void lock() noexcept PML_ACQUIRE() {
     sched::point(sched::Point::kLockAcquire);
-    while (flag_.exchange(true, std::memory_order_acquire)) {
-      // Spin on a plain load to avoid cache-line ping-pong.
-      while (flag_.load(std::memory_order_relaxed)) {
-      }
+    if (flag_.exchange(true, std::memory_order_acquire)) {
+      // Contended: the spin is the wait (span is free when profiling is off).
+      obs::SpanScope wait{obs::SpanKind::kLockWait, "spinlock", detail::lock_key(this)};
+      do {
+        // Spin on a plain load to avoid cache-line ping-pong.
+        while (flag_.load(std::memory_order_relaxed)) {
+        }
+      } while (flag_.exchange(true, std::memory_order_acquire));
     }
     analyze::on_lock_acquired(this);
   }
@@ -115,7 +134,12 @@ class PML_CAPABILITY("mutex") RwLock {
     sched::point(sched::Point::kLockAcquire);
     {
       std::unique_lock lock(mu_);
-      readers_ok_.wait(lock, [this] { return writers_waiting_ == 0 && !writer_active_; });
+      if (writers_waiting_ != 0 || writer_active_) {
+        // Blocked behind a writer: that wait is the contention span.
+        obs::SpanScope wait{obs::SpanKind::kLockWait, "rwlock-read",
+                            detail::lock_key(this)};
+        readers_ok_.wait(lock, [this] { return writers_waiting_ == 0 && !writer_active_; });
+      }
       ++readers_active_;
     }
     analyze::on_lock_acquired(this);
@@ -132,7 +156,11 @@ class PML_CAPABILITY("mutex") RwLock {
     {
       std::unique_lock lock(mu_);
       ++writers_waiting_;
-      writers_ok_.wait(lock, [this] { return readers_active_ == 0 && !writer_active_; });
+      if (readers_active_ != 0 || writer_active_) {
+        obs::SpanScope wait{obs::SpanKind::kLockWait, "rwlock-write",
+                            detail::lock_key(this)};
+        writers_ok_.wait(lock, [this] { return readers_active_ == 0 && !writer_active_; });
+      }
       --writers_waiting_;
       writer_active_ = true;
     }

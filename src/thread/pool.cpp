@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "analyze/analyze.hpp"
+#include "obs/obs.hpp"
 
 namespace pml::thread {
 
@@ -79,6 +80,8 @@ void Pool::worker_loop(int id) {
     }
     std::exception_ptr error;
     try {
+      obs::SpanScope span{obs::SpanKind::kTask, "pool-task", id};
+      obs::count(obs::Counter::kTasksRun);
       task(id);
     } catch (...) {
       error = std::current_exception();

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "analyze/analyze.hpp"
+#include "obs/obs.hpp"
 #include "sched/sched.hpp"
 
 namespace pml::thread {
@@ -82,6 +83,7 @@ std::optional<StealingPool::Task> StealingPool::find_work(int id) {
   for (int k = 1; k < n; ++k) {
     const int victim = (id + k) % n;
     if (auto t = deques_[static_cast<std::size_t>(victim)]->steal_top()) {
+      obs::count(obs::Counter::kSteals);
       std::lock_guard lock(mu_);
       ++steals_[static_cast<std::size_t>(id)];
       return t;
@@ -99,6 +101,8 @@ void StealingPool::worker_loop(int id) {
     if (auto task = find_work(id)) {
       std::exception_ptr error;
       try {
+        obs::SpanScope span{obs::SpanKind::kTask, "stolen-or-own-task", id};
+        obs::count(obs::Counter::kTasksRun);
         (*task)();
       } catch (...) {
         error = std::current_exception();

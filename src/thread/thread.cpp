@@ -3,6 +3,7 @@
 #include <exception>
 
 #include "analyze/analyze.hpp"
+#include "obs/obs.hpp"
 #include "sched/sched.hpp"
 
 namespace pml::thread {
@@ -32,6 +33,8 @@ void run_all(int n, int first_spawned, const std::function<void(int)>& fn,
       sched::bind_lane(static_cast<std::uint32_t>(id));
       analyze::on_sync_acquire(fork_key);
       try {
+        // One region span per team thread, covering its whole body.
+        obs::SpanScope region{obs::SpanKind::kRegion, "worker", id, n};
         fn(id);
       } catch (...) {
         errors[static_cast<std::size_t>(id)] = std::current_exception();
@@ -43,6 +46,7 @@ void run_all(int n, int first_spawned, const std::function<void(int)>& fn,
     sched::bind_lane(0);
     analyze::on_sync_acquire(fork_key);
     try {
+      obs::SpanScope region{obs::SpanKind::kRegion, "worker", 0, n};
       fn(0);
     } catch (...) {
       errors[0] = std::current_exception();

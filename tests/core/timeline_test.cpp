@@ -12,6 +12,21 @@ TEST(Timeline, EmptyCaptureRendersEmpty) {
   EXPECT_EQ(render_timeline({}), "");
 }
 
+TEST(Timeline, EmptyCaptureRendersEmptyWithEveryOption) {
+  // The empty-capture guarantee must hold regardless of options — the
+  // runner calls render_timeline unconditionally when --timeline is given.
+  TimelineOptions opts;
+  opts.include_program_lane = true;
+  opts.max_columns = 1;
+  opts.no_phase_mark = '#';
+  EXPECT_EQ(render_timeline({}, opts), "");
+  // A capture holding only program lines is empty unless the lane is shown.
+  OutputCapture out;
+  out.program("banner");
+  opts.include_program_lane = false;
+  EXPECT_EQ(render_timeline(out.lines(), opts), "");
+}
+
 TEST(Timeline, OneLanePerTaskMarksArrivalColumns) {
   OutputCapture out;
   out.say(0, "b0", "BEFORE");
@@ -60,6 +75,39 @@ TEST(Timeline, WideRunsCompressToMaxColumns) {
   EXPECT_EQ(rows, 3u);
   const std::size_t first_newline = chart.find('\n');
   EXPECT_LE(first_newline, 10 + 40u);
+}
+
+TEST(Timeline, CompressionBoundsEveryLaneAndKeepsMarks) {
+  OutputCapture out;
+  for (int i = 0; i < 997; ++i) out.say(i % 4, "x", "M");
+  TimelineOptions opts;
+  opts.max_columns = 32;
+  const std::string chart = render_timeline(out.lines(), opts);
+  // Every row respects the column budget, and no lane's marks vanish.
+  std::size_t start = 0;
+  std::size_t rows = 0;
+  while (start < chart.size()) {
+    const std::size_t end = chart.find('\n', start);
+    const std::string row = chart.substr(start, end - start);
+    EXPECT_LE(row.size(), row.find('|') + 2 + 32) << row;
+    EXPECT_NE(row.find('M'), std::string::npos) << row;
+    start = end + 1;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 4u);
+}
+
+TEST(Timeline, NarrowRunsAreNotCompressed) {
+  // Fewer events than max_columns: one column per event, unscaled.
+  OutputCapture out;
+  out.say(0, "a", "A");
+  out.say(1, "b", "B");
+  TimelineOptions opts;
+  opts.max_columns = 120;
+  const std::string chart = render_timeline(out.lines(), opts);
+  EXPECT_EQ(chart,
+            "task 0  | A.\n"
+            "task 1  | .B\n");
 }
 
 TEST(Timeline, SeparatedPhasesLookSeparated) {

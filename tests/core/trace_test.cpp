@@ -62,6 +62,39 @@ TEST(Trace, PerTaskSortsKeys) {
   EXPECT_EQ(per.at(1), (std::vector<std::int64_t>{4}));
 }
 
+TEST(Trace, StampsMonotonicNanoseconds) {
+  Trace trace;
+  trace.record(0, "tick", 0);
+  trace.record(0, "tick", 1);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_GT(events[0].ns, 0u);
+  EXPECT_LE(events[0].ns, events[1].ns);
+}
+
+TEST(Trace, InternsKindsToStablePointers) {
+  Trace trace;
+  // Two records with equal-content but distinct string objects must share
+  // one interned backing string (no per-event copy).
+  const std::string a = "iteration";
+  const std::string b = std::string("itera") + "tion";
+  trace.record(0, a, 0);
+  trace.record(1, b, 1);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, events[1].kind);
+  EXPECT_EQ(events[0].kind.data(), events[1].kind.data());
+}
+
+TEST(Trace, InternedKindsSurviveClear) {
+  Trace trace;
+  trace.record(0, std::string("ephemeral-kind"), 0);
+  const auto snapshot = trace.events();
+  trace.clear();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].kind, "ephemeral-kind");
+}
+
 TEST(Trace, ClearEmpties) {
   Trace trace;
   trace.record(0, "x", 0);

@@ -1,0 +1,105 @@
+/// \file chrome_trace_test.cpp
+/// \brief Tests for the Chrome trace-event JSON export.
+
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/obs.hpp"
+#include "obs/profile.hpp"
+
+namespace pml::obs {
+namespace {
+
+Profile sample_profile() {
+  Profile p;
+  p.origin_ns = 1'000'000;
+  p.finish_ns = 9'000'000;
+  p.spans.push_back(Span{2'000'000, 3'000'000, 0, 4, "rank-body", 0, SpanKind::kRegion});
+  p.spans.push_back(Span{2'500'000, 2'600'000, 7, 3, nullptr, 1, SpanKind::kBarrier});
+  p.tasks[0].span_count[static_cast<std::size_t>(SpanKind::kRegion)] = 1;
+  p.tasks[1].span_count[static_cast<std::size_t>(SpanKind::kBarrier)] = 1;
+  p.task_node[0] = "node-01";
+  p.task_node[1] = "node-02";
+  return p;
+}
+
+TEST(ChromeTrace, EmitsTraceEventsObject) {
+  const std::string json = chrome_trace_json(sample_profile());
+  EXPECT_EQ(json.rfind("{\n\"traceEvents\": [", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+}
+
+TEST(ChromeTrace, MapsNodesToProcessesAndTasksToThreads) {
+  const std::string json = chrome_trace_json(sample_profile());
+  // One process_name metadata event per virtual node, in name order.
+  EXPECT_NE(json.find(R"("ph":"M","name":"process_name","pid":1,"args":{"name":"node-01"})"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"M","name":"process_name","pid":2,"args":{"name":"node-02"})"),
+            std::string::npos);
+  // Placed tasks are labelled as ranks on their node's pid.
+  EXPECT_NE(json.find(R"("ph":"M","name":"thread_name","pid":1,"tid":0,"args":{"name":"rank 0"})"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"M","name":"thread_name","pid":2,"tid":1,"args":{"name":"rank 1"})"),
+            std::string::npos);
+}
+
+TEST(ChromeTrace, CompleteEventsCarryRelativeMicroseconds) {
+  const std::string json = chrome_trace_json(sample_profile());
+  // begin 2ms with origin 1ms -> ts 1000us; 1ms duration -> dur 1000us.
+  EXPECT_NE(json.find(R"("ph":"X","name":"rank-body","cat":"region","ts":1000.000,"dur":1000.000,"pid":1,"tid":0)"),
+            std::string::npos);
+  // A label-less span falls back to its kind name.
+  EXPECT_NE(json.find(R"("name":"barrier-wait","cat":"barrier-wait")"),
+            std::string::npos);
+  // Payload rides in args.
+  EXPECT_NE(json.find(R"("args":{"key":7,"aux":3})"), std::string::npos);
+}
+
+TEST(ChromeTrace, HostPidZeroForUnplacedTasks) {
+  Profile p;
+  p.origin_ns = 0;
+  p.finish_ns = 1'000;
+  p.spans.push_back(Span{100, 200, 0, 0, "w", 2, SpanKind::kTask});
+  p.tasks[2].span_count[static_cast<std::size_t>(SpanKind::kTask)] = 1;
+  const std::string json = chrome_trace_json(p);
+  EXPECT_NE(json.find(R"("ph":"M","name":"process_name","pid":0,"args":{"name":"host"})"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("pid":0,"tid":2)"), std::string::npos);
+  EXPECT_NE(json.find(R"({"name":"task 2"})"), std::string::npos);
+}
+
+TEST(ChromeTrace, EscapesLabels) {
+  Profile p;
+  p.finish_ns = 10;
+  // An interned label could in principle carry quotes; they must not break
+  // the JSON.
+  static const char kLabel[] = "critical(\"sum\")";
+  p.spans.push_back(Span{1, 2, 0, 0, kLabel, 0, SpanKind::kLockWait});
+  p.tasks[0].span_count[static_cast<std::size_t>(SpanKind::kLockWait)] = 1;
+  const std::string json = chrome_trace_json(p);
+  EXPECT_NE(json.find(R"(critical(\"sum\"))"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyProfileIsStillValidJson) {
+  Profile p;
+  const std::string json = chrome_trace_json(p);
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(ChromeTrace, EndToEndProfileExports) {
+  Profile profile;
+  {
+    Scope scope;
+    { SpanScope s{SpanKind::kChunk, "chunk", 0, 10}; }
+    profile = scope.finish();
+  }
+  const std::string json = chrome_trace_json(profile);
+  EXPECT_NE(json.find(R"("name":"chunk","cat":"chunk")"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pml::obs
