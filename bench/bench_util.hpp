@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <utility>
@@ -54,10 +55,20 @@ inline double quantile_sorted(const std::vector<double>& sorted, double q) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+/// Quick mode: when PML_BENCH_QUICK is set (and not "0"), measure() caps
+/// repetitions at 3 so CI can exercise every bench binary and validate its
+/// JSON companion without paying for full statistical depth.
+inline bool quick_mode() {
+  const char* env = std::getenv("PML_BENCH_QUICK");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
 /// Run \p fn \p repetitions times and return the wall time of each run in
 /// seconds, in execution order. Feed the result to JsonReporter::add_series.
+/// Honors quick mode (see quick_mode()).
 template <class Fn>
 std::vector<double> measure(int repetitions, Fn&& fn) {
+  if (quick_mode()) repetitions = std::min(repetitions, 3);
   std::vector<double> seconds;
   seconds.reserve(static_cast<std::size_t>(repetitions));
   for (int rep = 0; rep < repetitions; ++rep) {

@@ -3,9 +3,20 @@
 /// primitives: mailbox ops, point-to-point latency, collective algorithms
 /// (tree vs flat), barrier, loop schedules, and the mutual-exclusion
 /// mechanisms behind the Fig. 30 lesson.
+///
+/// Besides the console table, every per-iteration timing is captured into
+/// the shared JsonReporter, so `BENCH_micro_substrates.json` joins the
+/// recorded perf trajectory (median/p10/p90 per benchmark; run with
+/// --benchmark_repetitions=N to get N samples per series). The bench CI job
+/// gates on the mailbox ping-pong medians in that file.
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "mp/mp.hpp"
 #include "smp/smp.hpp"
 #include "thread/mutex.hpp"
@@ -29,6 +40,26 @@ void BM_MailboxDeliverReceive(benchmark::State& state) {
 }
 BENCHMARK(BM_MailboxDeliverReceive);
 
+void BM_MailboxMatchDepth(benchmark::State& state) {
+  // Exact-match receive with N other (source, tag) streams already queued.
+  // The old matcher scanned the whole deque past the N strangers on every
+  // receive (O(depth)); the bucketed store finds the wanted stream in one
+  // hash probe regardless of depth. This is the farm/manager pattern shape:
+  // a manager's mailbox holds a backlog from many workers while it receives
+  // from a specific one.
+  const int depth = static_cast<int>(state.range(0));
+  mp::Mailbox mb;
+  const auto payload = mp::Codec<int>::encode(42);
+  for (int s = 0; s < depth; ++s) {
+    mb.deliver(mp::Envelope{/*source=*/s + 1, /*tag=*/7, /*context=*/0, payload});
+  }
+  for (auto _ : state) {
+    mb.deliver(mp::Envelope{0, 0, 0, payload});
+    benchmark::DoNotOptimize(mb.receive(0, 0, 0));
+  }
+}
+BENCHMARK(BM_MailboxMatchDepth)->Arg(16)->Arg(64)->Arg(256);
+
 void BM_PingPong(benchmark::State& state) {
   const int rounds = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -47,6 +78,28 @@ void BM_PingPong(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * rounds * 2);
 }
 BENCHMARK(BM_PingPong)->Arg(64)->Arg(512);
+
+void BM_PingPongLargePayload(benchmark::State& state) {
+  // Large-body variant (4 KiB per message, far past the inline-payload
+  // threshold): guards the heap-spill path against regressions.
+  const int rounds = static_cast<int>(state.range(0));
+  const std::vector<long> body(512, 7);
+  for (auto _ : state) {
+    mp::run(2, [&](mp::Communicator& comm) {
+      for (int i = 0; i < rounds; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(body, 1);
+          benchmark::DoNotOptimize(comm.recv<std::vector<long>>(1));
+        } else {
+          const auto v = comm.recv<std::vector<long>>(0);
+          comm.send(v, 0);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_PingPongLargePayload)->Arg(64);
 
 // ---- Collectives: tree vs flat ablation -----------------------------------
 
@@ -291,6 +344,44 @@ void BM_RegionReduce(benchmark::State& state) {
 }
 BENCHMARK(BM_RegionReduce)->Arg(2)->Arg(8);
 
+// ---- JSON companion ---------------------------------------------------------
+
+/// Console output as usual, plus every non-aggregate run captured as one
+/// sample (seconds per iteration) for the BENCH_micro_substrates.json
+/// trajectory file.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(pml::bench::JsonReporter* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      samples_[run.benchmark_name()].push_back(
+          run.real_accumulated_time / static_cast<double>(run.iterations));
+    }
+  }
+
+  void Finalize() override {
+    for (auto& [label, seconds] : samples_) {
+      json_->add_series(label, /*tasks=*/0, std::move(seconds));
+    }
+    ConsoleReporter::Finalize();
+  }
+
+ private:
+  pml::bench::JsonReporter* json_;
+  std::map<std::string, std::vector<double>> samples_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  pml::bench::JsonReporter json("micro_substrates");
+  CapturingReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;  // the JsonReporter destructor writes BENCH_micro_substrates.json
+}

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Perf gate for the mailbox fast path.
+
+Compares a freshly generated BENCH_micro_substrates.json against the
+checked-in baseline (bench/baselines/) and fails when a gated series'
+median regresses beyond the tolerance.
+
+Only the mailbox-plane series are gated: they are the fast path this
+repository optimizes deliberately, and the gate is what keeps an
+accidental O(depth) scan or a lost wakeup from sneaking back in. The
+other series ride along in the artifact for trend inspection but do not
+fail the build (fork/join-heavy benches are too scheduler-noisy on
+shared CI runners to gate at 20%).
+
+Usage:
+    bench_gate.py CURRENT.json BASELINE.json [--tolerance 0.20]
+
+Exit status: 0 when every gated series is present and within tolerance,
+1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+# Series medians that must not regress (prefix match against labels like
+# "BM_PingPong/64"). Mailbox matching + small-message latency: the two
+# headline costs of the fast-path overhaul.
+GATED_PREFIXES = (
+    "BM_MailboxDeliverReceive",
+    "BM_MailboxMatchDepth",
+    "BM_PingPong",  # also covers BM_PingPongLargePayload
+)
+
+
+def medians(doc):
+    out = {}
+    for series in doc["series"]:
+        out[series["label"]] = float(series["seconds"]["median"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional regression (default 0.20)")
+    args = parser.parse_args()
+
+    with open(args.current) as f:
+        current = medians(json.load(f))
+    with open(args.baseline) as f:
+        baseline = medians(json.load(f))
+
+    failures = []
+    checked = 0
+    for label, base in sorted(baseline.items()):
+        if not label.startswith(GATED_PREFIXES):
+            continue
+        if label not in current:
+            failures.append(f"{label}: present in baseline but not in current run")
+            continue
+        checked += 1
+        cur = current[label]
+        ratio = cur / base if base > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{label}: {cur * 1e9:.0f} ns vs baseline {base * 1e9:.0f} ns "
+                f"({ratio:.2f}x, tolerance {1.0 + args.tolerance:.2f}x)")
+        print(f"  {label:40s} {cur * 1e9:12.0f} ns  baseline {base * 1e9:12.0f} ns  "
+              f"{ratio:5.2f}x  {verdict}")
+
+    if checked == 0:
+        print("bench gate: no gated series found — baseline/current mismatch?")
+        return 1
+    if failures:
+        print(f"\nbench gate: {len(failures)} failure(s):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"\nbench gate: {checked} gated series within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

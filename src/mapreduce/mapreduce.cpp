@@ -109,12 +109,13 @@ std::vector<KeyValue> run_job(mp::Communicator& comm,
   };
   for (const auto& record : my_records) map_fn(record, emit);
 
-  // --- Shuffle: serialize each bucket and exchange all-to-all. ---
-  std::vector<std::vector<std::byte>> outgoing(static_cast<std::size_t>(p));
+  // --- Shuffle: serialize each bucket and exchange all-to-all. The
+  // pre-serialized payloads move through the substrate unre-encoded. ---
+  std::vector<mp::Payload> outgoing(static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) {
     outgoing[static_cast<std::size_t>(r)] = encode_pairs(buckets[static_cast<std::size_t>(r)]);
   }
-  const auto incoming = job.alltoall(outgoing);
+  const auto incoming = job.alltoall(std::move(outgoing));
 
   // --- Reduce: group my keys' values and fold them. ---
   std::vector<KeyValue> mine;

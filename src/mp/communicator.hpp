@@ -109,7 +109,7 @@ class Communicator {
     check_source(source, "recv");
     Envelope e = my_mailbox().receive(context_, source, tag);
     finish_receive(e, status);
-    return Codec<T>::decode(e.data);
+    return Codec<T>::decode(std::move(e.data));
   }
 
   /// Deadline receive: nullopt on timeout. Lets deadlock demonstrations
@@ -121,7 +121,7 @@ class Communicator {
     auto e = my_mailbox().receive_for(context_, source, tag, timeout);
     if (!e) return std::nullopt;
     finish_receive(*e, status);
-    return Codec<T>::decode(e->data);
+    return Codec<T>::decode(std::move(e->data));
   }
 
   /// Nonblocking receive attempt: nullopt if nothing matches right now.
@@ -132,7 +132,7 @@ class Communicator {
     auto e = my_mailbox().try_receive(context_, source, tag);
     if (!e) return std::nullopt;
     finish_receive(*e, status);
-    return Codec<T>::decode(e->data);
+    return Codec<T>::decode(std::move(e->data));
   }
 
   /// Nonblocking probe for a matching queued message (MPI_Iprobe).
@@ -161,20 +161,27 @@ class Communicator {
     obs::SpanScope coll{obs::SpanKind::kCollective, "broadcast", root};
     const int p = size();
     const int vr = (rank_ - root + p) % p;
-    // Receive from parent (clear lowest set bit), then forward to children.
-    if (vr != 0) {
+    // Serialize exactly once at the root; every interior hop forwards the
+    // raw payload bytes (one copy per child, never a re-encode) and only
+    // the locally returned value is decoded.
+    Payload bytes;
+    if (vr == 0) {
+      bytes = Codec<T>::encode(value);
+    } else {
+      // Receive from parent (clear lowest set bit), then forward to children.
       const int parent = ((vr & (vr - 1)) + root) % p;
-      value = Codec<T>::decode(
+      bytes = std::move(
           my_mailbox().receive(context_, parent, internal_tag::kBcast).data);
     }
     for (int mask = next_pow2_at_least(p) >> 1; mask >= 1; mask >>= 1) {
       // Child exists iff mask is above vr's lowest set bit and in range.
       if ((vr & (mask - 1)) == 0 && (vr & mask) == 0 && vr + mask < p) {
         deliver((vr + mask + root) % p,
-                Envelope{context_, rank_, internal_tag::kBcast, Codec<T>::encode(value)});
+                Envelope{context_, rank_, internal_tag::kBcast, bytes});
       }
     }
-    return value;
+    if (vr == 0) return value;
+    return Codec<T>::decode(std::move(bytes));
   }
 
   /// Flat (linear) broadcast — the O(p) strawman for the ablation bench.
@@ -182,16 +189,17 @@ class Communicator {
   T flat_broadcast(T value, int root) const {
     check_peer(root, "flat_broadcast");
     if (rank_ == root) {
+      // Encode once, copy bytes per destination.
+      const Payload bytes = Codec<T>::encode(value);
       for (int r = 0; r < size(); ++r) {
         if (r != root) {
-          deliver(r, Envelope{context_, rank_, internal_tag::kBcast,
-                              Codec<T>::encode(value)});
+          deliver(r, Envelope{context_, rank_, internal_tag::kBcast, bytes});
         }
       }
       return value;
     }
-    return Codec<T>::decode(
-        my_mailbox().receive(context_, root, internal_tag::kBcast).data);
+    return Codec<T>::decode(std::move(
+        my_mailbox().receive(context_, root, internal_tag::kBcast).data));
   }
 
   /// Binomial-tree reduction to \p root (MPI_Reduce): ceil(lg p) parallel
@@ -412,6 +420,29 @@ class Communicator {
       if (r == rank_) continue;
       in[static_cast<std::size_t>(r)] = Codec<std::vector<T>>::decode(
           my_mailbox().receive(context_, r, internal_tag::kAlltoall).data);
+    }
+    return in;
+  }
+
+  /// Pre-serialized alltoall: each outgoing Payload travels as-is (identity
+  /// codec), *moved* into its envelope and moved back out on receive — no
+  /// re-encode anywhere. This is the mapreduce shuffle path.
+  std::vector<Payload> alltoall(std::vector<Payload> per_dest) const {
+    if (per_dest.size() != static_cast<std::size_t>(size())) {
+      throw UsageError("alltoall: need exactly size() outgoing buffers");
+    }
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      deliver(r, Envelope{context_, rank_, internal_tag::kAlltoall,
+                          std::move(per_dest[static_cast<std::size_t>(r)])});
+    }
+    std::vector<Payload> in(static_cast<std::size_t>(size()));
+    in[static_cast<std::size_t>(rank_)] =
+        std::move(per_dest[static_cast<std::size_t>(rank_)]);
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      in[static_cast<std::size_t>(r)] =
+          my_mailbox().receive(context_, r, internal_tag::kAlltoall).data;
     }
     return in;
   }

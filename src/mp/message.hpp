@@ -27,6 +27,7 @@ struct Envelope {
   std::uint64_t ack_id = 0;      ///< Ack key when wants_ack.
   std::uint64_t analyze_id = 0;  ///< pml::analyze delivery token (0 = off).
   std::uint64_t send_ns = 0;     ///< pml::obs delivery timestamp (0 = off).
+  std::uint64_t seq = 0;         ///< Mailbox arrival stamp (wildcard ordering).
 };
 
 /// Outcome of a receive (MPI_Status analogue).

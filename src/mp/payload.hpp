@@ -9,9 +9,17 @@
 /// point of the multiprocessing model the MPI patternlets teach, so the
 /// codec is a real byte-level serializer, not a pointer pass.
 ///
+/// The wire format is InlinePayload: a byte buffer with 64 bytes of inline
+/// storage. Scalars, the (value, location) pairs of MINLOC/MAXLOC, barrier
+/// tokens, and collective control messages — the overwhelming majority of
+/// patternlet traffic — fit inline, so a send is a memcpy into the envelope
+/// instead of a heap allocation, and a delivery *moves* the bytes without
+/// touching the allocator. Bodies above 64 bytes spill to the heap exactly
+/// once at encode time and then move pointer-for-pointer through every hop.
+///
 /// Codec<T> is provided for trivially-copyable T, std::vector<T> of
-/// trivially-copyable T, std::string, and std::pair of codable types
-/// (covering MINLOC/MAXLOC's (value, location) pairs).
+/// trivially-copyable T, std::string, and Payload itself (identity — used
+/// to ship pre-serialized blobs such as the mapreduce shuffle).
 
 #include <cstddef>
 #include <cstring>
@@ -24,8 +32,188 @@
 
 namespace pml::mp {
 
+/// The wire format of one message body: a contiguous byte buffer with
+/// small-buffer optimization. Mirrors the slice of the std::vector<std::byte>
+/// interface the runtime and codecs use.
+class InlinePayload {
+ public:
+  /// Bodies of at most this many bytes live inside the object itself.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  using value_type = std::byte;
+  using iterator = std::byte*;
+  using const_iterator = const std::byte*;
+
+  InlinePayload() noexcept : size_(0), cap_(kInlineBytes), data_(inline_) {}
+
+  /// Zero-filled buffer of \p n bytes (the std::vector<std::byte>(n) shape
+  /// the codecs build into).
+  explicit InlinePayload(std::size_t n) : InlinePayload() {
+    resize(n);
+  }
+
+  InlinePayload(const InlinePayload& other) : InlinePayload() {
+    if (!other.spilled()) {
+      // Fixed-size copy: compiles to straight-line vector moves instead of
+      // a runtime-length memcpy call. The tail past size_ is never read.
+      std::memcpy(inline_, other.inline_, kInlineBytes);
+      size_ = other.size_;
+    } else {
+      assign(other.data_, other.size_);
+    }
+  }
+
+  InlinePayload(InlinePayload&& other) noexcept : InlinePayload() {
+    steal(std::move(other));
+  }
+
+  InlinePayload& operator=(const InlinePayload& other) {
+    if (this != &other) {
+      if (!other.spilled() && !spilled()) {
+        std::memcpy(inline_, other.inline_, kInlineBytes);  // fixed-size copy
+        size_ = other.size_;
+      } else {
+        assign(other.data_, other.size_);
+      }
+    }
+    return *this;
+  }
+
+  InlinePayload& operator=(InlinePayload&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(std::move(other));
+    }
+    return *this;
+  }
+
+  ~InlinePayload() { release(); }
+
+  std::byte* data() noexcept { return data_; }
+  const std::byte* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return cap_; }
+
+  /// True while the bytes live on the heap (diagnostics and tests).
+  bool spilled() const noexcept { return data_ != inline_; }
+
+  iterator begin() noexcept { return data_; }
+  iterator end() noexcept { return data_ + size_; }
+  const_iterator begin() const noexcept { return data_; }
+  const_iterator end() const noexcept { return data_ + size_; }
+  const_iterator cbegin() const noexcept { return data_; }
+  const_iterator cend() const noexcept { return data_ + size_; }
+
+  void clear() noexcept { size_ = 0; }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  /// Grows zero-filled or shrinks, like std::vector::resize.
+  void resize(std::size_t n) {
+    if (n > cap_) grow(n);
+    if (n > size_) std::memset(data_ + size_, 0, n - size_);
+    size_ = n;
+  }
+
+  void push_back(std::byte b) {
+    if (size_ == cap_) grow(size_ + 1);
+    data_[size_++] = b;
+  }
+
+  void pop_back() noexcept { --size_; }
+
+  /// Appends \p n raw bytes (the hot path of incremental encoders).
+  void append(const void* bytes, std::size_t n) {
+    if (size_ + n > cap_) grow(size_ + n);
+    std::memcpy(data_ + size_, bytes, n);
+    size_ += n;
+  }
+
+  /// Byte-range insert, std::vector-compatible. Insertion anywhere is
+  /// supported; appending at end() is the common case and costs one memcpy.
+  template <typename It>
+  iterator insert(const_iterator pos, It first, It last) {
+    const std::size_t at = static_cast<std::size_t>(pos - data_);
+    const std::size_t n = static_cast<std::size_t>(std::distance(first, last));
+    if (size_ + n > cap_) grow(size_ + n);
+    if (at < size_) std::memmove(data_ + at + n, data_ + at, size_ - at);
+    std::byte* out = data_ + at;
+    for (It it = first; it != last; ++it, ++out) *out = static_cast<std::byte>(*it);
+    size_ += n;
+    return data_ + at;
+  }
+
+  friend bool operator==(const InlinePayload& a, const InlinePayload& b) noexcept {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+  friend bool operator!=(const InlinePayload& a, const InlinePayload& b) noexcept {
+    return !(a == b);
+  }
+
+ private:
+  void assign(const std::byte* bytes, std::size_t n) {
+    if (n > cap_) grow_discard(n);
+    std::memcpy(data_, bytes, n);
+    size_ = n;
+  }
+
+  void steal(InlinePayload&& other) noexcept {
+    if (other.spilled()) {
+      data_ = other.data_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.data_ = other.inline_;
+      other.cap_ = kInlineBytes;
+      other.size_ = 0;
+    } else {
+      data_ = inline_;
+      cap_ = kInlineBytes;
+      size_ = other.size_;
+      // Fixed-size copy (see the copy constructor): cheaper than a
+      // runtime-length memcpy call for every small-body hop.
+      std::memcpy(inline_, other.inline_, kInlineBytes);
+      other.size_ = 0;
+    }
+  }
+
+  void release() noexcept {
+    if (spilled()) ::operator delete(data_);
+    data_ = inline_;
+    cap_ = kInlineBytes;
+  }
+
+  void grow(std::size_t need) {
+    const std::size_t cap = std::max(need, cap_ * 2);
+    auto* fresh = static_cast<std::byte*>(::operator new(cap));
+    std::memcpy(fresh, data_, size_);
+    if (spilled()) ::operator delete(data_);
+    data_ = fresh;
+    cap_ = cap;
+  }
+
+  /// grow() without preserving contents (assign's full overwrite).
+  void grow_discard(std::size_t need) {
+    const std::size_t cap = std::max(need, cap_ * 2);
+    auto* fresh = static_cast<std::byte*>(::operator new(cap));
+    if (spilled()) ::operator delete(data_);
+    data_ = fresh;
+    cap_ = cap;
+  }
+
+  std::size_t size_;
+  std::size_t cap_;
+  std::byte* data_;  ///< inline_ or a heap spill of cap_ bytes.
+  /// 8-byte alignment, not max_align_t: codecs move bytes with memcpy, so
+  /// stricter alignment would only pad the envelope onto a third cache line.
+  alignas(8) std::byte inline_[kInlineBytes];
+};
+
 /// The wire format of one message body.
-using Payload = std::vector<std::byte>;
+using Payload = InlinePayload;
 
 /// Primary template: defined only through the specializations below.
 template <typename T, typename Enable = void>
@@ -35,8 +223,8 @@ struct Codec;
 template <typename T>
 struct Codec<T, std::enable_if_t<std::is_trivially_copyable_v<T>>> {
   static Payload encode(const T& value) {
-    Payload out(sizeof(T));
-    std::memcpy(out.data(), &value, sizeof(T));
+    Payload out;
+    out.append(&value, sizeof(T));
     return out;
   }
   static T decode(const Payload& bytes) {
@@ -56,8 +244,8 @@ struct Codec<T, std::enable_if_t<std::is_trivially_copyable_v<T>>> {
 template <typename T>
 struct Codec<std::vector<T>, std::enable_if_t<std::is_trivially_copyable_v<T>>> {
   static Payload encode(const std::vector<T>& values) {
-    Payload out(values.size() * sizeof(T));
-    if (!values.empty()) std::memcpy(out.data(), values.data(), out.size());
+    Payload out;
+    if (!values.empty()) out.append(values.data(), values.size() * sizeof(T));
     return out;
   }
   static std::vector<T> decode(const Payload& bytes) {
@@ -76,13 +264,24 @@ struct Codec<std::vector<T>, std::enable_if_t<std::is_trivially_copyable_v<T>>> 
 template <>
 struct Codec<std::string, void> {
   static Payload encode(const std::string& s) {
-    Payload out(s.size());
-    if (!s.empty()) std::memcpy(out.data(), s.data(), s.size());
+    Payload out;
+    if (!s.empty()) out.append(s.data(), s.size());
     return out;
   }
   static std::string decode(const Payload& bytes) {
     return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
   }
+};
+
+/// Payload itself: identity. Lets pre-serialized blobs (mapreduce shuffle)
+/// ride the typed send/recv API; the rvalue decode moves the received bytes
+/// straight out of the envelope.
+template <>
+struct Codec<Payload, void> {
+  static Payload encode(const Payload& p) { return p; }
+  static Payload encode(Payload&& p) { return std::move(p); }
+  static Payload decode(const Payload& bytes) { return bytes; }
+  static Payload decode(Payload&& bytes) { return std::move(bytes); }
 };
 
 /// Number of T elements a payload holds (the MPI_Get_count analogue).

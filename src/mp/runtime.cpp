@@ -62,11 +62,12 @@ void run(int nprocs, const std::function<void(Communicator&)>& program,
         [state = state.get()](int delta) {
           state->blocked.fetch_add(delta, std::memory_order_relaxed);
         },
-        [state = state.get(), trace = options.message_trace, dest](const Envelope& e) {
+        [state = state.get(), trace = options.message_trace,
+         dest](const Mailbox::DeliveryInfo& m) {
           state->deliveries.fetch_add(1, std::memory_order_relaxed);
           if (trace != nullptr) {
-            trace->record(e.source, "message", dest,
-                          static_cast<std::int64_t>(e.data.size()));
+            trace->record(m.source, "message", dest,
+                          static_cast<std::int64_t>(m.bytes));
           }
         });
   }

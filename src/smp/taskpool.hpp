@@ -44,7 +44,14 @@ class TaskPool {
       queue_.push_back(std::move(task));
       ++in_flight_;
     }
-    changed_.notify_all();
+    // One new task can be claimed by exactly one helper, so wake exactly
+    // one waiter. Every waiter sits in help_until_quiescent's wait on
+    // `in_flight_ == 0 || !queue_.empty()`; the push makes the queue
+    // non-empty, and the woken helper either drains it or, if it loses the
+    // race for the task, finds in_flight_ still nonzero and waits again —
+    // the quiescence half of the predicate cannot have been made true by a
+    // push, so the waiters left asleep were not eligible to run.
+    changed_.notify_one();
   }
 
   /// Pops one task if available; the caller MUST call finished() after
@@ -59,14 +66,21 @@ class TaskPool {
 
   /// Marks one popped task as executed.
   void finished() {
+    bool quiescent;
     {
       std::lock_guard lock(mu_);
       // Completion edge: the task's writes happen-before whoever observes
       // quiescence (taskwait / barrier).
       analyze::on_sync_release(this);
-      --in_flight_;
+      quiescent = (--in_flight_ == 0);
     }
-    changed_.notify_all();
+    // A completion can only satisfy the quiescence half of the wait
+    // predicate (`in_flight_ == 0 || !queue_.empty()`), and only when the
+    // count hits zero — it never adds claimable work. Reaching zero
+    // releases *every* taskwait/barrier helper at once, so that (and only
+    // that) is a broadcast; decrementing 5 -> 4 used to notify_all every
+    // parked helper just so each could recheck and sleep again.
+    if (quiescent) changed_.notify_all();
   }
 
   /// Pops and executes one pending task on the calling thread (tracking

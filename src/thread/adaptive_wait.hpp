@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file adaptive_wait.hpp
+/// \brief Shared spin-then-park waiter for the blocking substrates.
+///
+/// Every blocking wait in the substrates (mailbox receive, thread::Barrier,
+/// and through it the smp team barrier) faces the same trade-off: a futex
+/// park costs two syscalls plus a context switch each way (~microseconds),
+/// while the event being waited for — a partner's message, the last barrier
+/// arrival — often lands within nanoseconds. This header centralizes the
+/// ladder every such wait climbs:
+///
+///   1. bounded pause-spin  — only on multi-core hardware, where the waker
+///      can actually run concurrently; on a single core spinning just burns
+///      the waker's timeslice;
+///   2. bounded yield-spin  — hand the core to the waker explicitly; on a
+///      single core this is what makes ping-pong fast (the partner runs,
+///      delivers, and the waiter resumes without any futex round trip);
+///   3. park                — std::atomic::wait (futex on Linux), woken by a
+///      *targeted* notify from whoever satisfies the wait.
+///
+/// Chaos interplay: when a pml::sched perturbation seed is active both spin
+/// phases are skipped and waiters park immediately. A spinning waiter wakes
+/// the instant the flag flips, which would let it slip *around* the sleeps
+/// chaos injects at sched::point()s; parking keeps wakeup order fully under
+/// the perturber's control, so the staged race demos and the fixed-seed race
+/// tests see exactly the interleavings they saw with the old condvar waits.
+
+#include <atomic>
+#include <thread>
+
+#include "sched/sched.hpp"
+
+namespace pml::thread {
+
+/// One spin-loop pause. Cheaper than yield; keeps the core's pipeline from
+/// speculating through the load loop (and frees it for a hyperthread twin).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Pause-spin iterations before yielding. Zero when a chaos seed is active
+/// (see file comment) and zero on single-core hardware, where the event the
+/// waiter spins for cannot happen until it gets off the core.
+inline int spin_bound() noexcept {
+  if (pml::sched::enabled()) return 0;
+  static const int bound = std::thread::hardware_concurrency() > 1 ? 2048 : 0;
+  return bound;
+}
+
+/// Yield iterations between spinning and parking. Zero under chaos. Kept
+/// small: in a two-thread handoff the partner is the only other runnable
+/// thread, so one or two yields reach it; with many runnable threads each
+/// yield runs an *arbitrary* thread, so a long yield phase degenerates into
+/// a scheduling lottery that delays the real waker — park instead.
+inline int yield_bound() noexcept {
+  return pml::sched::enabled() ? 0 : 4;
+}
+
+/// Blocks until `word != old`: bounded pause-spin, bounded yield, then park
+/// on the atomic itself. The waker's store must use release order (the loads
+/// here acquire) and should be followed by `word.notify_one()` /
+/// `notify_all()` to lift parked waiters.
+template <typename T>
+inline void adaptive_wait_while_equal(const std::atomic<T>& word, T old) noexcept {
+  for (int i = spin_bound(); i > 0; --i) {
+    if (word.load(std::memory_order_acquire) != old) return;
+    cpu_relax();
+  }
+  for (int i = yield_bound(); i > 0; --i) {
+    if (word.load(std::memory_order_acquire) != old) return;
+    std::this_thread::yield();
+  }
+  while (word.load(std::memory_order_acquire) == old) {
+    word.wait(old, std::memory_order_acquire);
+  }
+}
+
+/// Single-waiter variant that *advertises* its park, so the waker can skip
+/// the futex-wake syscall while the waiter is still spinning. Protocol:
+///
+///   * the waiter spins/yields while `word == pending`, then CASes
+///     `pending -> parked` and futex-waits on `parked`;
+///   * the waker publishes with `word.exchange(final, acq_rel)` and calls
+///     `word.notify_one()` **only when the exchange returned `parked`** —
+///     a spinning waiter observes `final` on its next load, no syscall.
+///
+/// Returns the first value observed that is neither `pending` nor `parked`.
+/// The waker must never store `pending` or `parked` itself.
+template <typename T>
+inline T adaptive_wait_and_advertise(std::atomic<T>& word, T pending,
+                                     T parked) noexcept {
+  for (int i = spin_bound(); i > 0; --i) {
+    const T v = word.load(std::memory_order_acquire);
+    if (v != pending) return v;
+    cpu_relax();
+  }
+  for (int i = yield_bound(); i > 0; --i) {
+    const T v = word.load(std::memory_order_acquire);
+    if (v != pending) return v;
+    std::this_thread::yield();
+  }
+  T expected = pending;
+  if (!word.compare_exchange_strong(expected, parked,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+    return expected;  // waker got there first
+  }
+  for (;;) {
+    word.wait(parked, std::memory_order_acquire);
+    const T v = word.load(std::memory_order_acquire);
+    if (v != parked) return v;  // the waker never writes `pending` back
+  }
+}
+
+}  // namespace pml::thread

@@ -69,5 +69,119 @@ TEST(Codec, ElementCount) {
   EXPECT_EQ(element_count<std::int64_t>(Payload(16)), 2u);
 }
 
+TEST(Codec, PayloadIdentityRoundTrip) {
+  Payload p;
+  const char msg[] = "pre-serialized blob";
+  p.append(msg, sizeof(msg));
+  const Payload copy = Codec<Payload>::encode(p);
+  EXPECT_EQ(copy, p);
+  EXPECT_EQ(Codec<Payload>::decode(copy), p);
+  // Rvalue decode moves the bytes out rather than copying.
+  Payload big(200);
+  const std::byte* backing = big.data();
+  Payload moved = Codec<Payload>::decode(std::move(big));
+  EXPECT_EQ(moved.data(), backing);
+}
+
+// ---------------------------------------------------------------------------
+// InlinePayload small-buffer behavior.
+// ---------------------------------------------------------------------------
+
+Payload filled(std::size_t n) {
+  Payload p;
+  for (std::size_t i = 0; i < n; ++i) p.push_back(static_cast<std::byte>(i));
+  return p;
+}
+
+TEST(InlinePayloadSbo, SmallBodiesStayInline) {
+  EXPECT_FALSE(Payload().spilled());
+  EXPECT_FALSE(Payload(1).spilled());
+  EXPECT_FALSE(Payload(InlinePayload::kInlineBytes).spilled());
+  EXPECT_FALSE(filled(InlinePayload::kInlineBytes).spilled());
+  const auto scalar = Codec<double>::encode(3.5);
+  EXPECT_FALSE(scalar.spilled());
+}
+
+TEST(InlinePayloadSbo, LargeBodiesSpillAndKeepContents) {
+  const std::size_t n = InlinePayload::kInlineBytes + 1;
+  Payload p = filled(n);
+  EXPECT_TRUE(p.spilled());
+  ASSERT_EQ(p.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(p.data()[i], static_cast<std::byte>(i));
+  }
+}
+
+TEST(InlinePayloadSbo, GrowthAcrossTheBoundaryPreservesBytes) {
+  Payload p = filled(InlinePayload::kInlineBytes);  // exactly full, inline
+  EXPECT_FALSE(p.spilled());
+  p.push_back(static_cast<std::byte>(0xAB));  // forces the spill
+  EXPECT_TRUE(p.spilled());
+  ASSERT_EQ(p.size(), InlinePayload::kInlineBytes + 1);
+  for (std::size_t i = 0; i < InlinePayload::kInlineBytes; ++i) {
+    EXPECT_EQ(p.data()[i], static_cast<std::byte>(i));
+  }
+  EXPECT_EQ(p.data()[InlinePayload::kInlineBytes], static_cast<std::byte>(0xAB));
+}
+
+TEST(InlinePayloadSbo, CopyAndMoveInline) {
+  const Payload src = filled(16);
+  Payload copy = src;
+  EXPECT_EQ(copy, src);
+  EXPECT_FALSE(copy.spilled());
+  Payload moved = std::move(copy);
+  EXPECT_EQ(moved, src);
+  EXPECT_FALSE(moved.spilled());
+}
+
+TEST(InlinePayloadSbo, MoveOfSpilledBodyStealsTheBuffer) {
+  Payload src = filled(100);
+  const std::byte* backing = src.data();
+  Payload moved = std::move(src);
+  EXPECT_EQ(moved.data(), backing);  // pointer steal, no byte copy
+  EXPECT_TRUE(moved.spilled());
+  EXPECT_TRUE(src.empty());  // NOLINT(bugprone-use-after-move): spec'd empty
+  // The moved-from object is fully reusable.
+  src.push_back(static_cast<std::byte>(1));
+  EXPECT_EQ(src.size(), 1u);
+}
+
+TEST(InlinePayloadSbo, CopyAssignSpilledAndSelfConsistency) {
+  const Payload big = filled(150);
+  Payload p = filled(8);
+  p = big;
+  EXPECT_EQ(p, big);
+  p = p;  // self-assignment is a no-op
+  EXPECT_EQ(p, big);
+  Payload q = filled(10);
+  q = std::move(p);
+  EXPECT_EQ(q, big);
+}
+
+TEST(InlinePayloadSbo, InsertMatchesVectorSemantics) {
+  const std::vector<std::byte> chunk(70, static_cast<std::byte>(0x5A));
+  Payload p;
+  p.insert(p.end(), chunk.begin(), chunk.end());  // append with spill
+  ASSERT_EQ(p.size(), 70u);
+  const std::byte mark[] = {static_cast<std::byte>(1), static_cast<std::byte>(2)};
+  p.insert(p.begin(), mark, mark + 2);  // front insert shifts the body
+  ASSERT_EQ(p.size(), 72u);
+  EXPECT_EQ(p.data()[0], static_cast<std::byte>(1));
+  EXPECT_EQ(p.data()[1], static_cast<std::byte>(2));
+  EXPECT_EQ(p.data()[2], static_cast<std::byte>(0x5A));
+}
+
+TEST(InlinePayloadSbo, ResizeClearAndEquality) {
+  Payload p = filled(5);
+  p.resize(8);  // zero-fills the tail
+  EXPECT_EQ(p.data()[7], std::byte{0});
+  p.resize(3);
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_NE(p, filled(5));
+  p.clear();
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p, Payload());
+}
+
 }  // namespace
 }  // namespace pml::mp
