@@ -27,6 +27,13 @@
 /// it — and reports on every run, no lucky schedule needed. Exit status 3
 /// when the analysis finds errors.
 ///
+/// --fault SPEC runs the body under pml::fault deterministic fault
+/// injection: drop, delay, or duplicate messages, crash a named virtual
+/// node, or slow one down — same spec + same seed, same fault sequence.
+/// Try `mpi/message-passing --fault=drop:1` and watch the deadlock
+/// diagnosis name the retry/timeout toggle that fixes it. The PML_FAULT
+/// environment variable supplies a default spec (the flag wins).
+///
 /// --profile runs the body under pml::obs: per-task spans (region, loop
 /// chunk, barrier wait, lock wait, send/recv, collective) plus counters
 /// (chunks, steals, combines, message traffic) are collected and printed as
@@ -125,6 +132,11 @@ int help() {
       "                      timeline rendering\n"
       "  --chaos-seed N      run under seeded schedule perturbation so the\n"
       "                      staged race manifests (PML_CHAOS env equivalent)\n"
+      "  --fault SPEC        run under deterministic fault injection, e.g.\n"
+      "                      drop:1 | drop:25%% | dup:1 | delay:5 |\n"
+      "                      crash:node-02@3 | slow:node-01@10, comma-joined,\n"
+      "                      with seed:N for reproducibility (PML_FAULT env\n"
+      "                      equivalent)\n"
       "  --analyze           run under the happens-before race detector,\n"
       "                      deadlock predictor, and comm/worksharing lints;\n"
       "                      exit 3 if the analysis reports errors\n"
@@ -161,6 +173,11 @@ int main(int argc, char** argv) {
   // every command line; --chaos-seed overrides it.
   if (const char* env = std::getenv("PML_CHAOS")) {
     spec.chaos_seed = std::strtoull(env, nullptr, 10);
+  }
+  // PML_FAULT likewise supplies a default fault spec (CI fault sweeps);
+  // --fault overrides it.
+  if (const char* env = std::getenv("PML_FAULT")) {
+    spec.fault_spec = env;
   }
 
   for (int i = 1; i < argc; ++i) {
@@ -200,6 +217,10 @@ int main(int argc, char** argv) {
       spec.all_toggles = false;
     } else if (arg == "--analyze") {
       spec.analyze = true;
+    } else if (arg == "--fault") {
+      spec.fault_spec = next("--fault");
+    } else if (arg.rfind("--fault=", 0) == 0) {
+      spec.fault_spec = arg.substr(8);
     } else if (arg == "--chaos-seed") {
       const std::string text = next("--chaos-seed");
       char* end = nullptr;
@@ -257,6 +278,22 @@ int main(int argc, char** argv) {
       } else {
         std::fprintf(stderr, "[chaos seed %llu | no race probe in this patternlet]\n",
                      static_cast<unsigned long long>(result.chaos_seed));
+      }
+    }
+    if (result.fault_stats.has_value()) {
+      const pml::fault::Stats& fs = *result.fault_stats;
+      std::fprintf(stderr,
+                   "[fault: %s | seed %llu | dropped %llu delayed %llu "
+                   "duplicated %llu crashed %llu]\n",
+                   spec.fault_spec.c_str(),
+                   static_cast<unsigned long long>(fs.seed),
+                   static_cast<unsigned long long>(fs.dropped),
+                   static_cast<unsigned long long>(fs.delayed),
+                   static_cast<unsigned long long>(fs.duplicated),
+                   static_cast<unsigned long long>(fs.crashed));
+      if (result.fault_abort.has_value()) {
+        std::fprintf(stderr, "[fault] job aborted: %s\n",
+                     result.fault_abort->c_str());
       }
     }
     if (result.metrics.has_value()) {

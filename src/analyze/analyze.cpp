@@ -201,6 +201,16 @@ class Collector {
     comm_.on_finalize_leftover(owner, MsgCoord{source, tag, context}, findings_);
   }
 
+  void mp_fault_drop(int to, int source, int tag, int context) {
+    std::lock_guard lock(mu_);
+    comm_.on_fault_drop(to, MsgCoord{source, tag, context});
+  }
+
+  void mp_fault_stall(std::uint64_t dropped, long grace_ms) {
+    std::lock_guard lock(mu_);
+    comm_.on_fault_stall(dropped, grace_ms, findings_);
+  }
+
  private:
   struct ThreadState {
     std::uint64_t gen = 0;
@@ -369,6 +379,12 @@ void mp_timeout(int rank, int wanted_source, int wanted_tag, int wanted_context,
 }
 void mp_leftover(int owner, int source, int tag, int context) noexcept {
   Collector::instance().mp_leftover(owner, source, tag, context);
+}
+void mp_fault_drop(int to, int source, int tag, int context) noexcept {
+  Collector::instance().mp_fault_drop(to, source, tag, context);
+}
+void mp_fault_stall(std::uint64_t dropped, long grace_ms) noexcept {
+  Collector::instance().mp_fault_stall(dropped, grace_ms);
 }
 
 }  // namespace detail

@@ -66,6 +66,8 @@ void mp_match(std::uint64_t msg_id, int rank, int source, int tag, int context,
 void mp_timeout(int rank, int wanted_source, int wanted_tag, int wanted_context,
                 const std::vector<MsgCoord>& queued) noexcept;
 void mp_leftover(int owner, int source, int tag, int context) noexcept;
+void mp_fault_drop(int to, int source, int tag, int context) noexcept;
+void mp_fault_stall(std::uint64_t dropped, long grace_ms) noexcept;
 
 }  // namespace detail
 
@@ -190,6 +192,16 @@ inline void on_mp_timeout(int rank, int wanted_source, int wanted_tag,
 /// A message was still queued at rank \p owner when the cluster finalised.
 inline void on_mp_leftover(int owner, int source, int tag, int context) noexcept {
   if (active()) detail::mp_leftover(owner, source, tag, context);
+}
+/// pml::fault dropped the message bound for rank \p to. Lets later timeout
+/// and stall events distinguish injected loss from program bugs.
+inline void on_mp_fault_drop(int to, int source, int tag, int context) noexcept {
+  if (active()) detail::mp_fault_drop(to, source, tag, context);
+}
+/// The deadlock watchdog fired after fault injection dropped \p dropped
+/// message(s): the pattern has no recovery path for message loss.
+inline void on_mp_fault_stall(std::uint64_t dropped, long grace_ms) noexcept {
+  if (active()) detail::mp_fault_stall(dropped, grace_ms);
 }
 /// @}
 

@@ -50,11 +50,30 @@ RunResult run(const Patternlet& p, const RunSpec& spec) {
   if (spec.profile) profiling.emplace();
 
   const auto t0 = std::chrono::steady_clock::now();
+  std::optional<fault::Stats> fault_stats;
+  std::optional<std::string> fault_abort;
   {
     // Perturbation window covers exactly the body: the scope restores the
     // previous seed even if the body throws.
     sched::ChaosScope chaos{spec.chaos_seed};
-    p.body(ctx);
+    // The fault window nests inside the chaos window so an unseeded fault
+    // spec inherits the chaos seed (fault::effective_seed falls back to
+    // sched::seed()). A bad spec throws UsageError here, before the body.
+    std::optional<fault::FaultScope> faults;
+    if (!spec.fault_spec.empty()) {
+      faults.emplace(fault::FaultPlan::parse(spec.fault_spec));
+    }
+    try {
+      p.body(ctx);
+    } catch (const RuntimeFault& e) {
+      // Under injection a runtime fault (deadlock diagnosis, collective
+      // timeout, node crash) IS the demonstration: record it as the run's
+      // outcome instead of failing the runner. Without injection the old
+      // contract holds — a patternlet that throws is a bug.
+      if (!faults.has_value()) throw;
+      fault_abort = e.what();
+    }
+    if (faults.has_value()) fault_stats = fault::stats();
   }
   const auto t1 = std::chrono::steady_clock::now();
 
@@ -95,6 +114,8 @@ RunResult run(const Patternlet& p, const RunSpec& spec) {
   }
   result.analysis = std::move(report);
   result.metrics = std::move(metrics);
+  result.fault_stats = fault_stats;
+  result.fault_abort = std::move(fault_abort);
   return result;
 }
 

@@ -17,6 +17,7 @@
 #include "core/registry.hpp"
 #include "core/toggle.hpp"
 #include "core/trace.hpp"
+#include "fault/fault.hpp"
 #include "obs/profile.hpp"
 
 namespace pml {
@@ -46,6 +47,14 @@ struct RunSpec {
   /// lock wait, send/recv, ...) and wait-time/counter aggregates into
   /// RunResult::metrics. Off, the hooks cost one relaxed load each.
   bool profile = false;
+  /// Non-empty: run the body under pml::fault deterministic fault
+  /// injection (`--fault` in the runner), e.g. "drop:1,seed:42" or
+  /// "crash:node-02@3". The window covers exactly the body; the seed
+  /// defaults to chaos_seed when the spec names none. A RuntimeFault the
+  /// body lets escape (a job the injected faults killed) is captured into
+  /// RunResult::fault_abort instead of propagating — the run "failed as
+  /// demonstrated", which is the lesson.
+  std::string fault_spec;
 };
 
 /// Everything observable from one patternlet execution.
@@ -67,6 +76,12 @@ struct RunResult {
   /// metrics->table() is the `--profile` report; obs::write_chrome_trace()
   /// exports it for Perfetto.
   std::optional<obs::Profile> metrics;
+  /// Injection tallies when RunSpec::fault_spec was set. Absent otherwise.
+  std::optional<fault::Stats> fault_stats;
+  /// The RuntimeFault that ended the body under fault injection (deadlock
+  /// diagnosis, collective timeout, ...). Absent when the body survived or
+  /// no faults were injected.
+  std::optional<std::string> fault_abort;
 
   /// True iff the probe saw the staged race fire (some updates lost).
   bool race_manifested() const {

@@ -1,6 +1,7 @@
 #include "mp/cluster.hpp"
 
 #include <algorithm>
+#include <cctype>
 
 namespace pml::mp {
 
@@ -37,6 +38,23 @@ std::string Cluster::node_name(int index) const {
   std::string digits = std::to_string(number);
   if (digits.size() < 2) digits.insert(digits.begin(), '0');
   return "node-" + digits;
+}
+
+int Cluster::find_node(const std::string& name) const {
+  std::string digits = name;
+  if (digits.rfind("node-", 0) == 0) digits = digits.substr(5);
+  if (digits.empty() || digits.size() > 6 ||
+      !std::all_of(digits.begin(), digits.end(),
+                   [](unsigned char c) { return std::isdigit(c) != 0; })) {
+    throw UsageError("Cluster::find_node: '" + name +
+                     "' is not a node name (expected e.g. \"node-02\" or \"2\")");
+  }
+  const int number = std::stoi(digits);  // Node names are 1-based.
+  if (number < 1 || number > node_count_) {
+    throw UsageError("Cluster::find_node: '" + name + "' is outside this " +
+                     std::to_string(node_count_) + "-node cluster");
+  }
+  return number - 1;
 }
 
 std::string Cluster::processor_name(int rank, int nprocs) const {

@@ -49,6 +49,12 @@ class Cluster {
   /// Name of node \p index, e.g. index 0 -> "node-01".
   std::string node_name(int index) const;
 
+  /// Node index for a user-supplied name. Accepts the full "node-02" form
+  /// as well as the bare number ("02", "2"); throws UsageError for a name
+  /// that does not parse or is outside the cluster. Fault specs
+  /// (`--fault=crash:node-02`) resolve their targets through this.
+  int find_node(const std::string& name) const;
+
   /// Ranks co-located on the same node as \p rank (including itself),
   /// ascending. Heterogeneous patternlets use this to form intra-node teams.
   std::vector<int> node_mates(int rank, int nprocs) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.hpp"
 #include "smp/wtime.hpp"
 
 namespace pml::mp {
@@ -52,6 +53,64 @@ int Communicator::next_pow2_at_least(int p) noexcept {
   return v;
 }
 
+Envelope Communicator::coll_recv(int source, int tag, const char* what) const {
+  const auto budget = state_->collective_timeout;
+  if (budget.count() <= 0) return my_mailbox().receive(context_, source, tag);
+  auto e = my_mailbox().receive_for(context_, source, tag, budget);
+  if (!e) throw_collective_timeout(source, what);
+  return std::move(*e);
+}
+
+void Communicator::throw_collective_timeout(int source, const char* what) const {
+  const int world = group_[static_cast<std::size_t>(source)];
+  std::string msg = std::string("collective timeout: ") + what + " at rank " +
+                    std::to_string(rank_) + " waited " +
+                    std::to_string(state_->collective_timeout.count()) +
+                    " ms for rank " + std::to_string(source) + " (world rank " +
+                    std::to_string(world) + " on " +
+                    state_->cluster.processor_name(world, state_->nprocs) +
+                    "), which never answered";
+  const std::vector<int> dead = fault::crashed_ranks();
+  if (!dead.empty()) {
+    msg += "; fault injection crashed rank(s):";
+    for (int r : dead) msg += " " + std::to_string(r);
+  }
+  throw RuntimeFault(msg);
+}
+
+bool Communicator::barrier_for(std::chrono::milliseconds timeout) const {
+  // Flat two-phase barrier with a deadline: everyone reports to rank 0,
+  // rank 0 waits out the budget, then releases everyone with the verdict.
+  obs::SpanScope coll{obs::SpanKind::kCollective, "mp-barrier-for"};
+  const int p = size();
+  if (p == 1) return true;
+  if (rank_ != 0) {
+    deliver(0, Envelope{context_, rank_, internal_tag::kBarrierBase, Payload{}});
+    // The release gets the root's whole collection budget plus slack for
+    // the release hop; a silent root (crashed?) degrades rather than hangs.
+    auto e = my_mailbox().receive_for(context_, 0, internal_tag::kBarrierBase,
+                                      timeout * 2 + std::chrono::milliseconds(100));
+    if (!e) return false;
+    return Codec<int>::decode(std::move(e->data)) != 0;
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  bool all = true;
+  for (int r = 1; r < p; ++r) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    // Budget spent: poll, so tokens already queued still count as arrived.
+    auto e = my_mailbox().receive_for(
+        context_, r, internal_tag::kBarrierBase,
+        remaining.count() > 0 ? remaining : std::chrono::milliseconds(0));
+    if (!e) all = false;
+  }
+  const Payload verdict = Codec<int>::encode(all ? 1 : 0);
+  for (int r = 1; r < p; ++r) {
+    deliver(r, Envelope{context_, rank_, internal_tag::kBarrierBase, verdict});
+  }
+  return all;
+}
+
 void Communicator::barrier() const {
   // Dissemination barrier: in round k each rank sends a token to
   // (rank + 2^k) mod p and awaits one from (rank - 2^k) mod p. After
@@ -63,7 +122,7 @@ void Communicator::barrier() const {
     const int to = (rank_ + dist) % p;
     const int from = (rank_ - dist + p) % p;
     deliver(to, Envelope{context_, rank_, internal_tag::kBarrierBase + round, Payload{}});
-    (void)my_mailbox().receive(context_, from, internal_tag::kBarrierBase + round);
+    (void)coll_recv(from, internal_tag::kBarrierBase + round, "barrier");
   }
 }
 
@@ -113,7 +172,7 @@ Communicator Communicator::split(int color, int key) const {
     }
   } else {
     new_context = Codec<int>::decode(
-        my_mailbox().receive(context_, leader_old_rank, internal_tag::kSplit).data);
+        coll_recv(leader_old_rank, internal_tag::kSplit, "split").data);
   }
 
   return Communicator(state_, new_context, std::move(new_group), new_rank);

@@ -17,6 +17,8 @@
 ///  - gather/scatter: linear at the root (Fig. 25-28);
 ///  - scan/exscan: linear chain (deterministic prefix order).
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -43,6 +45,24 @@ inline constexpr int kAlltoall = kMaxUserTag + 69;
 inline constexpr int kSplit = kMaxUserTag + 70;
 inline constexpr int kAck = kMaxUserTag + 71;
 }  // namespace internal_tag
+
+/// Backoff schedule for the fault-tolerant point-to-point calls
+/// (send_with_retry / recv_retry): capped exponential.
+struct RetryPolicy {
+  int max_attempts = 4;                         ///< Sends before giving up.
+  std::chrono::milliseconds initial_backoff{25};  ///< First wait slice.
+  int backoff_multiplier = 2;                   ///< Growth per attempt.
+  std::chrono::milliseconds max_backoff{400};   ///< Slice ceiling.
+};
+
+/// What a deadline-bounded collective could salvage: the combined value
+/// over the ranks that answered in time, plus the ranks that did not.
+template <typename T>
+struct Partial {
+  T value{};
+  std::vector<int> missing;  ///< Group ranks that never answered.
+  bool complete() const noexcept { return missing.empty(); }
+};
 
 /// A group of ranks with an isolated tag namespace.
 class Communicator {
@@ -114,6 +134,8 @@ class Communicator {
 
   /// Deadline receive: nullopt on timeout. Lets deadlock demonstrations
   /// terminate (the patternlet *shows* the deadlock instead of hanging).
+  /// A \p timeout <= 0 means "poll once" — exactly try_recv semantics,
+  /// with no wait and no timeout analysis event.
   template <typename T>
   std::optional<T> recv_for(std::chrono::milliseconds timeout, int source = kAnySource,
                             int tag = kAnyTag, Status* status = nullptr) const {
@@ -122,6 +144,88 @@ class Communicator {
     if (!e) return std::nullopt;
     finish_receive(*e, status);
     return Codec<T>::decode(std::move(e->data));
+  }
+
+  /// Fault-tolerant synchronous send: like ssend() but the ack wait is
+  /// bounded, and an unacknowledged message is resent — up to
+  /// \p policy.max_attempts deliveries, with capped exponential backoff
+  /// between them. Returns the number of attempts used (1 = no fault
+  /// seen). Semantics are *at-least-once*: a slow (rather than lost) ack
+  /// means the receiver can see the message twice, so pair this with an
+  /// idempotent receiver or tag-level dedup. Each resend counts one
+  /// obs kRetryAttempts. Throws RuntimeFault when every attempt goes
+  /// unacknowledged.
+  template <typename T>
+  int send_with_retry(const T& value, int dest, int tag = 0,
+                      const RetryPolicy& policy = {}) const {
+    check_peer(dest, "send_with_retry");
+    check_tag(tag);
+    if (policy.max_attempts <= 0) {
+      throw UsageError("send_with_retry: max_attempts must be positive");
+    }
+    auto backoff = policy.initial_backoff;
+    if (backoff.count() <= 0) backoff = std::chrono::milliseconds(1);
+    const Payload bytes = Codec<T>::encode(value);
+    for (int attempt = 1;; ++attempt) {
+      const std::uint64_t id = state_->next_ack.fetch_add(1);
+      auto event = state_->register_ack(id);
+      Envelope e{context_, rank_, tag, bytes};
+      e.wants_ack = true;
+      e.ack_id = id;
+      deliver(dest, std::move(e));
+      // Bounded wait, so never counted blocked for the watchdog: it
+      // always recovers on its own.
+      bool acked;
+      {
+        obs::SpanScope wait{obs::SpanKind::kSend, "send-retry", dest, tag};
+        acked = event->wait_for(backoff);
+      }
+      if (acked) return attempt;
+      state_->forget_ack(id);
+      // The ack may have landed between the timeout and the forget;
+      // honor it rather than resending a message that arrived.
+      if (event->is_set()) return attempt;
+      if (attempt >= policy.max_attempts) {
+        throw RuntimeFault("send_with_retry: no ack from rank " +
+                           std::to_string(dest) + " after " +
+                           std::to_string(attempt) + " attempts");
+      }
+      obs::count(obs::Counter::kRetryAttempts);
+      backoff = std::min(backoff * policy.backoff_multiplier, policy.max_backoff);
+    }
+  }
+
+  /// Fault-tolerant bounded receive: spends up to \p total waiting, but in
+  /// growing slices — a zero-cost poll first (recv_for's poll-once path),
+  /// then initial_backoff doubling up to max_backoff, each slice clipped
+  /// to the remaining budget. Returns nullopt when the budget runs out.
+  /// Each re-wait counts one obs kRetryAttempts, so the profile shows how
+  /// hard the receiver had to work. This is the receive to pair with a
+  /// lossy link: it rides out delay and duplicate faults and converts a
+  /// genuinely lost message into a diagnosable nullopt.
+  template <typename T>
+  std::optional<T> recv_retry(std::chrono::milliseconds total,
+                              int source = kAnySource, int tag = kAnyTag,
+                              Status* status = nullptr,
+                              const RetryPolicy& policy = {}) const {
+    check_source(source, "recv_retry");
+    const auto deadline = std::chrono::steady_clock::now() + total;
+    auto next = policy.initial_backoff.count() > 0 ? policy.initial_backoff
+                                                   : std::chrono::milliseconds(1);
+    auto slice = std::chrono::milliseconds(0);  // first pass: poll once
+    for (;;) {
+      auto e = my_mailbox().receive_for(context_, source, tag, slice);
+      if (e) {
+        finish_receive(*e, status);
+        return Codec<T>::decode(std::move(e->data));
+      }
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) return std::nullopt;
+      obs::count(obs::Counter::kRetryAttempts);
+      slice = std::min({next, policy.max_backoff, remaining});
+      next = std::min(next * policy.backoff_multiplier, policy.max_backoff);
+    }
   }
 
   /// Nonblocking receive attempt: nullopt if nothing matches right now.
@@ -153,6 +257,51 @@ class Communicator {
   /// Dissemination barrier, ceil(lg p) rounds (MPI_Barrier).
   void barrier() const;
 
+  /// Deadline barrier: true iff every rank reported to rank 0 within
+  /// \p timeout; false (degraded) when someone stayed silent — likely
+  /// crashed — and the survivors are released anyway instead of hanging.
+  /// Flat (everyone reports to rank 0, rank 0 releases with the verdict);
+  /// call on every live rank.
+  bool barrier_for(std::chrono::milliseconds timeout) const;
+
+  /// Deadline-bounded reduction, flat at the root: a rank silent past the
+  /// shared \p timeout budget is *skipped* instead of hanging the job.
+  /// The root returns the fold over the responders (rank order) plus the
+  /// list of ranks that never answered; other ranks deliver their
+  /// contribution and return {local, {}}. The degraded-result collective
+  /// for node-crash runs.
+  template <typename T>
+  Partial<T> reduce_with_timeout(const T& local, const Op<T>& op, int root,
+                                 std::chrono::milliseconds timeout) const {
+    check_peer(root, "reduce_with_timeout");
+    obs::SpanScope coll{obs::SpanKind::kCollective, "reduce-timeout", root};
+    if (rank_ != root) {
+      deliver(root, Envelope{context_, rank_, internal_tag::kReduce,
+                             Codec<T>::encode(local)});
+      return Partial<T>{local, {}};
+    }
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    Partial<T> out;
+    out.value = local;
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      // Budget spent: fall through to a poll so an already-queued
+      // contribution still lands (receive_for treats <= 0 as poll-once).
+      auto e = my_mailbox().receive_for(
+          context_, r, internal_tag::kReduce,
+          remaining.count() > 0 ? remaining : std::chrono::milliseconds(0));
+      if (!e) {
+        out.missing.push_back(r);
+        continue;
+      }
+      out.value = op.combine(out.value, Codec<T>::decode(std::move(e->data)));
+      obs::count(obs::Counter::kCombines);
+    }
+    return out;
+  }
+
   /// Binomial-tree broadcast from \p root (MPI_Bcast). Returns the value
   /// on every rank.
   template <typename T>
@@ -170,8 +319,7 @@ class Communicator {
     } else {
       // Receive from parent (clear lowest set bit), then forward to children.
       const int parent = ((vr & (vr - 1)) + root) % p;
-      bytes = std::move(
-          my_mailbox().receive(context_, parent, internal_tag::kBcast).data);
+      bytes = std::move(coll_recv(parent, internal_tag::kBcast, "broadcast").data);
     }
     for (int mask = next_pow2_at_least(p) >> 1; mask >= 1; mask >>= 1) {
       // Child exists iff mask is above vr's lowest set bit and in range.
@@ -198,8 +346,8 @@ class Communicator {
       }
       return value;
     }
-    return Codec<T>::decode(std::move(
-        my_mailbox().receive(context_, root, internal_tag::kBcast).data));
+    return Codec<T>::decode(
+        std::move(coll_recv(root, internal_tag::kBcast, "flat_broadcast").data));
   }
 
   /// Binomial-tree reduction to \p root (MPI_Reduce): ceil(lg p) parallel
@@ -249,7 +397,7 @@ class Communicator {
     for (int r = 0; r < size(); ++r) {
       if (r == root) continue;
       acc = op.combine(
-          acc, Codec<T>::decode(my_mailbox().receive(context_, r, internal_tag::kReduce).data));
+          acc, Codec<T>::decode(coll_recv(r, internal_tag::kReduce, "flat_reduce").data));
     }
     return acc;
   }
@@ -280,11 +428,11 @@ class Communicator {
       deliver(rank_ - pow2, Envelope{context_, rank_, internal_tag::kReduce,
                                      Codec<T>::encode(local)});
       return Codec<T>::decode(
-          my_mailbox().receive(context_, rank_ - pow2, internal_tag::kBcast).data);
+          coll_recv(rank_ - pow2, internal_tag::kBcast, "butterfly_allreduce").data);
     }
     if (rank_ < extra) {
       T incoming = Codec<T>::decode(
-          my_mailbox().receive(context_, rank_ + pow2, internal_tag::kReduce).data);
+          coll_recv(rank_ + pow2, internal_tag::kReduce, "butterfly_allreduce").data);
       local = op.combine(local, incoming);
     }
 
@@ -294,7 +442,7 @@ class Communicator {
       deliver(partner, Envelope{context_, rank_, internal_tag::kReduce,
                                 Codec<T>::encode(local)});
       T incoming = Codec<T>::decode(
-          my_mailbox().receive(context_, partner, internal_tag::kReduce).data);
+          coll_recv(partner, internal_tag::kReduce, "butterfly_allreduce").data);
       // Combine in a rank-symmetric order so both partners agree.
       local = (rank_ < partner) ? op.combine(local, incoming)
                                 : op.combine(incoming, local);
@@ -312,8 +460,8 @@ class Communicator {
   T scan(const T& local, const Op<T>& op) const {
     T acc = local;
     if (rank_ > 0) {
-      T prefix = Codec<T>::decode(
-          my_mailbox().receive(context_, rank_ - 1, internal_tag::kScan).data);
+      T prefix =
+          Codec<T>::decode(coll_recv(rank_ - 1, internal_tag::kScan, "scan").data);
       acc = op.combine(prefix, local);
     }
     if (rank_ + 1 < size()) {
@@ -334,8 +482,7 @@ class Communicator {
                                   Codec<T>::encode(inclusive)});
     }
     if (rank_ == 0) return op.identity;
-    return Codec<T>::decode(
-        my_mailbox().receive(context_, rank_ - 1, internal_tag::kScan).data);
+    return Codec<T>::decode(coll_recv(rank_ - 1, internal_tag::kScan, "exscan").data);
   }
 
   /// MPI_Scatter: the root splits \p all into size() equal chunks of
@@ -362,7 +509,7 @@ class Communicator {
       return mine;
     }
     return Codec<std::vector<T>>::decode(
-        my_mailbox().receive(context_, root, internal_tag::kScatter).data);
+        coll_recv(root, internal_tag::kScatter, "scatter").data);
   }
 
   /// MPI_Gather/MPI_Gatherv: the root returns every rank's vector
@@ -382,7 +529,7 @@ class Communicator {
         all.insert(all.end(), mine.begin(), mine.end());
       } else {
         auto piece = Codec<std::vector<T>>::decode(
-            my_mailbox().receive(context_, r, internal_tag::kGather).data);
+            coll_recv(r, internal_tag::kGather, "gather").data);
         all.insert(all.end(), piece.begin(), piece.end());
       }
     }
@@ -419,7 +566,7 @@ class Communicator {
     for (int r = 0; r < size(); ++r) {
       if (r == rank_) continue;
       in[static_cast<std::size_t>(r)] = Codec<std::vector<T>>::decode(
-          my_mailbox().receive(context_, r, internal_tag::kAlltoall).data);
+          coll_recv(r, internal_tag::kAlltoall, "alltoall").data);
     }
     return in;
   }
@@ -442,7 +589,7 @@ class Communicator {
     for (int r = 0; r < size(); ++r) {
       if (r == rank_) continue;
       in[static_cast<std::size_t>(r)] =
-          my_mailbox().receive(context_, r, internal_tag::kAlltoall).data;
+          coll_recv(r, internal_tag::kAlltoall, "alltoall").data;
     }
     return in;
   }
@@ -488,6 +635,15 @@ class Communicator {
   static void check_tag(int tag);
   static int next_pow2_at_least(int p) noexcept;
 
+  /// One internal collective receive. Unbounded when no collective timeout
+  /// is configured (RunOptions::collective_timeout /
+  /// PML_MP_COLLECTIVE_TIMEOUT_MS); bounded otherwise, converting silence
+  /// past the budget into a RuntimeFault naming the silent rank, its node,
+  /// and any ranks fault injection crashed — instead of hanging the job.
+  /// \p what names the collective for the diagnostic.
+  Envelope coll_recv(int source, int tag, const char* what) const;
+  [[noreturn]] void throw_collective_timeout(int source, const char* what) const;
+
   /// The binomial-tree reduction shared by scalar and vector reduce.
   template <typename V, typename Merge>
   V reduce_generic(V local, Merge merge, int root, pml::Trace* trace) const {
@@ -506,7 +662,7 @@ class Communicator {
       if (vr + mask < p) {
         const int child = ((vr + mask) + root) % p;
         V incoming = Codec<V>::decode(
-            my_mailbox().receive(context_, child, internal_tag::kReduce).data);
+            coll_recv(child, internal_tag::kReduce, "reduce").data);
         merge(local, incoming);
         obs::count(obs::Counter::kCombines);
         if (trace != nullptr) trace->record(rank_, "combine", round, child);

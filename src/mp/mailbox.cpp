@@ -4,6 +4,7 @@
 #include <set>
 
 #include "analyze/analyze.hpp"
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "sched/sched.hpp"
 #include "thread/adaptive_wait.hpp"
@@ -11,6 +12,25 @@
 namespace pml::mp {
 
 void Mailbox::deliver(Envelope e) {
+  // Fault injection sits in front of the real deposit, on the sender's
+  // thread so decisions draw from the sender's lane stream. A dropped
+  // message never reaches the analyze/obs delivery events below — to every
+  // later observer it was simply never sent, which is exactly the
+  // happens-before a lossy network gives you. May throw NodeCrashFault at
+  // the *sender* when its node is marked crashed.
+  if (fault::active()) {
+    const fault::DeliveryFault f =
+        fault::on_deliver(owner_, e.source, e.tag, e.context);
+    if (f.drop) return;
+    if (f.duplicate) {
+      Envelope copy = e;
+      deposit(std::move(copy));
+    }
+  }
+  deposit(std::move(e));
+}
+
+void Mailbox::deposit(Envelope e) {
   // Chaos mode perturbs delivery timing here, before the envelope enters
   // the mailbox: message *arrival order* across senders gets reshuffled
   // while the per-(source, tag) non-overtaking guarantee (arrival-stamp
@@ -194,11 +214,15 @@ bool Mailbox::extract_locked(int context, int source, int tag, Envelope& out) {
 }
 
 Envelope Mailbox::receive(int context, int source, int tag) {
+  if (fault::active()) fault::on_receive_checkpoint();
   Envelope out;  // NRVO: both exits return this object with zero extra moves
+  // The span opens before the lock so a message that is already queued —
+  // the fast path — still records a kRecv span: profile recv-span counts
+  // match messages received instead of silently excluding the cheap case.
+  // Declared before `lock` so the span closes after the lock is released.
+  obs::SpanScope wait{obs::SpanKind::kRecv, "receive", source, tag};
   std::unique_lock lock(mu_);
   if (extract_locked(context, source, tag, out)) return out;
-  // Not queued yet: everything from here to the match is receive wait.
-  obs::SpanScope wait{obs::SpanKind::kRecv, "receive", source, tag};
   if (poisoned_) {
     throw RuntimeFault("receive aborted: message-passing runtime shut down");
   }
@@ -225,11 +249,18 @@ Envelope Mailbox::receive(int context, int source, int tag) {
 
 std::optional<Envelope> Mailbox::receive_for(int context, int source, int tag,
                                              std::chrono::milliseconds timeout) {
+  // timeout <= 0 means "poll once": no deadline arithmetic, no posted
+  // entry, no analyze timeout event — exactly try_receive semantics.
+  // recv_retry leans on this for its first zero-cost slice.
+  if (timeout.count() <= 0) return try_receive(context, source, tag);
+  if (fault::active()) fault::on_receive_checkpoint();
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::optional<Envelope> out(std::in_place);
+  // Opened before the lock for the same reason as receive(): the fast path
+  // must record its span too, and the span must close after unlock.
+  obs::SpanScope wait{obs::SpanKind::kRecv, "receive-for", source, tag};
   std::unique_lock lock(mu_);
   if (extract_locked(context, source, tag, *out)) return out;
-  obs::SpanScope wait{obs::SpanKind::kRecv, "receive-for", source, tag};
   if (poisoned_) {
     throw RuntimeFault("receive aborted: message-passing runtime shut down");
   }
@@ -246,16 +277,23 @@ std::optional<Envelope> Mailbox::receive_for(int context, int source, int tag,
     // Timed out. State flips only under mu_, which we hold: kPending here
     // means no deliverer claimed this entry, so withdrawing it is safe.
     posted_.erase(std::find(posted_.begin(), posted_.end(), &pr));
+    // Near-miss diagnosis: snapshot what WAS queued so the comm lint can
+    // say "right source, wrong tag" rather than just "timed out". The
+    // snapshot is taken under mu_ but the report runs after unlock — the
+    // collector's finding synthesis is slow, and holding mu_ across it
+    // would stall every sender into this mailbox.
+    bool report = false;
+    std::vector<analyze::MsgCoord> present;
+    int who = owner_;
     if (analyze::active()) {
-      // Near-miss diagnosis: snapshot what WAS queued so the comm lint
-      // can say "right source, wrong tag" rather than just "timed out".
-      std::vector<analyze::MsgCoord> present;
+      report = true;
       present.reserve(total_queued_);
       for (const auto& [key, bucket] : store_) {
         for (const auto& m : bucket) present.push_back({m.source, m.tag, m.context});
       }
-      analyze::on_mp_timeout(owner_, source, tag, context, present);
     }
+    lock.unlock();
+    if (report) analyze::on_mp_timeout(who, source, tag, context, present);
     return std::nullopt;
   }
   if (pr.state.load(std::memory_order_acquire) == kPoisoned) {

@@ -57,7 +57,10 @@ class Mailbox {
 
   /// Deposits a message (called by senders). Hands it straight to a posted
   /// matching receiver when one is waiting (targeted wakeup), otherwise
-  /// files it in the unexpected store.
+  /// files it in the unexpected store. When pml::fault is active the
+  /// envelope first passes the injection point, which may drop it, deposit
+  /// it twice, hold it back (sleeping this sender), or throw NodeCrashFault
+  /// at a sender whose node is marked crashed.
   void deliver(Envelope e);
 
   /// Blocks until a matching message arrives, removes and returns it.
@@ -65,7 +68,10 @@ class Mailbox {
   Envelope receive(int context, int source, int tag);
 
   /// Like receive() but gives up after \p timeout; nullopt on timeout.
-  /// Used by deadlock-detection tests and the deadlock patternlet.
+  /// A \p timeout <= 0 means "poll once": it short-circuits to
+  /// try_receive() — no wait, no posted entry, and no timeout analysis
+  /// event. Used by deadlock-detection tests, the deadlock patternlet,
+  /// and the retry layer's deadline slicing.
   std::optional<Envelope> receive_for(int context, int source, int tag,
                                       std::chrono::milliseconds timeout);
 
@@ -143,6 +149,9 @@ class Mailbox {
   /// never use this value — their condvar always gets a notify.
   static constexpr std::uint32_t kParked = 3;
 
+  /// The real deposit: matching, targeted wakeup or filing, progress hook.
+  /// deliver() is the thin fault-injection shim in front of this.
+  void deposit(Envelope e);
   /// Moves the earliest-arrival matching message into \p out (returns true),
   /// firing the analyze/obs match events on the calling (receiver) thread.
   /// Returns false, leaving \p out untouched, when nothing matches.

@@ -1,8 +1,12 @@
 #include "mp/runtime.hpp"
 
+#include <cstdlib>
 #include <exception>
+#include <optional>
+#include <string>
 
 #include "analyze/analyze.hpp"
+#include "fault/fault.hpp"
 #include "mp/communicator.hpp"
 #include "obs/obs.hpp"
 #include "sched/sched.hpp"
@@ -37,6 +41,11 @@ void RuntimeState::acknowledge(std::uint64_t id) {
   event->set();
 }
 
+void RuntimeState::forget_ack(std::uint64_t id) {
+  std::lock_guard lock(ack_mu);
+  acks.erase(id);
+}
+
 void RuntimeState::poison_all() {
   for (auto& mb : mailboxes) mb->poison();
   // Release any rank blocked in an ssend, too.
@@ -54,6 +63,34 @@ void run(int nprocs, const std::function<void(Communicator&)>& program,
 
   auto state = std::make_shared<detail::RuntimeState>(nprocs, options.cluster);
   state->start_time = pml::smp::wtime();
+  state->collective_timeout = options.collective_timeout;
+  if (state->collective_timeout.count() == 0) {
+    if (const char* env = std::getenv("PML_MP_COLLECTIVE_TIMEOUT_MS")) {
+      state->collective_timeout = std::chrono::milliseconds(std::atol(env));
+    }
+  }
+
+  // Bind an active fault plan to this job's topology: node names in the
+  // spec resolve against the cluster (a bad name throws UsageError here,
+  // before any thread spawns) and a crashing node gets the power to poison
+  // its ranks' mailboxes. Declared after `state` so the binding unhooks
+  // before the state it points into is torn down.
+  std::optional<fault::JobBinding> fault_binding;
+  if (fault::active()) {
+    fault::JobHooks hooks;
+    hooks.nprocs = nprocs;
+    hooks.resolve_node = [cl = &state->cluster](const std::string& name) {
+      return cl->find_node(name);
+    };
+    hooks.node_of = [cl = &state->cluster, nprocs](int r) {
+      return cl->node_of(r, nprocs);
+    };
+    hooks.node_name = [cl = &state->cluster](int n) { return cl->node_name(n); };
+    hooks.poison_rank = [st = state.get()](int r) {
+      st->mailboxes[static_cast<std::size_t>(r)]->poison();
+    };
+    fault_binding.emplace(std::move(hooks));
+  }
 
   // Progress hooks feeding the deadlock watchdog and the message trace.
   for (int dest = 0; dest < nprocs; ++dest) {
@@ -139,6 +176,12 @@ void run(int nprocs, const std::function<void(Communicator&)>& program,
         try {
           obs::SpanScope region{obs::SpanKind::kRegion, "rank", r, nprocs};
           program(world);
+        } catch (const fault::NodeCrashFault&) {
+          // A contained failure: the crash already poisoned exactly the
+          // mailboxes on the dead node, so healthy ranks keep running —
+          // that is the whole point of injecting a node crash. No
+          // poison_all; finished++ below still keeps the watchdog honest.
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
         } catch (...) {
           errors[static_cast<std::size_t>(r)] = std::current_exception();
           // A dead rank would leave peers blocked forever; wake them so the
@@ -170,25 +213,55 @@ void run(int nprocs, const std::function<void(Communicator&)>& program,
   }
 
   if (state->deadlock_detected.load()) {
-    throw DeadlockError(
+    std::string msg =
         "deadlock detected: all live ranks were blocked in indefinite "
         "receives/synchronous sends with no message in flight for " +
-        std::to_string(options.deadlock_grace.count()) + " ms");
+        std::to_string(options.deadlock_grace.count()) + " ms";
+    if (fault::active()) {
+      // The hang is (probably) induced, not inherent: say so, and teach
+      // the recovery toggles. The analyze lint gets the same event so
+      // `--analyze --fault` names the fix in its findings.
+      const fault::Stats fs = fault::stats();
+      if (fs.dropped > 0) {
+        analyze::on_mp_fault_stall(fs.dropped, options.deadlock_grace.count());
+        msg += " (fault injection dropped " + std::to_string(fs.dropped) +
+               " message(s); make the pattern fault-tolerant with "
+               "Communicator::send_with_retry / recv_retry, or set "
+               "RunOptions::collective_timeout so collectives degrade "
+               "instead of hanging)";
+      }
+      const std::vector<int> dead = fault::crashed_ranks();
+      if (!dead.empty()) {
+        msg += " [crashed ranks:";
+        for (int r : dead) msg += " " + std::to_string(r);
+        msg += "]";
+      }
+    }
+    throw DeadlockError(msg);
   }
 
   // Prefer the root cause over secondary "runtime shut down" faults that
-  // the poison pill induced in otherwise-healthy ranks.
+  // the poison pill induced in otherwise-healthy ranks. An injected node
+  // crash outranks those secondaries (it is why they happened) but never
+  // masks a genuine program error.
   std::exception_ptr chosen;
+  int chosen_rank = 0;  // 0 none, 1 generic RuntimeFault, 2 crash, 3 other
   for (const auto& e : errors) {
     if (!e) continue;
-    if (!chosen) chosen = e;
+    int rank_class = 1;
     try {
       std::rethrow_exception(e);
+    } catch (const fault::NodeCrashFault&) {
+      rank_class = 2;
     } catch (const RuntimeFault&) {
-      // likely secondary; keep looking for a more specific cause
+      rank_class = 1;
     } catch (...) {
+      rank_class = 3;
+    }
+    if (rank_class > chosen_rank) {
       chosen = e;
-      break;
+      chosen_rank = rank_class;
+      if (rank_class == 3) break;
     }
   }
   if (chosen) std::rethrow_exception(chosen);

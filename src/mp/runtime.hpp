@@ -57,8 +57,16 @@ struct RuntimeState {
 
   double start_time = 0.0;  ///< For wtime().
 
+  /// Per-receive budget inside collectives; 0 = wait forever (the
+  /// default). Resolved from RunOptions::collective_timeout or the
+  /// PML_MP_COLLECTIVE_TIMEOUT_MS environment variable by run().
+  std::chrono::milliseconds collective_timeout{0};
+
   std::shared_ptr<pml::thread::Event> register_ack(std::uint64_t id);
   void acknowledge(std::uint64_t id);
+  /// Withdraws a pending ack registration (a retrying sender gave up on
+  /// this attempt). A late acknowledge() for the id is silently ignored.
+  void forget_ack(std::uint64_t id);
   void poison_all();
 };
 
@@ -73,6 +81,15 @@ struct RunOptions {
   /// this long. Zero disables the watchdog. Deadline waits (recv_for) are
   /// never counted as stuck — they recover on their own.
   std::chrono::milliseconds deadlock_grace{3000};
+
+  /// Bounds every internal receive inside collectives (broadcast, reduce,
+  /// barrier, ...). When a peer stays silent past the budget the collective
+  /// throws RuntimeFault naming the silent rank and its node instead of
+  /// hanging the job — the degraded-but-diagnosable mode fault-injection
+  /// runs want. Zero (the default) keeps collectives unbounded. The
+  /// PML_MP_COLLECTIVE_TIMEOUT_MS environment variable supplies a value
+  /// when this is zero.
+  std::chrono::milliseconds collective_timeout{0};
 
   /// Optional message trace: every delivered envelope is recorded as
   /// (task = source rank, kind = "message", key = destination rank,

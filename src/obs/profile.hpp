@@ -46,10 +46,14 @@ enum class Counter : std::uint8_t {
   kMessagesSent,       ///< Envelopes this task delivered.
   kMessagesReceived,   ///< Envelopes this task matched.
   kMessageLatencyNs,   ///< Total deliver-to-match latency of matched msgs.
+  kFaultDropped,       ///< Messages pml::fault dropped (sender's lane).
+  kFaultDelayed,       ///< Messages pml::fault held back (delay/slow node).
+  kFaultDuplicated,    ///< Messages pml::fault deposited twice.
+  kRetryAttempts,      ///< send_with_retry resends + recv_retry re-waits.
 };
 
 /// Number of distinct Counter values (array sizing).
-inline constexpr int kCounterKinds = 8;
+inline constexpr int kCounterKinds = 12;
 
 /// Printable name ("chunks", "steals", "combines", ...).
 const char* to_string(Counter c) noexcept;

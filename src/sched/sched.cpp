@@ -39,13 +39,7 @@ LaneState& lane_state() {
   return tl;
 }
 
-/// splitmix64 finalizer: full-avalanche mixing of a 64-bit value.
-constexpr std::uint64_t mix(std::uint64_t z) noexcept {
-  z += 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
+using detail::mix64;
 
 /// Per-kind aggressiveness. Shared-data windows get perturbed hardest: a
 /// yield inside a torn read/write pair is precisely what loses an update.
@@ -82,8 +76,8 @@ const char* to_string(Point p) noexcept {
 Decision decide(std::uint64_t seed, std::uint32_t lane, std::uint64_t call,
                 Point kind) noexcept {
   if (seed == 0) return {};
-  std::uint64_t h = mix(seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(lane) + 1));
-  h = mix(h + (call << 3) + static_cast<std::uint64_t>(kind));
+  std::uint64_t h = mix64(seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(lane) + 1));
+  h = mix64(h + (call << 3) + static_cast<std::uint64_t>(kind));
   const Profile& p = kProfiles[static_cast<int>(kind)];
   // Low bits pick the rare sleep; higher bits pick yield/spin, so the two
   // draws are effectively independent.

@@ -80,6 +80,17 @@ namespace detail {
 extern std::atomic<std::uint64_t> g_seed;
 /// Out-of-line slow path: look up this thread's lane, decide, act, count.
 void perturb(Point kind) noexcept;
+
+/// splitmix64 finalizer: full-avalanche mixing of a 64-bit value. This is
+/// the hash every seeded-decision layer shares (sched's decide(), fault's
+/// per-message draws), so "seeded like --chaos-seed" means the same thing
+/// everywhere.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 }  // namespace detail
 
 /// True iff a perturbation seed is active.

@@ -4,6 +4,7 @@
 /// \brief Condition-variable kit (pthread_cond_t analogue) plus a small
 /// monitor helper used by the signaling patternlet.
 
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
@@ -40,6 +41,16 @@ class Event {
     std::unique_lock lock(mu_);
     cv_.wait(lock, [this] { return signaled_; });
     analyze::on_sync_acquire(this);
+  }
+
+  /// Blocks until set() or until \p timeout elapses; true iff signaled.
+  /// The bounded wait retry loops need (send_with_retry waits this long
+  /// for an ack before resending).
+  bool wait_for(std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mu_);
+    const bool ok = cv_.wait_for(lock, timeout, [this] { return signaled_; });
+    if (ok) analyze::on_sync_acquire(this);
+    return ok;
   }
 
   /// True once set() has been called.
