@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -79,27 +81,63 @@ void BM_PingPong(benchmark::State& state) {
 }
 BENCHMARK(BM_PingPong)->Arg(64)->Arg(512);
 
-void BM_PingPongLargePayload(benchmark::State& state) {
-  // Large-body variant (4 KiB per message, far past the inline-payload
-  // threshold): guards the heap-spill path against regressions.
-  const int rounds = static_cast<int>(state.range(0));
-  const std::vector<long> body(512, 7);
+// Message-size sweep, 64 B → 16 MB. range(0) is the body size in BYTES (the
+// old bench's range was a round count over a fixed 4 KiB body — and its one
+// registered arg made the label read like a 64-byte, inline-only run).
+// Bodies past the eager threshold (8 KiB default) ride the rendezvous path:
+// ownership transfer instead of memcpy, so the large-size floors measure
+// matching latency, not memory bandwidth. Each rank recycles the buffer it
+// received for its next send, so the steady state allocates nothing and the
+// eager ablation below differs only in its per-hop copies.
+constexpr int kPingPongRounds = 8;
+
+template <typename Options>
+void ping_pong_sweep(benchmark::State& state, const Options& options) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const std::size_t count = bytes / sizeof(long);
   for (auto _ : state) {
-    mp::run(2, [&](mp::Communicator& comm) {
-      for (int i = 0; i < rounds; ++i) {
-        if (comm.rank() == 0) {
-          comm.send(body, 1);
-          benchmark::DoNotOptimize(comm.recv<std::vector<long>>(1));
-        } else {
-          const auto v = comm.recv<std::vector<long>>(0);
-          comm.send(v, 0);
-        }
-      }
-    });
+    mp::run(
+        2,
+        [&](mp::Communicator& comm) {
+          if (comm.rank() == 0) {
+            std::vector<long> body(count, 7);
+            for (int i = 0; i < kPingPongRounds; ++i) {
+              comm.send(std::move(body), 1);
+              body = comm.recv<std::vector<long>>(1);
+            }
+            benchmark::DoNotOptimize(body.data());
+          } else {
+            for (int i = 0; i < kPingPongRounds; ++i) {
+              auto v = comm.recv<std::vector<long>>(0);
+              comm.send(std::move(v), 0);
+            }
+          }
+        },
+        options);
   }
-  state.SetItemsProcessed(state.iterations() * rounds * 2);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kPingPongRounds * 2 * static_cast<std::int64_t>(bytes));
 }
-BENCHMARK(BM_PingPongLargePayload)->Arg(64);
+
+void BM_PingPongLargePayload(benchmark::State& state) {
+  ping_pong_sweep(state, mp::RunOptions{});
+}
+BENCHMARK(BM_PingPongLargePayload)
+    ->Arg(64)
+    ->Arg(4096)
+    ->Arg(65536)
+    ->Arg(1 << 20)
+    ->Arg(16 << 20);
+
+void BM_PingPongLargeEager(benchmark::State& state) {
+  // Ablation: rendezvous disabled (threshold = SIZE_MAX), so every body is
+  // copied into and out of its envelope. The gap between this and
+  // BM_PingPongLargePayload at the same size is the measured zero-copy win.
+  mp::RunOptions options;
+  options.eager_bytes = std::numeric_limits<std::size_t>::max();
+  ping_pong_sweep(state, options);
+}
+BENCHMARK(BM_PingPongLargeEager)->Arg(65536)->Arg(1 << 20)->Arg(16 << 20);
 
 // ---- Collectives: tree vs flat ablation -----------------------------------
 

@@ -23,13 +23,28 @@ import argparse
 import json
 import sys
 
-# Series medians that must not regress (prefix match against labels like
-# "BM_PingPong/64"). Mailbox matching + small-message latency: the two
-# headline costs of the fast-path overhaul.
-GATED_PREFIXES = (
+# Series medians that must not regress, one explicit label per gated
+# series. (This used to be a prefix match on "BM_PingPong", which silently
+# covered BM_PingPongLargePayload too — and meant a renamed or dropped
+# sweep size vanished from the gate without failing it.) Mailbox matching,
+# small-message latency, and the 64 B → 16 MB message-size sweep: the
+# eager fast path and the rendezvous zero-copy path each get their own
+# per-size floor.
+GATED_LABELS = (
     "BM_MailboxDeliverReceive",
-    "BM_MailboxMatchDepth",
-    "BM_PingPong",  # also covers BM_PingPongLargePayload
+    "BM_MailboxMatchDepth/16",
+    "BM_MailboxMatchDepth/64",
+    "BM_MailboxMatchDepth/256",
+    "BM_PingPong/64",
+    "BM_PingPong/512",
+    "BM_PingPongLargePayload/64",
+    "BM_PingPongLargePayload/4096",
+    "BM_PingPongLargePayload/65536",
+    "BM_PingPongLargePayload/1048576",
+    "BM_PingPongLargePayload/16777216",
+    "BM_PingPongLargeEager/65536",
+    "BM_PingPongLargeEager/1048576",
+    "BM_PingPongLargeEager/16777216",
 )
 
 
@@ -55,9 +70,14 @@ def main():
 
     failures = []
     checked = 0
-    for label, base in sorted(baseline.items()):
-        if not label.startswith(GATED_PREFIXES):
+    # Iterate the gate list itself, not the baseline: a gated series
+    # missing from EITHER file is a failure, so dropping a sweep size can
+    # never silently shrink the gate.
+    for label in GATED_LABELS:
+        if label not in baseline:
+            failures.append(f"{label}: gated series missing from baseline")
             continue
+        base = baseline[label]
         if label not in current:
             failures.append(f"{label}: present in baseline but not in current run")
             continue

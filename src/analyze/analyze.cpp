@@ -211,6 +211,12 @@ class Collector {
     comm_.on_fault_stall(dropped, grace_ms, findings_);
   }
 
+  void mp_rdv_stalled(int sender, int dest, int tag, int context,
+                      std::size_t bytes) {
+    std::lock_guard lock(mu_);
+    comm_.on_rdv_stalled(sender, dest, tag, context, bytes, findings_);
+  }
+
  private:
   struct ThreadState {
     std::uint64_t gen = 0;
@@ -385,6 +391,10 @@ void mp_fault_drop(int to, int source, int tag, int context) noexcept {
 }
 void mp_fault_stall(std::uint64_t dropped, long grace_ms) noexcept {
   Collector::instance().mp_fault_stall(dropped, grace_ms);
+}
+void mp_rdv_stalled(int sender, int dest, int tag, int context,
+                    std::size_t bytes) noexcept {
+  Collector::instance().mp_rdv_stalled(sender, dest, tag, context, bytes);
 }
 
 }  // namespace detail

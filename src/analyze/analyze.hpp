@@ -68,6 +68,8 @@ void mp_timeout(int rank, int wanted_source, int wanted_tag, int wanted_context,
 void mp_leftover(int owner, int source, int tag, int context) noexcept;
 void mp_fault_drop(int to, int source, int tag, int context) noexcept;
 void mp_fault_stall(std::uint64_t dropped, long grace_ms) noexcept;
+void mp_rdv_stalled(int sender, int dest, int tag, int context,
+                    std::size_t bytes) noexcept;
 
 }  // namespace detail
 
@@ -202,6 +204,13 @@ inline void on_mp_fault_drop(int to, int source, int tag, int context) noexcept 
 /// message(s): the pattern has no recovery path for message loss.
 inline void on_mp_fault_stall(std::uint64_t dropped, long grace_ms) noexcept {
   if (active()) detail::mp_fault_stall(dropped, grace_ms);
+}
+/// A large-message body parked in the rendezvous table was never claimed:
+/// its RTS control envelope was dropped or never received. The buffer was
+/// reclaimed by the finalize drain (no leak); this reports the stall.
+inline void on_mp_rdv_stalled(int sender, int dest, int tag, int context,
+                              std::size_t bytes) noexcept {
+  if (active()) detail::mp_rdv_stalled(sender, dest, tag, context, bytes);
 }
 /// @}
 

@@ -104,6 +104,35 @@ class CommTracker {
     out.push_back(std::move(f));
   }
 
+  /// A rendezvous body parked for \p dest was never claimed: the job
+  /// finalized with the sender's RTS control envelope dropped (or simply
+  /// never received). The runtime already reclaimed the buffer — this
+  /// finding explains the stall and names the fix. Under fault injection
+  /// the drop is the injected condition, so the severity degrades to a
+  /// note the same way on_timeout's recovery path does.
+  void on_rdv_stalled(int sender, int dest, int tag, int context,
+                      std::size_t bytes, std::vector<Finding>& out) {
+    (void)context;
+    Finding f;
+    f.checker = Checker::kComm;
+    f.severity = fault_drops_ > 0 ? Severity::kNote : Severity::kError;
+    f.subject = "rendezvous";
+    char msg[512];
+    std::snprintf(
+        msg, sizeof(msg),
+        "stalled rendezvous: the %llu-byte body rank %d parked for rank %d "
+        "(tag %d) was never claimed — its ready-to-send envelope was "
+        "%s, so the receiver never learned the body existed. The buffer "
+        "was reclaimed at finalize (no leak). Re-publish lost RTS "
+        "envelopes with Communicator::send_with_retry (it reposts the "
+        "same parked body), or bound the receive so the loss surfaces as "
+        "a timeout instead of silence",
+        static_cast<unsigned long long>(bytes), sender, dest, tag,
+        fault_drops_ > 0 ? "dropped by fault injection" : "never received");
+    f.message = msg;
+    out.push_back(std::move(f));
+  }
+
   /// A bounded receive gave up. \p queued is a snapshot of the mailbox at
   /// timeout time, used to upgrade the diagnosis on a near miss.
   void on_timeout(int rank, int wanted_source, int wanted_tag,

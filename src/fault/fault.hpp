@@ -46,6 +46,15 @@
 ///
 /// "Free when off" (the sched/analyze/obs bar): with no plan configured the
 /// mailbox's fault hook is one relaxed atomic load and an untaken branch.
+///
+/// **Rendezvous interplay.** Large messages travel as a small RTS control
+/// envelope while the body stays parked in the sender-side RendezvousTable
+/// (mp/rendezvous.hpp). The RTS passes this layer's injection point like
+/// any other deposit, so drop/dup/delay apply to the *control* message: a
+/// dropped RTS strands the parked body (reclaimed by the finalize-time
+/// drain and reported by the analyze comm lint as a stalled rendezvous), a
+/// duplicated RTS is claimed once and the echo goes stale, and
+/// send_with_retry re-publishes the same parked body without re-copying it.
 
 #include <atomic>
 #include <cstdint>

@@ -61,6 +61,94 @@ Envelope Communicator::coll_recv(int source, int tag, const char* what) const {
   return std::move(*e);
 }
 
+void Communicator::send_payload(int dest, int tag, Payload&& bytes,
+                                std::uint64_t ack_id) const {
+  if (bytes.size() <= state_->eager_bytes) {
+    Envelope e{context_, rank_, tag, std::move(bytes)};
+    if (ack_id != 0) {
+      e.wants_ack = true;
+      e.ack_id = ack_id;
+    }
+    deliver(dest, std::move(e));
+    return;
+  }
+  RendezvousTable::Parked parked;
+  parked.storage.emplace<Payload>(std::move(bytes));
+  // The view must come from the payload inside the std::any (heap-held, so
+  // the pointer survives every later move of Parked).
+  auto& held = *std::any_cast<Payload>(&parked.storage);
+  parked.data = held.data();
+  parked.bytes = held.size();
+  send_rts(dest, tag, std::move(parked), ack_id);
+}
+
+void Communicator::send_rts(int dest, int tag, RendezvousTable::Parked&& parked,
+                            std::uint64_t ack_id) const {
+  obs::SpanScope span{obs::SpanKind::kRendezvous, "rdv-park", dest,
+                      static_cast<std::int64_t>(parked.bytes)};
+  parked.sender = rank_;
+  parked.dest = dest;
+  parked.tag = tag;
+  parked.context = context_;
+  RendezvousHandle handle;
+  handle.bytes = parked.bytes;
+  handle.ticket = state_->rendezvous.park(std::move(parked));
+  obs::count(obs::Counter::kRdvParked);
+  Envelope e{context_, rank_, tag, Codec<RendezvousHandle>::encode(handle)};
+  e.rts = true;
+  if (ack_id != 0) {
+    e.wants_ack = true;
+    e.ack_id = ack_id;
+  }
+  deliver(dest, std::move(e));
+}
+
+std::optional<RendezvousTable::Parked> Communicator::claim_rts(
+    const Envelope& e) const {
+  const RendezvousHandle handle = Codec<RendezvousHandle>::decode(e.data);
+  obs::SpanScope span{obs::SpanKind::kRendezvous, "rdv-claim", e.source,
+                      static_cast<std::int64_t>(handle.bytes)};
+  auto claimed = state_->rendezvous.claim(handle.ticket);
+  if (!claimed) {
+    // Stale control envelope: its ticket was already claimed (a duplicated
+    // RTS) or withdrawn (a retrying sender that gave up). No body can ever
+    // arrive for it — treat it as never delivered.
+    obs::count(obs::Counter::kRdvStale);
+    return std::nullopt;
+  }
+  obs::count(obs::Counter::kRdvBytes, claimed->bytes);
+  return claimed;
+}
+
+std::optional<Payload> Communicator::resolve_payload(Envelope&& e) const {
+  if (!e.rts) {
+    if (e.wants_ack) state_->acknowledge(e.ack_id);
+    return std::move(e.data);
+  }
+  auto claimed = claim_rts(e);
+  if (!claimed) return std::nullopt;
+  if (e.wants_ack) state_->acknowledge(e.ack_id);
+  return take_claimed<Payload>(std::move(*claimed));
+}
+
+std::optional<Payload> Communicator::recv_body_for(
+    int source, int tag, std::chrono::milliseconds timeout) const {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  auto remaining = timeout;
+  for (;;) {
+    auto e = my_mailbox().receive_for(context_, source, tag, remaining);
+    if (!e) return std::nullopt;
+    auto bytes = resolve_payload(std::move(*e));
+    if (bytes) return bytes;
+    // Stale RTS consumed: keep waiting out the original deadline. A spent
+    // (or poll-once) budget degrades to further polls, which still
+    // terminate — the queue only shrinks from here.
+    remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() < 0) remaining = std::chrono::milliseconds(0);
+  }
+}
+
 void Communicator::throw_collective_timeout(int source, const char* what) const {
   const int world = group_[static_cast<std::size_t>(source)];
   std::string msg = std::string("collective timeout: ") + what + " at rank " +
@@ -88,10 +176,11 @@ bool Communicator::barrier_for(std::chrono::milliseconds timeout) const {
     deliver(0, Envelope{context_, rank_, internal_tag::kBarrierBase, Payload{}});
     // The release gets the root's whole collection budget plus slack for
     // the release hop; a silent root (crashed?) degrades rather than hangs.
-    auto e = my_mailbox().receive_for(context_, 0, internal_tag::kBarrierBase,
-                                      timeout * 2 + std::chrono::milliseconds(100));
-    if (!e) return false;
-    return Codec<int>::decode(std::move(e->data)) != 0;
+    auto verdict =
+        recv_body_for(0, internal_tag::kBarrierBase,
+                      timeout * 2 + std::chrono::milliseconds(100));
+    if (!verdict) return false;
+    return Codec<int>::decode(std::move(*verdict)) != 0;
   }
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   bool all = true;
@@ -99,14 +188,15 @@ bool Communicator::barrier_for(std::chrono::milliseconds timeout) const {
     const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
         deadline - std::chrono::steady_clock::now());
     // Budget spent: poll, so tokens already queued still count as arrived.
-    auto e = my_mailbox().receive_for(
-        context_, r, internal_tag::kBarrierBase,
+    auto e = recv_body_for(
+        r, internal_tag::kBarrierBase,
         remaining.count() > 0 ? remaining : std::chrono::milliseconds(0));
     if (!e) all = false;
   }
   const Payload verdict = Codec<int>::encode(all ? 1 : 0);
   for (int r = 1; r < p; ++r) {
-    deliver(r, Envelope{context_, rank_, internal_tag::kBarrierBase, verdict});
+    Payload copy = verdict;
+    send_payload(r, internal_tag::kBarrierBase, std::move(copy));
   }
   return all;
 }
@@ -166,13 +256,12 @@ Communicator Communicator::split(int color, int key) const {
     new_context = state_->next_context.fetch_add(1);
     for (const auto& sk : mates) {
       if (sk.old_rank != rank_) {
-        deliver(sk.old_rank, Envelope{context_, rank_, internal_tag::kSplit,
-                                      Codec<int>::encode(new_context)});
+        send_encoded(sk.old_rank, internal_tag::kSplit, new_context);
       }
     }
   } else {
-    new_context = Codec<int>::decode(
-        coll_recv(leader_old_rank, internal_tag::kSplit, "split").data);
+    new_context =
+        coll_recv_typed<int>(leader_old_rank, internal_tag::kSplit, "split");
   }
 
   return Communicator(state_, new_context, std::move(new_group), new_rank);

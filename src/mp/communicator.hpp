@@ -16,13 +16,22 @@
 ///    O(p) strawmen used by the ablation bench;
 ///  - gather/scatter: linear at the root (Fig. 25-28);
 ///  - scan/exscan: linear chain (deterministic prefix order).
+///
+/// Large-message transport: every data-bearing send routes through the
+/// eager/rendezvous split (see mp/rendezvous.hpp). Encoded bodies at or
+/// below the job's eager threshold travel inside their envelope; larger
+/// ones are parked and move by ownership transfer, so the rvalue send
+/// overloads and gatherv/allgatherv/scatter/alltoall(Payload) ship big
+/// contiguous buffers with zero intermediate copies.
 
 #include <algorithm>
+#include <any>
 #include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/trace.hpp"
@@ -92,27 +101,59 @@ class Communicator {
   /// @{
 
   /// Buffered send (MPI_Send with buffering): deposits the message and
-  /// returns immediately.
+  /// returns immediately. Bodies above the eager threshold park in the
+  /// rendezvous table and move by ownership transfer.
   template <typename T>
   void send(const T& value, int dest, int tag = 0) const {
     check_peer(dest, "send");
     check_tag(tag);
-    deliver(dest, Envelope{context_, rank_, tag, Codec<T>::encode(value)});
+    Payload bytes = Codec<T>::encode(value);
+    count_payload_copy(bytes.size());
+    send_payload(dest, tag, std::move(bytes));
+  }
+
+  /// Ownership-transfer send: the vector itself becomes the message body.
+  /// Above the eager threshold its heap buffer is parked and the receiver
+  /// claims it pointer-for-pointer — a 16 MB send costs zero copies when
+  /// the receiver asks for the same std::vector<T>.
+  template <typename T,
+            typename = std::enable_if_t<std::is_trivially_copyable_v<T>>>
+  void send(std::vector<T>&& values, int dest, int tag = 0) const {
+    check_peer(dest, "send");
+    check_tag(tag);
+    send_owned(dest, tag, std::move(values));
+  }
+
+  /// Ownership-transfer send for strings (same contract as the vector
+  /// overload).
+  void send(std::string&& text, int dest, int tag = 0) const {
+    check_peer(dest, "send");
+    check_tag(tag);
+    send_owned(dest, tag, std::move(text));
+  }
+
+  /// Ownership-transfer send for pre-serialized payloads: the blob moves
+  /// into the envelope (eager) or parks whole (rendezvous); never copied.
+  void send(Payload&& bytes, int dest, int tag = 0) const {
+    check_peer(dest, "send");
+    check_tag(tag);
+    send_payload(dest, tag, std::move(bytes));
   }
 
   /// Synchronous send (MPI_Ssend): blocks until the receiver has matched
   /// the message. This is the send mode under which the classic
   /// recv-before-send deadlock (messagePassing2 patternlet) occurs.
+  /// For a rendezvous-routed body the ack fires when the receiver *claims*
+  /// the parked buffer — the closest analogue of "matched".
   template <typename T>
   void ssend(const T& value, int dest, int tag = 0) const {
     check_peer(dest, "ssend");
     check_tag(tag);
     const std::uint64_t id = state_->next_ack.fetch_add(1);
     auto event = state_->register_ack(id);
-    Envelope e{context_, rank_, tag, Codec<T>::encode(value)};
-    e.wants_ack = true;
-    e.ack_id = id;
-    deliver(dest, std::move(e));
+    Payload bytes = Codec<T>::encode(value);
+    count_payload_copy(bytes.size());
+    send_payload(dest, tag, std::move(bytes), id);
     // An unmatched synchronous send is an indefinite wait: count it for
     // the deadlock watchdog.
     state_->blocked.fetch_add(1, std::memory_order_relaxed);
@@ -124,26 +165,57 @@ class Communicator {
   }
 
   /// Blocking typed receive (MPI_Recv). Wildcards kAnySource/kAnyTag.
+  /// A matched RTS envelope resolves to its parked body; when T matches
+  /// the type the sender moved in, the claim is zero-copy. A *stale* RTS
+  /// (duplicated by fault injection, or withdrawn by a retrying sender)
+  /// is skipped and the receive keeps waiting.
   template <typename T>
   T recv(int source = kAnySource, int tag = kAnyTag, Status* status = nullptr) const {
     check_source(source, "recv");
-    Envelope e = my_mailbox().receive(context_, source, tag);
-    finish_receive(e, status);
-    return Codec<T>::decode(std::move(e.data));
+    for (;;) {
+      Envelope e = my_mailbox().receive(context_, source, tag);
+      if (!e.rts) {
+        finish_receive(e, status);
+        return decode_counted<T>(std::move(e.data));
+      }
+      auto claimed = claim_rts(e);
+      if (!claimed) continue;  // stale RTS: keep waiting
+      finish_claim(e, claimed->bytes, status);
+      return take_claimed<T>(std::move(*claimed));
+    }
   }
 
   /// Deadline receive: nullopt on timeout. Lets deadlock demonstrations
   /// terminate (the patternlet *shows* the deadlock instead of hanging).
   /// A \p timeout <= 0 means "poll once" — exactly try_recv semantics,
-  /// with no wait and no timeout analysis event.
+  /// with no wait and no timeout analysis event. Stale RTS envelopes are
+  /// skipped within the same deadline.
   template <typename T>
   std::optional<T> recv_for(std::chrono::milliseconds timeout, int source = kAnySource,
                             int tag = kAnyTag, Status* status = nullptr) const {
     check_source(source, "recv_for");
-    auto e = my_mailbox().receive_for(context_, source, tag, timeout);
-    if (!e) return std::nullopt;
-    finish_receive(*e, status);
-    return Codec<T>::decode(std::move(e->data));
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    auto remaining = timeout;
+    for (;;) {
+      auto e = my_mailbox().receive_for(context_, source, tag, remaining);
+      if (!e) return std::nullopt;
+      if (!e->rts) {
+        finish_receive(*e, status);
+        return decode_counted<T>(std::move(e->data));
+      }
+      auto claimed = claim_rts(*e);
+      if (claimed) {
+        finish_claim(*e, claimed->bytes, status);
+        return take_claimed<T>(std::move(*claimed));
+      }
+      // A stale RTS consumed no budget worth of data: keep waiting out
+      // the original deadline (a poll-once call polls again, still free).
+      remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (timeout.count() <= 0 || remaining.count() < 0) {
+        remaining = std::chrono::milliseconds(0);
+      }
+    }
   }
 
   /// Fault-tolerant synchronous send: like ssend() but the ack wait is
@@ -154,7 +226,13 @@ class Communicator {
   /// means the receiver can see the message twice, so pair this with an
   /// idempotent receiver or tag-level dedup. Each resend counts one
   /// obs kRetryAttempts. Throws RuntimeFault when every attempt goes
-  /// unacknowledged.
+  /// unacknowledged. A body above the eager threshold is parked *once*;
+  /// every attempt re-publishes an RTS for the same ticket, so a dropped
+  /// control envelope costs a resend of ~16 bytes, not of the body — and
+  /// rendezvous delivery stays effectively exactly-once (a duplicate RTS
+  /// finds its ticket claimed and is skipped by the receiver). When every
+  /// attempt fails the parked body is withdrawn before throwing, so
+  /// nothing leaks.
   template <typename T>
   int send_with_retry(const T& value, int dest, int tag = 0,
                       const RetryPolicy& policy = {}) const {
@@ -165,11 +243,30 @@ class Communicator {
     }
     auto backoff = policy.initial_backoff;
     if (backoff.count() <= 0) backoff = std::chrono::milliseconds(1);
-    const Payload bytes = Codec<T>::encode(value);
+    Payload bytes = Codec<T>::encode(value);
+    count_payload_copy(bytes.size());
+    const bool large = bytes.size() > state_->eager_bytes;
+    RendezvousHandle handle;
+    if (large) {
+      RendezvousTable::Parked parked;
+      parked.storage.emplace<Payload>(std::move(bytes));
+      auto& held = *std::any_cast<Payload>(&parked.storage);
+      parked.data = held.data();
+      parked.bytes = held.size();
+      parked.sender = rank_;
+      parked.dest = dest;
+      parked.tag = tag;
+      parked.context = context_;
+      handle.bytes = parked.bytes;
+      handle.ticket = state_->rendezvous.park(std::move(parked));
+      obs::count(obs::Counter::kRdvParked);
+    }
     for (int attempt = 1;; ++attempt) {
       const std::uint64_t id = state_->next_ack.fetch_add(1);
       auto event = state_->register_ack(id);
-      Envelope e{context_, rank_, tag, bytes};
+      Envelope e{context_, rank_, tag,
+                 large ? Codec<RendezvousHandle>::encode(handle) : bytes};
+      e.rts = large;
       e.wants_ack = true;
       e.ack_id = id;
       deliver(dest, std::move(e));
@@ -186,6 +283,10 @@ class Communicator {
       // honor it rather than resending a message that arrived.
       if (event->is_set()) return attempt;
       if (attempt >= policy.max_attempts) {
+        // Withdraw the parked body before giving up: a ticket nobody will
+        // claim must not wait for the finalize drain, and any RTS copies
+        // still queued become stale no-ops at the receiver.
+        if (large) (void)state_->rendezvous.claim(handle.ticket);
         throw RuntimeFault("send_with_retry: no ack from rank " +
                            std::to_string(dest) + " after " +
                            std::to_string(attempt) + " attempts");
@@ -216,8 +317,17 @@ class Communicator {
     for (;;) {
       auto e = my_mailbox().receive_for(context_, source, tag, slice);
       if (e) {
-        finish_receive(*e, status);
-        return Codec<T>::decode(std::move(e->data));
+        if (!e->rts) {
+          finish_receive(*e, status);
+          return decode_counted<T>(std::move(e->data));
+        }
+        auto claimed = claim_rts(*e);
+        if (claimed) {
+          finish_claim(*e, claimed->bytes, status);
+          return take_claimed<T>(std::move(*claimed));
+        }
+        // Stale RTS (a duplicate this receive already rode out): fall
+        // through to the backoff bookkeeping and wait for the real one.
       }
       const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
           deadline - std::chrono::steady_clock::now());
@@ -229,14 +339,23 @@ class Communicator {
   }
 
   /// Nonblocking receive attempt: nullopt if nothing matches right now.
+  /// Consumes (and skips past) stale RTS envelopes without blocking.
   template <typename T>
   std::optional<T> try_recv(int source = kAnySource, int tag = kAnyTag,
                             Status* status = nullptr) const {
     check_source(source, "try_recv");
-    auto e = my_mailbox().try_receive(context_, source, tag);
-    if (!e) return std::nullopt;
-    finish_receive(*e, status);
-    return Codec<T>::decode(std::move(e->data));
+    for (;;) {
+      auto e = my_mailbox().try_receive(context_, source, tag);
+      if (!e) return std::nullopt;
+      if (!e->rts) {
+        finish_receive(*e, status);
+        return decode_counted<T>(std::move(e->data));
+      }
+      auto claimed = claim_rts(*e);
+      if (!claimed) continue;  // stale RTS: try the next queued message
+      finish_claim(*e, claimed->bytes, status);
+      return take_claimed<T>(std::move(*claimed));
+    }
   }
 
   /// Nonblocking probe for a matching queued message (MPI_Iprobe).
@@ -276,8 +395,9 @@ class Communicator {
     check_peer(root, "reduce_with_timeout");
     obs::SpanScope coll{obs::SpanKind::kCollective, "reduce-timeout", root};
     if (rank_ != root) {
-      deliver(root, Envelope{context_, rank_, internal_tag::kReduce,
-                             Codec<T>::encode(local)});
+      Payload bytes = Codec<T>::encode(local);
+      count_payload_copy(bytes.size());
+      send_payload(root, internal_tag::kReduce, std::move(bytes));
       return Partial<T>{local, {}};
     }
     const auto deadline = std::chrono::steady_clock::now() + timeout;
@@ -288,15 +408,15 @@ class Communicator {
       const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
           deadline - std::chrono::steady_clock::now());
       // Budget spent: fall through to a poll so an already-queued
-      // contribution still lands (receive_for treats <= 0 as poll-once).
-      auto e = my_mailbox().receive_for(
-          context_, r, internal_tag::kReduce,
+      // contribution still lands (recv_body_for treats <= 0 as poll-once).
+      auto bytes = recv_body_for(
+          r, internal_tag::kReduce,
           remaining.count() > 0 ? remaining : std::chrono::milliseconds(0));
-      if (!e) {
+      if (!bytes) {
         out.missing.push_back(r);
         continue;
       }
-      out.value = op.combine(out.value, Codec<T>::decode(std::move(e->data)));
+      out.value = op.combine(out.value, decode_counted<T>(std::move(*bytes)));
       obs::count(obs::Counter::kCombines);
     }
     return out;
@@ -316,20 +436,25 @@ class Communicator {
     Payload bytes;
     if (vr == 0) {
       bytes = Codec<T>::encode(value);
+      count_payload_copy(bytes.size());
     } else {
       // Receive from parent (clear lowest set bit), then forward to children.
       const int parent = ((vr & (vr - 1)) + root) % p;
-      bytes = std::move(coll_recv(parent, internal_tag::kBcast, "broadcast").data);
+      bytes = coll_recv_typed<Payload>(parent, internal_tag::kBcast, "broadcast");
     }
     for (int mask = next_pow2_at_least(p) >> 1; mask >= 1; mask >>= 1) {
       // Child exists iff mask is above vr's lowest set bit and in range.
       if ((vr & (mask - 1)) == 0 && (vr & mask) == 0 && vr + mask < p) {
-        deliver((vr + mask + root) % p,
-                Envelope{context_, rank_, internal_tag::kBcast, bytes});
+        // One copy per child (the buffer is reused across subtrees), then
+        // zero-copy transport: a large copy parks, a small one rides.
+        Payload forward = bytes;
+        count_payload_copy(forward.size());
+        send_payload((vr + mask + root) % p, internal_tag::kBcast,
+                     std::move(forward));
       }
     }
     if (vr == 0) return value;
-    return Codec<T>::decode(std::move(bytes));
+    return decode_counted<T>(std::move(bytes));
   }
 
   /// Flat (linear) broadcast — the O(p) strawman for the ablation bench.
@@ -339,15 +464,18 @@ class Communicator {
     if (rank_ == root) {
       // Encode once, copy bytes per destination.
       const Payload bytes = Codec<T>::encode(value);
+      count_payload_copy(bytes.size());
       for (int r = 0; r < size(); ++r) {
         if (r != root) {
-          deliver(r, Envelope{context_, rank_, internal_tag::kBcast, bytes});
+          Payload forward = bytes;
+          count_payload_copy(forward.size());
+          send_payload(r, internal_tag::kBcast, std::move(forward));
         }
       }
       return value;
     }
-    return Codec<T>::decode(
-        std::move(coll_recv(root, internal_tag::kBcast, "flat_broadcast").data));
+    return decode_counted<T>(
+        coll_recv_typed<Payload>(root, internal_tag::kBcast, "flat_broadcast"));
   }
 
   /// Binomial-tree reduction to \p root (MPI_Reduce): ceil(lg p) parallel
@@ -388,8 +516,9 @@ class Communicator {
   T flat_reduce(const T& local, const Op<T>& op, int root) const {
     check_peer(root, "flat_reduce");
     if (rank_ != root) {
-      deliver(root, Envelope{context_, rank_, internal_tag::kReduce,
-                             Codec<T>::encode(local)});
+      Payload bytes = Codec<T>::encode(local);
+      count_payload_copy(bytes.size());
+      send_payload(root, internal_tag::kReduce, std::move(bytes));
       return local;
     }
     T acc = local;
@@ -397,7 +526,7 @@ class Communicator {
     for (int r = 0; r < size(); ++r) {
       if (r == root) continue;
       acc = op.combine(
-          acc, Codec<T>::decode(coll_recv(r, internal_tag::kReduce, "flat_reduce").data));
+          acc, coll_recv_typed<T>(r, internal_tag::kReduce, "flat_reduce"));
     }
     return acc;
   }
@@ -425,32 +554,29 @@ class Communicator {
 
     if (rank_ >= pow2) {
       // Send my value down to rank_ - pow2, then wait for the result.
-      deliver(rank_ - pow2, Envelope{context_, rank_, internal_tag::kReduce,
-                                     Codec<T>::encode(local)});
-      return Codec<T>::decode(
-          coll_recv(rank_ - pow2, internal_tag::kBcast, "butterfly_allreduce").data);
+      send_encoded(rank_ - pow2, internal_tag::kReduce, local);
+      return coll_recv_typed<T>(rank_ - pow2, internal_tag::kBcast,
+                                "butterfly_allreduce");
     }
     if (rank_ < extra) {
-      T incoming = Codec<T>::decode(
-          coll_recv(rank_ + pow2, internal_tag::kReduce, "butterfly_allreduce").data);
+      T incoming = coll_recv_typed<T>(rank_ + pow2, internal_tag::kReduce,
+                                      "butterfly_allreduce");
       local = op.combine(local, incoming);
     }
 
     // Butterfly rounds among the first pow2 ranks.
     for (int mask = 1; mask < pow2; mask <<= 1) {
       const int partner = rank_ ^ mask;
-      deliver(partner, Envelope{context_, rank_, internal_tag::kReduce,
-                                Codec<T>::encode(local)});
-      T incoming = Codec<T>::decode(
-          coll_recv(partner, internal_tag::kReduce, "butterfly_allreduce").data);
+      send_encoded(partner, internal_tag::kReduce, local);
+      T incoming = coll_recv_typed<T>(partner, internal_tag::kReduce,
+                                      "butterfly_allreduce");
       // Combine in a rank-symmetric order so both partners agree.
       local = (rank_ < partner) ? op.combine(local, incoming)
                                 : op.combine(incoming, local);
     }
 
     if (rank_ < extra) {
-      deliver(rank_ + pow2, Envelope{context_, rank_, internal_tag::kBcast,
-                                     Codec<T>::encode(local)});
+      send_encoded(rank_ + pow2, internal_tag::kBcast, local);
     }
     return local;
   }
@@ -460,13 +586,11 @@ class Communicator {
   T scan(const T& local, const Op<T>& op) const {
     T acc = local;
     if (rank_ > 0) {
-      T prefix =
-          Codec<T>::decode(coll_recv(rank_ - 1, internal_tag::kScan, "scan").data);
+      T prefix = coll_recv_typed<T>(rank_ - 1, internal_tag::kScan, "scan");
       acc = op.combine(prefix, local);
     }
     if (rank_ + 1 < size()) {
-      deliver(rank_ + 1, Envelope{context_, rank_, internal_tag::kScan,
-                                  Codec<T>::encode(acc)});
+      send_encoded(rank_ + 1, internal_tag::kScan, acc);
     }
     return acc;
   }
@@ -478,11 +602,10 @@ class Communicator {
     T inclusive = scan(local, op);
     // Shift right by one via a ring step.
     if (rank_ + 1 < size()) {
-      deliver(rank_ + 1, Envelope{context_, rank_, internal_tag::kScan,
-                                  Codec<T>::encode(inclusive)});
+      send_encoded(rank_ + 1, internal_tag::kScan, inclusive);
     }
     if (rank_ == 0) return op.identity;
-    return Codec<T>::decode(coll_recv(rank_ - 1, internal_tag::kScan, "exscan").data);
+    return coll_recv_typed<T>(rank_ - 1, internal_tag::kScan, "exscan");
   }
 
   /// MPI_Scatter: the root splits \p all into size() equal chunks of
@@ -502,14 +625,15 @@ class Communicator {
         if (r == root) {
           mine = std::move(piece);
         } else {
-          deliver(r, Envelope{context_, rank_, internal_tag::kScatter,
-                              Codec<std::vector<T>>::encode(piece)});
+          // The slice copy above is the only copy: the piece itself is
+          // parked (large) or encoded into the envelope (small).
+          send_owned(r, internal_tag::kScatter, std::move(piece));
         }
       }
       return mine;
     }
-    return Codec<std::vector<T>>::decode(
-        coll_recv(root, internal_tag::kScatter, "scatter").data);
+    return coll_recv_typed<std::vector<T>>(root, internal_tag::kScatter,
+                                           "scatter");
   }
 
   /// MPI_Gather/MPI_Gatherv: the root returns every rank's vector
@@ -519,8 +643,7 @@ class Communicator {
   std::vector<T> gather(const std::vector<T>& mine, int root) const {
     check_peer(root, "gather");
     if (rank_ != root) {
-      deliver(root, Envelope{context_, rank_, internal_tag::kGather,
-                             Codec<std::vector<T>>::encode(mine)});
+      send_encoded(root, internal_tag::kGather, mine);
       return {};
     }
     std::vector<T> all;
@@ -528,11 +651,51 @@ class Communicator {
       if (r == root) {
         all.insert(all.end(), mine.begin(), mine.end());
       } else {
-        auto piece = Codec<std::vector<T>>::decode(
-            coll_recv(r, internal_tag::kGather, "gather").data);
+        auto piece = coll_recv_typed<std::vector<T>>(r, internal_tag::kGather,
+                                                     "gather");
         all.insert(all.end(), piece.begin(), piece.end());
       }
     }
+    return all;
+  }
+
+  /// MPI_Gatherv by ownership transfer: each rank *moves* its contribution
+  /// in, so a large vector travels through the rendezvous with zero
+  /// intermediate copies (only the root's final concatenation copies, per
+  /// unsafe_mpi's gatherv). The root returns every contribution in rank
+  /// order; when \p counts is non-null it receives the per-rank element
+  /// counts (the displacement vector's building block). Non-root ranks
+  /// return an empty vector and leave \p counts untouched.
+  template <typename T>
+  std::vector<T> gatherv(std::vector<T> mine, int root,
+                         std::vector<std::size_t>* counts = nullptr) const {
+    check_peer(root, "gatherv");
+    obs::SpanScope coll{obs::SpanKind::kCollective, "gatherv", root};
+    if (rank_ != root) {
+      send_owned(root, internal_tag::kGather, std::move(mine));
+      return {};
+    }
+    if (counts != nullptr) counts->assign(static_cast<std::size_t>(size()), 0);
+    std::vector<T> all;
+    for (int r = 0; r < size(); ++r) {
+      std::vector<T> piece =
+          (r == root) ? std::move(mine)
+                      : coll_recv_typed<std::vector<T>>(r, internal_tag::kGather,
+                                                        "gatherv");
+      if (counts != nullptr) (*counts)[static_cast<std::size_t>(r)] = piece.size();
+      all.insert(all.end(), piece.begin(), piece.end());
+    }
+    return all;
+  }
+
+  /// MPI_Allgatherv: gatherv to rank 0, then broadcast the concatenation
+  /// (and the counts, when requested) to every rank.
+  template <typename T>
+  std::vector<T> allgatherv(std::vector<T> mine,
+                            std::vector<std::size_t>* counts = nullptr) const {
+    std::vector<T> all = gatherv(std::move(mine), 0, counts);
+    all = broadcast(std::move(all), 0);
+    if (counts != nullptr) *counts = broadcast(std::move(*counts), 0);
     return all;
   }
 
@@ -558,30 +721,31 @@ class Communicator {
     }
     for (int r = 0; r < size(); ++r) {
       if (r == rank_) continue;
-      deliver(r, Envelope{context_, rank_, internal_tag::kAlltoall,
-                          Codec<std::vector<T>>::encode(per_dest[static_cast<std::size_t>(r)])});
+      send_encoded(r, internal_tag::kAlltoall,
+                   per_dest[static_cast<std::size_t>(r)]);
     }
     std::vector<std::vector<T>> in(static_cast<std::size_t>(size()));
     in[static_cast<std::size_t>(rank_)] = per_dest[static_cast<std::size_t>(rank_)];
     for (int r = 0; r < size(); ++r) {
       if (r == rank_) continue;
-      in[static_cast<std::size_t>(r)] = Codec<std::vector<T>>::decode(
-          coll_recv(r, internal_tag::kAlltoall, "alltoall").data);
+      in[static_cast<std::size_t>(r)] = coll_recv_typed<std::vector<T>>(
+          r, internal_tag::kAlltoall, "alltoall");
     }
     return in;
   }
 
   /// Pre-serialized alltoall: each outgoing Payload travels as-is (identity
-  /// codec), *moved* into its envelope and moved back out on receive — no
-  /// re-encode anywhere. This is the mapreduce shuffle path.
+  /// codec), *moved* into its envelope (small) or parked whole (large) and
+  /// moved back out on receive — no copy anywhere. This is the mapreduce
+  /// shuffle path, now zero-copy for spill-sized partitions.
   std::vector<Payload> alltoall(std::vector<Payload> per_dest) const {
     if (per_dest.size() != static_cast<std::size_t>(size())) {
       throw UsageError("alltoall: need exactly size() outgoing buffers");
     }
     for (int r = 0; r < size(); ++r) {
       if (r == rank_) continue;
-      deliver(r, Envelope{context_, rank_, internal_tag::kAlltoall,
-                          std::move(per_dest[static_cast<std::size_t>(r)])});
+      send_payload(r, internal_tag::kAlltoall,
+                   std::move(per_dest[static_cast<std::size_t>(r)]));
     }
     std::vector<Payload> in(static_cast<std::size_t>(size()));
     in[static_cast<std::size_t>(rank_)] =
@@ -589,7 +753,7 @@ class Communicator {
     for (int r = 0; r < size(); ++r) {
       if (r == rank_) continue;
       in[static_cast<std::size_t>(r)] =
-          coll_recv(r, internal_tag::kAlltoall, "alltoall").data;
+          coll_recv_typed<Payload>(r, internal_tag::kAlltoall, "alltoall");
     }
     return in;
   }
@@ -630,6 +794,140 @@ class Communicator {
     if (e.wants_ack) state_->acknowledge(e.ack_id);
   }
 
+  /// finish_receive for a claimed rendezvous body: Status reports the
+  /// parked buffer's size, and the ack (ssend/send_with_retry) fires now —
+  /// the claim is the moment the message counts as matched.
+  void finish_claim(const Envelope& e, std::size_t body_bytes, Status* status) const {
+    if (status != nullptr) *status = Status{e.source, e.tag, body_bytes};
+    if (e.wants_ack) state_->acknowledge(e.ack_id);
+  }
+
+  /// \name Eager/rendezvous transport plumbing
+  /// The copy accounting contract: every payload-plane memcpy of a body
+  /// larger than Payload::kInlineBytes — encode, decode, forward, or
+  /// claim-fallback — passes through count_payload_copy, so
+  /// obs::Counter::kPayloadBytesCopied == 0 is a machine-checked statement
+  /// that a transfer was zero-copy.
+  /// @{
+
+  /// Counts one payload-plane copy of \p bytes (spilled bodies only; the
+  /// 64-byte inline class is a register-sized move, not a data-plane copy).
+  static void count_payload_copy(std::size_t bytes) {
+    if (bytes > Payload::kInlineBytes) {
+      obs::count(obs::Counter::kPayloadBytesCopied, bytes);
+    }
+  }
+
+  /// Codec decode with copy accounting. Decoding into Payload is an
+  /// identity move and counts nothing.
+  template <typename T>
+  static T decode_counted(Payload&& bytes) {
+    if constexpr (!std::is_same_v<T, Payload>) {
+      count_payload_copy(bytes.size());
+    }
+    return Codec<T>::decode(std::move(bytes));
+  }
+
+  /// Routes an already-encoded body: eager at or below the threshold,
+  /// park + RTS above it. \p ack_id != 0 requests a receiver ack
+  /// (ssend); for a rendezvous body the ack fires at claim time.
+  void send_payload(int dest, int tag, Payload&& bytes,
+                    std::uint64_t ack_id = 0) const;
+
+  /// Parks \p parked under a fresh ticket and deposits its RTS envelope.
+  void send_rts(int dest, int tag, RendezvousTable::Parked&& parked,
+                std::uint64_t ack_id = 0) const;
+
+  /// Resolves a matched RTS envelope to its parked body. Empty means the
+  /// RTS was stale (duplicated or withdrawn) — the caller keeps waiting.
+  std::optional<RendezvousTable::Parked> claim_rts(const Envelope& e) const;
+
+  /// receive_for + rendezvous resolution: skips stale RTS envelopes
+  /// within the same deadline; nullopt on timeout. Used by the bounded
+  /// collectives (barrier_for, reduce_with_timeout).
+  std::optional<Payload> recv_body_for(int source, int tag,
+                                       std::chrono::milliseconds timeout) const;
+
+  /// Envelope-to-body resolution for cpp-side callers: acks, claims, and
+  /// returns the raw bytes (empty for a stale RTS).
+  std::optional<Payload> resolve_payload(Envelope&& e) const;
+
+  /// Encode + copy-accounting + routed send: the one-liner the collective
+  /// algorithms use for their typed hops.
+  template <typename V>
+  void send_encoded(int dest, int tag, const V& value) const {
+    Payload bytes = Codec<V>::encode(value);
+    count_payload_copy(bytes.size());
+    send_payload(dest, tag, std::move(bytes));
+  }
+
+  /// Ownership-transfer send for a contiguous container (std::vector<T>,
+  /// std::string): small bodies encode eagerly; above the threshold the
+  /// container itself is parked and its heap buffer becomes the message
+  /// body — zero copies.
+  template <typename V>
+  void send_owned(int dest, int tag, V&& container) const {
+    using Box = std::remove_reference_t<V>;
+    const std::size_t nbytes = byte_size(container);
+    if (nbytes <= state_->eager_bytes) {
+      Payload bytes = Codec<Box>::encode(container);
+      count_payload_copy(bytes.size());
+      send_payload(dest, tag, std::move(bytes));
+      return;
+    }
+    RendezvousTable::Parked parked;
+    parked.storage.emplace<Box>(std::move(container));
+    // The view must come from the box *inside* the std::any: the any holds
+    // its large object on the heap, so the container's data() pointer is
+    // stable across every later move of Parked.
+    auto& held = *std::any_cast<Box>(&parked.storage);
+    parked.data = reinterpret_cast<const std::byte*>(held.data());
+    parked.bytes = nbytes;
+    send_rts(dest, tag, std::move(parked));
+  }
+
+  /// Moves a claimed body out as T: same-type claims transfer the buffer
+  /// (zero-copy); a Payload park decodes with one copy; a mismatched
+  /// typed park materializes the raw bytes first (two copies — the slow
+  /// path a type-punning receiver pays).
+  template <typename T>
+  static T take_claimed(RendezvousTable::Parked&& parked) {
+    if (T* held = std::any_cast<T>(&parked.storage)) return std::move(*held);
+    if constexpr (!std::is_same_v<T, Payload>) {
+      if (Payload* bytes = std::any_cast<Payload>(&parked.storage)) {
+        return decode_counted<T>(std::move(*bytes));
+      }
+    }
+    Payload copy;
+    copy.append(parked.data, parked.bytes);
+    count_payload_copy(copy.size());
+    return decode_counted<T>(std::move(copy));
+  }
+
+  static std::size_t byte_size(const std::string& s) noexcept { return s.size(); }
+  template <typename T>
+  static std::size_t byte_size(const std::vector<T>& v) noexcept {
+    return v.size() * sizeof(T);
+  }
+
+  /// coll_recv + rendezvous resolution, decoded as T (zero-copy for
+  /// same-type claims). Stale RTS envelopes are skipped.
+  template <typename T>
+  T coll_recv_typed(int source, int tag, const char* what) const {
+    for (;;) {
+      Envelope e = coll_recv(source, tag, what);
+      if (!e.rts) {
+        if (e.wants_ack) state_->acknowledge(e.ack_id);
+        return decode_counted<T>(std::move(e.data));
+      }
+      auto claimed = claim_rts(e);
+      if (!claimed) continue;  // stale RTS: keep waiting
+      if (e.wants_ack) state_->acknowledge(e.ack_id);
+      return take_claimed<T>(std::move(*claimed));
+    }
+  }
+  /// @}
+
   void check_peer(int r, const char* what) const;
   void check_source(int r, const char* what) const;
   static void check_tag(int tag);
@@ -655,14 +953,13 @@ class Communicator {
     for (int mask = 1; mask < p; mask <<= 1, ++round) {
       if ((vr & mask) != 0) {
         const int parent = ((vr - mask) + root) % p;
-        deliver(parent, Envelope{context_, rank_, internal_tag::kReduce,
-                                 Codec<V>::encode(local)});
+        send_encoded(parent, internal_tag::kReduce, local);
         break;  // sent our subtree's partial upward; done
       }
       if (vr + mask < p) {
         const int child = ((vr + mask) + root) % p;
-        V incoming = Codec<V>::decode(
-            coll_recv(child, internal_tag::kReduce, "reduce").data);
+        V incoming =
+            coll_recv_typed<V>(child, internal_tag::kReduce, "reduce");
         merge(local, incoming);
         obs::count(obs::Counter::kCombines);
         if (trace != nullptr) trace->record(rank_, "combine", round, child);

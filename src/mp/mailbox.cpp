@@ -51,7 +51,7 @@ void Mailbox::deposit(Envelope e) {
     std::lock_guard lock(mu_);
     e.seq = arrival_seq_++;
     have_hook = static_cast<bool>(delivered_);
-    if (have_hook) info = DeliveryInfo{e.source, e.tag, e.context, e.data.size()};
+    if (have_hook) info = DeliveryInfo{e.source, e.tag, e.context, e.body_bytes()};
     // A matching posted receive is waiting iff no buffered message could
     // have satisfied it (checked when it posted, under this same lock), so
     // handing the envelope over directly cannot overtake anything. First
@@ -316,7 +316,9 @@ std::optional<Status> Mailbox::probe(int context, int source, int tag) const {
   auto* self = const_cast<Mailbox*>(this);
   if (std::deque<Envelope>* bucket = self->find_locked(context, source, tag)) {
     const Envelope& e = bucket->front();
-    return Status{e.source, e.tag, e.data.size()};
+    // body_bytes, not data.size(): an RTS envelope's payload is only the
+    // rendezvous handle, but the receiver will get the parked body.
+    return Status{e.source, e.tag, e.body_bytes()};
   }
   return std::nullopt;
 }

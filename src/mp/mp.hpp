@@ -11,6 +11,7 @@
 #include "mp/message.hpp"       // IWYU pragma: export
 #include "mp/op.hpp"            // IWYU pragma: export
 #include "mp/payload.hpp"       // IWYU pragma: export
+#include "mp/rendezvous.hpp"    // IWYU pragma: export
 #include "mp/request.hpp"       // IWYU pragma: export
 #include "mp/runtime.hpp"       // IWYU pragma: export
 #include "mp/topology.hpp"      // IWYU pragma: export

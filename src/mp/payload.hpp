@@ -22,7 +22,9 @@
 /// to ship pre-serialized blobs such as the mapreduce shuffle).
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -123,7 +125,13 @@ class InlinePayload {
     data_[size_++] = b;
   }
 
-  void pop_back() noexcept { --size_; }
+  /// Removes the last byte; no-op when empty. Decoders walk payloads built
+  /// from arbitrary byte streams, so the empty case is tolerated (like
+  /// clear()) instead of inheriting std::vector's undefined behavior, which
+  /// here would wrap size_ to SIZE_MAX and poison every later append.
+  void pop_back() noexcept {
+    if (size_ > 0) --size_;
+  }
 
   /// Appends \p n raw bytes (the hot path of incremental encoders).
   void append(const void* bytes, std::size_t n) {
@@ -134,10 +142,21 @@ class InlinePayload {
 
   /// Byte-range insert, std::vector-compatible. Insertion anywhere is
   /// supported; appending at end() is the common case and costs one memcpy.
+  /// Inserting a range that points into this payload's own bytes is safe:
+  /// the source is detached first, because grow() would free it and the
+  /// tail memmove would shift it even when no reallocation happens.
   template <typename It>
   iterator insert(const_iterator pos, It first, It last) {
     const std::size_t at = static_cast<std::size_t>(pos - data_);
     const std::size_t n = static_cast<std::size_t>(std::distance(first, last));
+    if (n != 0 && overlaps_self(first, last)) {
+      InlinePayload detached;
+      detached.reserve(n);
+      for (It it = first; it != last; ++it) {
+        detached.push_back(static_cast<std::byte>(*it));
+      }
+      return insert(data_ + at, detached.cbegin(), detached.cend());
+    }
     if (size_ + n > cap_) grow(size_ + n);
     if (at < size_) std::memmove(data_ + at + n, data_ + at, size_ - at);
     std::byte* out = data_ + at;
@@ -155,6 +174,23 @@ class InlinePayload {
   }
 
  private:
+  /// True when [first, last) points into this payload's live bytes. Only
+  /// pointer-shaped iterators can alias the buffer; anything else (list
+  /// iterators, transform iterators) reads foreign storage by construction.
+  template <typename It>
+  bool overlaps_self(It first, It last) const noexcept {
+    if constexpr (std::is_pointer_v<It>) {
+      const auto* lo = reinterpret_cast<const std::byte*>(first);
+      const auto* hi = reinterpret_cast<const std::byte*>(last);
+      const std::less<const std::byte*> lt;  // total order for foreign ptrs
+      return lt(lo, data_ + size_) && lt(data_, hi);
+    } else {
+      (void)first;
+      (void)last;
+      return false;
+    }
+  }
+
   void assign(const std::byte* bytes, std::size_t n) {
     if (n > cap_) grow_discard(n);
     std::memcpy(data_, bytes, n);
@@ -285,10 +321,28 @@ struct Codec<Payload, void> {
 };
 
 /// Number of T elements a payload holds (the MPI_Get_count analogue).
+/// Throws RuntimeFault when the payload size is not a whole number of
+/// elements — the same contract as Codec<std::vector<T>>::decode, so a
+/// count that element_count reports is always a count decode can deliver.
 template <typename T>
 std::size_t element_count(const Payload& bytes) {
   static_assert(std::is_trivially_copyable_v<T>);
+  if (bytes.size() % sizeof(T) != 0) {
+    throw RuntimeFault("payload size " + std::to_string(bytes.size()) +
+                       " is not a multiple of element size " +
+                       std::to_string(sizeof(T)));
+  }
   return bytes.size() / sizeof(T);
 }
+
+/// The body of a ready-to-send (RTS) control envelope: a claim ticket for a
+/// buffer parked in the job's rendezvous table, plus the parked byte count
+/// so probe()/Status report the true body size without claiming it.
+/// Trivially copyable — rides the scalar Codec unchanged. The protocol
+/// lives in mp/rendezvous.hpp.
+struct RendezvousHandle {
+  std::uint64_t ticket = 0;  ///< Rendezvous table claim ticket.
+  std::uint64_t bytes = 0;   ///< Size of the parked body in bytes.
+};
 
 }  // namespace pml::mp

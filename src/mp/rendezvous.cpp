@@ -1,0 +1,38 @@
+#include "mp/rendezvous.hpp"
+
+#include <utility>
+
+namespace pml::mp {
+
+std::uint64_t RendezvousTable::park(Parked body) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t ticket = next_ticket_++;
+  parked_.emplace(ticket, std::move(body));
+  return ticket;
+}
+
+std::optional<RendezvousTable::Parked> RendezvousTable::claim(
+    std::uint64_t ticket) {
+  std::lock_guard lock(mu_);
+  auto it = parked_.find(ticket);
+  if (it == parked_.end()) return std::nullopt;
+  Parked body = std::move(it->second);
+  parked_.erase(it);
+  return body;
+}
+
+std::vector<RendezvousTable::Parked> RendezvousTable::drain() {
+  std::lock_guard lock(mu_);
+  std::vector<Parked> stalled;
+  stalled.reserve(parked_.size());
+  for (auto& [ticket, body] : parked_) stalled.push_back(std::move(body));
+  parked_.clear();
+  return stalled;
+}
+
+std::size_t RendezvousTable::parked() const {
+  std::lock_guard lock(mu_);
+  return parked_.size();
+}
+
+}  // namespace pml::mp

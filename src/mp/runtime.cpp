@@ -69,6 +69,13 @@ void run(int nprocs, const std::function<void(Communicator&)>& program,
       state->collective_timeout = std::chrono::milliseconds(std::atol(env));
     }
   }
+  if (options.eager_bytes.has_value()) {
+    state->eager_bytes = *options.eager_bytes;
+  } else if (const char* env = std::getenv("PML_MP_EAGER_BYTES")) {
+    // strtoull, not atol: the threshold is a size, and an explicit "0"
+    // (route every non-empty body through the rendezvous) is meaningful.
+    state->eager_bytes = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
 
   // Bind an active fault plan to this job's topology: node names in the
   // spec resolve against the cluster (a bad name throws UsageError here,
@@ -208,6 +215,19 @@ void run(int nprocs, const std::function<void(Communicator&)>& program,
       for (const Envelope& e :
            state->mailboxes[static_cast<std::size_t>(dest)]->snapshot()) {
         analyze::on_mp_leftover(dest, e.source, e.tag, e.context);
+      }
+    }
+  }
+
+  // Drain the rendezvous table: a body parked for an RTS that was dropped
+  // (or never received) must not outlive the job. Freeing happens here by
+  // construction — `stalled` owns the buffers — and the comm lint names
+  // each stall so `--analyze --fault` explains the recovery toggle.
+  {
+    const auto stalled = state->rendezvous.drain();
+    if (analyze::active()) {
+      for (const auto& p : stalled) {
+        analyze::on_mp_rdv_stalled(p.sender, p.dest, p.tag, p.context, p.bytes);
       }
     }
   }

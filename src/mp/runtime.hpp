@@ -18,11 +18,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "core/trace.hpp"
 #include "mp/cluster.hpp"
 #include "mp/mailbox.hpp"
+#include "mp/rendezvous.hpp"
 #include "thread/condvar.hpp"
 
 namespace pml::mp {
@@ -62,6 +64,16 @@ struct RuntimeState {
   /// PML_MP_COLLECTIVE_TIMEOUT_MS environment variable by run().
   std::chrono::milliseconds collective_timeout{0};
 
+  /// Eager/rendezvous threshold: encoded bodies over this many bytes move
+  /// by ownership transfer through the rendezvous table instead of riding
+  /// their envelope. Resolved from RunOptions::eager_bytes or the
+  /// PML_MP_EAGER_BYTES environment variable by run().
+  std::size_t eager_bytes = kDefaultEagerBytes;
+
+  /// Parked large-message buffers awaiting claim (ownership transfer).
+  /// Drained at finalize so a lost RTS can never leak its body.
+  RendezvousTable rendezvous;
+
   std::shared_ptr<pml::thread::Event> register_ack(std::uint64_t id);
   void acknowledge(std::uint64_t id);
   /// Withdraws a pending ack registration (a retrying sender gave up on
@@ -90,6 +102,15 @@ struct RunOptions {
   /// PML_MP_COLLECTIVE_TIMEOUT_MS environment variable supplies a value
   /// when this is zero.
   std::chrono::milliseconds collective_timeout{0};
+
+  /// Eager/rendezvous threshold in bytes: typed bodies whose encoding is
+  /// larger than this are parked in the rendezvous table and claimed by
+  /// the receiver pointer-for-pointer (zero intermediate copies) instead
+  /// of travelling inside the envelope. Unset (the default) defers to the
+  /// PML_MP_EAGER_BYTES environment variable, then to kDefaultEagerBytes
+  /// (8 KiB). Zero routes every non-empty body through the rendezvous;
+  /// SIZE_MAX forces the pure eager path (the copy-cost ablation).
+  std::optional<std::size_t> eager_bytes{};
 
   /// Optional message trace: every delivered envelope is recorded as
   /// (task = source rank, kind = "message", key = destination rank,

@@ -14,6 +14,7 @@ const char* to_string(SpanKind k) noexcept {
     case SpanKind::kSend: return "send-wait";
     case SpanKind::kRecv: return "recv-wait";
     case SpanKind::kCollective: return "collective";
+    case SpanKind::kRendezvous: return "rendezvous";
   }
   return "?";
 }
@@ -32,6 +33,10 @@ const char* to_string(Counter c) noexcept {
     case Counter::kFaultDelayed: return "fault-delayed";
     case Counter::kFaultDuplicated: return "fault-duplicated";
     case Counter::kRetryAttempts: return "retry-attempts";
+    case Counter::kRdvParked: return "rdv-parked";
+    case Counter::kRdvBytes: return "rdv-bytes";
+    case Counter::kRdvStale: return "rdv-stale";
+    case Counter::kPayloadBytesCopied: return "payload-copied-bytes";
   }
   return "?";
 }
@@ -98,6 +103,26 @@ std::string Profile::table() const {
         pretty_ns(m.ns(SpanKind::kRecv)).c_str());
     out += row;
   }
+  // Counters without a fixed column (fault injection, retries, rendezvous,
+  // copy accounting) appear as one whole-run totals line when nonzero, so
+  // quiet runs stay a clean table.
+  static constexpr Counter kExtras[] = {
+      Counter::kSteals,          Counter::kAtomicUpdates,
+      Counter::kFaultDropped,    Counter::kFaultDelayed,
+      Counter::kFaultDuplicated, Counter::kRetryAttempts,
+      Counter::kRdvParked,       Counter::kRdvBytes,
+      Counter::kRdvStale,        Counter::kPayloadBytesCopied,
+  };
+  std::string extras;
+  for (const Counter c : kExtras) {
+    std::uint64_t sum = 0;
+    for (const auto& [task, m] : tasks) sum += m.value(c);
+    if (sum == 0) continue;
+    std::snprintf(row, sizeof(row), "%s%s %llu", extras.empty() ? "" : "  ",
+                  to_string(c), static_cast<unsigned long long>(sum));
+    extras += row;
+  }
+  if (!extras.empty()) out += "  counters: " + extras + "\n";
   return out;
 }
 

@@ -28,10 +28,11 @@ enum class SpanKind : std::uint8_t {
   kSend,        ///< Blocking (synchronous) send wait.
   kRecv,        ///< Blocking receive wait.
   kCollective,  ///< A collective call (barrier, broadcast, reduce, ...).
+  kRendezvous,  ///< Large-message park (sender) or claim (receiver).
 };
 
 /// Number of distinct SpanKind values (array sizing).
-inline constexpr int kSpanKinds = 8;
+inline constexpr int kSpanKinds = 9;
 
 /// Printable name ("region", "chunk", "barrier-wait", ...).
 const char* to_string(SpanKind k) noexcept;
@@ -50,10 +51,14 @@ enum class Counter : std::uint8_t {
   kFaultDelayed,       ///< Messages pml::fault held back (delay/slow node).
   kFaultDuplicated,    ///< Messages pml::fault deposited twice.
   kRetryAttempts,      ///< send_with_retry resends + recv_retry re-waits.
+  kRdvParked,          ///< Large bodies parked in the rendezvous table.
+  kRdvBytes,           ///< Bytes claimed pointer-for-pointer (zero-copy).
+  kRdvStale,           ///< Stale RTS envelopes skipped (dup/withdrawn).
+  kPayloadBytesCopied, ///< Spilled-body bytes memcpy'd on the payload plane.
 };
 
 /// Number of distinct Counter values (array sizing).
-inline constexpr int kCounterKinds = 12;
+inline constexpr int kCounterKinds = 16;
 
 /// Printable name ("chunks", "steals", "combines", ...).
 const char* to_string(Counter c) noexcept;

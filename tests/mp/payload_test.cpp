@@ -69,6 +69,15 @@ TEST(Codec, ElementCount) {
   EXPECT_EQ(element_count<std::int64_t>(Payload(16)), 2u);
 }
 
+TEST(Codec, ElementCountThrowsOnRaggedSize) {
+  // Same contract as Codec<std::vector<T>>::decode: a payload that is not
+  // a whole number of elements is an error, not a silent truncation.
+  const Payload ragged(10);  // 10 % 8 != 0
+  EXPECT_THROW(element_count<std::int64_t>(ragged), RuntimeFault);
+  EXPECT_THROW(Codec<std::vector<std::int64_t>>::decode(ragged), RuntimeFault);
+  EXPECT_EQ(element_count<std::uint8_t>(ragged), 10u);  // bytes always divide
+}
+
 TEST(Codec, PayloadIdentityRoundTrip) {
   Payload p;
   const char msg[] = "pre-serialized blob";
@@ -169,6 +178,105 @@ TEST(InlinePayloadSbo, InsertMatchesVectorSemantics) {
   EXPECT_EQ(p.data()[0], static_cast<std::byte>(1));
   EXPECT_EQ(p.data()[1], static_cast<std::byte>(2));
   EXPECT_EQ(p.data()[2], static_cast<std::byte>(0x5A));
+}
+
+TEST(InlinePayloadSbo, PopBackRemovesLastAndToleratesEmpty) {
+  Payload p = filled(3);
+  p.pop_back();
+  EXPECT_EQ(p, filled(2));
+  p.pop_back();
+  p.pop_back();
+  EXPECT_TRUE(p.empty());
+  // The regression: pop_back on empty used to wrap size_ to SIZE_MAX,
+  // poisoning every later append. It must stay a no-op.
+  p.pop_back();
+  EXPECT_TRUE(p.empty());
+  p.push_back(static_cast<std::byte>(7));
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.data()[0], static_cast<std::byte>(7));
+}
+
+// Copy/move construction and assignment across all four (inline, spilled)
+// source/target pairs. The spilled->inline assignments exercise assign()'s
+// grow_discard path; inline->spilled must not leak the old heap buffer
+// (ASan would catch it).
+TEST(InlinePayloadSbo, CopyAssignAcrossAllStorageQuadrants) {
+  const std::size_t kInline = 16;
+  const std::size_t kSpill = InlinePayload::kInlineBytes + 40;
+  for (std::size_t src_n : {kInline, kSpill}) {
+    for (std::size_t dst_n : {kInline, kSpill}) {
+      const Payload src = filled(src_n);
+      Payload dst = filled(dst_n);
+      dst = src;
+      EXPECT_EQ(dst, src);
+      // A spilled target keeps its heap capacity (like std::vector), so
+      // only the reverse implication holds: a big body forces a spill.
+      if (src_n > InlinePayload::kInlineBytes) EXPECT_TRUE(dst.spilled());
+
+      Payload ctor_copy = src;
+      EXPECT_EQ(ctor_copy, src);
+
+      Payload move_src = filled(src_n);
+      Payload move_dst = filled(dst_n);
+      move_dst = std::move(move_src);
+      EXPECT_EQ(move_dst, src);
+      Payload move_ctor = filled(src_n);
+      Payload moved(std::move(move_ctor));
+      EXPECT_EQ(moved, src);
+    }
+  }
+}
+
+TEST(InlinePayloadSbo, AssignIntoSmallerSpilledBuffer) {
+  // Target is spilled but with less capacity than the source needs:
+  // assign() must take the grow_discard path and still end up exact.
+  Payload dst = filled(InlinePayload::kInlineBytes + 1);  // small spill
+  ASSERT_TRUE(dst.spilled());
+  const Payload src = filled(4 * InlinePayload::kInlineBytes);
+  ASSERT_GT(src.size(), dst.capacity());
+  dst = src;
+  EXPECT_EQ(dst, src);
+}
+
+TEST(InlinePayloadSbo, SelfInsertAtInlineCapacityBoundary) {
+  // Self-append of the whole buffer exactly at the inline boundary: the
+  // grow() inside insert used to free (or shift) the source range before
+  // reading it — a use-after-free ASan flags. After the fix the source is
+  // detached first.
+  Payload p = filled(InlinePayload::kInlineBytes);  // inline, at capacity
+  ASSERT_FALSE(p.spilled());
+  p.insert(p.end(), p.begin(), p.end());
+  ASSERT_EQ(p.size(), 2 * InlinePayload::kInlineBytes);
+  EXPECT_TRUE(p.spilled());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(p.data()[i],
+              static_cast<std::byte>(i % InlinePayload::kInlineBytes));
+  }
+}
+
+TEST(InlinePayloadSbo, SelfInsertSpilledWithReallocation) {
+  const std::size_t n = 3 * InlinePayload::kInlineBytes;
+  Payload p = filled(n);
+  ASSERT_TRUE(p.spilled());
+  p.reserve(p.size());  // any growth below must reallocate
+  p.insert(p.end(), p.begin(), p.end());
+  ASSERT_EQ(p.size(), 2 * n);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(p.data()[i], static_cast<std::byte>((i % n) & 0xFF));
+  }
+}
+
+TEST(InlinePayloadSbo, SelfInsertTailIntoMiddleWithoutGrowth) {
+  // No reallocation, but the tail memmove shifts the source range before
+  // the old copy loop read it — corruption even without a grow(). Insert
+  // the last two bytes into the middle and check against std::vector.
+  Payload p = filled(8);
+  p.reserve(64);
+  std::vector<std::byte> v(p.begin(), p.end());
+  p.insert(p.begin() + 4, p.end() - 2, p.end());
+  v.insert(v.begin() + 4, {v[6], v[7]});
+  ASSERT_EQ(p.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(p.data()[i], v[i]);
 }
 
 TEST(InlinePayloadSbo, ResizeClearAndEquality) {
