@@ -1,0 +1,126 @@
+/// \file micro_verify.cpp
+/// \brief google-benchmark microbenchmarks of the pml::verify model
+/// checker: exploration throughput (executions/sec over a small racy and a
+/// small clean body), counterexample replay latency, and the cooperative
+/// scheduler's raw decision rate. Not part of the gated baseline — run it
+/// to size --verify-budget for a classroom machine: a budget of B costs
+/// roughly B / (executions/sec) wall-clock seconds.
+
+#include <benchmark/benchmark.h>
+
+#include "smp/sync.hpp"
+#include "thread/mutex.hpp"
+#include "thread/thread.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+using namespace pml;
+
+// The smallest body that still has a schedule space: two lanes, each a
+// torn read/write pair over one shared location.
+void racy_body() {
+  long shared = 0;
+  thread::fork_join(2, [&](int) {
+    const long v = smp::atomic_read(shared, "shared");
+    smp::atomic_write(shared, v + 1, "shared");
+  });
+}
+
+// Its protected sibling: same shape, race closed, so exploration must
+// enumerate the (smaller) space to quiescence instead of stopping early.
+void clean_body() {
+  long shared = 0;
+  thread::Mutex mu;
+  thread::fork_join(2, [&](int) {
+    thread::LockGuard guard(mu);
+    const long v = smp::atomic_read(shared, "shared");
+    smp::atomic_write(shared, v + 1, "shared");
+  });
+}
+
+verify::Options opts(verify::Mode mode, std::uint64_t budget) {
+  verify::Options o;
+  o.mode = mode;
+  o.max_executions = budget;
+  return o;
+}
+
+// Executions/sec while hunting: the explorer stops at the first violation,
+// so this measures find latency — spawn, serialize, analyze, diagnose.
+void BM_ExploreFindRace(benchmark::State& state) {
+  const auto mode =
+      state.range(0) == 0 ? verify::Mode::kDpor : verify::Mode::kChess;
+  std::uint64_t executions = 0;
+  for (auto _ : state) {
+    const verify::Result r = explore(racy_body, opts(mode, 50));
+    executions += r.executions;
+    benchmark::DoNotOptimize(r.found);
+  }
+  state.counters["executions/s"] = benchmark::Counter(
+      static_cast<double>(executions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExploreFindRace)->Arg(0)->Arg(1)->ArgName("chess");
+
+// Executions/sec to quiescence: the explorer drains the whole bounded
+// space — the steady-state cost a clean-catalog sweep pays per patternlet.
+void BM_ExploreQuiesceClean(benchmark::State& state) {
+  const auto mode =
+      state.range(0) == 0 ? verify::Mode::kDpor : verify::Mode::kChess;
+  std::uint64_t executions = 0;
+  for (auto _ : state) {
+    const verify::Result r = explore(clean_body, opts(mode, 200));
+    executions += r.executions;
+    benchmark::DoNotOptimize(r.quiesced);
+  }
+  state.counters["executions/s"] = benchmark::Counter(
+      static_cast<double>(executions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExploreQuiesceClean)->Arg(0)->Arg(1)->ArgName("chess");
+
+// One forced re-execution of a found counterexample: what `--replay FILE`
+// costs a grader (minus process startup and file I/O).
+void BM_ReplayCounterexample(benchmark::State& state) {
+  const verify::Result found =
+      explore(racy_body, opts(verify::Mode::kDpor, 50));
+  if (!found.found) {
+    state.SkipWithError("exploration did not find the staged race");
+    return;
+  }
+  for (auto _ : state) {
+    const verify::Result r =
+        replay(racy_body, found.counterexample, opts(verify::Mode::kDpor, 1));
+    benchmark::DoNotOptimize(r.found);
+  }
+}
+BENCHMARK(BM_ReplayCounterexample);
+
+// Raw serialization overhead: decisions/sec through the cooperative
+// scheduler for a single-lane body that is nothing but sync points. The
+// per-decision cost (a mutex round trip plus a log append) bounds how
+// large a patternlet --verify can drive interactively.
+void BM_SchedulerDecisionRate(benchmark::State& state) {
+  const int points = static_cast<int>(state.range(0));
+  std::uint64_t decisions = 0;
+  for (auto _ : state) {
+    long shared = 0;
+    const verify::Result r = explore(
+        [&] {
+          thread::fork_join(1, [&](int) {
+            for (int i = 0; i < points; ++i) {
+              smp::atomic_write(shared, static_cast<long>(i), "shared");
+            }
+          });
+        },
+        opts(verify::Mode::kDpor, 1));
+    decisions += r.decisions;
+    benchmark::DoNotOptimize(r.executions);
+  }
+  state.counters["decisions/s"] = benchmark::Counter(
+      static_cast<double>(decisions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SchedulerDecisionRate)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -46,6 +46,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include "core/runner.hpp"
@@ -145,6 +146,18 @@ int help() {
       "                      per-task table\n"
       "  --trace-json FILE   write the profile as Chrome trace-event JSON for\n"
       "                      Perfetto (implies --profile)\n"
+      "  --verify            systematically explore the body's schedules\n"
+      "                      (bounded model checking): one runnable lane at a\n"
+      "                      time, every execution race-checked; the first\n"
+      "                      violation prints a replayable counterexample and\n"
+      "                      exits 3, exhausting the bound cleanly exits 0\n"
+      "  --verify-bound N    preemption bound for chess mode (default 2)\n"
+      "  --verify-budget N   max executions to explore (default 200)\n"
+      "  --verify-mode M     'dpor' (default) or 'chess'\n"
+      "  --verify-out FILE   write the counterexample schedule to FILE\n"
+      "                      (default: <slug>.pmlsched with '/' -> '_')\n"
+      "  --replay FILE       deterministically re-execute a .pmlsched\n"
+      "                      counterexample written by --verify\n"
       "  -h, --help          this text\n");
   return 0;
 }
@@ -166,6 +179,8 @@ int main(int argc, char** argv) {
   bool timeline = false;
   pml::TimelineOptions timeline_options;
   std::string trace_json_path;
+  std::string verify_out_path;
+  std::string replay_path;
   pml::RunSpec spec;
   spec.mirror_stdout = false;
   // PML_CHAOS in the environment supplies a default chaos seed so whole
@@ -221,6 +236,21 @@ int main(int argc, char** argv) {
       spec.fault_spec = next("--fault");
     } else if (arg.rfind("--fault=", 0) == 0) {
       spec.fault_spec = arg.substr(8);
+    } else if (arg == "--verify") {
+      spec.verify = true;
+    } else if (arg == "--verify-bound") {
+      spec.verify_bound = std::atoi(next("--verify-bound").c_str());
+      if (spec.verify_bound < 0) usage_error("--verify-bound must be >= 0");
+    } else if (arg == "--verify-budget") {
+      const long n = std::atol(next("--verify-budget").c_str());
+      if (n <= 0) usage_error("--verify-budget must be positive");
+      spec.verify_budget = static_cast<std::uint64_t>(n);
+    } else if (arg == "--verify-mode") {
+      spec.verify_mode = next("--verify-mode");
+    } else if (arg == "--verify-out") {
+      verify_out_path = next("--verify-out");
+    } else if (arg == "--replay") {
+      replay_path = next("--replay");
     } else if (arg == "--chaos-seed") {
       const std::string text = next("--chaos-seed");
       char* end = nullptr;
@@ -238,6 +268,31 @@ int main(int argc, char** argv) {
     } else {
       usage_error("unknown flag '" + arg + "'");
     }
+  }
+
+  if (!replay_path.empty()) {
+    // Load the counterexample and reconstruct the exact configuration it
+    // was found under; command-line config flags are ignored on replay.
+    std::ifstream in(replay_path);
+    if (!in) usage_error("cannot read schedule file: " + replay_path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    try {
+      const pml::verify::Schedule schedule = pml::verify::Schedule::parse(text);
+      if (slug.empty()) slug = schedule.slug;
+      spec.tasks = schedule.tasks;
+      spec.toggle_overrides = schedule.toggles;
+      spec.all_toggles.reset();
+      spec.params.clear();
+      for (const auto& [name, value] : schedule.params) spec.params[name] = value;
+      spec.fault_spec = schedule.fault_spec;
+      spec.verify_bound = schedule.bound;
+      spec.verify_mode = schedule.mode;
+      spec.chaos_seed = 0;
+    } catch (const pml::UsageError& e) {
+      usage_error(std::string("bad schedule file: ") + e.what());
+    }
+    spec.replay_schedule = std::move(text);
   }
 
   if (slug.empty()) usage_error("no patternlet named");
@@ -310,7 +365,62 @@ int main(int argc, char** argv) {
                      result.metrics->spans.size(), trace_json_path.c_str());
       }
     }
-    if (result.analysis.has_value()) {
+    if (result.verification.has_value()) {
+      const pml::verify::Result& vr = *result.verification;
+      std::fprintf(stderr,
+                   "[verify: %s | %llu execution(s), %llu decision(s), "
+                   "%llu deduped, %llu step-capped]\n",
+                   spec.verify_mode.c_str(),
+                   static_cast<unsigned long long>(vr.executions),
+                   static_cast<unsigned long long>(vr.decisions),
+                   static_cast<unsigned long long>(vr.deduped),
+                   static_cast<unsigned long long>(vr.step_capped));
+      if (vr.replay_diverged) {
+        std::fprintf(stderr,
+                     "replay: execution diverged from the schedule — the "
+                     "configuration no longer matches the counterexample\n");
+        return 1;
+      }
+      if (vr.found) {
+        std::fprintf(stderr, "verify: VIOLATION — %s: %s\n",
+                     vr.finding.kind.c_str(), vr.finding.detail.c_str());
+        if (!vr.analysis.findings.empty()) {
+          std::fprintf(stderr, "\n%s", vr.analysis.to_string().c_str());
+        }
+        std::fprintf(stderr, "%s\n", pml::remediation_for(*p).c_str());
+        if (result.counterexample.has_value() && spec.replay_schedule.empty()) {
+          std::string path = verify_out_path;
+          if (path.empty()) {
+            path = p->slug;
+            for (char& c : path) {
+              if (c == '/') c = '_';
+            }
+            path += ".pmlsched";
+          }
+          std::ofstream sched_out(path);
+          if (!sched_out) {
+            std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+          } else {
+            sched_out << *result.counterexample;
+            std::fprintf(stderr,
+                         "[counterexample -> %s | replay with: "
+                         "patternlet_runner --replay %s]\n",
+                         path.c_str(), path.c_str());
+          }
+        }
+        return 3;
+      }
+      if (spec.replay_schedule.empty()) {
+        std::fprintf(stderr,
+                     vr.quiesced
+                         ? "verify: quiesced — no violation in the bounded "
+                           "schedule space\n"
+                         : "verify: budget exhausted without a violation "
+                           "(raise --verify-budget to keep searching)\n");
+      } else {
+        std::fprintf(stderr, "replay: schedule re-executed, no violation\n");
+      }
+    } else if (result.analysis.has_value()) {
       const pml::analyze::Report& report = *result.analysis;
       std::fprintf(stderr, "\n%s", report.to_string().c_str());
       if (report.error_count() > 0) {

@@ -26,6 +26,119 @@ std::string RunResult::output_str() const {
   return out;
 }
 
+namespace {
+
+/// Verification path of run(): hands the configured body to pml::verify,
+/// which executes it repeatedly under controlled scheduling. Each execution
+/// gets a fresh capture/trace/context; the surviving output is the
+/// violating (or last) execution's — the one the counterexample describes.
+RunResult run_verified(const Patternlet& p, const RunSpec& spec, int tasks,
+                       ToggleSet toggles) {
+  if (spec.chaos_seed != 0) {
+    throw UsageError("--verify replaces chaos perturbation; drop --chaos-seed");
+  }
+  verify::Options vopts;
+  if (spec.verify_mode == "chess") {
+    vopts.mode = verify::Mode::kChess;
+  } else if (spec.verify_mode == "dpor") {
+    vopts.mode = verify::Mode::kDpor;
+  } else {
+    throw UsageError("--verify-mode must be 'dpor' or 'chess', got '" +
+                     spec.verify_mode + "'");
+  }
+  vopts.preemption_bound = spec.verify_bound;
+  vopts.max_executions = spec.verify_budget;
+  vopts.fault_dimension = !spec.fault_spec.empty();
+
+  std::vector<OutputLine> last_output;
+  std::vector<TraceEvent> last_trace;
+  std::optional<obs::Profile> last_metrics;
+  std::optional<long> expected_updates;
+  std::optional<long> observed_updates;
+  OutputCapture out;
+  if (spec.mirror_stdout) out.mirror_to(&std::cout);
+  const auto body = [&] {
+    out.clear();
+    Trace trace;
+    RunContext ctx{tasks, toggles, out, trace, spec.params};
+    // Per-execution profile scope: on a violation the last execution *is*
+    // the violating one, so --trace-json renders the counterexample's
+    // schedule in Perfetto.
+    std::optional<obs::Scope> profiling;
+    if (spec.profile) profiling.emplace();
+    // The fault window opens per execution so fault counters and crash
+    // countdowns restart with the schedule. A bad spec throws UsageError
+    // out of explore() on the first execution.
+    std::optional<fault::FaultScope> faults;
+    if (!spec.fault_spec.empty()) {
+      faults.emplace(fault::FaultPlan::parse(spec.fault_spec));
+    }
+    try {
+      p.body(ctx);
+    } catch (const RuntimeFault&) {
+      // Parity with the normal path: under injection a runtime fault is
+      // the demonstration, not a bug. The scheduler's own terminal checks
+      // (deadlock, lost signal) already classified anything interesting.
+      if (!faults.has_value()) throw;
+    } catch (...) {
+      // A scheduler terminal (deadlock, budget) aborts the execution
+      // mid-body; keep its spans — they show *where* every lane stopped.
+      if (profiling.has_value()) last_metrics = profiling->finish();
+      last_output = out.lines();
+      last_trace = trace.events();
+      throw;
+    }
+    if (profiling.has_value()) last_metrics = profiling->finish();
+    last_output = out.lines();
+    last_trace = trace.events();
+    if (ctx.probe.used()) {
+      expected_updates = ctx.probe.expected();
+      observed_updates = ctx.probe.observed();
+    } else {
+      expected_updates.reset();
+      observed_updates.reset();
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  verify::Result vr;
+  if (!spec.replay_schedule.empty()) {
+    const verify::Schedule schedule = verify::Schedule::parse(spec.replay_schedule);
+    vr = verify::replay(body, schedule, vopts);
+  } else {
+    vr = verify::explore(body, vopts);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.slug = p.slug;
+  result.tasks = tasks;
+  result.output = std::move(last_output);
+  result.trace = std::move(last_trace);
+  result.metrics = std::move(last_metrics);
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.expected_updates = expected_updates;
+  result.observed_updates = observed_updates;
+  if (vr.found) {
+    // Stamp the counterexample with the full configuration so --replay can
+    // reconstruct this exact run from the file alone.
+    vr.counterexample.slug = p.slug;
+    vr.counterexample.tasks = tasks;
+    vr.counterexample.toggles = toggles.values();
+    for (const auto& [name, value] : spec.params) {
+      vr.counterexample.params.emplace_back(name, value);
+    }
+    vr.counterexample.fault_spec = spec.fault_spec;
+    result.counterexample = vr.counterexample.to_string();
+  }
+  if (!vr.analysis.findings.empty()) result.analysis = vr.analysis;
+  result.toggles = std::move(toggles);
+  result.verification = std::move(vr);
+  return result;
+}
+
+}  // namespace
+
 RunResult run(const Patternlet& p, const RunSpec& spec) {
   const int tasks = spec.tasks > 0 ? spec.tasks : p.default_tasks;
   if (tasks <= 0) throw UsageError("patternlet '" + p.slug + "': task count must be positive");
@@ -33,6 +146,10 @@ RunResult run(const Patternlet& p, const RunSpec& spec) {
   ToggleSet toggles{p.toggles};
   if (spec.all_toggles.has_value()) toggles.set_all(*spec.all_toggles);
   for (const auto& [name, value] : spec.toggle_overrides) toggles.set(name, value);
+
+  if (spec.verify || !spec.replay_schedule.empty()) {
+    return run_verified(p, spec, tasks, std::move(toggles));
+  }
 
   OutputCapture out;
   if (spec.mirror_stdout) out.mirror_to(&std::cout);

@@ -19,6 +19,7 @@
 #include "core/trace.hpp"
 #include "fault/fault.hpp"
 #include "obs/profile.hpp"
+#include "verify/verify.hpp"
 
 namespace pml {
 
@@ -55,6 +56,20 @@ struct RunSpec {
   /// RunResult::fault_abort instead of propagating — the run "failed as
   /// demonstrated", which is the lesson.
   std::string fault_spec;
+  /// Run under pml::verify systematic schedule exploration (`--verify`):
+  /// the body executes repeatedly, one runnable lane at a time, while the
+  /// explorer enumerates interleavings under the bound policy. Every
+  /// execution runs the analyze checkers; the first violation stops the
+  /// search and serializes a replayable counterexample. Mutually exclusive
+  /// with chaos_seed / analyze / profile (verify owns all three windows).
+  bool verify = false;
+  int verify_bound = 2;              ///< Preemption bound (chess mode).
+  std::uint64_t verify_budget = 200; ///< Max executions to explore.
+  std::string verify_mode = "dpor";  ///< "dpor" or "chess".
+  /// Non-empty: re-execute this serialized `.pmlsched` schedule exactly
+  /// (`--replay FILE` in the runner). The caller configures tasks /
+  /// toggles / params / fault_spec from the schedule's metadata.
+  std::string replay_schedule;
 };
 
 /// Everything observable from one patternlet execution.
@@ -82,6 +97,11 @@ struct RunResult {
   /// diagnosis, collective timeout, ...). Absent when the body survived or
   /// no faults were injected.
   std::optional<std::string> fault_abort;
+  /// Exploration outcome when RunSpec::verify or replay_schedule was set.
+  std::optional<verify::Result> verification;
+  /// Serialized `.pmlsched` counterexample when verification found a
+  /// violation — write it to a file and `--replay` it.
+  std::optional<std::string> counterexample;
 
   /// True iff the probe saw the staged race fire (some updates lost).
   bool race_manifested() const {

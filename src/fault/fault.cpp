@@ -9,6 +9,7 @@
 
 #include "analyze/analyze.hpp"
 #include "obs/obs.hpp"
+#include "sched/coop.hpp"
 #include "sched/sched.hpp"
 
 namespace pml::fault {
@@ -380,6 +381,32 @@ DeliveryFault on_deliver(int dest, int source, int tag, int context) {
 
   const std::uint32_t lane = current_lane(ls);
   const std::uint64_t call = ls.deliveries++;
+
+  if (sched::coop_active()) {
+    // Cooperative verification: fault outcomes become explorer choice
+    // points, so the schedule search enumerates "this message dropped /
+    // duplicated" instead of drawing from the plan's hash stream. Delay
+    // and slow-node holds are skipped — time is logical here, and a held
+    // sender would only stall the single running lane.
+    DeliveryFault out;
+    if (g_hot.drop_first != 0 || g_hot.drop_percent != 0) {
+      if (sched::coop_choice(2, "fault-drop") == 1) {
+        out.drop = true;
+        g_dropped.fetch_add(1, std::memory_order_relaxed);
+        obs::count(obs::Counter::kFaultDropped);
+        analyze::on_mp_fault_drop(dest, source, tag, context);
+        return out;
+      }
+    }
+    if (g_hot.dup_first != 0 || g_hot.dup_percent != 0) {
+      if (sched::coop_choice(2, "fault-dup") == 1) {
+        out.duplicate = true;
+        g_duplicated.fetch_add(1, std::memory_order_relaxed);
+        obs::count(obs::Counter::kFaultDuplicated);
+      }
+    }
+    return out;
+  }
 
   DeliveryFault out;
   if (g_hot.drop_first != 0 && call < g_hot.drop_first) {

@@ -6,6 +6,7 @@
 #include "analyze/analyze.hpp"
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
+#include "sched/coop.hpp"
 #include "sched/sched.hpp"
 #include "thread/adaptive_wait.hpp"
 
@@ -35,7 +36,7 @@ void Mailbox::deposit(Envelope e) {
   // the mailbox: message *arrival order* across senders gets reshuffled
   // while the per-(source, tag) non-overtaking guarantee (arrival-stamp
   // matching below) is untouched.
-  sched::point(sched::Point::kDelivery);
+  sched::point_at(sched::Point::kDelivery, this);
   // Message edge, sender half: the sender's writes up to here happen-before
   // the receive that matches this envelope (acquired at match time).
   e.analyze_id = analyze::on_mp_deliver(owner_, e.source, e.tag, e.context);
@@ -89,6 +90,9 @@ void Mailbox::deposit(Envelope e) {
       obs::on_queue_depth(total_queued_);
     }
   }
+  // Under cooperative verification receivers re-poll the buckets rather
+  // than post handoff entries, so every deposit is their wake signal.
+  sched::coop_wake(this);
   // The progress hook runs *after* unlock with a snapshot taken above: a
   // hook that is slow or that itself touches the mailbox (tracing,
   // watchdog bookkeeping) no longer serializes all senders or deadlocks.
@@ -226,6 +230,18 @@ Envelope Mailbox::receive(int context, int source, int tag) {
   if (poisoned_) {
     throw RuntimeFault("receive aborted: message-passing runtime shut down");
   }
+  if (sched::coop_active()) {
+    // Cooperative verification: no posted-receive handoff — re-poll the
+    // buckets each time a deposit (or poison) wakes this mailbox. Blocking
+    // here is the scheduling decision the explorer branches on.
+    for (;;) {
+      sched::coop_block(this, &lock);
+      if (extract_locked(context, source, tag, out)) return out;
+      if (poisoned_) {
+        throw RuntimeFault("receive aborted: message-passing runtime shut down");
+      }
+    }
+  }
   // Post the receive. Invariant: a posted receive exists only while no
   // buffered message matches it — we checked under this same lock — so a
   // deliverer may hand its envelope over directly without overtaking.
@@ -263,6 +279,34 @@ std::optional<Envelope> Mailbox::receive_for(int context, int source, int tag,
   if (extract_locked(context, source, tag, *out)) return out;
   if (poisoned_) {
     throw RuntimeFault("receive aborted: message-passing runtime shut down");
+  }
+  if (sched::coop_active()) {
+    for (;;) {
+      // Timed cooperative block: the logical timeout is granted only when
+      // no untimed lane can progress — i.e. when this wait would otherwise
+      // be part of a deadlock — so bounded receives neither race the clock
+      // nor mask real stalls.
+      const bool timed_out = sched::coop_block(this, &lock, /*timed=*/true);
+      if (extract_locked(context, source, tag, *out)) return out;
+      if (poisoned_) {
+        throw RuntimeFault("receive aborted: message-passing runtime shut down");
+      }
+      if (!timed_out) continue;
+      // Same near-miss report as the real-deadline path below.
+      bool report = false;
+      std::vector<analyze::MsgCoord> present;
+      int who = owner_;
+      if (analyze::active()) {
+        report = true;
+        present.reserve(total_queued_);
+        for (const auto& [key, bucket] : store_) {
+          for (const auto& m : bucket) present.push_back({m.source, m.tag, m.context});
+        }
+      }
+      lock.unlock();
+      if (report) analyze::on_mp_timeout(who, source, tag, context, present);
+      return std::nullopt;
+    }
   }
   PostedReceive pr{context, source, tag, /*timed=*/true};
   posted_.push_back(&pr);
@@ -354,6 +398,7 @@ void Mailbox::poison() {
     }
   }
   posted_.clear();
+  sched::coop_wake(this);
 }
 
 }  // namespace pml::mp

@@ -9,6 +9,7 @@
 #include "fault/fault.hpp"
 #include "mp/communicator.hpp"
 #include "obs/obs.hpp"
+#include "sched/coop.hpp"
 #include "sched/sched.hpp"
 #include "smp/wtime.hpp"
 #include "thread/thread.hpp"
@@ -129,7 +130,10 @@ void run(int nprocs, const std::function<void(Communicator&)>& program,
     std::condition_variable done_cv;
     bool job_done = false;
     std::jthread watchdog;
-    if (options.deadlock_grace.count() > 0) {
+    // Under cooperative verification the scheduler itself proves deadlocks
+    // (a fruitless sweep over all blocked lanes), so the wall-clock
+    // watchdog would only add an unmanaged thread and false timing.
+    if (options.deadlock_grace.count() > 0 && !sched::coop_active()) {
       watchdog = std::jthread([&, state] {
         const auto tick = std::chrono::milliseconds(50);
         const auto needed_ticks =
@@ -167,11 +171,14 @@ void run(int nprocs, const std::function<void(Communicator&)>& program,
     analyze::on_sync_release(fork_key);
     std::vector<std::jthread> ranks;
     ranks.reserve(static_cast<std::size_t>(nprocs));
+    sched::coop_spawned(join_key, static_cast<std::uint32_t>(nprocs),
+                        static_cast<std::uint32_t>(nprocs));
     for (int r = 0; r < nprocs; ++r) {
       ranks.emplace_back([&, r, fork_key, join_key] {
         // Deterministic perturbation lane per rank, as fork_join does for
         // team threads — a chaos seed replays the same per-rank schedule.
         sched::bind_lane(static_cast<std::uint32_t>(r));
+        sched::coop_lane_begin(join_key, static_cast<std::uint32_t>(r));
         analyze::on_sync_acquire(fork_key);
         Communicator world(state, /*context=*/0, world_group, r);
         // Topology for the profile: which virtual node hosts this rank
@@ -183,6 +190,8 @@ void run(int nprocs, const std::function<void(Communicator&)>& program,
         try {
           obs::SpanScope region{obs::SpanKind::kRegion, "rank", r, nprocs};
           program(world);
+        } catch (const sched::CoopAbort&) {
+          // Verification run aborted mid-wait; unwind quietly.
         } catch (const fault::NodeCrashFault&) {
           // A contained failure: the crash already poisoned exactly the
           // mailboxes on the dead node, so healthy ranks keep running —
@@ -197,8 +206,10 @@ void run(int nprocs, const std::function<void(Communicator&)>& program,
         }
         state->finished.fetch_add(1, std::memory_order_relaxed);
         analyze::on_sync_release(join_key);
+        sched::coop_lane_end(join_key);
       });
     }
+    sched::coop_join(join_key);
     ranks.clear();  // joins the ranks
     analyze::on_sync_acquire(join_key);
     {

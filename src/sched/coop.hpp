@@ -1,0 +1,159 @@
+#pragma once
+
+/// \file coop.hpp
+/// \brief The cooperative-scheduling seam between the substrates and
+/// pml::verify's controlled scheduler.
+///
+/// Chaos perturbation (sched.hpp) *stretches* racy windows and lets the OS
+/// pick an interleaving; systematic verification needs to *pick* the
+/// interleaving itself. This header defines the sink interface a model
+/// checker implements and the guarded wrappers the substrates call at every
+/// place a thread can (a) pass a serialization point, (b) block on a
+/// resource, (c) wake a resource's waiters, or (d) spawn/join lanes.
+///
+/// With no sink installed every wrapper is one relaxed atomic load and an
+/// untaken branch — the same "free when off" contract as sched::point()
+/// and analyze's hooks. With a sink installed (verify::Scheduler), the
+/// substrates run *cooperatively*: exactly one lane executes at a time,
+/// blocking waits become `while (!pred()) coop_block(...)` loops, and the
+/// sink decides which lane runs next at every decision index.
+///
+/// CoopAbort is thrown out of point/block/choice when the sink wants to
+/// tear an execution down early (deadlock found, budget exhausted). It
+/// deliberately does NOT derive std::exception: substrate catch(...)
+/// blocks capture it into their error slots (fine — the verify driver
+/// discards errors from aborted executions), but nothing "handles" it by
+/// accident as a routine failure.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "sched/sched.hpp"
+
+namespace pml::sched {
+
+/// Thrown out of cooperative waits when the active sink aborts the
+/// execution (terminal state reached, budget exceeded). Substrate worker
+/// loops catch it at their outermost level and unwind quietly.
+struct CoopAbort {};
+
+/// The controlled-scheduling sink. verify::Scheduler is the only
+/// implementation; sched stays ignorant of it (sched never links verify).
+///
+/// Threading contract: the sink serializes execution — at most one lane is
+/// running between any two sink calls, and every method is entered by the
+/// lane that currently holds the run token (except wake/spawned, which the
+/// running lane calls on behalf of others).
+class CoopSink {
+ public:
+  virtual ~CoopSink() = default;
+
+  /// A serialization point of kind \p kind touching \p addr (nullptr when
+  /// the site has no stable footprint address). May switch lanes; may
+  /// throw CoopAbort.
+  virtual void point(Point kind, const void* addr) = 0;
+
+  /// The calling lane cannot make progress until \p resource is woken (or
+  /// re-polled). \p held, when non-null, is a lock the caller holds that
+  /// must be released while parked and re-acquired before returning.
+  /// \p timed marks a wait with a timeout escape: the sink returns true to
+  /// tell the caller "your timeout fired" (granted only when no untimed
+  /// lane can progress), false for a normal wake/re-poll. May throw
+  /// CoopAbort.
+  virtual bool block(const void* resource, std::unique_lock<std::mutex>* held,
+                     bool timed) = 0;
+
+  /// Waiters parked on \p resource may now make progress (a hint; the sink
+  /// re-polls blocked lanes anyway when it runs out of ready ones).
+  virtual void wake(const void* resource) = 0;
+
+  /// The calling lane is about to spawn \p count child lanes under spawn
+  /// token \p token; children will identify as ids in [0, id_span).
+  virtual void spawned(const void* token, std::uint32_t id_span,
+                       std::uint32_t count) = 0;
+
+  /// First cooperative act of a spawned child: registers it under
+  /// (\p token, \p id) and parks until scheduled.
+  virtual void lane_begin(const void* token, std::uint32_t id) = 0;
+
+  /// Last cooperative act of a child lane before its thread exits.
+  virtual void lane_end(const void* token) = 0;
+
+  /// The parent waits for every lane spawned under \p token to lane_end.
+  /// Never throws (called from destructors); unknown tokens are a no-op.
+  virtual void join(const void* token) = 0;
+
+  /// An enumerated decision (fault injection): returns a value in
+  /// [0, arity). The default policy picks 0; exploration seeds
+  /// alternatives. May throw CoopAbort.
+  virtual std::uint32_t choice(std::uint32_t arity, const char* site) = 0;
+};
+
+namespace detail {
+/// The installed sink (nullptr = cooperative scheduling off). Relaxed
+/// reads on the hot path, guarded by g_gate.
+extern std::atomic<CoopSink*> g_coop;
+}  // namespace detail
+
+/// Installs \p sink process-wide (nullptr uninstalls). Not meant to be
+/// flipped while substrate work is running — verify installs before the
+/// body starts and uninstalls after every lane has joined.
+void install_coop(CoopSink* sink) noexcept;
+
+/// True iff a cooperative sink is installed.
+inline bool coop_active() noexcept {
+  return detail::g_coop.load(std::memory_order_relaxed) != nullptr;
+}
+
+/// \name Guarded wrappers — free when no sink is installed.
+/// @{
+inline bool coop_block(const void* resource,
+                       std::unique_lock<std::mutex>* held = nullptr,
+                       bool timed = false) {
+  if (CoopSink* s = detail::g_coop.load(std::memory_order_relaxed)) {
+    return s->block(resource, held, timed);
+  }
+  return false;
+}
+
+inline void coop_wake(const void* resource) {
+  if (CoopSink* s = detail::g_coop.load(std::memory_order_relaxed)) {
+    s->wake(resource);
+  }
+}
+
+inline void coop_spawned(const void* token, std::uint32_t id_span,
+                         std::uint32_t count) {
+  if (CoopSink* s = detail::g_coop.load(std::memory_order_relaxed)) {
+    s->spawned(token, id_span, count);
+  }
+}
+
+inline void coop_lane_begin(const void* token, std::uint32_t id) {
+  if (CoopSink* s = detail::g_coop.load(std::memory_order_relaxed)) {
+    s->lane_begin(token, id);
+  }
+}
+
+inline void coop_lane_end(const void* token) {
+  if (CoopSink* s = detail::g_coop.load(std::memory_order_relaxed)) {
+    s->lane_end(token);
+  }
+}
+
+inline void coop_join(const void* token) {
+  if (CoopSink* s = detail::g_coop.load(std::memory_order_relaxed)) {
+    s->join(token);
+  }
+}
+
+inline std::uint32_t coop_choice(std::uint32_t arity, const char* site) {
+  if (CoopSink* s = detail::g_coop.load(std::memory_order_relaxed)) {
+    return s->choice(arity, site);
+  }
+  return 0;
+}
+/// @}
+
+}  // namespace pml::sched

@@ -3,10 +3,24 @@
 #include <chrono>
 #include <thread>
 
+#include "sched/coop.hpp"
+
 namespace pml::sched {
 
 namespace detail {
 std::atomic<std::uint64_t> g_seed{0};
+std::atomic<int> g_gate{0};
+std::atomic<CoopSink*> g_coop{nullptr};
+
+namespace {
+/// g_gate mirrors (seed != 0 || sink != nullptr); recomputed whenever
+/// either input changes (configure / install_coop — both quiescent).
+void refresh_gate() noexcept {
+  const bool on = g_seed.load(std::memory_order_relaxed) != 0 ||
+                  g_coop.load(std::memory_order_relaxed) != nullptr;
+  g_gate.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+}  // namespace
 }  // namespace detail
 
 namespace {
@@ -129,10 +143,24 @@ void perturb(Point kind) noexcept {
   }
 }
 
+void pause(Point kind, const void* addr) {
+  if (CoopSink* s = g_coop.load(std::memory_order_relaxed)) {
+    s->point(kind, addr);
+    return;
+  }
+  if (g_seed.load(std::memory_order_relaxed) != 0) perturb(kind);
+}
+
 }  // namespace detail
+
+void install_coop(CoopSink* sink) noexcept {
+  detail::g_coop.store(sink, std::memory_order_relaxed);
+  detail::refresh_gate();
+}
 
 void configure(std::uint64_t seed) noexcept {
   detail::g_seed.store(seed, std::memory_order_relaxed);
+  detail::refresh_gate();
   g_epoch.fetch_add(1, std::memory_order_acq_rel);
   g_auto_lane.store(0, std::memory_order_relaxed);
   g_points.store(0, std::memory_order_relaxed);
@@ -140,6 +168,14 @@ void configure(std::uint64_t seed) noexcept {
   g_spins.store(0, std::memory_order_relaxed);
   g_sleeps.store(0, std::memory_order_relaxed);
   g_slept_micros.store(0, std::memory_order_relaxed);
+}
+
+void detail::restore_counters(const Stats& s) noexcept {
+  g_points.store(s.points, std::memory_order_relaxed);
+  g_yields.store(s.yields, std::memory_order_relaxed);
+  g_spins.store(s.spins, std::memory_order_relaxed);
+  g_sleeps.store(s.sleeps, std::memory_order_relaxed);
+  g_slept_micros.store(s.slept_micros, std::memory_order_relaxed);
 }
 
 void bind_lane(std::uint32_t lane) noexcept {

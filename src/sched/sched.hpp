@@ -78,8 +78,16 @@ Decision decide(std::uint64_t seed, std::uint32_t lane, std::uint64_t call,
 namespace detail {
 /// Active seed; 0 = perturbation off. Relaxed reads on the hot path.
 extern std::atomic<std::uint64_t> g_seed;
+/// Combined hot-path gate: nonzero iff a chaos seed is configured OR a
+/// cooperative sink (coop.hpp) is installed. point() checks only this, so
+/// adding controlled scheduling cost the off path nothing.
+extern std::atomic<int> g_gate;
 /// Out-of-line slow path: look up this thread's lane, decide, act, count.
 void perturb(Point kind) noexcept;
+/// Out-of-line gated path: dispatch to the cooperative sink when one is
+/// installed (may throw CoopAbort), else perturb. \p addr is the site's
+/// footprint address (nullptr when it has none).
+void pause(Point kind, const void* addr);
 
 /// splitmix64 finalizer: full-avalanche mixing of a 64-bit value. This is
 /// the hash every seeded-decision layer shares (sched's decide(), fault's
@@ -103,11 +111,20 @@ inline std::uint64_t seed() noexcept {
   return detail::g_seed.load(std::memory_order_relaxed);
 }
 
-/// An instrumented sync point. With no seed configured this is one relaxed
-/// load and an untaken branch — safe to leave in release hot paths.
-inline void point(Point kind) noexcept {
-  if (detail::g_seed.load(std::memory_order_relaxed) != 0) detail::perturb(kind);
+/// An instrumented sync point with a footprint address. Under chaos the
+/// address is ignored; under cooperative verification it keys DPOR
+/// conflict detection (two points conflict iff same address and at least
+/// one is write-like). With neither active this is one relaxed load and an
+/// untaken branch — safe to leave in release hot paths. Not noexcept: a
+/// cooperative sink may throw CoopAbort to tear an execution down.
+inline void point_at(Point kind, const void* addr) {
+  if (detail::g_gate.load(std::memory_order_relaxed) != 0) {
+    detail::pause(kind, addr);
+  }
 }
+
+/// An instrumented sync point with no stable footprint address.
+inline void point(Point kind) { point_at(kind, nullptr); }
 
 /// Activates perturbation with \p seed (0 turns it off). Resets the applied
 /// counters and every thread's per-lane call counter. Process-wide; not
@@ -137,22 +154,33 @@ struct Stats {
 /// Snapshot of the applied-perturbation counters.
 Stats stats() noexcept;
 
+namespace detail {
+/// Restores the applied counters to a snapshot (ChaosScope exit). Does not
+/// touch the seed or the epoch.
+void restore_counters(const Stats& s) noexcept;
+}  // namespace detail
+
 /// RAII perturbation window: configures \p seed on entry and restores the
-/// previous seed (and counters) on exit. The runner and tests use this so
-/// chaos never leaks past the run it was requested for.
+/// previous seed *and* the applied-counter snapshot on exit, so nested
+/// scopes compose — an inner scope's exit puts the outer scope's counters
+/// back exactly where its entry found them.
 class ChaosScope {
  public:
   explicit ChaosScope(std::uint64_t seed) noexcept
-      : previous_(sched::seed()) {
+      : previous_(sched::seed()), counters_(stats()) {
     configure(seed);
   }
-  ~ChaosScope() { configure(previous_); }
+  ~ChaosScope() {
+    configure(previous_);
+    detail::restore_counters(counters_);
+  }
 
   ChaosScope(const ChaosScope&) = delete;
   ChaosScope& operator=(const ChaosScope&) = delete;
 
  private:
   std::uint64_t previous_;
+  Stats counters_;
 };
 
 }  // namespace pml::sched

@@ -25,6 +25,7 @@
 
 #include "analyze/analyze.hpp"
 #include "obs/obs.hpp"
+#include "sched/coop.hpp"
 #include "sched/sched.hpp"
 
 namespace pml::smp {
@@ -40,7 +41,7 @@ T atomic_update(T& shared, T operand, Op op, const char* label = nullptr) {
   // break it: a stale `expected` just makes the CAS retry. Under chaos this
   // is the contrast students should see — the torn read/write pair loses
   // updates, the CAS never does.
-  sched::point(sched::Point::kSharedWrite);
+  sched::point_at(sched::Point::kSharedWrite, &shared);
   // An indivisible RMW: never races with other RMWs on the same location.
   analyze::on_rmw(&shared, label);
   obs::count(obs::Counter::kAtomicUpdates);
@@ -73,7 +74,7 @@ T atomic_read(const T& shared, const char* label = nullptr) {
   // Sync point *after* the load: when a patternlet tears an update into
   // read-then-write, this is exactly the window where another thread's
   // write gets lost. Chaos mode stretches it from nanoseconds to visible.
-  sched::point(sched::Point::kSharedRead);
+  sched::point_at(sched::Point::kSharedRead, &shared);
   analyze::on_read(&shared, label);
   return value;
 }
@@ -82,7 +83,7 @@ T atomic_read(const T& shared, const char* label = nullptr) {
 /// the analyzer, for the same torn-update reason as atomic_read.
 template <typename T>
 void atomic_write(T& shared, T value, const char* label = nullptr) {
-  sched::point(sched::Point::kSharedWrite);
+  sched::point_at(sched::Point::kSharedWrite, &shared);
   analyze::on_write(&shared, label);
   std::atomic_ref<T>(shared).store(value, std::memory_order_release);
 }
@@ -99,8 +100,21 @@ class OrderedTicket {
   /// Blocks until it is \p ticket's turn, runs fn, then admits ticket+1.
   template <typename Fn>
   void run_in_order(std::int64_t ticket, Fn&& fn) {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return next_ == ticket; });
+    std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+    if (sched::coop_active()) {
+      // The user's fn runs under mu_ and can pass serialization points, so
+      // both the acquisition and the turn wait must re-poll cooperatively
+      // rather than park an OS thread on a mutex whose holder is parked.
+      while (!lock.try_lock()) sched::coop_block(this);
+      while (next_ != ticket) {
+        lock.unlock();
+        sched::coop_block(this);
+        while (!lock.try_lock()) sched::coop_block(this);
+      }
+    } else {
+      lock.lock();
+      cv_.wait(lock, [&] { return next_ == ticket; });
+    }
     // Turn k's writes happen-before turn k+1 — `ordered` forms a chain.
     analyze::on_sync_acquire(this);
     fn();
@@ -108,6 +122,7 @@ class OrderedTicket {
     ++next_;
     lock.unlock();
     cv_.notify_all();
+    sched::coop_wake(this);
   }
 
  private:

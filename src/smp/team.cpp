@@ -6,6 +6,7 @@
 
 #include "analyze/analyze.hpp"
 #include "obs/obs.hpp"
+#include "sched/coop.hpp"
 #include "sched/sched.hpp"
 #include "thread/thread.hpp"
 
@@ -58,12 +59,16 @@ void parallel(int num_threads, const std::function<void(Region&)>& body) {
 void parallel(const std::function<void(Region&)>& body) { parallel(0, body); }
 
 void Region::critical(const std::string& name, const std::function<void()>& fn) {
-  sched::point(sched::Point::kLockAcquire);
   std::mutex& mu = critical_mutex(name);
-  // While profiling, probe first so only a contended entry opens a
-  // lock-wait span (labelled with the critical's name); off, the path is
-  // the plain blocking acquisition.
-  if (obs::active() && !mu.try_lock()) {
+  sched::point_at(sched::Point::kLockAcquire, &mu);
+  if (sched::coop_active()) {
+    // The critical body is user code that can pass serialization points
+    // while holding mu, so the acquisition must re-poll cooperatively.
+    while (!mu.try_lock()) sched::coop_block(&mu);
+  } else if (obs::active() && !mu.try_lock()) {
+    // While profiling, probe first so only a contended entry opens a
+    // lock-wait span (labelled with the critical's name); off, the path is
+    // the plain blocking acquisition.
     obs::SpanScope wait{
         obs::SpanKind::kLockWait,
         obs::intern(name.empty() ? "critical" : "critical(" + name + ")"),
@@ -72,14 +77,17 @@ void Region::critical(const std::string& name, const std::function<void()>& fn) 
   } else if (!obs::active()) {
     mu.lock();
   }
-  std::lock_guard lock(mu, std::adopt_lock);
-  if (analyze::active()) {
-    const std::string label = name.empty() ? "critical" : "critical(" + name + ")";
-    analyze::LockedRegion held(&mu, label.c_str());
-    fn();
-  } else {
-    fn();
+  {
+    std::lock_guard lock(mu, std::adopt_lock);
+    if (analyze::active()) {
+      const std::string label = name.empty() ? "critical" : "critical(" + name + ")";
+      analyze::LockedRegion held(&mu, label.c_str());
+      fn();
+    } else {
+      fn();
+    }
   }
+  sched::coop_wake(&mu);
 }
 
 std::shared_ptr<detail::WorkshareSlot> Region::acquire_slot() {

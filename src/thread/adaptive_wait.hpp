@@ -29,6 +29,7 @@
 #include <atomic>
 #include <thread>
 
+#include "sched/coop.hpp"
 #include "sched/sched.hpp"
 
 namespace pml::thread {
@@ -68,7 +69,15 @@ inline int yield_bound() noexcept {
 /// here acquire) and should be followed by `word.notify_one()` /
 /// `notify_all()` to lift parked waiters.
 template <typename T>
-inline void adaptive_wait_while_equal(const std::atomic<T>& word, T old) noexcept {
+inline void adaptive_wait_while_equal(const std::atomic<T>& word, T old) {
+  if (sched::coop_active()) {
+    // Cooperative verification: parking is a scheduling decision keyed on
+    // the waited-on word; the waker's notify site calls coop_wake on it.
+    while (word.load(std::memory_order_acquire) == old) {
+      sched::coop_block(&word);
+    }
+    return;
+  }
   for (int i = spin_bound(); i > 0; --i) {
     if (word.load(std::memory_order_acquire) != old) return;
     cpu_relax();

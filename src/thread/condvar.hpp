@@ -10,6 +10,7 @@
 #include <mutex>
 
 #include "analyze/analyze.hpp"
+#include "sched/coop.hpp"
 
 namespace pml::thread {
 
@@ -34,20 +35,35 @@ class Event {
       signaled_ = true;
     }
     cv_.notify_all();
+    sched::coop_wake(this);
   }
 
   /// Blocks until set() has been called.
   void wait() {
     std::unique_lock lock(mu_);
-    cv_.wait(lock, [this] { return signaled_; });
+    if (sched::coop_active()) {
+      while (!signaled_) sched::coop_block(this, &lock);
+    } else {
+      cv_.wait(lock, [this] { return signaled_; });
+    }
     analyze::on_sync_acquire(this);
   }
 
   /// Blocks until set() or until \p timeout elapses; true iff signaled.
   /// The bounded wait retry loops need (send_with_retry waits this long
-  /// for an ack before resending).
+  /// for an ack before resending). Under cooperative verification the
+  /// timeout is logical: it is "granted" only at the moment no untimed
+  /// lane can make progress, so timed retries neither race the clock nor
+  /// stall exploration.
   bool wait_for(std::chrono::milliseconds timeout) {
     std::unique_lock lock(mu_);
+    if (sched::coop_active()) {
+      while (!signaled_) {
+        if (sched::coop_block(this, &lock, /*timed=*/true)) break;
+      }
+      if (signaled_) analyze::on_sync_acquire(this);
+      return signaled_;
+    }
     const bool ok = cv_.wait_for(lock, timeout, [this] { return signaled_; });
     if (ok) analyze::on_sync_acquire(this);
     return ok;
@@ -86,7 +102,7 @@ class Monitor {
   /// Runs fn(value) under the lock and notifies waiters afterwards.
   template <typename Fn>
   auto with_lock(Fn&& fn) {
-    std::unique_lock lock(mu_);
+    std::unique_lock lock = acquire();
     if constexpr (std::is_void_v<decltype(fn(value_))>) {
       {
         analyze::LockedRegion held(&mu_, "monitor");
@@ -94,6 +110,7 @@ class Monitor {
       }
       lock.unlock();
       cv_.notify_all();
+      sched::coop_wake(this);
     } else {
       auto result = [&] {
         analyze::LockedRegion held(&mu_, "monitor");
@@ -101,6 +118,7 @@ class Monitor {
       }();
       lock.unlock();
       cv_.notify_all();
+      sched::coop_wake(this);
       return result;
     }
   }
@@ -108,8 +126,18 @@ class Monitor {
   /// Blocks until pred(value) holds, then runs fn(value) under the lock.
   template <typename Pred, typename Fn>
   auto wait_then(Pred&& pred, Fn&& fn) {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return pred(value_); });
+    std::unique_lock lock = acquire();
+    if (sched::coop_active()) {
+      // Unlock/relock by hand: the relock must be a cooperative re-poll
+      // too, because another lane can park *inside* fn while holding mu_.
+      while (!pred(value_)) {
+        lock.unlock();
+        sched::coop_block(this);
+        while (!lock.try_lock()) sched::coop_block(this);
+      }
+    } else {
+      cv_.wait(lock, [&] { return pred(value_); });
+    }
     if constexpr (std::is_void_v<decltype(fn(value_))>) {
       {
         analyze::LockedRegion held(&mu_, "monitor");
@@ -117,6 +145,7 @@ class Monitor {
       }
       lock.unlock();
       cv_.notify_all();
+      sched::coop_wake(this);
     } else {
       auto result = [&] {
         analyze::LockedRegion held(&mu_, "monitor");
@@ -124,17 +153,32 @@ class Monitor {
       }();
       lock.unlock();
       cv_.notify_all();
+      sched::coop_wake(this);
       return result;
     }
   }
 
   /// Copy of the current value.
   T load() const {
-    std::lock_guard lock(mu_);
+    std::unique_lock lock = acquire();
     return value_;
   }
 
  private:
+  /// Locks mu_. A monitor holds its mutex across user code — code that
+  /// can pass serialization points and park — so under cooperative
+  /// verification the acquisition must be a re-poll loop, never a native
+  /// block on a mutex whose holder is parked.
+  std::unique_lock<std::mutex> acquire() const {
+    std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+    if (sched::coop_active()) {
+      while (!lock.try_lock()) sched::coop_block(this);
+    } else {
+      lock.lock();
+    }
+    return lock;
+  }
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   T value_;

@@ -21,6 +21,7 @@
 
 #include "analyze/analyze.hpp"
 #include "obs/obs.hpp"
+#include "sched/coop.hpp"
 #include "sched/sched.hpp"
 #include "thread/annotations.hpp"
 
@@ -44,10 +45,14 @@ class PML_CAPABILITY("mutex") Mutex {
   Mutex& operator=(const Mutex&) = delete;
 
   void lock() PML_ACQUIRE() {
-    sched::point(sched::Point::kLockAcquire);
-    // While profiling, probe first so only a *contended* acquisition opens
-    // a lock-wait span; off, the path is the raw blocking lock unchanged.
-    if (!obs::active()) {
+    sched::point_at(sched::Point::kLockAcquire, this);
+    if (sched::coop_active()) {
+      // Cooperative verification: never park the OS thread holding the run
+      // token — re-poll under the scheduler instead.
+      while (!mu_.try_lock()) sched::coop_block(this);
+    } else if (!obs::active()) {
+      // While profiling, probe first so only a *contended* acquisition
+      // opens a lock-wait span; off, the path is the raw blocking lock.
       mu_.lock();
     } else if (!mu_.try_lock()) {
       obs::SpanScope wait{obs::SpanKind::kLockWait, "mutex", detail::lock_key(this)};
@@ -65,6 +70,7 @@ class PML_CAPABILITY("mutex") Mutex {
   void unlock() PML_RELEASE() {
     analyze::on_lock_released(this);
     mu_.unlock();
+    sched::coop_wake(this);
   }
 
  private:
@@ -93,9 +99,13 @@ class PML_CAPABILITY("mutex") Spinlock {
   Spinlock(const Spinlock&) = delete;
   Spinlock& operator=(const Spinlock&) = delete;
 
-  void lock() noexcept PML_ACQUIRE() {
-    sched::point(sched::Point::kLockAcquire);
-    if (flag_.exchange(true, std::memory_order_acquire)) {
+  void lock() PML_ACQUIRE() {
+    sched::point_at(sched::Point::kLockAcquire, this);
+    if (sched::coop_active()) {
+      while (flag_.exchange(true, std::memory_order_acquire)) {
+        sched::coop_block(this);
+      }
+    } else if (flag_.exchange(true, std::memory_order_acquire)) {
       // Contended: the spin is the wait (span is free when profiling is off).
       obs::SpanScope wait{obs::SpanKind::kLockWait, "spinlock", detail::lock_key(this)};
       do {
@@ -116,6 +126,7 @@ class PML_CAPABILITY("mutex") Spinlock {
   void unlock() noexcept PML_RELEASE() {
     analyze::on_lock_released(this);
     flag_.store(false, std::memory_order_release);
+    sched::coop_wake(this);
   }
 
  private:
@@ -131,10 +142,14 @@ class PML_CAPABILITY("mutex") RwLock {
   RwLock& operator=(const RwLock&) = delete;
 
   void lock_shared() PML_ACQUIRE_SHARED() {
-    sched::point(sched::Point::kLockAcquire);
+    sched::point_at(sched::Point::kLockAcquire, this);
     {
       std::unique_lock lock(mu_);
-      if (writers_waiting_ != 0 || writer_active_) {
+      if (sched::coop_active()) {
+        while (writers_waiting_ != 0 || writer_active_) {
+          sched::coop_block(this, &lock);
+        }
+      } else if (writers_waiting_ != 0 || writer_active_) {
         // Blocked behind a writer: that wait is the contention span.
         obs::SpanScope wait{obs::SpanKind::kLockWait, "rwlock-read",
                             detail::lock_key(this)};
@@ -149,14 +164,19 @@ class PML_CAPABILITY("mutex") RwLock {
     analyze::on_lock_released(this);
     std::lock_guard lock(mu_);
     if (--readers_active_ == 0) writers_ok_.notify_one();
+    sched::coop_wake(this);
   }
 
   void lock() PML_ACQUIRE() {
-    sched::point(sched::Point::kLockAcquire);
+    sched::point_at(sched::Point::kLockAcquire, this);
     {
       std::unique_lock lock(mu_);
       ++writers_waiting_;
-      if (readers_active_ != 0 || writer_active_) {
+      if (sched::coop_active()) {
+        while (readers_active_ != 0 || writer_active_) {
+          sched::coop_block(this, &lock);
+        }
+      } else if (readers_active_ != 0 || writer_active_) {
         obs::SpanScope wait{obs::SpanKind::kLockWait, "rwlock-write",
                             detail::lock_key(this)};
         writers_ok_.wait(lock, [this] { return readers_active_ == 0 && !writer_active_; });
@@ -176,6 +196,7 @@ class PML_CAPABILITY("mutex") RwLock {
     } else {
       readers_ok_.notify_all();
     }
+    sched::coop_wake(this);
   }
 
  private:

@@ -5,6 +5,7 @@
 
 #include "analyze/analyze.hpp"
 #include "obs/obs.hpp"
+#include "sched/coop.hpp"
 
 namespace pml::thread {
 
@@ -12,6 +13,8 @@ Pool::Pool(int workers) {
   if (workers <= 0) throw UsageError("Pool: worker count must be positive");
   executed_.assign(static_cast<std::size_t>(workers), 0);
   threads_.reserve(static_cast<std::size_t>(workers));
+  sched::coop_spawned(this, static_cast<std::uint32_t>(workers),
+                      static_cast<std::uint32_t>(workers));
   for (int id = 0; id < workers; ++id) {
     threads_.emplace_back([this, id] { worker_loop(id); });
   }
@@ -36,11 +39,16 @@ void Pool::submit(Task task) {
     queue_.push_back(std::move(task));
   }
   work_ready_.notify_one();
+  sched::coop_wake(&work_ready_);
 }
 
 void Pool::wait_idle() {
   std::unique_lock lock(mu_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (sched::coop_active()) {
+    while (!(queue_.empty() && active_ == 0)) sched::coop_block(&idle_, &lock);
+  } else {
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  }
   // Join edge: every completed task's writes happen-before the master's
   // post-quiescence reads.
   analyze::on_sync_acquire(this);
@@ -59,6 +67,8 @@ void Pool::shutdown() {
     stopping_ = true;
   }
   work_ready_.notify_all();
+  sched::coop_wake(&work_ready_);
+  sched::coop_join(this);
   threads_.clear();  // joins
 }
 
@@ -68,11 +78,27 @@ std::vector<long> Pool::tasks_per_worker() const {
 }
 
 void Pool::worker_loop(int id) {
+  sched::coop_lane_begin(this, static_cast<std::uint32_t>(id));
+  try {
+    worker_body(id);
+  } catch (const sched::CoopAbort&) {
+    // Verification run aborted mid-wait; unwind quietly.
+  }
+  sched::coop_lane_end(this);
+}
+
+void Pool::worker_body(int id) {
   for (;;) {
     Task task;
     {
       std::unique_lock lock(mu_);
-      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (sched::coop_active()) {
+        while (!(stopping_ || !queue_.empty())) {
+          sched::coop_block(&work_ready_, &lock);
+        }
+      } else {
+        work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      }
       if (queue_.empty()) return;  // stopping_ with drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -92,7 +118,10 @@ void Pool::worker_loop(int id) {
       ++executed_[static_cast<std::size_t>(id)];
       --active_;
       if (error && !first_error_) first_error_ = error;
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
+      if (queue_.empty() && active_ == 0) {
+        idle_.notify_all();
+        sched::coop_wake(&idle_);
+      }
     }
   }
 }

@@ -52,6 +52,7 @@ class Pool {
 
  private:
   void worker_loop(int id);
+  void worker_body(int id);
 
   mutable std::mutex mu_;
   std::condition_variable work_ready_;

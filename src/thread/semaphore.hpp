@@ -12,6 +12,7 @@
 
 #include "analyze/analyze.hpp"
 #include "core/error.hpp"
+#include "sched/coop.hpp"
 
 namespace pml::thread {
 
@@ -34,12 +35,17 @@ class Semaphore {
       ++count_;
     }
     cv_.notify_one();
+    sched::coop_wake(this);
   }
 
   /// P / wait: blocks until the count is positive, then decrements it.
   void wait() {
     std::unique_lock lock(mu_);
-    cv_.wait(lock, [this] { return count_ > 0; });
+    if (sched::coop_active()) {
+      while (count_ <= 0) sched::coop_block(this, &lock);
+    } else {
+      cv_.wait(lock, [this] { return count_ > 0; });
+    }
     analyze::on_sync_acquire(this);
     --count_;
   }

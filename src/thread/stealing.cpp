@@ -6,6 +6,7 @@
 
 #include "analyze/analyze.hpp"
 #include "obs/obs.hpp"
+#include "sched/coop.hpp"
 #include "sched/sched.hpp"
 
 namespace pml::thread {
@@ -32,6 +33,8 @@ StealingPool::StealingPool(int workers) {
   executed_.assign(static_cast<std::size_t>(workers), 0);
   steals_.assign(static_cast<std::size_t>(workers), 0);
   threads_.reserve(static_cast<std::size_t>(workers));
+  sched::coop_spawned(this, static_cast<std::uint32_t>(workers),
+                      static_cast<std::uint32_t>(workers));
   for (int id = 0; id < workers; ++id) {
     threads_.emplace_back([this, id] { worker_loop(id); });
   }
@@ -73,6 +76,7 @@ void StealingPool::submit(Task task) {
   // its nap sees the flipped epoch in the nap predicate and never sleeps.
   work_epoch_.fetch_add(1, std::memory_order_release);
   work_cv_.notify_all();
+  sched::coop_wake(&work_cv_);
 }
 
 std::optional<StealingPool::Task> StealingPool::find_work(int id) {
@@ -93,6 +97,16 @@ std::optional<StealingPool::Task> StealingPool::find_work(int id) {
 }
 
 void StealingPool::worker_loop(int id) {
+  sched::coop_lane_begin(this, static_cast<std::uint32_t>(id));
+  try {
+    worker_body(id);
+  } catch (const sched::CoopAbort&) {
+    // Verification run aborted mid-wait; unwind quietly.
+  }
+  sched::coop_lane_end(this);
+}
+
+void StealingPool::worker_body(int id) {
   identity() = WorkerIdentity{this, id};
   for (;;) {
     // Snapshot before the sweep: any submit after this point flips the
@@ -116,6 +130,7 @@ void StealingPool::worker_loop(int id) {
         if (error && !first_error_) first_error_ = error;
         if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           idle_cv_.notify_all();
+          sched::coop_wake(&idle_cv_);
         }
       }
       // Busy-worker handoff: if this deque still holds work while siblings
@@ -124,7 +139,10 @@ void StealingPool::worker_loop(int id) {
       // deque to completion before any thief is ever scheduled — the
       // "imbalanced load never gets stolen" starvation.
       if (deques_[static_cast<std::size_t>(id)]->size() > 0) {
-        if (nappers_.load(std::memory_order_relaxed) > 0) work_cv_.notify_all();
+        if (nappers_.load(std::memory_order_relaxed) > 0) {
+          work_cv_.notify_all();
+          sched::coop_wake(&work_cv_);
+        }
         std::this_thread::yield();
       }
       continue;
@@ -136,10 +154,19 @@ void StealingPool::worker_loop(int id) {
     // submit landing between our sweep and this wait is never missed.
     std::unique_lock lock(nap_mu_);
     nappers_.fetch_add(1, std::memory_order_relaxed);
-    work_cv_.wait_for(lock, std::chrono::microseconds(200), [&] {
-      return work_epoch_.load(std::memory_order_acquire) != epoch ||
-             stopping_.load(std::memory_order_acquire);
-    });
+    if (sched::coop_active()) {
+      // Timed nap: the logical timeout fires only when no untimed lane can
+      // progress, standing in for the 200us backstop against silent steals.
+      while (work_epoch_.load(std::memory_order_acquire) == epoch &&
+             !stopping_.load(std::memory_order_acquire)) {
+        if (sched::coop_block(&work_cv_, &lock, /*timed=*/true)) break;
+      }
+    } else {
+      work_cv_.wait_for(lock, std::chrono::microseconds(200), [&] {
+        return work_epoch_.load(std::memory_order_acquire) != epoch ||
+               stopping_.load(std::memory_order_acquire);
+      });
+    }
     nappers_.fetch_sub(1, std::memory_order_relaxed);
   }
   identity() = WorkerIdentity{};
@@ -147,7 +174,14 @@ void StealingPool::worker_loop(int id) {
 
 void StealingPool::wait_idle() {
   std::unique_lock lock(mu_);
-  idle_cv_.wait(lock, [this] { return in_flight_.load(std::memory_order_acquire) == 0; });
+  if (sched::coop_active()) {
+    while (in_flight_.load(std::memory_order_acquire) != 0) {
+      sched::coop_block(&idle_cv_, &lock);
+    }
+  } else {
+    idle_cv_.wait(lock,
+                  [this] { return in_flight_.load(std::memory_order_acquire) == 0; });
+  }
   // Join edge: completed tasks' writes happen-before post-quiescence reads.
   analyze::on_sync_acquire(this);
   if (first_error_) {
@@ -162,6 +196,8 @@ void StealingPool::shutdown() {
   bool expected = false;
   if (!stopping_.compare_exchange_strong(expected, true)) return;
   work_cv_.notify_all();
+  sched::coop_wake(&work_cv_);
+  sched::coop_join(this);
   threads_.clear();  // joins; workers drain remaining work before exiting
 }
 

@@ -105,6 +105,7 @@ class StealingPool {
 
  private:
   void worker_loop(int id);
+  void worker_body(int id);
   std::optional<Task> find_work(int id);
   /// Id of the calling thread within *this* pool, or -1 for outsiders.
   int calling_worker() const;

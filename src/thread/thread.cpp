@@ -24,6 +24,13 @@ void run_all(int n, int first_spawned, const std::function<void(int)>& fn,
   const void* fork_key = reinterpret_cast<const char*>(&errors) + 1;
   const void* join_key = &errors;
   analyze::on_sync_release(fork_key);
+  // Under cooperative verification the team registers with the scheduler
+  // before any worker starts: children identify as deterministic slots
+  // (token base + id), and no scheduling decision is taken while a
+  // registration is pending — the ready set at every decision is a pure
+  // function of the schedule, which is what makes replay exact.
+  sched::coop_spawned(join_key, static_cast<std::uint32_t>(n),
+                      static_cast<std::uint32_t>(n - first_spawned));
   std::vector<std::jthread> workers;
   workers.reserve(static_cast<std::size_t>(n - first_spawned));
   for (int id = first_spawned; id < n; ++id) {
@@ -31,6 +38,7 @@ void run_all(int n, int first_spawned, const std::function<void(int)>& fn,
       // Bind the perturbation lane to the team-relative id so a chaos seed
       // replays the same per-thread schedule across regions and runs.
       sched::bind_lane(static_cast<std::uint32_t>(id));
+      sched::coop_lane_begin(join_key, static_cast<std::uint32_t>(id));
       analyze::on_sync_acquire(fork_key);
       try {
         // One region span per team thread, covering its whole body.
@@ -40,6 +48,7 @@ void run_all(int n, int first_spawned, const std::function<void(int)>& fn,
         errors[static_cast<std::size_t>(id)] = std::current_exception();
       }
       analyze::on_sync_release(join_key);
+      sched::coop_lane_end(join_key);
     });
   }
   if (first_spawned == 1) {
@@ -52,7 +61,8 @@ void run_all(int n, int first_spawned, const std::function<void(int)>& fn,
       errors[0] = std::current_exception();
     }
   }
-  workers.clear();  // joins
+  sched::coop_join(join_key);  // cooperative wait; real joins are instant
+  workers.clear();             // joins
   analyze::on_sync_acquire(join_key);
 }
 

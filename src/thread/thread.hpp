@@ -10,11 +10,13 @@
 /// carries the small-integer id the patternlets print.
 
 #include <functional>
+#include <memory>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/error.hpp"
+#include "sched/coop.hpp"
 
 namespace pml::thread {
 
@@ -27,15 +29,33 @@ class Thread {
  public:
   Thread() = default;
 
-  /// Starts a worker running fn(id).
-  Thread(int id, std::function<void(int)> fn)
-      : id_(id), impl_(std::move(fn), id) {}
+  /// Starts a worker running fn(id). Under cooperative verification the
+  /// worker registers as a scheduler lane; the registration token is a
+  /// heap cookie (not `this`) so it survives moves of the Thread object.
+  Thread(int id, std::function<void(int)> fn) : id_(id) {
+    if (sched::coop_active()) {
+      coop_token_ = std::make_unique<char>('\0');
+      sched::coop_spawned(coop_token_.get(), 1, 1);
+      impl_ = std::jthread([fn = std::move(fn), id, tok = coop_token_.get()] {
+        sched::coop_lane_begin(tok, 0);
+        try {
+          fn(id);
+        } catch (const sched::CoopAbort&) {
+          // Execution aborted by the verifier; unwind quietly.
+        }
+        sched::coop_lane_end(tok);
+      });
+    } else {
+      impl_ = std::jthread(std::move(fn), id);
+    }
+  }
 
   Thread(Thread&&) noexcept = default;
   Thread& operator=(Thread&& other) noexcept {
     if (this != &other) {
       join();
       id_ = other.id_;
+      coop_token_ = std::move(other.coop_token_);
       impl_ = std::move(other.impl_);
     }
     return *this;
@@ -52,13 +72,17 @@ class Thread {
   /// True if the thread is running and not yet joined.
   bool joinable() const noexcept { return impl_.joinable(); }
 
-  /// Blocks until the worker finishes. Idempotent.
+  /// Blocks until the worker finishes. Idempotent. Under cooperative
+  /// verification the wait itself is a scheduling decision; the real join
+  /// afterwards is instantaneous.
   void join() {
+    if (coop_token_) sched::coop_join(coop_token_.get());
     if (impl_.joinable()) impl_.join();
   }
 
  private:
   int id_ = -1;
+  std::unique_ptr<char> coop_token_;
   std::jthread impl_;
 };
 

@@ -1,0 +1,132 @@
+#include "verify/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace pml::verify {
+
+namespace {
+
+/// First whitespace-separated token of \p rest; \p rest advances past it.
+std::string take_token(std::string& rest) {
+  const std::size_t start = rest.find_first_not_of(" \t");
+  if (start == std::string::npos) {
+    rest.clear();
+    return {};
+  }
+  std::size_t end = rest.find_first_of(" \t", start);
+  if (end == std::string::npos) end = rest.size();
+  std::string tok = rest.substr(start, end - start);
+  const std::size_t next = rest.find_first_not_of(" \t", end);
+  rest = next == std::string::npos ? std::string{} : rest.substr(next);
+  return tok;
+}
+
+long parse_long(const std::string& tok, const std::string& line) {
+  try {
+    std::size_t used = 0;
+    const long v = std::stol(tok, &used);
+    if (used != tok.size()) throw std::invalid_argument(tok);
+    return v;
+  } catch (const std::exception&) {
+    throw UsageError("pmlsched: bad number '" + tok + "' in line: " + line);
+  }
+}
+
+}  // namespace
+
+Schedule Schedule::parse(const std::string& text) {
+  Schedule s;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string rest = line;
+    const std::string key = take_token(rest);
+    if (key.empty() || key[0] == '#') continue;
+    if (key == "slug") {
+      s.slug = rest;
+    } else if (key == "tasks") {
+      s.tasks = static_cast<int>(parse_long(take_token(rest), line));
+    } else if (key == "toggle") {
+      const std::string state = take_token(rest);
+      if (state != "on" && state != "off") {
+        throw UsageError("pmlsched: toggle wants on|off, got '" + state +
+                         "' in line: " + line);
+      }
+      if (rest.empty()) {
+        throw UsageError("pmlsched: toggle without a name: " + line);
+      }
+      s.toggles.emplace_back(rest, state == "on");
+    } else if (key == "param") {
+      const std::string name = take_token(rest);
+      const std::string value = take_token(rest);
+      if (name.empty() || value.empty()) {
+        throw UsageError("pmlsched: param wants <name> <value>: " + line);
+      }
+      s.params.emplace_back(name, parse_long(value, line));
+    } else if (key == "fault-spec") {
+      s.fault_spec = rest;
+    } else if (key == "bound") {
+      s.bound = static_cast<int>(parse_long(take_token(rest), line));
+    } else if (key == "mode") {
+      s.mode = take_token(rest);
+      if (s.mode != "chess" && s.mode != "dpor") {
+        throw UsageError("pmlsched: mode wants chess|dpor, got '" + s.mode +
+                         "'");
+      }
+    } else if (key == "finding") {
+      s.finding_kind = take_token(rest);
+      s.finding_detail = rest;
+    } else if (key == "switch") {
+      Divergence d;
+      d.index = static_cast<std::uint64_t>(parse_long(take_token(rest), line));
+      d.is_switch = true;
+      d.value = static_cast<std::uint32_t>(parse_long(take_token(rest), line));
+      s.divergences.push_back(d);
+    } else if (key == "choose") {
+      Divergence d;
+      d.index = static_cast<std::uint64_t>(parse_long(take_token(rest), line));
+      d.is_switch = false;
+      d.value = static_cast<std::uint32_t>(parse_long(take_token(rest), line));
+      s.divergences.push_back(d);
+    } else {
+      throw UsageError("pmlsched: unknown directive '" + key +
+                       "' in line: " + line);
+    }
+  }
+  std::sort(s.divergences.begin(), s.divergences.end(),
+            [](const Divergence& a, const Divergence& b) {
+              return a.index < b.index;
+            });
+  return s;
+}
+
+std::string Schedule::to_string() const {
+  std::ostringstream out;
+  out << "# pmlsched v1\n";
+  if (!slug.empty()) out << "slug " << slug << "\n";
+  if (tasks != 0) out << "tasks " << tasks << "\n";
+  for (const auto& [name, on] : toggles) {
+    out << "toggle " << (on ? "on" : "off") << " " << name << "\n";
+  }
+  for (const auto& [name, value] : params) {
+    out << "param " << name << " " << value << "\n";
+  }
+  if (!fault_spec.empty()) out << "fault-spec " << fault_spec << "\n";
+  out << "bound " << bound << "\n";
+  out << "mode " << mode << "\n";
+  if (!finding_kind.empty()) {
+    out << "finding " << finding_kind << " " << finding_detail << "\n";
+  }
+  for (const Divergence& d : divergences) {
+    out << (d.is_switch ? "switch " : "choose ") << d.index << " " << d.value
+        << "\n";
+  }
+  for (const std::string& t : trace) out << "# " << t << "\n";
+  return out.str();
+}
+
+}  // namespace pml::verify

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file schedule.hpp
+/// \brief The `.pmlsched` counterexample format — a replayable schedule.
+///
+/// A counterexample is not a core dump; it is a *recipe*: enough metadata
+/// to reconstruct the run (slug, tasks, toggles, params, fault spec) plus
+/// the schedule itself, encoded as divergences from the checker's default
+/// scheduling policy. The default policy is a pure function of execution
+/// history (continue the current lane at a point; lowest-slot ready lane
+/// at a block; choice 0 at a fault decision), so the divergence list —
+/// `switch <index> <lane>` and `choose <index> <value>` lines — pins the
+/// entire interleaving. No addresses are stored, which makes a schedule
+/// stable across processes and ASLR.
+///
+/// The file is line-oriented text. `#` lines are comments; the emitter
+/// writes the violating execution's step trace as comments so a schedule
+/// is also human-readable teaching material:
+///
+///   # pmlsched v1
+///   slug omp/reduction
+///   tasks 4
+///   toggle on omp parallel for
+///   param size 64
+///   bound 2
+///   mode dpor
+///   finding race lane 2 and lane 0 race on "sum" (shared-write vs ...)
+///   switch 41 2
+///   # 0 lane=0 task-dispatch
+///   # ...
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pml::verify {
+
+/// One departure from the default scheduling policy, applied at a global
+/// decision index.
+struct Divergence {
+  std::uint64_t index = 0;  ///< Global decision index it applies at.
+  bool is_switch = true;    ///< true: lane switch; false: fault choice.
+  std::uint32_t value = 0;  ///< Target lane slot, or chosen fault value.
+};
+
+/// A parsed (or about-to-be-emitted) `.pmlsched` file.
+struct Schedule {
+  std::string slug;  ///< Patternlet the schedule belongs to (may be empty).
+  int tasks = 0;     ///< Task count the run used (0 = patternlet default).
+  std::vector<std::pair<std::string, bool>> toggles;  ///< Toggle overrides.
+  std::vector<std::pair<std::string, long>> params;   ///< Param overrides.
+  std::string fault_spec;    ///< `--fault` spec active during exploration.
+  int bound = 2;             ///< Preemption bound the search ran under.
+  std::string mode = "dpor"; ///< "chess" or "dpor".
+  std::string finding_kind;  ///< Violation kind ("race", "deadlock", ...).
+  std::string finding_detail;      ///< Human-readable violation message.
+  std::vector<Divergence> divergences;  ///< Sorted by index.
+  std::vector<std::string> trace;  ///< Step-trace comment lines (optional).
+
+  /// Parses the text of a `.pmlsched` file. Throws pml::UsageError naming
+  /// the offending line on malformed input.
+  static Schedule parse(const std::string& text);
+
+  /// Canonical round-trippable rendering (parse(to_string()) == *this up
+  /// to comment placement).
+  std::string to_string() const;
+};
+
+}  // namespace pml::verify

@@ -1,0 +1,270 @@
+#include "verify/verify.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "analyze/analyze.hpp"
+#include "verify/scheduler.hpp"
+
+namespace pml::verify {
+
+namespace {
+
+/// One explored execution's raw result.
+struct Execution {
+  std::vector<Step> log;
+  Terminal terminal;
+  analyze::Report report;
+  std::string body_error;
+  std::uint64_t signature = 0;
+  std::uint64_t decisions = 0;
+};
+
+Execution run_one(const std::function<void()>& body,
+                  const std::vector<Divergence>& forced, const Options& opts) {
+  Execution e;
+  Scheduler sch(forced, opts.max_steps);
+  analyze::Scope scope;
+  sch.begin_main();
+  sched::install_coop(&sch);
+  try {
+    body();
+  } catch (const sched::CoopAbort&) {
+    // Scheduler terminal (deadlock, budget, divergence) — recorded below.
+  } catch (const std::exception& ex) {
+    e.body_error = ex.what();
+  } catch (...) {
+    e.body_error = "unknown exception escaped the body";
+  }
+  sched::install_coop(nullptr);
+  e.report = scope.finish();
+  e.log = sch.log();
+  e.terminal = sch.terminal();
+  e.signature = sch.signature();
+  e.decisions = sch.decisions();
+  return e;
+}
+
+const char* checker_kind(analyze::Checker c) {
+  switch (c) {
+    case analyze::Checker::kRace: return "race";
+    case analyze::Checker::kDeadlock: return "deadlock-predicted";
+    case analyze::Checker::kWorkshare: return "workshare";
+    case analyze::Checker::kComm: return "comm";
+  }
+  return "finding";
+}
+
+/// Extracts the violation of \p e, if any. Scheduler terminals outrank
+/// analyze findings (a cooperative deadlock is the sharper diagnosis);
+/// "budget" and "divergence" terminals are search artifacts, not bugs.
+bool violating(const Execution& e, Finding* out) {
+  if (!e.terminal.kind.empty() && e.terminal.kind != "budget" &&
+      e.terminal.kind != "divergence") {
+    *out = {e.terminal.kind, e.terminal.detail};
+    return true;
+  }
+  for (const analyze::Finding& f : e.report.findings) {
+    if (f.severity == analyze::Severity::kError) {
+      std::string detail = f.message;
+      if (!f.subject.empty()) detail = f.subject + ": " + detail;
+      *out = {checker_kind(f.checker), detail};
+      return true;
+    }
+  }
+  if (!e.body_error.empty()) {
+    *out = {"body-exception", e.body_error};
+    return true;
+  }
+  return false;
+}
+
+std::string first_line(const std::string& s) {
+  const std::size_t nl = s.find('\n');
+  return nl == std::string::npos ? s : s.substr(0, nl);
+}
+
+/// Renders the violating execution's step log as `.pmlsched` comment
+/// lines. Addresses are numbered in order of first appearance (a0, a1,
+/// ...) so the trace is stable across processes.
+std::vector<std::string> render_trace(const std::vector<Step>& log) {
+  std::vector<std::string> out;
+  std::unordered_map<const void*, int> names;
+  const std::size_t cap = 400;
+  for (const Step& s : log) {
+    if (out.size() >= cap) {
+      out.push_back("... (" + std::to_string(log.size() - cap) +
+                    " more steps)");
+      break;
+    }
+    std::ostringstream os;
+    os << s.index << " lane=" << s.lane << " ";
+    switch (s.kind) {
+      case StepKind::kPoint:
+        os << sched::to_string(s.point);
+        break;
+      case StepKind::kBlock:
+        os << "block";
+        break;
+      case StepKind::kLaneEnd:
+        os << "lane-end";
+        break;
+      case StepKind::kChoice:
+        os << "choice " << s.chosen << "/" << s.arity;
+        break;
+    }
+    if (s.addr != nullptr) {
+      const auto [it, fresh] =
+          names.emplace(s.addr, static_cast<int>(names.size()));
+      (void)fresh;
+      os << " a" << it->second;
+    }
+    if (s.kind != StepKind::kChoice && s.chosen != s.lane) {
+      os << " ->lane " << s.chosen;
+    }
+    out.push_back(os.str());
+  }
+  return out;
+}
+
+bool contains(const std::vector<std::uint32_t>& v, std::uint32_t q) {
+  return std::find(v.begin(), v.end(), q) != v.end();
+}
+
+/// Seeds child schedules from \p e's step log onto \p stack. Only steps at
+/// index >= \p frontier (past the parent schedule's last divergence) are
+/// considered — earlier alternatives were seeded by ancestors.
+void seed_children(const Execution& e, const std::vector<Divergence>& base,
+                   std::uint64_t frontier, const Options& opts,
+                   std::vector<std::vector<Divergence>>* stack) {
+  const auto push = [&](std::uint64_t index, bool is_switch,
+                        std::uint32_t value) {
+    std::vector<Divergence> child = base;
+    child.push_back({index, is_switch, value});
+    stack->push_back(std::move(child));
+  };
+  const auto seed_choice = [&](const Step& s) {
+    if (!opts.fault_dimension) return;
+    if (static_cast<int>(s.faults_before) >= opts.max_faults) return;
+    for (std::uint32_t v = 1; v < s.arity; ++v) {
+      if (v != s.chosen) push(s.index, /*is_switch=*/false, v);
+    }
+  };
+  if (opts.mode == Mode::kChess) {
+    for (const Step& s : e.log) {
+      if (s.index < frontier) continue;
+      switch (s.kind) {
+        case StepKind::kPoint:
+          if (static_cast<int>(s.preemptions_before) >=
+              opts.preemption_bound) {
+            break;
+          }
+          for (const std::uint32_t q : s.ready) {
+            if (q != s.chosen) push(s.index, true, q);
+          }
+          break;
+        case StepKind::kBlock:
+        case StepKind::kLaneEnd:
+          // The blocked lane cannot continue; switching among ready lanes
+          // is not a preemption and stays free.
+          for (const std::uint32_t q : s.ready) {
+            if (q != s.chosen) push(s.index, true, q);
+          }
+          break;
+        case StepKind::kChoice:
+          seed_choice(s);
+          break;
+      }
+    }
+    return;
+  }
+  // dpor: backward conflict analysis. For each step touching a footprint
+  // address, find the latest earlier step by a *different* lane on the
+  // same address with at least one write-like side; running this step's
+  // lane there instead reorders the conflict.
+  std::unordered_map<const void*, std::vector<const Step*>> by_addr;
+  for (const Step& s : e.log) {
+    if (s.kind == StepKind::kChoice) {
+      if (s.index >= frontier) seed_choice(s);
+      continue;
+    }
+    if (s.addr == nullptr) continue;
+    auto& hist = by_addr[s.addr];
+    for (auto it = hist.rbegin(); it != hist.rend(); ++it) {
+      const Step* p = *it;
+      if (p->lane == s.lane) continue;
+      if (!p->write_like && !s.write_like) continue;
+      if (p->index >= frontier && contains(p->ready, s.lane)) {
+        push(p->index, true, s.lane);
+      }
+      break;  // only the latest conflicting predecessor
+    }
+    hist.push_back(&s);
+  }
+}
+
+}  // namespace
+
+Result explore(const std::function<void()>& body, const Options& opts) {
+  Result r;
+  r.counterexample.mode = to_string(opts.mode);
+  r.counterexample.bound = opts.preemption_bound;
+  std::vector<std::vector<Divergence>> stack;
+  stack.emplace_back();
+  std::unordered_set<std::uint64_t> seen;
+  while (!stack.empty() && r.executions < opts.max_executions) {
+    const std::vector<Divergence> divs = std::move(stack.back());
+    stack.pop_back();
+    Execution e = run_one(body, divs, opts);
+    ++r.executions;
+    r.decisions += e.decisions;
+    if (e.terminal.kind == "budget") ++r.step_capped;
+    if (e.terminal.kind == "divergence") continue;  // stale seed
+    Finding f;
+    if (violating(e, &f)) {
+      r.found = true;
+      r.finding = f;
+      r.analysis = e.report;
+      r.counterexample.divergences = divs;
+      r.counterexample.finding_kind = f.kind;
+      r.counterexample.finding_detail = first_line(f.detail);
+      r.counterexample.trace = render_trace(e.log);
+      return r;
+    }
+    r.analysis = e.report;
+    if (!seen.insert(e.signature).second) {
+      ++r.deduped;
+      continue;
+    }
+    const std::uint64_t frontier = divs.empty() ? 0 : divs.back().index + 1;
+    seed_children(e, divs, frontier, opts, &stack);
+  }
+  r.quiesced = stack.empty() && r.step_capped == 0;
+  return r;
+}
+
+Result replay(const std::function<void()>& body, const Schedule& schedule,
+              const Options& opts) {
+  Result r;
+  r.counterexample = schedule;
+  Execution e = run_one(body, schedule.divergences, opts);
+  r.executions = 1;
+  r.decisions = e.decisions;
+  r.analysis = e.report;
+  if (e.terminal.kind == "divergence") {
+    r.replay_diverged = true;
+    r.finding = {"divergence", e.terminal.detail};
+    return r;
+  }
+  Finding f;
+  if (violating(e, &f)) {
+    r.found = true;
+    r.finding = f;
+  }
+  return r;
+}
+
+}  // namespace pml::verify

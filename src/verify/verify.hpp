@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file verify.hpp
+/// \brief pml::verify — systematic schedule exploration (bounded model
+/// checking) with replayable counterexamples.
+///
+/// Chaos (pml::sched) and analysis (pml::analyze) are *sampling*: a race
+/// the chosen seeds never hit is silently reported clean. This layer
+/// replaces sampling with stateless search in the CHESS/DPOR family: it
+/// runs the body under verify::Scheduler (one lane at a time, every
+/// scheduling decision controlled), then re-runs it with injected
+/// divergences until the bounded schedule space is exhausted or a
+/// violation is found. Violations are:
+///
+///   - a terminal detected by the scheduler itself (cooperative deadlock,
+///     lost-signal — a wake that arrived but left a waiter stuck);
+///   - any error-severity finding from the pml::analyze checkers, which
+///     run inside every explored execution (HB races, lock-order cycles,
+///     worksharing divergence, unmatched/leftover messages);
+///   - an exception escaping the body.
+///
+/// Two search modes bound the explosion:
+///
+///   - **chess** — iterative preemption bounding: every context switch at
+///     a non-blocking point costs one preemption against the bound
+///     (default 2); switches at blocking points are free. Musuvathi &
+///     Qadeer's empirical result — most bugs need very few preemptions —
+///     is what makes this tractable.
+///   - **dpor** (default) — conflict-directed backtracking: alternatives
+///     are seeded only where the step log shows two lanes touching the
+///     same footprint address (the `point_at`/block resource addresses
+///     the substrates already report) with at least one write-like side,
+///     plus execution-signature dedup. This is DPOR-flavored pruning, not
+///     a full sleep-set implementation — documented as such.
+///
+/// When a fault plan is active, fault decisions (drop/dup/crash) become
+/// enumerated choice points explored in the same space, bounded to
+/// Options::max_faults injected faults per execution.
+///
+/// A violation yields a Schedule (schedule.hpp) — divergences from the
+/// default policy — that replay() re-executes deterministically.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "analyze/report.hpp"
+#include "verify/schedule.hpp"
+
+namespace pml::verify {
+
+enum class Mode { kChess, kDpor };
+
+inline const char* to_string(Mode m) {
+  return m == Mode::kChess ? "chess" : "dpor";
+}
+
+/// Exploration bounds and knobs.
+struct Options {
+  Mode mode = Mode::kDpor;
+  int preemption_bound = 2;         ///< chess-mode preemption budget.
+  std::uint64_t max_executions = 200;   ///< Exploration budget.
+  std::uint64_t max_steps = 2000000;    ///< Per-execution decision cap.
+  int max_faults = 2;               ///< Injected faults per execution.
+  bool fault_dimension = true;      ///< Explore fault choice points.
+};
+
+/// One violation.
+struct Finding {
+  std::string kind;    ///< "race", "deadlock", "lost-signal", "comm", ...
+  std::string detail;  ///< Human-readable description.
+};
+
+/// What explore() / replay() discovered.
+struct Result {
+  std::uint64_t executions = 0;  ///< Executions actually run.
+  std::uint64_t decisions = 0;   ///< Scheduling decisions across all runs.
+  bool quiesced = false;   ///< Bounded space exhausted with no violation.
+  bool found = false;      ///< A violation was found.
+  Finding finding;         ///< Valid when found.
+  analyze::Report analysis;  ///< Report of the violating (or last) run.
+  Schedule counterexample;   ///< Replayable schedule (when found).
+  std::uint64_t deduped = 0;      ///< Schedules skipped as duplicates.
+  std::uint64_t step_capped = 0;  ///< Executions that hit max_steps.
+  bool replay_diverged = false;   ///< replay(): schedule was infeasible.
+};
+
+/// Systematically explores \p body's schedules under \p opts. The body is
+/// run repeatedly on the calling thread (lane 0); it must be restartable —
+/// each execution gets a fresh analyze Scope, and the driver owns it, so
+/// the caller must NOT hold one open. Stops at the first violation.
+Result explore(const std::function<void()>& body, const Options& opts);
+
+/// Re-executes \p body once under \p schedule's forced divergences and
+/// returns what that single execution found. Result::replay_diverged is
+/// set when the schedule could not be followed (the body or build
+/// changed since it was recorded).
+Result replay(const std::function<void()>& body, const Schedule& schedule,
+              const Options& opts);
+
+}  // namespace pml::verify

@@ -127,6 +127,55 @@ TEST(SchedState, ChaosScopeRestoresThePreviousSeed) {
   EXPECT_EQ(seed(), 0u);
 }
 
+TEST(SchedState, NestedChaosScopeRestoresAppliedCounters) {
+  // Entering a scope resets the applied counters (a fresh window for the
+  // new seed); leaving it must restore the outer window's snapshot, so an
+  // inner experiment cannot zero out stats the outer scope is mid-way
+  // through accumulating.
+  configure(0);
+  {
+    ChaosScope outer{7};
+    for (int i = 0; i < 50; ++i) point(Point::kSharedRead);
+    const Stats outer_stats = stats();
+    EXPECT_EQ(outer_stats.points, 50u);
+    {
+      ChaosScope inner{8};
+      EXPECT_EQ(stats().points, 0u);  // fresh inner window
+      for (int i = 0; i < 10; ++i) point(Point::kSharedWrite);
+      EXPECT_EQ(stats().points, 10u);
+    }
+    const Stats restored = stats();
+    EXPECT_EQ(restored.points, outer_stats.points);
+    EXPECT_EQ(restored.yields, outer_stats.yields);
+    EXPECT_EQ(restored.spins, outer_stats.spins);
+    EXPECT_EQ(restored.sleeps, outer_stats.sleeps);
+    EXPECT_EQ(restored.slept_micros, outer_stats.slept_micros);
+    // ... and the outer window keeps counting from where it left off.
+    for (int i = 0; i < 5; ++i) point(Point::kSharedRead);
+    EXPECT_EQ(stats().points, outer_stats.points + 5);
+  }
+  EXPECT_EQ(seed(), 0u);
+}
+
+TEST(SchedState, NestedZeroSeedScopeSuspendsAndRestoresChaos) {
+  configure(0);
+  {
+    ChaosScope outer{31};
+    for (int i = 0; i < 20; ++i) point(Point::kSharedRead);
+    const Stats outer_stats = stats();
+    {
+      ChaosScope inner{0};  // chaos off inside
+      EXPECT_FALSE(enabled());
+      for (int i = 0; i < 100; ++i) point(Point::kSharedRead);  // inert
+      EXPECT_EQ(stats().points, 0u);
+    }
+    EXPECT_TRUE(enabled());
+    EXPECT_EQ(seed(), 31u);
+    EXPECT_EQ(stats().points, outer_stats.points);
+  }
+  configure(0);
+}
+
 TEST(SchedState, AppliedScheduleMatchesTheOracle) {
   // Bind a lane, fire N points, and check the applied-perturbation counters
   // against what decide() predicts for calls 0..N-1 — the end-to-end

@@ -1,0 +1,91 @@
+// Whole-catalog verification sweep: every patternlet that stages a race
+// yields a counterexample under --verify, its declared fix silences the
+// violation, and clean patternlets report nothing.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/runner.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace {
+
+/// Shrinks the demo's work sizes so the serialized cooperative executions
+/// stay fast; the staged bugs fire at any size.
+std::map<std::string, long> shrunk(std::map<std::string, long> params) {
+  for (auto& [name, value] : params) {
+    if (value > 500) value = 500;
+  }
+  return params;
+}
+
+pml::RunSpec verify_spec() {
+  pml::RunSpec spec;
+  spec.verify = true;
+  spec.verify_budget = 25;
+  return spec;
+}
+
+TEST(CatalogSweep, EveryRacyPatternletYieldsACounterexample) {
+  pml::Registry& reg = pml::patternlets::ensure_registered();
+  for (const pml::Patternlet* p : reg.racy()) {
+    const pml::RaceDemo& demo = *p->race_demo;
+    pml::RunSpec spec = verify_spec();
+    spec.toggle_overrides = demo.racy_toggles;
+    spec.params = shrunk(demo.params);
+    const pml::RunResult result = pml::run(*p, spec);
+    ASSERT_TRUE(result.verification.has_value()) << p->slug;
+    EXPECT_TRUE(result.verification->found)
+        << p->slug << ": no violation in " << result.verification->executions
+        << " execution(s)";
+    EXPECT_TRUE(result.counterexample.has_value()) << p->slug;
+    if (result.counterexample.has_value()) {
+      // The counterexample must be self-contained: parseable and naming
+      // this patternlet, so `--replay FILE` needs nothing else.
+      const auto schedule = pml::verify::Schedule::parse(*result.counterexample);
+      EXPECT_EQ(schedule.slug, p->slug);
+      EXPECT_FALSE(schedule.finding_kind.empty()) << p->slug;
+    }
+  }
+}
+
+TEST(CatalogSweep, DeclaredFixesSilenceTheViolation) {
+  pml::Registry& reg = pml::patternlets::ensure_registered();
+  for (const pml::Patternlet* p : reg.racy()) {
+    const pml::RaceDemo& demo = *p->race_demo;
+    if (demo.fixed_toggles.empty()) continue;  // the race IS the lesson
+    pml::RunSpec spec = verify_spec();
+    spec.toggle_overrides = demo.racy_toggles;
+    for (const auto& t : demo.fixed_toggles) spec.toggle_overrides.push_back(t);
+    spec.params = shrunk(demo.params);
+    const pml::RunResult result = pml::run(*p, spec);
+    ASSERT_TRUE(result.verification.has_value()) << p->slug;
+    EXPECT_FALSE(result.verification->found)
+        << p->slug << " fixed config still violates: "
+        << result.verification->finding.kind << ": "
+        << result.verification->finding.detail;
+  }
+}
+
+TEST(CatalogSweep, CleanPatternletsReportNothing) {
+  pml::Registry& reg = pml::patternlets::ensure_registered();
+  std::set<std::string> racy;
+  for (const pml::Patternlet* p : reg.racy()) racy.insert(p->slug);
+  for (const pml::Patternlet& p : reg.all()) {
+    if (racy.count(p.slug) != 0) continue;
+    pml::RunSpec spec = verify_spec();
+    spec.verify_budget = 5;  // a violation would surface on execution 1
+    spec.params = {{"reps", 64}, {"size", 64}, {"n", 64}};
+    const pml::RunResult result = pml::run(p, spec);
+    ASSERT_TRUE(result.verification.has_value()) << p.slug;
+    EXPECT_FALSE(result.verification->found)
+        << p.slug << " (shipped defaults) violates: "
+        << result.verification->finding.kind << ": "
+        << result.verification->finding.detail;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// Exploration tests on hand-built bodies: a staged race is found, a
+// protected sibling quiesces, deadlocks and lost signals terminate with a
+// diagnosis, and counterexamples replay to the same violation.
+
+#include "verify/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "smp/sync.hpp"
+#include "thread/condvar.hpp"
+#include "thread/mutex.hpp"
+#include "thread/thread.hpp"
+
+namespace pml::verify {
+namespace {
+
+Options quick(Mode mode = Mode::kDpor) {
+  Options o;
+  o.mode = mode;
+  o.max_executions = 50;
+  return o;
+}
+
+// Two threads tear `shared += 1` into atomic_read + atomic_write: the
+// classic lost-update race the mutual-exclusion patternlets stage.
+void racy_body() {
+  long shared = 0;
+  pml::thread::fork_join(2, [&](int) {
+    for (int i = 0; i < 3; ++i) {
+      const long v = pml::smp::atomic_read(shared, "shared");
+      pml::smp::atomic_write(shared, v + 1, "shared");
+    }
+  });
+}
+
+TEST(Explore, FindsStagedRace) {
+  const Result r = explore(racy_body, quick());
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.finding.kind, "race");
+  EXPECT_GE(r.executions, 1u);
+  EXPECT_FALSE(r.counterexample.trace.empty());
+}
+
+TEST(Explore, ChessModeFindsStagedRaceToo) {
+  const Result r = explore(racy_body, quick(Mode::kChess));
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.finding.kind, "race");
+}
+
+TEST(Explore, MutexProtectedSiblingIsClean) {
+  const auto body = [] {
+    long shared = 0;
+    pml::thread::Mutex mu;
+    pml::thread::fork_join(2, [&](int) {
+      for (int i = 0; i < 3; ++i) {
+        pml::thread::LockGuard guard(mu);
+        const long v = pml::smp::atomic_read(shared, "shared");
+        pml::smp::atomic_write(shared, v + 1, "shared");
+      }
+    });
+  };
+  const Result r = explore(body, quick());
+  EXPECT_FALSE(r.found) << r.finding.kind << ": " << r.finding.detail;
+}
+
+TEST(Explore, SequentialBodyQuiescesInOneExecution) {
+  const auto body = [] {
+    long x = 0;
+    for (int i = 0; i < 5; ++i) x += i;
+    ASSERT_EQ(x, 10);
+  };
+  const Result r = explore(body, quick());
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.quiesced);
+  EXPECT_EQ(r.executions, 1u);
+}
+
+TEST(Explore, ReportsLockOrderInversion) {
+  // AB/BA acquisition order across two threads: the lock-graph predictor
+  // flags the cycle on whichever interleaving runs first.
+  const auto body = [] {
+    pml::thread::Mutex a;
+    pml::thread::Mutex b;
+    pml::thread::fork_join(2, [&](int id) {
+      pml::thread::Mutex& first = id == 0 ? a : b;
+      pml::thread::Mutex& second = id == 0 ? b : a;
+      pml::thread::LockGuard outer(first);
+      pml::thread::LockGuard inner(second);
+    });
+  };
+  const Result r = explore(body, quick());
+  ASSERT_TRUE(r.found);
+  // Either the predictor reports the cycle or the explorer drives the two
+  // lanes into the actual deadlock; both are correct detections.
+  EXPECT_TRUE(r.finding.kind == "deadlock-predicted" || r.finding.kind == "deadlock")
+      << r.finding.kind << ": " << r.finding.detail;
+}
+
+TEST(Explore, DiagnosesLostSignalDeadlock) {
+  // The waiter parks on an event that is set before the waiter starts —
+  // with Event this is fine (state-based), so instead stage a never-set
+  // event: every lane blocks, nothing can progress.
+  const auto body = [] {
+    pml::thread::Event never;
+    pml::thread::fork_join(2, [&](int id) {
+      if (id == 1) never.wait();
+    });
+  };
+  const Result r = explore(body, quick());
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(r.finding.kind == "deadlock" || r.finding.kind == "lost-signal")
+      << r.finding.kind << ": " << r.finding.detail;
+}
+
+TEST(Explore, BodyAssertionFailureIsAViolation) {
+  const auto body = [] { throw std::logic_error("invariant violated"); };
+  const Result r = explore(body, quick());
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.finding.kind, "body-exception");
+  EXPECT_NE(r.finding.detail.find("invariant violated"), std::string::npos);
+}
+
+TEST(Explore, DeterministicAcrossRuns) {
+  const Result a = explore(racy_body, quick());
+  const Result b = explore(racy_body, quick());
+  ASSERT_TRUE(a.found);
+  ASSERT_TRUE(b.found);
+  EXPECT_EQ(a.executions, b.executions);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.finding.kind, b.finding.kind);
+  EXPECT_EQ(a.counterexample.divergences.size(), b.counterexample.divergences.size());
+}
+
+TEST(Replay, ReproducesTheViolation) {
+  const Result found = explore(racy_body, quick());
+  ASSERT_TRUE(found.found);
+  const Result again = replay(racy_body, found.counterexample, quick());
+  ASSERT_TRUE(again.found) << "replay lost the violation";
+  EXPECT_FALSE(again.replay_diverged);
+  EXPECT_EQ(again.finding.kind, found.finding.kind);
+}
+
+TEST(Replay, SurvivesSerializationRoundTrip) {
+  const Result found = explore(racy_body, quick());
+  ASSERT_TRUE(found.found);
+  const Schedule wire = Schedule::parse(found.counterexample.to_string());
+  const Result again = replay(racy_body, wire, quick());
+  ASSERT_TRUE(again.found);
+  EXPECT_EQ(again.finding.kind, found.finding.kind);
+}
+
+TEST(Explore, BudgetIsRespected) {
+  Options o = quick();
+  o.max_executions = 3;
+  const Result r = explore(racy_body, o);
+  EXPECT_LE(r.executions, 3u);
+}
+
+}  // namespace
+}  // namespace pml::verify

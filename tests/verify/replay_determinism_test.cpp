@@ -1,0 +1,86 @@
+// Replay determinism: a counterexample found by exploration re-executes to
+// the identical violation — same finding kind, same checker, same subject —
+// every time, including after a serialize/parse round trip.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace {
+
+struct FindingKey {
+  std::string kind;
+  std::string detail;
+  std::vector<std::string> analyze_keys;  ///< checker + subject per finding
+
+  bool operator==(const FindingKey& o) const {
+    return kind == o.kind && detail == o.detail && analyze_keys == o.analyze_keys;
+  }
+};
+
+FindingKey key_of(const pml::RunResult& result) {
+  FindingKey k;
+  k.kind = result.verification->finding.kind;
+  k.detail = result.verification->finding.detail;
+  for (const auto& f : result.verification->analysis.findings) {
+    k.analyze_keys.push_back(std::string(pml::analyze::to_string(f.checker)) + ":" +
+                             f.subject);
+  }
+  return k;
+}
+
+class ReplayDeterminism : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ReplayDeterminism, ThreeReplaysYieldTheIdenticalFinding) {
+  pml::Registry& reg = pml::patternlets::ensure_registered();
+  const pml::Patternlet& p = reg.get(GetParam());
+  const pml::RaceDemo& demo = *p.race_demo;
+
+  pml::RunSpec spec;
+  spec.verify = true;
+  spec.verify_budget = 25;
+  spec.toggle_overrides = demo.racy_toggles;
+  spec.params = demo.params;
+  for (auto& [name, value] : spec.params) {
+    if (value > 500) value = 500;
+  }
+
+  const pml::RunResult found = pml::run(p, spec);
+  ASSERT_TRUE(found.verification.has_value());
+  ASSERT_TRUE(found.verification->found) << "exploration found no violation";
+  ASSERT_TRUE(found.counterexample.has_value());
+  const FindingKey expected = key_of(found);
+
+  // Replay through the serialized form — the same path --replay takes.
+  pml::RunSpec replay_spec = spec;
+  replay_spec.verify = false;
+  replay_spec.replay_schedule = *found.counterexample;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const pml::RunResult again = pml::run(p, replay_spec);
+    ASSERT_TRUE(again.verification.has_value());
+    EXPECT_FALSE(again.verification->replay_diverged) << "attempt " << attempt;
+    ASSERT_TRUE(again.verification->found)
+        << "attempt " << attempt << " lost the violation";
+    EXPECT_TRUE(key_of(again) == expected)
+        << "attempt " << attempt << " produced a different finding: "
+        << again.verification->finding.kind << ": "
+        << again.verification->finding.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RacySlugs, ReplayDeterminism,
+                         ::testing::Values("omp/race", "pthreads/mutex",
+                                           "mpi/sendrecvDeadlock"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '/') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace

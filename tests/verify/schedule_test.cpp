@@ -1,0 +1,94 @@
+// Round-trip and error-handling tests for the .pmlsched schedule format.
+
+#include "verify/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace pml::verify {
+namespace {
+
+TEST(Schedule, RoundTripsAllMetadata) {
+  Schedule s;
+  s.slug = "omp/race";
+  s.tasks = 4;
+  s.toggles = {{"omp critical", true}, {"omp parallel for", false}};
+  s.params = {{"reps", 500}, {"size", 32}};
+  s.fault_spec = "drop:1,seed:7";
+  s.bound = 3;
+  s.mode = "chess";
+  s.finding_kind = "race";
+  s.finding_detail = "data race on `balance`";
+  s.divergences = {{12, true, 2}, {40, false, 1}};
+  s.trace = {"0 lane=0 shared-read a0", "1 lane=0 shared-write a0"};
+
+  const Schedule back = Schedule::parse(s.to_string());
+  EXPECT_EQ(back.slug, s.slug);
+  EXPECT_EQ(back.tasks, s.tasks);
+  EXPECT_EQ(back.toggles, s.toggles);
+  EXPECT_EQ(back.params, s.params);
+  EXPECT_EQ(back.fault_spec, s.fault_spec);
+  EXPECT_EQ(back.bound, s.bound);
+  EXPECT_EQ(back.mode, s.mode);
+  EXPECT_EQ(back.finding_kind, s.finding_kind);
+  EXPECT_EQ(back.finding_detail, s.finding_detail);
+  ASSERT_EQ(back.divergences.size(), 2u);
+  EXPECT_EQ(back.divergences[0].index, 12u);
+  EXPECT_TRUE(back.divergences[0].is_switch);
+  EXPECT_EQ(back.divergences[0].value, 2u);
+  EXPECT_EQ(back.divergences[1].index, 40u);
+  EXPECT_FALSE(back.divergences[1].is_switch);
+  EXPECT_EQ(back.divergences[1].value, 1u);
+}
+
+TEST(Schedule, ParseSortsDivergencesByIndex) {
+  const Schedule s = Schedule::parse(
+      "slug a/b\n"
+      "tasks 2\n"
+      "switch 30 1\n"
+      "choose 5 1\n"
+      "switch 10 0\n");
+  ASSERT_EQ(s.divergences.size(), 3u);
+  EXPECT_EQ(s.divergences[0].index, 5u);
+  EXPECT_EQ(s.divergences[1].index, 10u);
+  EXPECT_EQ(s.divergences[2].index, 30u);
+}
+
+TEST(Schedule, IgnoresCommentsAndBlankLines) {
+  const Schedule s = Schedule::parse(
+      "# pmlsched v1\n"
+      "\n"
+      "slug x/y\n"
+      "# a trace line\n"
+      "tasks 8\n");
+  EXPECT_EQ(s.slug, "x/y");
+  EXPECT_EQ(s.tasks, 8);
+}
+
+TEST(Schedule, TogglesWithSpacesInNames) {
+  const Schedule s = Schedule::parse(
+      "slug x/y\n"
+      "toggle on omp parallel for\n"
+      "toggle off pthread_mutex_lock\n");
+  ASSERT_EQ(s.toggles.size(), 2u);
+  EXPECT_EQ(s.toggles[0], (std::pair<std::string, bool>{"omp parallel for", true}));
+  EXPECT_EQ(s.toggles[1], (std::pair<std::string, bool>{"pthread_mutex_lock", false}));
+}
+
+TEST(Schedule, RejectsMalformedInput) {
+  EXPECT_THROW(Schedule::parse("frobnicate 3\n"), pml::UsageError);
+  EXPECT_THROW(Schedule::parse("switch notanumber 0\n"), pml::UsageError);
+  EXPECT_THROW(Schedule::parse("toggle maybe foo\n"), pml::UsageError);
+  EXPECT_THROW(Schedule::parse("mode zigzag\n"), pml::UsageError);
+  EXPECT_THROW(Schedule::parse("tasks\n"), pml::UsageError);
+}
+
+TEST(Schedule, EmptyScheduleParses) {
+  const Schedule s = Schedule::parse("");
+  EXPECT_TRUE(s.slug.empty());
+  EXPECT_TRUE(s.divergences.empty());
+}
+
+}  // namespace
+}  // namespace pml::verify
