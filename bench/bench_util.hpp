@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "core/runner.hpp"
+#include "obs/histogram.hpp"
+#include "obs/profile.hpp"
 
 namespace pml::bench {
 
@@ -101,7 +103,26 @@ class JsonReporter {
                   std::map<std::string, bool> toggles = {}) {
     std::sort(seconds.begin(), seconds.end());
     series_.push_back(Series{std::move(label), tasks, std::move(seconds),
-                             std::move(toggles)});
+                             std::move(toggles), {}});
+  }
+
+  /// Attach obs registry percentiles to the most recent series: one
+  /// {p50, p90, p99} triple per metric name, usually lifted from a profiled
+  /// representative run (see attach_metrics). Additive JSON — bench_gate.py
+  /// compares medians by label and ignores unknown fields.
+  void add_metric(const std::string& metric, double p50, double p90, double p99) {
+    if (series_.empty()) return;
+    series_.back().metrics[metric] = {p50, p90, p99};
+  }
+
+  /// Lift every non-empty histogram of \p profile onto the latest series.
+  void attach_metrics(const obs::Profile& profile) {
+    for (int m = 0; m < obs::kMetricKinds; ++m) {
+      const obs::Histogram& h = profile.metric(static_cast<obs::Metric>(m));
+      if (h.count() == 0) continue;
+      add_metric(obs::to_string(static_cast<obs::Metric>(m)), h.quantile(0.5),
+                 h.quantile(0.9), h.quantile(0.99));
+    }
   }
 
   std::string path() const { return "BENCH_" + name_ + ".json"; }
@@ -131,7 +152,19 @@ class JsonReporter {
         std::fprintf(f, "%s\"%s\": %s", t++ ? ", " : "", escape(toggle).c_str(),
                      on ? "true" : "false");
       }
-      std::fprintf(f, "}}");
+      std::fprintf(f, "}");
+      if (!s.metrics.empty()) {
+        std::fprintf(f, ",\n     \"metrics\": {");
+        std::size_t m = 0;
+        for (const auto& [metric, q] : s.metrics) {
+          std::fprintf(f,
+                       "%s\"%s\": {\"p50\": %.9g, \"p90\": %.9g, \"p99\": %.9g}",
+                       m++ ? ", " : "", escape(metric).c_str(), q.p50, q.p90,
+                       q.p99);
+        }
+        std::fprintf(f, "}");
+      }
+      std::fprintf(f, "}");
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);
@@ -140,11 +173,18 @@ class JsonReporter {
   }
 
  private:
+  struct Quantiles {
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+
   struct Series {
     std::string label;
     int tasks;
     std::vector<double> seconds;  // ascending
     std::map<std::string, bool> toggles;
+    std::map<std::string, Quantiles> metrics;  // obs registry percentiles
   };
 
   static std::string escape(const std::string& s) {

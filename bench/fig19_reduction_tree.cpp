@@ -14,6 +14,7 @@
 #include "bench_util.hpp"
 #include "core/trace.hpp"
 #include "mp/mp.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -128,6 +129,27 @@ int main() {
       tree64 = tree_ms;
       flat64 = flat_ms;
     }
+  }
+
+  bench::section("Profiled representative: message-latency percentiles, t=32");
+  {
+    // One profiled rep feeds the obs registry histograms into the JSON
+    // companion so CI can watch latency percentiles alongside wall time.
+    const std::vector<long> payload(512, 1);
+    obs::Scope profiled;
+    std::vector<double> secs = bench::measure(3, [&] {
+      mp::run(32, [&](mp::Communicator& comm) {
+        (void)comm.reduce(payload, mp::op_sum<long>(), 0);
+      });
+    });
+    const obs::Profile prof = profiled.finish();
+    json.add_series("tree-reduce-profiled", 32, std::move(secs));
+    json.attach_metrics(prof);
+    const obs::Histogram& lat = prof.metric(obs::Metric::kMessageLatency);
+    std::printf("  message latency over %llu messages: p50=%.0fns p90=%.0fns "
+                "p99=%.0fns\n",
+                (unsigned long long)lat.count(), lat.quantile(0.5),
+                lat.quantile(0.9), lat.quantile(0.99));
   }
 
   bench::section("Shape checks");

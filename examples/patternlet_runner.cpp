@@ -40,18 +40,32 @@
 /// a per-task table. --trace-json FILE (implies --profile) additionally
 /// writes the spans as Chrome trace-event JSON — open it at
 /// ui.perfetto.dev to see the run as a zoomable per-node, per-task
-/// timeline.
+/// timeline, with flow arrows linking every message send to its receive.
+/// FILE may be '-' for stdout (program output is then suppressed so stdout
+/// is exactly one JSON document).
+///
+/// --explain (implies --profile) prints the run's critical path: the
+/// longest causal chain from start to finish, every nanosecond attributed
+/// to compute / barrier-wait / lock-wait / message-latency / rendezvous /
+/// runtime, plus the Amdahl speedup bound the decomposition admits. This is
+/// the "why wasn't it N× faster?" report.
+///
+/// --metrics-json FILE (implies --profile) writes the metrics registry —
+/// log-bucketed latency/wait/duration histograms with p50/p90/p99, per task
+/// and cluster-wide — as JSON ('-' for stdout, same suppression rule).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <iterator>
 #include <string>
 
 #include "core/runner.hpp"
 #include "core/timeline.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/metrics_json.hpp"
 #include "patternlets/listings.hpp"
 #include "patternlets/patternlets.hpp"
 
@@ -145,7 +159,18 @@ int help() {
       "                      waits, chunks, combines, messages) and print a\n"
       "                      per-task table\n"
       "  --trace-json FILE   write the profile as Chrome trace-event JSON for\n"
-      "                      Perfetto (implies --profile)\n"
+      "                      Perfetto, flow arrows linking sends to receives\n"
+      "                      (implies --profile; '-' writes to stdout)\n"
+      "  --explain           print the critical path: the longest causal\n"
+      "                      chain, attributed to compute/barrier/lock/\n"
+      "                      message/rendezvous/runtime, and the implied\n"
+      "                      speedup bound (implies --profile)\n"
+      "  --metrics-json FILE write the metrics registry (histograms with\n"
+      "                      p50/p90/p99, per task and cluster-wide) as JSON\n"
+      "                      (implies --profile; '-' writes to stdout)\n"
+      "  --obs-ring-spans N  per-thread span/flow ring capacity under\n"
+      "                      --profile (default 16384, or PML_OBS_RING_SPANS;\n"
+      "                      overflow counts into spans_dropped)\n"
       "  --verify            systematically explore the body's schedules\n"
       "                      (bounded model checking): one runnable lane at a\n"
       "                      time, every execution race-checked; the first\n"
@@ -177,8 +202,10 @@ int main(int argc, char** argv) {
   bool show_only = false;
   bool listing_only = false;
   bool timeline = false;
+  bool explain = false;
   pml::TimelineOptions timeline_options;
   std::string trace_json_path;
+  std::string metrics_json_path;
   std::string verify_out_path;
   std::string replay_path;
   pml::RunSpec spec;
@@ -220,6 +247,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace-json") {
       trace_json_path = next("--trace-json");
       spec.profile = true;
+    } else if (arg == "--explain") {
+      explain = true;
+      spec.profile = true;
+    } else if (arg == "--metrics-json") {
+      metrics_json_path = next("--metrics-json");
+      spec.profile = true;
+    } else if (arg == "--obs-ring-spans") {
+      const long n = std::atol(next("--obs-ring-spans").c_str());
+      if (n <= 0) usage_error("--obs-ring-spans must be positive");
+      spec.obs_ring_spans = static_cast<std::size_t>(n);
     } else if (arg == "-t" || arg == "--tasks") {
       spec.tasks = std::atoi(next("-t").c_str());
     } else if (arg == "--on") {
@@ -310,9 +347,19 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (trace_json_path == "-" && metrics_json_path == "-") {
+    usage_error("--trace-json - and --metrics-json - both claim stdout; "
+                "write at least one to a file");
+  }
+  // '-' turns stdout into the JSON document itself, so the program's own
+  // output must not precede it.
+  const bool stdout_is_json = trace_json_path == "-" || metrics_json_path == "-";
+
   try {
     const pml::RunResult result = pml::run(*p, spec);
-    for (const auto& line : result.output) std::printf("%s\n", line.text.c_str());
+    if (!stdout_is_json) {
+      for (const auto& line : result.output) std::printf("%s\n", line.text.c_str());
+    }
     if (timeline) {
       std::printf("\n%s", pml::render_timeline(result.output, timeline_options).c_str());
     }
@@ -354,15 +401,38 @@ int main(int argc, char** argv) {
     if (result.metrics.has_value()) {
       std::fprintf(stderr, "\n%s", result.metrics->table().c_str());
       if (!trace_json_path.empty()) {
-        std::ofstream out(trace_json_path);
-        if (!out) {
-          std::fprintf(stderr, "error: cannot write %s\n", trace_json_path.c_str());
-          return 1;
+        if (trace_json_path == "-") {
+          pml::obs::write_chrome_trace(std::cout, *result.metrics);
+        } else {
+          std::ofstream out(trace_json_path);
+          if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n", trace_json_path.c_str());
+            return 1;
+          }
+          pml::obs::write_chrome_trace(out, *result.metrics);
+          std::fprintf(stderr,
+                       "[trace: %zu spans, %zu flow events -> %s | load at "
+                       "ui.perfetto.dev]\n",
+                       result.metrics->spans.size(),
+                       result.metrics->flows.size(), trace_json_path.c_str());
         }
-        pml::obs::write_chrome_trace(out, *result.metrics);
-        std::fprintf(stderr,
-                     "[trace: %zu spans -> %s | load at ui.perfetto.dev]\n",
-                     result.metrics->spans.size(), trace_json_path.c_str());
+      }
+      if (!metrics_json_path.empty()) {
+        if (metrics_json_path == "-") {
+          pml::obs::write_metrics_json(std::cout, *result.metrics, p->slug);
+        } else {
+          std::ofstream out(metrics_json_path);
+          if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         metrics_json_path.c_str());
+            return 1;
+          }
+          pml::obs::write_metrics_json(out, *result.metrics, p->slug);
+          std::fprintf(stderr, "[metrics -> %s]\n", metrics_json_path.c_str());
+        }
+      }
+      if (explain && result.critical_path.has_value()) {
+        std::printf("\n%s", result.critical_path->report().c_str());
       }
     }
     if (result.verification.has_value()) {

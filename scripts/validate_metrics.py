@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Validate a `--metrics-json` document against docs/schemas/metrics.schema.json.
+
+Stdlib only — CI must not need `pip install jsonschema`. Implements exactly
+the subset of JSON Schema the committed schema uses:
+
+    type (object/array/string/integer/number), required, properties,
+    additionalProperties (false or a sub-schema), items, minimum,
+    $ref into #/definitions.
+
+Beyond structural validation, enforces two semantic invariants the schema
+language cannot express:
+
+  * every histogram orders p50 <= p90 <= p99 and min <= p50, p99 <= max;
+  * flow events pair up: `flows` is even whenever `flows_dropped` is 0 and
+    no message was deliberately dropped (callers pass --expect-paired-flows
+    when the run had no fault injection).
+
+Usage:
+    validate_metrics.py [--expect-paired-flows] FILE [FILE ...]
+
+Exit status 0 when every file validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+SCHEMA_PATH = pathlib.Path(__file__).resolve().parent.parent / "docs" / "schemas" / "metrics.schema.json"
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+}
+
+
+class SchemaError(Exception):
+    pass
+
+
+def _check(instance, schema, root, path):
+    if "$ref" in schema:
+        ref = schema["$ref"]
+        if not ref.startswith("#/definitions/"):
+            raise SchemaError(f"{path}: unsupported $ref {ref!r}")
+        _check(instance, root["definitions"][ref.split("/")[-1]], root, path)
+        return
+
+    expected = schema.get("type")
+    if expected is not None:
+        py = _TYPES[expected]
+        ok = isinstance(instance, py)
+        if expected in ("integer", "number") and isinstance(instance, bool):
+            ok = False
+        if not ok:
+            raise SchemaError(f"{path}: expected {expected}, got {type(instance).__name__}")
+
+    if "minimum" in schema and isinstance(instance, (int, float)):
+        if instance < schema["minimum"]:
+            raise SchemaError(f"{path}: {instance} < minimum {schema['minimum']}")
+
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                raise SchemaError(f"{path}: missing required property {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            if key in props:
+                _check(value, props[key], root, f"{path}.{key}")
+            elif extra is False:
+                raise SchemaError(f"{path}: unexpected property {key!r}")
+            elif isinstance(extra, dict):
+                _check(value, extra, root, f"{path}.{key}")
+
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            _check(item, schema["items"], root, f"{path}[{i}]")
+
+
+def _histograms(doc):
+    yield from doc.get("metrics", {}).items()
+    for task in doc.get("tasks", ()):
+        for name, hist in task.get("metrics", {}).items():
+            yield f"task {task.get('task')}/{name}", hist
+
+
+def validate(doc, schema, expect_paired_flows):
+    _check(doc, schema, schema, "$")
+    for name, h in _histograms(doc):
+        if not (h["min"] <= h["p50"] <= h["p90"] <= h["p99"] <= h["max"]):
+            raise SchemaError(
+                f"histogram {name!r}: percentiles disordered "
+                f"(min={h['min']} p50={h['p50']} p90={h['p90']} "
+                f"p99={h['p99']} max={h['max']})")
+    if expect_paired_flows and doc["flows_dropped"] == 0 and doc["flows"] % 2 != 0:
+        raise SchemaError(
+            f"flows={doc['flows']} is odd with flows_dropped=0: "
+            "an emit lost its matching recv (or vice versa)")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--expect-paired-flows", action="store_true",
+                        help="fail if flow events cannot pair up (no-fault runs)")
+    parser.add_argument("files", nargs="+", metavar="FILE")
+    args = parser.parse_args(argv)
+
+    schema = json.loads(SCHEMA_PATH.read_text())
+    failures = 0
+    for name in args.files:
+        try:
+            doc = json.loads(pathlib.Path(name).read_text())
+            validate(doc, schema, args.expect_paired_flows)
+        except (SchemaError, json.JSONDecodeError, KeyError, OSError) as err:
+            print(f"FAIL {name}: {err}", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"ok   {name}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

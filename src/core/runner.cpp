@@ -65,7 +65,7 @@ RunResult run_verified(const Patternlet& p, const RunSpec& spec, int tasks,
     // the violating one, so --trace-json renders the counterexample's
     // schedule in Perfetto.
     std::optional<obs::Scope> profiling;
-    if (spec.profile) profiling.emplace();
+    if (spec.profile) profiling.emplace(spec.obs_ring_spans);
     // The fault window opens per execution so fault counters and crash
     // countdowns restart with the schedule. A bad spec throws UsageError
     // out of explore() on the first execution.
@@ -116,6 +116,9 @@ RunResult run_verified(const Patternlet& p, const RunSpec& spec, int tasks,
   result.output = std::move(last_output);
   result.trace = std::move(last_trace);
   result.metrics = std::move(last_metrics);
+  if (result.metrics.has_value()) {
+    result.critical_path = obs::critical_path(*result.metrics);
+  }
   result.seconds = std::chrono::duration<double>(t1 - t0).count();
   result.expected_updates = expected_updates;
   result.observed_updates = observed_updates;
@@ -164,7 +167,7 @@ RunResult run(const Patternlet& p, const RunSpec& spec) {
   // after the body returned, i.e. after every team thread / rank joined —
   // the merge contract obs::Scope documents.
   std::optional<obs::Scope> profiling;
-  if (spec.profile) profiling.emplace();
+  if (spec.profile) profiling.emplace(spec.obs_ring_spans);
 
   const auto t0 = std::chrono::steady_clock::now();
   std::optional<fault::Stats> fault_stats;
@@ -231,6 +234,9 @@ RunResult run(const Patternlet& p, const RunSpec& spec) {
   }
   result.analysis = std::move(report);
   result.metrics = std::move(metrics);
+  if (result.metrics.has_value()) {
+    result.critical_path = obs::critical_path(*result.metrics);
+  }
   result.fault_stats = fault_stats;
   result.fault_abort = std::move(fault_abort);
   return result;

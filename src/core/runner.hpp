@@ -18,6 +18,7 @@
 #include "core/toggle.hpp"
 #include "core/trace.hpp"
 #include "fault/fault.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/profile.hpp"
 #include "verify/verify.hpp"
 
@@ -70,6 +71,11 @@ struct RunSpec {
   /// (`--replay FILE` in the runner). The caller configures tasks /
   /// toggles / params / fault_spec from the schedule's metadata.
   std::string replay_schedule;
+  /// Nonzero: per-thread obs span-ring capacity for this run
+  /// (`--obs-ring-spans` in the runner). 0 defers to PML_OBS_RING_SPANS,
+  /// then the built-in default; overflow is counted in
+  /// RunResult::metrics->spans_dropped either way.
+  std::size_t obs_ring_spans = 0;
 };
 
 /// Everything observable from one patternlet execution.
@@ -91,6 +97,9 @@ struct RunResult {
   /// metrics->table() is the `--profile` report; obs::write_chrome_trace()
   /// exports it for Perfetto.
   std::optional<obs::Profile> metrics;
+  /// Critical-path analysis over metrics (same condition: profile was on).
+  /// critical_path->report() is the `--explain` report.
+  std::optional<obs::CriticalPath> critical_path;
   /// Injection tallies when RunSpec::fault_spec was set. Absent otherwise.
   std::optional<fault::Stats> fault_stats;
   /// The RuntimeFault that ended the body under fault injection (deadlock

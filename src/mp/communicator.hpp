@@ -292,6 +292,7 @@ class Communicator {
                            std::to_string(attempt) + " attempts");
       }
       obs::count(obs::Counter::kRetryAttempts);
+      obs::observe(obs::Metric::kRetryAttempts, 1);
       backoff = std::min(backoff * policy.backoff_multiplier, policy.max_backoff);
     }
   }
@@ -333,6 +334,7 @@ class Communicator {
           deadline - std::chrono::steady_clock::now());
       if (remaining.count() <= 0) return std::nullopt;
       obs::count(obs::Counter::kRetryAttempts);
+      obs::observe(obs::Metric::kRetryAttempts, 1);
       slice = std::min({next, policy.max_backoff, remaining});
       next = std::min(next * policy.backoff_multiplier, policy.max_backoff);
     }

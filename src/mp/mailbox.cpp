@@ -22,7 +22,14 @@ void Mailbox::deliver(Envelope e) {
   if (fault::active()) {
     const fault::DeliveryFault f =
         fault::on_deliver(owner_, e.source, e.tag, e.context);
-    if (f.drop) return;
+    if (f.drop) {
+      // Record a dangling flow edge (an emit that never binds to a recv):
+      // Perfetto shows the arrow's tail with no head, which is exactly what
+      // a dropped message looks like on a wire trace.
+      (void)obs::flow_emit(owner_, e.tag, e.body_bytes(), e.rts,
+                           /*dropped=*/true);
+      return;
+    }
     if (f.duplicate) {
       Envelope copy = e;
       deposit(std::move(copy));
@@ -45,6 +52,9 @@ void Mailbox::deposit(Envelope e) {
   if (obs::active()) {
     e.send_ns = obs::detail::now_ns();
     obs::count(obs::Counter::kMessagesSent);
+    // Causal flow edge, emit half. Each deposit gets its own id, so a
+    // fault-duplicated message draws two distinguishable arrows.
+    e.flow = obs::flow_emit(owner_, e.tag, e.body_bytes(), e.rts);
   }
   DeliveryInfo info;
   bool have_hook;
@@ -197,13 +207,17 @@ void Mailbox::note_match_locked(const Envelope& e, int source, int tag,
     analyze::on_mp_match(e.analyze_id, owner_, e.source, e.tag, e.context,
                          source, wild_sources);
   }
-  // Receiver's lane: match count plus deliver-to-match latency.
+  // Receiver's lane: match count, deliver-to-match latency (counter and
+  // registry histogram), and the flow edge's recv half — recorded inside the
+  // still-open kRecv span so the trace arrow lands on the receive slice.
   if (obs::active()) {
     obs::count(obs::Counter::kMessagesReceived);
     if (e.send_ns != 0) {
-      obs::count(obs::Counter::kMessageLatencyNs,
-                 obs::detail::now_ns() - e.send_ns);
+      const std::uint64_t latency = obs::detail::now_ns() - e.send_ns;
+      obs::count(obs::Counter::kMessageLatencyNs, latency);
+      obs::observe(obs::Metric::kMessageLatency, latency);
     }
+    obs::flow_recv(e.flow, e.source, e.tag, e.body_bytes(), e.rts);
   }
 }
 

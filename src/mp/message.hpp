@@ -32,6 +32,7 @@ struct Envelope {
   std::uint64_t ack_id = 0;      ///< Ack key when wants_ack.
   std::uint64_t analyze_id = 0;  ///< pml::analyze delivery token (0 = off).
   std::uint64_t send_ns = 0;     ///< pml::obs delivery timestamp (0 = off).
+  std::uint64_t flow = 0;        ///< pml::obs causal flow id (0 = off).
   std::uint64_t seq = 0;         ///< Mailbox arrival stamp (wildcard ordering).
 
   /// Size of the message *body* in bytes: the payload itself on the eager

@@ -4,6 +4,7 @@
 #include <map>
 #include <ostream>
 #include <sstream>
+#include <unordered_set>
 
 namespace pml::obs {
 
@@ -54,6 +55,18 @@ void meta_event(std::ostream& os, const char* what, int pid, int tid, bool with_
   os << R"(,"args":{"name":")" << json_escape(name) << "\"}}";
 }
 
+/// Numeric-args metadata: process_sort_index / thread_sort_index rows, which
+/// pin the lane order Perfetto displays instead of leaving it to insertion
+/// order.
+void meta_sort_index(std::ostream& os, const char* what, int pid, int tid,
+                     bool with_tid, long long index, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"(  {"ph":"M","name":")" << what << R"(","pid":)" << pid;
+  if (with_tid) os << R"(,"tid":)" << tid;
+  os << R"(,"args":{"sort_index":)" << index << "}}";
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& os, const Profile& profile) {
@@ -82,6 +95,16 @@ void write_chrome_trace(std::ostream& os, const Profile& profile) {
                   std::to_string(task);
     meta_event(os, "thread_name", pid_for(task), task, true, name, first);
   }
+  // Deterministic lane order: host first, then nodes in name order; within
+  // a process, ranks/tasks by id with aux threads sorted after them.
+  meta_sort_index(os, "process_sort_index", 0, 0, false, 0, first);
+  for (const auto& [node, pid] : pid_of_node) {
+    meta_sort_index(os, "process_sort_index", pid, 0, false, pid, first);
+  }
+  for (const auto& [task, metrics] : profile.tasks) {
+    meta_sort_index(os, "thread_sort_index", pid_for(task), task, true, task,
+                    first);
+  }
 
   char buf[160];
   for (const Span& s : profile.spans) {
@@ -102,6 +125,36 @@ void write_chrome_trace(std::ostream& os, const Profile& profile) {
       os << buf;
     }
     os << "}";
+  }
+
+  // Causal flow edges: one "s" (flow start) per message emit, one "f" with
+  // bp:"e" (flow finish, bound to the enclosing slice) per matched receive.
+  // Perfetto binds the pair by (cat, name, id) — all three must agree — and
+  // draws the send→recv arrow across lanes. An emit whose recv half never
+  // happened (dropped or unreceived message) stays a dangling arrow tail.
+  std::unordered_set<std::uint64_t> emitted;
+  for (const FlowEvent& e : profile.flows) {
+    if (e.phase == FlowPhase::kEmit) emitted.insert(e.id);
+  }
+  for (const FlowEvent& e : profile.flows) {
+    const bool is_emit = e.phase == FlowPhase::kEmit;
+    if (!is_emit && emitted.count(e.id) == 0) continue;  // unbindable head
+    if (!first) os << ",\n";
+    first = false;
+    const double ts_us = static_cast<double>(e.ns - profile.origin_ns) / 1e3;
+    std::snprintf(buf, sizeof(buf),
+                  is_emit
+                      ? R"(  {"ph":"s","name":"msg","cat":"flow","id":%llu,"ts":%.3f,"pid":%d,"tid":%d)"
+                      : R"(  {"ph":"f","bp":"e","name":"msg","cat":"flow","id":%llu,"ts":%.3f,"pid":%d,"tid":%d)",
+                  static_cast<unsigned long long>(e.id), ts_us, pid_for(e.task),
+                  e.task);
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  R"(,"args":{"bytes":%llu,"tag":%d,"peer":%d%s%s}})",
+                  static_cast<unsigned long long>(e.bytes), e.tag, e.peer,
+                  e.rts ? R"(,"rts":true)" : "",
+                  e.dropped ? R"(,"dropped":true)" : "");
+    os << buf;
   }
 
   os << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";

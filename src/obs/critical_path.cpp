@@ -1,0 +1,417 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace pml::obs {
+
+const char* to_string(PathCategory c) noexcept {
+  switch (c) {
+    case PathCategory::kCompute: return "compute";
+    case PathCategory::kBarrierWait: return "barrier-wait";
+    case PathCategory::kLockWait: return "lock-wait";
+    case PathCategory::kMessageLatency: return "message-latency";
+    case PathCategory::kRendezvousPark: return "rendezvous-park";
+    case PathCategory::kRuntime: return "runtime";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Wait kinds: spans whose duration is time the task did NOT compute and
+/// whose end is caused by some releasing event (possibly on another task).
+/// kCollective is deliberately absent — a collective *contains* the recv
+/// waits that explain it, and those carry the flow edges.
+bool is_wait(SpanKind k) noexcept {
+  switch (k) {
+    case SpanKind::kBarrier:
+    case SpanKind::kLockWait:
+    case SpanKind::kSend:
+    case SpanKind::kRecv:
+    case SpanKind::kRendezvous:
+      return true;
+    default:
+      return false;
+  }
+}
+
+PathCategory category_of(SpanKind k) noexcept {
+  switch (k) {
+    case SpanKind::kBarrier: return PathCategory::kBarrierWait;
+    case SpanKind::kLockWait: return PathCategory::kLockWait;
+    case SpanKind::kRendezvous: return PathCategory::kRendezvousPark;
+    default: return PathCategory::kMessageLatency;  // kRecv / kSend
+  }
+}
+
+/// "12345" -> "12.3us"-style compact rendering (same scheme as the profile
+/// table, duplicated to keep this TU self-contained).
+std::string pretty_ns(std::uint64_t ns) {
+  char buf[32];
+  if (ns < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%lluns", static_cast<unsigned long long>(ns));
+  } else if (ns < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  } else if (ns < 10'000'000'000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+std::string task_label(int task) {
+  if (task < 0) return "runtime";
+  if (task >= kUnboundTaskBase) return "aux " + std::to_string(task - kUnboundTaskBase);
+  return "task " + std::to_string(task);
+}
+
+/// The backward walker: shared indices plus the (task, time) cursor.
+class Walker {
+ public:
+  explicit Walker(const Profile& p) : p_(p) {
+    for (const Span& s : p.spans) {
+      if (is_wait(s.kind)) waits_by_task_[s.task].push_back(&s);
+      auto [it, fresh] = first_begin_.try_emplace(s.task, s.begin_ns);
+      if (!fresh && s.begin_ns < it->second) it->second = s.begin_ns;
+      if (s.kind == SpanKind::kBarrier) {
+        barrier_groups_[{s.aux, s.key}].push_back(&s);
+      }
+    }
+    for (auto& [task, waits] : waits_by_task_) {
+      std::sort(waits.begin(), waits.end(), [](const Span* a, const Span* b) {
+        return a->end_ns < b->end_ns;
+      });
+    }
+    for (const FlowEvent& e : p.flows) {
+      if (e.phase == FlowPhase::kEmit) {
+        emit_of_[e.id] = &e;
+      } else {
+        recv_of_[e.id] = &e;
+        recvs_by_task_[e.task].push_back(&e);
+      }
+    }
+    // p.flows is ns-sorted, so the per-task recv lists already are too.
+  }
+
+  CriticalPath walk() {
+    CriticalPath cp;
+    cp.wall_ns = p_.finish_ns - p_.origin_ns;
+    for (const auto& [task, tm] : p_.tasks) {
+      const std::uint64_t busy =
+          tm.ns(SpanKind::kRegion) != 0
+              ? tm.ns(SpanKind::kRegion)
+              : tm.ns(SpanKind::kChunk) + tm.ns(SpanKind::kTask);
+      cp.total_busy_ns += busy;
+    }
+
+    // Seed: the span finishing last is where the run's tail hangs off; the
+    // slack to the profile's finish is runtime (thread join, teardown).
+    const Span* last = nullptr;
+    for (const Span& s : p_.spans) {
+      if (last == nullptr || s.end_ns > last->end_ns) last = &s;
+    }
+    if (last == nullptr) {
+      add(cp, p_.origin_ns, p_.finish_ns, -1, PathCategory::kRuntime, nullptr);
+      finalize(cp);
+      return cp;
+    }
+    std::uint64_t cur_t = p_.finish_ns;
+    if (last->end_ns < cur_t) {
+      add(cp, last->end_ns, cur_t, -1, PathCategory::kRuntime, nullptr);
+      cur_t = last->end_ns;
+    }
+    int cur_task = last->task;
+
+    // Each step retires at least one wait span or ends the walk, so the
+    // bound is generous; it only guards degenerate profiles.
+    std::size_t budget = p_.spans.size() * 4 + 64;
+    while (cur_t > p_.origin_ns && budget-- > 0) {
+      const Span* w = latest_wait(cur_task, cur_t);
+      if (w == nullptr) {
+        // No earlier wait: everything back to the task's first span is
+        // compute; before that, runtime (thread spawn / scope start).
+        const auto it = first_begin_.find(cur_task);
+        std::uint64_t t0 = it == first_begin_.end() ? p_.origin_ns : it->second;
+        if (t0 >= cur_t || t0 <= p_.origin_ns) t0 = p_.origin_ns;
+        if (t0 < cur_t) add(cp, t0, cur_t, cur_task, PathCategory::kCompute, nullptr);
+        if (p_.origin_ns < t0) {
+          add(cp, p_.origin_ns, t0, -1, PathCategory::kRuntime, nullptr);
+        }
+        cur_t = p_.origin_ns;
+        break;
+      }
+      if (w->end_ns < cur_t) {
+        add(cp, w->end_ns, cur_t, cur_task, PathCategory::kCompute, nullptr);
+        cur_t = w->end_ns;
+      }
+      step(cp, *w, cur_task, cur_t);
+    }
+    if (cur_t > p_.origin_ns) {
+      add(cp, p_.origin_ns, cur_t, cur_task, PathCategory::kCompute, nullptr);
+    }
+    finalize(cp);
+    return cp;
+  }
+
+ private:
+  /// Retires wait span \p w, updating the cursor — possibly hopping to the
+  /// task whose releasing event ended the wait.
+  void step(CriticalPath& cp, const Span& w, int& cur_task, std::uint64_t& cur_t) {
+    const std::uint64_t clamped_begin = std::max(w.begin_ns, p_.origin_ns);
+    switch (w.kind) {
+      case SpanKind::kRecv: {
+        // The releasing event is the latest message matched inside the
+        // wait; its flow edge names the sender and the deposit time.
+        const FlowEvent* r = latest_recv_in(cur_task, w.begin_ns, w.end_ns);
+        const FlowEvent* em = r == nullptr ? nullptr : emit_for(r->id);
+        if (em != nullptr && em->task != cur_task && em->ns > clamped_begin &&
+            em->ns < cur_t) {
+          add(cp, em->ns, cur_t, cur_task, PathCategory::kMessageLatency, w.label);
+          ++cp.hops;
+          cur_task = em->task;
+          cur_t = em->ns;
+          return;
+        }
+        break;  // pre-queued message (or no edge): charge the wait in place
+      }
+      case SpanKind::kSend: {
+        // ssend / send-retry: released by the receiver's ack, which fires
+        // when the receiver matches (or claims) the message — i.e. at the
+        // flow edge's recv half.
+        const FlowEvent* r = acked_recv_in(cur_task, w.begin_ns, w.end_ns);
+        if (r != nullptr && r->task != cur_task && r->ns > clamped_begin &&
+            r->ns < cur_t) {
+          add(cp, r->ns, cur_t, cur_task, PathCategory::kMessageLatency, w.label);
+          ++cp.hops;
+          cur_task = r->task;
+          cur_t = r->ns;
+          return;
+        }
+        break;
+      }
+      case SpanKind::kBarrier: {
+        // Released by the phase's last arrival: the same-(identity, phase)
+        // barrier span with the latest begin. If that is another task, the
+        // wait from its arrival to our departure is its fault — hop there.
+        const Span* lastArrival = nullptr;
+        const auto it = barrier_groups_.find({w.aux, w.key});
+        if (it != barrier_groups_.end()) {
+          for (const Span* s : it->second) {
+            if (lastArrival == nullptr || s->begin_ns > lastArrival->begin_ns) {
+              lastArrival = s;
+            }
+          }
+        }
+        if (lastArrival != nullptr && lastArrival->task != cur_task &&
+            lastArrival->begin_ns > clamped_begin && lastArrival->begin_ns < cur_t) {
+          add(cp, lastArrival->begin_ns, cur_t, cur_task,
+              PathCategory::kBarrierWait, w.label);
+          ++cp.hops;
+          cur_task = lastArrival->task;
+          cur_t = lastArrival->begin_ns;
+          return;
+        }
+        break;
+      }
+      default:
+        break;  // kLockWait / kRendezvous: holder unknown, charge in place
+    }
+    if (clamped_begin < cur_t) {
+      add(cp, clamped_begin, cur_t, cur_task, category_of(w.kind), w.label);
+      cur_t = clamped_begin;
+    } else if (cur_t > p_.origin_ns) {
+      // Zero-width after clamping: force progress by one tick.
+      --cur_t;
+    }
+  }
+
+  /// Latest wait span on \p task ending at or before \p t (and after the
+  /// origin, so the walk terminates).
+  const Span* latest_wait(int task, std::uint64_t t) const {
+    const auto it = waits_by_task_.find(task);
+    if (it == waits_by_task_.end()) return nullptr;
+    const auto& waits = it->second;
+    auto pos = std::upper_bound(waits.begin(), waits.end(), t,
+                                [](std::uint64_t v, const Span* s) {
+                                  return v < s->end_ns;
+                                });
+    while (pos != waits.begin()) {
+      --pos;
+      if ((*pos)->end_ns > p_.origin_ns) return *pos;
+    }
+    return nullptr;
+  }
+
+  /// Latest flow-recv by \p task inside [lo, hi].
+  const FlowEvent* latest_recv_in(int task, std::uint64_t lo, std::uint64_t hi) const {
+    const auto it = recvs_by_task_.find(task);
+    if (it == recvs_by_task_.end()) return nullptr;
+    const FlowEvent* best = nullptr;
+    for (const FlowEvent* e : it->second) {
+      if (e->ns < lo) continue;
+      if (e->ns > hi) break;  // ns-sorted
+      best = e;
+    }
+    return best;
+  }
+
+  /// For a send wait by \p task over [lo, hi]: the recv half of the latest
+  /// flow this task emitted in the window that was matched within it.
+  const FlowEvent* acked_recv_in(int task, std::uint64_t lo, std::uint64_t hi) const {
+    const FlowEvent* best = nullptr;
+    for (const FlowEvent& e : p_.flows) {
+      if (e.phase != FlowPhase::kEmit || e.task != task) continue;
+      if (e.ns < lo) continue;
+      if (e.ns > hi) break;  // ns-sorted
+      const FlowEvent* r = recv_for(e.id);
+      if (r == nullptr || r->ns > hi) continue;
+      if (best == nullptr || r->ns > best->ns) best = r;
+    }
+    return best;
+  }
+
+  const FlowEvent* emit_for(std::uint64_t id) const {
+    const auto it = emit_of_.find(id);
+    return it == emit_of_.end() ? nullptr : it->second;
+  }
+  const FlowEvent* recv_for(std::uint64_t id) const {
+    const auto it = recv_of_.find(id);
+    return it == recv_of_.end() ? nullptr : it->second;
+  }
+
+  /// Appends a segment (the walk emits them newest-first) and accounts it.
+  void add(CriticalPath& cp, std::uint64_t begin, std::uint64_t end, int task,
+           PathCategory cat, const char* label) {
+    if (end <= begin) return;
+    cp.segments.push_back(PathSegment{begin, end, task, cat, label});
+    const std::uint64_t d = end - begin;
+    cp.by_category[static_cast<std::size_t>(cat)] += d;
+    cp.by_task[task][static_cast<std::size_t>(cat)] += d;
+    cp.attributed_ns += d;
+    if (cat == PathCategory::kCompute) cp.path_compute_ns += d;
+  }
+
+  /// Chronological order + coalesce adjacent same-(task, category) slices.
+  static void finalize(CriticalPath& cp) {
+    std::reverse(cp.segments.begin(), cp.segments.end());
+    std::vector<PathSegment> merged;
+    merged.reserve(cp.segments.size());
+    for (const PathSegment& s : cp.segments) {
+      if (!merged.empty() && merged.back().end_ns == s.begin_ns &&
+          merged.back().task == s.task && merged.back().category == s.category) {
+        merged.back().end_ns = s.end_ns;
+        continue;
+      }
+      merged.push_back(s);
+    }
+    cp.segments = std::move(merged);
+  }
+
+  struct GroupKey {
+    std::int64_t id;
+    std::int64_t phase;
+    bool operator==(const GroupKey&) const = default;
+  };
+  struct GroupHash {
+    std::size_t operator()(const GroupKey& k) const noexcept {
+      return std::hash<std::int64_t>{}(k.id) ^
+             (std::hash<std::int64_t>{}(k.phase) << 1);
+    }
+  };
+
+  const Profile& p_;
+  std::unordered_map<int, std::vector<const Span*>> waits_by_task_;
+  std::unordered_map<int, std::uint64_t> first_begin_;
+  std::unordered_map<GroupKey, std::vector<const Span*>, GroupHash> barrier_groups_;
+  std::unordered_map<std::uint64_t, const FlowEvent*> emit_of_;
+  std::unordered_map<std::uint64_t, const FlowEvent*> recv_of_;
+  std::unordered_map<int, std::vector<const FlowEvent*>> recvs_by_task_;
+};
+
+}  // namespace
+
+CriticalPath critical_path(const Profile& profile) {
+  return Walker(profile).walk();
+}
+
+std::string CriticalPath::report() const {
+  char row[256];
+  std::string out;
+  const double pct = wall_ns == 0
+                         ? 100.0
+                         : 100.0 * static_cast<double>(attributed_ns) /
+                               static_cast<double>(wall_ns);
+  std::snprintf(row, sizeof(row),
+                "critical path: %zu segment(s), %d hop(s); attributed %s = "
+                "%.1f%% of %s wall\n",
+                segments.size(), hops, pretty_ns(attributed_ns).c_str(), pct,
+                pretty_ns(wall_ns).c_str());
+  out += row;
+
+  out += "  on the path:";
+  bool first = true;
+  for (int c = 0; c < kPathCategories; ++c) {
+    const std::uint64_t ns = by_category[static_cast<std::size_t>(c)];
+    if (ns == 0) continue;
+    const double share = attributed_ns == 0
+                             ? 0.0
+                             : 100.0 * static_cast<double>(ns) /
+                                   static_cast<double>(attributed_ns);
+    std::snprintf(row, sizeof(row), "%s %s %s (%.0f%%)", first ? "" : " |",
+                  to_string(static_cast<PathCategory>(c)),
+                  pretty_ns(ns).c_str(), share);
+    out += row;
+    first = false;
+  }
+  out += "\n";
+
+  std::snprintf(row, sizeof(row),
+                "  speedup bound: total busy %s / path compute %s = %.2fx "
+                "(Amdahl ceiling for this decomposition)\n",
+                pretty_ns(total_busy_ns).c_str(),
+                pretty_ns(path_compute_ns).c_str(), speedup_bound());
+  out += row;
+
+  out += "  attribution by task (time on the critical path):\n";
+  std::snprintf(row, sizeof(row), "    %-9s %10s %12s %10s %12s %12s %10s\n",
+                "task", "compute", "barrier-wait", "lock-wait", "msg-latency",
+                "rendezvous", "runtime");
+  out += row;
+  for (const auto& [task, by_cat] : by_task) {
+    auto cat = [&](PathCategory c) {
+      return pretty_ns(by_cat[static_cast<std::size_t>(c)]);
+    };
+    std::snprintf(row, sizeof(row), "    %-9s %10s %12s %10s %12s %12s %10s\n",
+                  task_label(task).c_str(), cat(PathCategory::kCompute).c_str(),
+                  cat(PathCategory::kBarrierWait).c_str(),
+                  cat(PathCategory::kLockWait).c_str(),
+                  cat(PathCategory::kMessageLatency).c_str(),
+                  cat(PathCategory::kRendezvousPark).c_str(),
+                  cat(PathCategory::kRuntime).c_str());
+    out += row;
+  }
+
+  out += "  path (chronological):\n";
+  const std::size_t limit = 48;
+  const std::uint64_t t0 = segments.empty() ? 0 : segments.front().begin_ns;
+  for (std::size_t i = 0; i < segments.size() && i < limit; ++i) {
+    const PathSegment& s = segments[i];
+    std::snprintf(row, sizeof(row), "    %10s .. %-10s %-9s %-15s%s%s\n",
+                  pretty_ns(s.begin_ns - t0).c_str(),
+                  pretty_ns(s.end_ns - t0).c_str(), task_label(s.task).c_str(),
+                  to_string(s.category), s.label != nullptr ? "  " : "",
+                  s.label != nullptr ? s.label : "");
+    out += row;
+  }
+  if (segments.size() > limit) {
+    std::snprintf(row, sizeof(row), "    (+%zu more segments)\n",
+                  segments.size() - limit);
+    out += row;
+  }
+  return out;
+}
+
+}  // namespace pml::obs

@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file critical_path.hpp
+/// \brief Critical-path analysis over the span + flow-edge graph.
+///
+/// The teaching question every patternlet raises is "why wasn't this N
+/// times faster?". A Perfetto timeline shows all the spans; the critical
+/// path answers the question: the single longest causal chain from the
+/// run's start to its finish, with every nanosecond on it attributed to a
+/// category — compute, barrier-wait, lock-wait, message-latency,
+/// rendezvous-park, or runtime overhead.
+///
+/// critical_path() walks backward from the profile's finish. At each step
+/// it finds the latest wait span on the current task; the wait's *releasing
+/// event* decides where the path jumps:
+///
+///   - a receive wait jumps to the sender of the message that matched it
+///     (via the flow edge recorded at deposit / match time);
+///   - a barrier wait jumps to the phase's last arrival (the same-identity,
+///     same-phase barrier span with the latest begin across tasks);
+///   - a synchronous-send wait jumps to the receiver that acknowledged it;
+///   - lock waits and rendezvous parks stay on-task (the holder is not
+///     tracked) and attribute their full duration.
+///
+/// Time between waits is compute. Segments partition [origin, finish]
+/// contiguously, so the attribution always sums to the wall time exactly —
+/// the "--explain within 5% of wall" acceptance bound holds by
+/// construction. The implied speedup bound is Amdahl over the
+/// decomposition: total busy time across tasks divided by the compute time
+/// on the critical path.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/profile.hpp"
+
+namespace pml::obs {
+
+/// Where a critical-path segment's time went.
+enum class PathCategory : std::uint8_t {
+  kCompute = 0,      ///< On-task work between waits.
+  kBarrierWait,      ///< Waiting on a barrier's last arrival.
+  kLockWait,         ///< Waiting on a contended lock / critical section.
+  kMessageLatency,   ///< Waiting for a message (recv wait, ssend ack).
+  kRendezvousPark,   ///< Large-message park / claim on the zero-copy path.
+  kRuntime,          ///< Startup before the first span / join after the last.
+};
+
+/// Number of distinct PathCategory values (array sizing).
+inline constexpr int kPathCategories = 6;
+
+/// Printable name ("compute", "barrier-wait", ...).
+const char* to_string(PathCategory c) noexcept;
+
+/// One contiguous slice of the critical path.
+struct PathSegment {
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+  int task = -1;  ///< Owning task; -1 = the orchestrator / runtime.
+  PathCategory category = PathCategory::kCompute;
+  const char* label = nullptr;  ///< Anchoring span's label, when any.
+
+  std::uint64_t duration_ns() const noexcept { return end_ns - begin_ns; }
+};
+
+/// The longest causal chain through one profiled run.
+struct CriticalPath {
+  /// Segments in chronological order; contiguous from origin to finish.
+  std::vector<PathSegment> segments;
+  /// Time on the path by category; sums to wall_ns.
+  std::array<std::uint64_t, kPathCategories> by_category{};
+  /// Time on the path by (task, category); task -1 holds runtime slack.
+  std::map<int, std::array<std::uint64_t, kPathCategories>> by_task;
+  std::uint64_t wall_ns = 0;        ///< finish - origin.
+  std::uint64_t attributed_ns = 0;  ///< Σ segments; == wall_ns.
+  std::uint64_t total_busy_ns = 0;  ///< Σ per-task busy time (all tasks).
+  std::uint64_t path_compute_ns = 0;  ///< Compute on the path.
+  int hops = 0;  ///< Cross-task jumps the path takes.
+
+  std::uint64_t category_ns(PathCategory c) const noexcept {
+    return by_category[static_cast<std::size_t>(c)];
+  }
+
+  /// Amdahl ceiling for this decomposition: total busy work divided by the
+  /// critical path's serial compute. 1.0 when the path is all compute on
+  /// one task and nothing ran in parallel.
+  double speedup_bound() const noexcept {
+    if (path_compute_ns == 0 || total_busy_ns == 0) return 1.0;
+    const double bound = static_cast<double>(total_busy_ns) /
+                         static_cast<double>(path_compute_ns);
+    return bound < 1.0 ? 1.0 : bound;
+  }
+
+  /// The `--explain` report: the path, the attribution table, and the
+  /// implied speedup bound.
+  std::string report() const;
+};
+
+/// Computes the critical path of \p profile. Always returns at least one
+/// segment (a span-free profile is a single runtime segment over the whole
+/// window).
+CriticalPath critical_path(const Profile& profile);
+
+}  // namespace pml::obs

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file flow.hpp
+/// \brief The causal message-flow data model: one FlowEvent per half of a
+/// send -> receive edge.
+///
+/// Every envelope pml::mp deposits while a profiling Scope is active gets a
+/// trace-wide flow id (Envelope::flow, allocated from one atomic counter —
+/// ids along any (src, dst, context) channel are therefore monotonically
+/// increasing, since a rank's sends on a channel are program-ordered). The
+/// sender records a kEmit event at deposit time; the matching receive
+/// records a kRecv event with the same id. Chrome trace export turns each
+/// pair into Perfetto flow ("s"/"f") events, drawing the arrow from the send
+/// site into the receive span across rank lanes; critical-path analysis
+/// walks the same pairs backward to jump from a blocked receiver to the
+/// sender that released it.
+///
+/// Fault interactions are first-class: a dropped delivery records a dangling
+/// kEmit with dropped=true (an arrow that starts and never lands — exactly
+/// what a lossy network looks like), a duplicated delivery gets a second id
+/// for the duplicate deposit, and a rendezvous transfer's RTS control
+/// envelope carries rts=true so the zero-copy path stays distinguishable.
+
+#include <cstdint>
+
+namespace pml::obs {
+
+/// Which half of a flow edge an event records.
+enum class FlowPhase : std::uint8_t {
+  kEmit = 0,  ///< Sender side: the envelope entered the destination mailbox.
+  kRecv,      ///< Receiver side: a receive matched the envelope.
+};
+
+/// One half of a causal send -> receive edge.
+struct FlowEvent {
+  std::uint64_t id = 0;     ///< Trace-wide flow id (1-based; 0 = unstamped).
+  std::uint64_t ns = 0;     ///< Steady-clock timestamp of this half.
+  std::uint64_t bytes = 0;  ///< Message body size.
+  int task = -1;            ///< Recording task (sender rank / receiver rank).
+  int peer = -1;            ///< Destination rank (emit) or source rank (recv).
+  int tag = 0;              ///< Message tag.
+  FlowPhase phase = FlowPhase::kEmit;
+  bool rts = false;      ///< Rendezvous RTS control envelope.
+  bool dropped = false;  ///< Emit whose delivery fault injection dropped.
+};
+
+}  // namespace pml::obs

@@ -1,0 +1,53 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+
+namespace pml::obs {
+
+const char* to_string(Metric m) noexcept {
+  switch (m) {
+    case Metric::kMessageLatency: return "message-latency-ns";
+    case Metric::kLockWait: return "lock-wait-ns";
+    case Metric::kBarrierWait: return "barrier-wait-ns";
+    case Metric::kRecvWait: return "recv-wait-ns";
+    case Metric::kSendWait: return "send-wait-ns";
+    case Metric::kCollectiveWait: return "collective-ns";
+    case Metric::kRendezvousPark: return "rendezvous-ns";
+    case Metric::kTaskDuration: return "task-ns";
+    case Metric::kChunkDuration: return "chunk-ns";
+    case Metric::kRetryAttempts: return "retry-attempts";
+  }
+  return "?";
+}
+
+bool is_nanoseconds(Metric m) noexcept {
+  return m != Metric::kRetryAttempts;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The rank of the wanted observation among count_ sorted samples.
+  const double rank = q * static_cast<double>(count_ - 1);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t here = buckets_[static_cast<std::size_t>(b)];
+    if (here == 0) continue;
+    if (static_cast<double>(seen + here) <= rank) {
+      seen += here;
+      continue;
+    }
+    // The rank-th observation lives in bucket b: interpolate across the
+    // bucket's value range by the rank's position inside the bucket.
+    const double lo = static_cast<double>(bucket_floor(b));
+    const double hi = b == 0 ? 0.0 : lo * 2.0;
+    const double frac = (rank - static_cast<double>(seen)) /
+                        static_cast<double>(here);
+    const double value = lo + (hi - lo) * frac;
+    return std::clamp(value, static_cast<double>(min_),
+                      static_cast<double>(max_));
+  }
+  return static_cast<double>(max_);
+}
+
+}  // namespace pml::obs

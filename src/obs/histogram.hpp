@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file histogram.hpp
+/// \brief Log-bucketed histograms and the metric taxonomy behind the
+/// cluster-wide metrics registry.
+///
+/// A Histogram is a fixed-size array of power-of-two buckets: value v lands
+/// in bucket bit_width(v), so bucket i covers [2^(i-1), 2^i). Recording is a
+/// handful of integer ops with no allocation — cheap enough for every wait
+/// span and message match while a profiling Scope is active — and two
+/// histograms merge by adding their arrays, which is how per-lane
+/// single-writer registries combine into per-task and cluster-wide views
+/// without any locking on the record path. Quantiles come back out by
+/// cumulative walk with linear interpolation inside the winning bucket,
+/// clamped to the observed min/max: exact at the resolution students (and
+/// the bench gates) need for p50/p90/p99.
+///
+/// The Metric enum names what the registry tracks. Wait metrics are fed
+/// automatically from span recording (obs.cpp maps SpanKind -> Metric);
+/// kMessageLatency and kRetryAttempts are observed explicitly at their
+/// source (mailbox match, retry loops) via obs::observe().
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace pml::obs {
+
+/// What a registry histogram measures. All are nanoseconds except
+/// kRetryAttempts (attempt counts per retried operation).
+enum class Metric : std::uint8_t {
+  kMessageLatency = 0,  ///< Deliver-to-match latency per message.
+  kLockWait,            ///< Contended lock / critical acquisition wait.
+  kBarrierWait,         ///< Barrier arrival-to-departure wait.
+  kRecvWait,            ///< Blocking receive wait.
+  kSendWait,            ///< Blocking (synchronous) send wait.
+  kCollectiveWait,      ///< Whole collective call duration.
+  kRendezvousPark,      ///< Large-message park (sender) / claim (receiver).
+  kTaskDuration,        ///< One explicit / pool task execution.
+  kChunkDuration,       ///< One worksharing loop chunk.
+  kRetryAttempts,       ///< Attempts per send_with_retry / recv_retry op.
+};
+
+/// Number of distinct Metric values (array sizing).
+inline constexpr int kMetricKinds = 10;
+
+/// Printable name ("message-latency-ns", "barrier-wait-ns", ...).
+const char* to_string(Metric m) noexcept;
+
+/// True for metrics measured in nanoseconds (all but kRetryAttempts).
+bool is_nanoseconds(Metric m) noexcept;
+
+/// A log-bucketed distribution of unsigned values. Single-writer on the
+/// record path (each obs lane owns one per metric); merge after the writer
+/// joined. Plain aggregate, trivially copyable.
+class Histogram {
+ public:
+  /// bucket_of() maxes out at bit_width(2^64-1) == 64, so 65 buckets cover
+  /// the full uint64 range with bucket 0 reserved for the value 0.
+  static constexpr int kBuckets = 65;
+
+  /// Bucket index for \p v: 0 for 0, otherwise bit_width(v), i.e. bucket i
+  /// covers [2^(i-1), 2^i).
+  static int bucket_of(std::uint64_t v) noexcept {
+    return v == 0 ? 0 : std::bit_width(v);
+  }
+
+  /// Smallest value bucket \p b holds.
+  static std::uint64_t bucket_floor(int b) noexcept {
+    return b <= 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+
+  void record(std::uint64_t value) noexcept {
+    ++buckets_[static_cast<std::size_t>(bucket_of(value))];
+    ++count_;
+    sum_ += value;
+    if (count_ == 1 || value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  /// Adds \p other's observations to this histogram.
+  void merge(const Histogram& other) noexcept {
+    if (other.count_ == 0) return;
+    for (int b = 0; b < kBuckets; ++b) {
+      buckets_[static_cast<std::size_t>(b)] +=
+          other.buckets_[static_cast<std::size_t>(b)];
+    }
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Interpolated quantile, \p q in [0, 1]; 0 when empty. Finds the bucket
+  /// holding the q-th observation by cumulative count, interpolates linearly
+  /// across the bucket's value range, and clamps to [min, max] so p0/p100
+  /// are exact and a single observation is every quantile of itself.
+  double quantile(double q) const noexcept;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace pml::obs

@@ -1,0 +1,104 @@
+#include "obs/metrics_json.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace pml::obs {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+
+/// One histogram as {"count":..,"sum":..,"min":..,"max":..,"mean":..,
+/// "p50":..,"p90":..,"p99":..}.
+void write_histogram(std::ostream& os, const Histogram& h) {
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                R"({"count": %llu, "sum": %llu, "min": %llu, "max": %llu, )"
+                R"("mean": %.3f, "p50": %.3f, "p90": %.3f, "p99": %.3f})",
+                static_cast<unsigned long long>(h.count()),
+                static_cast<unsigned long long>(h.sum()),
+                static_cast<unsigned long long>(h.min()),
+                static_cast<unsigned long long>(h.max()), h.mean(),
+                h.quantile(0.5), h.quantile(0.9), h.quantile(0.99));
+  os << buf;
+}
+
+/// The non-empty histograms of one registry slice as a "metrics" object.
+void write_registry(std::ostream& os, const std::array<Histogram, kMetricKinds>& hist,
+                    const char* indent) {
+  os << "{";
+  bool first = true;
+  for (int m = 0; m < kMetricKinds; ++m) {
+    const Histogram& h = hist[static_cast<std::size_t>(m)];
+    if (h.count() == 0) continue;
+    os << (first ? "\n" : ",\n") << indent << "\""
+       << to_string(static_cast<Metric>(m)) << "\": ";
+    write_histogram(os, h);
+    first = false;
+  }
+  os << "}";
+}
+
+/// The nonzero counters of one task as a "counters" object.
+void write_counters(std::ostream& os, const TaskMetrics& tm) {
+  os << "{";
+  bool first = true;
+  for (int c = 0; c < kCounterKinds; ++c) {
+    const std::uint64_t v = tm.counters[static_cast<std::size_t>(c)];
+    if (v == 0) continue;
+    os << (first ? "" : ", ") << "\"" << to_string(static_cast<Counter>(c))
+       << "\": " << v;
+    first = false;
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os, const Profile& profile,
+                        std::string_view slug) {
+  os << "{\n";
+  os << "  \"slug\": \"" << json_escape(slug) << "\",\n";
+  os << "  \"wall_ns\": " << (profile.finish_ns - profile.origin_ns) << ",\n";
+  os << "  \"spans\": " << profile.spans.size() << ",\n";
+  os << "  \"spans_dropped\": " << profile.spans_dropped << ",\n";
+  os << "  \"flows\": " << profile.flows.size() << ",\n";
+  os << "  \"flows_dropped\": " << profile.flows_dropped << ",\n";
+  os << "  \"mailbox_high_water\": " << profile.mailbox_high_water << ",\n";
+  os << "  \"metrics\": ";
+  write_registry(os, profile.hist, "    ");
+  os << ",\n  \"tasks\": [";
+  bool first = true;
+  for (const auto& [task, tm] : profile.tasks) {
+    os << (first ? "\n" : ",\n") << "    {\"task\": " << task;
+    const auto node = profile.task_node.find(task);
+    if (node != profile.task_node.end()) {
+      os << ", \"node\": \"" << json_escape(node->second) << "\"";
+    }
+    os << ", \"counters\": ";
+    write_counters(os, tm);
+    os << ", \"metrics\": ";
+    write_registry(os, tm.hist, "      ");
+    os << "}";
+    first = false;
+  }
+  os << "\n  ]\n}\n";
+}
+
+std::string metrics_json(const Profile& profile, std::string_view slug) {
+  std::ostringstream os;
+  write_metrics_json(os, profile, slug);
+  return os.str();
+}
+
+}  // namespace pml::obs

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file metrics_json.hpp
+/// \brief Machine-readable export of the metrics registry.
+///
+/// `patternlet_runner --metrics-json FILE` (and, later, pml-serve) emit one
+/// JSON document per run: the cluster-wide histograms with
+/// p50/p90/p99/mean/min/max, the same registry sliced per task, the event
+/// counters, and the run-wide gauges. The committed schema at
+/// docs/schemas/metrics.schema.json states the contract; CI validates every
+/// sweep output against it.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obs/profile.hpp"
+
+namespace pml::obs {
+
+/// Writes \p profile's metrics registry as JSON to \p os. \p slug names the
+/// run (the patternlet slug, or any caller-chosen label).
+void write_metrics_json(std::ostream& os, const Profile& profile,
+                        std::string_view slug);
+
+/// Convenience: the same document as a string.
+std::string metrics_json(const Profile& profile, std::string_view slug);
+
+}  // namespace pml::obs

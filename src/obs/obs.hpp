@@ -50,6 +50,11 @@ extern std::atomic<int> g_active;
 void record_span(SpanKind kind, std::uint64_t begin_ns, std::uint64_t end_ns,
                  const char* label, std::int64_t key, std::int64_t aux) noexcept;
 void add_counter(Counter c, std::uint64_t delta) noexcept;
+void observe_metric(Metric m, std::uint64_t value) noexcept;
+std::uint64_t flow_emit(int dest, int tag, std::uint64_t bytes, bool rts,
+                        bool dropped) noexcept;
+void flow_recv(std::uint64_t id, int source, int tag, std::uint64_t bytes,
+               bool rts) noexcept;
 void note_queue_depth(std::size_t depth) noexcept;
 void bind_task_node(int task, std::string_view node_name) noexcept;
 const char* intern_label(std::string_view label) noexcept;
@@ -78,6 +83,29 @@ inline void count(Counter c, std::uint64_t delta = 1) noexcept {
 /// Mailbox depth accounting: tracks the run-wide high-water mark.
 inline void on_queue_depth(std::size_t depth) noexcept {
   if (active()) detail::note_queue_depth(depth);
+}
+/// Records one observation into the calling task's registry histogram for
+/// \p m (see histogram.hpp). Wait metrics are fed automatically from span
+/// recording; call this for source-site metrics (message latency, retry
+/// attempt counts). Off, it is one relaxed load and an untaken branch.
+inline void observe(Metric m, std::uint64_t value) noexcept {
+  if (active()) detail::observe_metric(m, value);
+}
+/// @}
+
+/// \name Causal flow hooks (pml::mp message edges)
+/// The sender stamps each deposited envelope with flow_emit()'s id; the
+/// matching receive completes the edge with flow_recv(). Off-path cost is
+/// one relaxed load + branch per hook (flow_emit returns 0, which
+/// flow_recv ignores without touching the collector).
+/// @{
+inline std::uint64_t flow_emit(int dest, int tag, std::uint64_t bytes,
+                               bool rts = false, bool dropped = false) noexcept {
+  return active() ? detail::flow_emit(dest, tag, bytes, rts, dropped) : 0;
+}
+inline void flow_recv(std::uint64_t id, int source, int tag,
+                      std::uint64_t bytes, bool rts = false) noexcept {
+  if (id != 0 && active()) detail::flow_recv(id, source, tag, bytes, rts);
 }
 /// @}
 
@@ -136,9 +164,14 @@ inline const char* intern(std::string_view label) noexcept {
 /// throws. finish() merges every thread's span buffer and returns the
 /// Profile (idempotent: later calls return the same data). Call it only
 /// after the instrumented threads have joined — the runner's contract.
+///
+/// \p ring_spans caps how many spans (and flow events) each participating
+/// thread buffers before counting drops; 0 resolves the PML_OBS_RING_SPANS
+/// environment variable, then the built-in default (16 Ki). Overflow
+/// accounting is exact either way (Profile::spans_dropped / flows_dropped).
 class Scope {
  public:
-  Scope();
+  explicit Scope(std::size_t ring_spans = 0);
   ~Scope();
   Scope(const Scope&) = delete;
   Scope& operator=(const Scope&) = delete;

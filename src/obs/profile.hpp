@@ -16,6 +16,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/flow.hpp"
+#include "obs/histogram.hpp"
+
 namespace pml::obs {
 
 /// What interval a span measures.
@@ -79,11 +82,14 @@ struct Span {
   std::uint64_t duration_ns() const noexcept { return end_ns - begin_ns; }
 };
 
-/// Per-task aggregates: span totals by kind plus the event counters.
+/// Per-task aggregates: span totals by kind, the event counters, and the
+/// task's slice of the metrics registry (one log-bucketed histogram per
+/// Metric, merged from the lanes that identified as this task).
 struct TaskMetrics {
   std::array<std::uint64_t, kSpanKinds> span_count{};  ///< Spans by kind.
   std::array<std::uint64_t, kSpanKinds> span_ns{};     ///< Total ns by kind.
   std::array<std::uint64_t, kCounterKinds> counters{};
+  std::array<Histogram, kMetricKinds> hist{};          ///< Registry slice.
   std::uint64_t spans_dropped = 0;  ///< Ring-buffer overflow on this task.
 
   std::uint64_t spans(SpanKind k) const noexcept {
@@ -94,6 +100,9 @@ struct TaskMetrics {
   }
   std::uint64_t value(Counter c) const noexcept {
     return counters[static_cast<std::size_t>(c)];
+  }
+  const Histogram& metric(Metric m) const noexcept {
+    return hist[static_cast<std::size_t>(m)];
   }
 };
 
@@ -109,14 +118,27 @@ struct Profile {
   std::map<int, TaskMetrics> tasks;
   /// Virtual cluster node hosting each task (mp runs only).
   std::map<int, std::string> task_node;
+  /// Causal flow edges (mp message halves), merged across tasks and sorted
+  /// by timestamp. Pair events by FlowEvent::id; an emit with no recv is a
+  /// message that was dropped or never matched.
+  std::vector<FlowEvent> flows;
+  /// Cluster-wide metrics registry: every task's histograms merged.
+  std::array<Histogram, kMetricKinds> hist{};
   /// Deepest any mailbox queue got during the run.
   std::size_t mailbox_high_water = 0;
   /// Spans lost to ring-buffer overflow, all tasks.
   std::uint64_t spans_dropped = 0;
+  /// Flow events lost to ring-buffer overflow, all tasks.
+  std::uint64_t flows_dropped = 0;
 
   /// Profiled window length in seconds.
   double seconds() const noexcept {
     return static_cast<double>(finish_ns - origin_ns) * 1e-9;
+  }
+
+  /// Cluster-wide histogram for one registry metric.
+  const Histogram& metric(Metric m) const noexcept {
+    return hist[static_cast<std::size_t>(m)];
   }
 
   /// Renders the per-task metrics table `--profile` prints: one row per

@@ -55,7 +55,12 @@ class Barrier {
     // publish — so all arrivals of a phase are recorded before any
     // departure of it, exactly as under the old mutex.
     analyze::on_barrier_arrive(this, my_phase);
-    wait_span.set_payload(static_cast<std::int64_t>(my_phase), parties_);
+    // key = phase, aux = barrier identity: (aux, key) groups one phase's
+    // spans across tasks, which is what critical-path analysis matches on
+    // to find the phase's last arrival.
+    wait_span.set_payload(static_cast<std::int64_t>(my_phase),
+                          static_cast<std::int64_t>(
+                              reinterpret_cast<std::uintptr_t>(this)));
     if (count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last arrival: recycle the counter for the next phase *before*
       // publishing the phase — a released waiter may re-arrive immediately

@@ -58,6 +58,50 @@ TEST(ChromeTrace, CompleteEventsCarryRelativeMicroseconds) {
   EXPECT_NE(json.find(R"("args":{"key":7,"aux":3})"), std::string::npos);
 }
 
+TEST(ChromeTrace, EmitsSortIndexMetadata) {
+  const std::string json = chrome_trace_json(sample_profile());
+  // Host pins to the top, nodes follow in name order...
+  EXPECT_NE(json.find(R"("ph":"M","name":"process_sort_index","pid":0,"args":{"sort_index":0})"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"M","name":"process_sort_index","pid":1,"args":{"sort_index":1})"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"M","name":"process_sort_index","pid":2,"args":{"sort_index":2})"),
+            std::string::npos);
+  // ...and lanes within a process order by task id.
+  EXPECT_NE(json.find(R"("ph":"M","name":"thread_sort_index","pid":1,"tid":0,"args":{"sort_index":0})"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"M","name":"thread_sort_index","pid":2,"tid":1,"args":{"sort_index":1})"),
+            std::string::npos);
+}
+
+TEST(ChromeTrace, FlowEventsBindEmitToRecv) {
+  Profile p = sample_profile();
+  // Emit on task 0 at 2.1ms, matching recv on task 1 at 2.55ms.
+  p.flows.push_back(FlowEvent{5, 2'100'000, 64, 0, 1, 9, FlowPhase::kEmit, false, false});
+  p.flows.push_back(FlowEvent{5, 2'550'000, 64, 1, 0, 9, FlowPhase::kRecv, false, false});
+  const std::string json = chrome_trace_json(p);
+  // Perfetto binds flow halves by (cat, name, id); ts is relative µs.
+  EXPECT_NE(json.find(R"("ph":"s","name":"msg","cat":"flow","id":5,"ts":1100.000,"pid":1,"tid":0)"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"f","bp":"e","name":"msg","cat":"flow","id":5,"ts":1550.000,"pid":2,"tid":1)"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("args":{"bytes":64,"tag":9,"peer":1})"),
+            std::string::npos);
+}
+
+TEST(ChromeTrace, RecvWithoutEmitIsSkippedAndFlagsRide) {
+  Profile p = sample_profile();
+  // A recv half with no recorded emit (its emit fell out of a full ring)
+  // must not produce an unbindable "f" event.
+  p.flows.push_back(FlowEvent{99, 2'200'000, 8, 1, 0, 1, FlowPhase::kRecv, false, false});
+  // A dropped rendezvous emit keeps its tail, flagged.
+  p.flows.push_back(FlowEvent{100, 2'300'000, 4096, 0, 1, 2, FlowPhase::kEmit, true, true});
+  const std::string json = chrome_trace_json(p);
+  EXPECT_EQ(json.find(R"("id":99)"), std::string::npos);
+  EXPECT_NE(json.find(R"("id":100)"), std::string::npos);
+  EXPECT_NE(json.find(R"("rts":true,"dropped":true)"), std::string::npos);
+}
+
 TEST(ChromeTrace, HostPidZeroForUnplacedTasks) {
   Profile p;
   p.origin_ns = 0;

@@ -1,0 +1,212 @@
+/// \file critical_path_test.cpp
+/// \brief Tests for pml::obs critical-path analysis: the backward walk over
+/// the span + flow-edge graph, category attribution, cross-task hops at
+/// barriers and message edges, the exact-coverage invariant, and the
+/// runner-level `--explain` surface.
+
+#include "obs/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/runner.hpp"
+#include "obs/profile.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace pml::obs {
+namespace {
+
+/// Hand-built profile: origin 0, finish \p finish, no tasks registered.
+Profile make_profile(std::uint64_t finish) {
+  Profile p;
+  p.origin_ns = 0;
+  p.finish_ns = finish;
+  return p;
+}
+
+void add_span(Profile& p, SpanKind kind, std::uint64_t begin, std::uint64_t end,
+              int task, const char* label = nullptr, std::int64_t key = 0,
+              std::int64_t aux = 0) {
+  p.spans.push_back(Span{begin, end, key, aux, label, task, kind});
+}
+
+void add_flow(Profile& p, std::uint64_t id, std::uint64_t ns, int task,
+              int peer, FlowPhase phase, std::uint64_t bytes = 8) {
+  p.flows.push_back(FlowEvent{id, ns, bytes, task, peer, 0, phase, false, false});
+}
+
+/// Invariant of the construction: segments tile [origin, finish] exactly.
+void expect_exact_coverage(const CriticalPath& cp, const Profile& p) {
+  EXPECT_EQ(cp.attributed_ns, cp.wall_ns);
+  EXPECT_EQ(cp.wall_ns, p.finish_ns - p.origin_ns);
+  ASSERT_FALSE(cp.segments.empty());
+  EXPECT_EQ(cp.segments.front().begin_ns, p.origin_ns);
+  EXPECT_EQ(cp.segments.back().end_ns, p.finish_ns);
+  for (std::size_t i = 1; i < cp.segments.size(); ++i) {
+    EXPECT_EQ(cp.segments[i - 1].end_ns, cp.segments[i].begin_ns)
+        << "gap before segment " << i;
+  }
+  std::uint64_t sum = 0;
+  for (int c = 0; c < kPathCategories; ++c) {
+    sum += cp.category_ns(static_cast<PathCategory>(c));
+  }
+  EXPECT_EQ(sum, cp.wall_ns);
+}
+
+TEST(CriticalPath, EmptyProfileIsOneRuntimeSegment) {
+  const Profile p = make_profile(1000);
+  const CriticalPath cp = critical_path(p);
+  ASSERT_EQ(cp.segments.size(), 1u);
+  EXPECT_EQ(cp.segments[0].category, PathCategory::kRuntime);
+  EXPECT_EQ(cp.segments[0].task, -1);
+  expect_exact_coverage(cp, p);
+  EXPECT_EQ(cp.hops, 0);
+  EXPECT_EQ(cp.speedup_bound(), 1.0);
+}
+
+TEST(CriticalPath, SingleTaskIsComputeBracketedByRuntime) {
+  Profile p = make_profile(1000);
+  add_span(p, SpanKind::kRegion, 100, 900, 0, "region");
+  const CriticalPath cp = critical_path(p);
+  expect_exact_coverage(cp, p);
+  // [0,100) runtime, [100,900) compute on task 0, [900,1000) runtime.
+  EXPECT_EQ(cp.category_ns(PathCategory::kRuntime), 200u);
+  EXPECT_EQ(cp.category_ns(PathCategory::kCompute), 800u);
+  EXPECT_EQ(cp.path_compute_ns, 800u);
+  EXPECT_EQ(cp.hops, 0);
+}
+
+TEST(CriticalPath, LockWaitAttributesInPlace) {
+  Profile p = make_profile(1000);
+  add_span(p, SpanKind::kRegion, 0, 1000, 0);
+  add_span(p, SpanKind::kLockWait, 400, 700, 0, "mutex");
+  const CriticalPath cp = critical_path(p);
+  expect_exact_coverage(cp, p);
+  EXPECT_EQ(cp.category_ns(PathCategory::kLockWait), 300u);
+  EXPECT_EQ(cp.category_ns(PathCategory::kCompute), 700u);
+  EXPECT_EQ(cp.hops, 0);
+}
+
+TEST(CriticalPath, BarrierHopsToLastArrival) {
+  // Task 0 arrives at 100 and waits until 600; task 1 arrives late at 580.
+  // The path must blame [580, 600) on the barrier and hop to task 1, whose
+  // pre-arrival time [0, 580) is compute.
+  Profile p = make_profile(700);
+  add_span(p, SpanKind::kBarrier, 100, 600, 0, "barrier", /*key=*/3, /*aux=*/77);
+  add_span(p, SpanKind::kBarrier, 580, 600, 1, "barrier", /*key=*/3, /*aux=*/77);
+  add_span(p, SpanKind::kRegion, 600, 700, 0);
+  const CriticalPath cp = critical_path(p);
+  expect_exact_coverage(cp, p);
+  EXPECT_GE(cp.hops, 1);
+  EXPECT_EQ(cp.category_ns(PathCategory::kBarrierWait), 20u);
+  // Task 1 carries the pre-barrier compute; task 0 only the post-barrier.
+  EXPECT_GT(cp.by_task.at(1)[static_cast<int>(PathCategory::kCompute)], 0u);
+}
+
+TEST(CriticalPath, DistinctBarrierIdentitiesDoNotCrossTalk) {
+  // Same phase number, different barrier objects (aux): the other barrier's
+  // later arrival must not capture this wait.
+  Profile p = make_profile(700);
+  add_span(p, SpanKind::kBarrier, 100, 600, 0, "barrier", 3, 77);
+  add_span(p, SpanKind::kBarrier, 590, 650, 1, "barrier", 3, 88);
+  add_span(p, SpanKind::kRegion, 600, 700, 0);
+  const CriticalPath cp = critical_path(p);
+  expect_exact_coverage(cp, p);
+  // No same-identity partner: the whole wait attributes in place on task 0.
+  EXPECT_EQ(cp.category_ns(PathCategory::kBarrierWait), 500u);
+  EXPECT_EQ(cp.hops, 0);
+}
+
+TEST(CriticalPath, RecvHopsToSenderThroughFlowEdge) {
+  // Task 1 blocks in recv [100, 500); task 0 deposits at 480 (flow 42).
+  // The path: [480, 500) message latency on task 1, then hop to task 0.
+  Profile p = make_profile(600);
+  add_span(p, SpanKind::kRegion, 0, 480, 0);
+  add_span(p, SpanKind::kRecv, 100, 500, 1, "receive");
+  add_span(p, SpanKind::kRegion, 500, 600, 1);
+  add_flow(p, 42, 480, /*task=*/0, /*peer=*/1, FlowPhase::kEmit);
+  add_flow(p, 42, 499, /*task=*/1, /*peer=*/0, FlowPhase::kRecv);
+  const CriticalPath cp = critical_path(p);
+  expect_exact_coverage(cp, p);
+  EXPECT_GE(cp.hops, 1);
+  EXPECT_EQ(cp.category_ns(PathCategory::kMessageLatency), 20u);
+  // The sender's compute before the deposit is on the path.
+  EXPECT_EQ(cp.by_task.at(0)[static_cast<int>(PathCategory::kCompute)], 480u);
+}
+
+TEST(CriticalPath, PreQueuedMessageChargesOnlyTheRecvSpan) {
+  // The emit happened before the recv wait even began: no hop, and only
+  // the (short) wait itself is message latency.
+  Profile p = make_profile(600);
+  add_span(p, SpanKind::kRecv, 400, 420, 1, "receive");
+  add_span(p, SpanKind::kRegion, 0, 400, 1);
+  add_span(p, SpanKind::kRegion, 420, 600, 1);
+  add_flow(p, 7, 50, 0, 1, FlowPhase::kEmit);
+  add_flow(p, 7, 410, 1, 0, FlowPhase::kRecv);
+  const CriticalPath cp = critical_path(p);
+  expect_exact_coverage(cp, p);
+  EXPECT_EQ(cp.category_ns(PathCategory::kMessageLatency), 20u);
+  EXPECT_EQ(cp.hops, 0);
+}
+
+TEST(CriticalPath, SpeedupBoundIsTotalBusyOverPathCompute) {
+  Profile p = make_profile(1000);
+  add_span(p, SpanKind::kRegion, 0, 1000, 0);
+  add_span(p, SpanKind::kRegion, 0, 1000, 1);
+  add_span(p, SpanKind::kRegion, 0, 1000, 2);
+  // Registered busy time comes from the merged per-task aggregates.
+  for (int t = 0; t < 3; ++t) {
+    TaskMetrics& tm = p.tasks[t];
+    tm.span_ns[static_cast<std::size_t>(SpanKind::kRegion)] = 1000;
+    tm.span_count[static_cast<std::size_t>(SpanKind::kRegion)] = 1;
+  }
+  const CriticalPath cp = critical_path(p);
+  expect_exact_coverage(cp, p);
+  EXPECT_EQ(cp.total_busy_ns, 3000u);
+  EXPECT_EQ(cp.path_compute_ns, 1000u);
+  EXPECT_DOUBLE_EQ(cp.speedup_bound(), 3.0);
+}
+
+TEST(CriticalPath, ReportNamesCategoriesAndBound) {
+  Profile p = make_profile(1000);
+  add_span(p, SpanKind::kRegion, 0, 1000, 0);
+  add_span(p, SpanKind::kLockWait, 200, 300, 0, "mutex");
+  const CriticalPath cp = critical_path(p);
+  const std::string report = cp.report();
+  EXPECT_NE(report.find("critical path:"), std::string::npos);
+  EXPECT_NE(report.find("compute"), std::string::npos);
+  EXPECT_NE(report.find("lock-wait"), std::string::npos);
+  EXPECT_NE(report.find("speedup bound"), std::string::npos);
+  EXPECT_NE(report.find("100.0% of"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Runner surface: --explain's data rides RunResult::critical_path.
+
+TEST(CriticalPath, RunnerAttributesWallTimeForEveryProfiledRun) {
+  pml::patternlets::ensure_registered();
+  for (const char* slug : {"omp/reduction", "mpi/messagePassing", "mpi/barrier"}) {
+    RunSpec spec;
+    spec.tasks = 4;
+    spec.all_toggles = true;
+    spec.profile = true;
+    const RunResult r = pml::run(slug, spec);
+    ASSERT_TRUE(r.critical_path.has_value()) << slug;
+    const CriticalPath& cp = *r.critical_path;
+    // The acceptance bound is 5%; the construction gives exact coverage.
+    EXPECT_EQ(cp.attributed_ns, cp.wall_ns) << slug;
+    EXPECT_FALSE(cp.segments.empty()) << slug;
+    EXPECT_GE(cp.speedup_bound(), 1.0) << slug;
+    EXPECT_FALSE(cp.report().empty()) << slug;
+  }
+}
+
+TEST(CriticalPath, AbsentWithoutProfile) {
+  pml::patternlets::ensure_registered();
+  const RunResult r = pml::run("omp/reduction", RunSpec{.tasks = 2});
+  EXPECT_FALSE(r.critical_path.has_value());
+}
+
+}  // namespace
+}  // namespace pml::obs

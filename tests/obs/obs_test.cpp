@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <stdexcept>
 #include <thread>
 
@@ -141,6 +142,74 @@ TEST(ObsScope, SecondScopeStartsEmpty) {
   Scope second;
   const Profile p = second.finish();
   EXPECT_TRUE(p.spans.empty());
+}
+
+TEST(ObsRing, ExplicitCapacityBoundsSpansWithExactDropCount) {
+  Scope scope{8};
+  for (int i = 0; i < 20; ++i) {
+    SpanScope s{SpanKind::kChunk, "chunk", i};
+  }
+  const Profile p = scope.finish();
+  EXPECT_EQ(p.spans.size(), 8u);
+  EXPECT_EQ(p.spans_dropped, 12u);
+  // The registry histogram is bounded by construction, so it keeps
+  // recording after the span ring filled: aggregates stay exact.
+  EXPECT_EQ(p.metric(Metric::kChunkDuration).count(), 20u);
+}
+
+TEST(ObsRing, FlowRingSharesCapacityWithSeparateAccounting) {
+  Scope scope{4};
+  for (int i = 0; i < 10; ++i) {
+    flow_recv(flow_emit(1, 0, 8), 0, 0, 8);
+  }
+  const Profile p = scope.finish();
+  EXPECT_EQ(p.flows.size(), 4u);
+  EXPECT_EQ(p.flows_dropped, 16u);
+  EXPECT_EQ(p.spans_dropped, 0u);
+}
+
+TEST(ObsRing, EnvironmentVariableSetsTheDefaultCapacity) {
+  ::setenv("PML_OBS_RING_SPANS", "3", 1);
+  {
+    Scope scope;  // no explicit capacity: the environment decides
+    for (int i = 0; i < 9; ++i) {
+      SpanScope s{SpanKind::kChunk, "chunk", i};
+    }
+    const Profile p = scope.finish();
+    EXPECT_EQ(p.spans.size(), 3u);
+    EXPECT_EQ(p.spans_dropped, 6u);
+  }
+  {
+    Scope scope{16};  // explicit capacity wins over the environment
+    for (int i = 0; i < 9; ++i) {
+      SpanScope s{SpanKind::kChunk, "chunk", i};
+    }
+    const Profile p = scope.finish();
+    EXPECT_EQ(p.spans.size(), 9u);
+    EXPECT_EQ(p.spans_dropped, 0u);
+  }
+  ::unsetenv("PML_OBS_RING_SPANS");
+}
+
+TEST(ObsRing, RunSpecRingSpansReachesTheScope) {
+  pml::patternlets::ensure_registered();
+  RunSpec spec;
+  spec.tasks = 4;
+  spec.all_toggles = true;
+  spec.profile = true;
+  spec.obs_ring_spans = 2;  // absurdly small: every task overflows
+  const RunResult r = pml::run("omp/reduction", spec);
+  ASSERT_TRUE(r.metrics.has_value());
+  EXPECT_GT(r.metrics->spans_dropped, 0u);
+  for (const auto& [task, m] : r.metrics->tasks) {
+    EXPECT_LE(m.spans(SpanKind::kChunk) + m.spans(SpanKind::kRegion) +
+                  m.spans(SpanKind::kBarrier) + m.spans(SpanKind::kLockWait) +
+                  m.spans(SpanKind::kTask) + m.spans(SpanKind::kCollective) +
+                  m.spans(SpanKind::kSend) + m.spans(SpanKind::kRecv) +
+                  m.spans(SpanKind::kRendezvous),
+              2u)
+        << "task " << task;
+  }
 }
 
 TEST(ObsProfile, TableListsEveryTask) {

@@ -49,9 +49,14 @@ volatile std::uint64_t g_seed = 0x9e3779b97f4a7c15ULL;
 
 [[gnu::noinline]] std::uint64_t hooked_loop(std::uint64_t acc) {
   for (int c = 0; c < kChunks; ++c) {
-    // The per-chunk hook pattern Region::for_each compiles in.
+    // The per-chunk hook pattern Region::for_each compiles in, plus the
+    // v2 hooks the message path adds: a flow stamp pair and a registry
+    // histogram observation. Off, each is one relaxed load + untaken branch.
     SpanScope chunk{SpanKind::kChunk, "chunk", c, c + 1};
     count(Counter::kChunks);
+    const std::uint64_t flow = flow_emit(1, 7, 64);
+    flow_recv(flow, 0, 7, 64);
+    observe(Metric::kMessageLatency, static_cast<std::uint64_t>(c));
     acc = mix_chunk(acc + static_cast<std::uint64_t>(c));
   }
   return acc;

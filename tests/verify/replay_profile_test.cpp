@@ -1,0 +1,97 @@
+// Verify × profile interaction: when exploration runs with profiling on,
+// each execution opens its own obs::Scope, so spans and counters from
+// aborted exploration executions must never leak into the surviving
+// profile. The replayed run's profile describes exactly one execution —
+// its counter totals have single-execution magnitude, its span timestamps
+// sit inside its own scope window, and its "counters:" table reflects the
+// replay alone.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/runner.hpp"
+#include "obs/profile.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace {
+
+std::uint64_t total(const pml::obs::Profile& p, pml::obs::Counter c) {
+  std::uint64_t sum = 0;
+  for (const auto& [task, metrics] : p.tasks) sum += metrics.value(c);
+  return sum;
+}
+
+std::uint64_t region_spans(const pml::obs::Profile& p) {
+  std::uint64_t sum = 0;
+  for (const auto& [task, metrics] : p.tasks) {
+    sum += metrics.spans(pml::obs::SpanKind::kRegion);
+  }
+  return sum;
+}
+
+TEST(ReplayProfile, ReplayedProfileDescribesOneExecutionOnly) {
+  pml::Registry& reg = pml::patternlets::ensure_registered();
+  const pml::Patternlet& p = reg.get("omp/race");
+  const pml::RaceDemo& demo = *p.race_demo;
+
+  pml::RunSpec spec;
+  spec.verify = true;
+  spec.verify_budget = 25;
+  spec.profile = true;
+  spec.toggle_overrides = demo.racy_toggles;
+  spec.params = demo.params;
+  for (auto& [name, value] : spec.params) {
+    if (value > 200) value = 200;
+  }
+
+  const pml::RunResult found = pml::run(p, spec);
+  ASSERT_TRUE(found.verification.has_value());
+  ASSERT_TRUE(found.verification->found) << "exploration found no violation";
+  ASSERT_TRUE(found.counterexample.has_value());
+  ASSERT_TRUE(found.metrics.has_value());
+  // Even the exploration-surviving profile is per-execution: it carries the
+  // violating execution, not the sum of every attempt. Record its shape.
+  const std::uint64_t explore_regions = region_spans(*found.metrics);
+  ASSERT_GT(explore_regions, 0u);
+
+  pml::RunSpec replay_spec = spec;
+  replay_spec.verify = false;
+  replay_spec.replay_schedule = *found.counterexample;
+  const pml::RunResult again = pml::run(p, replay_spec);
+  ASSERT_TRUE(again.verification.has_value());
+  ASSERT_FALSE(again.verification->replay_diverged);
+  ASSERT_TRUE(again.metrics.has_value());
+  const pml::obs::Profile& profile = *again.metrics;
+
+  // Single-execution magnitude: the replayed run opens exactly as many team
+  // regions as the violating exploration execution did — not N executions'
+  // worth accumulated across the exploration loop.
+  EXPECT_EQ(region_spans(profile), explore_regions);
+
+  // Every span belongs to the replay's own scope window: timestamps from an
+  // earlier (aborted) execution's scope would precede this origin.
+  for (const auto& span : profile.spans) {
+    EXPECT_GE(span.begin_ns, profile.origin_ns);
+    EXPECT_LE(span.end_ns, profile.finish_ns);
+  }
+  for (const auto& flow : profile.flows) {
+    EXPECT_GE(flow.ns, profile.origin_ns);
+    EXPECT_LE(flow.ns, profile.finish_ns);
+  }
+
+  // The table's "counters:" extras line aggregates the same per-task
+  // counters, so it inherits single-execution magnitude; it must render.
+  EXPECT_FALSE(profile.table().empty());
+
+  // Determinism of the profile's discrete shape: replaying the same
+  // schedule again yields the same task count and counter totals.
+  const pml::RunResult third = pml::run(p, replay_spec);
+  ASSERT_TRUE(third.metrics.has_value());
+  EXPECT_EQ(region_spans(*third.metrics), region_spans(profile));
+  EXPECT_EQ(total(*third.metrics, pml::obs::Counter::kAtomicUpdates),
+            total(profile, pml::obs::Counter::kAtomicUpdates));
+  EXPECT_EQ(third.metrics->tasks.size(), profile.tasks.size());
+}
+
+}  // namespace
