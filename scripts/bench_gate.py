@@ -45,6 +45,21 @@ GATED_LABELS = (
     "BM_PingPongLargeEager/65536",
     "BM_PingPongLargeEager/1048576",
     "BM_PingPongLargeEager/16777216",
+    # Bandwidth-optimal collective tier: the large-size ring/tree allreduce
+    # sweep points and the segmented-broadcast ablation. Only sizes where
+    # payload movement dominates are gated — the 4 KiB points are
+    # latency-bound and too scheduler-noisy for a 20% floor. Gating BOTH
+    # algorithms keeps the auto-selection honest: a dispatch bug that
+    # silently sent large bodies down the tree would trip the ring floors,
+    # and a ring regression can't hide behind a faster tree.
+    "BM_AllreduceRing/65536/4",
+    "BM_AllreduceRing/1048576/4",
+    "BM_AllreduceRing/1048576/8",
+    "BM_AllreduceRing/16777216/4",
+    "BM_AllreduceTree/1048576/8",
+    "BM_AllreduceTree/16777216/4",
+    "BM_BroadcastSegmented/16777216/4",
+    "BM_BroadcastWhole/16777216/4",
 )
 
 

@@ -89,6 +89,10 @@ std::vector<const Patternlet*> Registry::racy() const {
 Census Registry::census() const {
   Census c;
   for (const auto& p : items_) {
+    if (p.beyond_paper) {
+      ++c.extensions;
+      continue;
+    }
     switch (p.tech) {
       case Tech::kOpenMP: ++c.openmp; break;
       case Tech::kMPI: ++c.mpi; break;

@@ -13,9 +13,18 @@
 ///  - barrier: dissemination, ceil(lg p) rounds (Figs. 10-12);
 ///  - broadcast/reduce: binomial tree, ceil(lg p) rounds — the O(lg t)
 ///    combining the paper's Fig. 19 illustrates; the flat_* variants are the
-///    O(p) strawmen used by the ablation bench;
+///    O(p) strawmen used by the ablation bench. Bodies over the segment
+///    threshold (RunOptions::coll_segment_bytes / PML_MP_COLL_SEGMENT_BYTES)
+///    are chopped into segments that stream down the tree, overlapping
+///    depth with transfer;
+///  - reduce_scatter / ring allgather / ring_allreduce: bandwidth-optimal
+///    rings moving N/p-element blocks — 2N(p-1)/p bytes per rank instead of
+///    the tree's N*lg p. Rings reorder combine operands, so they require
+///    Op::commutative; allreduce() auto-selects them for large commutative
+///    vector bodies (see CollAlgorithm for the ablation overrides);
 ///  - gather/scatter: linear at the root (Fig. 25-28);
-///  - scan/exscan: linear chain (deterministic prefix order).
+///  - scan/exscan: linear chain (deterministic prefix order, one message
+///    per rank).
 ///
 /// Large-message transport: every data-bearing send routes through the
 /// eager/rendezvous split (see mp/rendezvous.hpp). Encoded bodies at or
@@ -32,6 +41,7 @@
 #include <optional>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/trace.hpp"
@@ -53,7 +63,22 @@ inline constexpr int kScan = kMaxUserTag + 68;
 inline constexpr int kAlltoall = kMaxUserTag + 69;
 inline constexpr int kSplit = kMaxUserTag + 70;
 inline constexpr int kAck = kMaxUserTag + 71;
+inline constexpr int kBcastSeg = kMaxUserTag + 72;   ///< Pipelined bcast segments.
+inline constexpr int kReduceSeg = kMaxUserTag + 73;  ///< Pipelined reduce segments.
+inline constexpr int kRingRs = kMaxUserTag + 74;     ///< Ring reduce-scatter blocks.
+inline constexpr int kRingAg = kMaxUserTag + 75;     ///< Ring allgather blocks.
 }  // namespace internal_tag
+
+/// Header announcing a segmented collective transfer: the body arrives as
+/// ceil(total/seg) segment messages on the collective's companion tag. It
+/// travels as a flagged envelope (Envelope::coll_seg) on the collective's
+/// base tag, so whole-body and segmented sends share one matching stream
+/// and raggedness across the segmentation threshold is a diagnosable
+/// mismatch instead of a hang. Trivially copyable: rides the scalar codec.
+struct CollSegHeader {
+  std::uint64_t total = 0;  ///< Full body size in bytes.
+  std::uint64_t seg = 0;    ///< Segment size in bytes (last one may be short).
+};
 
 /// Backoff schedule for the fault-tolerant point-to-point calls
 /// (send_with_retry / recv_retry): capped exponential.
@@ -425,38 +450,27 @@ class Communicator {
   }
 
   /// Binomial-tree broadcast from \p root (MPI_Bcast). Returns the value
-  /// on every rank.
+  /// on every rank. Serializes exactly once at the root; every interior hop
+  /// forwards the raw payload bytes (one copy per child, never a re-encode)
+  /// and only the locally returned value is decoded. Bodies over the
+  /// segment threshold stream down the tree as pipelined segments, so a
+  /// grandchild starts receiving while the root is still sending.
   template <typename T>
   T broadcast(T value, int root) const {
     check_peer(root, "broadcast");
     obs::SpanScope coll{obs::SpanKind::kCollective, "broadcast", root};
     const int p = size();
     const int vr = (rank_ - root + p) % p;
-    // Serialize exactly once at the root; every interior hop forwards the
-    // raw payload bytes (one copy per child, never a re-encode) and only
-    // the locally returned value is decoded.
-    Payload bytes;
+    const std::vector<int> kids = bcast_children(vr, root);
     if (vr == 0) {
-      bytes = Codec<T>::encode(value);
+      Payload bytes = Codec<T>::encode(value);
       count_payload_copy(bytes.size());
-    } else {
-      // Receive from parent (clear lowest set bit), then forward to children.
-      const int parent = ((vr & (vr - 1)) + root) % p;
-      bytes = coll_recv_typed<Payload>(parent, internal_tag::kBcast, "broadcast");
+      bcast_tree_send(bytes, kids);
+      return value;
     }
-    for (int mask = next_pow2_at_least(p) >> 1; mask >= 1; mask >>= 1) {
-      // Child exists iff mask is above vr's lowest set bit and in range.
-      if ((vr & (mask - 1)) == 0 && (vr & mask) == 0 && vr + mask < p) {
-        // One copy per child (the buffer is reused across subtrees), then
-        // zero-copy transport: a large copy parks, a small one rides.
-        Payload forward = bytes;
-        count_payload_copy(forward.size());
-        send_payload((vr + mask + root) % p, internal_tag::kBcast,
-                     std::move(forward));
-      }
-    }
-    if (vr == 0) return value;
-    return decode_counted<T>(std::move(bytes));
+    // Receive from parent (clear lowest set bit), then forward to children.
+    const int parent = ((vr & (vr - 1)) + root) % p;
+    return decode_counted<T>(bcast_tree_recv(parent, kids, "broadcast"));
   }
 
   /// Flat (linear) broadcast — the O(p) strawman for the ablation bench.
@@ -495,19 +509,26 @@ class Communicator {
         trace);
   }
 
-  /// Elementwise vector reduction (MPI_Reduce on an array).
+  /// Elementwise vector reduction (MPI_Reduce on an array). Bodies over the
+  /// segment threshold stream up the tree as pipelined segments (combining
+  /// preserves the tree's deterministic rank order either way, so any
+  /// associative op reduces identically on both paths).
   template <typename T>
   std::vector<T> reduce(std::vector<T> local, const Op<T>& op, int root,
                         pml::Trace* trace = nullptr) const {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      const std::size_t seg = state_->coll_segment_bytes;
+      if (seg != 0 && local.size() * sizeof(T) > seg && size() > 1) {
+        return reduce_segmented(std::move(local), op, root, trace);
+      }
+    }
     return reduce_generic<std::vector<T>>(
         std::move(local),
-        [&op, this](std::vector<T>& acc, const std::vector<T>& incoming) {
+        [&op](std::vector<T>& acc, const std::vector<T>& incoming) {
           if (acc.size() != incoming.size()) {
             throw UsageError("reduce: ranks contributed different vector lengths");
           }
-          for (std::size_t i = 0; i < acc.size(); ++i) {
-            acc[i] = op.combine(acc[i], incoming[i]);
-          }
+          combine_range(op, acc.data(), incoming.data(), acc.size());
         },
         root, trace);
   }
@@ -518,9 +539,7 @@ class Communicator {
   T flat_reduce(const T& local, const Op<T>& op, int root) const {
     check_peer(root, "flat_reduce");
     if (rank_ != root) {
-      Payload bytes = Codec<T>::encode(local);
-      count_payload_copy(bytes.size());
-      send_payload(root, internal_tag::kReduce, std::move(bytes));
+      send_encoded(root, internal_tag::kReduce, local);
       return local;
     }
     T acc = local;
@@ -533,18 +552,179 @@ class Communicator {
     return acc;
   }
 
-  /// MPI_Allreduce: reduce to rank 0, then broadcast.
+  /// Flat vector reduction by ownership transfer: each contribution *moves*
+  /// to the root (rendezvous above the eager threshold — zero transport
+  /// copies), so the strawman measures the flat algorithm, not a gratuitous
+  /// encode copy. Non-root ranks return an empty vector.
+  template <typename T,
+            typename = std::enable_if_t<std::is_trivially_copyable_v<T>>>
+  std::vector<T> flat_reduce(std::vector<T> local, const Op<T>& op, int root) const {
+    check_peer(root, "flat_reduce");
+    obs::SpanScope coll{obs::SpanKind::kCollective, "flat-reduce", root};
+    if (rank_ != root) {
+      send_owned(root, internal_tag::kReduce, std::move(local));
+      return {};
+    }
+    std::vector<T> acc = std::move(local);
+    // Fold in rank order for determinism.
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      std::vector<T> inc = coll_recv_typed<std::vector<T>>(
+          r, internal_tag::kReduce, "flat_reduce");
+      if (inc.size() != acc.size()) {
+        throw UsageError("flat_reduce: ranks contributed different vector lengths");
+      }
+      combine_range(op, acc.data(), inc.data(), acc.size());
+      obs::count(obs::Counter::kCombines);
+    }
+    return acc;
+  }
+
+  /// MPI_Allreduce: reduce to rank 0, then broadcast — unless a forced
+  /// algorithm override (RunOptions::coll_algorithm / PML_MP_COLL_ALGO)
+  /// selects the butterfly.
   template <typename T>
   T allreduce(T local, const Op<T>& op) const {
+    if (choose_allreduce_algo(sizeof(T), op.commutative,
+                              /*ring_capable=*/false) == CollAlgorithm::kButterfly) {
+      return butterfly_allreduce(std::move(local), op);
+    }
     T reduced = reduce(std::move(local), op, 0);
     return broadcast(std::move(reduced), 0);
   }
 
+  /// Vector MPI_Allreduce with algorithm selection: a large commutative
+  /// body takes the bandwidth-optimal ring (reduce-scatter + allgather,
+  /// 2N(p-1)/p bytes per rank); everything else takes the tree
+  /// (reduce + broadcast, N*lg p per rank but lg p rounds). The selection
+  /// dispatches on (payload bytes, p, Op::commutative); forced overrides
+  /// via RunOptions::coll_algorithm / PML_MP_COLL_ALGO exist for ablation.
+  template <typename T>
+  std::vector<T> allreduce(std::vector<T> local, const Op<T>& op) const {
+    const CollAlgorithm algo =
+        choose_allreduce_algo(local.size() * sizeof(T), op.commutative,
+                              /*ring_capable=*/std::is_trivially_copyable_v<T>);
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      if (algo == CollAlgorithm::kRing) {
+        return ring_allreduce(std::move(local), op);
+      }
+    }
+    if (algo == CollAlgorithm::kButterfly) {
+      return butterfly_allreduce(std::move(local), op);
+    }
+    std::vector<T> reduced = reduce(std::move(local), op, 0);
+    return broadcast(std::move(reduced), 0);
+  }
+
+  /// Ring reduce-scatter (MPI_Reduce_scatter_block with the balanced block
+  /// split): every rank contributes an equal-length vector and returns the
+  /// fully reduced block it owns — block r for rank r, the first n%p blocks
+  /// one element longer. p-1 steps each moving one N/p-element block, with
+  /// in-place combining and move-forwarding, so transport is zero-copy
+  /// above the eager threshold. Requires a *commutative* op (blocks combine
+  /// in ring-rotation order, not rank order): a non-commutative op falls
+  /// back to a tree reduce at rank 0 followed by a block scatter.
+  template <typename T>
+  std::vector<T> reduce_scatter(std::vector<T> local, const Op<T>& op) const {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "reduce_scatter requires a trivially copyable element");
+    const int p = size();
+    if (p == 1) return local;
+    if (!op.commutative) return reduce_scatter_via_tree(std::move(local), op);
+    obs::SpanScope coll{obs::SpanKind::kCollective, "reduce-scatter"};
+    return ring_reduce_scatter_inplace(local, op, "reduce_scatter",
+                                       /*write_home=*/false);
+  }
+
+  /// Ring allgather (MPI_Allgather over variable-length blocks): every rank
+  /// contributes a block; all return the rank-ordered concatenation. p-1
+  /// steps, each forwarding the block received in the previous step — every
+  /// rank moves 2N(p-1)/p bytes total instead of funnelling N through a
+  /// root. Blocks are self-describing, so contributions may differ in
+  /// length (allgatherv semantics).
+  template <typename T>
+  std::vector<T> ring_allgather(std::vector<T> mine) const {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ring_allgather requires a trivially copyable element");
+    const int p = size();
+    if (p == 1) return mine;
+    obs::SpanScope coll{obs::SpanKind::kCollective, "ring-allgather"};
+    const int left = (rank_ - 1 + p) % p;
+    const int right = (rank_ + 1) % p;
+    std::vector<std::vector<T>> blocks(static_cast<std::size_t>(p));
+    blocks[static_cast<std::size_t>(rank_)] = std::move(mine);
+    for (int t = 0; t < p - 1; ++t) {
+      const int sb = (rank_ - t + p) % p;
+      const int rb = (rank_ - 1 - t + 2 * p) % p;
+      std::vector<T> out = blocks[static_cast<std::size_t>(sb)];
+      count_payload_copy(out.size() * sizeof(T));
+      obs::count(obs::Counter::kCollSegments);
+      send_owned(right, internal_tag::kRingAg, std::move(out));
+      blocks[static_cast<std::size_t>(rb)] = coll_recv_typed<std::vector<T>>(
+          left, internal_tag::kRingAg, "ring_allgather");
+    }
+    std::size_t total = 0;
+    for (const auto& b : blocks) total += b.size();
+    std::vector<T> all;
+    all.reserve(total);
+    for (const auto& b : blocks) all.insert(all.end(), b.begin(), b.end());
+    count_payload_copy(total * sizeof(T));
+    return all;
+  }
+
+  /// Bandwidth-optimal allreduce: ring reduce-scatter (p-1 steps) composed
+  /// with ring allgather (p-1 steps), each step moving one N/p-element
+  /// block — 2N(p-1)/p bytes on the wire per rank instead of the tree's
+  /// N*lg p. The only payload-plane copies are the op-combine/data-placement
+  /// writes ((p+1)/p * N elements per rank); block transport above the
+  /// eager threshold is zero-copy rendezvous, machine-checked via
+  /// obs::Counter::kPayloadBytesCopied. Requires a *commutative* op (the
+  /// ring rotation reorders combine operands); non-commutative ops fall
+  /// back to tree reduce + broadcast, so results are always correct.
+  template <typename T>
+  std::vector<T> ring_allreduce(std::vector<T> local, const Op<T>& op) const {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ring_allreduce requires a trivially copyable element");
+    const int p = size();
+    if (p == 1) return local;
+    if (!op.commutative) {
+      std::vector<T> reduced = reduce(std::move(local), op, 0);
+      return broadcast(std::move(reduced), 0);
+    }
+    obs::SpanScope coll{obs::SpanKind::kCollective, "ring-allreduce"};
+    std::vector<T> mine =
+        ring_reduce_scatter_inplace(local, op, "ring_allreduce",
+                                    /*write_home=*/true);
+    // Allgather phase fills the other ranks' blocks directly into `local`;
+    // the reduced own-block seeds the ring without another slice copy.
+    const int left = (rank_ - 1 + p) % p;
+    const int right = (rank_ + 1) % p;
+    std::vector<T> carry = std::move(mine);
+    for (int t = 0; t < p - 1; ++t) {
+      obs::count(obs::Counter::kCollSegments);
+      send_owned(right, internal_tag::kRingAg, std::move(carry));
+      const int rb = (rank_ - 1 - t + 2 * p) % p;
+      const auto [off, len] = block_range(rb, local.size(), p);
+      std::vector<T> inc = coll_recv_typed<std::vector<T>>(
+          left, internal_tag::kRingAg, "ring_allreduce");
+      if (inc.size() != len) {
+        throw UsageError(
+            "ring_allreduce: ranks contributed different vector lengths");
+      }
+      std::copy(inc.begin(), inc.end(),
+                local.begin() + static_cast<std::ptrdiff_t>(off));
+      count_payload_copy(len * sizeof(T));
+      carry = std::move(inc);
+    }
+    return local;
+  }
+
   /// Allreduce by recursive doubling (the butterfly): ceil(lg p) exchange
-  /// rounds instead of reduce+broadcast's 2*ceil(lg p). Requires a
-  /// *commutative* op when p is not a power of two (the fold-in step
-  /// reorders operands); with power-of-two p the combine order is
-  /// rank-symmetric. The ablation benches compare this against allreduce().
+  /// rounds instead of reduce+broadcast's 2*ceil(lg p). When p is not a
+  /// power of two the fold-in step reorders operands, so a non-commutative
+  /// op (Op::commutative unset) falls back to tree reduce + broadcast; with
+  /// power-of-two p the combine order is rank-symmetric and any associative
+  /// op works. The ablation benches compare this against allreduce().
   template <typename T>
   T butterfly_allreduce(T local, const Op<T>& op) const {
     const int p = size();
@@ -553,6 +733,11 @@ class Communicator {
     int pow2 = 1;
     while (pow2 * 2 <= p) pow2 *= 2;
     const int extra = p - pow2;
+    if (extra != 0 && !op.commutative) {
+      T reduced = reduce(std::move(local), op, 0);
+      return broadcast(std::move(reduced), 0);
+    }
+    obs::SpanScope coll{obs::SpanKind::kCollective, "butterfly-allreduce"};
 
     if (rank_ >= pow2) {
       // Send my value down to rank_ - pow2, then wait for the result.
@@ -583,6 +768,65 @@ class Communicator {
     return local;
   }
 
+  /// Elementwise vector butterfly allreduce: the scalar algorithm with
+  /// whole-vector exchanges and bulk elementwise combining. Same
+  /// commutativity contract as the scalar overload (non-power-of-two p plus
+  /// a non-commutative op falls back to the tree); equal vector lengths are
+  /// enforced with the same UsageError the tree path throws.
+  template <typename T>
+  std::vector<T> butterfly_allreduce(std::vector<T> local, const Op<T>& op) const {
+    const int p = size();
+    int pow2 = 1;
+    while (pow2 * 2 <= p) pow2 *= 2;
+    const int extra = p - pow2;
+    if (extra != 0 && !op.commutative) {
+      std::vector<T> reduced = reduce(std::move(local), op, 0);
+      return broadcast(std::move(reduced), 0);
+    }
+    obs::SpanScope coll{obs::SpanKind::kCollective, "butterfly-allreduce"};
+    const auto check_len = [&](const std::vector<T>& inc) {
+      if (inc.size() != local.size()) {
+        throw UsageError(
+            "butterfly_allreduce: ranks contributed different vector lengths");
+      }
+    };
+
+    if (rank_ >= pow2) {
+      send_encoded(rank_ - pow2, internal_tag::kReduce, local);
+      return coll_recv_typed<std::vector<T>>(rank_ - pow2, internal_tag::kBcast,
+                                             "butterfly_allreduce");
+    }
+    if (rank_ < extra) {
+      std::vector<T> incoming = coll_recv_typed<std::vector<T>>(
+          rank_ + pow2, internal_tag::kReduce, "butterfly_allreduce");
+      check_len(incoming);
+      combine_range(op, local.data(), incoming.data(), local.size());
+      obs::count(obs::Counter::kCombines);
+    }
+
+    for (int mask = 1; mask < pow2; mask <<= 1) {
+      const int partner = rank_ ^ mask;
+      send_encoded(partner, internal_tag::kReduce, local);
+      std::vector<T> incoming = coll_recv_typed<std::vector<T>>(
+          partner, internal_tag::kReduce, "butterfly_allreduce");
+      check_len(incoming);
+      // Combine in a rank-symmetric order so both partners agree even for
+      // non-commutative ops at power-of-two p.
+      if (rank_ < partner) {
+        combine_range(op, local.data(), incoming.data(), local.size());
+      } else {
+        combine_range(op, incoming.data(), local.data(), local.size());
+        local = std::move(incoming);
+      }
+      obs::count(obs::Counter::kCombines);
+    }
+
+    if (rank_ < extra) {
+      send_encoded(rank_ + pow2, internal_tag::kBcast, local);
+    }
+    return local;
+  }
+
   /// Inclusive prefix (MPI_Scan): rank r receives op over ranks 0..r.
   template <typename T>
   T scan(const T& local, const Op<T>& op) const {
@@ -598,16 +842,21 @@ class Communicator {
   }
 
   /// Exclusive prefix (MPI_Exscan): rank r receives op over ranks 0..r-1;
-  /// rank 0 receives the identity.
+  /// rank 0 receives the identity. A single forward pass: each rank
+  /// receives its exclusive prefix, combines in its own value, and forwards
+  /// the inclusive prefix — one message and one wait per rank (the scan-
+  /// then-ring-shift formulation costs two of each).
   template <typename T>
   T exscan(const T& local, const Op<T>& op) const {
-    T inclusive = scan(local, op);
-    // Shift right by one via a ring step.
+    T exclusive = op.identity;
+    if (rank_ > 0) {
+      exclusive = coll_recv_typed<T>(rank_ - 1, internal_tag::kScan, "exscan");
+    }
     if (rank_ + 1 < size()) {
+      const T inclusive = (rank_ == 0) ? local : op.combine(exclusive, local);
       send_encoded(rank_ + 1, internal_tag::kScan, inclusive);
     }
-    if (rank_ == 0) return op.identity;
-    return coll_recv_typed<T>(rank_ - 1, internal_tag::kScan, "exscan");
+    return exclusive;
   }
 
   /// MPI_Scatter: the root splits \p all into size() equal chunks of
@@ -833,12 +1082,13 @@ class Communicator {
   /// Routes an already-encoded body: eager at or below the threshold,
   /// park + RTS above it. \p ack_id != 0 requests a receiver ack
   /// (ssend); for a rendezvous body the ack fires at claim time.
+  /// \p coll_seg marks the envelope as a segmented-collective header.
   void send_payload(int dest, int tag, Payload&& bytes,
-                    std::uint64_t ack_id = 0) const;
+                    std::uint64_t ack_id = 0, bool coll_seg = false) const;
 
   /// Parks \p parked under a fresh ticket and deposits its RTS envelope.
   void send_rts(int dest, int tag, RendezvousTable::Parked&& parked,
-                std::uint64_t ack_id = 0) const;
+                std::uint64_t ack_id = 0, bool coll_seg = false) const;
 
   /// Resolves a matched RTS envelope to its parked body. Empty means the
   /// RTS was stale (duplicated or withdrawn) — the caller keeps waiting.
@@ -943,6 +1193,210 @@ class Communicator {
   /// \p what names the collective for the diagnostic.
   Envelope coll_recv(int source, int tag, const char* what) const;
   [[noreturn]] void throw_collective_timeout(int source, const char* what) const;
+
+  /// \name Bandwidth-optimal collective plumbing
+  /// @{
+
+  /// Elementwise acc[i] = op.combine(acc[i], in[i]) over [0, n): one bulk
+  /// call when the op supplies combine_n, a per-element loop otherwise.
+  template <typename T>
+  static void combine_range(const Op<T>& op, T* acc, const T* in, std::size_t n) {
+    if (op.combine_n) {
+      op.combine_n(acc, in, n);
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) acc[i] = op.combine(acc[i], in[i]);
+  }
+
+  /// (offset, length) of ring block \p b in an n-element vector split
+  /// across p ranks: the first n%p blocks get one extra element.
+  static std::pair<std::size_t, std::size_t> block_range(int b, std::size_t n,
+                                                         int p) noexcept {
+    const std::size_t base = n / static_cast<std::size_t>(p);
+    const std::size_t rem = n % static_cast<std::size_t>(p);
+    const std::size_t ub = static_cast<std::size_t>(b);
+    return {base * ub + std::min(ub, rem), base + (ub < rem ? 1 : 0)};
+  }
+
+  /// The ring reduce-scatter kernel: p-1 steps, each sending one block
+  /// right and combining the block arriving from the left *into the
+  /// incoming buffer in place*, then forwarding it by move — so transport
+  /// above the eager threshold is zero-copy and the only payload-plane
+  /// copies are the initial own-block slice and (optionally) writing the
+  /// reduced block home into \p local. Returns the fully reduced block this
+  /// rank owns (block rank_). Caller guarantees op.commutative and p >= 2.
+  template <typename T>
+  std::vector<T> ring_reduce_scatter_inplace(std::vector<T>& local,
+                                             const Op<T>& op, const char* what,
+                                             bool write_home) const {
+    const int p = size();
+    const int left = (rank_ - 1 + p) % p;
+    const int right = (rank_ + 1) % p;
+    std::vector<T> carry;
+    for (int t = 0; t < p - 1; ++t) {
+      obs::count(obs::Counter::kCollSegments);
+      if (t == 0) {
+        // Block (rank_ - 1) starts here and ends, fully reduced, at its
+        // owner after p-1 hops. The slice is the phase's one send-side copy.
+        const auto [off, len] = block_range(left, local.size(), p);
+        std::vector<T> slice(
+            local.begin() + static_cast<std::ptrdiff_t>(off),
+            local.begin() + static_cast<std::ptrdiff_t>(off + len));
+        count_payload_copy(len * sizeof(T));
+        send_owned(right, internal_tag::kRingRs, std::move(slice));
+      } else {
+        send_owned(right, internal_tag::kRingRs, std::move(carry));
+      }
+      const int rb = (rank_ - 2 - t + 2 * p) % p;
+      const auto [off, len] = block_range(rb, local.size(), p);
+      std::vector<T> inc = coll_recv_typed<std::vector<T>>(
+          left, internal_tag::kRingRs, what);
+      if (inc.size() != len) {
+        throw UsageError(std::string(what) +
+                         ": ranks contributed different vector lengths");
+      }
+      combine_range(op, inc.data(), local.data() + off, len);
+      obs::count(obs::Counter::kCombines);
+      carry = std::move(inc);
+    }
+    if (write_home) {
+      const auto [off, len] = block_range(rank_, local.size(), p);
+      std::copy(carry.begin(), carry.end(),
+                local.begin() + static_cast<std::ptrdiff_t>(off));
+      count_payload_copy(len * sizeof(T));
+    }
+    return carry;
+  }
+
+  /// reduce_scatter for non-commutative ops: tree-reduce to rank 0 (rank
+  /// combine order preserved), then deal out the blocks.
+  template <typename T>
+  std::vector<T> reduce_scatter_via_tree(std::vector<T> local,
+                                         const Op<T>& op) const {
+    obs::SpanScope coll{obs::SpanKind::kCollective, "reduce-scatter"};
+    const int p = size();
+    const std::size_t n = local.size();
+    std::vector<T> full = reduce(std::move(local), op, 0);
+    if (rank_ != 0) {
+      return coll_recv_typed<std::vector<T>>(0, internal_tag::kRingRs,
+                                             "reduce_scatter");
+    }
+    for (int r = 1; r < p; ++r) {
+      const auto [off, len] = block_range(r, n, p);
+      std::vector<T> piece(full.begin() + static_cast<std::ptrdiff_t>(off),
+                           full.begin() + static_cast<std::ptrdiff_t>(off + len));
+      count_payload_copy(len * sizeof(T));
+      send_owned(r, internal_tag::kRingRs, std::move(piece));
+    }
+    const auto [off, len] = block_range(0, n, p);
+    std::vector<T> mine(full.begin() + static_cast<std::ptrdiff_t>(off),
+                        full.begin() + static_cast<std::ptrdiff_t>(off + len));
+    count_payload_copy(len * sizeof(T));
+    return mine;
+  }
+
+  /// Segmented, pipelined binomial-tree reduction: bodies are chopped at
+  /// the segment threshold and each combined segment is shipped upward
+  /// before the next one is touched, overlapping tree depth with transfer.
+  /// Children combine in ascending-mask order — exactly the plain tree's
+  /// order — so any associative op reduces identically on both paths.
+  template <typename T>
+  std::vector<T> reduce_segmented(std::vector<T> local, const Op<T>& op,
+                                  int root, pml::Trace* trace) const {
+    check_peer(root, "reduce");
+    obs::SpanScope coll{obs::SpanKind::kCollective, "reduce-seg", root};
+    const int p = size();
+    const int vr = (rank_ - root + p) % p;
+    const std::size_t n = local.size();
+    const std::size_t seg_elems =
+        std::max<std::size_t>(1, state_->coll_segment_bytes / sizeof(T));
+    struct Child {
+      int rank;
+      int round;
+    };
+    std::vector<Child> kids;
+    int parent = -1;
+    int round = 0;
+    for (int mask = 1; mask < p; mask <<= 1, ++round) {
+      if ((vr & mask) != 0) {
+        parent = ((vr - mask) + root) % p;
+        break;
+      }
+      if (vr + mask < p) kids.push_back({((vr + mask) + root) % p, round});
+    }
+    // Announce upward first so the subtree pipeline fills leaf-to-root.
+    if (parent >= 0) {
+      send_seg_header(parent, internal_tag::kReduce, n * sizeof(T),
+                      seg_elems * sizeof(T));
+    }
+    // Every child announces its total before its segments; a mismatch is
+    // the ragged-length error, caught before any segment is waited on. A
+    // child below the segment threshold sends its (necessarily shorter)
+    // body whole — an unflagged envelope, equally diagnosable.
+    for (const Child& c : kids) {
+      auto [segmented, header] =
+          recv_flagged(c.rank, internal_tag::kReduce, "reduce");
+      if (!segmented) {
+        throw UsageError("reduce: ranks contributed different vector lengths");
+      }
+      const CollSegHeader h = Codec<CollSegHeader>::decode(std::move(header));
+      if (h.total != n * sizeof(T)) {
+        throw UsageError("reduce: ranks contributed different vector lengths");
+      }
+      if (trace != nullptr) trace->record(rank_, "combine", c.round, c.rank);
+    }
+    for (std::size_t off = 0; off < n; off += seg_elems) {
+      const std::size_t len = std::min(seg_elems, n - off);
+      for (const Child& c : kids) {
+        std::vector<T> inc = coll_recv_typed<std::vector<T>>(
+            c.rank, internal_tag::kReduceSeg, "reduce");
+        if (inc.size() != len) {
+          throw UsageError("reduce: ranks contributed different vector lengths");
+        }
+        combine_range(op, local.data() + off, inc.data(), len);
+        obs::count(obs::Counter::kCombines);
+      }
+      if (parent >= 0) {
+        std::vector<T> piece(
+            local.begin() + static_cast<std::ptrdiff_t>(off),
+            local.begin() + static_cast<std::ptrdiff_t>(off + len));
+        count_payload_copy(len * sizeof(T));
+        obs::count(obs::Counter::kCollSegments);
+        send_owned(parent, internal_tag::kReduceSeg, std::move(piece));
+      }
+    }
+    return local;
+  }
+
+  /// Absolute ranks of vr's binomial-tree children under \p root, in the
+  /// high-mask-first order the whole-body broadcast sends.
+  std::vector<int> bcast_children(int vr, int root) const;
+
+  /// Root/interior send side of broadcast: whole-body forwards below the
+  /// segment threshold, header + pipelined segments above it.
+  void bcast_tree_send(const Payload& bytes, const std::vector<int>& kids) const;
+
+  /// Non-root receive side of broadcast: receives the whole body or the
+  /// segment stream from \p parent, forwarding to \p kids as data arrives.
+  Payload bcast_tree_recv(int parent, const std::vector<int>& kids,
+                          const char* what) const;
+
+  /// Sends one segmented-transfer header (a flagged CollSegHeader envelope
+  /// on the collective's base tag).
+  void send_seg_header(int dest, int tag, std::uint64_t total,
+                       std::uint64_t seg) const;
+
+  /// coll_recv + rendezvous resolution preserving the coll_seg flag: the
+  /// header-or-whole-body receive of the segmented collectives.
+  std::pair<bool, Payload> recv_flagged(int source, int tag,
+                                        const char* what) const;
+
+  /// The allreduce dispatch rule. Forced algorithms (RunOptions /
+  /// PML_MP_COLL_ALGO) win when the call can honor them; kAuto takes the
+  /// ring for large commutative vector bodies and the tree otherwise.
+  CollAlgorithm choose_allreduce_algo(std::size_t nbytes, bool commutative,
+                                      bool ring_capable) const;
+  /// @}
 
   /// The binomial-tree reduction shared by scalar and vector reduce.
   template <typename V, typename Merge>

@@ -77,6 +77,30 @@ void run(int nprocs, const std::function<void(Communicator&)>& program,
     // (route every non-empty body through the rendezvous) is meaningful.
     state->eager_bytes = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
   }
+  if (options.coll_segment_bytes.has_value()) {
+    state->coll_segment_bytes = *options.coll_segment_bytes;
+  } else if (const char* env = std::getenv("PML_MP_COLL_SEGMENT_BYTES")) {
+    // An explicit "0" disables segmentation and the ring auto-selection.
+    state->coll_segment_bytes =
+        static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+  if (options.coll_algorithm.has_value()) {
+    state->coll_algorithm = *options.coll_algorithm;
+  } else if (const char* env = std::getenv("PML_MP_COLL_ALGO")) {
+    const std::string algo(env);
+    if (algo == "auto") {
+      state->coll_algorithm = CollAlgorithm::kAuto;
+    } else if (algo == "tree") {
+      state->coll_algorithm = CollAlgorithm::kTree;
+    } else if (algo == "ring") {
+      state->coll_algorithm = CollAlgorithm::kRing;
+    } else if (algo == "butterfly") {
+      state->coll_algorithm = CollAlgorithm::kButterfly;
+    } else {
+      throw UsageError("PML_MP_COLL_ALGO must be auto|tree|ring|butterfly, got \"" +
+                       algo + "\"");
+    }
+  }
 
   // Bind an active fault plan to this job's topology: node names in the
   // spec resolve against the cluster (a bad name throws UsageError here,

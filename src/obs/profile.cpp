@@ -37,6 +37,7 @@ const char* to_string(Counter c) noexcept {
     case Counter::kRdvBytes: return "rdv-bytes";
     case Counter::kRdvStale: return "rdv-stale";
     case Counter::kPayloadBytesCopied: return "payload-copied-bytes";
+    case Counter::kCollSegments: return "coll-segments";
   }
   return "?";
 }
@@ -112,6 +113,7 @@ std::string Profile::table() const {
       Counter::kFaultDuplicated, Counter::kRetryAttempts,
       Counter::kRdvParked,       Counter::kRdvBytes,
       Counter::kRdvStale,        Counter::kPayloadBytesCopied,
+      Counter::kCollSegments,
   };
   std::string extras;
   for (const Counter c : kExtras) {

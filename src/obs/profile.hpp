@@ -58,10 +58,11 @@ enum class Counter : std::uint8_t {
   kRdvBytes,           ///< Bytes claimed pointer-for-pointer (zero-copy).
   kRdvStale,           ///< Stale RTS envelopes skipped (dup/withdrawn).
   kPayloadBytesCopied, ///< Spilled-body bytes memcpy'd on the payload plane.
+  kCollSegments,       ///< Collective segments/blocks sent (ring, pipelined).
 };
 
 /// Number of distinct Counter values (array sizing).
-inline constexpr int kCounterKinds = 16;
+inline constexpr int kCounterKinds = 17;
 
 /// Printable name ("chunks", "steals", "combines", ...).
 const char* to_string(Counter c) noexcept;

@@ -2,6 +2,7 @@
 /// \brief Collective data-movement patternlets: Broadcast (scalar and
 /// array), Scatter, Gather (paper Figs. 25-28), and Allgather.
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -160,6 +161,119 @@ void register_collectives(Registry& registry) {
               }
             });
           },
+  });
+
+  registry.add(Patternlet{
+      .slug = "mpi/ringAllreduce",
+      .title = "ring_allreduce.c (MPI extension)",
+      .tech = Tech::kMPI,
+      .patterns = {"Reduction", "Broadcast", "Collective Communication"},
+      .summary =
+          "Beyond the paper: the bandwidth-optimal allreduce used by data-"
+          "parallel training. Each rank contributes an n-element vector; a "
+          "ring reduce-scatter leaves every rank owning one fully-reduced "
+          "block, and a ring allgather circulates the blocks until all ranks "
+          "hold the full result — about 2n(p-1)/p values moved per rank, "
+          "versus n*lg(p) for the tree.",
+      .exercise =
+          "Run with -p ring=1 and -p ring=0 (tree) and compare the "
+          "'coll-segments' and bytes numbers (or leave the param off and "
+          "switch with PML_MP_COLL_ALGO). At what vector size does the "
+          "ring's lower per-rank traffic beat the tree's lower round count? "
+          "Why does the ring require a commutative operation when the tree "
+          "does not?",
+      .toggles = {},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            const long n = ctx.param("n", 64);
+            pml::mp::RunOptions opts;
+            // Precedence: -p ring= forces the algorithm; else an exported
+            // PML_MP_COLL_ALGO decides (an explicit RunOptions value would
+            // outrank the environment, so stay unset); else the slug's
+            // namesake ring — kAuto would pick the tree at teaching sizes.
+            if (ctx.params.count("ring") != 0) {
+              opts.coll_algorithm = ctx.param("ring", 1) != 0
+                                        ? pml::mp::CollAlgorithm::kRing
+                                        : pml::mp::CollAlgorithm::kTree;
+            } else if (std::getenv("PML_MP_COLL_ALGO") == nullptr) {
+              opts.coll_algorithm = pml::mp::CollAlgorithm::kRing;
+            }
+            pml::mp::run(
+                ctx.tasks,
+                [&](pml::mp::Communicator& comm) {
+                  const int rank = comm.rank();
+                  const int p = comm.size();
+                  std::vector<int> mine(static_cast<std::size_t>(n), rank + 1);
+                  const std::vector<int> total =
+                      comm.allreduce(std::move(mine), pml::mp::op_sum<int>());
+                  // Every element is 1 + 2 + ... + p.
+                  const int want = p * (p + 1) / 2;
+                  bool ok = true;
+                  for (int x : total) ok = ok && (x == want);
+                  ctx.out.say(rank, "Process " + std::to_string(rank) + ": " +
+                                        std::to_string(n) + " elements, all = " +
+                                        std::to_string(total.empty() ? 0 : total[0]) +
+                                        (ok ? " (correct)" : " (WRONG)"),
+                              ok ? "OK" : "WRONG");
+                },
+                opts);
+          },
+      .beyond_paper = true,
+  });
+
+  registry.add(Patternlet{
+      .slug = "mpi/segmentedBcast",
+      .title = "segmented_broadcast.c (MPI extension)",
+      .tech = Tech::kMPI,
+      .patterns = {"Broadcast", "Pipeline", "Collective Communication"},
+      .summary =
+          "Beyond the paper: a pipelined tree broadcast. A large body is "
+          "chopped into fixed-size segments that stream down the binomial "
+          "tree, so an inner rank forwards segment k to its children while "
+          "segment k+1 is still in flight — overlapping tree depth with "
+          "transfer instead of paying lg(p) full-body hops in series.",
+      .exercise =
+          "Run with -p segment=64 and -p segment=0 (segmentation off) and "
+          "compare the 'coll-segments' counter. With p ranks, segment size s "
+          "and body size m, how many steps does the whole-body tree take, "
+          "and how many does the pipeline take? When is the pipeline faster?",
+      .toggles = {},
+      .default_tasks = 4,
+      .body =
+          [](RunContext& ctx) {
+            const long n = ctx.param("n", 64);
+            const long segment = ctx.param("segment", 64);
+            pml::mp::RunOptions opts;
+            opts.coll_segment_bytes = static_cast<std::size_t>(segment);
+            pml::mp::run(
+                ctx.tasks,
+                [&](pml::mp::Communicator& comm) {
+                  const int rank = comm.rank();
+                  std::vector<int> data(static_cast<std::size_t>(n), 0);
+                  if (rank == 0) {
+                    for (std::size_t i = 0; i < data.size(); ++i) {
+                      data[i] = static_cast<int>(i);
+                    }
+                  }
+                  data = comm.broadcast(data, 0);
+                  bool ok = true;
+                  for (std::size_t i = 0; i < data.size(); ++i) {
+                    ok = ok && (data[i] == static_cast<int>(i));
+                  }
+                  const long bytes = n * static_cast<long>(sizeof(int));
+                  const long segs =
+                      segment > 0 ? (bytes + segment - 1) / segment : 1;
+                  ctx.out.say(rank, "Process " + std::to_string(rank) +
+                                        " received " + std::to_string(bytes) +
+                                        " bytes as " + std::to_string(segs) +
+                                        " segment(s)" +
+                                        (ok ? "" : " (CORRUPT)"),
+                              ok ? "OK" : "WRONG");
+                },
+                opts);
+          },
+      .beyond_paper = true,
   });
 
   registry.add(Patternlet{

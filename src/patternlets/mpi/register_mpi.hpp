@@ -13,6 +13,7 @@ void register_messaging(Registry& registry);   // mpi/messagePassing, mpi/ring, 
 void register_barrier_seq(Registry& registry); // mpi/barrier, mpi/sequenceNumbers
 void register_loops(Registry& registry);       // mpi/parallelLoop{EqualChunks,ChunksOf1}
 void register_collectives(Registry& registry); // mpi/broadcast, broadcast2, scatter, gather, allgather
+                                               // + beyond-paper: mpi/ringAllreduce, mpi/segmentedBcast
 void register_reduction(Registry& registry);   // mpi/reduction, mpi/reduction2
 
 }  // namespace pml::patternlets::mpi_detail

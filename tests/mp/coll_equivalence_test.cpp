@@ -1,0 +1,406 @@
+/// \file coll_equivalence_test.cpp
+/// \brief Property tests for the bandwidth-optimal collective tier: every
+/// algorithm (tree, ring, butterfly, segmented) computes the same answer,
+/// non-commutative ops fall back safely, ragged contributions fail loudly
+/// instead of hanging, and the ring's copy count is exact — all swept under
+/// scheduler chaos and fault injection.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/error.hpp"
+#include "fault/fault.hpp"
+#include "mp/mp.hpp"
+#include "obs/obs.hpp"
+#include "sched/sched.hpp"
+
+namespace pml::mp {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Sums a counter across every task in the profile (ranks run as tasks).
+std::uint64_t total(const obs::Profile& p, obs::Counter c) {
+  std::uint64_t sum = 0;
+  for (const auto& [task, metrics] : p.tasks) sum += metrics.value(c);
+  return sum;
+}
+
+RunOptions forced(CollAlgorithm algo, std::size_t segment_bytes = 0) {
+  RunOptions opts;
+  opts.coll_algorithm = algo;
+  opts.coll_segment_bytes = segment_bytes;
+  return opts;
+}
+
+/// Rank r contributes [r*1000, r*1000 + n) so every element of the
+/// reduced vector depends on every rank and on its position.
+std::vector<std::int64_t> contribution(int rank, std::size_t n) {
+  std::vector<std::int64_t> v(n);
+  std::iota(v.begin(), v.end(), static_cast<std::int64_t>(rank) * 1000);
+  return v;
+}
+
+/// The elementwise sum all allreduce algorithms must agree on.
+std::vector<std::int64_t> expected_sum(int np, std::size_t n) {
+  std::vector<std::int64_t> want(n, 0);
+  for (int r = 0; r < np; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      want[i] += static_cast<std::int64_t>(r) * 1000 + static_cast<std::int64_t>(i);
+    }
+  }
+  return want;
+}
+
+/// Runs a forced-algorithm vector allreduce and returns every rank's result.
+std::vector<std::vector<std::int64_t>> allreduce_with(int np, std::size_t n,
+                                                      const RunOptions& opts) {
+  std::vector<std::vector<std::int64_t>> got(static_cast<std::size_t>(np));
+  run(
+      np,
+      [&](Communicator& comm) {
+        got[static_cast<std::size_t>(comm.rank())] =
+            comm.allreduce(contribution(comm.rank(), n), op_sum<std::int64_t>());
+      },
+      opts);
+  return got;
+}
+
+class CollEquivalenceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollEquivalenceSweep, RingButterflyTreeAndSegmentedAgree) {
+  const int np = GetParam();
+  // Sizes straddle everything interesting: empty blocks (n < p), ragged
+  // blocks (n % p != 0), and multi-element blocks.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{5}, std::size_t{64},
+                              std::size_t{130}}) {
+    const std::vector<std::int64_t> want = expected_sum(np, n);
+    for (const CollAlgorithm algo :
+         {CollAlgorithm::kTree, CollAlgorithm::kRing, CollAlgorithm::kButterfly}) {
+      const auto got = allreduce_with(np, n, forced(algo));
+      for (int r = 0; r < np; ++r) {
+        EXPECT_EQ(got[static_cast<std::size_t>(r)], want)
+            << "algo=" << static_cast<int>(algo) << " np=" << np << " n=" << n
+            << " rank=" << r;
+      }
+    }
+    // Segmented tree: tiny segments force multi-segment pipelines.
+    const auto got = allreduce_with(np, n, forced(CollAlgorithm::kTree, 16));
+    for (int r = 0; r < np; ++r) {
+      EXPECT_EQ(got[static_cast<std::size_t>(r)], want)
+          << "segmented np=" << np << " n=" << n << " rank=" << r;
+    }
+  }
+}
+
+TEST_P(CollEquivalenceSweep, AgreementHoldsUnderChaosSchedules) {
+  const int np = GetParam();
+  const std::size_t n = 37;  // ragged on every swept p
+  const std::vector<std::int64_t> want = expected_sum(np, n);
+  for (const unsigned seed : {1u, 7u, 42u}) {
+    sched::ChaosScope chaos{seed};
+    for (const CollAlgorithm algo :
+         {CollAlgorithm::kTree, CollAlgorithm::kRing, CollAlgorithm::kButterfly}) {
+      const auto got = allreduce_with(np, n, forced(algo));
+      for (int r = 0; r < np; ++r) {
+        EXPECT_EQ(got[static_cast<std::size_t>(r)], want)
+            << "seed=" << seed << " algo=" << static_cast<int>(algo)
+            << " np=" << np << " rank=" << r;
+      }
+    }
+    const auto got = allreduce_with(np, n, forced(CollAlgorithm::kTree, 16));
+    for (int r = 0; r < np; ++r) {
+      EXPECT_EQ(got[static_cast<std::size_t>(r)], want)
+          << "segmented seed=" << seed << " np=" << np << " rank=" << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessCounts, CollEquivalenceSweep,
+                         ::testing::Values(2, 3, 4, 5, 8));
+
+// ---------------------------------------------------------------------------
+// Non-commutative ops: the ring reorders operands, so it must refuse and
+// fall back to the (rank-ordered) tree — including at non-power-of-two p,
+// where the butterfly's fold-in step would also reorder.
+
+/// 2x2 integer matrices under multiplication: associative, NOT commutative.
+struct M2 {
+  std::int64_t a = 1, b = 0, c = 0, d = 1;  // identity
+  bool operator==(const M2& o) const {
+    return a == o.a && b == o.b && c == o.c && d == o.d;
+  }
+};
+
+Op<M2> matmul() {
+  return {"matmul", M2{}, [](const M2& x, const M2& y) {
+            return M2{x.a * y.a + x.b * y.c, x.a * y.b + x.b * y.d,
+                      x.c * y.a + x.d * y.c, x.c * y.b + x.d * y.d};
+          }};  // commutative defaults to false
+}
+
+M2 rank_matrix(int r) {
+  return M2{r + 1, r + 2, r + 3, r + 4};
+}
+
+/// Left-fold in rank order — the answer every algorithm must reproduce.
+M2 sequential_product(int np) {
+  Op<M2> op = matmul();
+  M2 acc = op.identity;
+  for (int r = 0; r < np; ++r) acc = op.combine(acc, rank_matrix(r));
+  return acc;
+}
+
+TEST(CollNonCommutative, ForcedRingFallsBackToRankOrderedTree) {
+  for (const int np : {3, 5, 7}) {  // non-powers-of-two
+    const M2 want = sequential_product(np);
+    std::vector<std::vector<M2>> got(static_cast<std::size_t>(np));
+    run(
+        np,
+        [&](Communicator& comm) {
+          got[static_cast<std::size_t>(comm.rank())] = comm.allreduce(
+              std::vector<M2>{rank_matrix(comm.rank())}, matmul());
+        },
+        forced(CollAlgorithm::kRing));
+    for (int r = 0; r < np; ++r) {
+      ASSERT_EQ(got[static_cast<std::size_t>(r)].size(), 1u);
+      EXPECT_TRUE(got[static_cast<std::size_t>(r)][0] == want)
+          << "np=" << np << " rank=" << r;
+    }
+  }
+}
+
+TEST(CollNonCommutative, ButterflyFallsBackAtNonPowerOfTwoP) {
+  for (const int np : {3, 5}) {
+    const M2 want = sequential_product(np);
+    std::vector<M2> got(static_cast<std::size_t>(np));
+    run(
+        np,
+        [&](Communicator& comm) {
+          got[static_cast<std::size_t>(comm.rank())] =
+              comm.butterfly_allreduce(rank_matrix(comm.rank()), matmul());
+        });
+    for (int r = 0; r < np; ++r) {
+      EXPECT_TRUE(got[static_cast<std::size_t>(r)] == want)
+          << "np=" << np << " rank=" << r;
+    }
+  }
+}
+
+TEST(CollNonCommutative, ReduceScatterRoutesNonCommutativeViaTree) {
+  const int np = 4;
+  const M2 want = sequential_product(np);
+  std::vector<std::vector<M2>> got(static_cast<std::size_t>(np));
+  run(np, [&](Communicator& comm) {
+    // One element per rank: rank r's scattered block is element r.
+    std::vector<M2> local(static_cast<std::size_t>(np), rank_matrix(comm.rank()));
+    got[static_cast<std::size_t>(comm.rank())] =
+        comm.reduce_scatter(std::move(local), matmul());
+  });
+  for (int r = 0; r < np; ++r) {
+    ASSERT_EQ(got[static_cast<std::size_t>(r)].size(), 1u);
+    EXPECT_TRUE(got[static_cast<std::size_t>(r)][0] == want) << "rank=" << r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ragged contributions: different lengths across ranks are a usage bug and
+// must surface as UsageError on every new primitive — never a hang, never a
+// silently wrong answer. The mismatch is staged across the segmentation
+// threshold too, where one rank segments and its peer does not.
+
+TEST(CollRagged, RingAllreduceThrowsUsageError) {
+  EXPECT_THROW(run(4,
+                   [](Communicator& comm) {
+                     const std::size_t n = comm.rank() == 2 ? 44u : 40u;
+                     (void)comm.allreduce(contribution(comm.rank(), n),
+                                          op_sum<std::int64_t>());
+                   },
+                   forced(CollAlgorithm::kRing)),
+               UsageError);
+}
+
+TEST(CollRagged, ReduceScatterThrowsUsageError) {
+  EXPECT_THROW(run(4,
+                   [](Communicator& comm) {
+                     const std::size_t n = comm.rank() == 1 ? 44u : 40u;
+                     (void)comm.reduce_scatter(contribution(comm.rank(), n),
+                                               op_sum<std::int64_t>());
+                   }),
+               UsageError);
+}
+
+TEST(CollRagged, SegmentedReduceThrowsAcrossTheSegmentationThreshold) {
+  // segment = 64 bytes = 8 int64s: rank 1's 4-element body stays whole
+  // while everyone else segments — the header protocol must diagnose the
+  // mismatch instead of interleaving segment and non-segment messages.
+  EXPECT_THROW(run(4,
+                   [](Communicator& comm) {
+                     const std::size_t n = comm.rank() == 1 ? 4u : 40u;
+                     (void)comm.reduce(contribution(comm.rank(), n),
+                                       op_sum<std::int64_t>(), 0);
+                   },
+                   forced(CollAlgorithm::kTree, 64)),
+               UsageError);
+}
+
+TEST(CollRagged, SegmentedReduceThrowsOnSegmentedLengthMismatch) {
+  // Both sides segment, totals differ: the headers disagree.
+  EXPECT_THROW(run(4,
+                   [](Communicator& comm) {
+                     const std::size_t n = comm.rank() == 3 ? 48u : 40u;
+                     (void)comm.reduce(contribution(comm.rank(), n),
+                                       op_sum<std::int64_t>(), 0);
+                   },
+                   forced(CollAlgorithm::kTree, 64)),
+               UsageError);
+}
+
+// ---------------------------------------------------------------------------
+// Exact copy accounting: at 16 MiB x 4 ranks every block (4 MiB) rides the
+// zero-copy rendezvous path, so the only payload copies left are the ring's
+// own data movement: rank r copies out its first slice (block r-1), writes
+// its reduced home block, and writes the p-1 foreign blocks the allgather
+// delivers — (p+1) * N bytes total across ranks, exactly.
+
+TEST(CollCopyAccounting, SixteenMiBRingAllreduceCopiesExactlyPPlus1N) {
+  static constexpr int kNp = 4;
+  static constexpr std::size_t kElems = (16u << 20) / sizeof(std::int64_t);  // 16 MiB
+  obs::Scope scope;
+  run(
+      kNp,
+      [](Communicator& comm) {
+        std::vector<std::int64_t> v(kElems,
+                                    static_cast<std::int64_t>(comm.rank()));
+        const auto out = comm.allreduce(std::move(v), op_sum<std::int64_t>());
+        // Spot-check: every element is 0+1+2+3.
+        ASSERT_EQ(out.size(), kElems);
+        EXPECT_EQ(out.front(), 6);
+        EXPECT_EQ(out.back(), 6);
+      },
+      forced(CollAlgorithm::kRing));
+  const obs::Profile p = scope.finish();
+  const std::uint64_t n_bytes = kElems * sizeof(std::int64_t);
+  EXPECT_EQ(total(p, obs::Counter::kPayloadBytesCopied), (kNp + 1) * n_bytes);
+  // Ring structure: p-1 reduce-scatter + p-1 allgather sends per rank.
+  EXPECT_EQ(total(p, obs::Counter::kCollSegments),
+            static_cast<std::uint64_t>(2 * kNp * (kNp - 1)));
+}
+
+// ---------------------------------------------------------------------------
+// Fault interplay: a segmented broadcast where every message (headers
+// included) rides the rendezvous path, and ring/segmented collectives under
+// drop and crash faults with a collective timeout — degrade loudly, never
+// hang.
+
+TEST(CollFaults, SegmentedBroadcastSurvivesTinyEagerThresholdUnderChaos) {
+  for (const unsigned seed : {1u, 7u, 42u}) {
+    sched::ChaosScope chaos{seed};
+    RunOptions opts = forced(CollAlgorithm::kTree, 64);
+    opts.eager_bytes = 1;  // every header and segment becomes an RTS
+    std::vector<std::vector<std::int64_t>> got(4);
+    run(
+        4,
+        [&](Communicator& comm) {
+          std::vector<std::int64_t> v;
+          if (comm.rank() == 0) v = contribution(0, 100);
+          got[static_cast<std::size_t>(comm.rank())] = comm.broadcast(v, 0);
+        },
+        opts);
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_EQ(got[static_cast<std::size_t>(r)], contribution(0, 100))
+          << "seed=" << seed << " rank=" << r;
+    }
+  }
+}
+
+TEST(CollFaults, RingAllreduceWithDropTimesOutInsteadOfHanging) {
+  fault::FaultScope faults{fault::FaultPlan::parse("drop:1")};
+  RunOptions opts = forced(CollAlgorithm::kRing);
+  opts.collective_timeout = 200ms;
+  EXPECT_THROW(run(4,
+                   [](Communicator& comm) {
+                     (void)comm.allreduce(contribution(comm.rank(), 64),
+                                          op_sum<std::int64_t>());
+                   },
+                   opts),
+               RuntimeFault);
+}
+
+TEST(CollFaults, SegmentedReduceWithNodeCrashDegradesLoudly) {
+  fault::FaultScope faults{fault::FaultPlan::parse("crash:node-02@0")};
+  RunOptions opts = forced(CollAlgorithm::kTree, 64);
+  opts.cluster = Cluster(2, 4, Placement::kRoundRobin);  // node-02: odd ranks
+  opts.collective_timeout = 200ms;
+  EXPECT_THROW(run(4,
+                   [](Communicator& comm) {
+                     (void)comm.reduce(contribution(comm.rank(), 64),
+                                       op_sum<std::int64_t>(), 0);
+                   },
+                   opts),
+               fault::NodeCrashFault);
+}
+
+// ---------------------------------------------------------------------------
+// Primitive semantics: reduce_scatter hands rank r the r-th reduced block;
+// ring_allgather concatenates per-rank vectors in rank order (allgatherv —
+// blocks may differ in length).
+
+TEST(CollPrimitives, ReduceScatterDealsReducedBlocksInRankOrder) {
+  const int np = 4;
+  const std::size_t n = 10;  // ragged: blocks of 3,3,2,2
+  std::vector<std::vector<std::int64_t>> got(static_cast<std::size_t>(np));
+  run(np, [&](Communicator& comm) {
+    got[static_cast<std::size_t>(comm.rank())] =
+        comm.reduce_scatter(contribution(comm.rank(), n), op_sum<std::int64_t>());
+  });
+  const std::vector<std::int64_t> want = expected_sum(np, n);
+  std::size_t off = 0;
+  for (int r = 0; r < np; ++r) {
+    const auto& block = got[static_cast<std::size_t>(r)];
+    ASSERT_EQ(block.size(), n / np + (static_cast<std::size_t>(r) < n % np ? 1 : 0));
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      EXPECT_EQ(block[i], want[off + i]) << "rank=" << r << " i=" << i;
+    }
+    off += block.size();
+  }
+}
+
+TEST(CollPrimitives, RingAllgatherConcatenatesRaggedBlocks) {
+  const int np = 4;
+  std::vector<std::vector<std::int64_t>> got(static_cast<std::size_t>(np));
+  run(np, [&](Communicator& comm) {
+    // Rank r contributes r+1 copies of its rank id.
+    std::vector<std::int64_t> mine(static_cast<std::size_t>(comm.rank()) + 1,
+                                   comm.rank());
+    got[static_cast<std::size_t>(comm.rank())] =
+        comm.ring_allgather(std::move(mine));
+  });
+  const std::vector<std::int64_t> want = {0, 1, 1, 2, 2, 2, 3, 3, 3, 3};
+  for (int r = 0; r < np; ++r) {
+    EXPECT_EQ(got[static_cast<std::size_t>(r)], want) << "rank=" << r;
+  }
+}
+
+TEST(CollPrimitives, ReduceScatterComposedWithAllgatherEqualsAllreduce) {
+  const int np = 4;
+  const std::size_t n = 26;
+  std::vector<std::vector<std::int64_t>> got(static_cast<std::size_t>(np));
+  run(np, [&](Communicator& comm) {
+    auto mine =
+        comm.reduce_scatter(contribution(comm.rank(), n), op_sum<std::int64_t>());
+    got[static_cast<std::size_t>(comm.rank())] =
+        comm.ring_allgather(std::move(mine));
+  });
+  const std::vector<std::int64_t> want = expected_sum(np, n);
+  for (int r = 0; r < np; ++r) {
+    EXPECT_EQ(got[static_cast<std::size_t>(r)], want) << "rank=" << r;
+  }
+}
+
+}  // namespace
+}  // namespace pml::mp

@@ -22,9 +22,8 @@ int ceil_log2(int p) {
 
 /// Runs \p body on \p np ranks and returns the total delivered messages.
 template <typename Body>
-std::size_t messages_of(int np, Body&& body) {
+std::size_t messages_of(int np, Body&& body, RunOptions opts = {}) {
   pml::Trace trace;
-  RunOptions opts;
   opts.message_trace = &trace;
   run(np, std::forward<Body>(body), opts);
   return trace.events("message").size();
@@ -65,6 +64,56 @@ TEST_P(MsgCountSweep, ClassicAllreduceUses2PMinus2Messages) {
     (void)comm.allreduce(comm.rank(), op_sum<int>());
   });
   EXPECT_EQ(n, 2u * static_cast<std::size_t>(np - 1));
+}
+
+TEST_P(MsgCountSweep, ExscanIsASingleForwardChainOfPMinus1Messages) {
+  // One pass: rank r receives the exclusive prefix from r-1 and forwards
+  // the inclusive prefix to r+1. No second shift pass.
+  const int np = GetParam();
+  const auto n = messages_of(np, [](Communicator& comm) {
+    (void)comm.exscan(comm.rank() + 1, op_sum<int>());
+  });
+  EXPECT_EQ(n, static_cast<std::size_t>(np - 1));
+}
+
+TEST_P(MsgCountSweep, RingAllreduceUses2PTimesPMinus1Messages) {
+  // p-1 reduce-scatter steps + p-1 allgather steps, one send per rank per
+  // step: 2p(p-1) messages — more than the tree's 2(p-1), but each carries
+  // only an N/p-sized block (the bandwidth-for-messages trade).
+  const int np = GetParam();
+  RunOptions opts;
+  opts.coll_algorithm = CollAlgorithm::kRing;
+  const auto n = messages_of(
+      np,
+      [np](Communicator& comm) {
+        std::vector<int> v(static_cast<std::size_t>(np) * 2, comm.rank());
+        (void)comm.allreduce(std::move(v), op_sum<int>());
+      },
+      opts);
+  if (np > 1) {
+    EXPECT_EQ(n, 2u * static_cast<std::size_t>(np) * static_cast<std::size_t>(np - 1));
+  } else {
+    EXPECT_EQ(n, 0u);
+  }
+}
+
+TEST(MsgCount, SegmentedBroadcastSendsHeaderPlusSegmentsPerEdge) {
+  // p-1 tree edges; each carries one header plus ceil(bytes/segment)
+  // segment messages.
+  const int np = 4;
+  const std::size_t elems = 32;  // 128 bytes of int
+  const std::size_t seg_bytes = 32;
+  RunOptions opts;
+  opts.coll_segment_bytes = seg_bytes;
+  const auto n = messages_of(
+      np,
+      [elems](Communicator& comm) {
+        std::vector<int> v(elems, comm.rank());
+        (void)comm.broadcast(v, 0);
+      },
+      opts);
+  const std::size_t segments = (elems * sizeof(int) + seg_bytes - 1) / seg_bytes;
+  EXPECT_EQ(n, static_cast<std::size_t>(np - 1) * (1 + segments));
 }
 
 TEST_P(MsgCountSweep, AlltoallUsesPTimesPMinus1Messages) {

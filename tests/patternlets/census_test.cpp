@@ -22,6 +22,20 @@ TEST(Census, PaperCountsHold) {
   EXPECT_EQ(c.total(), 44);
 }
 
+TEST(Census, BeyondPaperExtensionsAreCountedSeparately) {
+  // The bandwidth-optimal collective patternlets extend the collection
+  // without disturbing the paper's tallies above.
+  const Registry& reg = ensure_registered();
+  const Census c = reg.census();
+  EXPECT_EQ(c.extensions, 2);
+  const Patternlet* ring = reg.find("mpi/ringAllreduce");
+  const Patternlet* seg = reg.find("mpi/segmentedBcast");
+  ASSERT_NE(ring, nullptr);
+  ASSERT_NE(seg, nullptr);
+  EXPECT_TRUE(ring->beyond_paper);
+  EXPECT_TRUE(seg->beyond_paper);
+}
+
 TEST(Census, EnsureRegisteredIsIdempotent) {
   ensure_registered();
   ensure_registered();
