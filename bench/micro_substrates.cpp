@@ -320,6 +320,39 @@ BENCHMARK(BM_BroadcastWhole)
     ->Args({16 << 20, 4})->Args({16 << 20, 8})
     ->UseManualTime();
 
+// ---- Checkpoint overhead ----------------------------------------------------
+//
+// Cost of one committed consistent cut: every rank serializes a range(0)-byte
+// state, runs the two cut barriers, snapshots its mailbox, and rank 0 seals
+// (in-memory store, no disk). This is the per-commit tax a --ckpt job pays,
+// the number HANDBOOK's "Checkpoint & restart" section quotes, and the gated
+// floor that keeps the cut protocol from quietly gaining extra barriers or
+// payload copies.
+
+void BM_CheckpointCommit(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const int np = static_cast<int>(state.range(1));
+  const std::size_t count = bytes / sizeof(long);
+  const int reps = 8;
+  mp::RunOptions options;
+  options.checkpoint_interval = 1;  // every checkpoint() call commits
+  for (auto _ : state) {
+    mp::run(
+        np,
+        [&](mp::Communicator& comm) {
+          std::vector<long> snapshot(count, comm.rank());
+          for (int i = 0; i < reps; ++i) {
+            comm.checkpoint("bench", snapshot);
+          }
+        },
+        options);
+  }
+  state.SetItemsProcessed(state.iterations() * reps);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * reps *
+                          static_cast<std::int64_t>(bytes) * np);
+}
+BENCHMARK(BM_CheckpointCommit)->Args({65536, 4});
+
 void BM_DisseminationBarrier(benchmark::State& state) {
   const int np = static_cast<int>(state.range(0));
   const int reps = 32;

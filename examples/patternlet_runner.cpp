@@ -62,6 +62,7 @@
 #include <iterator>
 #include <string>
 
+#include "core/env.hpp"
 #include "core/runner.hpp"
 #include "core/timeline.hpp"
 #include "obs/chrome_trace.hpp"
@@ -152,6 +153,17 @@ int help() {
       "                      crash:node-02@3 | slow:node-01@10, comma-joined,\n"
       "                      with seed:N for reproducibility (PML_FAULT env\n"
       "                      equivalent)\n"
+      "  --ckpt              enable checkpoint/restart: mp patternlets commit\n"
+      "                      a consistent cut at each Communicator::checkpoint\n"
+      "                      call and recover injected node crashes by\n"
+      "                      re-hosting the dead ranks + replaying from the\n"
+      "                      last cut (PML_CKPT env equivalent; its value is\n"
+      "                      the commit interval)\n"
+      "  --ckpt-interval N   commit every Nth checkpoint call (implies --ckpt)\n"
+      "  --ckpt-file FILE    persist every committed cut to FILE (implies\n"
+      "                      --ckpt)\n"
+      "  --restart-from FILE adopt a saved cut: ranks resume from it at their\n"
+      "                      first checkpoint call\n"
       "  --analyze           run under the happens-before race detector,\n"
       "                      deadlock predictor, and comm/worksharing lints;\n"
       "                      exit 3 if the analysis reports errors\n"
@@ -221,6 +233,20 @@ int main(int argc, char** argv) {
   if (const char* env = std::getenv("PML_FAULT")) {
     spec.fault_spec = env;
   }
+  // PML_CKPT enables checkpoint/restart (CI crash+restart sweeps); its
+  // value is the commit interval ("1" = commit every checkpoint call).
+  if (const char* env = std::getenv("PML_CKPT")) {
+    try {
+      const std::uint64_t n = pml::env::parse_u64("PML_CKPT", env);
+      if (n == 0 || n > 0xffffffffULL) {
+        usage_error("PML_CKPT must be a positive 32-bit commit interval");
+      }
+      spec.ckpt = true;
+      spec.ckpt_interval = static_cast<std::uint32_t>(n);
+    } catch (const pml::UsageError& e) {
+      usage_error(e.what());
+    }
+  }
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -273,6 +299,25 @@ int main(int argc, char** argv) {
       spec.fault_spec = next("--fault");
     } else if (arg.rfind("--fault=", 0) == 0) {
       spec.fault_spec = arg.substr(8);
+    } else if (arg == "--ckpt") {
+      spec.ckpt = true;
+    } else if (arg == "--ckpt-interval") {
+      const std::string text = next("--ckpt-interval");
+      try {
+        const std::uint64_t n = pml::env::parse_u64("--ckpt-interval", text);
+        if (n == 0 || n > 0xffffffffULL) {
+          usage_error("--ckpt-interval must be a positive 32-bit count");
+        }
+        spec.ckpt_interval = static_cast<std::uint32_t>(n);
+      } catch (const pml::UsageError& e) {
+        usage_error(e.what());
+      }
+      spec.ckpt = true;
+    } else if (arg == "--ckpt-file") {
+      spec.ckpt_file = next("--ckpt-file");
+      spec.ckpt = true;
+    } else if (arg == "--restart-from") {
+      spec.restart_from = next("--restart-from");
     } else if (arg == "--verify") {
       spec.verify = true;
     } else if (arg == "--verify-bound") {
@@ -397,6 +442,18 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "[fault] job aborted: %s\n",
                      result.fault_abort->c_str());
       }
+    }
+    if (result.ckpt_stats.has_value()) {
+      const pml::ckpt::Stats& cs = *result.ckpt_stats;
+      std::fprintf(stderr,
+                   "[ckpt: interval %u | commits %llu restarts %llu | "
+                   "%llu bytes in %llu us | restored ranks %llu]\n",
+                   spec.ckpt_interval,
+                   static_cast<unsigned long long>(cs.commits),
+                   static_cast<unsigned long long>(cs.restarts),
+                   static_cast<unsigned long long>(cs.bytes),
+                   static_cast<unsigned long long>(cs.write_micros),
+                   static_cast<unsigned long long>(cs.restored_ranks));
     }
     if (result.metrics.has_value()) {
       std::fprintf(stderr, "\n%s", result.metrics->table().c_str());

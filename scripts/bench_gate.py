@@ -60,6 +60,10 @@ GATED_LABELS = (
     "BM_AllreduceTree/16777216/4",
     "BM_BroadcastSegmented/16777216/4",
     "BM_BroadcastWhole/16777216/4",
+    # Checkpoint-overhead floor: one committed consistent cut (64 KiB state
+    # x 4 ranks, in-memory store). Keeps the cut protocol from quietly
+    # gaining barriers, serialization passes, or payload copies.
+    "BM_CheckpointCommit/65536/4",
 )
 
 

@@ -1,0 +1,33 @@
+#include "core/env.hpp"
+
+#include <cstdlib>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace pml::env {
+
+std::uint64_t parse_u64(const std::string& name, const std::string& text) {
+  const auto bad = [&](const char* why) -> UsageError {
+    return UsageError(name + "=\"" + text + "\": " + why +
+                      " (expected a non-negative decimal integer)");
+  };
+  if (text.empty()) throw bad("empty value");
+  std::uint64_t value = 0;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  for (const char c : text) {
+    if (c < '0' || c > '9') throw bad("not a decimal digit string");
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (kMax - digit) / 10) throw bad("value overflows 64 bits");
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::optional<std::uint64_t> u64(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return std::nullopt;
+  return parse_u64(name, raw);
+}
+
+}  // namespace pml::env

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file env.hpp
+/// \brief Strict environment-variable parsing.
+///
+/// The runtime's tuning knobs (PML_MP_EAGER_BYTES, PML_MP_COLLECTIVE_TIMEOUT_MS,
+/// PML_CKPT, ...) are numeric. Historically they were read with atol/strtoull,
+/// which silently map garbage to 0 and accept negative values — "abc" became a
+/// 0-byte eager threshold (surprise all-rendezvous mode) and "-5" became a
+/// giant unsigned timeout. These helpers accept only a full string of decimal
+/// digits and reject everything else with a UsageError naming the variable, so
+/// a typo fails loudly at job start instead of warping behaviour.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace pml::env {
+
+/// Strict decimal parse of \p text, attributed to variable \p name.
+///
+/// Accepts only a non-empty string of ASCII digits (no sign, no whitespace,
+/// no trailing junk, no hex/octal prefixes) whose value fits in a uint64.
+/// Anything else throws UsageError quoting \p name and \p text.
+std::uint64_t parse_u64(const std::string& name, const std::string& text);
+
+/// getenv(\p name) + parse_u64. nullopt when the variable is unset.
+/// Set-but-malformed (including empty) throws UsageError.
+std::optional<std::uint64_t> u64(const char* name);
+
+}  // namespace pml::env

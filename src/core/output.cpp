@@ -56,6 +56,42 @@ std::string OutputCapture::str() const {
   return out;
 }
 
+std::map<int, std::uint64_t> OutputCapture::counts_by_task() const {
+  std::lock_guard lock(mu_);
+  std::map<int, std::uint64_t> counts;
+  for (const auto& l : lines_) ++counts[l.task];
+  return counts;
+}
+
+std::uint64_t OutputCapture::count_for(int task) const {
+  std::lock_guard lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& l : lines_) {
+    if (l.task == task) ++n;
+  }
+  return n;
+}
+
+void OutputCapture::truncate_to(const std::map<int, std::uint64_t>& marks) {
+  std::lock_guard lock(mu_);
+  std::map<int, std::uint64_t> kept;
+  std::vector<OutputLine> survivors;
+  survivors.reserve(lines_.size());
+  for (auto& l : lines_) {
+    const auto mark = marks.find(l.task);
+    if (mark != marks.end() && kept[l.task] >= mark->second) continue;
+    ++kept[l.task];
+    l.seq = static_cast<std::uint64_t>(survivors.size());
+    survivors.push_back(std::move(l));
+  }
+  lines_ = std::move(survivors);
+}
+
+void OutputCapture::truncate(std::size_t n) {
+  std::lock_guard lock(mu_);
+  if (lines_.size() > n) lines_.resize(n);
+}
+
 void OutputCapture::clear() {
   std::lock_guard lock(mu_);
   lines_.clear();

@@ -64,6 +64,23 @@ class OutputCapture {
   /// Joins all texts with '\n' (plus trailing newline if nonempty).
   std::string str() const;
 
+  /// Lines captured so far, per task id (the checkpoint "output mark"
+  /// recorded in a cut: everything a rank printed before it).
+  std::map<int, std::uint64_t> counts_by_task() const;
+
+  /// Lines task \p task has captured so far (0 if it printed nothing).
+  std::uint64_t count_for(int task) const;
+
+  /// Checkpoint rollback: keeps only the first marks[task] lines of every
+  /// task listed in \p marks (unlisted tasks keep everything), then
+  /// re-densifies the sequence numbers. A restarting mp::run uses this so
+  /// the replayed prefix does not print its lines twice.
+  void truncate_to(const std::map<int, std::uint64_t>& marks);
+
+  /// Keeps only the first \p n lines in arrival order (whole-capture
+  /// rollback, for a restart with no committed cut to replay from).
+  void truncate(std::size_t n);
+
   /// Removes all captured lines and resets the sequence counter.
   void clear();
 

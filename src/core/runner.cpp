@@ -28,6 +28,30 @@ std::string RunResult::output_str() const {
 
 namespace {
 
+/// Store options a RunSpec's checkpoint flags describe.
+ckpt::Options ckpt_options_for(const RunSpec& spec) {
+  ckpt::Options copts;
+  copts.interval = spec.ckpt_interval;
+  copts.max_restarts = spec.ckpt_max_restarts;
+  copts.save_path = spec.ckpt_file;
+  copts.restart_from = spec.restart_from;
+  return copts;
+}
+
+/// Binds the store's output-rollback seam to the run's capture, so a
+/// restarting job can take per-rank marks at each cut and truncate the
+/// replayed prefix's lines instead of printing them twice.
+void bind_output_hooks(ckpt::Store& store, OutputCapture& out) {
+  store.output_mark = [&out](int rank) { return out.count_for(rank); };
+  store.output_total = [&out] { return static_cast<std::uint64_t>(out.size()); };
+  store.output_rollback = [&out](const std::map<int, std::uint64_t>& marks) {
+    out.truncate_to(marks);
+  };
+  store.output_rollback_total = [&out](std::uint64_t n) {
+    out.truncate(static_cast<std::size_t>(n));
+  };
+}
+
 /// Verification path of run(): hands the configured body to pml::verify,
 /// which executes it repeatedly under controlled scheduling. Each execution
 /// gets a fresh capture/trace/context; the surviving output is the
@@ -53,6 +77,7 @@ RunResult run_verified(const Patternlet& p, const RunSpec& spec, int tasks,
   std::vector<OutputLine> last_output;
   std::vector<TraceEvent> last_trace;
   std::optional<obs::Profile> last_metrics;
+  std::optional<ckpt::Stats> last_ckpt_stats;
   std::optional<long> expected_updates;
   std::optional<long> observed_updates;
   OutputCapture out;
@@ -73,6 +98,14 @@ RunResult run_verified(const Patternlet& p, const RunSpec& spec, int tasks,
     if (!spec.fault_spec.empty()) {
       faults.emplace(fault::FaultPlan::parse(spec.fault_spec));
     }
+    // The checkpoint window likewise opens per execution, so commit
+    // counters and the committed cut restart with the schedule — a
+    // crash+restart recovery is explored (and replayed) deterministically.
+    std::optional<ckpt::Scope> ckpts;
+    if (spec.ckpt || !spec.restart_from.empty()) {
+      ckpts.emplace(ckpt_options_for(spec));
+      bind_output_hooks(ckpts->store(), out);
+    }
     try {
       p.body(ctx);
     } catch (const RuntimeFault&) {
@@ -84,11 +117,13 @@ RunResult run_verified(const Patternlet& p, const RunSpec& spec, int tasks,
       // A scheduler terminal (deadlock, budget) aborts the execution
       // mid-body; keep its spans — they show *where* every lane stopped.
       if (profiling.has_value()) last_metrics = profiling->finish();
+      if (ckpts.has_value()) last_ckpt_stats = ckpts->store().stats();
       last_output = out.lines();
       last_trace = trace.events();
       throw;
     }
     if (profiling.has_value()) last_metrics = profiling->finish();
+    if (ckpts.has_value()) last_ckpt_stats = ckpts->store().stats();
     last_output = out.lines();
     last_trace = trace.events();
     if (ctx.probe.used()) {
@@ -122,6 +157,7 @@ RunResult run_verified(const Patternlet& p, const RunSpec& spec, int tasks,
   result.seconds = std::chrono::duration<double>(t1 - t0).count();
   result.expected_updates = expected_updates;
   result.observed_updates = observed_updates;
+  result.ckpt_stats = last_ckpt_stats;
   if (vr.found) {
     // Stamp the counterexample with the full configuration so --replay can
     // reconstruct this exact run from the file alone.
@@ -171,6 +207,7 @@ RunResult run(const Patternlet& p, const RunSpec& spec) {
 
   const auto t0 = std::chrono::steady_clock::now();
   std::optional<fault::Stats> fault_stats;
+  std::optional<ckpt::Stats> ckpt_stats;
   std::optional<std::string> fault_abort;
   {
     // Perturbation window covers exactly the body: the scope restores the
@@ -183,6 +220,13 @@ RunResult run(const Patternlet& p, const RunSpec& spec) {
     if (!spec.fault_spec.empty()) {
       faults.emplace(fault::FaultPlan::parse(spec.fault_spec));
     }
+    // Checkpoint window: installs the process-wide store mp::run picks up,
+    // wired to this run's output capture for replay-prefix rollback.
+    std::optional<ckpt::Scope> ckpts;
+    if (spec.ckpt || !spec.restart_from.empty()) {
+      ckpts.emplace(ckpt_options_for(spec));
+      bind_output_hooks(ckpts->store(), out);
+    }
     try {
       p.body(ctx);
     } catch (const RuntimeFault& e) {
@@ -194,6 +238,7 @@ RunResult run(const Patternlet& p, const RunSpec& spec) {
       fault_abort = e.what();
     }
     if (faults.has_value()) fault_stats = fault::stats();
+    if (ckpts.has_value()) ckpt_stats = ckpts->store().stats();
   }
   const auto t1 = std::chrono::steady_clock::now();
 
@@ -238,6 +283,7 @@ RunResult run(const Patternlet& p, const RunSpec& spec) {
     result.critical_path = obs::critical_path(*result.metrics);
   }
   result.fault_stats = fault_stats;
+  result.ckpt_stats = ckpt_stats;
   result.fault_abort = std::move(fault_abort);
   return result;
 }

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "analyze/report.hpp"
+#include "ckpt/ckpt.hpp"
 #include "core/output.hpp"
 #include "core/registry.hpp"
 #include "core/toggle.hpp"
@@ -76,6 +77,16 @@ struct RunSpec {
   /// then the built-in default; overflow is counted in
   /// RunResult::metrics->spans_dropped either way.
   std::size_t obs_ring_spans = 0;
+  /// Run the body with checkpoint/restart enabled (`--ckpt`): mp jobs
+  /// inside the body commit a consistent cut every ckpt_interval-th
+  /// Communicator::checkpoint() call, and an injected node crash recovers
+  /// by re-hosting the dead ranks and replaying from the last cut instead
+  /// of degrading to a partial result.
+  bool ckpt = false;
+  std::uint32_t ckpt_interval = 1;  ///< Commit every Nth checkpoint() call.
+  int ckpt_max_restarts = 4;        ///< Recovery attempts before giving up.
+  std::string ckpt_file;      ///< `--ckpt-file`: persist committed cuts here.
+  std::string restart_from;   ///< `--restart-from`: adopt this snapshot file.
 };
 
 /// Everything observable from one patternlet execution.
@@ -102,6 +113,9 @@ struct RunResult {
   std::optional<obs::CriticalPath> critical_path;
   /// Injection tallies when RunSpec::fault_spec was set. Absent otherwise.
   std::optional<fault::Stats> fault_stats;
+  /// Checkpoint/restart tallies when RunSpec::ckpt (or restart_from) was
+  /// set: cuts committed, recovery attempts, bytes, ranks restored.
+  std::optional<ckpt::Stats> ckpt_stats;
   /// The RuntimeFault that ended the body under fault injection (deadlock
   /// diagnosis, collective timeout, ...). Absent when the body survived or
   /// no faults were injected.

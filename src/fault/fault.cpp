@@ -459,6 +459,21 @@ void on_receive_checkpoint() {
   ++ls.checkpoints;
 }
 
+LaneCounters lane_snapshot() {
+  LaneState& ls = lane_state();
+  refresh_epoch(ls);
+  return {ls.deliveries, ls.checkpoints};
+}
+
+void lane_restore(const LaneCounters& counters) {
+  LaneState& ls = lane_state();
+  // Adopt the current epoch first so a later refresh_epoch() cannot wipe
+  // the restored indices, then rewind to the checkpointed stream position.
+  refresh_epoch(ls);
+  ls.deliveries = counters.deliveries;
+  ls.checkpoints = counters.checkpoints;
+}
+
 JobBinding::JobBinding(JobHooks hooks) {
   auto job = std::make_unique<Job>();
   job->hooks = std::move(hooks);

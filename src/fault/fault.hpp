@@ -170,6 +170,23 @@ DeliveryFault on_deliver(int dest, int source, int tag, int context);
 /// also die while waiting, not just while sending). Call only when active().
 void on_receive_checkpoint();
 
+/// This thread's per-lane decision counters. Every drop/dup/crash decision
+/// is a pure function of (seed, lane, per-lane call index), so persisting
+/// these two indices in a checkpoint and restoring them on the resumed
+/// rank's thread keeps seeded fault determinism intact across a restart:
+/// the replayed prefix re-consumes the same decision stream positions.
+struct LaneCounters {
+  std::uint64_t deliveries = 0;
+  std::uint64_t checkpoints = 0;
+};
+
+/// Snapshot of the calling thread's lane counters (checkpoint commit).
+LaneCounters lane_snapshot();
+
+/// Seeds the calling thread's lane counters from a checkpoint (restart).
+/// Call from the resumed rank's thread, after its sched lane is bound.
+void lane_restore(const LaneCounters& counters);
+
 /// How the fault layer sees the currently running mp job. Bound by
 /// mp::run() for the job's duration; crash/slow actions are inert with no
 /// job bound (there is no cluster to name a node of).

@@ -22,6 +22,8 @@ Cluster::Cluster(int node_count, int cores_per_node, Placement placement)
 int Cluster::node_of(int rank, int nprocs) const {
   if (nprocs <= 0) throw UsageError("Cluster::node_of: nprocs must be positive");
   if (rank < 0 || rank >= nprocs) throw UsageError("Cluster::node_of: bad rank");
+  const auto pinned = rehost_.find(rank);
+  if (pinned != rehost_.end()) return pinned->second;
   switch (placement_) {
     case Placement::kRoundRobin:
       return rank % node_count_;
@@ -55,6 +57,14 @@ int Cluster::find_node(const std::string& name) const {
                      std::to_string(node_count_) + "-node cluster");
   }
   return number - 1;
+}
+
+void Cluster::rehost(int rank, int node) {
+  if (rank < 0) throw UsageError("Cluster::rehost: bad rank");
+  if (node < 0 || node >= node_count_) {
+    throw UsageError("Cluster::rehost: node index outside the cluster");
+  }
+  rehost_[rank] = node;
 }
 
 std::string Cluster::processor_name(int rank, int nprocs) const {

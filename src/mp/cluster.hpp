@@ -11,6 +11,7 @@
 /// nodes (mirroring mpirun's --map-by). The heterogeneous patternlets also
 /// use the per-node core counts to size their intra-node thread teams.
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -59,10 +60,21 @@ class Cluster {
   /// ascending. Heterogeneous patternlets use this to form intra-node teams.
   std::vector<int> node_mates(int rank, int nprocs) const;
 
+  /// Pins \p rank to node \p node, overriding the placement policy.
+  /// Elastic recovery: after a NodeCrashFault, mp::run rebuilds the
+  /// cluster with the dead node's ranks re-hosted on survivors; node_of /
+  /// processor_name / node_mates all see the override, so a re-hosted rank
+  /// reports its new home consistently everywhere.
+  void rehost(int rank, int node);
+
+  /// The active rank -> node overrides (diagnostics and tests).
+  const std::map<int, int>& rehosted() const noexcept { return rehost_; }
+
  private:
   int node_count_;
   int cores_per_node_;
   Placement placement_;
+  std::map<int, int> rehost_;  ///< rank -> node placement overrides.
 };
 
 }  // namespace pml::mp

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "ckpt/ckpt.hpp"
 #include "fault/fault.hpp"
+#include "sched/coop.hpp"
 #include "smp/wtime.hpp"
 
 namespace pml::mp {
@@ -333,6 +335,122 @@ void Communicator::barrier() const {
     deliver(to, Envelope{context_, rank_, internal_tag::kBarrierBase + round, Payload{}});
     (void)coll_recv(from, internal_tag::kBarrierBase + round, "barrier");
   }
+}
+
+void Communicator::ckpt_check_world() const {
+  if (context_ == 0 && static_cast<int>(group_.size()) == state_->nprocs) return;
+  throw UsageError(
+      "checkpoint: checkpoints are world-communicator collectives (a cut of "
+      "a sub-group would miss in-flight traffic from outside it) — call on "
+      "the communicator mp::run passed in, not a split/dup");
+}
+
+bool Communicator::ckpt_take_restore(Payload& out) const {
+  const auto idx = static_cast<std::size_t>(rank_);
+  if (state_->ckpt_restore_pending.empty() || !state_->ckpt_restore_pending[idx]) {
+    return false;
+  }
+  state_->ckpt_restore_pending[idx] = 0;
+  std::vector<std::byte>& blob = state_->ckpt_restore_blob[idx];
+  out.append(blob.data(), blob.size());
+  blob.clear();
+  blob.shrink_to_fit();
+  // Resume the call counter where the cut committed: the next interval-th
+  // call lands on the same indices as the crash-free run.
+  state_->ckpt_calls[idx] = state_->ckpt_restore_calls;
+  return true;
+}
+
+bool Communicator::ckpt_tick() const {
+  const auto idx = static_cast<std::size_t>(rank_);
+  const std::uint64_t call = ++state_->ckpt_calls[idx];
+  return call % state_->ckpt_store->options().interval == 0;
+}
+
+void Communicator::ckpt_barrier(int base_tag, const char* what) const {
+  const int p = size();
+  int round = 0;
+  for (int dist = 1; dist < p; dist <<= 1, ++round) {
+    const int to = group_[static_cast<std::size_t>((rank_ + dist) % p)];
+    const int from = (rank_ - dist + p) % p;
+    state_->mailboxes[static_cast<std::size_t>(to)]->deposit_trusted(
+        Envelope{context_, rank_, base_tag + round, Payload{}});
+    (void)coll_recv(from, base_tag + round, what);
+  }
+}
+
+void Communicator::ckpt_commit(const std::string& key, Payload&& blob) const {
+  ckpt::Store* store = state_->ckpt_store;
+  const std::uint64_t seq = state_->ckpt_calls[static_cast<std::size_t>(rank_)];
+  obs::SpanScope span{obs::SpanKind::kCkpt, "checkpoint", rank_,
+                      static_cast<std::int64_t>(seq)};
+
+  ckpt::RankState rs;
+  rs.state.assign(blob.data(), blob.data() + blob.size());
+  if (fault::active()) {
+    // Persist this lane's decision-stream position: injection decisions are
+    // pure functions of (seed, lane, index), so restoring these counters on
+    // the resumed thread replays the identical fault sequence.
+    const fault::LaneCounters lane = fault::lane_snapshot();
+    rs.fault_deliveries = lane.deliveries;
+    rs.fault_checkpoints = lane.checkpoints;
+  }
+  if (store->output_mark) {
+    rs.output_lines = store->output_mark(group_[static_cast<std::size_t>(rank_)]);
+  }
+
+  // Entry barrier: every rank has reached the cut. In-process sends are
+  // synchronous deposits, so once this completes every pre-cut message
+  // already sits in some mailbox — snapshotting our *own* mailbox between
+  // the barriers captures exactly the in-flight channel state, with no
+  // message counted twice or dropped by the cut.
+  ckpt_barrier(internal_tag::kCkptBarrierA, "checkpoint");
+
+  for (Envelope& e : my_mailbox().snapshot()) {
+    if (is_ckpt_tag(e.tag)) continue;  // protocol traffic is not user state
+    rs.mailbox.push_back(std::move(e));
+  }
+  for (auto& [ticket, parked] : state_->rendezvous.snapshot_for_sender(
+           group_[static_cast<std::size_t>(rank_)])) {
+    ckpt::ParkedCopy copy;
+    copy.ticket = ticket;
+    copy.sender = parked.sender;
+    copy.dest = parked.dest;
+    copy.tag = parked.tag;
+    copy.context = parked.context;
+    copy.bytes.assign(parked.data, parked.data + parked.bytes);
+    rs.parks.push_back(std::move(copy));
+  }
+  store->stage(seq, key, group_[static_cast<std::size_t>(rank_)], std::move(rs));
+
+  // Exit barrier: no rank resumes (and sends post-cut traffic into a
+  // mailbox another rank has yet to snapshot) until every slice is staged.
+  ckpt_barrier(internal_tag::kCkptBarrierB, "checkpoint");
+
+  if (rank_ == 0) {
+    auto* st = state_.get();
+    const int p = size();
+    std::vector<int> world = group_;
+    auto release = [st, p, world = std::move(world), ctx = context_]() {
+      for (int r = 0; r < p; ++r) {
+        st->mailboxes[static_cast<std::size_t>(world[static_cast<std::size_t>(r)])]
+            ->deposit_trusted(
+                Envelope{ctx, 0, internal_tag::kCkptRelease, Payload{}});
+      }
+    };
+    if (sched::coop_active()) {
+      store->seal_sync(seq, size(), seq, std::move(release));
+    } else {
+      store->seal(seq, size(), seq, std::move(release));
+    }
+  }
+  // Park until the seal lands: the cut is unusable before it is committed,
+  // so resuming earlier would let a crash strand us with no cut to replay.
+  // Unbounded on purpose — a slow write must not trip the collective
+  // timeout; if the sealer died pre-seal, the watchdog (which treats an
+  // active write as progress, and its absence as none) converts the stall
+  // into a recoverable deadlock instead.
+  (void)my_mailbox().receive(context_, 0, internal_tag::kCkptRelease);
 }
 
 namespace {

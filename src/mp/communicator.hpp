@@ -67,6 +67,16 @@ inline constexpr int kBcastSeg = kMaxUserTag + 72;   ///< Pipelined bcast segmen
 inline constexpr int kReduceSeg = kMaxUserTag + 73;  ///< Pipelined reduce segments.
 inline constexpr int kRingRs = kMaxUserTag + 74;     ///< Ring reduce-scatter blocks.
 inline constexpr int kRingAg = kMaxUserTag + 75;     ///< Ring allgather blocks.
+
+/// Checkpoint protocol block (pml::ckpt). The whole half-open tag range
+/// [kCkptRelease, kCkptEnd) is protocol traffic, never user state: the
+/// consistent-cut mailbox snapshot filters it out by range, so a barrier
+/// token in flight can never be serialized into (or replayed out of) a
+/// checkpoint.
+inline constexpr int kCkptRelease = kMaxUserTag + 76;   ///< Seal done, resume.
+inline constexpr int kCkptBarrierA = kMaxUserTag + 80;  ///< +round (cut entry).
+inline constexpr int kCkptBarrierB = kMaxUserTag + 112;  ///< +round (cut exit).
+inline constexpr int kCkptEnd = kMaxUserTag + 144;      ///< Exclusive range end.
 }  // namespace internal_tag
 
 /// Header announcing a segmented collective transfer: the body arrives as
@@ -1021,6 +1031,45 @@ class Communicator {
   Communicator dup() const;
   /// @}
 
+  /// \name Checkpoint/restart (pml::ckpt)
+  /// @{
+
+  /// Collective checkpoint of \p state under \p key. With checkpointing
+  /// off (no ckpt::Scope and no RunOptions::checkpoint_interval) this is
+  /// free: one pointer test, no traffic. When on:
+  ///
+  ///   - On the first call after a restart, overwrites \p state with the
+  ///     rank's snapshot from the last committed cut and returns true —
+  ///     the program resumes from there instead of recomputing.
+  ///   - Every interval-th call commits a globally consistent cut: each
+  ///     rank serializes \p state, the group runs an entry barrier (after
+  ///     which — sends being synchronous deposits — every pre-cut message
+  ///     already sits in some mailbox), each rank snapshots its own
+  ///     mailbox and its parked rendezvous bodies as the channel state,
+  ///     stages the lot, runs an exit barrier, and rank 0 seals the cut.
+  ///     Returns false; \p state is unchanged.
+  ///   - Off-interval calls just advance the call counter.
+  ///
+  /// World-communicator collectives only (a cut of a sub-group would miss
+  /// in-flight traffic from outside it): calling on a split/dup throws
+  /// UsageError. T must round-trip through its Codec.
+  template <typename T>
+  bool checkpoint(const std::string& key, T& state) const {
+    if (state_->ckpt_store == nullptr) return false;
+    ckpt_check_world();
+    Payload restored;
+    if (ckpt_take_restore(restored)) {
+      state = decode_counted<T>(std::move(restored));
+      return true;
+    }
+    if (!ckpt_tick()) return false;
+    Payload bytes = Codec<T>::encode(state);
+    count_payload_copy(bytes.size());
+    ckpt_commit(key, std::move(bytes));
+    return false;
+  }
+  /// @}
+
   /// \name Internal
   /// @{
   Communicator(std::shared_ptr<detail::RuntimeState> state, int context,
@@ -1193,6 +1242,23 @@ class Communicator {
   /// \p what names the collective for the diagnostic.
   Envelope coll_recv(int source, int tag, const char* what) const;
   [[noreturn]] void throw_collective_timeout(int source, const char* what) const;
+
+  /// \name Checkpoint protocol plumbing (see checkpoint())
+  /// @{
+  void ckpt_check_world() const;            ///< World comm or UsageError.
+  bool ckpt_take_restore(Payload& out) const;  ///< Pending restore -> blob.
+  bool ckpt_tick() const;                   ///< Advance counter; commit now?
+  void ckpt_commit(const std::string& key, Payload&& blob) const;
+  /// Dissemination barrier over trusted deposits: checkpoint control
+  /// traffic must not be dropped/duplicated/delayed by fault injection
+  /// (a lost token would stall every commit under drop faults), while the
+  /// receives still pass the crash checkpoint — victims die *inside* the
+  /// protocol and recovery takes over.
+  void ckpt_barrier(int base_tag, const char* what) const;
+  static bool is_ckpt_tag(int tag) noexcept {
+    return tag >= internal_tag::kCkptRelease && tag < internal_tag::kCkptEnd;
+  }
+  /// @}
 
   /// \name Bandwidth-optimal collective plumbing
   /// @{

@@ -38,6 +38,8 @@ void Mailbox::deliver(Envelope e) {
   deposit(std::move(e));
 }
 
+void Mailbox::deposit_trusted(Envelope e) { deposit(std::move(e)); }
+
 void Mailbox::deposit(Envelope e) {
   // Chaos mode perturbs delivery timing here, before the envelope enters
   // the mailbox: message *arrival order* across senders gets reshuffled

@@ -63,6 +63,13 @@ class Mailbox {
   /// at a sender whose node is marked crashed.
   void deliver(Envelope e);
 
+  /// Deposits a message *bypassing* the fault-injection shim. Reserved for
+  /// runtime-internal traffic that must not be dropped, duplicated, or
+  /// crashed: checkpoint barrier tokens and release envelopes, and the
+  /// channel-state envelopes replayed into a restored rank's mailbox.
+  /// User messages always go through deliver().
+  void deposit_trusted(Envelope e);
+
   /// Blocks until a matching message arrives, removes and returns it.
   /// Throws RuntimeFault if the runtime shuts down while waiting.
   Envelope receive(int context, int source, int tag);

@@ -82,6 +82,19 @@ class RendezvousTable {
   /// Number of currently parked buffers (tests and diagnostics).
   std::size_t parked() const;
 
+  /// Byte copies of every buffer \p sender currently has parked, with
+  /// their tickets. Part of a checkpoint cut's channel state: an RTS
+  /// envelope snapshot from a mailbox is useless without the parked body
+  /// its ticket points at. Copies (not moves) — the live table keeps
+  /// ownership until the real claim.
+  std::vector<std::pair<std::uint64_t, Parked>> snapshot_for_sender(
+      int sender) const;
+
+  /// Re-parks a buffer under its original \p ticket (checkpoint restore).
+  /// Advances the ticket counter past \p ticket so post-restore parks can
+  /// never collide with restored ones.
+  void restore(std::uint64_t ticket, Parked body);
+
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, Parked> parked_;

@@ -27,6 +27,10 @@
 #include "mp/rendezvous.hpp"
 #include "thread/condvar.hpp"
 
+namespace pml::ckpt {
+class Store;
+}
+
 namespace pml::mp {
 
 class Communicator;
@@ -101,6 +105,22 @@ struct RuntimeState {
   /// Drained at finalize so a lost RTS can never leak its body.
   RendezvousTable rendezvous;
 
+  /// \name Checkpoint/restart plumbing (pml::ckpt)
+  /// Borrowed store (nullptr = checkpointing off) plus per-rank restore
+  /// state. The restore vectors are written by the launcher thread before
+  /// ranks spawn (attempt > 0) and read once by each rank's own thread, so
+  /// they need no locking.
+  /// @{
+  pml::ckpt::Store* ckpt_store = nullptr;
+  std::vector<std::uint64_t> ckpt_calls;  ///< Per-rank checkpoint() index.
+  std::vector<char> ckpt_restore_pending;  ///< First checkpoint() restores.
+  std::vector<std::vector<std::byte>> ckpt_restore_blob;  ///< User state.
+  std::uint64_t ckpt_restore_calls = 0;  ///< Call index to resume from.
+  std::vector<char> ckpt_lane_restore;   ///< Apply fault lane counters.
+  std::vector<std::uint64_t> ckpt_lane_deliveries;
+  std::vector<std::uint64_t> ckpt_lane_checkpoints;
+  /// @}
+
   std::shared_ptr<pml::thread::Event> register_ack(std::uint64_t id);
   void acknowledge(std::uint64_t id);
   /// Withdraws a pending ack registration (a retrying sender gave up on
@@ -161,6 +181,18 @@ struct RunOptions {
   /// the ablation benches count messages instead of trusting wall time.
   /// Not owned; must outlive the job. nullptr disables tracing.
   pml::Trace* message_trace = nullptr;
+
+  /// Enables checkpoint/restart for this job when no process-wide
+  /// ckpt::Scope is active: commit every Nth Communicator::checkpoint()
+  /// call into an in-memory store, and on a NodeCrashFault re-host the
+  /// dead node's ranks on survivors and replay from the last committed
+  /// cut. A live ckpt::Scope (the runner's --ckpt flag) takes precedence
+  /// and brings its own interval/persistence options.
+  std::optional<std::uint32_t> checkpoint_interval{};
+
+  /// Recovery attempts before mp::run gives up and reports the crash the
+  /// old way. Only meaningful with checkpointing enabled.
+  int max_restarts = 4;
 };
 
 /// Runs `program(world)` on \p nprocs ranks and joins them ("mpirun -np N").

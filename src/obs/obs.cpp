@@ -38,6 +38,7 @@ constexpr int metric_for(SpanKind k) noexcept {
     case SpanKind::kTask: return static_cast<int>(Metric::kTaskDuration);
     case SpanKind::kChunk: return static_cast<int>(Metric::kChunkDuration);
     case SpanKind::kRegion: return kMetricKinds;
+    case SpanKind::kCkpt: return kMetricKinds;
   }
   return kMetricKinds;
 }

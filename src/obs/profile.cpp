@@ -15,6 +15,7 @@ const char* to_string(SpanKind k) noexcept {
     case SpanKind::kRecv: return "recv-wait";
     case SpanKind::kCollective: return "collective";
     case SpanKind::kRendezvous: return "rendezvous";
+    case SpanKind::kCkpt: return "checkpoint";
   }
   return "?";
 }
@@ -38,6 +39,8 @@ const char* to_string(Counter c) noexcept {
     case Counter::kRdvStale: return "rdv-stale";
     case Counter::kPayloadBytesCopied: return "payload-copied-bytes";
     case Counter::kCollSegments: return "coll-segments";
+    case Counter::kCkptBytes: return "ckpt-bytes";
+    case Counter::kCkptMicros: return "ckpt-micros";
   }
   return "?";
 }
@@ -113,7 +116,8 @@ std::string Profile::table() const {
       Counter::kFaultDuplicated, Counter::kRetryAttempts,
       Counter::kRdvParked,       Counter::kRdvBytes,
       Counter::kRdvStale,        Counter::kPayloadBytesCopied,
-      Counter::kCollSegments,
+      Counter::kCollSegments,    Counter::kCkptBytes,
+      Counter::kCkptMicros,
   };
   std::string extras;
   for (const Counter c : kExtras) {

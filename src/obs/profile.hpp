@@ -32,10 +32,11 @@ enum class SpanKind : std::uint8_t {
   kRecv,        ///< Blocking receive wait.
   kCollective,  ///< A collective call (barrier, broadcast, reduce, ...).
   kRendezvous,  ///< Large-message park (sender) or claim (receiver).
+  kCkpt,        ///< One Communicator::checkpoint commit (cut + seal).
 };
 
 /// Number of distinct SpanKind values (array sizing).
-inline constexpr int kSpanKinds = 9;
+inline constexpr int kSpanKinds = 10;
 
 /// Printable name ("region", "chunk", "barrier-wait", ...).
 const char* to_string(SpanKind k) noexcept;
@@ -59,10 +60,12 @@ enum class Counter : std::uint8_t {
   kRdvStale,           ///< Stale RTS envelopes skipped (dup/withdrawn).
   kPayloadBytesCopied, ///< Spilled-body bytes memcpy'd on the payload plane.
   kCollSegments,       ///< Collective segments/blocks sent (ring, pipelined).
+  kCkptBytes,          ///< Serialized checkpoint-cut bytes committed.
+  kCkptMicros,         ///< Microseconds spent sealing checkpoint cuts.
 };
 
 /// Number of distinct Counter values (array sizing).
-inline constexpr int kCounterKinds = 17;
+inline constexpr int kCounterKinds = 19;
 
 /// Printable name ("chunks", "steals", "combines", ...).
 const char* to_string(Counter c) noexcept;

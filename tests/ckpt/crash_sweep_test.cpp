@@ -1,0 +1,237 @@
+/// \file crash_sweep_test.cpp
+/// \brief Seeded crash-sweep property test (ISSUE 10 satellite): for every
+/// combination of world size x chaos seed x crash spec, a checkpointing job
+/// hit by a NodeCrashFault must restart from its last committed cut and
+/// finish with results bit-identical to the fault-free run — no Partial<T>
+/// degradation, no duplicated or lost work. Plus determinism through the
+/// restart: the same seeded config replays to the same outcome, including
+/// under the verify-mode cooperative scheduler.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ckpt/ckpt.hpp"
+#include "fault/fault.hpp"
+#include "mp/communicator.hpp"
+#include "mp/op.hpp"
+#include "mp/runtime.hpp"
+#include "sched/sched.hpp"
+#include "verify/verify.hpp"
+
+namespace pml::ckpt {
+namespace {
+
+constexpr int kIters = 20;
+constexpr int kMaxProcs = 8;
+
+/// Trivially copyable per-rank loop state (rides the scalar Codec).
+struct IterState {
+  int iter = 0;
+  long long acc = 0;
+};
+
+/// The swept program: per-iteration allreduce accumulation with a
+/// checkpoint each round. Every rank converges to the same total, and the
+/// total depends on every iteration exactly once — replayed or lost work
+/// shows up as a wrong sum.
+void accumulate(mp::Communicator& world, std::atomic<long long>* results) {
+  IterState s;
+  world.checkpoint("sweep", s);
+  while (s.iter < kIters) {
+    const long long mine =
+        static_cast<long long>(s.iter + 1) * (world.rank() + 1);
+    s.acc += world.allreduce(mine, mp::op_sum<long long>());
+    ++s.iter;
+    world.checkpoint("sweep", s);
+  }
+  results[world.rank()] = s.acc;
+}
+
+/// Fault-free expected total (identical on every rank).
+long long fault_free_acc(int nprocs) {
+  long long acc = 0;
+  for (int i = 1; i <= kIters; ++i) {
+    acc += static_cast<long long>(i) * nprocs * (nprocs + 1) / 2;
+  }
+  return acc;
+}
+
+mp::RunOptions sweep_options(int nprocs) {
+  mp::RunOptions opts;
+  // Four nodes, round-robin: every world size spreads across several nodes,
+  // so a single-node crash always leaves survivors to re-host onto.
+  opts.cluster = mp::Cluster(4, nprocs, mp::Placement::kRoundRobin);
+  opts.collective_timeout = std::chrono::milliseconds(200);
+  opts.deadlock_grace = std::chrono::milliseconds(800);
+  return opts;
+}
+
+struct SweepOutcome {
+  std::array<long long, kMaxProcs> results{};
+  std::uint64_t crashed = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t commits = 0;
+};
+
+SweepOutcome run_once(int nprocs, std::uint64_t seed,
+                      const std::string& crash_spec) {
+  sched::ChaosScope chaos{seed};
+  Options copts;
+  copts.interval = 2;
+  Scope scope{copts};
+  fault::FaultScope faults{
+      fault::FaultPlan::parse(crash_spec + ",seed:" + std::to_string(seed))};
+  std::array<std::atomic<long long>, kMaxProcs> results{};
+  mp::run(
+      nprocs,
+      [&](mp::Communicator& world) { accumulate(world, results.data()); },
+      sweep_options(nprocs));
+
+  SweepOutcome out;
+  for (int r = 0; r < nprocs; ++r) {
+    out.results[static_cast<std::size_t>(r)] =
+        results[static_cast<std::size_t>(r)].load();
+  }
+  out.crashed = fault::stats().crashed;
+  out.restarts = scope.store().stats().restarts;
+  out.commits = scope.store().stats().commits;
+  // A recovered job reports no lingering crashed ranks: the final attempt
+  // ran the re-hosted ranks to completion.
+  EXPECT_TRUE(fault::crashed_ranks().empty())
+      << "p=" << nprocs << " seed=" << seed << " spec=" << crash_spec;
+  return out;
+}
+
+TEST(CrashSweep, EveryCrashedRunMatchesTheFaultFreeResult) {
+  const std::array<int, 3> world_sizes = {2, 4, 8};
+  const std::array<std::uint64_t, 3> chaos_seeds = {1, 2, 3};
+  const std::array<const char*, 3> crash_specs = {
+      "crash:node-02@10", "crash:node-02@35", "crash:node-03@20"};
+
+  int crashed_runs = 0;
+  for (const int p : world_sizes) {
+    const long long want = fault_free_acc(p);
+    for (const std::uint64_t seed : chaos_seeds) {
+      for (const char* spec : crash_specs) {
+        const SweepOutcome out = run_once(p, seed, spec);
+        for (int r = 0; r < p; ++r) {
+          EXPECT_EQ(out.results[static_cast<std::size_t>(r)], want)
+              << "p=" << p << " seed=" << seed << " spec=" << spec
+              << " rank=" << r;
+        }
+        if (out.crashed > 0) {
+          ++crashed_runs;
+          // A crash with checkpointing on must have recovered via restart.
+          EXPECT_GE(out.restarts, 1u)
+              << "p=" << p << " seed=" << seed << " spec=" << spec;
+        }
+      }
+    }
+  }
+  // The sweep must actually exercise recovery, not vacuously pass because
+  // no victim ever reached its crash point.
+  EXPECT_GE(crashed_runs, 9);
+}
+
+TEST(CrashSweep, SameSeededConfigReplaysToTheSameOutcome) {
+  // Determinism through the restart: two runs of one seeded config agree on
+  // results, crash tally, and restart count — the replayed prefix consumed
+  // the same fault-decision stream both times.
+  const SweepOutcome first = run_once(4, 42, "crash:node-02@15");
+  const SweepOutcome second = run_once(4, 42, "crash:node-02@15");
+  EXPECT_EQ(first.results, second.results);
+  EXPECT_EQ(first.crashed, second.crashed);
+  EXPECT_EQ(first.restarts, second.restarts);
+  EXPECT_GE(first.crashed, 1u);
+  EXPECT_EQ(first.results[0], fault_free_acc(4));
+}
+
+TEST(CrashSweep, RankZeroDeathRecoversThroughTheWatchdog) {
+  // node-01 hosts rank 0 — the sealing rank. Its death can strand peers on
+  // the unbounded release wait, where no collective timeout applies; the
+  // watchdog (seeing no active write) must convert the stall into a
+  // recoverable abort, and the restart must still produce full results.
+  Scope scope{Options{}};
+  fault::FaultScope faults{fault::FaultPlan::parse("crash:node-01@25")};
+  mp::RunOptions opts = sweep_options(4);
+  opts.deadlock_grace = std::chrono::milliseconds(400);
+  std::array<std::atomic<long long>, kMaxProcs> results{};
+
+  EXPECT_NO_THROW(mp::run(
+      4, [&](mp::Communicator& world) { accumulate(world, results.data()); },
+      opts));
+
+  const long long want = fault_free_acc(4);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)], want) << "rank " << r;
+  }
+  EXPECT_GE(fault::stats().crashed, 1u);
+  EXPECT_GE(scope.store().stats().restarts, 1u);
+  EXPECT_TRUE(fault::crashed_ranks().empty());
+}
+
+TEST(CrashSweep, VerifyModeReplaysThroughARestartDeterministically) {
+  // Replay-through-restart under the verify-mode cooperative scheduler:
+  // a normal run persists its cuts to a file, then verify::explore runs a
+  // job that adopts the file — every explored schedule must restore the
+  // final cut (zero fresh iterations) and reach the identical result,
+  // exercising the synchronous seal path coop scheduling requires.
+  const std::string path =
+      ::testing::TempDir() + "pml_ckpt_verify_restart.pmlckpt";
+  constexpr int kProcs = 2;
+  {
+    Options copts;
+    copts.save_path = path;
+    Scope scope{copts};
+    std::array<std::atomic<long long>, kMaxProcs> results{};
+    mp::run(kProcs, [&](mp::Communicator& world) {
+      accumulate(world, results.data());
+    });
+    ASSERT_GE(scope.store().stats().commits, 1u);
+  }
+
+  const long long want = fault_free_acc(kProcs);
+  std::vector<long long> per_execution;
+  std::atomic<int> fresh_iterations{0};
+  verify::Options vopts;
+  vopts.max_executions = 3;
+  const verify::Result vr = verify::explore(
+      [&] {
+        Options copts;
+        copts.restart_from = path;
+        Scope scope{copts};
+        std::array<std::atomic<long long>, kMaxProcs> results{};
+        mp::run(kProcs, [&](mp::Communicator& world) {
+          IterState s;
+          const bool restored = world.checkpoint("sweep", s);
+          if (!restored) ++fresh_iterations;
+          while (s.iter < kIters) {
+            ++fresh_iterations;
+            const long long mine =
+                static_cast<long long>(s.iter + 1) * (world.rank() + 1);
+            s.acc += world.allreduce(mine, mp::op_sum<long long>());
+            ++s.iter;
+            world.checkpoint("sweep", s);
+          }
+          results[static_cast<std::size_t>(world.rank())] = s.acc;
+        });
+        per_execution.push_back(results[0].load());
+      },
+      vopts);
+
+  EXPECT_FALSE(vr.found) << vr.finding.kind << ": " << vr.finding.detail;
+  EXPECT_GE(vr.executions, 1u);
+  EXPECT_EQ(fresh_iterations, 0);
+  ASSERT_FALSE(per_execution.empty());
+  for (const long long got : per_execution) EXPECT_EQ(got, want);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pml::ckpt
